@@ -1,0 +1,159 @@
+//! Saaty's consistency analysis.
+//!
+//! A reciprocal matrix is *consistent* when `a_ij · a_jk = a_ik` for all
+//! triples; human judgements rarely are. Saaty quantifies the deviation:
+//!
+//! * **consistency index** `CI = (λ_max − n) / (n − 1)`, where `λ_max` is
+//!   the dominant eigenvalue (equal to `n` iff consistent);
+//! * **consistency ratio** `CR = CI / RI(n)`, where `RI(n)` is the mean
+//!   CI of random reciprocal matrices of order `n`.
+//!
+//! The conventional acceptance threshold is `CR ≤ 0.1`. The paper's
+//! Table I example passes comfortably (`CR ≈ 0.0037`), which the tests
+//! below pin down.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{weights, PairwiseMatrix};
+
+/// Saaty's random-index table `RI(n)` for n = 1..=15 (index 0 unused).
+/// Values from Saaty (1980); `RI = 0` for n ≤ 2 because 1×1 and 2×2
+/// reciprocal matrices are always consistent.
+pub const RANDOM_INDEX: [f64; 16] = [
+    0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49, 1.51, 1.48, 1.56, 1.57, 1.59,
+];
+
+/// The conventional acceptance threshold for the consistency ratio.
+pub const CR_THRESHOLD: f64 = 0.1;
+
+/// The outcome of a consistency analysis.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_ahp::PairwiseMatrix;
+///
+/// let a = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])?; // Table I
+/// let c = a.consistency();
+/// assert!(c.is_acceptable());
+/// assert!(c.ratio < 0.01);
+/// # Ok::<(), paydemand_ahp::AhpError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Consistency {
+    /// Dominant eigenvalue `λ_max` (≥ n, with equality iff consistent).
+    pub lambda_max: f64,
+    /// Consistency index `CI = (λ_max − n) / (n − 1)`; 0 for n = 1.
+    pub index: f64,
+    /// Consistency ratio `CR = CI / RI(n)`; defined as 0 when `RI(n)` is 0
+    /// (orders 1 and 2, which cannot be inconsistent).
+    pub ratio: f64,
+}
+
+impl Consistency {
+    /// Whether the judgements pass Saaty's `CR ≤ 0.1` test.
+    #[must_use]
+    pub fn is_acceptable(&self) -> bool {
+        self.ratio <= CR_THRESHOLD
+    }
+}
+
+/// Analyzes `matrix`; see the module docs for definitions.
+///
+/// For orders beyond the tabulated [`RANDOM_INDEX`] the last tabulated
+/// value is used (RI plateaus near 1.6).
+#[must_use]
+pub fn analyze(matrix: &PairwiseMatrix) -> Consistency {
+    let n = matrix.order();
+    let (_, lambda_max) = weights::eigenvector(matrix);
+    let index = if n <= 1 { 0.0 } else { (lambda_max - n as f64) / (n as f64 - 1.0) };
+    let ri = RANDOM_INDEX[n.min(RANDOM_INDEX.len() - 1)];
+    // Tiny negative CI values can appear from power-iteration rounding on
+    // consistent matrices; clamp so callers see a clean 0.
+    let index = index.max(0.0);
+    let ratio = if ri == 0.0 { 0.0 } else { index / ri };
+    Consistency { lambda_max, index, ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_i_is_acceptably_consistent() {
+        let a = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap();
+        let c = analyze(&a);
+        assert!(c.lambda_max > 3.0 && c.lambda_max < 3.01, "λ_max = {}", c.lambda_max);
+        assert!(c.index < 0.005);
+        assert!(c.ratio < 0.01);
+        assert!(c.is_acceptable());
+    }
+
+    #[test]
+    fn consistent_matrix_has_zero_ci() {
+        let a = PairwiseMatrix::from_upper_triangle(3, &[2.0, 6.0, 3.0]).unwrap();
+        assert!(a.is_transitive());
+        let c = analyze(&a);
+        assert!(c.index.abs() < 1e-9);
+        assert!(c.ratio.abs() < 1e-9);
+        assert!(c.is_acceptable());
+    }
+
+    #[test]
+    fn wildly_inconsistent_matrix_fails() {
+        // Circular preference: 1 > 2 > 3 > 1, each strongly.
+        let a = PairwiseMatrix::from_upper_triangle(3, &[9.0, 1.0 / 9.0, 9.0]).unwrap();
+        let c = analyze(&a);
+        assert!(!c.is_acceptable(), "CR = {}", c.ratio);
+        assert!(c.ratio > 1.0);
+    }
+
+    #[test]
+    fn orders_one_and_two_always_consistent() {
+        let one = PairwiseMatrix::identity(1).unwrap();
+        assert_eq!(analyze(&one).ratio, 0.0);
+        let two = PairwiseMatrix::from_upper_triangle(2, &[7.5]).unwrap();
+        let c = analyze(&two);
+        assert!(c.index.abs() < 1e-9);
+        assert_eq!(c.ratio, 0.0);
+        assert!(c.is_acceptable());
+    }
+
+    #[test]
+    fn random_index_table_shape() {
+        assert_eq!(RANDOM_INDEX[3], 0.58);
+        assert_eq!(RANDOM_INDEX[9], 1.45);
+        // RI is non-decreasing up to its plateau.
+        for w in RANDOM_INDEX[2..12].windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_order_uses_plateau_ri() {
+        // Build a consistent 20×20 matrix; analysis must not panic.
+        let n = 20;
+        let w: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let mut upper = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                upper.push(w[i] / w[j]);
+            }
+        }
+        let a = PairwiseMatrix::from_upper_triangle(n, &upper).unwrap();
+        let c = analyze(&a);
+        assert!(c.is_acceptable());
+    }
+
+    proptest! {
+        #[test]
+        fn ci_nonnegative(upper in proptest::collection::vec(0.12..9.0f64, 6)) {
+            let a = PairwiseMatrix::from_upper_triangle(4, &upper).unwrap();
+            let c = analyze(&a);
+            prop_assert!(c.index >= 0.0);
+            prop_assert!(c.ratio >= 0.0);
+            prop_assert!(c.lambda_max >= 4.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or evaluating AHP structures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AhpError {
+    /// A judgement value was outside the admissible range.
+    ///
+    /// Saaty's scale admits values in `[1/9, 9]`; we accept any strictly
+    /// positive finite value but reject zero, negatives, NaN and ±∞.
+    InvalidJudgment {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The matrix violates reciprocity: `a[i][j] * a[j][i] != 1`.
+    NotReciprocal {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// A diagonal entry differed from 1.
+    BadDiagonal {
+        /// Index of the offending diagonal entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The supplied data had the wrong number of entries for the
+    /// requested matrix size.
+    DimensionMismatch {
+        /// Entries expected.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// AHP needs at least one criterion / alternative.
+    Empty,
+    /// Hierarchy synthesis found a level whose matrices disagree in size.
+    LevelMismatch {
+        /// Expected alternatives per criterion.
+        expected: usize,
+        /// Found for some criterion.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AhpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AhpError::InvalidJudgment { row, col, value } => {
+                write!(f, "judgement at ({row}, {col}) must be positive and finite, got {value}")
+            }
+            AhpError::NotReciprocal { row, col } => {
+                write!(f, "matrix is not reciprocal at ({row}, {col}): a_ij * a_ji must equal 1")
+            }
+            AhpError::BadDiagonal { index, value } => {
+                write!(f, "diagonal entry {index} must be 1, got {value}")
+            }
+            AhpError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} entries, got {got}")
+            }
+            AhpError::Empty => write!(f, "AHP structure must have at least one element"),
+            AhpError::LevelMismatch { expected, got } => {
+                write!(f, "hierarchy level expected {expected} alternatives, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for AhpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let variants = [
+            AhpError::InvalidJudgment { row: 0, col: 1, value: -2.0 },
+            AhpError::NotReciprocal { row: 1, col: 2 },
+            AhpError::BadDiagonal { index: 0, value: 2.0 },
+            AhpError::DimensionMismatch { expected: 3, got: 4 },
+            AhpError::Empty,
+            AhpError::LevelMismatch { expected: 5, got: 3 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<AhpError>();
+    }
+}

@@ -1,0 +1,175 @@
+//! Group decision making: combining several experts' judgement matrices.
+//!
+//! The paper notes that comparison-matrix values "are always determined
+//! by experts" (plural). The standard AHP aggregation (Aczél & Saaty,
+//! 1983) is the element-wise **geometric mean** of the individual
+//! matrices — the only aggregation that preserves reciprocity
+//! (`a_ij · a_ji = 1`) and the group's unanimity and homogeneity axioms.
+//! Weighted variants model experts with different credibility.
+
+use crate::{AhpError, PairwiseMatrix};
+
+/// Aggregates expert matrices by element-wise geometric mean.
+///
+/// # Errors
+///
+/// * [`AhpError::Empty`] if no matrices are given;
+/// * [`AhpError::DimensionMismatch`] if the matrices disagree in order.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_ahp::{group, PairwiseMatrix, WeightMethod};
+///
+/// let optimist = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])?;
+/// let skeptic = PairwiseMatrix::from_upper_triangle(3, &[1.0, 2.0, 2.0])?;
+/// let joint = group::aggregate(&[optimist, skeptic])?;
+/// // Judgements between the two experts': sqrt(3·1) etc.
+/// assert!((joint.get(0, 1) - 3f64.sqrt()).abs() < 1e-12);
+/// let w = joint.weights(WeightMethod::RowAverage);
+/// assert!(w[0] > w[1] && w[1] > w[2]);
+/// # Ok::<(), paydemand_ahp::AhpError>(())
+/// ```
+pub fn aggregate(matrices: &[PairwiseMatrix]) -> Result<PairwiseMatrix, AhpError> {
+    let weights = vec![1.0; matrices.len()];
+    aggregate_weighted(matrices, &weights)
+}
+
+/// Weighted geometric-mean aggregation: expert `e` contributes with
+/// exponent `weights[e] / Σ weights`.
+///
+/// # Errors
+///
+/// As [`aggregate`], plus [`AhpError::InvalidJudgment`] if any expert
+/// weight is non-positive or non-finite (reported at row 0, col `e`),
+/// and [`AhpError::DimensionMismatch`] if `weights.len()` differs from
+/// the number of matrices.
+pub fn aggregate_weighted(
+    matrices: &[PairwiseMatrix],
+    weights: &[f64],
+) -> Result<PairwiseMatrix, AhpError> {
+    let first = matrices.first().ok_or(AhpError::Empty)?;
+    let n = first.order();
+    if weights.len() != matrices.len() {
+        return Err(AhpError::DimensionMismatch {
+            expected: matrices.len(),
+            got: weights.len(),
+        });
+    }
+    for (e, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w <= 0.0 {
+            return Err(AhpError::InvalidJudgment { row: 0, col: e, value: w });
+        }
+    }
+    for m in matrices {
+        if m.order() != n {
+            return Err(AhpError::DimensionMismatch { expected: n, got: m.order() });
+        }
+    }
+    let total: f64 = weights.iter().sum();
+    // Build the aggregated upper triangle; reciprocity then holds by
+    // construction.
+    let mut upper = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let log_mean: f64 = matrices
+                .iter()
+                .zip(weights)
+                .map(|(m, &w)| (w / total) * m.get(i, j).ln())
+                .sum();
+            upper.push(log_mean.exp());
+        }
+    }
+    PairwiseMatrix::from_upper_triangle(n, &upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn expert(upper: &[f64]) -> PairwiseMatrix {
+        PairwiseMatrix::from_upper_triangle(3, upper).unwrap()
+    }
+
+    #[test]
+    fn single_expert_is_identity_operation() {
+        let a = expert(&[3.0, 5.0, 2.0]);
+        let agg = aggregate(std::slice::from_ref(&a)).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((agg.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_experts_preserved() {
+        let a = expert(&[3.0, 5.0, 2.0]);
+        let agg = aggregate(&[a.clone(), a.clone(), a.clone()]).unwrap();
+        assert!((agg.get(0, 1) - 3.0).abs() < 1e-12);
+        assert!((agg.get(0, 2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_experts_cancel_to_equality() {
+        // One says A is 4x B; the other says B is 4x A.
+        let a = expert(&[4.0, 1.0, 1.0]);
+        let b = expert(&[0.25, 1.0, 1.0]);
+        let agg = aggregate(&[a, b]).unwrap();
+        assert!((agg.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_aggregation_leans_towards_heavier_expert() {
+        let strong = expert(&[9.0, 1.0, 1.0]);
+        let weak = expert(&[1.0, 1.0, 1.0]);
+        let even = aggregate_weighted(&[strong.clone(), weak.clone()], &[1.0, 1.0]).unwrap();
+        let skewed = aggregate_weighted(&[strong, weak], &[3.0, 1.0]).unwrap();
+        assert!(skewed.get(0, 1) > even.get(0, 1));
+        assert!((even.get(0, 1) - 3.0).abs() < 1e-12); // sqrt(9)
+        assert!((skewed.get(0, 1) - 9f64.powf(0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(aggregate(&[]), Err(AhpError::Empty)));
+        let a = expert(&[1.0, 1.0, 1.0]);
+        let two = PairwiseMatrix::from_upper_triangle(2, &[2.0]).unwrap();
+        assert!(matches!(
+            aggregate(&[a.clone(), two]),
+            Err(AhpError::DimensionMismatch { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            aggregate_weighted(std::slice::from_ref(&a), &[]),
+            Err(AhpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            aggregate_weighted(&[a], &[0.0]),
+            Err(AhpError::InvalidJudgment { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn aggregation_is_always_a_valid_reciprocal_matrix(
+            u1 in proptest::collection::vec(0.12..9.0f64, 3),
+            u2 in proptest::collection::vec(0.12..9.0f64, 3),
+            w in (0.1..10.0f64, 0.1..10.0f64),
+        ) {
+            let a = expert(&u1);
+            let b = expert(&u2);
+            // from_upper_triangle already validates, so Ok means valid.
+            let agg = aggregate_weighted(&[a.clone(), b.clone()], &[w.0, w.1]).unwrap();
+            // Aggregated judgement lies between the experts' judgements.
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    let lo = a.get(i, j).min(b.get(i, j));
+                    let hi = a.get(i, j).max(b.get(i, j));
+                    prop_assert!(agg.get(i, j) >= lo - 1e-9);
+                    prop_assert!(agg.get(i, j) <= hi + 1e-9);
+                }
+            }
+        }
+    }
+}

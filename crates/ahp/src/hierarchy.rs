@@ -1,0 +1,256 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{AhpError, PairwiseMatrix, WeightMethod};
+
+/// A two-level AHP hierarchy: a goal, `m` criteria compared pairwise at
+/// the top level, and `n` alternatives compared pairwise *under each
+/// criterion* — exactly the goal / criteria / tasks structure of the
+/// paper's Fig. 2.
+///
+/// Synthesis multiplies each criterion's weight into its alternatives'
+/// local weights and sums: `score(alt) = Σ_c w_c · w_{alt|c}`.
+///
+/// The paper ultimately sidesteps per-pair task comparisons by scoring
+/// each task directly on each criterion (Eq. 3–5);
+/// [`synthesize_scores`](Hierarchy::synthesize_scores) covers that
+/// "ratings-mode" AHP variant, while
+/// [`synthesize`](Hierarchy::synthesize) covers the classical
+/// full-pairwise variant.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_ahp::{Hierarchy, PairwiseMatrix, WeightMethod};
+///
+/// // Two criteria, the first 3× as important.
+/// let criteria = PairwiseMatrix::from_upper_triangle(2, &[3.0])?;
+/// let hierarchy = Hierarchy::new(criteria, WeightMethod::RowAverage);
+///
+/// // Ratings mode: two alternatives scored per criterion (rows = criteria).
+/// let scores = hierarchy.synthesize_scores(&[
+///     vec![0.9, 0.1], // criterion 1 strongly favours alternative 1
+///     vec![0.2, 0.8], // criterion 2 favours alternative 2
+/// ])?;
+/// assert!(scores[0] > scores[1]);
+/// # Ok::<(), paydemand_ahp::AhpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    criteria: PairwiseMatrix,
+    method: WeightMethod,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy from the criteria comparison matrix and the
+    /// weight-extraction method to use throughout.
+    #[must_use]
+    pub fn new(criteria: PairwiseMatrix, method: WeightMethod) -> Self {
+        Hierarchy { criteria, method }
+    }
+
+    /// The criteria comparison matrix.
+    #[must_use]
+    pub fn criteria(&self) -> &PairwiseMatrix {
+        &self.criteria
+    }
+
+    /// Weights of the criteria (sum to 1).
+    #[must_use]
+    pub fn criteria_weights(&self) -> Vec<f64> {
+        self.criteria.weights(self.method)
+    }
+
+    /// Classical synthesis: one full pairwise matrix of alternatives per
+    /// criterion (`alternatives[c]` is the comparison matrix of all
+    /// alternatives under criterion `c`). Returns the global priority of
+    /// each alternative; the result sums to 1.
+    ///
+    /// # Errors
+    ///
+    /// * [`AhpError::DimensionMismatch`] if `alternatives.len()` differs
+    ///   from the number of criteria;
+    /// * [`AhpError::LevelMismatch`] if the per-criterion matrices
+    ///   disagree on the number of alternatives;
+    /// * [`AhpError::Empty`] if there are no alternatives.
+    pub fn synthesize(&self, alternatives: &[PairwiseMatrix]) -> Result<Vec<f64>, AhpError> {
+        let m = self.criteria.order();
+        if alternatives.len() != m {
+            return Err(AhpError::DimensionMismatch { expected: m, got: alternatives.len() });
+        }
+        let n = alternatives.first().ok_or(AhpError::Empty)?.order();
+        let w = self.criteria_weights();
+        let mut global = vec![0.0; n];
+        for (c, alt) in alternatives.iter().enumerate() {
+            if alt.order() != n {
+                return Err(AhpError::LevelMismatch { expected: n, got: alt.order() });
+            }
+            let local = alt.weights(self.method);
+            for (g, l) in global.iter_mut().zip(&local) {
+                *g += w[c] * l;
+            }
+        }
+        Ok(global)
+    }
+
+    /// Ratings-mode synthesis: each alternative gets a direct score per
+    /// criterion (`scores[c][a]`, non-negative). Scores are normalised
+    /// within each criterion before weighting, so criteria with different
+    /// natural scales combine fairly. Returns global priorities summing
+    /// to 1 (or all zeros if every score is zero).
+    ///
+    /// This mirrors the paper's construction where Eq. 3–5 score each
+    /// task on each criterion and Eq. 2 blends with AHP weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`synthesize`](Self::synthesize), with rows of
+    /// `scores` in place of matrices. Also returns
+    /// [`AhpError::InvalidJudgment`] for negative or non-finite scores.
+    pub fn synthesize_scores(&self, scores: &[Vec<f64>]) -> Result<Vec<f64>, AhpError> {
+        let m = self.criteria.order();
+        if scores.len() != m {
+            return Err(AhpError::DimensionMismatch { expected: m, got: scores.len() });
+        }
+        let n = scores.first().ok_or(AhpError::Empty)?.len();
+        if n == 0 {
+            return Err(AhpError::Empty);
+        }
+        let w = self.criteria_weights();
+        let mut global = vec![0.0; n];
+        for (c, row) in scores.iter().enumerate() {
+            if row.len() != n {
+                return Err(AhpError::LevelMismatch { expected: n, got: row.len() });
+            }
+            for (j, &s) in row.iter().enumerate() {
+                if !s.is_finite() || s < 0.0 {
+                    return Err(AhpError::InvalidJudgment { row: c, col: j, value: s });
+                }
+            }
+            let sum: f64 = row.iter().sum();
+            if sum == 0.0 {
+                continue; // criterion carries no information this round
+            }
+            for (g, &s) in global.iter_mut().zip(row) {
+                *g += w[c] * s / sum;
+            }
+        }
+        Ok(global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_criteria() -> Hierarchy {
+        let criteria = PairwiseMatrix::from_upper_triangle(2, &[3.0]).unwrap();
+        Hierarchy::new(criteria, WeightMethod::RowAverage)
+    }
+
+    #[test]
+    fn criteria_weights_sum_to_one() {
+        let h = two_criteria();
+        let w = h.criteria_weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthesize_full_pairwise() {
+        let h = two_criteria();
+        // Under criterion 1, alt 1 is 4x alt 2; under criterion 2 they tie.
+        let alts = vec![
+            PairwiseMatrix::from_upper_triangle(2, &[4.0]).unwrap(),
+            PairwiseMatrix::identity(2).unwrap(),
+        ];
+        let g = h.synthesize(&alts).unwrap();
+        // 0.75*0.8 + 0.25*0.5 = 0.725
+        assert!((g[0] - 0.725).abs() < 1e-12);
+        assert!((g[1] - 0.275).abs() < 1e-12);
+        assert!((g.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthesize_validates_shapes() {
+        let h = two_criteria();
+        assert!(matches!(h.synthesize(&[]), Err(AhpError::DimensionMismatch { .. })));
+        let ragged = vec![
+            PairwiseMatrix::identity(2).unwrap(),
+            PairwiseMatrix::identity(3).unwrap(),
+        ];
+        assert!(matches!(h.synthesize(&ragged), Err(AhpError::LevelMismatch { .. })));
+    }
+
+    #[test]
+    fn scores_mode_weighted_blend() {
+        let h = two_criteria();
+        let g = h.synthesize_scores(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!((g[0] - 0.75).abs() < 1e-12);
+        assert!((g[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_mode_normalises_scales() {
+        let h = two_criteria();
+        // Criterion 2's raw scores are 1000x criterion 1's; normalisation
+        // must neutralise the scale difference.
+        let small = h.synthesize_scores(&[vec![1.0, 3.0], vec![2.0, 2.0]]).unwrap();
+        let large = h.synthesize_scores(&[vec![1.0, 3.0], vec![2000.0, 2000.0]]).unwrap();
+        for (a, b) in small.iter().zip(&large) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scores_mode_rejects_bad_scores() {
+        let h = two_criteria();
+        assert!(matches!(
+            h.synthesize_scores(&[vec![1.0, -0.5], vec![0.0, 1.0]]),
+            Err(AhpError::InvalidJudgment { row: 0, col: 1, .. })
+        ));
+        assert!(matches!(
+            h.synthesize_scores(&[vec![f64::NAN, 0.5], vec![0.0, 1.0]]),
+            Err(AhpError::InvalidJudgment { .. })
+        ));
+    }
+
+    #[test]
+    fn scores_mode_all_zero_criterion_is_skipped() {
+        let h = two_criteria();
+        let g = h.synthesize_scores(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        assert!((g[0] - 0.125).abs() < 1e-12);
+        assert!((g[1] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_mode_shape_errors() {
+        let h = two_criteria();
+        assert!(matches!(h.synthesize_scores(&[]), Err(AhpError::DimensionMismatch { .. })));
+        assert!(matches!(
+            h.synthesize_scores(&[vec![], vec![]]),
+            Err(AhpError::Empty)
+        ));
+        assert!(matches!(
+            h.synthesize_scores(&[vec![1.0, 2.0], vec![1.0]]),
+            Err(AhpError::LevelMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn three_level_paper_shape() {
+        // The paper's exact shape: 3 criteria (Table I), m tasks scored
+        // per criterion. Check a dominated task ranks last.
+        let criteria = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap();
+        let h = Hierarchy::new(criteria, WeightMethod::RowAverage);
+        let g = h
+            .synthesize_scores(&[
+                vec![0.5, 0.3, 0.2],
+                vec![0.5, 0.3, 0.2],
+                vec![0.5, 0.3, 0.2],
+            ])
+            .unwrap();
+        assert!(g[0] > g[1] && g[1] > g[2]);
+        assert!((g.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

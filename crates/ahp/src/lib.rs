@@ -1,0 +1,52 @@
+//! Analytic Hierarchy Process (AHP) — Saaty, 1980.
+//!
+//! The paper uses AHP (§IV-B) to turn an expert's pairwise judgements of
+//! three criteria — *deadline*, *completing progress*, *neighbouring
+//! users* — into the weight vector `W = (w1, w2, w3)` of the demand
+//! indicator (Eq. 2). This crate implements AHP in full generality:
+//!
+//! * [`PairwiseMatrix`] — validated reciprocal comparison matrices on the
+//!   Saaty 1–9 [`scale`];
+//! * [`weights`] — three standard weight-extraction (prioritisation)
+//!   methods: column-normalised row averages (the paper's Eq. 6),
+//!   geometric mean of rows, and the principal right eigenvector;
+//! * [`consistency`] — Saaty's consistency index / consistency ratio
+//!   against the random-index table;
+//! * [`Hierarchy`] — multi-level synthesis (criteria → alternatives), the
+//!   full goal/criteria/alternatives structure of the paper's Fig. 2;
+//! * [`group`] — multi-expert aggregation by (weighted) geometric mean;
+//! * [`sensitivity`] — judgement-perturbation analysis: does the
+//!   criteria ranking survive an expert saying 4 instead of 3?
+//!
+//! # Examples
+//!
+//! Reproducing the paper's Table I → Table II → weight vector pipeline:
+//!
+//! ```
+//! use paydemand_ahp::{PairwiseMatrix, WeightMethod};
+//!
+//! // Table I: deadline vs progress vs neighbours.
+//! let a = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])?;
+//! let w = a.weights(WeightMethod::RowAverage);
+//! assert!((w[0] - 0.648).abs() < 1e-3);
+//! assert!((w[1] - 0.230).abs() < 1e-3);
+//! assert!((w[2] - 0.122).abs() < 1e-3);
+//! # Ok::<(), paydemand_ahp::AhpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod consistency;
+mod error;
+pub mod group;
+mod hierarchy;
+mod matrix;
+pub mod scale;
+pub mod sensitivity;
+pub mod weights;
+
+pub use error::AhpError;
+pub use hierarchy::Hierarchy;
+pub use matrix::PairwiseMatrix;
+pub use weights::WeightMethod;

@@ -1,0 +1,420 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::scale::is_admissible;
+use crate::weights::{self, WeightMethod};
+use crate::AhpError;
+
+/// Tolerance used when checking reciprocity (`a_ij · a_ji = 1`) and the
+/// unit diagonal. Judgements are human-entered small rationals, so a
+/// fairly loose relative tolerance is appropriate.
+const RECIPROCITY_TOL: f64 = 1e-9;
+
+/// A validated pairwise comparison matrix `A = (a_ij)` — square,
+/// positive, reciprocal (`a_ij · a_ji = 1`), unit diagonal.
+///
+/// Entry `a_ij > 1` means element `i` is more important than element `j`
+/// (paper §IV-B and Table I).
+///
+/// # Examples
+///
+/// The paper's Table I matrix:
+///
+/// ```
+/// use paydemand_ahp::PairwiseMatrix;
+///
+/// let a = PairwiseMatrix::from_rows(&[
+///     vec![1.0, 3.0, 5.0],
+///     vec![1.0 / 3.0, 1.0, 2.0],
+///     vec![1.0 / 5.0, 1.0 / 2.0, 1.0],
+/// ])?;
+/// assert_eq!(a.order(), 3);
+/// assert_eq!(a.get(0, 1), 3.0);
+/// # Ok::<(), paydemand_ahp::AhpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseMatrix {
+    order: usize,
+    /// Row-major `order × order` entries.
+    entries: Vec<f64>,
+}
+
+impl PairwiseMatrix {
+    /// The identity judgement matrix: everything equally important.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AhpError::Empty`] if `order == 0`.
+    pub fn identity(order: usize) -> Result<Self, AhpError> {
+        if order == 0 {
+            return Err(AhpError::Empty);
+        }
+        let mut entries = vec![1.0; order * order];
+        for i in 0..order {
+            for j in 0..order {
+                entries[i * order + j] = 1.0;
+            }
+        }
+        Ok(PairwiseMatrix { order, entries })
+    }
+
+    /// Builds and validates a matrix from full rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`AhpError::Empty`] for zero rows;
+    /// * [`AhpError::DimensionMismatch`] if any row has the wrong length;
+    /// * [`AhpError::InvalidJudgment`] for non-positive / non-finite entries;
+    /// * [`AhpError::BadDiagonal`] if any `a_ii != 1`;
+    /// * [`AhpError::NotReciprocal`] if `a_ij · a_ji != 1`.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, AhpError> {
+        let order = rows.len();
+        if order == 0 {
+            return Err(AhpError::Empty);
+        }
+        let mut entries = Vec::with_capacity(order * order);
+        for row in rows {
+            if row.len() != order {
+                return Err(AhpError::DimensionMismatch { expected: order, got: row.len() });
+            }
+            entries.extend_from_slice(row);
+        }
+        let m = PairwiseMatrix { order, entries };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a matrix from its strict upper triangle, row by row; the
+    /// diagonal is set to 1 and the lower triangle to the reciprocals.
+    /// This is the most convenient constructor: reciprocity holds by
+    /// construction.
+    ///
+    /// For `order = 3` the entries are `[a12, a13, a23]`; the paper's
+    /// Table I is `[3, 5, 2]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AhpError::Empty`] for `order == 0`;
+    /// * [`AhpError::DimensionMismatch`] unless
+    ///   `upper.len() == order·(order−1)/2`;
+    /// * [`AhpError::InvalidJudgment`] for non-positive / non-finite entries.
+    pub fn from_upper_triangle(order: usize, upper: &[f64]) -> Result<Self, AhpError> {
+        if order == 0 {
+            return Err(AhpError::Empty);
+        }
+        let expected = order * (order - 1) / 2;
+        if upper.len() != expected {
+            return Err(AhpError::DimensionMismatch { expected, got: upper.len() });
+        }
+        let mut entries = vec![1.0; order * order];
+        let mut k = 0;
+        for i in 0..order {
+            for j in (i + 1)..order {
+                let v = upper[k];
+                if !is_admissible(v) {
+                    return Err(AhpError::InvalidJudgment { row: i, col: j, value: v });
+                }
+                entries[i * order + j] = v;
+                entries[j * order + i] = 1.0 / v;
+                k += 1;
+            }
+        }
+        Ok(PairwiseMatrix { order, entries })
+    }
+
+    fn validate(&self) -> Result<(), AhpError> {
+        let n = self.order;
+        for i in 0..n {
+            let d = self.get(i, i);
+            if (d - 1.0).abs() > RECIPROCITY_TOL {
+                return Err(AhpError::BadDiagonal { index: i, value: d });
+            }
+            for j in 0..n {
+                let v = self.get(i, j);
+                if !is_admissible(v) {
+                    return Err(AhpError::InvalidJudgment { row: i, col: j, value: v });
+                }
+                if i < j {
+                    let prod = v * self.get(j, i);
+                    if (prod - 1.0).abs() > RECIPROCITY_TOL {
+                        return Err(AhpError::NotReciprocal { row: i, col: j });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The matrix order (number of compared elements).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Entry `a_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is `>= order`.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.order && j < self.order, "index out of range");
+        self.entries[i * self.order + j]
+    }
+
+    /// Column sums — the denominators of the paper's normalisation step
+    /// (`ā_ij = a_ij / Σ_k a_kj`).
+    #[must_use]
+    pub fn column_sums(&self) -> Vec<f64> {
+        let n = self.order;
+        let mut sums = vec![0.0; n];
+        for i in 0..n {
+            for (j, s) in sums.iter_mut().enumerate() {
+                *s += self.get(i, j);
+            }
+        }
+        sums
+    }
+
+    /// The column-normalised matrix `Ā` (the paper's Table II).
+    ///
+    /// Each returned row has the same length as the order; each column of
+    /// the result sums to 1.
+    #[must_use]
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        let sums = self.column_sums();
+        (0..self.order)
+            .map(|i| (0..self.order).map(|j| self.get(i, j) / sums[j]).collect())
+            .collect()
+    }
+
+    /// Extracts the priority (weight) vector with the chosen method.
+    /// The result is non-negative and sums to 1.
+    ///
+    /// ```
+    /// use paydemand_ahp::{PairwiseMatrix, WeightMethod};
+    /// let a = PairwiseMatrix::from_upper_triangle(2, &[4.0])?;
+    /// let w = a.weights(WeightMethod::RowAverage);
+    /// assert!((w[0] - 0.8).abs() < 1e-12);
+    /// assert!((w[1] - 0.2).abs() < 1e-12);
+    /// # Ok::<(), paydemand_ahp::AhpError>(())
+    /// ```
+    #[must_use]
+    pub fn weights(&self, method: WeightMethod) -> Vec<f64> {
+        weights::extract(self, method)
+    }
+
+    /// Applies the matrix to a vector: `(A·v)_i = Σ_j a_ij v_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != order`.
+    #[must_use]
+    pub fn multiply(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.order, "vector length must equal matrix order");
+        (0..self.order).map(|i| (0..self.order).map(|j| self.get(i, j) * v[j]).sum()).collect()
+    }
+
+    /// Saaty's consistency analysis for this matrix; see
+    /// [`consistency`](crate::consistency).
+    #[must_use]
+    pub fn consistency(&self) -> crate::consistency::Consistency {
+        crate::consistency::analyze(self)
+    }
+
+    /// Returns `true` if the matrix is *perfectly* consistent:
+    /// `a_ij · a_jk = a_ik` for all triples (within tolerance).
+    #[must_use]
+    pub fn is_transitive(&self) -> bool {
+        let n = self.order;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let lhs = self.get(i, j) * self.get(j, k);
+                    let rhs = self.get(i, k);
+                    if (lhs - rhs).abs() > 1e-6 * rhs.max(1.0) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for PairwiseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PairwiseMatrix({}×{})", self.order, self.order)?;
+        for i in 0..self.order {
+            for j in 0..self.order {
+                write!(f, "{:>8.3}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The paper's Table I.
+    pub(crate) fn table_i() -> PairwiseMatrix {
+        PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn table_i_is_reciprocal() {
+        let a = table_i();
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(0, 2), 5.0);
+        assert_eq!(a.get(1, 2), 2.0);
+        assert!((a.get(1, 0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((a.get(2, 0) - 1.0 / 5.0).abs() < 1e-15);
+        assert!((a.get(2, 1) - 1.0 / 2.0).abs() < 1e-15);
+        for i in 0..3 {
+            assert_eq!(a.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn table_ii_normalization() {
+        // The paper's Table II, to its printed 3-decimal precision.
+        let a = table_i();
+        let n = a.normalized();
+        let expect = [
+            [0.652, 0.667, 0.625],
+            [0.217, 0.222, 0.250],
+            [0.131, 0.111, 0.125],
+        ];
+        for i in 0..3 {
+            for j in 0..3 {
+                // Tolerance 1e-3: Table II prints 3 decimals and rounds
+                // loosely (its 0.131 entry is exactly 3/23 = 0.13043...).
+                assert!(
+                    (n[i][j] - expect[i][j]).abs() < 1e-3,
+                    "entry ({i},{j}): got {}, Table II says {}",
+                    n[i][j],
+                    expect[i][j]
+                );
+            }
+        }
+        // Each column of the normalized matrix sums to 1.
+        #[allow(clippy::needless_range_loop)] // j is a column index
+        for j in 0..3 {
+            let s: f64 = (0..3).map(|i| n[i][j]).sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_rows_accepts_table_i() {
+        let a = PairwiseMatrix::from_rows(&[
+            vec![1.0, 3.0, 5.0],
+            vec![1.0 / 3.0, 1.0, 2.0],
+            vec![1.0 / 5.0, 1.0 / 2.0, 1.0],
+        ])
+        .unwrap();
+        assert_eq!(a, table_i());
+    }
+
+    #[test]
+    fn from_rows_rejects_non_reciprocal() {
+        let err = PairwiseMatrix::from_rows(&[vec![1.0, 2.0], vec![0.4, 1.0]]).unwrap_err();
+        assert!(matches!(err, AhpError::NotReciprocal { row: 0, col: 1 }));
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_diagonal() {
+        let err = PairwiseMatrix::from_rows(&[vec![2.0, 2.0], vec![0.5, 1.0]]).unwrap_err();
+        assert!(matches!(err, AhpError::BadDiagonal { index: 0, .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = PairwiseMatrix::from_rows(&[vec![1.0, 2.0], vec![0.5]]).unwrap_err();
+        assert!(matches!(err, AhpError::DimensionMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(matches!(PairwiseMatrix::from_rows(&[]), Err(AhpError::Empty)));
+    }
+
+    #[test]
+    fn from_upper_rejects_bad_values() {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = PairwiseMatrix::from_upper_triangle(2, &[bad]).unwrap_err();
+            assert!(matches!(err, AhpError::InvalidJudgment { .. }), "value {bad}");
+        }
+    }
+
+    #[test]
+    fn from_upper_rejects_wrong_count() {
+        let err = PairwiseMatrix::from_upper_triangle(3, &[1.0]).unwrap_err();
+        assert!(matches!(err, AhpError::DimensionMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn identity_is_transitive() {
+        let a = PairwiseMatrix::identity(4).unwrap();
+        assert!(a.is_transitive());
+        assert!(PairwiseMatrix::identity(0).is_err());
+    }
+
+    #[test]
+    fn table_i_is_not_perfectly_transitive() {
+        // a12 * a23 = 3 * 2 = 6 != 5 = a13: slight inconsistency, which is
+        // why the consistency ratio matters.
+        assert!(!table_i().is_transitive());
+    }
+
+    #[test]
+    fn multiply_matches_manual() {
+        let a = table_i();
+        let v = a.multiply(&[1.0, 1.0, 1.0]);
+        assert!((v[0] - 9.0).abs() < 1e-12); // 1 + 3 + 5
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length")]
+    fn multiply_rejects_wrong_length() {
+        let _ = table_i().multiply(&[1.0]);
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let s = table_i().to_string();
+        assert!(s.contains("3.000"));
+        assert!(s.contains("5.000"));
+    }
+
+    fn arb_upper(order: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.12..9.0f64, order * (order - 1) / 2)
+    }
+
+    proptest! {
+        #[test]
+        fn upper_triangle_always_validates(upper in arb_upper(4)) {
+            let a = PairwiseMatrix::from_upper_triangle(4, &upper).unwrap();
+            // Reconstructing via from_rows re-validates everything.
+            let rows: Vec<Vec<f64>> =
+                (0..4).map(|i| (0..4).map(|j| a.get(i, j)).collect()).collect();
+            prop_assert!(PairwiseMatrix::from_rows(&rows).is_ok());
+        }
+
+        #[test]
+        fn normalized_columns_sum_to_one(upper in arb_upper(5)) {
+            let a = PairwiseMatrix::from_upper_triangle(5, &upper).unwrap();
+            let n = a.normalized();
+            #[allow(clippy::needless_range_loop)] // j is a column index
+            for j in 0..5 {
+                let s: f64 = (0..5).map(|i| n[i][j]).sum();
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Saaty's fundamental 1–9 judgement scale.
+//!
+//! The paper (§IV-B): "the relative importance between two criteria is
+//! measured according to a numerical scale from 1 to 9". [`Judgment`]
+//! names the odd anchor points; even values are intermediates.
+
+use serde::{Deserialize, Serialize};
+
+/// The named anchor points of Saaty's fundamental scale.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_ahp::scale::Judgment;
+///
+/// assert_eq!(Judgment::Strong.value(), 5.0);
+/// assert_eq!(Judgment::Strong.reciprocal(), 1.0 / 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Judgment {
+    /// 1 — the two elements contribute equally.
+    Equal,
+    /// 3 — experience slightly favours one element.
+    Moderate,
+    /// 5 — experience strongly favours one element.
+    Strong,
+    /// 7 — an element is favoured very strongly; dominance demonstrated.
+    VeryStrong,
+    /// 9 — the evidence favouring one element is of the highest order.
+    Extreme,
+}
+
+impl Judgment {
+    /// The numeric value on the 1–9 scale.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        match self {
+            Judgment::Equal => 1.0,
+            Judgment::Moderate => 3.0,
+            Judgment::Strong => 5.0,
+            Judgment::VeryStrong => 7.0,
+            Judgment::Extreme => 9.0,
+        }
+    }
+
+    /// The reciprocal value, expressing the inverse comparison.
+    #[must_use]
+    pub fn reciprocal(self) -> f64 {
+        1.0 / self.value()
+    }
+
+    /// All named anchors, ascending.
+    #[must_use]
+    pub const fn all() -> [Judgment; 5] {
+        [
+            Judgment::Equal,
+            Judgment::Moderate,
+            Judgment::Strong,
+            Judgment::VeryStrong,
+            Judgment::Extreme,
+        ]
+    }
+}
+
+impl From<Judgment> for f64 {
+    fn from(j: Judgment) -> f64 {
+        j.value()
+    }
+}
+
+/// Returns `true` if `v` is an admissible judgement: strictly positive
+/// and finite. (We deliberately accept values outside `[1/9, 9]` so that
+/// sensitivity analyses can exaggerate judgements; [`on_saaty_scale`]
+/// checks the strict Saaty range.)
+#[must_use]
+pub fn is_admissible(v: f64) -> bool {
+    v.is_finite() && v > 0.0
+}
+
+/// Returns `true` if `v` lies on the strict Saaty scale `[1/9, 9]`.
+///
+/// ```
+/// use paydemand_ahp::scale::on_saaty_scale;
+/// assert!(on_saaty_scale(9.0));
+/// assert!(on_saaty_scale(1.0 / 9.0));
+/// assert!(!on_saaty_scale(9.5));
+/// ```
+#[must_use]
+pub fn on_saaty_scale(v: f64) -> bool {
+    is_admissible(v) && (1.0 / 9.0 - 1e-12..=9.0 + 1e-12).contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_values() {
+        assert_eq!(Judgment::Equal.value(), 1.0);
+        assert_eq!(Judgment::Moderate.value(), 3.0);
+        assert_eq!(Judgment::Strong.value(), 5.0);
+        assert_eq!(Judgment::VeryStrong.value(), 7.0);
+        assert_eq!(Judgment::Extreme.value(), 9.0);
+    }
+
+    #[test]
+    fn reciprocals_multiply_to_one() {
+        for j in Judgment::all() {
+            assert!((j.value() * j.reciprocal() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn anchors_are_sorted() {
+        let all = Judgment::all();
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].value() < w[1].value());
+        }
+    }
+
+    #[test]
+    fn admissibility() {
+        assert!(is_admissible(0.001));
+        assert!(is_admissible(1e6));
+        assert!(!is_admissible(0.0));
+        assert!(!is_admissible(-1.0));
+        assert!(!is_admissible(f64::NAN));
+        assert!(!is_admissible(f64::INFINITY));
+    }
+
+    #[test]
+    fn saaty_scale_bounds() {
+        assert!(on_saaty_scale(1.0));
+        assert!(on_saaty_scale(1.0 / 9.0));
+        assert!(on_saaty_scale(9.0));
+        assert!(!on_saaty_scale(0.1)); // 0.1 < 1/9
+        assert!(!on_saaty_scale(10.0));
+    }
+
+    #[test]
+    fn into_f64() {
+        let v: f64 = Judgment::Moderate.into();
+        assert_eq!(v, 3.0);
+    }
+}

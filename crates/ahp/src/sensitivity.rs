@@ -1,0 +1,206 @@
+//! Sensitivity analysis: how fragile are the derived weights to the
+//! expert's judgements?
+//!
+//! AHP judgements are subjective integers on a coarse scale, so a
+//! responsible deployment asks: *if the expert had said 4 instead of 3,
+//! would the ranking change?* This module perturbs each judgement over
+//! a multiplicative range and reports the weight excursions and whether
+//! the criteria *ranking* is stable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AhpError, PairwiseMatrix, WeightMethod};
+
+/// Result of perturbing one judgement entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntrySensitivity {
+    /// Row of the perturbed entry (upper triangle, `row < col`).
+    pub row: usize,
+    /// Column of the perturbed entry.
+    pub col: usize,
+    /// Weight vector at the lower end of the perturbation.
+    pub weights_low: Vec<f64>,
+    /// Weight vector at the upper end of the perturbation.
+    pub weights_high: Vec<f64>,
+    /// Largest absolute weight change any criterion sees across the
+    /// perturbation range.
+    pub max_weight_shift: f64,
+    /// Whether the weight-order ranking of criteria is identical at
+    /// both ends of the range.
+    pub ranking_stable: bool,
+}
+
+/// Full sensitivity report for a matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// Baseline weights.
+    pub baseline: Vec<f64>,
+    /// One record per upper-triangle judgement.
+    pub entries: Vec<EntrySensitivity>,
+}
+
+impl SensitivityReport {
+    /// Whether the criteria ranking survives every probed perturbation.
+    #[must_use]
+    pub fn ranking_stable(&self) -> bool {
+        self.entries.iter().all(|e| e.ranking_stable)
+    }
+
+    /// The largest weight excursion across all perturbations.
+    #[must_use]
+    pub fn max_weight_shift(&self) -> f64 {
+        self.entries.iter().map(|e| e.max_weight_shift).fold(0.0, f64::max)
+    }
+}
+
+/// Perturbs each upper-triangle judgement by the multiplicative
+/// `factor` (each `a_ij` is scaled to `a_ij/factor` and `a_ij·factor`,
+/// one entry at a time) and reports the effect on the weights.
+///
+/// # Errors
+///
+/// [`AhpError::InvalidJudgment`] if `factor` is not finite and `> 1`
+/// (reported at (0, 0)).
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_ahp::{sensitivity, PairwiseMatrix, WeightMethod};
+///
+/// let table_i = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])?;
+/// let report = sensitivity::analyze(&table_i, WeightMethod::RowAverage, 1.5)?;
+/// // Table I's deadline ≻ progress ≻ neighbours ranking survives ±50%
+/// // perturbation of any single judgement.
+/// assert!(report.ranking_stable());
+/// # Ok::<(), paydemand_ahp::AhpError>(())
+/// ```
+pub fn analyze(
+    matrix: &PairwiseMatrix,
+    method: WeightMethod,
+    factor: f64,
+) -> Result<SensitivityReport, AhpError> {
+    if !factor.is_finite() || factor <= 1.0 {
+        return Err(AhpError::InvalidJudgment { row: 0, col: 0, value: factor });
+    }
+    let n = matrix.order();
+    let baseline = matrix.weights(method);
+    let baseline_ranking = ranking(&baseline);
+    let mut entries = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let weights_low = perturbed_weights(matrix, i, j, 1.0 / factor, method)?;
+            let weights_high = perturbed_weights(matrix, i, j, factor, method)?;
+            let max_weight_shift = weights_low
+                .iter()
+                .chain(&weights_high)
+                .zip(baseline.iter().cycle())
+                .map(|(w, b)| (w - b).abs())
+                .fold(0.0, f64::max);
+            let ranking_stable = ranking(&weights_low) == baseline_ranking
+                && ranking(&weights_high) == baseline_ranking;
+            entries.push(EntrySensitivity {
+                row: i,
+                col: j,
+                weights_low,
+                weights_high,
+                max_weight_shift,
+                ranking_stable,
+            });
+        }
+    }
+    Ok(SensitivityReport { baseline, entries })
+}
+
+fn perturbed_weights(
+    matrix: &PairwiseMatrix,
+    row: usize,
+    col: usize,
+    scale: f64,
+    method: WeightMethod,
+) -> Result<Vec<f64>, AhpError> {
+    let n = matrix.order();
+    let mut upper = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut v = matrix.get(i, j);
+            if (i, j) == (row, col) {
+                v *= scale;
+            }
+            upper.push(v);
+        }
+    }
+    Ok(PairwiseMatrix::from_upper_triangle(n, &upper)?.weights(method))
+}
+
+/// Criteria indices sorted by descending weight (ties by index).
+fn ranking(weights: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..weights.len()).collect();
+    idx.sort_by(|&a, &b| {
+        weights[b].partial_cmp(&weights[a]).expect("finite weights").then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_i() -> PairwiseMatrix {
+        PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn table_i_ranking_is_robust() {
+        let report = analyze(&table_i(), WeightMethod::RowAverage, 1.5).unwrap();
+        assert_eq!(report.entries.len(), 3);
+        assert!(report.ranking_stable());
+        assert!(report.max_weight_shift() > 0.0);
+        assert!(report.max_weight_shift() < 0.15, "{}", report.max_weight_shift());
+        assert_eq!(ranking(&report.baseline), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn near_tie_ranking_is_fragile() {
+        // Criteria 2 and 3 nearly tied: a12=3, a13=3.2, a23=1.05.
+        let m = PairwiseMatrix::from_upper_triangle(3, &[3.0, 3.2, 1.05]).unwrap();
+        let report = analyze(&m, WeightMethod::RowAverage, 2.0).unwrap();
+        assert!(
+            !report.ranking_stable(),
+            "perturbing a23 by 2x must be able to flip a 1.05 preference"
+        );
+    }
+
+    #[test]
+    fn factor_validation() {
+        assert!(analyze(&table_i(), WeightMethod::RowAverage, 1.0).is_err());
+        assert!(analyze(&table_i(), WeightMethod::RowAverage, 0.5).is_err());
+        assert!(analyze(&table_i(), WeightMethod::RowAverage, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn perturbation_moves_the_right_direction() {
+        let report = analyze(&table_i(), WeightMethod::RowAverage, 2.0).unwrap();
+        // Raising a12 (deadline vs progress) raises w1 and lowers w2.
+        let e01 = report.entries.iter().find(|e| (e.row, e.col) == (0, 1)).unwrap();
+        assert!(e01.weights_high[0] > report.baseline[0]);
+        assert!(e01.weights_high[1] < report.baseline[1]);
+        assert!(e01.weights_low[0] < report.baseline[0]);
+    }
+
+    #[test]
+    fn all_weight_vectors_are_distributions() {
+        let report = analyze(&table_i(), WeightMethod::Eigenvector, 3.0).unwrap();
+        for e in &report.entries {
+            for w in [&e.weights_low, &e.weights_high] {
+                assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                assert!(w.iter().all(|&x| x > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_helper() {
+        assert_eq!(ranking(&[0.2, 0.5, 0.3]), vec![1, 2, 0]);
+        assert_eq!(ranking(&[0.5, 0.5]), vec![0, 1], "ties break by index");
+    }
+}

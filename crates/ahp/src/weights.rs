@@ -1,0 +1,230 @@
+//! Weight (priority-vector) extraction from a pairwise comparison matrix.
+//!
+//! The paper uses the *row averages of the column-normalised matrix*
+//! (its Eq. 6, [`WeightMethod::RowAverage`]). Two other standard
+//! prioritisation methods are provided for the ablation benches:
+//! the geometric mean of rows (logarithmic least squares) and the
+//! principal right eigenvector (Saaty's original proposal, computed by
+//! power iteration). For a perfectly consistent matrix all three agree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::PairwiseMatrix;
+
+/// Power-iteration convergence tolerance (L1 change of the normalised
+/// iterate between steps).
+const EIGEN_TOL: f64 = 1e-12;
+/// Power-iteration cap; comparison matrices are tiny and positive, so
+/// convergence is fast — this is a safety net, not a tuning knob.
+const EIGEN_MAX_ITER: usize = 10_000;
+
+/// A prioritisation method turning judgements into weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WeightMethod {
+    /// Row averages of the column-normalised matrix — the paper's Eq. 6.
+    #[default]
+    RowAverage,
+    /// Geometric mean of each row, normalised (logarithmic least squares).
+    GeometricMean,
+    /// Principal right eigenvector via power iteration (Saaty's method).
+    Eigenvector,
+}
+
+/// Extracts the weight vector for `matrix` with `method`.
+///
+/// The result has one entry per compared element, every entry is
+/// positive, and the entries sum to 1.
+#[must_use]
+pub fn extract(matrix: &PairwiseMatrix, method: WeightMethod) -> Vec<f64> {
+    match method {
+        WeightMethod::RowAverage => row_average(matrix),
+        WeightMethod::GeometricMean => geometric_mean(matrix),
+        WeightMethod::Eigenvector => eigenvector(matrix).0,
+    }
+}
+
+/// The paper's Eq. 6: normalise each column, then average each row.
+#[must_use]
+pub fn row_average(matrix: &PairwiseMatrix) -> Vec<f64> {
+    let n = matrix.order();
+    let normalized = matrix.normalized();
+    normalized.iter().map(|row| row.iter().sum::<f64>() / n as f64).collect()
+}
+
+/// Geometric mean of each row, normalised to sum 1.
+#[must_use]
+pub fn geometric_mean(matrix: &PairwiseMatrix) -> Vec<f64> {
+    let n = matrix.order();
+    let mut w: Vec<f64> = (0..n)
+        .map(|i| {
+            let log_sum: f64 = (0..n).map(|j| matrix.get(i, j).ln()).sum();
+            (log_sum / n as f64).exp()
+        })
+        .collect();
+    normalize_in_place(&mut w);
+    w
+}
+
+/// Principal right eigenvector by power iteration. Returns the
+/// normalised eigenvector and the dominant eigenvalue `λ_max` (which
+/// [`consistency`](crate::consistency) needs: `CI = (λ_max − n)/(n − 1)`).
+#[must_use]
+pub fn eigenvector(matrix: &PairwiseMatrix) -> (Vec<f64>, f64) {
+    let n = matrix.order();
+    let mut v = vec![1.0 / n as f64; n];
+    let mut lambda = n as f64;
+    for _ in 0..EIGEN_MAX_ITER {
+        let mut next = matrix.multiply(&v);
+        // λ estimate: ratio of the L1 norms (entries are positive).
+        let norm: f64 = next.iter().sum();
+        lambda = norm; // since v sums to 1, ||A v||_1 estimates λ_max
+        for x in &mut next {
+            *x /= norm;
+        }
+        let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+        v = next;
+        if delta < EIGEN_TOL {
+            break;
+        }
+    }
+    (v, lambda)
+}
+
+fn normalize_in_place(w: &mut [f64]) {
+    let s: f64 = w.iter().sum();
+    if s > 0.0 {
+        for x in w {
+            *x /= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table_i() -> PairwiseMatrix {
+        PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn paper_weight_vector_row_average() {
+        // Paper §IV-B: W = (0.648, 0.230, 0.122) from Table II.
+        let w = row_average(&table_i());
+        assert!((w[0] - 0.648).abs() < 1e-3, "w1 = {}", w[0]);
+        assert!((w[1] - 0.230).abs() < 1e-3, "w2 = {}", w[1]);
+        assert!((w[2] - 0.122).abs() < 1e-3, "w3 = {}", w[2]);
+    }
+
+    #[test]
+    fn weights_sum_to_one_each_method() {
+        for method in
+            [WeightMethod::RowAverage, WeightMethod::GeometricMean, WeightMethod::Eigenvector]
+        {
+            let w = extract(&table_i(), method);
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{method:?} sums to {s}");
+            assert!(w.iter().all(|&x| x > 0.0), "{method:?} has non-positive weight");
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_consistent_matrix() {
+        // Perfectly consistent matrix generated from w = (0.5, 0.3, 0.2):
+        // a_ij = w_i / w_j.
+        let w_true = [0.5, 0.3, 0.2];
+        let a = PairwiseMatrix::from_upper_triangle(
+            3,
+            &[w_true[0] / w_true[1], w_true[0] / w_true[2], w_true[1] / w_true[2]],
+        )
+        .unwrap();
+        assert!(a.is_transitive());
+        for method in
+            [WeightMethod::RowAverage, WeightMethod::GeometricMean, WeightMethod::Eigenvector]
+        {
+            let w = extract(&a, method);
+            for (got, want) in w.iter().zip(&w_true) {
+                assert!((got - want).abs() < 1e-9, "{method:?}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_of_consistent_matrix_is_order() {
+        let a = PairwiseMatrix::from_upper_triangle(3, &[2.0, 4.0, 2.0]).unwrap();
+        assert!(a.is_transitive());
+        let (_, lambda) = eigenvector(&a);
+        assert!((lambda - 3.0).abs() < 1e-9, "λ_max = {lambda}");
+    }
+
+    #[test]
+    fn eigenvalue_exceeds_order_for_inconsistent_matrix() {
+        // λ_max ≥ n always, with equality iff consistent (Saaty).
+        let (_, lambda) = eigenvector(&table_i());
+        assert!(lambda > 3.0, "λ_max = {lambda}");
+        assert!(lambda < 3.1, "Table I is only mildly inconsistent, λ_max = {lambda}");
+    }
+
+    #[test]
+    fn identity_gives_uniform_weights() {
+        let a = PairwiseMatrix::identity(4).unwrap();
+        for method in
+            [WeightMethod::RowAverage, WeightMethod::GeometricMean, WeightMethod::Eigenvector]
+        {
+            for w in extract(&a, method) {
+                assert!((w - 0.25).abs() < 1e-12, "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_one_matrix_gives_weight_one() {
+        let a = PairwiseMatrix::identity(1).unwrap();
+        assert_eq!(extract(&a, WeightMethod::RowAverage), vec![1.0]);
+        let (v, lambda) = eigenvector(&a);
+        assert_eq!(v, vec![1.0]);
+        assert!((lambda - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_method_is_row_average() {
+        assert_eq!(WeightMethod::default(), WeightMethod::RowAverage);
+    }
+
+    #[test]
+    fn stronger_judgement_means_larger_weight() {
+        // Monotonicity: raising a12 should raise w1 relative to w2.
+        let weak = PairwiseMatrix::from_upper_triangle(2, &[2.0]).unwrap();
+        let strong = PairwiseMatrix::from_upper_triangle(2, &[8.0]).unwrap();
+        let ww = row_average(&weak);
+        let ws = row_average(&strong);
+        assert!(ws[0] > ww[0]);
+        assert!(ws[1] < ww[1]);
+    }
+
+    fn arb_matrix(order: usize) -> impl Strategy<Value = PairwiseMatrix> {
+        proptest::collection::vec(0.12..9.0f64, order * (order - 1) / 2)
+            .prop_map(move |u| PairwiseMatrix::from_upper_triangle(order, &u).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn all_methods_produce_distributions(a in arb_matrix(4)) {
+            for method in [WeightMethod::RowAverage, WeightMethod::GeometricMean,
+                           WeightMethod::Eigenvector] {
+                let w = extract(&a, method);
+                prop_assert_eq!(w.len(), 4);
+                prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                prop_assert!(w.iter().all(|&x| x > 0.0 && x < 1.0));
+            }
+        }
+
+        #[test]
+        fn eigenvalue_at_least_order(a in arb_matrix(4)) {
+            let (_, lambda) = eigenvector(&a);
+            prop_assert!(lambda >= 4.0 - 1e-9, "λ_max = {} < n", lambda);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end cost of each figure-regeneration pipeline at smoke scale.
+//!
+//! One benchmark per paper figure; the *series themselves* are produced
+//! by `cargo run --release -p paydemand-bench --bin figures`. Keeping a
+//! criterion target per figure means `cargo bench` exercises every
+//! figure code path and tracks its cost over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use paydemand_sim::experiments::{self, FigureParams};
+
+fn smoke() -> FigureParams {
+    let mut p = FigureParams::smoke();
+    p.user_counts = vec![20];
+    p.reps = 1;
+    p
+}
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $figure:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let params = smoke();
+            c.bench_function(stringify!($figure), |b| {
+                b.iter(|| experiments::$figure(black_box(&params)).unwrap());
+            });
+        }
+    };
+}
+
+figure_bench!(bench_fig5a, fig5a);
+figure_bench!(bench_fig5b, fig5b);
+figure_bench!(bench_fig6a, fig6a);
+figure_bench!(bench_fig6b, fig6b);
+figure_bench!(bench_fig7a, fig7a);
+figure_bench!(bench_fig7b, fig7b);
+figure_bench!(bench_fig8a, fig8a);
+figure_bench!(bench_fig8b, fig8b);
+figure_bench!(bench_fig9a, fig9a);
+figure_bench!(bench_fig9b, fig9b);
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_fig5a, bench_fig5b, bench_fig6a, bench_fig6b, bench_fig7a, bench_fig7b, bench_fig8a, bench_fig8b, bench_fig9a, bench_fig9b
+}
+criterion_main!(benches);

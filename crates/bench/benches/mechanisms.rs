@@ -1,0 +1,97 @@
+//! Pricing-cost benchmarks: how long each incentive mechanism takes to
+//! reprice a round, and how AHP weight extraction scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use paydemand_ahp::{PairwiseMatrix, WeightMethod};
+use paydemand_core::incentive::{
+    FixedIncentive, IncentiveMechanism, OnDemandIncentive, SteeredIncentive,
+};
+use paydemand_core::{RoundContext, TaskId, TaskProgress};
+use paydemand_geo::Rect;
+use rand::{Rng, SeedableRng};
+
+fn round_context(m: usize, seed: u64) -> RoundContext {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let area = Rect::square(3000.0).unwrap();
+    let tasks: Vec<TaskProgress> = (0..m)
+        .map(|i| TaskProgress {
+            id: TaskId(i),
+            location: area.sample_uniform(&mut rng),
+            deadline: rng.gen_range(5..=15),
+            required: 20,
+            received: rng.gen_range(0..=20),
+            neighbors: rng.gen_range(0..=30),
+        })
+        .collect();
+    let max_neighbors = tasks.iter().map(|t| t.neighbors).max().unwrap_or(0);
+    RoundContext { round: 3, tasks, max_neighbors }
+}
+
+
+fn bench_mechanism_pricing(c: &mut Criterion) {
+    for m in [20usize, 200, 2000] {
+        let ctx = round_context(m, m as u64);
+        let mut group = c.benchmark_group(format!("pricing/{m}"));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+        // A fixed paper schedule (Eq. 9 would go infeasible at large m
+        // under the 1000 $ budget; pricing cost is what's measured here).
+        let mut on_demand = OnDemandIncentive::new(
+            paydemand_core::DemandIndicator::paper_default(),
+            paydemand_core::RewardSchedule::paper_default(),
+        );
+        group.bench_function("on-demand", |b| {
+            b.iter(|| on_demand.rewards(black_box(&ctx), &mut rng));
+        });
+
+        let mut fixed = FixedIncentive::paper_default();
+        group.bench_function("fixed", |b| {
+            b.iter(|| fixed.rewards(black_box(&ctx), &mut rng));
+        });
+
+        let mut steered = SteeredIncentive::budget_matched();
+        group.bench_function("steered", |b| {
+            b.iter(|| steered.rewards(black_box(&ctx), &mut rng));
+        });
+        group.finish();
+    }
+}
+
+fn bench_ahp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ahp");
+    for order in [3usize, 7, 15] {
+        // Consistent matrix from a weight ladder.
+        let w: Vec<f64> = (1..=order).map(|i| i as f64).collect();
+        let mut upper = Vec::new();
+        for i in 0..order {
+            for j in (i + 1)..order {
+                upper.push(w[i] / w[j]);
+            }
+        }
+        let matrix = PairwiseMatrix::from_upper_triangle(order, &upper).unwrap();
+        for method in
+            [WeightMethod::RowAverage, WeightMethod::GeometricMean, WeightMethod::Eigenvector]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), order),
+                &matrix,
+                |b, matrix| {
+                    b.iter(|| matrix.weights(black_box(method)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_mechanism_pricing, bench_ahp
+}
+criterion_main!(benches);

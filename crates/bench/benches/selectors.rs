@@ -1,0 +1,76 @@
+//! Solver micro-benchmarks: the empirical face of Theorems 2 and 3.
+//!
+//! * `dp/m` — the exact DP's exponential growth in the task count;
+//! * `dp_budget/meters` — how the travel budget prunes the DP;
+//! * `greedy/m`, `greedy2opt/m` — the polynomial heuristics at scales
+//!   the DP cannot touch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use paydemand_bench::{random_published_tasks, random_user};
+use paydemand_core::selection::{
+    DpSelector, GreedySelector, GreedyTwoOptSelector, SelectionProblem, TaskSelector,
+};
+use rand::SeedableRng;
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp");
+    for m in [6usize, 10, 14, 18] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(m as u64);
+        let tasks = random_published_tasks(m, &mut rng);
+        let user = random_user(&mut rng);
+        let problem = SelectionProblem::new(user, &tasks, 900.0, 2.0, 0.002).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &problem, |b, p| {
+            b.iter(|| DpSelector.select(black_box(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_budget_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_budget");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let tasks = random_published_tasks(16, &mut rng);
+    let user = random_user(&mut rng);
+    for time_budget in [300.0f64, 600.0, 1200.0, 2400.0] {
+        let problem = SelectionProblem::new(user, &tasks, time_budget, 2.0, 0.002).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}m", (time_budget * 2.0) as u64)),
+            &problem,
+            |b, p| {
+                b.iter(|| DpSelector.select(black_box(p)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    for (name, selector) in [
+        ("greedy", &GreedySelector as &dyn TaskSelector),
+        ("greedy2opt", &GreedyTwoOptSelector),
+    ] {
+        let mut group = c.benchmark_group(name);
+        for m in [20usize, 100, 400] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(m as u64);
+            let tasks = random_published_tasks(m, &mut rng);
+            let user = random_user(&mut rng);
+            let problem = SelectionProblem::new(user, &tasks, 900.0, 2.0, 0.002).unwrap();
+            group.bench_with_input(BenchmarkId::from_parameter(m), &problem, |b, p| {
+                b.iter(|| selector.select(black_box(p)).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_dp_scaling, bench_dp_budget_pruning, bench_heuristics
+}
+criterion_main!(benches);

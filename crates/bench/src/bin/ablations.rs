@@ -1,0 +1,211 @@
+//! Quality ablations over the design choices DESIGN.md calls out: what
+//! happens to the paper's metrics when each knob moves.
+//!
+//! ```sh
+//! cargo run --release -p paydemand-bench --bin ablations -- [reps]
+//! ```
+//!
+//! Axes:
+//! * demand-level count `N` (Table III granularity);
+//! * neighbour radius `R` (the paper never states it);
+//! * selector (dp vs greedy vs greedy+2opt);
+//! * travel model (euclidean vs manhattan vs street grids);
+//! * per-measurement sensing time (the paper assumes 0);
+//! * hybrid dynamism dial α (flat ... on-demand);
+//! * all selectors including branch-and-bound and insertion;
+//! * AHP criteria weights (Table I vs equal weights vs single-criterion).
+
+use paydemand_core::{DemandIndicator, DemandWeights};
+use paydemand_sim::stats::Summary;
+use paydemand_sim::{
+    engine, metrics, runner, MechanismKind, Scenario, SelectorKind, SimulationResult,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reps: usize =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(20);
+    let threads = std::thread::available_parallelism()?.get();
+
+    let base = Scenario::paper_default()
+        .with_users(100)
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_selector(SelectorKind::Dp { candidate_cap: Some(14) })
+        .with_seed(77);
+
+    let run_axis = |name: &str, scenarios: Vec<(String, Scenario)>| {
+        println!("\n## ablation: {name} ({reps} reps)");
+        println!(
+            "{:<26} {:>10} {:>14} {:>10} {:>14}",
+            "variant", "coverage%", "completeness%", "variance", "reward/meas $"
+        );
+        for (label, scenario) in scenarios {
+            let results = runner::run_repetitions_parallel(&scenario, reps, threads)
+                .expect("ablation scenario runs");
+            let row = summarize(&results);
+            println!(
+                "{label:<26} {:>10.1} {:>14.1} {:>10.1} {:>14.3}",
+                row.0, row.1, row.2, row.3
+            );
+        }
+    };
+
+    // Axis 1: demand-level count N. The increment λ is rescaled to
+    // 2/(N−1) so every variant prices over the same [0.5, 2.5] envelope
+    // (otherwise Eq. 9 makes large N infeasible under the same budget).
+    run_axis(
+        "demand levels N (λ = 2/(N−1))",
+        [2u32, 3, 5, 8, 12]
+            .into_iter()
+            .map(|n| {
+                (
+                    format!("N = {n}"),
+                    Scenario {
+                        demand_levels: n,
+                        reward_increment: 2.0 / f64::from(n - 1),
+                        ..base.clone()
+                    },
+                )
+            })
+            .collect(),
+    );
+
+    // Axis 2: neighbour radius R.
+    run_axis(
+        "neighbour radius R",
+        [250.0, 500.0, 1000.0, 2000.0, 3000.0]
+            .into_iter()
+            .map(|r| (format!("R = {r} m"), base.clone().with_neighbor_radius(r)))
+            .collect(),
+    );
+
+    // Axis 3: selector.
+    run_axis(
+        "selector",
+        vec![
+            ("dp (cap 14)".into(), base.clone()),
+            ("greedy".into(), base.clone().with_selector(SelectorKind::Greedy)),
+            ("greedy+2opt".into(), base.clone().with_selector(SelectorKind::GreedyTwoOpt)),
+        ],
+    );
+
+    // Axis 4: travel model (the paper walks straight lines; cities
+    // have streets).
+    run_axis(
+        "travel model",
+        vec![
+            ("euclidean (paper)".into(), base.clone()),
+            (
+                "manhattan".into(),
+                paydemand_sim::Scenario {
+                    travel: paydemand_sim::TravelModel::Manhattan,
+                    ..base.clone()
+                },
+            ),
+            (
+                "street grid 20x20".into(),
+                paydemand_sim::Scenario {
+                    travel: paydemand_sim::TravelModel::StreetGrid {
+                        cols: 20,
+                        rows: 20,
+                        closure: 0.0,
+                    },
+                    ..base.clone()
+                },
+            ),
+            (
+                "streets, 40% closed".into(),
+                paydemand_sim::Scenario {
+                    travel: paydemand_sim::TravelModel::StreetGrid {
+                        cols: 20,
+                        rows: 20,
+                        closure: 0.4,
+                    },
+                    ..base.clone()
+                },
+            ),
+        ],
+    );
+
+    // Axis 5: per-measurement sensing time (the paper assumes 0).
+    run_axis(
+        "sensing time per measurement",
+        [0.0, 60.0, 180.0, 300.0, 600.0]
+            .into_iter()
+            .map(|sec| {
+                (
+                    format!("{sec:.0} s"),
+                    Scenario { sensing_seconds: sec, ..base.clone() },
+                )
+            })
+            .collect(),
+    );
+
+    // Axis 6: hybrid dynamism dial α (library experiment).
+    let mut params = paydemand_sim::experiments::FigureParams::quick().with_reps(reps);
+    params.base = base.clone();
+    let alpha =
+        paydemand_sim::experiments::alpha_sweep(&params, &[0.0, 0.25, 0.5, 0.75, 1.0])?;
+    println!("\n{}", alpha.to_table());
+
+    // Axis 7: all selectors, exact and heuristic (library experiment).
+    let selectors = paydemand_sim::experiments::selector_quality(&params)?;
+    println!("{}", selectors.to_table());
+
+    // Axis 8: criteria weights (runs the indicator directly to show the
+    // demand ordering each weighting induces; the engine always uses
+    // Table I weights, so this axis reports indicator-level effects).
+    weight_sensitivity();
+
+    Ok(())
+}
+
+fn summarize(results: &[SimulationResult]) -> (f64, f64, f64, f64) {
+    let cov = Summary::of(&runner::collect_metric(results, |r| 100.0 * r.coverage())).mean;
+    let comp = Summary::of(&runner::collect_metric(results, |r| 100.0 * r.completeness())).mean;
+    let var = Summary::of(&runner::collect_metric(results, metrics::measurement_variance)).mean;
+    let rpm = Summary::of(&runner::collect_metric(
+        results,
+        metrics::average_reward_per_measurement,
+    ))
+    .mean;
+    (cov, comp, var, rpm)
+}
+
+/// How different weightings rank the same three archetypal tasks.
+fn weight_sensitivity() {
+    use paydemand_core::demand::TaskObservation;
+
+    println!("\n## ablation: criteria weights (demand of three archetypal tasks)");
+    let urgent = TaskObservation { deadline: 1, required: 20, received: 10, neighbors: 5 };
+    let stalled = TaskObservation { deadline: 10, required: 20, received: 1, neighbors: 5 };
+    let lonely = TaskObservation { deadline: 10, required: 20, received: 10, neighbors: 0 };
+
+    let weightings = [
+        ("Table I (paper)", DemandWeights::paper_example()),
+        ("equal thirds", DemandWeights::explicit(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0).unwrap()),
+        ("deadline only", DemandWeights::explicit(1.0, 0.0, 0.0).unwrap()),
+        ("progress only", DemandWeights::explicit(0.0, 1.0, 0.0).unwrap()),
+        ("neighbours only", DemandWeights::explicit(0.0, 0.0, 1.0).unwrap()),
+    ];
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        "weighting", "urgent", "stalled", "lonely"
+    );
+    for (label, weights) in weightings {
+        let ind = DemandIndicator::new(Default::default(), weights);
+        let d = |o: &TaskObservation| ind.normalized_demand(o, 5, 10);
+        println!(
+            "{label:<18} {:>12.3} {:>12.3} {:>12.3}",
+            d(&urgent),
+            d(&stalled),
+            d(&lonely)
+        );
+    }
+
+    // Sanity anchor for the table above.
+    let _ = engine::run(
+        &Scenario::paper_default().with_users(20).with_max_rounds(2).with_seed(1)
+            .with_selector(SelectorKind::Greedy),
+    )
+    .expect("anchor run");
+}

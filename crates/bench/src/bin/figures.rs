@@ -1,0 +1,225 @@
+//! Regenerates every table and figure of the paper's evaluation (§VI).
+//!
+//! ```sh
+//! # All figures at paper fidelity (dp selector, 100 repetitions):
+//! cargo run --release -p paydemand-bench --bin figures -- --scale paper all
+//!
+//! # Quick pass (greedy+2opt, 10 repetitions), selected figures:
+//! cargo run --release -p paydemand-bench --bin figures -- fig6a fig9b
+//!
+//! # Write CSVs next to the text tables:
+//! cargo run --release -p paydemand-bench --bin figures -- --out target/figures all
+//! ```
+//!
+//! Tables I–III are verified by unit tests (`paydemand-ahp`,
+//! `paydemand-core::levels`); this binary also prints them for
+//! completeness via the `tables` target.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use paydemand_sim::experiments::{self, FigureParams};
+use paydemand_sim::report::Figure;
+
+struct Cli {
+    scale: String,
+    reps: Option<usize>,
+    out: Option<PathBuf>,
+    report: Option<PathBuf>,
+    chart: bool,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut scale = "quick".to_string();
+    let mut reps = None;
+    let mut out = None;
+    let mut report = None;
+    let mut chart = false;
+    let mut targets = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args.next().ok_or("--scale needs a value (paper|quick|smoke)")?;
+            }
+            "--reps" => {
+                let v = args.next().ok_or("--reps needs a number")?;
+                reps = Some(v.parse().map_err(|e| format!("--reps: {e}"))?);
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().ok_or("--out needs a directory")?));
+            }
+            "--report" => {
+                report = Some(PathBuf::from(args.next().ok_or("--report needs a file path")?));
+            }
+            "--chart" => chart = true,
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Ok(Cli { scale, reps, out, report, chart, targets })
+}
+
+const USAGE: &str = "usage: figures [--scale paper|quick|smoke] [--reps N] [--out DIR] \
+[--report FILE.md] [--chart] \
+[tables fig5a fig5b fig6a fig6b fig7a fig7b fig8a fig8b fig9a fig9b rewards \
+map_rmse map_hit_rate | all]";
+
+const ALL_FIGURES: [&str; 13] = [
+    "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "fig9a", "fig9b",
+    "rewards", "map_rmse", "map_hit_rate",
+];
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut params = match cli.scale.as_str() {
+        "paper" => FigureParams::paper(),
+        "quick" => FigureParams::quick(),
+        "smoke" => FigureParams::smoke(),
+        other => {
+            eprintln!("unknown scale {other}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(reps) = cli.reps {
+        params = params.with_reps(reps);
+    }
+    println!(
+        "# scale={} reps={} selector={} users={:?}",
+        cli.scale,
+        params.reps,
+        params.base.selector.label(),
+        params.user_counts
+    );
+
+    let mut targets: Vec<String> = Vec::new();
+    for t in &cli.targets {
+        if t == "all" {
+            targets.push("tables".into());
+            targets.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+        } else {
+            targets.push(t.clone());
+        }
+    }
+
+    let mut collected: Vec<Figure> = Vec::new();
+    for target in targets {
+        let result: Result<Option<Figure>, paydemand_sim::SimError> = match target.as_str() {
+            "tables" => {
+                print_tables();
+                Ok(None)
+            }
+            "fig5a" => experiments::fig5a(&params).map(Some),
+            "fig5b" => experiments::fig5b(&params).map(Some),
+            "fig6a" => experiments::fig6a(&params).map(Some),
+            "fig6b" => experiments::fig6b(&params).map(Some),
+            "fig7a" => experiments::fig7a(&params).map(Some),
+            "fig7b" => experiments::fig7b(&params).map(Some),
+            "fig8a" => experiments::fig8a(&params).map(Some),
+            "fig8b" => experiments::fig8b(&params).map(Some),
+            "fig9a" => experiments::fig9a(&params).map(Some),
+            "fig9b" => experiments::fig9b(&params).map(Some),
+            "rewards" => experiments::reward_dynamics(&params).map(Some),
+            "map_rmse" => experiments::map_rmse(&params).map(Some),
+            "map_hit_rate" => experiments::map_hit_rate(&params, 1.0).map(Some),
+            other => {
+                eprintln!("unknown target {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result {
+            Ok(None) => {}
+            Ok(Some(figure)) => {
+                println!("{}", figure.to_table());
+                if cli.chart {
+                    println!("{}", figure.to_ascii_chart(60, 14));
+                }
+                if let Some(dir) = &cli.out {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                    let path = dir.join(format!("{}.csv", figure.id));
+                    if let Err(e) = figure.write_csv(&path) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("(wrote {})", path.display());
+                }
+                collected.push(figure);
+            }
+            Err(e) => {
+                eprintln!("{target} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &cli.report {
+        let report = paydemand_sim::report::Report {
+            title: "Pay On-demand reproduction — regenerated figures".into(),
+            preamble: format!(
+                "scale={} reps={} selector={} users={:?}",
+                cli.scale,
+                params.reps,
+                params.base.selector.label(),
+                params.user_counts
+            ),
+            figures: collected,
+        };
+        if let Err(e) = report.write_markdown(path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("(wrote {})", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints the paper's static tables (I–III) as produced by this code
+/// base; the corresponding unit tests pin them to the paper's values.
+fn print_tables() {
+    use paydemand_ahp::{PairwiseMatrix, WeightMethod};
+    use paydemand_core::{DemandLevels, RewardSchedule};
+
+    let table_i = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])
+        .expect("Table I is valid");
+    println!("# Table I — pairwise comparison matrix\n{table_i}");
+
+    println!("# Table II — normalized comparison matrix");
+    for row in table_i.normalized() {
+        for v in row {
+            print!("{v:>8.3}");
+        }
+        println!();
+    }
+    let w = table_i.weights(WeightMethod::RowAverage);
+    println!("weights (Eq. 6): ({:.3}, {:.3}, {:.3})\n", w[0], w[1], w[2]);
+
+    println!("# Table III — demand levels (N = 5) and Eq. 7 rewards");
+    let levels = DemandLevels::paper_default();
+    let schedule = RewardSchedule::paper_default();
+    println!("{:>12} {:>10} {:>12}", "demand", "level", "reward ($)");
+    for level in 1..=levels.count() {
+        let (lo, hi) = levels.interval_of(level);
+        println!(
+            "({lo:.1}, {hi:.1}] {level:>10} {:>12.2}",
+            schedule.reward_for_level(level)
+        );
+    }
+    println!();
+}

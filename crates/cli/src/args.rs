@@ -1,0 +1,304 @@
+//! Hand-rolled argument parsing (the approved dependency set has no
+//! CLI crate; the grammar is small enough that a table-driven parser
+//! stays readable).
+
+use paydemand_sim::{MechanismKind, Scenario, SelectorKind, TravelModel};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+paydemand — demand-based dynamic incentives for mobile crowdsensing (ICDCS'18)
+
+USAGE:
+    paydemand run     [OPTIONS]   run one configuration, print metrics
+    paydemand compare [OPTIONS]   run every mechanism on identical workloads
+    paydemand --help
+
+OPTIONS (both commands):
+    --preset NAME      paper | dense-downtown | sparse-rural |
+                       commuter-town | flaky-fleet (apply first; later
+                       flags override preset fields)
+    --users N          number of mobile users          [default: 100]
+    --tasks N          number of sensing tasks         [default: 20]
+    --rounds N         sensing rounds                  [default: 15]
+    --area METERS      square region side              [default: 3000]
+    --radius METERS    neighbour radius R              [default: 1000]
+    --budget DOLLARS   platform reward budget B        [default: 1000]
+    --selector NAME    dp | greedy | greedy2opt | insertion | branch-bound
+                                                       [default: dp]
+    --travel MODEL     euclidean | manhattan | streets:COLSxROWS:CLOSURE
+                                                       [default: euclidean]
+    --sensing-time S   seconds per measurement         [default: 0]
+    --dropout P        per-round user dropout rate     [default: 0]
+    --reps N           repetitions (averaged)          [default: 10]
+    --seed N           master seed                     [default: 24157]
+    --enforce-budget   refuse payments past the budget
+
+OPTIONS (run only):
+    --mechanism NAME   on-demand | fixed | steered | steered-paper |
+                       proportional | hybrid:ALPHA     [default: on-demand]
+";
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Run one mechanism.
+    Run(Options),
+    /// Run all paper mechanisms on the same workloads.
+    Compare(Options),
+}
+
+/// Options shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// The fully-configured scenario.
+    pub scenario: Scenario,
+    /// Repetitions to average over.
+    pub reps: usize,
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending flag.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let sub = match it.next() {
+        None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
+        Some(sub @ ("run" | "compare")) => sub,
+        Some(other) => return Err(format!("unknown command `{other}`")),
+    };
+
+    let mut scenario = Scenario::paper_default().with_seed(24157);
+    let mut reps = 10usize;
+
+    while let Some(flag) = it.next() {
+        match flag {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--enforce-budget" => scenario.enforce_budget = true,
+            "--preset" => {
+                let name = it.next().ok_or("--preset needs a name")?;
+                let seed = scenario.seed;
+                scenario = paydemand_sim::presets::by_name(name)
+                    .ok_or_else(|| {
+                        let names: Vec<&str> =
+                            paydemand_sim::presets::all().iter().map(|(n, _)| *n).collect();
+                        format!("unknown preset `{name}`; available: {names:?}")
+                    })?
+                    .with_seed(seed);
+            }
+            _ => {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--users" => scenario.users = parse_num(flag, value)?,
+                    "--tasks" => scenario.tasks = parse_num(flag, value)?,
+                    "--rounds" => scenario.max_rounds = parse_num(flag, value)?,
+                    "--area" => scenario.area_side = parse_num(flag, value)?,
+                    "--radius" => scenario.neighbor_radius = parse_num(flag, value)?,
+                    "--budget" => scenario.reward_budget = parse_num(flag, value)?,
+                    "--reps" => reps = parse_num(flag, value)?,
+                    "--seed" => scenario.seed = parse_num(flag, value)?,
+                    "--selector" => scenario.selector = parse_selector(value)?,
+                    "--travel" => scenario.travel = parse_travel(value)?,
+                    "--sensing-time" => scenario.sensing_seconds = parse_num(flag, value)?,
+                    "--dropout" => scenario.dropout_rate = parse_num(flag, value)?,
+                    "--mechanism" if sub == "run" => {
+                        scenario.mechanism = parse_mechanism(value)?;
+                    }
+                    other => return Err(format!("unknown flag `{other}` for `{sub}`")),
+                }
+            }
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    scenario.validate().map_err(|e| e.to_string())?;
+    let options = Options { scenario, reps };
+    Ok(match sub {
+        "run" => Command::Run(options),
+        _ => Command::Compare(options),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().map_err(|e| format!("{flag}: cannot parse `{value}`: {e}"))
+}
+
+fn parse_selector(value: &str) -> Result<SelectorKind, String> {
+    Ok(match value {
+        "dp" => SelectorKind::Dp { candidate_cap: Some(14) },
+        "dp-exact" => SelectorKind::exact_dp(),
+        "greedy" => SelectorKind::Greedy,
+        "greedy2opt" => SelectorKind::GreedyTwoOpt,
+        "insertion" => SelectorKind::Insertion,
+        "branch-bound" => SelectorKind::BranchBound,
+        other => return Err(format!("unknown selector `{other}`")),
+    })
+}
+
+fn parse_travel(value: &str) -> Result<TravelModel, String> {
+    if let Some(spec) = value.strip_prefix("streets:") {
+        // Format: COLSxROWS:CLOSURE, e.g. streets:20x20:0.3
+        let (dims, closure) =
+            spec.split_once(':').ok_or("streets needs COLSxROWS:CLOSURE")?;
+        let (cols, rows) = dims.split_once('x').ok_or("streets needs COLSxROWS")?;
+        return Ok(TravelModel::StreetGrid {
+            cols: cols.parse().map_err(|e| format!("street cols: {e}"))?,
+            rows: rows.parse().map_err(|e| format!("street rows: {e}"))?,
+            closure: closure.parse().map_err(|e| format!("street closure: {e}"))?,
+        });
+    }
+    Ok(match value {
+        "euclidean" => TravelModel::Euclidean,
+        "manhattan" => TravelModel::Manhattan,
+        other => return Err(format!("unknown travel model `{other}`")),
+    })
+}
+
+fn parse_mechanism(value: &str) -> Result<MechanismKind, String> {
+    if let Some(alpha) = value.strip_prefix("hybrid:") {
+        let alpha: f64 =
+            alpha.parse().map_err(|e| format!("hybrid alpha `{alpha}`: {e}"))?;
+        return Ok(MechanismKind::Hybrid { alpha });
+    }
+    Ok(match value {
+        "on-demand" => MechanismKind::OnDemand,
+        "fixed" => MechanismKind::Fixed,
+        "steered" => MechanismKind::Steered,
+        "steered-paper" => MechanismKind::SteeredPaperConstants,
+        "proportional" => MechanismKind::Proportional,
+        other => return Err(format!("unknown mechanism `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("run --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(opts) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.reps, 10);
+        assert_eq!(opts.scenario.users, 100);
+        assert_eq!(opts.scenario.mechanism, MechanismKind::OnDemand);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let Command::Run(opts) = parse(&argv(
+            "run --users 40 --tasks 10 --rounds 8 --area 2000 --radius 500 \
+             --budget 750 --selector greedy --reps 3 --seed 9 \
+             --mechanism hybrid:0.25 --enforce-budget",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.scenario.users, 40);
+        assert_eq!(opts.scenario.tasks, 10);
+        assert_eq!(opts.scenario.max_rounds, 8);
+        assert_eq!(opts.scenario.area_side, 2000.0);
+        assert_eq!(opts.scenario.neighbor_radius, 500.0);
+        assert_eq!(opts.scenario.reward_budget, 750.0);
+        assert_eq!(opts.scenario.selector, SelectorKind::Greedy);
+        assert_eq!(opts.reps, 3);
+        assert_eq!(opts.scenario.seed, 9);
+        assert_eq!(opts.scenario.mechanism, MechanismKind::Hybrid { alpha: 0.25 });
+        assert!(opts.scenario.enforce_budget);
+    }
+
+    #[test]
+    fn compare_rejects_mechanism_flag() {
+        let err = parse(&argv("compare --mechanism fixed")).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn all_selectors_and_mechanisms_parse() {
+        for s in ["dp", "dp-exact", "greedy", "greedy2opt", "insertion", "branch-bound"] {
+            assert!(parse_selector(s).is_ok(), "{s}");
+        }
+        for m in ["on-demand", "fixed", "steered", "steered-paper", "proportional"] {
+            assert!(parse_mechanism(m).is_ok(), "{m}");
+        }
+        assert_eq!(
+            parse_mechanism("hybrid:0.5").unwrap(),
+            MechanismKind::Hybrid { alpha: 0.5 }
+        );
+    }
+
+    #[test]
+    fn presets_parse_and_compose_with_overrides() {
+        let Command::Run(opts) =
+            parse(&argv("run --preset dense-downtown --users 33")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.scenario.area_side, 1500.0);
+        assert_eq!(opts.scenario.users, 33, "later flags override the preset");
+        let err = parse(&argv("run --preset atlantis")).unwrap_err();
+        assert!(err.contains("unknown preset"), "{err}");
+        assert!(err.contains("dense-downtown"), "error lists options: {err}");
+    }
+
+    #[test]
+    fn sensing_time_and_dropout_parse() {
+        let Command::Run(opts) =
+            parse(&argv("run --sensing-time 120 --dropout 0.25")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.scenario.sensing_seconds, 120.0);
+        assert_eq!(opts.scenario.dropout_rate, 0.25);
+        assert!(parse(&argv("run --dropout 1.5")).unwrap_err().contains("dropout"));
+        assert!(parse(&argv("run --sensing-time -3")).unwrap_err().contains("sensing"));
+    }
+
+    #[test]
+    fn travel_models_parse() {
+        assert_eq!(parse_travel("euclidean").unwrap(), TravelModel::Euclidean);
+        assert_eq!(parse_travel("manhattan").unwrap(), TravelModel::Manhattan);
+        assert_eq!(
+            parse_travel("streets:20x15:0.3").unwrap(),
+            TravelModel::StreetGrid { cols: 20, rows: 15, closure: 0.3 }
+        );
+        assert!(parse_travel("streets:20").is_err());
+        assert!(parse_travel("streets:20x15").is_err());
+        assert!(parse_travel("hyperloop").is_err());
+        // Invalid street parameters are caught by scenario validation.
+        let argv: Vec<String> =
+            "run --travel streets:1x5:0.3".split_whitespace().map(str::to_string).collect();
+        assert!(parse(&argv).unwrap_err().contains("travel"));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(parse(&argv("explode")).unwrap_err().contains("unknown command"));
+        assert!(parse(&argv("run --users")).unwrap_err().contains("needs a value"));
+        assert!(parse(&argv("run --users abc")).unwrap_err().contains("cannot parse"));
+        assert!(parse(&argv("run --selector magic")).unwrap_err().contains("unknown selector"));
+        assert!(parse(&argv("run --mechanism magic")).unwrap_err().contains("unknown mechanism"));
+        assert!(parse(&argv("run --reps 0")).unwrap_err().contains("at least 1"));
+        // Scenario-level validation also surfaces.
+        assert!(parse(&argv("run --users 0")).unwrap_err().contains("users"));
+        assert!(parse(&argv("run --mechanism hybrid:7")).unwrap_err().contains("alpha"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Command implementations: run the engine, aggregate, print.
+
+use paydemand_sim::stats::Summary;
+use paydemand_sim::{metrics, runner, MechanismKind, SimError, SimulationResult};
+
+use crate::args::Options;
+
+/// One metric row of the output table.
+struct MetricRow {
+    name: &'static str,
+    unit: &'static str,
+    extract: fn(&SimulationResult) -> f64,
+}
+
+const METRICS: &[MetricRow] = &[
+    MetricRow { name: "coverage", unit: "%", extract: |r| 100.0 * metrics::coverage(r) },
+    MetricRow {
+        name: "completeness",
+        unit: "%",
+        extract: |r| 100.0 * metrics::completeness(r),
+    },
+    MetricRow {
+        name: "on-time completion",
+        unit: "%",
+        extract: |r| 100.0 * metrics::on_time_completion_rate(r),
+    },
+    MetricRow {
+        name: "avg measurements",
+        unit: "",
+        extract: metrics::average_measurements,
+    },
+    MetricRow {
+        name: "variance",
+        unit: "",
+        extract: metrics::measurement_variance,
+    },
+    MetricRow {
+        name: "reward / measurement",
+        unit: "$",
+        extract: metrics::average_reward_per_measurement,
+    },
+    MetricRow { name: "total paid", unit: "$", extract: |r| r.total_paid },
+    MetricRow { name: "gini (balance)", unit: "", extract: metrics::measurement_gini },
+    MetricRow {
+        name: "map RMSE",
+        unit: "",
+        extract: |r| metrics::estimation_rmse(r).unwrap_or(f64::NAN),
+    },
+];
+
+/// `paydemand run`: one mechanism, metrics with 95% CIs.
+pub fn run(options: &Options) -> Result<(), SimError> {
+    let threads = default_threads();
+    println!(
+        "mechanism {} | selector {} | {} users | {} tasks | {} rounds | {} reps",
+        options.scenario.mechanism.label(),
+        options.scenario.selector.label(),
+        options.scenario.users,
+        options.scenario.tasks,
+        options.scenario.max_rounds,
+        options.reps,
+    );
+    let results = runner::run_repetitions_parallel(&options.scenario, options.reps, threads)?;
+    println!("{:-<52}", "");
+    for row in METRICS {
+        let summary = Summary::of(&runner::collect_metric(&results, row.extract));
+        println!(
+            "{:<26} {:>10.3} ±{:<8.3} {}",
+            row.name,
+            summary.mean,
+            summary.ci95_half_width(),
+            row.unit
+        );
+    }
+    Ok(())
+}
+
+/// `paydemand compare`: the three paper mechanisms side by side on
+/// identical workloads.
+pub fn compare(options: &Options) -> Result<(), SimError> {
+    let threads = default_threads();
+    println!(
+        "selector {} | {} users | {} tasks | {} rounds | {} reps",
+        options.scenario.selector.label(),
+        options.scenario.users,
+        options.scenario.tasks,
+        options.scenario.max_rounds,
+        options.reps,
+    );
+    let mut columns = Vec::new();
+    for mechanism in MechanismKind::paper_lineup() {
+        let scenario = options.scenario.clone().with_mechanism(mechanism);
+        let results = runner::run_repetitions_parallel(&scenario, options.reps, threads)?;
+        columns.push((mechanism.label(), results));
+    }
+    print!("{:<26}", "");
+    for (label, _) in &columns {
+        print!("{label:>16}");
+    }
+    println!();
+    println!("{:-<74}", "");
+    for row in METRICS {
+        print!("{:<26}", format!("{}{}", row.name, unit_suffix(row.unit)));
+        for (_, results) in &columns {
+            let summary = Summary::of(&runner::collect_metric(results, row.extract));
+            print!("{:>16.3}", summary.mean);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn unit_suffix(unit: &str) -> String {
+    if unit.is_empty() {
+        String::new()
+    } else {
+        format!(" ({unit})")
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{parse, Command};
+
+    fn options(cmd: &str) -> Options {
+        let argv: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
+        match parse(&argv).unwrap() {
+            Command::Run(o) | Command::Compare(o) => o,
+            Command::Help => panic!("expected a command"),
+        }
+    }
+
+    #[test]
+    fn run_executes_small_scenario() {
+        let opts =
+            options("run --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy");
+        run(&opts).unwrap();
+    }
+
+    #[test]
+    fn compare_executes_small_scenario() {
+        let opts =
+            options("compare --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy");
+        compare(&opts).unwrap();
+    }
+
+    #[test]
+    fn metric_table_is_complete() {
+        assert!(METRICS.len() >= 8);
+        let names: std::collections::HashSet<_> = METRICS.iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), METRICS.len(), "duplicate metric names");
+    }
+}

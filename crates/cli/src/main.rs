@@ -1,0 +1,38 @@
+//! `paydemand` — run crowdsensing incentive simulations from the shell.
+//!
+//! ```sh
+//! paydemand run --users 100 --mechanism on-demand --reps 20
+//! paydemand compare --users 80 --reps 20
+//! paydemand --help
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(args::Command::Help) => {
+            println!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(args::Command::Run(opts)) => run_or_report(commands::run(&opts)),
+        Ok(args::Command::Compare(opts)) => run_or_report(commands::compare(&opts)),
+        Err(msg) => {
+            eprintln!("{msg}\n\n{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_or_report(result: Result<(), paydemand_sim::SimError>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{TaskId, UserId};
+
+/// Errors produced by the crowdsensing domain model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A numeric parameter was out of its admissible range.
+    InvalidParameter {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A structural count (tasks, levels, measurements…) was invalid.
+    InvalidCount {
+        /// Human-readable counter name.
+        name: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// The reward budget cannot fund even the base reward (Eq. 9 yields
+    /// `r0 <= 0`); raise the budget `B` or lower `λ`/`N`.
+    BudgetTooSmall {
+        /// Base reward implied by Eq. 9.
+        r0: f64,
+    },
+    /// A submission referenced a task the platform does not know.
+    UnknownTask(TaskId),
+    /// A user tried to contribute twice to the same task, which the
+    /// paper forbids ("each mobile user contributes ... at most once").
+    DuplicateContribution {
+        /// The offending user.
+        user: UserId,
+        /// The task already contributed to.
+        task: TaskId,
+    },
+    /// A submission arrived for a task that is already complete.
+    TaskComplete(TaskId),
+    /// The platform's hard spend cap cannot cover the task's reward.
+    BudgetExhausted {
+        /// The task whose payment was refused.
+        task: TaskId,
+        /// Budget remaining at refusal time.
+        remaining: f64,
+    },
+    /// A submission arrived outside an open round.
+    RoundNotOpen,
+    /// The underlying routing solver failed.
+    Routing(paydemand_routing::RoutingError),
+    /// The underlying AHP computation failed.
+    Ahp(paydemand_ahp::AhpError),
+    /// The underlying geometry computation failed.
+    Geo(paydemand_geo::GeoError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} out of range: {value}")
+            }
+            CoreError::InvalidCount { name, value } => {
+                write!(f, "count {name} invalid: {value}")
+            }
+            CoreError::BudgetTooSmall { r0 } => {
+                write!(f, "reward budget too small: base reward would be {r0}")
+            }
+            CoreError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            CoreError::DuplicateContribution { user, task } => {
+                write!(f, "{user} already contributed to {task}")
+            }
+            CoreError::TaskComplete(id) => write!(f, "{id} already has all measurements"),
+            CoreError::BudgetExhausted { task, remaining } => {
+                write!(f, "cannot pay for {task}: only {remaining} budget remains")
+            }
+            CoreError::RoundNotOpen => write!(f, "no sensing round is open"),
+            CoreError::Routing(e) => write!(f, "routing: {e}"),
+            CoreError::Ahp(e) => write!(f, "ahp: {e}"),
+            CoreError::Geo(e) => write!(f, "geometry: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Routing(e) => Some(e),
+            CoreError::Ahp(e) => Some(e),
+            CoreError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<paydemand_routing::RoutingError> for CoreError {
+    fn from(e: paydemand_routing::RoutingError) -> Self {
+        CoreError::Routing(e)
+    }
+}
+
+impl From<paydemand_ahp::AhpError> for CoreError {
+    fn from(e: paydemand_ahp::AhpError) -> Self {
+        CoreError::Ahp(e)
+    }
+}
+
+impl From<paydemand_geo::GeoError> for CoreError {
+    fn from(e: paydemand_geo::GeoError) -> Self {
+        CoreError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sources_wired() {
+        let routing = CoreError::from(paydemand_routing::RoutingError::TooManyTasks {
+            got: 40,
+            max: 25,
+        });
+        assert!(routing.source().is_some());
+        let ahp = CoreError::from(paydemand_ahp::AhpError::Empty);
+        assert!(ahp.source().is_some());
+        let geo = CoreError::from(paydemand_geo::GeoError::NonFiniteCoordinate {
+            value: f64::NAN,
+        });
+        assert!(geo.source().is_some());
+        let variants = [
+            CoreError::InvalidParameter { name: "speed", value: -1.0 },
+            CoreError::InvalidCount { name: "levels", value: 0 },
+            CoreError::BudgetTooSmall { r0: -0.5 },
+            CoreError::UnknownTask(TaskId(3)),
+            CoreError::DuplicateContribution { user: UserId(1), task: TaskId(2) },
+            CoreError::TaskComplete(TaskId(0)),
+            CoreError::BudgetExhausted { task: TaskId(1), remaining: 0.25 },
+            CoreError::RoundNotOpen,
+            routing,
+            ahp,
+            geo,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a sensing task (`t_i` in the paper).
+///
+/// A transparent newtype over the task's index so that task and user
+/// identifiers cannot be confused in APIs.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::TaskId;
+/// let id = TaskId(3);
+/// assert_eq!(id.to_string(), "task t3");
+/// assert_eq!(usize::from(id), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task t{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(v: usize) -> Self {
+        TaskId(v)
+    }
+}
+
+impl From<TaskId> for usize {
+    fn from(id: TaskId) -> usize {
+        id.0
+    }
+}
+
+/// Identifier of a mobile user (`u_i` in the paper).
+///
+/// ```
+/// use paydemand_core::UserId;
+/// assert_eq!(UserId(7).to_string(), "user u7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub usize);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user u{}", self.0)
+    }
+}
+
+impl From<usize> for UserId {
+    fn from(v: usize) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<UserId> for usize {
+    fn from(id: UserId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(UserId(0) < UserId(10));
+        let set: HashSet<TaskId> = [TaskId(1), TaskId(1), TaskId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t: TaskId = 5usize.into();
+        assert_eq!(usize::from(t), 5);
+        let u: UserId = 9usize.into();
+        assert_eq!(usize::from(u), 9);
+    }
+
+    #[test]
+    fn distinct_display_prefixes() {
+        assert_ne!(TaskId(1).to_string(), UserId(1).to_string());
+    }
+}

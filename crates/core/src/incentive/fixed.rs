@@ -1,0 +1,149 @@
+use std::collections::HashMap;
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::incentive::IncentiveMechanism;
+use crate::{DemandLevels, RewardSchedule, RoundContext, TaskId};
+
+/// The fixed-incentive baseline (§VI): "randomly generates a demand
+/// level for each task as presented in Table III and uses the
+/// corresponding reward ... The reward of each task would not change in
+/// latter rounds."
+///
+/// The level is drawn uniformly from `1..=N` the first time a task is
+/// seen and cached forever after; the same [`RewardSchedule`] as the
+/// on-demand mechanism converts levels to prices, so the two baselines
+/// spend from the same budget envelope.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::incentive::FixedIncentive;
+/// use paydemand_core::RewardSchedule;
+///
+/// let mechanism = FixedIncentive::new(RewardSchedule::paper_default());
+/// # let _ = mechanism;
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedIncentive {
+    schedule: RewardSchedule,
+    assigned: HashMap<TaskId, u32>,
+}
+
+impl FixedIncentive {
+    /// Creates the baseline over a reward schedule.
+    #[must_use]
+    pub fn new(schedule: RewardSchedule) -> Self {
+        FixedIncentive { schedule, assigned: HashMap::new() }
+    }
+
+    /// The paper's evaluation configuration (same schedule as the
+    /// on-demand mechanism: `r0 = 0.5 $`, `λ = 0.5 $`, `N = 5`).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        FixedIncentive::new(RewardSchedule::paper_default())
+    }
+
+    /// The reward schedule in use.
+    #[must_use]
+    pub fn schedule(&self) -> &RewardSchedule {
+        &self.schedule
+    }
+
+    /// The level assigned to `task`, if it has been priced yet.
+    #[must_use]
+    pub fn assigned_level(&self, task: TaskId) -> Option<u32> {
+        self.assigned.get(&task).copied()
+    }
+
+    fn levels(&self) -> DemandLevels {
+        self.schedule.levels()
+    }
+}
+
+impl IncentiveMechanism for FixedIncentive {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn rewards(&mut self, ctx: &RoundContext, rng: &mut dyn RngCore) -> Vec<f64> {
+        let n = self.levels().count();
+        ctx.tasks
+            .iter()
+            .map(|t| {
+                let level =
+                    *self.assigned.entry(t.id).or_insert_with(|| rng.gen_range(1..=n));
+                self.schedule.reward_for_level(level)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incentive::tests::{ctx, snapshot};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rewards_never_change_across_rounds() {
+        let mut m = FixedIncentive::paper_default();
+        let mut r = rng(3);
+        let round1 = ctx(1, vec![snapshot(0, 10, 20, 0, 0), snapshot(1, 10, 20, 0, 5)]);
+        let first = m.rewards(&round1, &mut r);
+        // Radically different observations later: prices must not move.
+        let round9 = ctx(9, vec![snapshot(0, 10, 20, 19, 9), snapshot(1, 10, 20, 1, 0)]);
+        let later = m.rewards(&round9, &mut r);
+        assert_eq!(first, later);
+    }
+
+    #[test]
+    fn levels_are_within_range_and_cached() {
+        let mut m = FixedIncentive::paper_default();
+        let mut r = rng(4);
+        let c = ctx(1, (0..50).map(|i| snapshot(i, 10, 20, 0, 0)).collect());
+        let rewards = m.rewards(&c, &mut r);
+        for (t, reward) in c.tasks.iter().zip(&rewards) {
+            let level = m.assigned_level(t.id).expect("assigned on first pricing");
+            assert!((1..=5).contains(&level));
+            assert_eq!(*reward, m.schedule().reward_for_level(level));
+        }
+        // Unseen task has no level.
+        assert_eq!(m.assigned_level(TaskId(999)), None);
+    }
+
+    #[test]
+    fn draws_are_roughly_uniform() {
+        let mut m = FixedIncentive::paper_default();
+        let mut r = rng(5);
+        let c = ctx(1, (0..5000).map(|i| snapshot(i, 10, 20, 0, 0)).collect());
+        m.rewards(&c, &mut r);
+        let mut counts = [0usize; 5];
+        for i in 0..5000 {
+            counts[(m.assigned_level(TaskId(i)).unwrap() - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "level counts {counts:?} far from uniform");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_assignments() {
+        let c = ctx(1, (0..20).map(|i| snapshot(i, 10, 20, 0, 0)).collect());
+        let mut m1 = FixedIncentive::paper_default();
+        let mut m2 = FixedIncentive::paper_default();
+        let r1 = m1.rewards(&c, &mut rng(1));
+        let r2 = m2.rewards(&c, &mut rng(2));
+        assert_ne!(r1, r2, "20 tasks with two seeds colliding is vanishingly unlikely");
+    }
+
+    #[test]
+    fn name_is_fixed() {
+        assert_eq!(FixedIncentive::paper_default().name(), "fixed");
+    }
+}

@@ -1,0 +1,236 @@
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::demand::TaskObservation;
+use crate::incentive::IncentiveMechanism;
+use crate::{CoreError, DemandIndicator, RewardSchedule, RoundContext, TaskSpec};
+
+/// The paper's demand-based dynamic incentive mechanism (§IV).
+///
+/// Each round, every incomplete task's demand indicator is recomputed
+/// from its deadline pressure, completion progress and neighbouring-user
+/// scarcity (Eq. 2–5, AHP weights), normalised, bucketed into demand
+/// levels and priced by Eq. 7. Rewards therefore *rise* when a task is
+/// starved and *fall* when it is on track — the "pay on-demand"
+/// behaviour that balances task popularity.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::incentive::OnDemandIncentive;
+/// use paydemand_core::{TaskId, TaskSpec};
+/// use paydemand_geo::Point;
+///
+/// // 20 tasks × 20 measurements, as in the paper's evaluation.
+/// let specs: Vec<TaskSpec> = (0..20)
+///     .map(|i| TaskSpec::new(TaskId(i), Point::new(i as f64, 0.0), 15, 20))
+///     .collect::<Result<_, _>>()?;
+/// let mechanism = OnDemandIncentive::paper_default(&specs)?;
+/// assert_eq!(mechanism.schedule().base_reward(), 0.5); // Eq. 9
+/// # Ok::<(), paydemand_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnDemandIncentive {
+    indicator: DemandIndicator,
+    schedule: RewardSchedule,
+}
+
+impl OnDemandIncentive {
+    /// Creates the mechanism from a demand indicator and a reward
+    /// schedule.
+    #[must_use]
+    pub fn new(indicator: DemandIndicator, schedule: RewardSchedule) -> Self {
+        OnDemandIncentive { indicator, schedule }
+    }
+
+    /// The paper's evaluation configuration for the given task set:
+    /// Table I AHP weights, unit criteria scales, and Eq. 9 pricing with
+    /// `B = 1000 $`, `λ = 0.5 $`, `N = 5` against the tasks' total
+    /// required measurements.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetTooSmall`] if the tasks require so many
+    /// measurements that Eq. 9 yields a non-positive base reward.
+    pub fn paper_default(specs: &[TaskSpec]) -> Result<Self, CoreError> {
+        let total: u64 = specs.iter().map(|s| u64::from(s.required())).sum();
+        let schedule = RewardSchedule::from_budget(
+            1000.0,
+            total.max(1),
+            0.5,
+            crate::DemandLevels::paper_default(),
+        )?;
+        Ok(OnDemandIncentive { indicator: DemandIndicator::paper_default(), schedule })
+    }
+
+    /// The demand indicator in use.
+    #[must_use]
+    pub fn indicator(&self) -> &DemandIndicator {
+        &self.indicator
+    }
+
+    /// The reward schedule in use.
+    #[must_use]
+    pub fn schedule(&self) -> &RewardSchedule {
+        &self.schedule
+    }
+
+    /// The demand levels this mechanism would assign for `ctx` —
+    /// exposed so reports can show level trajectories, not just prices.
+    #[must_use]
+    pub fn levels_for(&self, ctx: &RoundContext) -> Vec<u32> {
+        self.normalized_demands(ctx)
+            .into_iter()
+            .map(|d| self.schedule.levels().level_of(d))
+            .collect()
+    }
+
+    fn normalized_demands(&self, ctx: &RoundContext) -> Vec<f64> {
+        ctx.tasks
+            .iter()
+            .map(|t| {
+                let obs = TaskObservation {
+                    deadline: t.deadline,
+                    required: t.required,
+                    received: t.received,
+                    neighbors: t.neighbors,
+                };
+                self.indicator.normalized_demand(&obs, ctx.round, ctx.max_neighbors)
+            })
+            .collect()
+    }
+}
+
+impl IncentiveMechanism for OnDemandIncentive {
+    fn name(&self) -> &'static str {
+        "on-demand"
+    }
+
+    fn rewards(&mut self, ctx: &RoundContext, _rng: &mut dyn RngCore) -> Vec<f64> {
+        self.normalized_demands(ctx)
+            .into_iter()
+            .map(|d| self.schedule.reward_for_demand(d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incentive::tests::{ctx, snapshot};
+    use crate::{DemandLevels, TaskId};
+    use paydemand_geo::Point;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    fn paper_mechanism() -> OnDemandIncentive {
+        let specs: Vec<TaskSpec> = (0..20)
+            .map(|i| {
+                TaskSpec::new(TaskId(i), Point::new(i as f64, 0.0), 15, 20).unwrap()
+            })
+            .collect();
+        OnDemandIncentive::paper_default(&specs).unwrap()
+    }
+
+    #[test]
+    fn paper_default_reproduces_r0() {
+        let m = paper_mechanism();
+        assert_eq!(m.schedule().base_reward(), 0.5);
+        assert_eq!(m.schedule().max_reward(), 2.5);
+        assert_eq!(m.name(), "on-demand");
+    }
+
+    #[test]
+    fn rewards_within_schedule_bounds() {
+        let mut m = paper_mechanism();
+        let c = ctx(
+            1,
+            vec![snapshot(0, 15, 20, 0, 0), snapshot(1, 5, 20, 10, 4), snapshot(2, 1, 20, 19, 9)],
+        );
+        let r = m.rewards(&c, &mut rng());
+        assert_eq!(r.len(), 3);
+        for &x in &r {
+            assert!((0.5..=2.5).contains(&x), "reward {x} outside schedule");
+        }
+    }
+
+    #[test]
+    fn starved_task_priced_above_healthy_task() {
+        let mut m = paper_mechanism();
+        // Task 0: near deadline, barely started, no users nearby.
+        // Task 1: far deadline, nearly done, many users nearby.
+        let c = ctx(5, vec![snapshot(0, 5, 20, 1, 0), snapshot(1, 15, 20, 18, 9)]);
+        let r = m.rewards(&c, &mut rng());
+        assert!(
+            r[0] > r[1],
+            "starved task must be priced higher: {} vs {}",
+            r[0],
+            r[1]
+        );
+    }
+
+    #[test]
+    fn rewards_rise_as_deadline_approaches() {
+        let mut m = paper_mechanism();
+        // Same untouched lonely task observed at successive rounds.
+        let reward_at = |m: &mut OnDemandIncentive, round| {
+            let c = ctx(round, vec![snapshot(0, 10, 20, 0, 0), snapshot(1, 10, 20, 0, 5)]);
+            m.rewards(&c, &mut rng())[0]
+        };
+        let early = reward_at(&mut m, 1);
+        let late = reward_at(&mut m, 10);
+        assert!(late >= early, "reward must not fall as deadline nears: {early} -> {late}");
+        assert!(late > early, "with the paper weights, deadline pressure must move the level");
+    }
+
+    #[test]
+    fn rewards_can_decrease_when_demand_drops() {
+        // The paper contrasts itself with steered: "it can increase when
+        // demand is high and also can decrease when the demand is small".
+        let mut m = paper_mechanism();
+        let hungry = ctx(1, vec![snapshot(0, 10, 20, 0, 0), snapshot(1, 10, 20, 0, 5)]);
+        let fed = ctx(2, vec![snapshot(0, 10, 20, 15, 5), snapshot(1, 10, 20, 0, 5)]);
+        let before = m.rewards(&hungry, &mut rng())[0];
+        let after = m.rewards(&fed, &mut rng())[0];
+        assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn levels_match_rewards() {
+        let mut m = paper_mechanism();
+        let c = ctx(3, vec![snapshot(0, 5, 20, 3, 1), snapshot(1, 12, 20, 15, 6)]);
+        let rewards = m.rewards(&c, &mut rng());
+        let levels = m.levels_for(&c);
+        for (r, l) in rewards.iter().zip(&levels) {
+            assert_eq!(*r, m.schedule().reward_for_level(*l));
+        }
+    }
+
+    #[test]
+    fn empty_round_prices_nothing() {
+        let mut m = paper_mechanism();
+        let c = ctx(1, vec![]);
+        assert!(m.rewards(&c, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn custom_schedule_is_respected() {
+        let schedule =
+            RewardSchedule::new(2.0, 1.0, DemandLevels::new(3).unwrap()).unwrap();
+        let mut m = OnDemandIncentive::new(DemandIndicator::paper_default(), schedule);
+        let c = ctx(1, vec![snapshot(0, 1, 20, 0, 0)]); // maximal demand
+        assert_eq!(m.rewards(&c, &mut rng()), vec![4.0]); // 2 + 1·(3−1)
+    }
+
+    #[test]
+    fn deterministic_given_context() {
+        let mut m = paper_mechanism();
+        let c = ctx(4, vec![snapshot(0, 9, 20, 7, 2), snapshot(1, 11, 20, 2, 8)]);
+        let a = m.rewards(&c, &mut rng());
+        let b = m.rewards(&c, &mut rand::rngs::StdRng::seed_from_u64(999));
+        assert_eq!(a, b, "on-demand pricing must ignore the RNG");
+    }
+}

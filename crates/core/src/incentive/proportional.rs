@@ -1,0 +1,137 @@
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::demand::TaskObservation;
+use crate::incentive::IncentiveMechanism;
+use crate::{DemandIndicator, RewardSchedule, RoundContext};
+
+/// Continuous demand-proportional pricing — an ablation of the paper's
+/// Table III discretisation.
+///
+/// Instead of bucketing the normalised demand into `N` levels (Eq. 7),
+/// the reward interpolates linearly over the same envelope:
+/// `r = r0 + (r_max − r0)·d̄`. Comparing this against
+/// [`OnDemandIncentive`](crate::incentive::OnDemandIncentive) isolates
+/// what the discrete levels contribute (answer per the ablation bench:
+/// very little — the levels are a presentation device, not load-bearing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProportionalIncentive {
+    indicator: DemandIndicator,
+    schedule: RewardSchedule,
+}
+
+impl ProportionalIncentive {
+    /// Creates the mechanism; the schedule supplies the `[r0, r_max]`
+    /// envelope (its level count is otherwise ignored).
+    #[must_use]
+    pub fn new(indicator: DemandIndicator, schedule: RewardSchedule) -> Self {
+        ProportionalIncentive { indicator, schedule }
+    }
+
+    /// The reward for a normalised demand `d̄ ∈ [0, 1]`.
+    #[must_use]
+    pub fn reward_for_demand(&self, normalized_demand: f64) -> f64 {
+        let d = normalized_demand.clamp(0.0, 1.0);
+        let r0 = self.schedule.base_reward();
+        r0 + (self.schedule.max_reward() - r0) * d
+    }
+
+    /// The reward schedule supplying the envelope.
+    #[must_use]
+    pub fn schedule(&self) -> &RewardSchedule {
+        &self.schedule
+    }
+}
+
+impl IncentiveMechanism for ProportionalIncentive {
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+
+    fn rewards(&mut self, ctx: &RoundContext, _rng: &mut dyn RngCore) -> Vec<f64> {
+        ctx.tasks
+            .iter()
+            .map(|t| {
+                let obs = TaskObservation {
+                    deadline: t.deadline,
+                    required: t.required,
+                    received: t.received,
+                    neighbors: t.neighbors,
+                };
+                let d = self.indicator.normalized_demand(&obs, ctx.round, ctx.max_neighbors);
+                self.reward_for_demand(d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incentive::tests::{ctx, snapshot};
+    use rand::SeedableRng;
+
+    fn mechanism() -> ProportionalIncentive {
+        ProportionalIncentive::new(
+            DemandIndicator::paper_default(),
+            RewardSchedule::paper_default(),
+        )
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn envelope_endpoints() {
+        let m = mechanism();
+        assert_eq!(m.reward_for_demand(0.0), 0.5);
+        assert_eq!(m.reward_for_demand(1.0), 2.5);
+        assert_eq!(m.reward_for_demand(0.5), 1.5);
+        // Clamping.
+        assert_eq!(m.reward_for_demand(-2.0), 0.5);
+        assert_eq!(m.reward_for_demand(9.0), 2.5);
+    }
+
+    #[test]
+    fn rewards_continuous_and_bounded() {
+        let mut m = mechanism();
+        let c = ctx(
+            3,
+            vec![snapshot(0, 5, 20, 3, 0), snapshot(1, 15, 20, 18, 7), snapshot(2, 8, 20, 9, 3)],
+        );
+        let r = m.rewards(&c, &mut rng());
+        assert_eq!(r.len(), 3);
+        for &x in &r {
+            assert!((0.5..=2.5).contains(&x));
+        }
+        // The starved task (0) earns strictly more than the healthy (1).
+        assert!(r[0] > r[1]);
+    }
+
+    #[test]
+    fn agrees_with_bucketed_within_one_level() {
+        // Proportional and bucketed pricing differ by at most one level
+        // step (λ = 0.5) for the same demand.
+        use crate::incentive::OnDemandIncentive;
+        let mut prop = mechanism();
+        let mut bucketed = OnDemandIncentive::new(
+            DemandIndicator::paper_default(),
+            RewardSchedule::paper_default(),
+        );
+        let c = ctx(
+            4,
+            (0..10).map(|i| snapshot(i, 5 + i as u32, 20, (i * 2) as u32, i)).collect(),
+        );
+        let rp = prop.rewards(&c, &mut rng());
+        let rb = bucketed.rewards(&c, &mut rng());
+        for (p, b) in rp.iter().zip(&rb) {
+            assert!((p - b).abs() <= 0.5 + 1e-12, "{p} vs {b}");
+        }
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(mechanism().name(), "proportional");
+    }
+}

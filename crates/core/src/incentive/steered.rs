@@ -1,0 +1,208 @@
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::incentive::IncentiveMechanism;
+use crate::{CoreError, RoundContext};
+
+/// The steered-crowdsensing baseline (Kawajiri et al., UbiComp'14; the
+/// paper's Eq. 13): `R^k_{t_i} = Rc + μ·ΔQ(x)` where
+/// `ΔQ(x) = Q(x+1) − Q(x)` is the expected quality improvement of the
+/// `(x+1)`-th measurement under the diminishing-returns quality model
+/// `Q(x) = 1 − (1−δ)^x`, so `ΔQ(x) = δ·(1−δ)^x`.
+///
+/// The reward is highest for an unmeasured task (`Rc + μδ`) and decays
+/// geometrically towards `Rc` — it can only fall, never rise, which is
+/// precisely the deficiency the on-demand mechanism fixes (§VI).
+///
+/// Two presets:
+/// * [`paper_constants`](Self::paper_constants) — the literal constants
+///   the paper quotes (`μ = 100`, `δ = 0.2`, `Rc = 5`; rewards in
+///   `[5, 25]`). These are 10× the on-demand schedule's scale and blow
+///   through the shared 1000 $ budget, so they are unsuitable for
+///   like-for-like comparison;
+/// * [`budget_matched`](Self::budget_matched) — the same mechanism
+///   scaled onto the on-demand range (`Rc = 0.5`, `μ = 10`, `δ = 0.2`;
+///   rewards in `[0.5, 2.5]`), which is the variant consistent with the
+///   reward axes of the paper's Figs. 8–9 and the one the figure
+///   harness uses (see EXPERIMENTS.md, "Assumptions").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteeredIncentive {
+    /// Base reward `Rc`.
+    rc: f64,
+    /// Quality-improvement scale `μ`.
+    mu: f64,
+    /// Per-measurement quality gain `δ`.
+    delta: f64,
+}
+
+impl SteeredIncentive {
+    /// Creates the mechanism with explicit constants.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if `rc` or `mu` is negative or
+    /// non-finite, or `delta` is outside `(0, 1)`.
+    pub fn new(rc: f64, mu: f64, delta: f64) -> Result<Self, CoreError> {
+        if !rc.is_finite() || rc < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "rc", value: rc });
+        }
+        if !mu.is_finite() || mu < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "mu", value: mu });
+        }
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(CoreError::InvalidParameter { name: "delta", value: delta });
+        }
+        Ok(SteeredIncentive { rc, mu, delta })
+    }
+
+    /// The constants the paper quotes for its experiments
+    /// (`μ = 100`, `δ = 0.2`, `Rc = 5`): rewards span `[5, 25]`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the constants are statically valid.
+    #[must_use]
+    pub fn paper_constants() -> Self {
+        SteeredIncentive::new(5.0, 100.0, 0.2).expect("paper constants are valid")
+    }
+
+    /// The budget-matched preset used by the figure harness:
+    /// `Rc = 0.5`, `μ = 10`, `δ = 0.2`, giving rewards in `[0.5, 2.5]` —
+    /// the same envelope as the on-demand/fixed schedules.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the constants are statically valid.
+    #[must_use]
+    pub fn budget_matched() -> Self {
+        SteeredIncentive::new(0.5, 10.0, 0.2).expect("budget-matched constants are valid")
+    }
+
+    /// The quality model `Q(x) = 1 − (1−δ)^x`.
+    #[must_use]
+    pub fn quality(&self, measurements: u32) -> f64 {
+        1.0 - (1.0 - self.delta).powi(measurements as i32)
+    }
+
+    /// `ΔQ(x) = Q(x+1) − Q(x) = δ·(1−δ)^x`.
+    #[must_use]
+    pub fn quality_improvement(&self, measurements: u32) -> f64 {
+        self.delta * (1.0 - self.delta).powi(measurements as i32)
+    }
+
+    /// Eq. 13: the reward offered once `measurements` have been received.
+    #[must_use]
+    pub fn reward_after(&self, measurements: u32) -> f64 {
+        self.rc + self.mu * self.quality_improvement(measurements)
+    }
+
+    /// The highest reward the mechanism ever offers (`Rc + μδ`, at
+    /// `x = 0`).
+    #[must_use]
+    pub fn max_reward(&self) -> f64 {
+        self.reward_after(0)
+    }
+
+    /// The reward floor `Rc` (approached as `x → ∞`).
+    #[must_use]
+    pub fn min_reward(&self) -> f64 {
+        self.rc
+    }
+}
+
+impl IncentiveMechanism for SteeredIncentive {
+    fn name(&self) -> &'static str {
+        "steered"
+    }
+
+    fn rewards(&mut self, ctx: &RoundContext, _rng: &mut dyn RngCore) -> Vec<f64> {
+        ctx.tasks.iter().map(|t| self.reward_after(t.received)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incentive::tests::{ctx, snapshot};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn paper_constants_span_5_to_25() {
+        let m = SteeredIncentive::paper_constants();
+        assert_eq!(m.max_reward(), 25.0);
+        assert_eq!(m.min_reward(), 5.0);
+        // "the reward of each task varies in [5, 25]"
+        for x in 0..100 {
+            let r = m.reward_after(x);
+            assert!((5.0..=25.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn budget_matched_spans_half_to_two_and_half() {
+        let m = SteeredIncentive::budget_matched();
+        assert_eq!(m.max_reward(), 2.5);
+        assert_eq!(m.min_reward(), 0.5);
+    }
+
+    #[test]
+    fn quality_model_shape() {
+        let m = SteeredIncentive::paper_constants();
+        assert_eq!(m.quality(0), 0.0);
+        assert!(m.quality(100) > 0.999);
+        // Monotone increasing, concave.
+        let q: Vec<f64> = (0..10).map(|x| m.quality(x)).collect();
+        for w in q.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        let gains: Vec<f64> = (0..10).map(|x| m.quality_improvement(x)).collect();
+        for w in gains.windows(2) {
+            assert!(w[1] < w[0], "diminishing returns");
+        }
+        // ΔQ really is the discrete difference of Q.
+        for x in 0..10u32 {
+            assert!((m.quality_improvement(x) - (m.quality(x + 1) - m.quality(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reward_only_decays_with_measurements() {
+        let mut m = SteeredIncentive::budget_matched();
+        let r0 = m.rewards(&ctx(1, vec![snapshot(0, 10, 20, 0, 3)]), &mut rng())[0];
+        let r5 = m.rewards(&ctx(3, vec![snapshot(0, 10, 20, 5, 3)]), &mut rng())[0];
+        let r15 = m.rewards(&ctx(7, vec![snapshot(0, 10, 20, 15, 3)]), &mut rng())[0];
+        assert!(r0 > r5 && r5 > r15);
+        // Deadline or neighbours do NOT move the price (the mechanism's
+        // blind spot the paper exploits).
+        let near_deadline = m.rewards(&ctx(9, vec![snapshot(0, 10, 20, 5, 0)]), &mut rng())[0];
+        assert_eq!(near_deadline, r5);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SteeredIncentive::new(-1.0, 10.0, 0.2).is_err());
+        assert!(SteeredIncentive::new(1.0, -1.0, 0.2).is_err());
+        assert!(SteeredIncentive::new(1.0, 1.0, 0.0).is_err());
+        assert!(SteeredIncentive::new(1.0, 1.0, 1.0).is_err());
+        assert!(SteeredIncentive::new(1.0, 1.0, f64::NAN).is_err());
+        assert!(SteeredIncentive::new(0.0, 0.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn name_is_steered() {
+        assert_eq!(SteeredIncentive::budget_matched().name(), "steered");
+    }
+
+    #[test]
+    fn prices_every_task_in_order() {
+        let mut m = SteeredIncentive::budget_matched();
+        let c = ctx(1, vec![snapshot(0, 10, 20, 0, 1), snapshot(1, 10, 20, 10, 2)]);
+        let r = m.rewards(&c, &mut rng());
+        assert_eq!(r.len(), 2);
+        assert!(r[0] > r[1]);
+    }
+}

@@ -1,0 +1,165 @@
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// Mapping of normalised demands `d̄ ∈ [0, 1]` into `N` discrete demand
+/// levels `1..=N` (paper §IV-C, Table III).
+///
+/// With `N = 5` (the paper's example and evaluation setting) the buckets
+/// are `[0, 0.2] → 1`, `(0.2, 0.4] → 2`, …, `(0.8, 1.0] → 5`: the lower
+/// edge of each bucket is exclusive except for the first.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::DemandLevels;
+///
+/// let levels = DemandLevels::new(5)?;
+/// assert_eq!(levels.level_of(0.0), 1);
+/// assert_eq!(levels.level_of(0.2), 1);   // Table III: [0, 0.2] is level 1
+/// assert_eq!(levels.level_of(0.2001), 2);
+/// assert_eq!(levels.level_of(1.0), 5);
+/// # Ok::<(), paydemand_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DemandLevels {
+    count: u32,
+}
+
+impl DemandLevels {
+    /// Creates a bucketing with `count` levels.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCount`] if `count == 0`.
+    pub fn new(count: u32) -> Result<Self, CoreError> {
+        if count == 0 {
+            return Err(CoreError::InvalidCount { name: "demand_levels", value: 0 });
+        }
+        Ok(DemandLevels { count })
+    }
+
+    /// The paper's `N = 5` bucketing (Table III).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        DemandLevels { count: 5 }
+    }
+
+    /// Number of levels `N`.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The demand level (`1..=N`) for a normalised demand. Inputs are
+    /// clamped into `[0, 1]` first.
+    #[must_use]
+    pub fn level_of(&self, normalized_demand: f64) -> u32 {
+        let d = if normalized_demand.is_nan() { 0.0 } else { normalized_demand.clamp(0.0, 1.0) };
+        // Buckets are ((l-1)/N, l/N] with [0, 1/N] for level 1.
+        let level = (d * f64::from(self.count)).ceil() as u32;
+        level.clamp(1, self.count)
+    }
+
+    /// The half-open interval `(lo, hi]` of normalised demand covered by
+    /// `level` (level 1's interval is the closed `[0, hi]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or greater than [`count`](Self::count).
+    #[must_use]
+    pub fn interval_of(&self, level: u32) -> (f64, f64) {
+        assert!((1..=self.count).contains(&level), "level out of range");
+        let n = f64::from(self.count);
+        (f64::from(level - 1) / n, f64::from(level) / n)
+    }
+}
+
+impl Default for DemandLevels {
+    fn default() -> Self {
+        DemandLevels::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_zero_levels() {
+        assert!(matches!(
+            DemandLevels::new(0),
+            Err(CoreError::InvalidCount { name: "demand_levels", value: 0 })
+        ));
+    }
+
+    #[test]
+    fn table_iii_boundaries() {
+        // The paper's example: "The demand level of a task is 2 if its
+        // normalized demand falls in (0.2, 0.4]".
+        let l = DemandLevels::paper_default();
+        assert_eq!(l.count(), 5);
+        assert_eq!(l.level_of(0.0), 1);
+        assert_eq!(l.level_of(0.1), 1);
+        assert_eq!(l.level_of(0.2), 1);
+        assert_eq!(l.level_of(0.3), 2);
+        assert_eq!(l.level_of(0.4), 2);
+        assert_eq!(l.level_of(0.6), 3);
+        assert_eq!(l.level_of(0.8), 4);
+        assert_eq!(l.level_of(0.800001), 5);
+        assert_eq!(l.level_of(1.0), 5);
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamp() {
+        let l = DemandLevels::paper_default();
+        assert_eq!(l.level_of(-3.0), 1);
+        assert_eq!(l.level_of(42.0), 5);
+        assert_eq!(l.level_of(f64::NAN), 1);
+    }
+
+    #[test]
+    fn single_level_maps_everything_to_one() {
+        let l = DemandLevels::new(1).unwrap();
+        for d in [0.0, 0.3, 0.999, 1.0] {
+            assert_eq!(l.level_of(d), 1);
+        }
+    }
+
+    #[test]
+    fn intervals_partition_unit_range() {
+        let l = DemandLevels::new(4).unwrap();
+        assert_eq!(l.interval_of(1), (0.0, 0.25));
+        assert_eq!(l.interval_of(4), (0.75, 1.0));
+        for level in 1..=4 {
+            let (lo, hi) = l.interval_of(level);
+            // Midpoint of each interval maps back to its level.
+            assert_eq!(l.level_of((lo + hi) / 2.0), level);
+            // Upper edge belongs to the level.
+            assert_eq!(l.level_of(hi), level);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn interval_of_rejects_zero() {
+        let _ = DemandLevels::paper_default().interval_of(0);
+    }
+
+    proptest! {
+        #[test]
+        fn level_always_in_range(d in -1.0..2.0f64, n in 1u32..20) {
+            let l = DemandLevels::new(n).unwrap();
+            let level = l.level_of(d);
+            prop_assert!((1..=n).contains(&level));
+        }
+
+        #[test]
+        fn level_is_monotone(a in 0.0..1.0f64, b in 0.0..1.0f64, n in 1u32..20) {
+            let l = DemandLevels::new(n).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(l.level_of(lo) <= l.level_of(hi));
+        }
+    }
+}

@@ -1,0 +1,584 @@
+use std::collections::HashSet;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use paydemand_geo::{GridIndex, Point, Rect};
+
+use crate::incentive::IncentiveMechanism;
+use crate::{CoreError, PublishedTask, TaskId, TaskSpec, UserId};
+
+/// One task's publicly observable state at a round boundary — the data
+/// the incentive mechanisms price from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskProgress {
+    /// The task's identifier.
+    pub id: TaskId,
+    /// Location `L_{t_i}`.
+    pub location: Point,
+    /// Deadline `τ_i` in rounds.
+    pub deadline: u32,
+    /// Required measurements `φ_i`.
+    pub required: u32,
+    /// Measurements received so far `π_i`.
+    pub received: u32,
+    /// Neighbouring users `N_i` (distance < R at round start).
+    pub neighbors: usize,
+}
+
+impl TaskProgress {
+    /// Completion progress `π_i / φ_i ∈ [0, 1]`.
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        (f64::from(self.received) / f64::from(self.required.max(1))).min(1.0)
+    }
+
+    /// Whether all required measurements have been received.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.received >= self.required
+    }
+}
+
+/// Everything an [`IncentiveMechanism`] may see when pricing a round:
+/// the (1-based) round number and a snapshot of every *incomplete* task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundContext {
+    /// The sensing round `k` being priced (1-based).
+    pub round: u32,
+    /// Snapshots of the incomplete tasks, in stable id order.
+    pub tasks: Vec<TaskProgress>,
+    /// `N_max`: the largest neighbour count among **all** tasks this
+    /// round (including complete ones, matching Eq. 5's definition over
+    /// all tasks).
+    pub max_neighbors: usize,
+}
+
+/// The crowdsensing platform: owns the task book, consults a pluggable
+/// [`IncentiveMechanism`] at every round boundary, collects submissions
+/// and accounts every payment against the reward budget.
+///
+/// The round protocol matches the paper's Fig. 1:
+/// 1. [`publish_round`](Platform::publish_round) — compute neighbour
+///    counts, let the mechanism set rewards, publish incomplete tasks;
+/// 2. users select and perform tasks;
+///    [`submit`](Platform::submit) records each measurement and pays
+///    the published reward;
+/// 3. [`finish_round`](Platform::finish_round) closes the round.
+#[derive(Debug)]
+pub struct Platform<M> {
+    mechanism: M,
+    specs: Vec<TaskSpec>,
+    received: Vec<u32>,
+    /// Round at which each task reached `φ_i` measurements, if ever.
+    completed_round: Vec<Option<u32>>,
+    contributors: Vec<HashSet<UserId>>,
+    /// Rewards currently published, per task (0 for unpublished tasks).
+    current_rewards: Vec<f64>,
+    /// Measurement counts per task per round, for round-resolved metrics.
+    round_receipts: Vec<Vec<u32>>,
+    area: Rect,
+    neighbor_radius: f64,
+    round: u32,
+    round_open: bool,
+    total_paid: f64,
+    /// Hard cap on total payments, if enforced.
+    spend_cap: Option<f64>,
+    /// Whether incomplete tasks stay published past their deadline.
+    publish_expired: bool,
+}
+
+impl<M: IncentiveMechanism> Platform<M> {
+    /// Creates a platform over `specs` using `mechanism` for pricing.
+    /// `neighbor_radius` is the paper's `R` (metres): users closer than
+    /// it to a task count as its neighbours.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidCount`] if `specs` is empty or task ids are
+    ///   not the dense sequence `0..m` (the platform indexes by id);
+    /// * [`CoreError::InvalidParameter`] for a non-positive radius.
+    pub fn new(
+        specs: Vec<TaskSpec>,
+        mechanism: M,
+        area: Rect,
+        neighbor_radius: f64,
+    ) -> Result<Self, CoreError> {
+        if specs.is_empty() {
+            return Err(CoreError::InvalidCount { name: "tasks", value: 0 });
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.id() != TaskId(i) {
+                return Err(CoreError::InvalidCount { name: "task_id", value: spec.id().0 });
+            }
+        }
+        if !neighbor_radius.is_finite() || neighbor_radius <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "neighbor_radius",
+                value: neighbor_radius,
+            });
+        }
+        let m = specs.len();
+        Ok(Platform {
+            mechanism,
+            specs,
+            received: vec![0; m],
+            completed_round: vec![None; m],
+            contributors: vec![HashSet::new(); m],
+            current_rewards: vec![0.0; m],
+            round_receipts: vec![Vec::new(); m],
+            area,
+            neighbor_radius,
+            round: 0,
+            round_open: false,
+            total_paid: 0.0,
+            spend_cap: None,
+            publish_expired: true,
+        })
+    }
+
+    /// Controls whether incomplete tasks stay published after their
+    /// deadline round. The default (`true`) matches the paper's
+    /// evaluation dynamics (its Figs. 6(b)/8(b) show measurements
+    /// accruing past the earliest deadlines); `false` is the strict
+    /// "deadline means withdrawn" reading.
+    pub fn set_publish_expired(&mut self, publish_expired: bool) {
+        self.publish_expired = publish_expired;
+    }
+
+    /// Enforces a hard cap on total payments (the paper's "total
+    /// rewards paid to mobile users cannot exceed B"). The Eq. 8/9
+    /// schedules satisfy this by construction, but mechanisms like the
+    /// literal-constant steered baseline do not; with a cap set, the
+    /// platform refuses submissions it cannot pay for
+    /// ([`CoreError::BudgetExhausted`]) and stops publishing tasks whose
+    /// reward exceeds the remaining budget.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a negative or non-finite cap.
+    pub fn set_spend_cap(&mut self, cap: f64) -> Result<(), CoreError> {
+        if !cap.is_finite() || cap < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "spend_cap", value: cap });
+        }
+        self.spend_cap = Some(cap);
+        Ok(())
+    }
+
+    /// Budget remaining under the cap (`+∞` when no cap is set).
+    #[must_use]
+    pub fn remaining_budget(&self) -> f64 {
+        self.spend_cap.map_or(f64::INFINITY, |cap| (cap - self.total_paid).max(0.0))
+    }
+
+    /// Opens the next sensing round: counts each task's neighbouring
+    /// users, asks the mechanism for this round's rewards, and returns
+    /// the published (incomplete) tasks.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::RoundNotOpen`] is **not** raised here; instead an
+    ///   already-open round is an error of the same kind (misuse of the
+    ///   protocol) and reported as such;
+    /// * [`CoreError::Geo`] if a user location lies outside the area.
+    pub fn publish_round(
+        &mut self,
+        user_locations: &[Point],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<PublishedTask>, CoreError> {
+        if self.round_open {
+            return Err(CoreError::RoundNotOpen);
+        }
+        // Build the index before touching any state so a bad location
+        // leaves the platform unchanged.
+        let index = GridIndex::build(self.area, self.neighbor_radius, user_locations)?;
+        self.round += 1;
+        self.round_open = true;
+        for receipts in &mut self.round_receipts {
+            receipts.push(0);
+        }
+
+        let neighbor_counts: Vec<usize> = self
+            .specs
+            .iter()
+            .map(|s| index.count_within(s.location(), self.neighbor_radius))
+            .collect();
+        let max_neighbors = neighbor_counts.iter().copied().max().unwrap_or(0);
+
+        let tasks: Vec<TaskProgress> = self
+            .specs
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                self.received[*i] < s.required()
+                    && (self.publish_expired || self.round <= s.deadline())
+            })
+            .map(|(i, s)| TaskProgress {
+                id: s.id(),
+                location: s.location(),
+                deadline: s.deadline(),
+                required: s.required(),
+                received: self.received[i],
+                neighbors: neighbor_counts[i],
+            })
+            .collect();
+
+        let ctx = RoundContext { round: self.round, tasks, max_neighbors };
+        let rewards = self.mechanism.rewards(&ctx, rng);
+        debug_assert_eq!(rewards.len(), ctx.tasks.len(), "mechanism must price every task");
+
+        self.current_rewards = vec![0.0; self.specs.len()];
+        let remaining = self.remaining_budget();
+        let mut published = Vec::with_capacity(ctx.tasks.len());
+        for (snapshot, reward) in ctx.tasks.iter().zip(rewards) {
+            // Under a hard cap, tasks the platform can no longer pay for
+            // even once are withheld from publication.
+            if reward > remaining {
+                continue;
+            }
+            self.current_rewards[snapshot.id.0] = reward;
+            published.push(PublishedTask {
+                id: snapshot.id,
+                location: snapshot.location,
+                reward,
+            });
+        }
+        Ok(published)
+    }
+
+    /// Records one measurement of `task` by `user` during the open
+    /// round, returning the reward paid.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::RoundNotOpen`] outside a round;
+    /// * [`CoreError::UnknownTask`] for an id the platform doesn't know;
+    /// * [`CoreError::TaskComplete`] if the task already has `φ_i`
+    ///   measurements (complete tasks are not published);
+    /// * [`CoreError::DuplicateContribution`] if `user` contributed to
+    ///   `task` before (the paper's once-per-user rule).
+    pub fn submit(&mut self, user: UserId, task: TaskId) -> Result<f64, CoreError> {
+        if !self.round_open {
+            return Err(CoreError::RoundNotOpen);
+        }
+        let i = task.0;
+        let spec = *self.specs.get(i).ok_or(CoreError::UnknownTask(task))?;
+        if self.received[i] >= spec.required() {
+            return Err(CoreError::TaskComplete(task));
+        }
+        let reward = self.current_rewards[i];
+        if reward > self.remaining_budget() {
+            return Err(CoreError::BudgetExhausted { task, remaining: self.remaining_budget() });
+        }
+        if !self.contributors[i].insert(user) {
+            return Err(CoreError::DuplicateContribution { user, task });
+        }
+        self.received[i] += 1;
+        *self.round_receipts[i].last_mut().expect("round receipts opened") += 1;
+        if self.received[i] >= spec.required() {
+            self.completed_round[i] = Some(self.round);
+        }
+        self.total_paid += reward;
+        Ok(reward)
+    }
+
+    /// Closes the open round.
+    pub fn finish_round(&mut self) {
+        self.round_open = false;
+    }
+
+    /// The current round number (0 before the first
+    /// [`publish_round`](Self::publish_round)).
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The task specifications, in id order.
+    #[must_use]
+    pub fn specs(&self) -> &[TaskSpec] {
+        &self.specs
+    }
+
+    /// Measurements received so far for `task`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for an unknown id.
+    pub fn received(&self, task: TaskId) -> Result<u32, CoreError> {
+        self.received.get(task.0).copied().ok_or(CoreError::UnknownTask(task))
+    }
+
+    /// Measurements received per round for `task` (index 0 = round 1).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for an unknown id.
+    pub fn round_receipts(&self, task: TaskId) -> Result<&[u32], CoreError> {
+        self.round_receipts
+            .get(task.0)
+            .map(Vec::as_slice)
+            .ok_or(CoreError::UnknownTask(task))
+    }
+
+    /// The round at which `task` reached `φ_i` measurements, if it has.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for an unknown id.
+    pub fn completed_round(&self, task: TaskId) -> Result<Option<u32>, CoreError> {
+        self.completed_round.get(task.0).copied().ok_or(CoreError::UnknownTask(task))
+    }
+
+    /// Whether every task has all its measurements.
+    #[must_use]
+    pub fn all_complete(&self) -> bool {
+        self.specs.iter().enumerate().all(|(i, s)| self.received[i] >= s.required())
+    }
+
+    /// Total rewards paid to users so far.
+    #[must_use]
+    pub fn total_paid(&self) -> f64 {
+        self.total_paid
+    }
+
+    /// Number of distinct users who contributed to `task`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownTask`] for an unknown id.
+    pub fn contributor_count(&self, task: TaskId) -> Result<usize, CoreError> {
+        self.contributors.get(task.0).map(HashSet::len).ok_or(CoreError::UnknownTask(task))
+    }
+
+    /// The mechanism, for inspection.
+    #[must_use]
+    pub fn mechanism(&self) -> &M {
+        &self.mechanism
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incentive::OnDemandIncentive;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    fn specs() -> Vec<TaskSpec> {
+        vec![
+            TaskSpec::new(TaskId(0), Point::new(100.0, 100.0), 5, 2).unwrap(),
+            TaskSpec::new(TaskId(1), Point::new(900.0, 900.0), 5, 2).unwrap(),
+        ]
+    }
+
+    fn platform() -> Platform<OnDemandIncentive> {
+        let s = specs();
+        let mech = OnDemandIncentive::paper_default(&s).unwrap();
+        Platform::new(s, mech, Rect::square(1000.0).unwrap(), 200.0).unwrap()
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let mech = OnDemandIncentive::paper_default(&specs()).unwrap();
+        let area = Rect::square(1000.0).unwrap();
+        assert!(matches!(
+            Platform::new(vec![], mech.clone(), area, 200.0),
+            Err(CoreError::InvalidCount { name: "tasks", .. })
+        ));
+        let sparse =
+            vec![TaskSpec::new(TaskId(3), Point::new(1.0, 1.0), 5, 2).unwrap()];
+        assert!(matches!(
+            Platform::new(sparse, mech.clone(), area, 200.0),
+            Err(CoreError::InvalidCount { name: "task_id", value: 3 })
+        ));
+        assert!(matches!(
+            Platform::new(specs(), mech, area, 0.0),
+            Err(CoreError::InvalidParameter { name: "neighbor_radius", .. })
+        ));
+    }
+
+    #[test]
+    fn round_protocol_happy_path() {
+        let mut p = platform();
+        let mut r = rng();
+        let users = vec![Point::new(110.0, 110.0)];
+        let published = p.publish_round(&users, &mut r).unwrap();
+        assert_eq!(published.len(), 2);
+        assert_eq!(p.round(), 1);
+        // Task 1 (far from the user) must be priced at least as high:
+        // same deadline/progress, fewer neighbours.
+        assert!(published[1].reward >= published[0].reward);
+
+        let paid = p.submit(UserId(0), TaskId(0)).unwrap();
+        assert_eq!(paid, published[0].reward);
+        assert_eq!(p.received(TaskId(0)).unwrap(), 1);
+        assert_eq!(p.total_paid(), paid);
+        p.finish_round();
+    }
+
+    #[test]
+    fn submit_outside_round_rejected() {
+        let mut p = platform();
+        assert!(matches!(p.submit(UserId(0), TaskId(0)), Err(CoreError::RoundNotOpen)));
+    }
+
+    #[test]
+    fn double_publish_rejected() {
+        let mut p = platform();
+        let mut r = rng();
+        p.publish_round(&[], &mut r).unwrap();
+        assert!(matches!(p.publish_round(&[], &mut r), Err(CoreError::RoundNotOpen)));
+    }
+
+    #[test]
+    fn duplicate_contribution_rejected() {
+        let mut p = platform();
+        let mut r = rng();
+        p.publish_round(&[], &mut r).unwrap();
+        p.submit(UserId(0), TaskId(0)).unwrap();
+        assert!(matches!(
+            p.submit(UserId(0), TaskId(0)),
+            Err(CoreError::DuplicateContribution { user: UserId(0), task: TaskId(0) })
+        ));
+        // A different user may still contribute.
+        assert!(p.submit(UserId(1), TaskId(0)).is_ok());
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let mut p = platform();
+        let mut r = rng();
+        p.publish_round(&[], &mut r).unwrap();
+        assert!(matches!(p.submit(UserId(0), TaskId(9)), Err(CoreError::UnknownTask(_))));
+        assert!(matches!(p.received(TaskId(9)), Err(CoreError::UnknownTask(_))));
+        assert!(matches!(p.completed_round(TaskId(9)), Err(CoreError::UnknownTask(_))));
+        assert!(matches!(p.contributor_count(TaskId(9)), Err(CoreError::UnknownTask(_))));
+        assert!(matches!(p.round_receipts(TaskId(9)), Err(CoreError::UnknownTask(_))));
+    }
+
+    #[test]
+    fn completion_recorded_and_complete_tasks_unpublished() {
+        let mut p = platform();
+        let mut r = rng();
+        p.publish_round(&[], &mut r).unwrap();
+        p.submit(UserId(0), TaskId(0)).unwrap();
+        p.submit(UserId(1), TaskId(0)).unwrap();
+        assert_eq!(p.completed_round(TaskId(0)).unwrap(), Some(1));
+        assert!(matches!(p.submit(UserId(2), TaskId(0)), Err(CoreError::TaskComplete(_))));
+        p.finish_round();
+        assert!(!p.all_complete());
+
+        let published = p.publish_round(&[], &mut r).unwrap();
+        assert_eq!(published.len(), 1, "complete task must not be republished");
+        assert_eq!(published[0].id, TaskId(1));
+        p.submit(UserId(0), TaskId(1)).unwrap();
+        p.submit(UserId(1), TaskId(1)).unwrap();
+        assert!(p.all_complete());
+        assert_eq!(p.completed_round(TaskId(1)).unwrap(), Some(2));
+        assert_eq!(p.contributor_count(TaskId(1)).unwrap(), 2);
+    }
+
+    #[test]
+    fn round_receipts_track_per_round_counts() {
+        let mut p = platform();
+        let mut r = rng();
+        p.publish_round(&[], &mut r).unwrap();
+        p.submit(UserId(0), TaskId(0)).unwrap();
+        p.finish_round();
+        p.publish_round(&[], &mut r).unwrap();
+        p.submit(UserId(1), TaskId(0)).unwrap();
+        p.finish_round();
+        assert_eq!(p.round_receipts(TaskId(0)).unwrap(), &[1, 1]);
+        assert_eq!(p.round_receipts(TaskId(1)).unwrap(), &[0, 0]);
+    }
+
+    #[test]
+    fn out_of_area_users_error() {
+        let mut p = platform();
+        let mut r = rng();
+        let err = p.publish_round(&[Point::new(-5.0, 0.0)], &mut r).unwrap_err();
+        assert!(matches!(err, CoreError::Geo(_)));
+    }
+
+    #[test]
+    fn spend_cap_refuses_unaffordable_submissions() {
+        let mut p = platform();
+        let mut r = rng();
+        // Rewards are in [0.5, 2.5]; a cap of 0.6 funds at most one
+        // cheap measurement.
+        p.set_spend_cap(0.6).unwrap();
+        assert_eq!(p.remaining_budget(), 0.6);
+        let published = p.publish_round(&[], &mut r).unwrap();
+        // Only tasks priced within the cap are published at all.
+        assert!(published.iter().all(|t| t.reward <= 0.6));
+        let mut paid = 0.0;
+        for t in &published {
+            match p.submit(UserId(0), t.id) {
+                Ok(x) => paid += x,
+                Err(CoreError::BudgetExhausted { .. }) => {}
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(paid <= 0.6 + 1e-12);
+        assert!(p.total_paid() <= 0.6 + 1e-12);
+    }
+
+    #[test]
+    fn spend_cap_validation_and_default() {
+        let mut p = platform();
+        assert_eq!(p.remaining_budget(), f64::INFINITY);
+        assert!(p.set_spend_cap(-1.0).is_err());
+        assert!(p.set_spend_cap(f64::NAN).is_err());
+        p.set_spend_cap(100.0).unwrap();
+        assert_eq!(p.remaining_budget(), 100.0);
+    }
+
+    #[test]
+    fn exhausted_platform_publishes_nothing() {
+        let mut p = platform();
+        let mut r = rng();
+        p.set_spend_cap(0.0).unwrap();
+        let published = p.publish_round(&[], &mut r).unwrap();
+        assert!(published.is_empty());
+    }
+
+    #[test]
+    fn expired_tasks_withdrawn_when_configured() {
+        // Task 0 has deadline 1; strict mode drops it from round 2.
+        let specs = vec![
+            TaskSpec::new(TaskId(0), Point::new(100.0, 100.0), 1, 2).unwrap(),
+            TaskSpec::new(TaskId(1), Point::new(900.0, 900.0), 9, 2).unwrap(),
+        ];
+        let mech = OnDemandIncentive::paper_default(&specs).unwrap();
+        let mut p =
+            Platform::new(specs, mech, Rect::square(1000.0).unwrap(), 200.0).unwrap();
+        p.set_publish_expired(false);
+        let mut r = rng();
+        assert_eq!(p.publish_round(&[], &mut r).unwrap().len(), 2);
+        p.finish_round();
+        let round2 = p.publish_round(&[], &mut r).unwrap();
+        assert_eq!(round2.len(), 1, "expired task must be withdrawn");
+        assert_eq!(round2[0].id, TaskId(1));
+    }
+
+    #[test]
+    fn task_progress_helpers() {
+        let tp = TaskProgress {
+            id: TaskId(0),
+            location: Point::ORIGIN,
+            deadline: 5,
+            required: 4,
+            received: 2,
+            neighbors: 3,
+        };
+        assert_eq!(tp.progress(), 0.5);
+        assert!(!tp.is_complete());
+        let done = TaskProgress { received: 4, ..tp };
+        assert!(done.is_complete());
+        assert_eq!(done.progress(), 1.0);
+    }
+}

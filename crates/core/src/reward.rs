@@ -1,0 +1,236 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, DemandLevels};
+
+/// The reward rule of §IV-C: `r^k_{t_i} = r0 + λ·(DL^k_{t_i} − 1)`
+/// (Eq. 7), with the base reward `r0` derived from the total budget so
+/// that even all-maximal rewards cannot exceed it (Eq. 8–9):
+///
+/// ```text
+/// r0 = B / Σφ_i − λ·(N − 1)
+/// ```
+///
+/// With the paper's evaluation constants — `B = 1000 $`, 20 tasks × 20
+/// measurements, `λ = 0.5 $`, `N = 5` — Eq. 9 gives `r0 = 0.5 $`,
+/// matching the value the paper states directly; the tests pin this.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::{DemandLevels, RewardSchedule};
+///
+/// let schedule = RewardSchedule::from_budget(1000.0, 400, 0.5, DemandLevels::new(5)?)?;
+/// assert_eq!(schedule.base_reward(), 0.5);
+/// assert_eq!(schedule.reward_for_level(1), 0.5);
+/// assert_eq!(schedule.reward_for_level(5), 2.5);
+/// # Ok::<(), paydemand_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardSchedule {
+    r0: f64,
+    lambda: f64,
+    levels: DemandLevels,
+}
+
+impl RewardSchedule {
+    /// Creates a schedule directly from `r0` and the per-level increment
+    /// `λ`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if `r0` is not positive/finite or
+    /// `λ` is negative/non-finite.
+    pub fn new(r0: f64, lambda: f64, levels: DemandLevels) -> Result<Self, CoreError> {
+        if !r0.is_finite() || r0 <= 0.0 {
+            return Err(CoreError::InvalidParameter { name: "r0", value: r0 });
+        }
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "lambda", value: lambda });
+        }
+        Ok(RewardSchedule { r0, lambda, levels })
+    }
+
+    /// Derives `r0` from the platform budget via Eq. 9.
+    /// `total_required` is `Σφ_i`, the total measurements across tasks.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for a non-positive/non-finite
+    ///   budget or negative/non-finite `λ`;
+    /// * [`CoreError::InvalidCount`] if `total_required == 0`;
+    /// * [`CoreError::BudgetTooSmall`] if Eq. 9 yields `r0 ≤ 0`.
+    pub fn from_budget(
+        budget: f64,
+        total_required: u64,
+        lambda: f64,
+        levels: DemandLevels,
+    ) -> Result<Self, CoreError> {
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(CoreError::InvalidParameter { name: "budget", value: budget });
+        }
+        if total_required == 0 {
+            return Err(CoreError::InvalidCount { name: "total_required", value: 0 });
+        }
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "lambda", value: lambda });
+        }
+        let r0 = budget / total_required as f64 - lambda * f64::from(levels.count() - 1);
+        if r0 <= 0.0 {
+            return Err(CoreError::BudgetTooSmall { r0 });
+        }
+        Ok(RewardSchedule { r0, lambda, levels })
+    }
+
+    /// The paper's evaluation schedule: `B = 1000 $`, `Σφ = 400`,
+    /// `λ = 0.5 $`, `N = 5` ⇒ `r0 = 0.5 $`, rewards `0.5 … 2.5 $`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the constants are statically valid.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RewardSchedule::from_budget(1000.0, 400, 0.5, DemandLevels::paper_default())
+            .expect("paper constants are valid")
+    }
+
+    /// Base reward `r0` (the level-1 reward).
+    #[must_use]
+    pub fn base_reward(&self) -> f64 {
+        self.r0
+    }
+
+    /// Per-level increment `λ`.
+    #[must_use]
+    pub fn increment(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The level bucketing `N`.
+    #[must_use]
+    pub fn levels(&self) -> DemandLevels {
+        self.levels
+    }
+
+    /// Eq. 7: the reward for a demand level. Levels are clamped into
+    /// `1..=N`.
+    #[must_use]
+    pub fn reward_for_level(&self, level: u32) -> f64 {
+        let level = level.clamp(1, self.levels.count());
+        self.r0 + self.lambda * f64::from(level - 1)
+    }
+
+    /// Convenience: bucket a normalised demand and price it in one step.
+    #[must_use]
+    pub fn reward_for_demand(&self, normalized_demand: f64) -> f64 {
+        self.reward_for_level(self.levels.level_of(normalized_demand))
+    }
+
+    /// The largest reward the schedule can pay
+    /// (`r0 + λ·(N−1)`, the Eq. 8 per-measurement bound).
+    #[must_use]
+    pub fn max_reward(&self) -> f64 {
+        self.reward_for_level(self.levels.count())
+    }
+}
+
+impl Default for RewardSchedule {
+    fn default() -> Self {
+        RewardSchedule::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_constants_give_half_dollar_base() {
+        let s = RewardSchedule::paper_default();
+        assert_eq!(s.base_reward(), 0.5);
+        assert_eq!(s.increment(), 0.5);
+        assert_eq!(s.levels().count(), 5);
+        // Eq. 7 over all five levels: 0.5, 1.0, 1.5, 2.0, 2.5.
+        for (level, expect) in (1..=5).zip([0.5, 1.0, 1.5, 2.0, 2.5]) {
+            assert_eq!(s.reward_for_level(level), expect);
+        }
+        assert_eq!(s.max_reward(), 2.5);
+    }
+
+    #[test]
+    fn eq8_budget_bound_holds() {
+        // Σφ_i · max_reward ≤ B for the derived schedule.
+        let s = RewardSchedule::from_budget(1000.0, 400, 0.5, DemandLevels::new(5).unwrap())
+            .unwrap();
+        assert!(400.0 * s.max_reward() <= 1000.0 + 1e-9);
+    }
+
+    #[test]
+    fn budget_too_small_is_reported() {
+        // B/Σφ = 1.0, λ(N−1) = 2.0 ⇒ r0 = −1.
+        let err = RewardSchedule::from_budget(400.0, 400, 0.5, DemandLevels::new(5).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetTooSmall { r0 } if (r0 + 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn validation_of_direct_constructor() {
+        let levels = DemandLevels::paper_default();
+        assert!(RewardSchedule::new(0.5, 0.5, levels).is_ok());
+        assert!(RewardSchedule::new(0.0, 0.5, levels).is_err());
+        assert!(RewardSchedule::new(-0.5, 0.5, levels).is_err());
+        assert!(RewardSchedule::new(0.5, -0.1, levels).is_err());
+        assert!(RewardSchedule::new(f64::NAN, 0.5, levels).is_err());
+        assert!(RewardSchedule::new(0.5, f64::INFINITY, levels).is_err());
+    }
+
+    #[test]
+    fn from_budget_validation() {
+        let levels = DemandLevels::paper_default();
+        assert!(RewardSchedule::from_budget(0.0, 400, 0.5, levels).is_err());
+        assert!(RewardSchedule::from_budget(1000.0, 0, 0.5, levels).is_err());
+        assert!(RewardSchedule::from_budget(1000.0, 400, f64::NAN, levels).is_err());
+    }
+
+    #[test]
+    fn level_clamping() {
+        let s = RewardSchedule::paper_default();
+        assert_eq!(s.reward_for_level(0), s.base_reward());
+        assert_eq!(s.reward_for_level(99), s.max_reward());
+    }
+
+    #[test]
+    fn reward_for_demand_composes_bucketing() {
+        let s = RewardSchedule::paper_default();
+        assert_eq!(s.reward_for_demand(0.0), 0.5);
+        assert_eq!(s.reward_for_demand(0.5), 1.5);
+        assert_eq!(s.reward_for_demand(1.0), 2.5);
+    }
+
+    #[test]
+    fn zero_lambda_means_flat_rewards() {
+        let s = RewardSchedule::new(1.0, 0.0, DemandLevels::paper_default()).unwrap();
+        for level in 1..=5 {
+            assert_eq!(s.reward_for_level(level), 1.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn rewards_monotone_in_level(
+            budget in 500.0..5000.0f64, lambda in 0.0..1.0f64, n in 1u32..10,
+        ) {
+            let levels = DemandLevels::new(n).unwrap();
+            if let Ok(s) = RewardSchedule::from_budget(budget, 400, lambda, levels) {
+                let mut last = 0.0;
+                for level in 1..=n {
+                    let r = s.reward_for_level(level);
+                    prop_assert!(r >= last);
+                    last = r;
+                }
+                // Eq. 8: the max payout cannot exceed the budget.
+                prop_assert!(400.0 * s.max_reward() <= budget + 1e-6);
+            }
+        }
+    }
+}

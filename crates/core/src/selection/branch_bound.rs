@@ -1,0 +1,95 @@
+use paydemand_routing::branch_bound;
+
+use crate::selection::{SelectionOutcome, SelectionProblem, TaskSelector};
+use crate::CoreError;
+
+/// Exact selection by branch and bound (extension).
+///
+/// Optimal like [`DpSelector`](crate::selection::DpSelector) but with
+/// no bitmask width cap — it can solve instances with arbitrarily many
+/// candidate tasks, as long as the travel budget keeps the search tree
+/// prunable. On adversarial inputs (huge budgets, many mutually
+/// reachable tasks) it degrades to factorial time; prefer the DP below
+/// its 25-task cap.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::selection::{BranchBoundSelector, SelectionProblem, TaskSelector};
+/// use paydemand_core::{PublishedTask, TaskId};
+/// use paydemand_geo::Point;
+///
+/// let tasks = vec![PublishedTask {
+///     id: TaskId(0),
+///     location: Point::new(100.0, 0.0),
+///     reward: 2.0,
+/// }];
+/// let problem = SelectionProblem::new(Point::ORIGIN, &tasks, 500.0, 2.0, 0.002)?;
+/// let outcome = BranchBoundSelector.select(&problem)?;
+/// assert_eq!(outcome.tasks(), &[TaskId(0)]);
+/// # Ok::<(), paydemand_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchBoundSelector;
+
+impl TaskSelector for BranchBoundSelector {
+    fn name(&self) -> &'static str {
+        "branch-bound"
+    }
+
+    fn select(&self, problem: &SelectionProblem) -> Result<SelectionOutcome, CoreError> {
+        let parts = problem.instance()?;
+        let instance = parts.build(problem)?;
+        Ok(problem.outcome_from(branch_bound::solve_branch_bound(&instance)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::tests::published;
+    use crate::selection::DpSelector;
+    use paydemand_geo::Point;
+    use proptest::prelude::*;
+
+    #[test]
+    fn name_and_empty() {
+        assert_eq!(BranchBoundSelector.name(), "branch-bound");
+        let p = SelectionProblem::new(Point::ORIGIN, &[], 100.0, 2.0, 0.002).unwrap();
+        assert!(BranchBoundSelector.select(&p).unwrap().tasks().is_empty());
+    }
+
+    #[test]
+    fn handles_more_tasks_than_the_dp_cap() {
+        let tasks: Vec<_> = (0..40)
+            .map(|i| published(i, (i % 8) as f64 * 150.0, (i / 8) as f64 * 150.0, 1.0))
+            .collect();
+        let p = SelectionProblem::new(Point::ORIGIN, &tasks, 400.0, 2.0, 0.002).unwrap();
+        assert!(DpSelector.select(&p).is_err(), "dp should refuse 40 tasks");
+        let o = BranchBoundSelector.select(&p).unwrap();
+        assert!(o.distance() <= p.distance_budget() + 1e-9);
+        assert!(o.profit() >= 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn matches_dp_profit(
+            coords in proptest::collection::vec((0.0..1500.0f64, 0.0..1500.0f64), 0..7),
+            rewards in proptest::collection::vec(0.5..2.5f64, 7),
+            time_budget in 0.0..1200.0f64,
+        ) {
+            let tasks: Vec<_> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| published(i, x, y, rewards[i]))
+                .collect();
+            let p = SelectionProblem::new(
+                Point::new(750.0, 750.0), &tasks, time_budget, 2.0, 0.002,
+            ).unwrap();
+            let bb = BranchBoundSelector.select(&p).unwrap();
+            let dp = DpSelector.select(&p).unwrap();
+            prop_assert!((bb.profit() - dp.profit()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Distributed task selection: each user solves their own
+//! profit-maximisation problem (§V) against the round's published tasks.
+//!
+//! [`SelectionProblem`] captures one user's view — location, the
+//! published tasks they may still contribute to, and their travel
+//! economics. The [`TaskSelector`] trait is the strategy plug point:
+//!
+//! * [`DpSelector`] — the paper's optimal bitmask-DP algorithm;
+//! * [`GreedySelector`] — the paper's `O(m²)` greedy;
+//! * [`GreedyTwoOptSelector`] — greedy polished with 2-opt route
+//!   shortening (an extension for the ablation study);
+//! * [`InsertionSelector`] — profit-aware cheapest insertion (another
+//!   polynomial extension baseline);
+//! * [`BranchBoundSelector`] — exact branch and bound, no task-count
+//!   cap (extension).
+
+mod branch_bound;
+mod dp;
+mod greedy;
+mod insertion;
+
+pub use branch_bound::BranchBoundSelector;
+pub use dp::DpSelector;
+pub use greedy::{GreedySelector, GreedyTwoOptSelector};
+pub use insertion::InsertionSelector;
+
+use serde::{Deserialize, Serialize};
+
+use paydemand_geo::Point;
+use paydemand_routing::{orienteering, CostMatrix};
+
+use crate::{CoreError, PublishedTask, TaskId};
+
+/// One user's task-selection problem at one sensing round.
+#[derive(Debug, Clone)]
+pub struct SelectionProblem {
+    location: Point,
+    tasks: Vec<PublishedTask>,
+    costs: CostMatrix,
+    distance_budget: f64,
+    cost_per_meter: f64,
+    /// Per-task sensing time converted to distance-equivalent units.
+    service: Vec<f64>,
+}
+
+impl SelectionProblem {
+    /// Builds the problem. `tasks` should already be filtered to those
+    /// the user may still contribute to (incomplete, not yet contributed
+    /// by this user). `time_budget` is in seconds, `speed` in m/s.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for non-finite/negative budget,
+    /// non-positive speed, or negative/non-finite cost rate.
+    pub fn new(
+        location: Point,
+        tasks: &[PublishedTask],
+        time_budget: f64,
+        speed: f64,
+        cost_per_meter: f64,
+    ) -> Result<Self, CoreError> {
+        if !time_budget.is_finite() || time_budget < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "time_budget", value: time_budget });
+        }
+        if !speed.is_finite() || speed <= 0.0 {
+            return Err(CoreError::InvalidParameter { name: "speed", value: speed });
+        }
+        if !cost_per_meter.is_finite() || cost_per_meter < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "cost_per_meter",
+                value: cost_per_meter,
+            });
+        }
+        let locations: Vec<Point> = tasks.iter().map(|t| t.location).collect();
+        Ok(SelectionProblem {
+            location,
+            tasks: tasks.to_vec(),
+            costs: CostMatrix::from_points(location, &locations),
+            distance_budget: time_budget * speed,
+            cost_per_meter,
+            service: Vec::new(),
+        })
+    }
+
+    /// Attaches a uniform sensing time per task, in seconds — the
+    /// generalisation of Eq. 1 the paper's "the time for data sensing
+    /// ... is negligible" assumption sets to zero. Sensing time
+    /// consumes the time budget but costs no movement money.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a negative or non-finite
+    /// time.
+    pub fn with_sensing_seconds(
+        mut self,
+        seconds: f64,
+        speed: f64,
+    ) -> Result<Self, CoreError> {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "sensing_seconds", value: seconds });
+        }
+        self.service = vec![seconds * speed; self.tasks.len()];
+        Ok(self)
+    }
+
+    /// Builds the problem over an explicit travel-cost matrix (e.g. a
+    /// road-network matrix from
+    /// [`paydemand_geo::network::RoadNetwork::travel_matrix`]), instead
+    /// of straight-line distances.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new), plus [`CoreError::InvalidCount`] if
+    /// `costs` covers a different number of tasks than `tasks`.
+    pub fn with_costs(
+        location: Point,
+        tasks: &[PublishedTask],
+        costs: CostMatrix,
+        time_budget: f64,
+        speed: f64,
+        cost_per_meter: f64,
+    ) -> Result<Self, CoreError> {
+        let mut problem = SelectionProblem::new(location, tasks, time_budget, speed, cost_per_meter)?;
+        if costs.tasks() != tasks.len() {
+            return Err(CoreError::InvalidCount { name: "cost_matrix_tasks", value: costs.tasks() });
+        }
+        problem.costs = costs;
+        Ok(problem)
+    }
+
+    /// The per-task service loads (distance-equivalent; empty = none).
+    #[must_use]
+    pub fn service(&self) -> &[f64] {
+        &self.service
+    }
+
+    /// The user's location.
+    #[must_use]
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// The candidate tasks.
+    #[must_use]
+    pub fn tasks(&self) -> &[PublishedTask] {
+        &self.tasks
+    }
+
+    /// The travel budget in metres.
+    #[must_use]
+    pub fn distance_budget(&self) -> f64 {
+        self.distance_budget
+    }
+
+    /// The movement cost rate in currency per metre.
+    #[must_use]
+    pub fn cost_per_meter(&self) -> f64 {
+        self.cost_per_meter
+    }
+
+    /// The routing-layer instance for this problem.
+    pub(crate) fn instance(&self) -> Result<RoutingParts<'_>, CoreError> {
+        Ok(RoutingParts {
+            costs: &self.costs,
+            rewards: self.tasks.iter().map(|t| t.reward).collect(),
+        })
+    }
+
+    /// Maps a routing solution (local indices) back to task ids.
+    pub(crate) fn outcome_from(&self, solution: orienteering::Solution) -> SelectionOutcome {
+        SelectionOutcome {
+            tasks: solution.order.iter().map(|&j| self.tasks[j].id).collect(),
+            distance: solution.distance,
+            reward: solution.reward,
+            profit: solution.profit,
+            end_location: solution
+                .order
+                .last()
+                .map_or(self.location, |&j| self.tasks[j].location),
+        }
+    }
+}
+
+/// Borrowed pieces a selector needs from the problem.
+#[derive(Debug)]
+pub(crate) struct RoutingParts<'a> {
+    pub(crate) costs: &'a CostMatrix,
+    pub(crate) rewards: Vec<f64>,
+}
+
+impl RoutingParts<'_> {
+    /// Builds the routing-layer instance, carrying the problem's budget,
+    /// cost rate and service loads.
+    pub(crate) fn build(
+        &self,
+        problem: &SelectionProblem,
+    ) -> Result<orienteering::Instance<'_>, CoreError> {
+        let instance = orienteering::Instance::new(
+            self.costs,
+            &self.rewards,
+            problem.distance_budget(),
+            problem.cost_per_meter(),
+        )?;
+        if problem.service().is_empty() {
+            Ok(instance)
+        } else {
+            Ok(instance.with_service(problem.service().to_vec())?)
+        }
+    }
+}
+
+/// A selector's decision: which tasks to perform (in visiting order) and
+/// the resulting economics for the user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionOutcome {
+    tasks: Vec<TaskId>,
+    distance: f64,
+    reward: f64,
+    profit: f64,
+    end_location: Point,
+}
+
+impl SelectionOutcome {
+    /// The do-nothing outcome at `location`.
+    #[must_use]
+    pub fn stay_home(location: Point) -> Self {
+        SelectionOutcome {
+            tasks: Vec::new(),
+            distance: 0.0,
+            reward: 0.0,
+            profit: 0.0,
+            end_location: location,
+        }
+    }
+
+    /// Visit order, as task ids.
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Total travel distance in metres.
+    #[must_use]
+    pub fn distance(&self) -> f64 {
+        self.distance
+    }
+
+    /// Total reward the user will collect.
+    #[must_use]
+    pub fn reward(&self) -> f64 {
+        self.reward
+    }
+
+    /// The user's profit `P(T^k_{u_i})` (Eq. 1).
+    #[must_use]
+    pub fn profit(&self) -> f64 {
+        self.profit
+    }
+
+    /// Where the user ends the round (the last visited task, or their
+    /// start if they stayed home).
+    #[must_use]
+    pub fn end_location(&self) -> Point {
+        self.end_location
+    }
+}
+
+/// A task-selection strategy.
+pub trait TaskSelector: std::fmt::Debug {
+    /// A short, stable name for reports (e.g. `"dp"`, `"greedy"`).
+    fn name(&self) -> &'static str;
+
+    /// Solves `problem`, returning the chosen tasks and economics.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface routing-layer failures (e.g. the DP's
+    /// task-count cap) as [`CoreError::Routing`].
+    fn select(&self, problem: &SelectionProblem) -> Result<SelectionOutcome, CoreError>;
+}
+
+impl<T: TaskSelector + ?Sized> TaskSelector for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn select(&self, problem: &SelectionProblem) -> Result<SelectionOutcome, CoreError> {
+        (**self).select(problem)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn published(id: usize, x: f64, y: f64, reward: f64) -> PublishedTask {
+        PublishedTask { id: TaskId(id), location: Point::new(x, y), reward }
+    }
+
+    #[test]
+    fn problem_validation() {
+        let tasks = [published(0, 1.0, 1.0, 1.0)];
+        assert!(SelectionProblem::new(Point::ORIGIN, &tasks, 100.0, 2.0, 0.002).is_ok());
+        assert!(SelectionProblem::new(Point::ORIGIN, &tasks, -1.0, 2.0, 0.002).is_err());
+        assert!(SelectionProblem::new(Point::ORIGIN, &tasks, 1.0, 0.0, 0.002).is_err());
+        assert!(SelectionProblem::new(Point::ORIGIN, &tasks, 1.0, 2.0, -0.002).is_err());
+    }
+
+    #[test]
+    fn distance_budget_is_time_times_speed() {
+        let p = SelectionProblem::new(Point::ORIGIN, &[], 500.0, 2.0, 0.002).unwrap();
+        assert_eq!(p.distance_budget(), 1000.0);
+        assert!(p.tasks().is_empty());
+        assert_eq!(p.location(), Point::ORIGIN);
+        assert_eq!(p.cost_per_meter(), 0.002);
+    }
+
+    #[test]
+    fn with_costs_overrides_travel() {
+        use crate::selection::GreedySelector;
+        // A Manhattan cost matrix makes the single task 20 m away
+        // instead of the Euclidean ~14.1 m.
+        let tasks = [published(0, 10.0, 10.0, 1.0)];
+        let manhattan = CostMatrix::from_fn(
+            vec![Point::ORIGIN.manhattan_distance(Point::new(10.0, 10.0))],
+            |_, _| 0.0,
+        );
+        let p = SelectionProblem::with_costs(
+            Point::ORIGIN, &tasks, manhattan, 100.0, 2.0, 0.002,
+        )
+        .unwrap();
+        let o = GreedySelector.select(&p).unwrap();
+        assert_eq!(o.distance(), 20.0);
+        // Mismatched matrix size is rejected.
+        let wrong = CostMatrix::from_fn(vec![1.0, 2.0], |_, _| 0.0);
+        assert!(matches!(
+            SelectionProblem::with_costs(Point::ORIGIN, &tasks, wrong, 100.0, 2.0, 0.002),
+            Err(CoreError::InvalidCount { name: "cost_matrix_tasks", .. })
+        ));
+    }
+
+    #[test]
+    fn stay_home_outcome() {
+        let o = SelectionOutcome::stay_home(Point::new(3.0, 4.0));
+        assert!(o.tasks().is_empty());
+        assert_eq!(o.profit(), 0.0);
+        assert_eq!(o.end_location(), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn boxed_selector_delegates() {
+        let boxed: Box<dyn TaskSelector> = Box::new(DpSelector);
+        assert_eq!(boxed.name(), "dp");
+        let p = SelectionProblem::new(Point::ORIGIN, &[], 100.0, 2.0, 0.002).unwrap();
+        assert!(boxed.select(&p).is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+use serde::{Deserialize, Serialize};
+
+use paydemand_geo::Point;
+
+use crate::{CoreError, TaskId};
+
+/// The immutable specification of a sensing task: where it is, when it
+/// must be done, and how many independent measurements it needs.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::{TaskId, TaskSpec};
+/// use paydemand_geo::Point;
+///
+/// let spec = TaskSpec::new(TaskId(0), Point::new(10.0, 20.0), 15, 20)?;
+/// assert_eq!(spec.deadline(), 15);
+/// assert_eq!(spec.required(), 20);
+/// # Ok::<(), paydemand_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    id: TaskId,
+    location: Point,
+    /// Deadline `τ_i`, in sensing rounds (1-based: a deadline of 5 means
+    /// the task should be complete by the end of round 5).
+    deadline: u32,
+    /// Required number of independent measurements `φ_i`.
+    required: u32,
+}
+
+impl TaskSpec {
+    /// Creates a task specification.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Geo`] if `location` has non-finite coordinates;
+    /// * [`CoreError::InvalidCount`] if `deadline` or `required` is 0.
+    pub fn new(
+        id: TaskId,
+        location: Point,
+        deadline: u32,
+        required: u32,
+    ) -> Result<Self, CoreError> {
+        Point::try_new(location.x, location.y)?;
+        if deadline == 0 {
+            return Err(CoreError::InvalidCount { name: "deadline", value: 0 });
+        }
+        if required == 0 {
+            return Err(CoreError::InvalidCount { name: "required", value: 0 });
+        }
+        Ok(TaskSpec { id, location, deadline, required })
+    }
+
+    /// The task's identifier.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The location `L_{t_i}` where the task must be performed.
+    #[must_use]
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// Deadline `τ_i` in rounds.
+    #[must_use]
+    pub fn deadline(&self) -> u32 {
+        self.deadline
+    }
+
+    /// Required measurement count `φ_i`.
+    #[must_use]
+    pub fn required(&self) -> u32 {
+        self.required
+    }
+}
+
+/// A task as published to users at one sensing round: its identity,
+/// location and the reward currently offered per measurement.
+///
+/// This is what a [`selection::SelectionProblem`] is built from; it only
+/// carries what a user may see (no platform internals).
+///
+/// [`selection::SelectionProblem`]: crate::selection::SelectionProblem
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PublishedTask {
+    /// The task's identifier.
+    pub id: TaskId,
+    /// Where the measurement must be taken.
+    pub location: Point,
+    /// The reward `r^k_{t_i}` currently offered for one measurement.
+    pub reward: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        let p = Point::new(1.0, 2.0);
+        assert!(TaskSpec::new(TaskId(0), p, 5, 20).is_ok());
+        assert!(matches!(
+            TaskSpec::new(TaskId(0), p, 0, 20),
+            Err(CoreError::InvalidCount { name: "deadline", .. })
+        ));
+        assert!(matches!(
+            TaskSpec::new(TaskId(0), p, 5, 0),
+            Err(CoreError::InvalidCount { name: "required", .. })
+        ));
+        assert!(matches!(
+            TaskSpec::new(TaskId(0), Point::new(f64::NAN, 0.0), 5, 1),
+            Err(CoreError::Geo(_))
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let spec = TaskSpec::new(TaskId(7), Point::new(3.0, 4.0), 12, 8).unwrap();
+        assert_eq!(spec.id(), TaskId(7));
+        assert_eq!(spec.location(), Point::new(3.0, 4.0));
+        assert_eq!(spec.deadline(), 12);
+        assert_eq!(spec.required(), 8);
+    }
+
+    #[test]
+    fn published_task_is_plain_data() {
+        let t = PublishedTask { id: TaskId(1), location: Point::ORIGIN, reward: 1.5 };
+        let copy = t;
+        assert_eq!(t, copy);
+    }
+}

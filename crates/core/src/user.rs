@@ -1,0 +1,156 @@
+use serde::{Deserialize, Serialize};
+
+use paydemand_geo::Point;
+
+use crate::{CoreError, UserId};
+
+/// A mobile user's profile: identity, current location and the economic
+/// parameters of their participation.
+///
+/// The paper gives every user a per-round *time* budget `B^k_{u_i}`, a
+/// walking speed (2 m/s in the evaluation) and a movement cost rate
+/// (0.002 $/m). [`distance_budget`](UserProfile::distance_budget)
+/// converts the time budget to the metres the routing solvers consume.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_core::{UserId, UserProfile};
+/// use paydemand_geo::Point;
+///
+/// let u = UserProfile::new(UserId(0), Point::ORIGIN, 1500.0, 2.0, 0.002)?;
+/// assert_eq!(u.distance_budget(), 3000.0);
+/// # Ok::<(), paydemand_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    id: UserId,
+    location: Point,
+    /// Per-round time budget in seconds.
+    time_budget: f64,
+    /// Walking speed in m/s.
+    speed: f64,
+    /// Movement cost in currency per metre.
+    cost_per_meter: f64,
+}
+
+impl UserProfile {
+    /// Creates a profile.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Geo`] for a non-finite location;
+    /// * [`CoreError::InvalidParameter`] for a negative or non-finite
+    ///   time budget / cost rate, or a non-positive speed.
+    pub fn new(
+        id: UserId,
+        location: Point,
+        time_budget: f64,
+        speed: f64,
+        cost_per_meter: f64,
+    ) -> Result<Self, CoreError> {
+        Point::try_new(location.x, location.y)?;
+        if !time_budget.is_finite() || time_budget < 0.0 {
+            return Err(CoreError::InvalidParameter { name: "time_budget", value: time_budget });
+        }
+        if !speed.is_finite() || speed <= 0.0 {
+            return Err(CoreError::InvalidParameter { name: "speed", value: speed });
+        }
+        if !cost_per_meter.is_finite() || cost_per_meter < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "cost_per_meter",
+                value: cost_per_meter,
+            });
+        }
+        Ok(UserProfile { id, location, time_budget, speed, cost_per_meter })
+    }
+
+    /// The user's identifier.
+    #[must_use]
+    pub fn id(&self) -> UserId {
+        self.id
+    }
+
+    /// The user's current (round-start) location.
+    #[must_use]
+    pub fn location(&self) -> Point {
+        self.location
+    }
+
+    /// Moves the user (e.g. after performing tasks or between rounds).
+    pub fn set_location(&mut self, location: Point) {
+        self.location = location;
+    }
+
+    /// Per-round time budget in seconds.
+    #[must_use]
+    pub fn time_budget(&self) -> f64 {
+        self.time_budget
+    }
+
+    /// Walking speed in m/s.
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Movement cost rate in currency per metre.
+    #[must_use]
+    pub fn cost_per_meter(&self) -> f64 {
+        self.cost_per_meter
+    }
+
+    /// The travel budget in metres: `time budget × speed`. This is what
+    /// the paper's constraint `Γ_{T^k_{u_i}} ≤ B^k_{u_i}` becomes once
+    /// travel time is expressed as distance at constant speed.
+    #[must_use]
+    pub fn distance_budget(&self) -> f64 {
+        self.time_budget * self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let p = Point::ORIGIN;
+        assert!(UserProfile::new(UserId(0), p, 100.0, 2.0, 0.002).is_ok());
+        assert!(matches!(
+            UserProfile::new(UserId(0), p, -1.0, 2.0, 0.002),
+            Err(CoreError::InvalidParameter { name: "time_budget", .. })
+        ));
+        assert!(matches!(
+            UserProfile::new(UserId(0), p, 1.0, 0.0, 0.002),
+            Err(CoreError::InvalidParameter { name: "speed", .. })
+        ));
+        assert!(matches!(
+            UserProfile::new(UserId(0), p, 1.0, 2.0, f64::NAN),
+            Err(CoreError::InvalidParameter { name: "cost_per_meter", .. })
+        ));
+        assert!(matches!(
+            UserProfile::new(UserId(0), Point::new(f64::INFINITY, 0.0), 1.0, 2.0, 0.0),
+            Err(CoreError::Geo(_))
+        ));
+    }
+
+    #[test]
+    fn distance_budget_converts_time() {
+        let u = UserProfile::new(UserId(1), Point::ORIGIN, 1000.0, 2.0, 0.002).unwrap();
+        assert_eq!(u.distance_budget(), 2000.0);
+    }
+
+    #[test]
+    fn set_location_moves_user() {
+        let mut u = UserProfile::new(UserId(1), Point::ORIGIN, 1000.0, 2.0, 0.002).unwrap();
+        u.set_location(Point::new(5.0, 5.0));
+        assert_eq!(u.location(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn zero_time_budget_is_legal_but_immobilising() {
+        let u = UserProfile::new(UserId(2), Point::ORIGIN, 0.0, 2.0, 0.002).unwrap();
+        assert_eq!(u.distance_budget(), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the geometry substrate.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::{GeoError, Point, Rect};
+///
+/// let err = Rect::new(Point::new(1.0, 1.0), Point::new(0.0, 0.0)).unwrap_err();
+/// assert!(matches!(err, GeoError::EmptyRect { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeoError {
+    /// A rectangle was constructed with `max` not strictly greater than
+    /// `min` on both axes.
+    EmptyRect {
+        /// Requested lower-left corner.
+        min: crate::Point,
+        /// Requested upper-right corner.
+        max: crate::Point,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// The offending value.
+        value: f64,
+    },
+    /// A grid index was asked for with a non-positive cell size.
+    InvalidCellSize {
+        /// The offending cell size.
+        cell: f64,
+    },
+    /// A point lies outside the area an index was built over.
+    OutOfBounds {
+        /// The offending point.
+        point: crate::Point,
+    },
+    /// A distance matrix lookup used an index past the matrix dimension.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of points in the matrix.
+        len: usize,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::EmptyRect { min, max } => {
+                write!(f, "rectangle min {min} must be strictly below max {max} on both axes")
+            }
+            GeoError::NonFiniteCoordinate { value } => {
+                write!(f, "coordinate must be finite, got {value}")
+            }
+            GeoError::InvalidCellSize { cell } => {
+                write!(f, "grid cell size must be positive and finite, got {cell}")
+            }
+            GeoError::OutOfBounds { point } => {
+                write!(f, "point {point} lies outside the indexed area")
+            }
+            GeoError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for matrix over {len} points")
+            }
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            GeoError::EmptyRect { min: Point::ORIGIN, max: Point::ORIGIN },
+            GeoError::NonFiniteCoordinate { value: f64::NAN },
+            GeoError::InvalidCellSize { cell: -1.0 },
+            GeoError::OutOfBounds { point: Point::ORIGIN },
+            GeoError::IndexOutOfRange { index: 3, len: 2 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

@@ -1,0 +1,260 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point, Rect};
+
+/// A uniform-grid spatial index over a fixed set of points.
+///
+/// The demand indicator's third criterion (Eq. 5 in the paper) needs, for
+/// every task, the number of users within radius `R`. A uniform grid with
+/// cell size close to `R` answers each such query by scanning only the
+/// cells overlapping the query disc — `O(points in nearby cells)` instead
+/// of `O(n)`.
+///
+/// The index is immutable after [`build`](GridIndex::build); rebuild it
+/// when users move (the simulator rebuilds once per sensing round, which
+/// is `O(n)`).
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::{GridIndex, Point, Rect};
+///
+/// let area = Rect::square(1000.0)?;
+/// let users = vec![Point::new(10.0, 10.0), Point::new(900.0, 900.0)];
+/// let idx = GridIndex::build(area, 100.0, &users)?;
+/// assert_eq!(idx.count_within(Point::new(0.0, 0.0), 50.0), 1);
+/// assert_eq!(idx.count_within(Point::new(500.0, 500.0), 2000.0), 2);
+/// # Ok::<(), paydemand_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridIndex {
+    area: Rect,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// `cells[r * cols + c]` holds indices into `points`.
+    cells: Vec<Vec<usize>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points`, all of which must lie inside `area`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidCellSize`] for a non-positive or
+    /// non-finite `cell`, and [`GeoError::OutOfBounds`] if any point lies
+    /// outside `area`.
+    pub fn build(area: Rect, cell: f64, points: &[Point]) -> Result<Self, GeoError> {
+        if !(cell.is_finite() && cell > 0.0) {
+            return Err(GeoError::InvalidCellSize { cell });
+        }
+        let cols = (area.width() / cell).ceil().max(1.0) as usize;
+        let rows = (area.height() / cell).ceil().max(1.0) as usize;
+        let mut index = GridIndex {
+            area,
+            cell,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            points: points.to_vec(),
+        };
+        for (i, &p) in points.iter().enumerate() {
+            if !area.contains(p) {
+                return Err(GeoError::OutOfBounds { point: p });
+            }
+            let (c, r) = index.cell_of(p);
+            index.cells[r * cols + c].push(i);
+        }
+        Ok(index)
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The area the index was built over.
+    #[must_use]
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = (((p.x - self.area.min().x) / self.cell) as usize).min(self.cols - 1);
+        let r = (((p.y - self.area.min().y) / self.cell) as usize).min(self.rows - 1);
+        (c, r)
+    }
+
+    /// Indices of all points with `distance(center) < radius`
+    /// (strict, matching the paper's "distance is less than R metres").
+    ///
+    /// `center` need not lie inside the indexed area.
+    #[must_use]
+    pub fn within_radius(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |i| out.push(i));
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of points with `distance(center) < radius` — the paper's
+    /// neighbouring-user count `N_i`.
+    #[must_use]
+    pub fn count_within(&self, center: Point, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(center, radius, |_| n += 1);
+        n
+    }
+
+    fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
+        if radius <= 0.0 || self.points.is_empty() {
+            return;
+        }
+        let min = self.area.clamp(Point::new(center.x - radius, center.y - radius));
+        let max = self.area.clamp(Point::new(center.x + radius, center.y + radius));
+        let (c0, r0) = self.cell_of(min);
+        let (c1, r1) = self.cell_of(max);
+        let r2 = radius * radius;
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for &i in &self.cells[r * self.cols + c] {
+                    if self.points[i].distance_squared(center) < r2 {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index of the nearest point to `center`, or `None` when the index
+    /// is empty. Ties break towards the lower index.
+    #[must_use]
+    pub fn nearest(&self, center: Point) -> Option<usize> {
+        // Grid-walk would be faster; a linear scan is fine for the sizes
+        // the simulator uses (nearest is not on the per-round hot path).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in self.points.iter().enumerate() {
+            let d = p.distance_squared(center);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// The indexed points, in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_cell_sizes() {
+        let area = Rect::square(100.0).unwrap();
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                GridIndex::build(area, bad, &[]),
+                Err(GeoError::InvalidCellSize { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_area_points() {
+        let area = Rect::square(100.0).unwrap();
+        let err = GridIndex::build(area, 10.0, &[Point::new(101.0, 50.0)]).unwrap_err();
+        assert!(matches!(err, GeoError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn radius_is_strict() {
+        let area = Rect::square(100.0).unwrap();
+        let idx = GridIndex::build(area, 10.0, &[Point::new(50.0, 50.0)]).unwrap();
+        // Point exactly at distance 10 is NOT a neighbour (strict <).
+        assert_eq!(idx.count_within(Point::new(40.0, 50.0), 10.0), 0);
+        assert_eq!(idx.count_within(Point::new(40.0, 50.0), 10.0 + 1e-9), 1);
+    }
+
+    #[test]
+    fn query_center_outside_area_works() {
+        let area = Rect::square(100.0).unwrap();
+        let idx = GridIndex::build(area, 25.0, &[Point::new(1.0, 1.0)]).unwrap();
+        assert_eq!(idx.count_within(Point::new(-10.0, -10.0), 20.0), 1);
+        assert_eq!(idx.count_within(Point::new(-10.0, -10.0), 5.0), 0);
+    }
+
+    #[test]
+    fn zero_radius_matches_nothing() {
+        let area = Rect::square(100.0).unwrap();
+        let idx = GridIndex::build(area, 10.0, &[Point::new(5.0, 5.0)]).unwrap();
+        assert_eq!(idx.count_within(Point::new(5.0, 5.0), 0.0), 0);
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let area = Rect::square(100.0).unwrap();
+        let idx = GridIndex::build(area, 10.0, &[]).unwrap();
+        assert_eq!(idx.nearest(Point::ORIGIN), None);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let area = Rect::square(100.0).unwrap();
+        let pts = vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0), Point::new(50.0, 50.0)];
+        let idx = GridIndex::build(area, 20.0, &pts).unwrap();
+        assert_eq!(idx.nearest(Point::new(45.0, 55.0)), Some(2));
+        assert_eq!(idx.nearest(Point::new(0.0, 0.0)), Some(0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_input() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let pts: Vec<Point> = (0..300).map(|_| area.sample_uniform(&mut rng)).collect();
+        let idx = GridIndex::build(area, 77.0, &pts).unwrap();
+        for _ in 0..50 {
+            let center = area.sample_uniform(&mut rng);
+            let radius = rng.gen_range(1.0..400.0);
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&i| pts[i].distance(center) < radius)
+                .collect();
+            assert_eq!(idx.within_radius(center, radius), brute);
+            assert_eq!(idx.count_within(center, radius), brute.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_within_len(
+            coords in proptest::collection::vec((0.0..500.0f64, 0.0..500.0f64), 0..60),
+            cx in 0.0..500.0f64, cy in 0.0..500.0f64,
+            radius in 0.0..600.0f64,
+            cell in 1.0..200.0f64,
+        ) {
+            let area = Rect::square(500.0).unwrap();
+            let pts: Vec<Point> = coords.into_iter().map(Point::from).collect();
+            let idx = GridIndex::build(area, cell, &pts).unwrap();
+            let center = Point::new(cx, cy);
+            prop_assert_eq!(
+                idx.count_within(center, radius),
+                idx.within_radius(center, radius).len()
+            );
+        }
+    }
+}

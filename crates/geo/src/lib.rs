@@ -1,0 +1,51 @@
+//! 2-D geometry substrate for the `paydemand` crowdsensing simulator.
+//!
+//! The paper places sensing tasks and mobile users in a flat Euclidean
+//! region (a 3000 m × 3000 m square in its evaluation) and repeatedly asks
+//! three spatial questions:
+//!
+//! 1. *How far apart are two entities?* — [`Point::distance`] and
+//!    [`DistanceMatrix`].
+//! 2. *How many users are within radius `R` of a task?* (the "neighbouring
+//!    mobile users" criterion of the demand indicator) —
+//!    [`GridIndex::count_within`] / [`KdTree::within_radius`].
+//! 3. *Where do entities start, and how do they move between rounds?* —
+//!    [`placement`] samplers and [`mobility`] models.
+//!
+//! Everything here is deterministic given an explicit [`rand::Rng`]; no
+//! hidden global randomness.
+//!
+//! # Examples
+//!
+//! ```
+//! use paydemand_geo::{Point, Rect, GridIndex};
+//!
+//! let area = Rect::new(Point::ORIGIN, Point::new(3000.0, 3000.0))?;
+//! let pts = vec![Point::new(10.0, 10.0), Point::new(2900.0, 40.0)];
+//! let index = GridIndex::build(area, 100.0, &pts)?;
+//! assert_eq!(index.count_within(Point::new(0.0, 0.0), 50.0), 1);
+//! # Ok::<(), paydemand_geo::GeoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod grid_index;
+mod kdtree;
+mod matrix;
+pub mod mobility;
+pub mod network;
+pub mod placement;
+mod point;
+pub(crate) mod rand_util;
+mod rect;
+
+pub use error::GeoError;
+pub use grid_index::GridIndex;
+pub use kdtree::KdTree;
+pub use matrix::DistanceMatrix;
+pub use mobility::MobilityModel;
+pub use placement::PlacementSampler;
+pub use point::Point;
+pub use rect::Rect;

@@ -1,0 +1,394 @@
+//! Road-network travel: a street graph with shortest-path distances.
+//!
+//! The paper's users walk straight lines; real participants walk
+//! streets. This module provides a [`RoadNetwork`] — by default a
+//! Manhattan-style grid of blocks with optional random street closures
+//! — plus Dijkstra shortest paths and a [`travel_matrix`] helper that
+//! snaps arbitrary points to the network and returns the pairwise
+//! network distances the routing layer consumes (via
+//! [`CostMatrix::from_fn`]).
+//!
+//! [`travel_matrix`]: RoadNetwork::travel_matrix
+//! [`CostMatrix::from_fn`]: https://docs.rs/paydemand-routing
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DistanceMatrix, GeoError, KdTree, Point, Rect};
+
+/// An undirected street graph embedded in the plane.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::{network::RoadNetwork, Point, Rect};
+///
+/// let area = Rect::square(1000.0)?;
+/// let net = RoadNetwork::grid(area, 5, 5)?;
+/// // Opposite corners of a 5×5 grid: pure Manhattan walk.
+/// let a = net.snap(Point::new(0.0, 0.0));
+/// let b = net.snap(Point::new(1000.0, 1000.0));
+/// assert_eq!(net.distance(a, b), Some(2000.0));
+/// # Ok::<(), paydemand_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    /// Adjacency: `edges[u]` lists `(v, length)`.
+    edges: Vec<Vec<(usize, f64)>>,
+    #[serde(skip)]
+    snap_index: Option<KdTree>,
+}
+
+/// A node handle in a [`RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl RoadNetwork {
+    /// Builds a full rectangular street grid of `cols × rows`
+    /// intersections spanning `area` (so blocks are
+    /// `width/(cols−1) × height/(rows−1)`).
+    ///
+    /// # Errors
+    ///
+    /// [`GeoError::InvalidCellSize`] if `cols < 2` or `rows < 2`.
+    pub fn grid(area: Rect, cols: usize, rows: usize) -> Result<Self, GeoError> {
+        if cols < 2 || rows < 2 {
+            return Err(GeoError::InvalidCellSize { cell: cols.min(rows) as f64 });
+        }
+        let dx = area.width() / (cols - 1) as f64;
+        let dy = area.height() / (rows - 1) as f64;
+        let mut nodes = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                nodes.push(Point::new(
+                    area.min().x + c as f64 * dx,
+                    area.min().y + r as f64 * dy,
+                ));
+            }
+        }
+        let mut edges = vec![Vec::new(); nodes.len()];
+        let id = |c: usize, r: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    let (u, v) = (id(c, r), id(c + 1, r));
+                    edges[u].push((v, dx));
+                    edges[v].push((u, dx));
+                }
+                if r + 1 < rows {
+                    let (u, v) = (id(c, r), id(c, r + 1));
+                    edges[u].push((v, dy));
+                    edges[v].push((u, dy));
+                }
+            }
+        }
+        let mut net = RoadNetwork { nodes, edges, snap_index: None };
+        net.rebuild_snap_index();
+        Ok(net)
+    }
+
+    /// Like [`grid`](Self::grid), but each street segment is
+    /// independently closed with probability `closure`, except that a
+    /// spanning backbone is kept so the network stays connected.
+    ///
+    /// # Errors
+    ///
+    /// As [`grid`](Self::grid); also
+    /// [`GeoError::NonFiniteCoordinate`] for a `closure` outside `[0, 1)`.
+    pub fn degraded_grid<R: Rng + ?Sized>(
+        area: Rect,
+        cols: usize,
+        rows: usize,
+        closure: f64,
+        rng: &mut R,
+    ) -> Result<Self, GeoError> {
+        if !(closure.is_finite() && (0.0..1.0).contains(&closure)) {
+            return Err(GeoError::NonFiniteCoordinate { value: closure });
+        }
+        let mut net = RoadNetwork::grid(area, cols, rows)?;
+        let id = |c: usize, r: usize| r * cols + c;
+        // Backbone kept: every vertical street plus the horizontals of
+        // row 0 — a spanning comb, so closures can force detours but
+        // never disconnect the network.
+        let keep = |u: usize, v: usize| {
+            let vertical = u % cols == v % cols;
+            vertical || u / cols == 0
+        };
+        let mut new_edges = vec![Vec::new(); net.nodes.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                let u = id(c, r);
+                for &(v, len) in &net.edges[u] {
+                    if v < u {
+                        continue; // handle each undirected edge once
+                    }
+                    if keep(u, v) || rng.gen::<f64>() >= closure {
+                        new_edges[u].push((v, len));
+                        new_edges[v].push((u, len));
+                    }
+                }
+            }
+        }
+        net.edges = new_edges;
+        Ok(net)
+    }
+
+    fn rebuild_snap_index(&mut self) {
+        self.snap_index = Some(KdTree::build(&self.nodes));
+    }
+
+    /// Number of intersections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the network has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The location of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn location(&self, node: NodeId) -> Point {
+        self.nodes[node.0]
+    }
+
+    /// The nearest intersection to an arbitrary point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty network.
+    #[must_use]
+    pub fn snap(&self, p: Point) -> NodeId {
+        let idx = match &self.snap_index {
+            Some(tree) => tree.nearest(p).expect("non-empty network"),
+            None => {
+                // Deserialized networks have no cached index; linear scan.
+                self.nodes
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.distance_squared(p)
+                            .partial_cmp(&b.1.distance_squared(p))
+                            .expect("finite")
+                    })
+                    .expect("non-empty network")
+                    .0
+            }
+        };
+        NodeId(idx)
+    }
+
+    /// Network (shortest-path) distance between two nodes; `None` if
+    /// they are disconnected.
+    #[must_use]
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        let d = self.dijkstra(from)[to.0];
+        d.is_finite().then_some(d)
+    }
+
+    /// Single-source shortest-path distances (Dijkstra, binary heap).
+    /// Unreachable nodes get `∞`.
+    #[must_use]
+    pub fn dijkstra(&self, source: NodeId) -> Vec<f64> {
+        let mut dist = vec![f64::INFINITY; self.nodes.len()];
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
+        dist[source.0] = 0.0;
+        heap.push(Reverse((OrderedF64(0.0), source.0)));
+        while let Some(Reverse((OrderedF64(d), u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, len) in &self.edges[u] {
+                let nd = d + len;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(Reverse((OrderedF64(nd), v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Pairwise *network* distances between arbitrary points: each point
+    /// snaps to its nearest intersection; the walk to/from the snap
+    /// point is added Euclideanly. Disconnected pairs get `∞`.
+    ///
+    /// The result plugs straight into the routing layer via
+    /// `CostMatrix::from_fn`.
+    #[must_use]
+    pub fn travel_matrix(&self, points: &[Point]) -> DistanceMatrix {
+        let snapped: Vec<NodeId> = points.iter().map(|&p| self.snap(p)).collect();
+        let offsets: Vec<f64> = points
+            .iter()
+            .zip(&snapped)
+            .map(|(&p, &n)| p.distance(self.location(n)))
+            .collect();
+        // One Dijkstra per distinct snap node.
+        let mut cache: std::collections::HashMap<usize, Vec<f64>> =
+            std::collections::HashMap::new();
+        for &n in &snapped {
+            cache.entry(n.0).or_insert_with(|| self.dijkstra(n));
+        }
+        DistanceMatrix::from_fn(points.len(), |i, j| {
+            let network = cache[&snapped[i].0][snapped[j].0];
+            network + offsets[i] + offsets[j]
+        })
+    }
+}
+
+/// Total-ordering wrapper for finite `f64` heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distances in heap")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn area() -> Rect {
+        Rect::square(1000.0).unwrap()
+    }
+
+    #[test]
+    fn grid_shape_and_validation() {
+        let net = RoadNetwork::grid(area(), 5, 4).unwrap();
+        assert_eq!(net.len(), 20);
+        assert!(!net.is_empty());
+        assert!(RoadNetwork::grid(area(), 1, 5).is_err());
+        assert!(RoadNetwork::grid(area(), 5, 1).is_err());
+    }
+
+    #[test]
+    fn manhattan_distances_on_full_grid() {
+        let net = RoadNetwork::grid(area(), 5, 5).unwrap();
+        let a = net.snap(Point::new(0.0, 0.0));
+        let b = net.snap(Point::new(1000.0, 0.0));
+        assert_eq!(net.distance(a, b), Some(1000.0));
+        let c = net.snap(Point::new(1000.0, 1000.0));
+        assert_eq!(net.distance(a, c), Some(2000.0));
+        assert_eq!(net.distance(a, a), Some(0.0));
+    }
+
+    #[test]
+    fn snapping_picks_nearest_intersection() {
+        let net = RoadNetwork::grid(area(), 5, 5).unwrap();
+        // Blocks are 250 m; (10, 490) is nearest to intersection (0, 500).
+        let n = net.snap(Point::new(10.0, 490.0));
+        assert_eq!(net.location(n), Point::new(0.0, 500.0));
+    }
+
+    #[test]
+    fn degraded_grid_stays_connected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let net = RoadNetwork::degraded_grid(area(), 8, 8, 0.9, &mut rng).unwrap();
+        // From the far corner, every node stays reachable (backbone)...
+        let source = NodeId(8 * 8 - 1);
+        let d = net.dijkstra(source);
+        assert!(d.iter().all(|x| x.is_finite()), "backbone must keep connectivity");
+        // ...but with 90% of non-backbone streets closed, some route in
+        // the top row must detour and get longer; none gets shorter.
+        let full = RoadNetwork::grid(area(), 8, 8).unwrap();
+        let full_d = full.dijkstra(source);
+        assert!(
+            d.iter().zip(&full_d).any(|(a, b)| a > b),
+            "90% closures should lengthen at least one route"
+        );
+        for (a, b) in d.iter().zip(&full_d) {
+            assert!(*a >= b - 1e-9);
+        }
+    }
+
+    #[test]
+    fn degraded_grid_rejects_bad_closure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert!(RoadNetwork::degraded_grid(area(), 4, 4, 1.0, &mut rng).is_err());
+        assert!(RoadNetwork::degraded_grid(area(), 4, 4, -0.1, &mut rng).is_err());
+        assert!(RoadNetwork::degraded_grid(area(), 4, 4, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn travel_matrix_dominates_euclidean() {
+        let net = RoadNetwork::grid(area(), 6, 6).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let pts: Vec<Point> = (0..10).map(|_| area().sample_uniform(&mut rng)).collect();
+        let tm = net.travel_matrix(&pts);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                if i != j {
+                    // Network distance via snapping can undercut the
+                    // straight line only through snap offsets when both
+                    // points share a snap node; allow that slack.
+                    let lower = pts[i].distance(pts[j]) - 2.0 * 125.0 * 2f64.sqrt();
+                    assert!(tm.get(i, j) >= lower.max(0.0) - 1e-9);
+                }
+                assert_eq!(tm.get(i, j), tm.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn travel_matrix_exact_on_intersections() {
+        let net = RoadNetwork::grid(area(), 5, 5).unwrap();
+        let pts =
+            [Point::new(0.0, 0.0), Point::new(500.0, 0.0), Point::new(500.0, 750.0)];
+        let tm = net.travel_matrix(&pts);
+        assert_eq!(tm.get(0, 1), 500.0);
+        assert_eq!(tm.get(1, 2), 750.0);
+        assert_eq!(tm.get(0, 2), 1250.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn network_distance_triangle_inequality(
+            coords in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 3),
+        ) {
+            let net = RoadNetwork::grid(area(), 6, 6).unwrap();
+            let pts: Vec<Point> = coords.into_iter().map(Point::from).collect();
+            let tm = net.travel_matrix(&pts);
+            // Snap-offset asymmetry allows a 2×offset slack per hop.
+            let slack = 4.0 * 200.0;
+            prop_assert!(tm.get(0, 2) <= tm.get(0, 1) + tm.get(1, 2) + slack);
+        }
+
+        #[test]
+        fn dijkstra_matches_manhattan_on_full_grid(
+            (c1, r1) in (0usize..6, 0usize..6),
+            (c2, r2) in (0usize..6, 0usize..6),
+        ) {
+            let net = RoadNetwork::grid(area(), 6, 6).unwrap();
+            let block = 1000.0 / 5.0;
+            let a = NodeId(r1 * 6 + c1);
+            let b = NodeId(r2 * 6 + c2);
+            let expect = block * (c1.abs_diff(c2) + r1.abs_diff(r2)) as f64;
+            let got = net.distance(a, b).unwrap();
+            prop_assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+        }
+    }
+}

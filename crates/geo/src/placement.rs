@@ -1,0 +1,264 @@
+//! Placement samplers: how tasks and users get their initial locations.
+//!
+//! The paper draws both uniformly at random over the region. Real
+//! deployments are rarely uniform, so the ablation benches also exercise
+//! clustered (urban-hotspot) and grid (systematic coverage) placements —
+//! all behind the one [`PlacementSampler`] trait.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::rand_util::standard_normal;
+use crate::{Point, Rect};
+
+/// A strategy for drawing `n` locations inside an area.
+///
+/// Implementations must be deterministic given the RNG: the same `rng`
+/// state yields the same placement, which is what makes experiment
+/// repetitions reproducible.
+pub trait PlacementSampler: std::fmt::Debug {
+    /// Draws `n` points, all inside `area`.
+    fn sample<R: Rng + ?Sized>(&self, area: Rect, n: usize, rng: &mut R) -> Vec<Point>
+    where
+        Self: Sized;
+}
+
+/// Uniform placement over the whole area — the paper's workload
+/// ("locations ... randomly generated in a 3000m × 3000m area").
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::placement::{PlacementSampler, Uniform};
+/// use paydemand_geo::Rect;
+/// use rand::SeedableRng;
+///
+/// let area = Rect::square(3000.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pts = Uniform.sample(area, 20, &mut rng);
+/// assert_eq!(pts.len(), 20);
+/// assert!(pts.iter().all(|&p| area.contains(p)));
+/// # Ok::<(), paydemand_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uniform;
+
+impl PlacementSampler for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, area: Rect, n: usize, rng: &mut R) -> Vec<Point> {
+        (0..n).map(|_| area.sample_uniform(rng)).collect()
+    }
+}
+
+/// Clustered placement: a mixture of isotropic Gaussian hotspots whose
+/// centres are themselves drawn uniformly. Samples falling outside the
+/// area are clamped back onto it.
+///
+/// Models a city where users congregate downtown while some tasks sit in
+/// remote areas — the situation motivating the paper's dynamic rewards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Clustered {
+    /// Number of hotspot centres (must be ≥ 1).
+    pub clusters: usize,
+    /// Standard deviation of each hotspot, in metres.
+    pub sigma: f64,
+}
+
+impl Clustered {
+    /// Creates a clustered sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters == 0` or `sigma` is not positive and finite.
+    #[must_use]
+    pub fn new(clusters: usize, sigma: f64) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        Clustered { clusters, sigma }
+    }
+}
+
+impl PlacementSampler for Clustered {
+    fn sample<R: Rng + ?Sized>(&self, area: Rect, n: usize, rng: &mut R) -> Vec<Point> {
+        let centers: Vec<Point> = (0..self.clusters).map(|_| area.sample_uniform(rng)).collect();
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.gen_range(0..centers.len())];
+                let dx = standard_normal(rng) * self.sigma;
+                let dy = standard_normal(rng) * self.sigma;
+                area.clamp(Point::new(c.x + dx, c.y + dy))
+            })
+            .collect()
+    }
+}
+
+/// Grid placement: the `n` points are laid out on the nearly-square grid
+/// covering the area most evenly, in row-major order. Deterministic (the
+/// RNG is unused); useful as a systematic-coverage baseline for tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid;
+
+impl PlacementSampler for Grid {
+    fn sample<R: Rng + ?Sized>(&self, area: Rect, n: usize, _rng: &mut R) -> Vec<Point> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let dx = area.width() / cols as f64;
+        let dy = area.height() / rows as f64;
+        (0..n)
+            .map(|i| {
+                let c = i % cols;
+                let r = i / cols;
+                Point::new(
+                    area.min().x + (c as f64 + 0.5) * dx,
+                    area.min().y + (r as f64 + 0.5) * dy,
+                )
+            })
+            .collect()
+    }
+}
+
+/// An owned, serialisable choice of placement strategy. This is what
+/// scenario configs store; it dispatches to the concrete samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum Placement {
+    /// Uniform over the area (the paper's workload).
+    #[default]
+    Uniform,
+    /// Gaussian hotspots.
+    Clustered {
+        /// Number of hotspots.
+        clusters: usize,
+        /// Hotspot standard deviation in metres.
+        sigma: f64,
+    },
+    /// Even grid coverage.
+    Grid,
+}
+
+
+impl Placement {
+    /// Draws `n` points inside `area` using the selected strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Clustered` variant carries invalid parameters
+    /// (`clusters == 0` or non-positive `sigma`).
+    pub fn sample<R: Rng + ?Sized>(&self, area: Rect, n: usize, rng: &mut R) -> Vec<Point> {
+        match *self {
+            Placement::Uniform => Uniform.sample(area, n, rng),
+            Placement::Clustered { clusters, sigma } => {
+                Clustered::new(clusters, sigma).sample(area, n, rng)
+            }
+            Placement::Grid => Grid.sample(area, n, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_stays_inside_and_is_deterministic() {
+        let area = Rect::square(3000.0).unwrap();
+        let a = Uniform.sample(area, 100, &mut rng(5));
+        let b = Uniform.sample(area, 100, &mut rng(5));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&p| area.contains(p)));
+    }
+
+    #[test]
+    fn uniform_zero_points() {
+        let area = Rect::square(10.0).unwrap();
+        assert!(Uniform.sample(area, 0, &mut rng(1)).is_empty());
+    }
+
+    #[test]
+    fn clustered_stays_inside() {
+        let area = Rect::square(3000.0).unwrap();
+        let pts = Clustered::new(3, 200.0).sample(area, 500, &mut rng(8));
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|&p| area.contains(p)));
+    }
+
+    #[test]
+    fn clustered_is_more_concentrated_than_uniform() {
+        // Mean pairwise distance should be clearly smaller for tight clusters.
+        let area = Rect::square(3000.0).unwrap();
+        let mean_pairwise = |pts: &[Point]| {
+            let mut sum = 0.0;
+            let mut cnt = 0u64;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    sum += pts[i].distance(pts[j]);
+                    cnt += 1;
+                }
+            }
+            sum / cnt as f64
+        };
+        let u = Uniform.sample(area, 200, &mut rng(3));
+        let c = Clustered::new(2, 50.0).sample(area, 200, &mut rng(3));
+        assert!(
+            mean_pairwise(&c) < mean_pairwise(&u),
+            "clustered placement should concentrate points"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn clustered_rejects_zero_clusters() {
+        let _ = Clustered::new(0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn clustered_rejects_bad_sigma() {
+        let _ = Clustered::new(1, 0.0);
+    }
+
+    #[test]
+    fn grid_is_even_and_inside() {
+        let area = Rect::square(100.0).unwrap();
+        let pts = Grid.sample(area, 9, &mut rng(0));
+        assert_eq!(pts.len(), 9);
+        assert!(pts.iter().all(|&p| area.contains(p)));
+        // 9 points on a 100x100 area = 3x3 grid with 33.3m spacing.
+        assert_eq!(pts[0], Point::new(100.0 / 6.0, 100.0 / 6.0));
+        assert_eq!(pts[4], Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn grid_handles_non_square_counts() {
+        let area = Rect::square(100.0).unwrap();
+        for n in [1, 2, 5, 7, 12, 20] {
+            let pts = Grid.sample(area, n, &mut rng(0));
+            assert_eq!(pts.len(), n);
+            assert!(pts.iter().all(|&p| area.contains(p)));
+        }
+    }
+
+    #[test]
+    fn placement_enum_dispatches() {
+        let area = Rect::square(100.0).unwrap();
+        for placement in [
+            Placement::Uniform,
+            Placement::Clustered { clusters: 2, sigma: 10.0 },
+            Placement::Grid,
+        ] {
+            let pts = placement.sample(area, 17, &mut rng(2));
+            assert_eq!(pts.len(), 17, "{placement:?}");
+            assert!(pts.iter().all(|&p| area.contains(p)));
+        }
+        assert_eq!(Placement::default(), Placement::Uniform);
+    }
+
+}

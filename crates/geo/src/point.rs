@@ -1,0 +1,323 @@
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::GeoError;
+
+/// A point (or displacement vector) in the 2-D Euclidean plane, in metres.
+///
+/// The paper's tasks and users live in a flat square region, so plain
+/// Euclidean geometry is sufficient; there is no geodesy here.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    ///
+    /// ```
+    /// use paydemand_geo::Point;
+    /// let p = Point::new(1.5, -2.0);
+    /// assert_eq!(p.x, 1.5);
+    /// ```
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point, rejecting NaN / infinite coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonFiniteCoordinate`] if either coordinate is
+    /// NaN or infinite.
+    ///
+    /// ```
+    /// use paydemand_geo::Point;
+    /// assert!(Point::try_new(f64::NAN, 0.0).is_err());
+    /// assert!(Point::try_new(1.0, 2.0).is_ok());
+    /// ```
+    pub fn try_new(x: f64, y: f64) -> Result<Self, GeoError> {
+        for value in [x, y] {
+            if !value.is_finite() {
+                return Err(GeoError::NonFiniteCoordinate { value });
+            }
+        }
+        Ok(Point { x, y })
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    ///
+    /// ```
+    /// use paydemand_geo::Point;
+    /// let d = Point::new(0.0, 0.0).distance(Point::new(1.0, 1.0));
+    /// assert!((d - std::f64::consts::SQRT_2).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper than
+    /// [`distance`](Self::distance); use for comparisons).
+    #[must_use]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// L1 (Manhattan) distance to `other`.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Length of this point treated as a vector from the origin.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.distance(Point::ORIGIN)
+    }
+
+    /// Dot product with `other` (both treated as vectors).
+    #[must_use]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    ///
+    /// ```
+    /// use paydemand_geo::Point;
+    /// let m = Point::new(0.0, 0.0).midpoint(Point::new(2.0, 4.0));
+    /// assert_eq!(m, Point::new(1.0, 2.0));
+    /// ```
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    /// `t` outside `[0, 1]` extrapolates.
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+
+    /// Moves from `self` towards `target` by at most `step` metres,
+    /// stopping exactly at `target` if it is closer than `step`.
+    ///
+    /// This is how a walking user advances between rounds in the mobility
+    /// models.
+    ///
+    /// ```
+    /// use paydemand_geo::Point;
+    /// let here = Point::ORIGIN.step_towards(Point::new(10.0, 0.0), 4.0);
+    /// assert_eq!(here, Point::new(4.0, 0.0));
+    /// let there = Point::ORIGIN.step_towards(Point::new(1.0, 0.0), 4.0);
+    /// assert_eq!(there, Point::new(1.0, 0.0));
+    /// ```
+    #[must_use]
+    pub fn step_towards(self, target: Point, step: f64) -> Point {
+        let d = self.distance(target);
+        if d <= step || d == 0.0 {
+            target
+        } else {
+            self.lerp(target, step / d)
+        }
+    }
+
+    /// Bearing of `other` from `self` in radians in `(-π, π]`, measured
+    /// counter-clockwise from the positive x axis. Returns `0.0` when the
+    /// points coincide.
+    #[must_use]
+    pub fn bearing(self, other: Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_345() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(17.5, -3.25);
+        assert_eq!(p.distance(p), 0.0);
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-4.0, 7.0);
+        assert!(a.manhattan_distance(b) >= a.distance(b));
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite() {
+        assert!(Point::try_new(f64::INFINITY, 0.0).is_err());
+        assert!(Point::try_new(0.0, f64::NEG_INFINITY).is_err());
+        assert!(Point::try_new(f64::NAN, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn step_towards_overshoot_clamps_to_target() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(0.0, 3.0);
+        assert_eq!(from.step_towards(to, 100.0), to);
+    }
+
+    #[test]
+    fn step_towards_zero_distance_is_identity() {
+        let p = Point::new(5.0, 5.0);
+        assert_eq!(p.step_towards(p, 10.0), p);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        use std::f64::consts::FRAC_PI_2;
+        let o = Point::ORIGIN;
+        assert_eq!(o.bearing(Point::new(1.0, 0.0)), 0.0);
+        assert!((o.bearing(Point::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -4.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!((a * 2.0) / 2.0, a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p: Point = (1.0, 2.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+    }
+
+    #[test]
+    fn display_has_three_decimals() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+    }
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (-1e6..1e6f64, -1e6..1e6f64).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(a in arb_point(), b in arb_point()) {
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
+        }
+
+        #[test]
+        fn lerp_endpoints(a in arb_point(), b in arb_point()) {
+            prop_assert_eq!(a.lerp(b, 0.0), a);
+            // t = 1 is subject to rounding: a + (b - a) need not equal b exactly.
+            prop_assert!(a.lerp(b, 1.0).distance(b) < 1e-9);
+        }
+
+        #[test]
+        fn step_never_overshoots(a in arb_point(), b in arb_point(), step in 0.0..1e5f64) {
+            let moved = a.step_towards(b, step);
+            prop_assert!(a.distance(moved) <= step + 1e-6 || moved == b);
+            prop_assert!(moved.distance(b) <= a.distance(b) + 1e-6);
+        }
+
+        #[test]
+        fn midpoint_is_equidistant(a in arb_point(), b in arb_point()) {
+            let m = a.midpoint(b);
+            prop_assert!((m.distance(a) - m.distance(b)).abs() < 1e-6);
+        }
+    }
+}

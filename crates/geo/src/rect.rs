@@ -1,0 +1,210 @@
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point};
+
+/// An axis-aligned rectangle, the sensing region everything lives inside.
+///
+/// The paper's evaluation uses a 3000 m × 3000 m square; see
+/// [`Rect::square`].
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::{Point, Rect};
+///
+/// let area = Rect::square(3000.0)?;
+/// assert!(area.contains(Point::new(1500.0, 10.0)));
+/// assert!(!area.contains(Point::new(-1.0, 0.0)));
+/// # Ok::<(), paydemand_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyRect`] if `max` is not strictly greater
+    /// than `min` on both axes, and [`GeoError::NonFiniteCoordinate`] if
+    /// any coordinate is NaN or infinite.
+    pub fn new(min: Point, max: Point) -> Result<Self, GeoError> {
+        for value in [min.x, min.y, max.x, max.y] {
+            if !value.is_finite() {
+                return Err(GeoError::NonFiniteCoordinate { value });
+            }
+        }
+        if max.x <= min.x || max.y <= min.y {
+            return Err(GeoError::EmptyRect { min, max });
+        }
+        Ok(Rect { min, max })
+    }
+
+    /// Creates the square `[0, side] × [0, side]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyRect`] if `side` is not positive, or
+    /// [`GeoError::NonFiniteCoordinate`] if it is not finite.
+    pub fn square(side: f64) -> Result<Self, GeoError> {
+        Rect::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[must_use]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width along the x axis, in metres.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along the y axis, in metres.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square metres.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Length of the diagonal — the maximum distance between any two
+    /// contained points.
+    #[must_use]
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Returns `true` if `p` lies inside the rectangle (inclusive edges).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` onto the rectangle (component-wise).
+    ///
+    /// ```
+    /// use paydemand_geo::{Point, Rect};
+    /// let r = Rect::square(10.0)?;
+    /// assert_eq!(r.clamp(Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+    /// # Ok::<(), paydemand_geo::GeoError>(())
+    /// ```
+    #[must_use]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// Draws a point uniformly at random from the rectangle.
+    ///
+    /// ```
+    /// use paydemand_geo::Rect;
+    /// use rand::SeedableRng;
+    /// let r = Rect::square(100.0)?;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let p = r.sample_uniform(&mut rng);
+    /// assert!(r.contains(p));
+    /// # Ok::<(), paydemand_geo::GeoError>(())
+    /// ```
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(rng.gen_range(self.min.x..=self.max.x), rng.gen_range(self.min.y..=self.max.y))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn square_has_expected_dimensions() {
+        let r = Rect::square(3000.0).unwrap();
+        assert_eq!(r.width(), 3000.0);
+        assert_eq!(r.height(), 3000.0);
+        assert_eq!(r.area(), 9_000_000.0);
+        assert_eq!(r.center(), Point::new(1500.0, 1500.0));
+    }
+
+    #[test]
+    fn rejects_degenerate_rects() {
+        assert!(Rect::new(Point::ORIGIN, Point::ORIGIN).is_err());
+        assert!(Rect::new(Point::new(1.0, 0.0), Point::new(1.0, 5.0)).is_err());
+        assert!(Rect::square(0.0).is_err());
+        assert!(Rect::square(-3.0).is_err());
+        assert!(Rect::square(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn contains_edges_inclusively() {
+        let r = Rect::square(10.0).unwrap();
+        assert!(r.contains(Point::ORIGIN));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(!r.contains(Point::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn diagonal_matches_pythagoras() {
+        let r = Rect::new(Point::ORIGIN, Point::new(3.0, 4.0)).unwrap();
+        assert_eq!(r.diagonal(), 5.0);
+    }
+
+    #[test]
+    fn uniform_samples_fill_all_quadrants() {
+        let r = Rect::square(100.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let c = r.center();
+        let mut quads = [false; 4];
+        for _ in 0..1000 {
+            let p = r.sample_uniform(&mut rng);
+            assert!(r.contains(p));
+            let q = (p.x > c.x) as usize * 2 + (p.y > c.y) as usize;
+            quads[q] = true;
+        }
+        assert!(quads.iter().all(|&q| q), "1000 uniform draws missed a quadrant");
+    }
+
+    proptest! {
+        #[test]
+        fn clamp_always_lands_inside(x in -1e4..1e4f64, y in -1e4..1e4f64) {
+            let r = Rect::square(3000.0).unwrap();
+            prop_assert!(r.contains(r.clamp(Point::new(x, y))));
+        }
+
+        #[test]
+        fn clamp_is_identity_inside(x in 0.0..3000.0f64, y in 0.0..3000.0f64) {
+            let r = Rect::square(3000.0).unwrap();
+            let p = Point::new(x, y);
+            prop_assert_eq!(r.clamp(p), p);
+        }
+    }
+}

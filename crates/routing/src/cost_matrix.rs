@@ -1,0 +1,160 @@
+use serde::{Deserialize, Serialize};
+
+use paydemand_geo::{DistanceMatrix, Point};
+
+/// Travel distances between one *start* location (the user's position)
+/// and `m` task locations.
+///
+/// Task indices are `0..m`; the start is addressed by its own accessors
+/// rather than an index, which rules out off-by-one confusion between
+/// "node 0 = depot" and "task 0".
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::Point;
+/// use paydemand_routing::CostMatrix;
+///
+/// let c = CostMatrix::from_points(
+///     Point::new(0.0, 0.0),
+///     &[Point::new(3.0, 4.0), Point::new(6.0, 8.0)],
+/// );
+/// assert_eq!(c.tasks(), 2);
+/// assert_eq!(c.from_start(0), 5.0);
+/// assert_eq!(c.between(0, 1), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostMatrix {
+    /// Distance start → task j.
+    start: Vec<f64>,
+    /// Pairwise task distances.
+    tasks: DistanceMatrix,
+}
+
+impl CostMatrix {
+    /// Builds the matrix from the start point and task locations.
+    #[must_use]
+    pub fn from_points(start: Point, task_locations: &[Point]) -> Self {
+        CostMatrix {
+            start: task_locations.iter().map(|&t| start.distance(t)).collect(),
+            tasks: DistanceMatrix::from_points(task_locations),
+        }
+    }
+
+    /// Builds a matrix from explicit distances, for non-Euclidean costs.
+    /// `start[j]` is the distance from the start to task `j`;
+    /// `between(i, j)` is provided by the closure (symmetric by
+    /// construction, evaluated once per unordered pair).
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(start: Vec<f64>, dist: F) -> Self {
+        let n = start.len();
+        CostMatrix { start, tasks: DistanceMatrix::from_fn(n, dist) }
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn tasks(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Distance from the start location to task `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= tasks()`.
+    #[must_use]
+    pub fn from_start(&self, j: usize) -> f64 {
+        self.start[j]
+    }
+
+    /// Distance between tasks `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is `>= tasks()`.
+    #[must_use]
+    pub fn between(&self, i: usize, j: usize) -> f64 {
+        self.tasks.get(i, j)
+    }
+
+    /// Total length of the route start → `order[0]` → `order[1]` → …
+    /// (an open path: the user does not return to the start).
+    ///
+    /// Returns 0 for an empty order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `order` is `>= tasks()`.
+    #[must_use]
+    pub fn route_length(&self, order: &[usize]) -> f64 {
+        match order.first() {
+            None => 0.0,
+            Some(&first) => self.from_start(first) + self.tasks.path_length(order),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CostMatrix {
+        CostMatrix::from_points(
+            Point::new(0.0, 0.0),
+            &[Point::new(10.0, 0.0), Point::new(10.0, 10.0), Point::new(0.0, 10.0)],
+        )
+    }
+
+    #[test]
+    fn distances_match_geometry() {
+        let c = sample();
+        assert_eq!(c.tasks(), 3);
+        assert_eq!(c.from_start(0), 10.0);
+        assert!((c.from_start(1) - 200f64.sqrt()).abs() < 1e-12);
+        assert_eq!(c.between(0, 1), 10.0);
+        assert_eq!(c.between(1, 2), 10.0);
+        assert_eq!(c.between(2, 2), 0.0);
+    }
+
+    #[test]
+    fn route_length_sums_open_path() {
+        let c = sample();
+        assert_eq!(c.route_length(&[]), 0.0);
+        assert_eq!(c.route_length(&[0]), 10.0);
+        assert_eq!(c.route_length(&[0, 1, 2]), 30.0);
+        // Visiting the diagonal first is longer.
+        assert!(c.route_length(&[1, 0, 2]) > 30.0);
+    }
+
+    #[test]
+    fn from_fn_builds_custom_costs() {
+        let c = CostMatrix::from_fn(vec![1.0, 2.0], |_, _| 7.0);
+        assert_eq!(c.from_start(1), 2.0);
+        assert_eq!(c.between(0, 1), 7.0);
+        assert_eq!(c.between(1, 0), 7.0);
+        assert_eq!(c.route_length(&[0, 1]), 8.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = CostMatrix::from_points(Point::ORIGIN, &[]);
+        assert_eq!(c.tasks(), 0);
+        assert_eq!(c.route_length(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn route_length_is_order_of_magnitude_sane(
+            coords in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..8)
+        ) {
+            let pts: Vec<Point> = coords.into_iter().map(Point::from).collect();
+            let c = CostMatrix::from_points(Point::ORIGIN, &pts);
+            let order: Vec<usize> = (0..pts.len()).collect();
+            let len = c.route_length(&order);
+            prop_assert!(len >= c.from_start(0));
+            // Never longer than the sum of all segment upper bounds.
+            prop_assert!(len <= 150.0 * pts.len() as f64);
+        }
+    }
+}

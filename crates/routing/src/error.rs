@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the routing solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RoutingError {
+    /// The exact solver was given more tasks than its bitmask width
+    /// supports (the paper notes the DP "is not suitable for a large
+    /// scale of tasks"; use the greedy solver instead).
+    TooManyTasks {
+        /// Tasks requested.
+        got: usize,
+        /// Maximum the exact solver accepts.
+        max: usize,
+    },
+    /// Reward vector length does not match the number of tasks.
+    RewardMismatch {
+        /// Number of tasks in the cost matrix.
+        tasks: usize,
+        /// Number of rewards supplied.
+        rewards: usize,
+    },
+    /// A budget or rate parameter was negative, NaN or infinite.
+    InvalidParameter {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::TooManyTasks { got, max } => {
+                write!(f, "exact solver supports at most {max} tasks, got {got}")
+            }
+            RoutingError::RewardMismatch { tasks, rewards } => {
+                write!(f, "cost matrix has {tasks} tasks but {rewards} rewards were supplied")
+            }
+            RoutingError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be finite and non-negative, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for RoutingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants = [
+            RoutingError::TooManyTasks { got: 40, max: 25 },
+            RoutingError::RewardMismatch { tasks: 3, rewards: 2 },
+            RoutingError::InvalidParameter { name: "budget", value: -1.0 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CostMatrix;
+
+/// An ordered visit plan: the sequence of task indices a user travels
+/// to, starting from their current location, plus the resulting path
+/// length in metres.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::Point;
+/// use paydemand_routing::{CostMatrix, Route};
+///
+/// let c = CostMatrix::from_points(Point::ORIGIN, &[Point::new(10.0, 0.0)]);
+/// let r = Route::new(vec![0], &c);
+/// assert_eq!(r.length(), 10.0);
+/// assert_eq!(r.order(), &[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    order: Vec<usize>,
+    length: f64,
+}
+
+impl Route {
+    /// Builds a route and computes its length against `costs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `order` is out of range for `costs`.
+    #[must_use]
+    pub fn new(order: Vec<usize>, costs: &CostMatrix) -> Self {
+        let length = costs.route_length(&order);
+        Route { order, length }
+    }
+
+    /// The empty route (user stays put).
+    #[must_use]
+    pub fn empty() -> Self {
+        Route { order: Vec::new(), length: 0.0 }
+    }
+
+    /// Visit order (task indices).
+    #[must_use]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Total travel distance in metres.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Number of tasks visited.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if no tasks are visited.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Consumes the route, returning the visit order.
+    #[must_use]
+    pub fn into_order(self) -> Vec<usize> {
+        self.order
+    }
+}
+
+impl Default for Route {
+    fn default() -> Self {
+        Route::empty()
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Route(")?;
+        for (i, t) in self.order.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "t{t}")?;
+        }
+        write!(f, "; {:.1} m)", self.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paydemand_geo::Point;
+
+    #[test]
+    fn empty_route_has_zero_length() {
+        let r = Route::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.length(), 0.0);
+        assert_eq!(r.len(), 0);
+        assert_eq!(Route::default(), r);
+    }
+
+    #[test]
+    fn length_computed_from_costs() {
+        let c = CostMatrix::from_points(
+            Point::ORIGIN,
+            &[Point::new(5.0, 0.0), Point::new(5.0, 5.0)],
+        );
+        let r = Route::new(vec![0, 1], &c);
+        assert_eq!(r.length(), 10.0);
+        assert_eq!(r.into_order(), vec![0, 1]);
+    }
+
+    #[test]
+    fn display_shows_order_and_length() {
+        let c = CostMatrix::from_points(Point::ORIGIN, &[Point::new(5.0, 0.0)]);
+        let r = Route::new(vec![0], &c);
+        assert_eq!(r.to_string(), "Route(t0; 5.0 m)");
+        assert_eq!(Route::empty().to_string(), "Route(; 0.0 m)");
+    }
+}

@@ -1,0 +1,168 @@
+//! 2-opt local search for *open* routes (start fixed, no return leg).
+//!
+//! A 2-opt move reverses a contiguous segment of the visit order. For an
+//! open path `start → v0 → … → v(n−1)` reversing `order[i..=k]` replaces
+//! the edges `(v(i−1), v(i))` and `(v(k), v(k+1))` with
+//! `(v(i−1), v(k))` and `(v(i), v(k+1))`; when `k` is the final stop only
+//! the first edge changes. The pass repeats until no move shortens the
+//! route — a local optimum of route *length* (it never changes *which*
+//! tasks are visited, so any saved distance can then buy more tasks; see
+//! [`orienteering::solve_greedy_two_opt`](crate::orienteering::solve_greedy_two_opt)).
+
+use crate::CostMatrix;
+
+/// Improves `order` in place until 2-opt-optimal; returns the improved
+/// order. The result visits exactly the same tasks and is never longer.
+///
+/// # Panics
+///
+/// Panics if any index in `order` is out of range for `costs`.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_geo::Point;
+/// use paydemand_routing::{two_opt, CostMatrix};
+///
+/// // Zig-zag order 0 -> t1 -> t0 -> t2 is longer than the line order.
+/// let costs = CostMatrix::from_points(
+///     Point::ORIGIN,
+///     &[Point::new(10.0, 0.0), Point::new(20.0, 0.0), Point::new(30.0, 0.0)],
+/// );
+/// let improved = two_opt::improve(&costs, vec![1, 0, 2]);
+/// assert_eq!(costs.route_length(&improved), 30.0);
+/// ```
+#[must_use]
+pub fn improve(costs: &CostMatrix, mut order: Vec<usize>) -> Vec<usize> {
+    let n = order.len();
+    if n < 2 {
+        return order;
+    }
+    let dist_before = |order: &[usize], i: usize| -> f64 {
+        if i == 0 {
+            costs.from_start(order[0])
+        } else {
+            costs.between(order[i - 1], order[i])
+        }
+    };
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n - 1 {
+            for k in (i + 1)..n {
+                // Edges removed: (i-1 -> i) and (k -> k+1); added:
+                // (i-1 -> k) and (i -> k+1). The segment-internal edges
+                // only reverse direction (symmetric costs, length equal).
+                let removed = dist_before(&order, i)
+                    + if k + 1 < n { costs.between(order[k], order[k + 1]) } else { 0.0 };
+                let added = if i == 0 {
+                    costs.from_start(order[k])
+                } else {
+                    costs.between(order[i - 1], order[k])
+                } + if k + 1 < n { costs.between(order[i], order[k + 1]) } else { 0.0 };
+                if added + 1e-12 < removed {
+                    order[i..=k].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paydemand_geo::Point;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton_are_fixed_points() {
+        let costs = CostMatrix::from_points(Point::ORIGIN, &[Point::new(1.0, 0.0)]);
+        assert!(improve(&costs, vec![]).is_empty());
+        assert_eq!(improve(&costs, vec![0]), vec![0]);
+    }
+
+    #[test]
+    fn untangles_a_crossing() {
+        // Square with start at origin: visiting opposite corners first
+        // crosses; 2-opt must untangle to the perimeter walk.
+        let costs = CostMatrix::from_points(
+            Point::ORIGIN,
+            &[
+                Point::new(10.0, 0.0),  // t0
+                Point::new(10.0, 10.0), // t1
+                Point::new(0.0, 10.0),  // t2
+            ],
+        );
+        let tangled = vec![1, 0, 2];
+        let improved = improve(&costs, tangled);
+        assert_eq!(costs.route_length(&improved), 30.0);
+        assert_eq!(improved, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn never_lengthens_or_changes_task_set() {
+        let costs = CostMatrix::from_points(
+            Point::new(5.0, 5.0),
+            &[
+                Point::new(1.0, 9.0),
+                Point::new(9.0, 1.0),
+                Point::new(9.0, 9.0),
+                Point::new(1.0, 1.0),
+                Point::new(5.0, 0.0),
+            ],
+        );
+        let order = vec![2, 4, 0, 3, 1];
+        let before = costs.route_length(&order);
+        let improved = improve(&costs, order.clone());
+        assert!(costs.route_length(&improved) <= before);
+        let mut a = order;
+        let mut b = improved;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    /// Brute-force optimal open-path length for small instances.
+    fn brute_optimal(costs: &CostMatrix, tasks: &[usize]) -> f64 {
+        fn perms(items: &[usize]) -> Vec<Vec<usize>> {
+            if items.len() <= 1 {
+                return vec![items.to_vec()];
+            }
+            let mut out = Vec::new();
+            for (i, &head) in items.iter().enumerate() {
+                let mut rest = items.to_vec();
+                rest.remove(i);
+                for mut p in perms(&rest) {
+                    p.insert(0, head);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        perms(tasks)
+            .into_iter()
+            .map(|p| costs.route_length(&p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn two_opt_is_close_to_optimal_on_small_instances(
+            coords in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 2..7),
+        ) {
+            let pts: Vec<Point> = coords.into_iter().map(Point::from).collect();
+            let costs = CostMatrix::from_points(Point::ORIGIN, &pts);
+            let order: Vec<usize> = (0..pts.len()).collect();
+            let improved = improve(&costs, order.clone());
+            let got = costs.route_length(&improved);
+            let best = brute_optimal(&costs, &order);
+            prop_assert!(got <= costs.route_length(&order) + 1e-9);
+            // 2-opt on metric open paths is a good heuristic; allow 25% slack.
+            prop_assert!(got <= best * 1.25 + 1e-9,
+                "2-opt {got} vs optimal {best}");
+        }
+    }
+}

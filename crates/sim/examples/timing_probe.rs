@@ -1,0 +1,38 @@
+//! Quick timing probe for the figure harness (not part of the library).
+use paydemand_sim::{engine, metrics, MechanismKind, Scenario, SelectorKind};
+use std::time::Instant;
+
+fn main() {
+    // Exact DP (no cap) timing.
+    let s = Scenario::paper_default()
+        .with_selector(SelectorKind::exact_dp())
+        .with_seed(1);
+    let t = Instant::now();
+    let r = engine::run(&s).unwrap();
+    println!("exact-dp: {:?}, coverage {:.2}", t.elapsed(), r.coverage());
+
+    // Mechanism differentiation at 100 users, dp-cap14.
+    for mech in [MechanismKind::OnDemand, MechanismKind::Fixed, MechanismKind::Steered] {
+        let mut cov = 0.0;
+        let mut comp = 0.0;
+        let mut var = 0.0;
+        let mut rpm = 0.0;
+        let reps = 20;
+        for rep in 0..reps {
+            let s = Scenario::paper_default()
+                .with_mechanism(mech)
+                .with_seed(paydemand_sim::runner::rep_seed(7, rep))
+                .with_selector(SelectorKind::Dp { candidate_cap: Some(14) });
+            let r = engine::run(&s).unwrap();
+            cov += 100.0 * r.coverage();
+            comp += 100.0 * r.completeness();
+            var += metrics::measurement_variance(&r);
+            rpm += metrics::average_reward_per_measurement(&r);
+        }
+        let n = reps as f64;
+        println!(
+            "{:>10}: coverage {:.1}%  completeness {:.1}%  variance {:.1}  reward/meas {:.3}",
+            format!("{mech:?}"), cov / n, comp / n, var / n, rpm / n
+        );
+    }
+}

@@ -1,0 +1,850 @@
+//! The simulation engine: the round loop of the paper's Fig. 1.
+//!
+//! Each sensing round:
+//! 1. the platform counts every task's neighbouring users and publishes
+//!    incomplete tasks with mechanism-priced rewards;
+//! 2. users — visited in a fresh random order, since the WST mode has
+//!    no coordination — each solve their selection problem against the
+//!    tasks *still available to them* (incomplete right now, never
+//!    contributed by them before), travel, measure, upload and get paid;
+//! 3. the platform closes the round; users move per the scenario's
+//!    [`UserMotion`].
+//!
+//! Processing users sequentially against live availability keeps
+//! measurements capped at `φ_i` and every performed task paid, which is
+//! the only reading of the paper under which its Fig. 8(a) measurement
+//! counts stay ≤ φ (see EXPERIMENTS.md, "Assumptions").
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use paydemand_core::incentive::{
+    FixedIncentive, HybridIncentive, IncentiveMechanism, OnDemandIncentive,
+    ProportionalIncentive, SteeredIncentive,
+};
+use paydemand_core::selection::{
+    BranchBoundSelector, DpSelector, GreedySelector, GreedyTwoOptSelector, InsertionSelector,
+    SelectionOutcome, SelectionProblem, TaskSelector,
+};
+use paydemand_core::{Platform, PublishedTask, TaskId, UserId};
+use paydemand_geo::mobility::{MobilityState, RandomWaypoint};
+use paydemand_geo::network::RoadNetwork;
+use paydemand_geo::{Point, Rect};
+use paydemand_routing::CostMatrix;
+
+use crate::{
+    metrics, MechanismKind, Scenario, SelectorKind, SimError, TravelModel, UserMotion, Workload,
+};
+
+/// Per-run travel-cost context: holds the street network, if any, and
+/// builds the selection problem for each user against the scenario's
+/// travel model.
+#[derive(Debug)]
+pub(crate) struct TravelContext {
+    model: TravelModel,
+    network: Option<RoadNetwork>,
+}
+
+impl TravelContext {
+    pub(crate) fn euclidean() -> Self {
+        TravelContext { model: TravelModel::Euclidean, network: None }
+    }
+
+    fn for_scenario(scenario: &Scenario, area: Rect, rng: &mut StdRng) -> Result<Self, SimError> {
+        let network = match scenario.travel {
+            TravelModel::StreetGrid { cols, rows, closure } => Some(
+                RoadNetwork::degraded_grid(area, cols, rows, closure, rng)
+                    .map_err(paydemand_core::CoreError::from)?,
+            ),
+            _ => None,
+        };
+        Ok(TravelContext { model: scenario.travel, network })
+    }
+
+    /// Travel distance between two points under the model.
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        match self.model {
+            TravelModel::Euclidean => a.distance(b),
+            TravelModel::Manhattan => a.manhattan_distance(b),
+            TravelModel::StreetGrid { .. } => {
+                let network = self.network.as_ref().expect("street grid built at run start");
+                self.network_pair_distance(network, a, b)
+            }
+        }
+    }
+
+    fn network_pair_distance(&self, network: &RoadNetwork, a: Point, b: Point) -> f64 {
+        network.travel_matrix(&[a, b]).get(0, 1)
+    }
+
+    /// Builds a [`SelectionProblem`] whose cost matrix follows the
+    /// travel model.
+    pub(crate) fn problem(
+        &self,
+        location: Point,
+        tasks: &[paydemand_core::PublishedTask],
+        time_budget: f64,
+        speed: f64,
+        cost_per_meter: f64,
+    ) -> Result<SelectionProblem, SimError> {
+        match self.model {
+            TravelModel::Euclidean => {
+                Ok(SelectionProblem::new(location, tasks, time_budget, speed, cost_per_meter)?)
+            }
+            TravelModel::Manhattan => {
+                let start: Vec<f64> =
+                    tasks.iter().map(|t| location.manhattan_distance(t.location)).collect();
+                let costs = CostMatrix::from_fn(start, |i, j| {
+                    tasks[i].location.manhattan_distance(tasks[j].location)
+                });
+                Ok(SelectionProblem::with_costs(
+                    location,
+                    tasks,
+                    costs,
+                    time_budget,
+                    speed,
+                    cost_per_meter,
+                )?)
+            }
+            TravelModel::StreetGrid { .. } => {
+                let network = self.network.as_ref().expect("street grid built at run start");
+                let mut points = Vec::with_capacity(tasks.len() + 1);
+                points.push(location);
+                points.extend(tasks.iter().map(|t| t.location));
+                let tm = network.travel_matrix(&points);
+                let start: Vec<f64> = (0..tasks.len()).map(|j| tm.get(0, j + 1)).collect();
+                let costs = CostMatrix::from_fn(start, |i, j| tm.get(i + 1, j + 1));
+                Ok(SelectionProblem::with_costs(
+                    location,
+                    tasks,
+                    costs,
+                    time_budget,
+                    speed,
+                    cost_per_meter,
+                )?)
+            }
+        }
+    }
+}
+
+/// Everything recorded about one sensing round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// The 1-based round number.
+    pub round: u32,
+    /// Published reward per task id; `None` for unpublished (complete)
+    /// tasks.
+    pub rewards: Vec<Option<f64>>,
+    /// New measurements received per task id during this round.
+    pub new_measurements: Vec<u32>,
+    /// Profit earned by each user id this round.
+    pub user_profits: Vec<f64>,
+    /// Number of tasks each user selected this round.
+    pub user_selected: Vec<u32>,
+}
+
+/// The complete outcome of one simulation repetition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// The generated workload (task and user draws).
+    pub workload: Workload,
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Final measurement count per task id (≤ φ_i by construction).
+    pub received: Vec<u32>,
+    /// Accumulated data value per task id: the sum of contributing
+    /// users' sensing qualities (equals `received` under perfect
+    /// quality).
+    pub quality_received: Vec<f64>,
+    /// The platform's streaming estimate of each task's value, built
+    /// from the (noisy) measurements it received.
+    pub estimates: Vec<crate::sensing::Estimate>,
+    /// Round at which each task completed, if it did.
+    pub completed_round: Vec<Option<u32>>,
+    /// Total rewards the platform paid.
+    pub total_paid: f64,
+}
+
+impl SimulationResult {
+    /// Total measurements received across all tasks and rounds.
+    #[must_use]
+    pub fn total_measurements(&self) -> u64 {
+        self.received.iter().map(|&r| u64::from(r)).sum()
+    }
+
+    /// Coverage at the last round; see [`metrics::coverage`].
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        metrics::coverage(self)
+    }
+
+    /// Overall completeness; see [`metrics::completeness`].
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        metrics::completeness(self)
+    }
+}
+
+/// Runs one repetition of `scenario` to completion.
+///
+/// Fully deterministic: the same scenario (including seed) always
+/// produces the same result.
+///
+/// # Errors
+///
+/// * [`SimError::InvalidScenario`] for invalid configuration;
+/// * [`SimError::Core`] if the domain layer rejects an operation (e.g.
+///   the uncapped exact DP refusing too many candidate tasks).
+pub fn run(scenario: &Scenario) -> Result<SimulationResult, SimError> {
+    scenario.validate()?;
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    let workload = Workload::generate(scenario, &mut rng)?;
+    run_with_workload(scenario, workload, &mut rng)
+}
+
+/// Runs one repetition on an already-generated workload (used by the
+/// Fig. 5 selector comparison, which must hold the workload fixed while
+/// swapping selectors).
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with_workload(
+    scenario: &Scenario,
+    workload: Workload,
+    rng: &mut StdRng,
+) -> Result<SimulationResult, SimError> {
+    let mechanism = build_mechanism(scenario)?;
+    let mut platform = Platform::new(
+        workload.tasks.clone(),
+        mechanism,
+        workload.area,
+        scenario.neighbor_radius,
+    )?;
+    if scenario.enforce_budget {
+        platform.set_spend_cap(scenario.reward_budget)?;
+    }
+    platform.set_publish_expired(scenario.publish_expired);
+    let travel = TravelContext::for_scenario(scenario, workload.area, rng)?;
+    let selector = build_selector(scenario.selector);
+    let m = workload.tasks.len();
+    let n = workload.users.len();
+
+    let mut locations: Vec<Point> = workload.users.iter().map(|u| u.location()).collect();
+    let mut contributed: Vec<HashSet<TaskId>> = vec![HashSet::new(); n];
+    let mut quality_received = vec![0.0f64; m];
+    let mut estimates = vec![crate::sensing::Estimate::default(); m];
+    let mut wander: Vec<MobilityState> = match scenario.user_motion {
+        UserMotion::Wander { .. } => (0..n)
+            .map(|_| MobilityState::RandomWaypoint(RandomWaypoint::new(scenario.speed)))
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    let mut rounds = Vec::with_capacity(scenario.max_rounds as usize);
+    for round in 1..=scenario.max_rounds {
+        let published = platform.publish_round(&locations, rng)?;
+        let mut rewards = vec![None; m];
+        for t in &published {
+            rewards[t.id.0] = Some(t.reward);
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut new_measurements = vec![0u32; m];
+        let mut user_profits = vec![0.0; n];
+        let mut user_selected = vec![0u32; n];
+
+        for &ui in &order {
+            // Dropout: the user is offline this round.
+            if scenario.dropout_rate > 0.0 && rng.gen::<f64>() < scenario.dropout_rate {
+                continue;
+            }
+            let profile = &workload.users[ui];
+            let available: Vec<PublishedTask> = published
+                .iter()
+                .filter(|t| {
+                    !contributed[ui].contains(&t.id)
+                        && platform.received(t.id).expect("published task exists")
+                            < workload.tasks[t.id.0].required()
+                })
+                .copied()
+                .collect();
+            if available.is_empty() {
+                continue;
+            }
+            let outcome = solve_selection(
+                &selector,
+                scenario.selector,
+                &travel,
+                locations[ui],
+                &available,
+                profile.time_budget(),
+                scenario.speed,
+                scenario.cost_per_meter,
+                scenario.sensing_seconds,
+            )?;
+            let mut payments = 0.0;
+            let mut performed = 0usize;
+            for &task in outcome.tasks() {
+                match platform.submit(UserId(ui), task) {
+                    Ok(pay) => {
+                        payments += pay;
+                        contributed[ui].insert(task);
+                        new_measurements[task.0] += 1;
+                        quality_received[task.0] += workload.qualities[ui];
+                        estimates[task.0].add(scenario.sensing.sample_measurement(
+                            workload.truths[task.0],
+                            workload.qualities[ui],
+                            rng,
+                        ));
+                        performed += 1;
+                    }
+                    // A hard-capped platform may run out of budget
+                    // mid-route; the user stops there, keeping what was
+                    // already earned.
+                    Err(paydemand_core::CoreError::BudgetExhausted { .. }) => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if performed == outcome.tasks().len() {
+                user_profits[ui] = outcome.profit();
+                locations[ui] = outcome.end_location();
+            } else {
+                // Recompute the truncated route's economics.
+                let location_of = |id: TaskId| {
+                    published
+                        .iter()
+                        .find(|t| t.id == id)
+                        .expect("selected task was published")
+                        .location
+                };
+                let mut distance = 0.0;
+                let mut here = locations[ui];
+                for &task in &outcome.tasks()[..performed] {
+                    let next = location_of(task);
+                    distance += travel.distance(here, next);
+                    here = next;
+                }
+                user_profits[ui] = payments - scenario.cost_per_meter * distance;
+                locations[ui] = here;
+            }
+            user_selected[ui] = performed as u32;
+        }
+        platform.finish_round();
+
+        rounds.push(RoundRecord { round, rewards, new_measurements, user_profits, user_selected });
+
+        // Inter-round motion.
+        match scenario.user_motion {
+            UserMotion::StayAtRouteEnd => {}
+            UserMotion::ReturnHome => {
+                for (loc, u) in locations.iter_mut().zip(&workload.users) {
+                    *loc = u.location();
+                }
+            }
+            UserMotion::Teleport => {
+                for loc in &mut locations {
+                    *loc = workload.area.sample_uniform(rng);
+                }
+            }
+            UserMotion::Wander { seconds } => {
+                for (loc, state) in locations.iter_mut().zip(&mut wander) {
+                    *loc = state.advance(*loc, workload.area, seconds, rng);
+                }
+            }
+        }
+
+        if scenario.stop_when_complete && platform.all_complete() {
+            break;
+        }
+    }
+
+    let received: Vec<u32> =
+        (0..m).map(|i| platform.received(TaskId(i)).expect("task exists")).collect();
+    let completed_round: Vec<Option<u32>> =
+        (0..m).map(|i| platform.completed_round(TaskId(i)).expect("task exists")).collect();
+    let total_paid = platform.total_paid();
+
+    Ok(SimulationResult {
+        scenario: scenario.clone(),
+        workload,
+        rounds,
+        received,
+        quality_received,
+        estimates,
+        completed_round,
+        total_paid,
+    })
+}
+
+/// Builds the configured mechanism as a trait object.
+fn build_mechanism(scenario: &Scenario) -> Result<Box<dyn IncentiveMechanism>, SimError> {
+    let levels = paydemand_core::DemandLevels::new(scenario.demand_levels)?;
+    let schedule = paydemand_core::RewardSchedule::from_budget(
+        scenario.reward_budget,
+        scenario.total_required(),
+        scenario.reward_increment,
+        levels,
+    )?;
+    Ok(match scenario.mechanism {
+        MechanismKind::OnDemand => Box::new(OnDemandIncentive::new(
+            paydemand_core::DemandIndicator::paper_default(),
+            schedule,
+        )),
+        MechanismKind::Fixed => Box::new(FixedIncentive::new(schedule)),
+        MechanismKind::Steered => Box::new(SteeredIncentive::budget_matched()),
+        MechanismKind::SteeredPaperConstants => Box::new(SteeredIncentive::paper_constants()),
+        MechanismKind::Proportional => Box::new(ProportionalIncentive::new(
+            paydemand_core::DemandIndicator::paper_default(),
+            schedule,
+        )),
+        MechanismKind::Hybrid { alpha } => {
+            let inner = OnDemandIncentive::new(
+                paydemand_core::DemandIndicator::paper_default(),
+                schedule,
+            );
+            let flat = scenario.reward_budget / scenario.total_required() as f64;
+            Box::new(HybridIncentive::new(inner, alpha, flat)?)
+        }
+    })
+}
+
+/// Builds the configured selector as a trait object.
+fn build_selector(kind: SelectorKind) -> Box<dyn TaskSelector> {
+    match kind {
+        SelectorKind::Dp { .. } => Box::new(DpSelector),
+        SelectorKind::Greedy => Box::new(GreedySelector),
+        SelectorKind::GreedyTwoOpt => Box::new(GreedyTwoOptSelector),
+        SelectorKind::Insertion => Box::new(InsertionSelector),
+        SelectorKind::BranchBound => Box::new(BranchBoundSelector),
+    }
+}
+
+/// Solves one user's selection, applying the DP candidate cap if
+/// configured: only the `cap` nearest *reachable* tasks enter the
+/// exponential solver (heuristic pre-filter; see DESIGN.md).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_selection(
+    selector: &dyn TaskSelector,
+    kind: SelectorKind,
+    travel: &TravelContext,
+    location: Point,
+    available: &[PublishedTask],
+    time_budget: f64,
+    speed: f64,
+    cost_per_meter: f64,
+    sensing_seconds: f64,
+) -> Result<SelectionOutcome, SimError> {
+    let capped: Vec<PublishedTask>;
+    let candidates: &[PublishedTask] = match kind {
+        SelectorKind::Dp { candidate_cap: Some(cap) } if available.len() > cap => {
+            let reach = time_budget * speed;
+            let mut with_dist: Vec<(f64, PublishedTask)> = available
+                .iter()
+                .map(|t| (location.distance(t.location), *t))
+                .filter(|(d, _)| *d <= reach)
+                .collect();
+            with_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            with_dist.truncate(cap);
+            capped = with_dist.into_iter().map(|(_, t)| t).collect();
+            &capped
+        }
+        _ => available,
+    };
+    let mut problem = travel.problem(location, candidates, time_budget, speed, cost_per_meter)?;
+    if sensing_seconds > 0.0 {
+        problem = problem.with_sensing_seconds(sensing_seconds, speed)?;
+    }
+    Ok(selector.select(&problem)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_scenario() -> Scenario {
+        Scenario::paper_default()
+            .with_users(20)
+            .with_tasks(8)
+            .with_max_rounds(6)
+            .with_selector(SelectorKind::GreedyTwoOpt)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let s = small_scenario();
+        let a = run(&s).unwrap();
+        let b = run(&s).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(&small_scenario()).unwrap();
+        let b = run(&small_scenario().with_seed(12)).unwrap();
+        assert_ne!(a.received, b.received);
+    }
+
+    #[test]
+    fn invariants_hold_for_all_mechanisms_and_selectors() {
+        for mechanism in [
+            MechanismKind::OnDemand,
+            MechanismKind::Fixed,
+            MechanismKind::Steered,
+            MechanismKind::SteeredPaperConstants,
+            MechanismKind::Proportional,
+            MechanismKind::Hybrid { alpha: 0.5 },
+        ] {
+            for selector in [
+                SelectorKind::Dp { candidate_cap: Some(10) },
+                SelectorKind::Greedy,
+                SelectorKind::GreedyTwoOpt,
+                SelectorKind::Insertion,
+            ] {
+                let s = small_scenario().with_mechanism(mechanism).with_selector(selector);
+                let r = run(&s).unwrap();
+                check_invariants(&r);
+            }
+        }
+    }
+
+    fn check_invariants(r: &SimulationResult) {
+        let m = r.workload.tasks.len();
+        let n = r.workload.users.len();
+        assert_eq!(r.received.len(), m);
+        assert!(!r.rounds.is_empty());
+        // Measurements never exceed φ.
+        for (i, spec) in r.workload.tasks.iter().enumerate() {
+            assert!(r.received[i] <= spec.required());
+        }
+        // Round records sum to final counts.
+        for i in 0..m {
+            let total: u32 = r.rounds.iter().map(|rr| rr.new_measurements[i]).sum();
+            assert_eq!(total, r.received[i]);
+        }
+        // Profits are never negative (rational users).
+        for rr in &r.rounds {
+            assert_eq!(rr.user_profits.len(), n);
+            for &p in &rr.user_profits {
+                assert!(p >= 0.0, "negative profit {p}");
+            }
+            // Published rewards only for incomplete tasks, and positive.
+            for reward in rr.rewards.iter().flatten() {
+                assert!(*reward > 0.0);
+            }
+        }
+        // Completed tasks have a completion round within range and full
+        // measurements.
+        for (i, cr) in r.completed_round.iter().enumerate() {
+            if let Some(k) = cr {
+                assert!(*k >= 1 && *k <= r.scenario.max_rounds);
+                assert_eq!(r.received[i], r.workload.tasks[i].required());
+            }
+        }
+        // Paid amount is positive iff measurements happened.
+        if r.total_measurements() > 0 {
+            assert!(r.total_paid > 0.0);
+        }
+    }
+
+    #[test]
+    fn stop_when_complete_halts_early() {
+        // Tiny workload drowning in users: should finish fast.
+        let s = Scenario {
+            tasks: 2,
+            required_per_task: 2,
+            users: 30,
+            stop_when_complete: true,
+            max_rounds: 15,
+            selector: SelectorKind::Greedy,
+            ..Scenario::paper_default()
+        }
+        .with_seed(3);
+        let r = run(&s).unwrap();
+        assert!(r.rounds.len() < 15, "ran {} rounds", r.rounds.len());
+        assert!(r.completed_round.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn users_never_contribute_twice_to_a_task() {
+        let s = small_scenario();
+        let r = run(&s).unwrap();
+        // Per user, count task selections across rounds; since each
+        // contribution is a distinct (user, task) pair, the total
+        // measurements equal the number of distinct pairs.
+        let total_selected: u32 =
+            r.rounds.iter().flat_map(|rr| rr.user_selected.iter()).sum();
+        assert_eq!(u64::from(total_selected), r.total_measurements());
+    }
+
+    #[test]
+    fn travel_models_all_run_and_rank_sanely() {
+        // The same world costs strictly more to cover on streets than as
+        // the crow flies, so completeness can only drop (weakly) as the
+        // travel model gets harsher.
+        let base = Scenario { users: 30, ..small_scenario() };
+        let run_with = |travel| {
+            let s = Scenario { travel, ..base.clone() };
+            run(&s).unwrap()
+        };
+        let euclid = run_with(TravelModel::Euclidean);
+        let manhattan = run_with(TravelModel::Manhattan);
+        let streets = run_with(TravelModel::StreetGrid { cols: 10, rows: 10, closure: 0.3 });
+        assert!(manhattan.completeness() <= euclid.completeness() + 0.05);
+        assert!(streets.total_measurements() > 0);
+        assert!(manhattan.total_measurements() > 0);
+        // Profits remain rational under every travel model.
+        for r in [&euclid, &manhattan, &streets] {
+            for rr in &r.rounds {
+                assert!(rr.user_profits.iter().all(|&p| p >= -1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn sensing_time_shrinks_participation() {
+        // 5 minutes per measurement eats most of a 10-20 minute budget.
+        let fast = run(&small_scenario()).unwrap();
+        let slow = run(&Scenario { sensing_seconds: 300.0, ..small_scenario() }).unwrap();
+        assert!(
+            slow.total_measurements() < fast.total_measurements(),
+            "sensing time must reduce throughput: {} vs {}",
+            slow.total_measurements(),
+            fast.total_measurements()
+        );
+        assert!(slow.total_measurements() > 0);
+        // Per-round, a user can at most fit budget/(sensing time) tasks.
+        for rr in &slow.rounds {
+            for (&sel, profile) in rr.user_selected.iter().zip(&slow.workload.users) {
+                let cap = (profile.time_budget() / 300.0).floor() as u32;
+                assert!(sel <= cap, "user fit {sel} tasks over cap {cap}");
+            }
+        }
+        // Validation rejects nonsense.
+        let bad = Scenario { sensing_seconds: -1.0, ..small_scenario() };
+        assert!(matches!(
+            run(&bad),
+            Err(SimError::InvalidScenario { field: "sensing_seconds", .. })
+        ));
+    }
+
+    #[test]
+    fn street_grid_validation() {
+        let s = Scenario {
+            travel: TravelModel::StreetGrid { cols: 1, rows: 5, closure: 0.1 },
+            ..small_scenario()
+        };
+        assert!(matches!(run(&s), Err(SimError::InvalidScenario { field: "travel", .. })));
+        let s = Scenario {
+            travel: TravelModel::StreetGrid { cols: 5, rows: 5, closure: 1.0 },
+            ..small_scenario()
+        };
+        assert!(matches!(run(&s), Err(SimError::InvalidScenario { field: "travel", .. })));
+    }
+
+    #[test]
+    fn dropout_thins_participation_monotonically() {
+        let run_with = |rate: f64| {
+            let s = Scenario { dropout_rate: rate, users: 30, ..small_scenario() };
+            run(&s).unwrap().total_measurements()
+        };
+        let none = run_with(0.0);
+        let half = run_with(0.5);
+        let heavy = run_with(0.9);
+        assert!(none >= half, "{none} < {half}");
+        assert!(half >= heavy, "{half} < {heavy}");
+        assert!(heavy > 0, "a 10% active fleet still measures something");
+        // Validation rejects nonsense rates.
+        let bad = Scenario { dropout_rate: 1.0, ..small_scenario() };
+        assert!(matches!(
+            run(&bad),
+            Err(SimError::InvalidScenario { field: "dropout_rate", .. })
+        ));
+    }
+
+    #[test]
+    fn strict_expiry_reduces_late_measurements() {
+        let base = Scenario { users: 25, max_rounds: 12, ..small_scenario() };
+        let lenient = run(&base.clone()).unwrap();
+        let strict = run(&Scenario { publish_expired: false, ..base }).unwrap();
+        // Strict expiry can only remove opportunities.
+        assert!(strict.total_measurements() <= lenient.total_measurements());
+        // And no measurement may arrive after a task's deadline.
+        for (i, spec) in strict.workload.tasks.iter().enumerate() {
+            for (k, rr) in strict.rounds.iter().enumerate() {
+                if (k as u32 + 1) > spec.deadline() {
+                    assert_eq!(
+                        rr.new_measurements[i], 0,
+                        "measurement after deadline under strict expiry"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn user_motions_all_run() {
+        for motion in [
+            UserMotion::StayAtRouteEnd,
+            UserMotion::ReturnHome,
+            UserMotion::Teleport,
+            UserMotion::Wander { seconds: 120.0 },
+        ] {
+            let s = Scenario { user_motion: motion, ..small_scenario() };
+            let r = run(&s).unwrap();
+            assert!(!r.rounds.is_empty(), "{motion:?}");
+        }
+    }
+
+    #[test]
+    fn capped_dp_handles_more_tasks_than_cap() {
+        let s = Scenario {
+            tasks: 20,
+            selector: SelectorKind::Dp { candidate_cap: Some(5) },
+            users: 10,
+            max_rounds: 2,
+            ..Scenario::paper_default()
+        };
+        let r = run(&s).unwrap();
+        assert_eq!(r.rounds.len(), 2);
+    }
+
+    #[test]
+    fn uncapped_dp_rejects_too_many_tasks() {
+        let s = Scenario {
+            tasks: 30,
+            selector: SelectorKind::exact_dp(),
+            users: 2,
+            max_rounds: 1,
+            // Wide budget so all 30 tasks are candidates.
+            time_budget_range: (10_000.0, 10_000.0),
+            ..Scenario::paper_default()
+        };
+        assert!(matches!(run(&s), Err(SimError::Core(_))));
+    }
+
+    #[test]
+    fn enforced_budget_is_never_exceeded() {
+        // The literal steered constants pay 5-25 $ per measurement and
+        // would blow through 1000 $; the cap must hold the line.
+        let s = Scenario {
+            mechanism: MechanismKind::SteeredPaperConstants,
+            enforce_budget: true,
+            users: 60,
+            ..small_scenario()
+        };
+        let r = run(&s).unwrap();
+        assert!(
+            r.total_paid <= s.reward_budget + 1e-9,
+            "paid {} > cap {}",
+            r.total_paid,
+            s.reward_budget
+        );
+        // Sanity: without the cap the same scenario overspends.
+        let uncapped = run(&Scenario { enforce_budget: false, ..s }).unwrap();
+        assert!(uncapped.total_paid > uncapped.scenario.reward_budget);
+        // Truncated users still never lose money.
+        for rr in &r.rounds {
+            assert!(rr.user_profits.iter().all(|&p| p >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn hybrid_alpha_validation_flows_through() {
+        let s = Scenario {
+            mechanism: MechanismKind::Hybrid { alpha: 1.5 },
+            ..small_scenario()
+        };
+        assert!(matches!(
+            run(&s),
+            Err(SimError::InvalidScenario { field: "mechanism", .. })
+        ));
+    }
+
+    #[test]
+    fn proportional_tracks_on_demand_closely() {
+        // The level discretisation should not change headline outcomes.
+        let base = small_scenario().with_users(40);
+        let od = run(&base.clone().with_mechanism(MechanismKind::OnDemand)).unwrap();
+        let pr = run(&base.with_mechanism(MechanismKind::Proportional)).unwrap();
+        assert!((od.coverage() - pr.coverage()).abs() < 0.3);
+        assert!((od.completeness() - pr.completeness()).abs() < 0.2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn invariants_hold_on_random_scenarios(
+            users in 1usize..25,
+            tasks in 1usize..10,
+            required in 1u32..8,
+            rounds in 1u32..7,
+            seed in 0u64..1_000_000,
+            selector_pick in 0usize..4,
+            mechanism_pick in 0usize..4,
+            deadline_hi in 1u32..10,
+            budget_lo in 0.0..800.0f64,
+        ) {
+            let selector = [
+                SelectorKind::Dp { candidate_cap: Some(8) },
+                SelectorKind::Greedy,
+                SelectorKind::GreedyTwoOpt,
+                SelectorKind::Insertion,
+            ][selector_pick];
+            let mechanism = [
+                MechanismKind::OnDemand,
+                MechanismKind::Fixed,
+                MechanismKind::Steered,
+                MechanismKind::Proportional,
+            ][mechanism_pick];
+            let scenario = Scenario {
+                users,
+                tasks,
+                required_per_task: required,
+                max_rounds: rounds,
+                deadline_range: (1, deadline_hi),
+                time_budget_range: (budget_lo, budget_lo + 400.0),
+                mechanism,
+                selector,
+                ..Scenario::paper_default()
+            }
+            .with_seed(seed);
+            let r = run(&scenario).unwrap();
+            // Reuse the invariant batteries.
+            check_invariants(&r);
+            // Quality bookkeeping: perfect quality ⇒ value == count.
+            for (i, &q) in r.quality_received.iter().enumerate() {
+                prop_assert!((q - f64::from(r.received[i])).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_beats_fixed_on_coverage_typically() {
+        // Smoke test of the paper's headline claim on a small instance;
+        // the full comparison lives in the figure harness.
+        let mut on_demand_wins = 0;
+        for seed in 0..5 {
+            let base = Scenario::paper_default()
+                .with_users(40)
+                .with_max_rounds(10)
+                .with_selector(SelectorKind::GreedyTwoOpt)
+                .with_seed(seed);
+            let od = run(&base.clone().with_mechanism(MechanismKind::OnDemand)).unwrap();
+            let fx = run(&base.with_mechanism(MechanismKind::Fixed)).unwrap();
+            if od.coverage() >= fx.coverage() {
+                on_demand_wins += 1;
+            }
+        }
+        assert!(on_demand_wins >= 3, "on-demand won only {on_demand_wins}/5 seeds");
+    }
+}

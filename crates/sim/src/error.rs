@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation harness.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A scenario field was out of range.
+    InvalidScenario {
+        /// Which field.
+        field: &'static str,
+        /// Human-readable complaint.
+        message: String,
+    },
+    /// The domain layer rejected an operation.
+    Core(paydemand_core::CoreError),
+    /// Writing a report failed.
+    Io(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidScenario { field, message } => {
+                write!(f, "invalid scenario field {field}: {message}")
+            }
+            SimError::Core(e) => write!(f, "core: {e}"),
+            SimError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<paydemand_core::CoreError> for SimError {
+    fn from(e: paydemand_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let core = SimError::from(paydemand_core::CoreError::RoundNotOpen);
+        assert!(core.source().is_some());
+        let io = SimError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        let inv = SimError::InvalidScenario { field: "users", message: "zero".into() };
+        assert!(inv.to_string().contains("users"));
+    }
+}

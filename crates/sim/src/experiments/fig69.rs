@@ -1,0 +1,245 @@
+//! Figs. 6–9 — the three-mechanism comparison panels.
+//!
+//! Every "(a)" panel sweeps the user count (paper: 40–140) and every
+//! "(b)" panel fixes 100 users and resolves the metric per round.
+//! On-demand, fixed and steered run on identical workloads (same
+//! repetition seeds), so differences are attributable to the mechanism
+//! alone.
+
+use crate::metrics;
+use crate::report::{Figure, Series};
+use crate::{MechanismKind, SimError, SimulationResult};
+
+use super::{mean_metric, mean_per_round, FigureParams};
+
+/// Builds an "(a)" panel: `metric` averaged over repetitions, per
+/// mechanism, against the user count.
+fn users_panel(
+    params: &FigureParams,
+    id: &str,
+    title: &str,
+    y_label: &str,
+    metric: impl Fn(&SimulationResult) -> f64 + Copy,
+) -> Result<Figure, SimError> {
+    let x: Vec<f64> = params.user_counts.iter().map(|&u| u as f64).collect();
+    let mut series = Vec::new();
+    for mechanism in MechanismKind::paper_lineup() {
+        let mut y = Vec::with_capacity(params.user_counts.len());
+        for &users in &params.user_counts {
+            y.push(mean_metric(params, mechanism, users, metric)?);
+        }
+        series.push(Series { label: mechanism.label().to_string(), y });
+    }
+    Ok(Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: "users".into(),
+        y_label: y_label.into(),
+        x,
+        series,
+    })
+}
+
+/// Builds a "(b)" panel: `extract(result, round)` averaged over
+/// repetitions, per mechanism, against the round number.
+fn rounds_panel(
+    params: &FigureParams,
+    id: &str,
+    title: &str,
+    y_label: &str,
+    first_round: u32,
+    extract: impl Fn(&SimulationResult, u32) -> f64 + Copy,
+) -> Result<Figure, SimError> {
+    let rounds = params.base.max_rounds;
+    let x: Vec<f64> = (first_round..=rounds).map(f64::from).collect();
+    let mut series = Vec::new();
+    for mechanism in MechanismKind::paper_lineup() {
+        let per_round = mean_per_round(params, mechanism, extract)?;
+        let y: Vec<f64> =
+            per_round[(first_round as usize - 1)..].to_vec();
+        series.push(Series { label: mechanism.label().to_string(), y });
+    }
+    Ok(Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: "round".into(),
+        y_label: y_label.into(),
+        x,
+        series,
+    })
+}
+
+/// Fig. 6(a): coverage (%) vs number of users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig6a(params: &FigureParams) -> Result<Figure, SimError> {
+    users_panel(params, "fig6a", "Coverage vs users", "coverage (%)", |r| {
+        100.0 * metrics::coverage(r)
+    })
+}
+
+/// Fig. 6(b): coverage (%) vs sensing round, 100 users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig6b(params: &FigureParams) -> Result<Figure, SimError> {
+    rounds_panel(params, "fig6b", "Coverage vs rounds", "coverage (%)", 1, |r, k| {
+        100.0 * metrics::coverage_at_round(r, k)
+    })
+}
+
+/// Fig. 7(a): overall completeness (%) vs number of users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig7a(params: &FigureParams) -> Result<Figure, SimError> {
+    users_panel(params, "fig7a", "Overall completeness vs users", "completeness (%)", |r| {
+        100.0 * metrics::completeness(r)
+    })
+}
+
+/// Fig. 7(b): overall completeness (%) vs sensing round (5–15), 100
+/// users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig7b(params: &FigureParams) -> Result<Figure, SimError> {
+    let first = 5.min(params.base.max_rounds);
+    rounds_panel(params, "fig7b", "Completeness vs rounds", "completeness (%)", first, |r, k| {
+        100.0 * metrics::completeness_at_round(r, k)
+    })
+}
+
+/// Fig. 8(a): average measurements per task vs number of users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig8a(params: &FigureParams) -> Result<Figure, SimError> {
+    users_panel(
+        params,
+        "fig8a",
+        "Average measurements per task vs users",
+        "avg measurements",
+        metrics::average_measurements,
+    )
+}
+
+/// Fig. 8(b): total new measurements per round, 100 users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig8b(params: &FigureParams) -> Result<Figure, SimError> {
+    rounds_panel(params, "fig8b", "New measurements per round", "measurements", 1, |r, k| {
+        f64::from(metrics::measurements_per_round(r).get(k as usize - 1).copied().unwrap_or(0))
+    })
+}
+
+/// Fig. 9(a): variance of per-task measurements vs number of users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig9a(params: &FigureParams) -> Result<Figure, SimError> {
+    users_panel(
+        params,
+        "fig9a",
+        "Variance of measurements vs users",
+        "variance",
+        metrics::measurement_variance,
+    )
+}
+
+/// Fig. 9(b): average reward per measurement vs number of users.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn fig9b(params: &FigureParams) -> Result<Figure, SimError> {
+    users_panel(
+        params,
+        "fig9b",
+        "Average reward per measurement vs users",
+        "reward per measurement ($)",
+        metrics::average_reward_per_measurement,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FigureParams {
+        FigureParams::smoke()
+    }
+
+    #[test]
+    fn fig6a_shapes_and_ranges() {
+        let f = fig6a(&params()).unwrap();
+        assert_eq!(f.series.len(), 3);
+        assert_eq!(f.x, vec![20.0, 40.0]);
+        for s in &f.series {
+            assert_eq!(s.y.len(), 2);
+            for &v in &s.y {
+                assert!((0.0..=100.0).contains(&v), "{}: {v}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig6b_coverage_is_monotone_per_mechanism() {
+        let f = fig6b(&params()).unwrap();
+        for s in &f.series {
+            for w in s.y.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{}: coverage decreased", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_panels_bounded() {
+        for f in [fig7a(&params()).unwrap(), fig7b(&params()).unwrap()] {
+            for s in &f.series {
+                for &v in &s.y {
+                    assert!((0.0..=100.0).contains(&v), "{}: {v}", f.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_counts_are_nonnegative_and_capped() {
+        let p = params();
+        let a = fig8a(&p).unwrap();
+        for s in &a.series {
+            for &v in &s.y {
+                assert!(v >= 0.0 && v <= f64::from(p.base.required_per_task));
+            }
+        }
+        let b = fig8b(&p).unwrap();
+        for s in &b.series {
+            assert!(s.y.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn fig9_panels_compute() {
+        let p = params();
+        let a = fig9a(&p).unwrap();
+        assert!(a.series.iter().all(|s| s.y.iter().all(|&v| v >= 0.0)));
+        let b = fig9b(&p).unwrap();
+        // Rewards per measurement are within the envelope for every
+        // mechanism (budget-matched steered included): [0, 2.5].
+        for s in &b.series {
+            for &v in &s.y {
+                assert!((0.0..=2.5).contains(&v), "{}: {v}", s.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Map quality: estimation error versus user count, per mechanism.
+//!
+//! The paper evaluates *counts* (how many measurements); the platform's
+//! §III goal is an accurate *map*. This experiment scores each
+//! mechanism on the root-mean-square error of the platform's per-task
+//! estimates and on the fraction of tasks it can report within a
+//! tolerance ("usable map" hit rate) — the downstream quantity a city
+//! actually buys.
+
+use crate::metrics;
+use crate::report::{Figure, Series};
+use crate::runner;
+use crate::stats::Summary;
+use crate::{MechanismKind, SimError};
+
+use super::FigureParams;
+
+/// Estimation RMSE vs user count, one series per mechanism. Tasks the
+/// platform never measured are excluded from RMSE (they are captured by
+/// the hit-rate panel instead).
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn map_rmse(params: &FigureParams) -> Result<Figure, SimError> {
+    users_panel(params, "map_rmse", "Estimation RMSE vs users", "RMSE", |r| {
+        metrics::estimation_rmse(r).unwrap_or(f64::NAN)
+    })
+}
+
+/// "Usable map" hit rate vs user count: fraction of tasks whose
+/// estimate lands within `tolerance` of ground truth (unmeasured tasks
+/// miss).
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn map_hit_rate(params: &FigureParams, tolerance: f64) -> Result<Figure, SimError> {
+    users_panel(
+        params,
+        "map_hit_rate",
+        "Usable-map hit rate vs users",
+        "hit rate (%)",
+        move |r| 100.0 * metrics::estimation_hit_rate(r, tolerance),
+    )
+}
+
+fn users_panel(
+    params: &FigureParams,
+    id: &str,
+    title: &str,
+    y_label: &str,
+    metric: impl Fn(&crate::SimulationResult) -> f64 + Copy,
+) -> Result<Figure, SimError> {
+    let x: Vec<f64> = params.user_counts.iter().map(|&u| u as f64).collect();
+    let mut series = Vec::new();
+    for mechanism in MechanismKind::paper_lineup() {
+        let mut y = Vec::with_capacity(params.user_counts.len());
+        for &users in &params.user_counts {
+            let scenario = params.base.clone().with_users(users).with_mechanism(mechanism);
+            let results =
+                runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+            let values: Vec<f64> = runner::collect_metric(&results, metric)
+                .into_iter()
+                .filter(|v| v.is_finite())
+                .collect();
+            y.push(Summary::of(&values).mean);
+        }
+        series.push(Series { label: mechanism.label().to_string(), y });
+    }
+    Ok(Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: "users".into(),
+        y_label: y_label.into(),
+        x,
+        series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_panel_is_finite_and_positive() {
+        let f = map_rmse(&FigureParams::smoke()).unwrap();
+        assert_eq!(f.series.len(), 3);
+        for s in &f.series {
+            for &v in &s.y {
+                assert!(v.is_finite() && v > 0.0, "{}: {v}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_tolerance() {
+        let p = FigureParams::smoke();
+        let tight = map_hit_rate(&p, 0.5).unwrap();
+        let loose = map_hit_rate(&p, 10.0).unwrap();
+        for (t, l) in tight.series.iter().zip(&loose.series) {
+            for (a, b) in t.y.iter().zip(&l.y) {
+                assert!(b >= a, "{}: loose {b} < tight {a}", t.label);
+            }
+        }
+    }
+}

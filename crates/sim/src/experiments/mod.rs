@@ -1,0 +1,146 @@
+//! One module per paper figure: each regenerates the corresponding
+//! series from §VI using the engine, runner and metrics.
+//!
+//! All figure functions take a [`FigureParams`] controlling workload
+//! scale, repetition count and thread budget, so the quick CI defaults
+//! and the full paper-fidelity runs share one code path. The bench
+//! crate's `figures` binary is a thin CLI over these functions.
+
+mod ablation;
+mod fig5;
+mod fig69;
+mod map_quality;
+mod rewards;
+
+pub use ablation::{alpha_sweep, selector_quality};
+pub use fig5::{fig5a, fig5b, SelectorComparison};
+pub use fig69::{fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, fig9a, fig9b};
+pub use map_quality::{map_hit_rate, map_rmse};
+pub use rewards::{mean_published_reward, reward_dynamics, reward_spread};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MechanismKind, Scenario, SelectorKind};
+
+/// Shared knobs for all figure harnesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureParams {
+    /// The base scenario (the paper's §VI constants by default).
+    pub base: Scenario,
+    /// User counts for the x axes of Figs. 5(a)–9 "(a)" panels
+    /// (paper: 40, 60, …, 140).
+    pub user_counts: Vec<usize>,
+    /// Users for the "(b)" per-round panels (paper: 100).
+    pub round_panel_users: usize,
+    /// Repetitions per point (paper: 100).
+    pub reps: usize,
+    /// Worker threads for repetition parallelism.
+    pub threads: usize,
+}
+
+impl FigureParams {
+    /// The paper's full evaluation scale: users 40–140 step 20, 100
+    /// repetitions. Expect hours of compute with the DP selector; see
+    /// [`quick`](Self::quick) for the CI-sized variant.
+    #[must_use]
+    pub fn paper() -> Self {
+        FigureParams {
+            base: Scenario::paper_default(),
+            user_counts: vec![40, 60, 80, 100, 120, 140],
+            round_panel_users: 100,
+            reps: 100,
+            threads: default_threads(),
+        }
+    }
+
+    /// A minutes-scale variant preserving the paper's shape: the same
+    /// user axis, fewer repetitions, and the greedy+2-opt selector
+    /// (near-optimal; Fig. 5 still compares DP vs greedy exactly).
+    #[must_use]
+    pub fn quick() -> Self {
+        FigureParams {
+            base: Scenario::paper_default().with_selector(SelectorKind::GreedyTwoOpt),
+            user_counts: vec![40, 60, 80, 100, 120, 140],
+            round_panel_users: 100,
+            reps: 10,
+            threads: default_threads(),
+        }
+    }
+
+    /// A seconds-scale variant for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        FigureParams {
+            base: Scenario::paper_default()
+                .with_selector(SelectorKind::GreedyTwoOpt)
+                .with_max_rounds(6),
+            user_counts: vec![20, 40],
+            round_panel_users: 30,
+            reps: 2,
+            threads: 2,
+        }
+    }
+
+    /// Sets the repetition count.
+    #[must_use]
+    pub fn with_reps(mut self, reps: usize) -> Self {
+        self.reps = reps;
+        self
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+/// Averages one scalar metric over repetitions for a mechanism at a
+/// user count — the basic building block of the "(a)" panels.
+pub(crate) fn mean_metric(
+    params: &FigureParams,
+    mechanism: MechanismKind,
+    users: usize,
+    metric: impl Fn(&crate::SimulationResult) -> f64,
+) -> Result<f64, crate::SimError> {
+    let scenario = params.base.clone().with_users(users).with_mechanism(mechanism);
+    let results = crate::runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+    let values = crate::runner::collect_metric(&results, metric);
+    Ok(crate::stats::Summary::of(&values).mean)
+}
+
+/// Averages a per-round metric vector over repetitions — the building
+/// block of the "(b)" panels. `extract` must yield one value per round
+/// `1..=max_rounds`.
+pub(crate) fn mean_per_round(
+    params: &FigureParams,
+    mechanism: MechanismKind,
+    extract: impl Fn(&crate::SimulationResult, u32) -> f64,
+) -> Result<Vec<f64>, crate::SimError> {
+    let scenario =
+        params.base.clone().with_users(params.round_panel_users).with_mechanism(mechanism);
+    let results = crate::runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+    let rounds = scenario.max_rounds;
+    Ok((1..=rounds)
+        .map(|k| {
+            let values: Vec<f64> = results.iter().map(|r| extract(r, k)).collect();
+            crate::stats::Summary::of(&values).mean
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for p in [FigureParams::paper(), FigureParams::quick(), FigureParams::smoke()] {
+            p.base.validate().unwrap();
+            assert!(!p.user_counts.is_empty());
+            assert!(p.reps >= 1);
+            assert!(p.threads >= 1);
+        }
+        assert_eq!(FigureParams::paper().reps, 100);
+        assert_eq!(FigureParams::paper().user_counts, vec![40, 60, 80, 100, 120, 140]);
+        assert_eq!(FigureParams::quick().with_reps(3).reps, 3);
+    }
+}

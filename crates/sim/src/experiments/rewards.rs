@@ -1,0 +1,205 @@
+//! Reward dynamics: the published reward trajectories that the paper's
+//! §VI discusses verbally ("the rewards of the on-demand and the
+//! steered incentive mechanisms decrease as tasks receive more and more
+//! measurements ... it can increase when demand is high").
+//!
+//! Two views:
+//! * [`reward_dynamics`] — mean published reward per round, one series
+//!   per mechanism (does the price level adapt?);
+//! * [`reward_spread`] — min and max published reward per round for one
+//!   mechanism (does the mechanism *differentiate* between tasks?).
+
+use crate::report::{Figure, Series};
+use crate::runner;
+use crate::stats::Summary;
+use crate::{MechanismKind, SimError, SimulationResult};
+
+use super::FigureParams;
+
+/// Mean published reward per round for each of the paper's mechanisms
+/// (100 users by default). Complete tasks drop out of publication, so
+/// this is the mean over the tasks still on offer — exactly the price
+/// level a user browsing the app would see.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn reward_dynamics(params: &FigureParams) -> Result<Figure, SimError> {
+    let rounds = params.base.max_rounds;
+    let x: Vec<f64> = (1..=rounds).map(f64::from).collect();
+    let mut series = Vec::new();
+    for mechanism in MechanismKind::paper_lineup() {
+        let scenario = params
+            .base
+            .clone()
+            .with_users(params.round_panel_users)
+            .with_mechanism(mechanism);
+        let results =
+            runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+        let y: Vec<f64> = (1..=rounds)
+            .map(|k| {
+                let per_rep: Vec<f64> =
+                    results.iter().map(|r| mean_published_reward(r, k)).collect();
+                Summary::of(&per_rep).mean
+            })
+            .collect();
+        series.push(Series { label: mechanism.label().to_string(), y });
+    }
+    Ok(Figure {
+        id: "rewards".into(),
+        title: "Mean published reward per round".into(),
+        x_label: "round".into(),
+        y_label: "mean published reward ($)".into(),
+        x,
+        series,
+    })
+}
+
+/// Min / mean / max published reward per round for one mechanism —
+/// shows how strongly the mechanism differentiates tasks.
+///
+/// # Errors
+///
+/// Propagates engine/domain errors.
+pub fn reward_spread(
+    params: &FigureParams,
+    mechanism: MechanismKind,
+) -> Result<Figure, SimError> {
+    let rounds = params.base.max_rounds;
+    let scenario =
+        params.base.clone().with_users(params.round_panel_users).with_mechanism(mechanism);
+    let results = runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+    let x: Vec<f64> = (1..=rounds).map(f64::from).collect();
+    let stat = |f: fn(&SimulationResult, u32) -> f64| -> Vec<f64> {
+        (1..=rounds)
+            .map(|k| {
+                let per_rep: Vec<f64> = results.iter().map(|r| f(r, k)).collect();
+                Summary::of(&per_rep).mean
+            })
+            .collect()
+    };
+    Ok(Figure {
+        id: format!("reward_spread_{}", mechanism.label()),
+        title: format!("Published reward spread per round ({})", mechanism.label()),
+        x_label: "round".into(),
+        y_label: "published reward ($)".into(),
+        x,
+        series: vec![
+            Series { label: "min".into(), y: stat(min_published_reward) },
+            Series { label: "mean".into(), y: stat(mean_published_reward) },
+            Series { label: "max".into(), y: stat(max_published_reward) },
+        ],
+    })
+}
+
+/// Mean reward over the tasks published at round `k` (0 when nothing
+/// was published or the round is out of range).
+#[must_use]
+pub fn mean_published_reward(result: &SimulationResult, k: u32) -> f64 {
+    published_rewards(result, k).map_or(0.0, |rewards| {
+        if rewards.is_empty() {
+            0.0
+        } else {
+            rewards.iter().sum::<f64>() / rewards.len() as f64
+        }
+    })
+}
+
+fn min_published_reward(result: &SimulationResult, k: u32) -> f64 {
+    published_rewards(result, k)
+        .and_then(|r| r.into_iter().min_by(|a, b| a.partial_cmp(b).expect("finite")))
+        .unwrap_or(0.0)
+}
+
+fn max_published_reward(result: &SimulationResult, k: u32) -> f64 {
+    published_rewards(result, k)
+        .and_then(|r| r.into_iter().max_by(|a, b| a.partial_cmp(b).expect("finite")))
+        .unwrap_or(0.0)
+}
+
+fn published_rewards(result: &SimulationResult, k: u32) -> Option<Vec<f64>> {
+    result.rounds.get(k as usize - 1).map(|rr| rr.rewards.iter().flatten().copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use crate::{Scenario, SelectorKind};
+
+    fn params() -> FigureParams {
+        FigureParams::smoke()
+    }
+
+    #[test]
+    fn dynamics_has_three_mechanisms_within_envelope() {
+        let f = reward_dynamics(&params()).unwrap();
+        assert_eq!(f.series.len(), 3);
+        for s in &f.series {
+            for &v in &s.y {
+                // 0 is legal (no tasks published); otherwise the price
+                // must sit in the shared [0.5, 2.5] envelope.
+                assert!(v == 0.0 || (0.5..=2.5).contains(&v), "{}: {v}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn steered_mean_reward_never_increases_while_published() {
+        let f = reward_dynamics(&params()).unwrap();
+        let steered = f.series.iter().find(|s| s.label == "steered").unwrap();
+        let active: Vec<f64> =
+            steered.y.iter().copied().take_while(|&v| v > 0.0).collect();
+        for w in active.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "steered rewards rose {} -> {}; Eq. 13 only decays",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_rewards_are_constant_per_task() {
+        // Verify directly from a run: a task's published reward never
+        // changes while it stays published.
+        let s = Scenario::paper_default()
+            .with_users(15)
+            .with_tasks(6)
+            .with_max_rounds(5)
+            .with_selector(SelectorKind::Greedy)
+            .with_mechanism(MechanismKind::Fixed)
+            .with_seed(33);
+        let r = engine::run(&s).unwrap();
+        for task in 0..6 {
+            let seen: Vec<f64> =
+                r.rounds.iter().filter_map(|rr| rr.rewards[task]).collect();
+            for w in seen.windows(2) {
+                assert_eq!(w[0], w[1], "fixed reward moved for task {task}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_is_ordered() {
+        let f = reward_spread(&params(), MechanismKind::OnDemand).unwrap();
+        assert_eq!(f.series.len(), 3);
+        for i in 0..f.x.len() {
+            assert!(f.series[0].y[i] <= f.series[1].y[i] + 1e-9);
+            assert!(f.series[1].y[i] <= f.series[2].y[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn helpers_handle_out_of_range_rounds() {
+        let s = Scenario::paper_default()
+            .with_users(5)
+            .with_tasks(3)
+            .with_max_rounds(2)
+            .with_selector(SelectorKind::Greedy)
+            .with_seed(1);
+        let r = engine::run(&s).unwrap();
+        assert_eq!(mean_published_reward(&r, 99), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! `paydemand-sim` — the seeded Monte-Carlo simulation engine and
+//! experiment harness behind the paper's evaluation (§VI).
+//!
+//! The paper evaluates its mechanism purely in simulation; this crate
+//! *is* that simulator, rebuilt:
+//!
+//! * [`Scenario`] — a complete experiment description (area, tasks,
+//!   users, economics, mechanism, selector, seed), with the paper's §VI
+//!   constants as [`Scenario::paper_default`];
+//! * [`engine`] — the round loop of Fig. 1: publish → select → perform
+//!   → upload → demand-recalculate, with users processed in random
+//!   order against live task availability;
+//! * [`metrics`] — coverage, overall completeness, measurement counts
+//!   and variance, reward per measurement, per-user profit;
+//! * [`stats`] — summary statistics, five-number boxplot summaries and
+//!   confidence intervals over repetitions;
+//! * [`runner`] — deterministic multi-repetition execution (optionally
+//!   parallel across repetitions);
+//! * [`experiments`] — one module per paper figure (Figs. 5–9), each
+//!   regenerating the corresponding series;
+//! * [`report`] — text tables and CSV for everything above.
+//!
+//! # Examples
+//!
+//! ```
+//! use paydemand_sim::{MechanismKind, Scenario, SelectorKind};
+//!
+//! let scenario = Scenario::paper_default()
+//!     .with_users(60)
+//!     .with_mechanism(MechanismKind::OnDemand)
+//!     .with_selector(SelectorKind::GreedyTwoOpt)
+//!     .with_seed(42);
+//! let result = paydemand_sim::engine::run(&scenario)?;
+//! assert!(result.coverage() > 0.0);
+//! # Ok::<(), paydemand_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod engine;
+mod error;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod presets;
+pub mod quality;
+pub mod runner;
+pub mod sat;
+pub mod sensing;
+mod scenario;
+pub mod stats;
+pub mod sweep;
+pub mod trace;
+mod workload;
+
+pub use engine::{RoundRecord, SimulationResult};
+pub use error::SimError;
+pub use scenario::{MechanismKind, Scenario, SelectorKind, TravelModel, UserMotion};
+pub use workload::Workload;

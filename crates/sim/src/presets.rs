@@ -1,0 +1,139 @@
+//! Named scenario presets: curated worlds beyond the paper's uniform
+//! square, for examples, demos and quick what-ifs.
+//!
+//! Every preset starts from [`Scenario::paper_default`] and changes
+//! only what its story needs, so results stay comparable to the paper
+//! runs.
+
+use paydemand_geo::placement::Placement;
+
+use crate::quality::QualityDistribution;
+use crate::{Scenario, TravelModel};
+
+/// The paper's §VI world, verbatim (alias for
+/// [`Scenario::paper_default`]).
+#[must_use]
+pub fn paper() -> Scenario {
+    Scenario::paper_default()
+}
+
+/// A dense downtown: everything within a 1.5 km core, street-grid
+/// travel, lots of users with small time budgets. Tasks complete fast;
+/// the interesting question is cost.
+#[must_use]
+pub fn dense_downtown() -> Scenario {
+    Scenario {
+        area_side: 1500.0,
+        users: 150,
+        time_budget_range: (300.0, 600.0),
+        travel: TravelModel::StreetGrid { cols: 16, rows: 16, closure: 0.1 },
+        neighbor_radius: 400.0,
+        ..Scenario::paper_default()
+    }
+}
+
+/// A sparse rural district: 6 km side, few users, long walks, clustered
+/// villages. Coverage is the battle; deadlines are generous.
+#[must_use]
+pub fn sparse_rural() -> Scenario {
+    Scenario {
+        area_side: 6000.0,
+        users: 40,
+        tasks: 15,
+        required_per_task: 10,
+        deadline_range: (10, 20),
+        max_rounds: 20,
+        time_budget_range: (1200.0, 2400.0),
+        user_placement: Placement::Clustered { clusters: 4, sigma: 400.0 },
+        neighbor_radius: 1500.0,
+        ..Scenario::paper_default()
+    }
+}
+
+/// A commuter town: users go home every round, measurable quality
+/// differences between a small expert pool and casual contributors,
+/// non-trivial sensing time.
+#[must_use]
+pub fn commuter_town() -> Scenario {
+    Scenario {
+        users: 80,
+        user_motion: crate::UserMotion::ReturnHome,
+        user_quality: QualityDistribution::TwoTier {
+            expert_fraction: 0.2,
+            expert: 1.0,
+            novice: 0.5,
+        },
+        sensing_seconds: 60.0,
+        ..Scenario::paper_default()
+    }
+}
+
+/// An unreliable fleet: 30 % of users offline each round, heavy-tailed
+/// wandering between rounds — a stress test for the repricing loop.
+#[must_use]
+pub fn flaky_fleet() -> Scenario {
+    Scenario {
+        users: 120,
+        dropout_rate: 0.3,
+        user_motion: crate::UserMotion::Wander { seconds: 600.0 },
+        ..Scenario::paper_default()
+    }
+}
+
+/// All presets with their names, for CLI/menu listings.
+#[must_use]
+pub fn all() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("paper", paper()),
+        ("dense-downtown", dense_downtown()),
+        ("sparse-rural", sparse_rural()),
+        ("commuter-town", commuter_town()),
+        ("flaky-fleet", flaky_fleet()),
+    ]
+}
+
+/// Looks a preset up by its CLI name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{engine, SelectorKind};
+
+    #[test]
+    fn every_preset_is_valid_and_runs() {
+        for (name, preset) in all() {
+            preset.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Shrink for test speed, keep the preset's character.
+            let scenario = Scenario {
+                users: preset.users.min(25),
+                max_rounds: preset.max_rounds.min(4),
+                selector: SelectorKind::Greedy,
+                ..preset
+            }
+            .with_seed(9);
+            let r = engine::run(&scenario).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(r.total_measurements() > 0, "{name} collected nothing");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("paper").is_some());
+        assert!(by_name("dense-downtown").is_some());
+        assert!(by_name("atlantis").is_none());
+        assert_eq!(all().len(), 5);
+    }
+
+    #[test]
+    fn presets_differ_from_paper_where_promised() {
+        assert_eq!(dense_downtown().area_side, 1500.0);
+        assert!(matches!(dense_downtown().travel, TravelModel::StreetGrid { .. }));
+        assert!(sparse_rural().area_side > paper().area_side);
+        assert!(commuter_town().sensing_seconds > 0.0);
+        assert!(flaky_fleet().dropout_rate > 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Heterogeneous sensing quality — the paper's §III premise ("the
+//! quality of sensing data varies from person to person") made
+//! measurable.
+//!
+//! The paper keeps completion count-based (`φ_i` measurements from
+//! distinct users) and so do we; quality enters as an *outcome metric*:
+//! every user has a sensing quality `q ∈ (0, 1]`, every measurement
+//! contributes `q` units of data value to its task, and
+//! [`metrics`](crate::metrics) can then report how much *value* (not
+//! just how many samples) each mechanism bought. Count-identical
+//! campaigns can differ markedly in value when good sensors cluster
+//! downtown.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Distribution of per-user sensing quality.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_sim::quality::QualityDistribution;
+/// use rand::SeedableRng;
+///
+/// let d = QualityDistribution::TwoTier {
+///     expert_fraction: 0.3,
+///     expert: 1.0,
+///     novice: 0.5,
+/// };
+/// d.validate()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let q = d.sample(&mut rng);
+/// assert!(q == 1.0 || q == 0.5);
+/// # Ok::<(), paydemand_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum QualityDistribution {
+    /// Every measurement is worth 1 (the paper's implicit model).
+    #[default]
+    Perfect,
+    /// Quality uniform in `[lo, hi] ⊆ (0, 1]`.
+    Uniform {
+        /// Lower bound (exclusive of 0).
+        lo: f64,
+        /// Upper bound (≤ 1).
+        hi: f64,
+    },
+    /// A fraction of users are experts; the rest are novices.
+    TwoTier {
+        /// Fraction of expert users in `[0, 1]`.
+        expert_fraction: f64,
+        /// Expert quality in `(0, 1]`.
+        expert: f64,
+        /// Novice quality in `(0, 1]`.
+        novice: f64,
+    },
+}
+
+impl QualityDistribution {
+    /// Validates the distribution's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidScenario`] naming `user_quality`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |message: String| {
+            Err(SimError::InvalidScenario { field: "user_quality", message })
+        };
+        match *self {
+            QualityDistribution::Perfect => Ok(()),
+            QualityDistribution::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi && hi <= 1.0) {
+                    return fail(format!("uniform bounds ({lo}, {hi})"));
+                }
+                Ok(())
+            }
+            QualityDistribution::TwoTier { expert_fraction, expert, novice } => {
+                if !(expert_fraction.is_finite() && (0.0..=1.0).contains(&expert_fraction)) {
+                    return fail(format!("expert fraction {expert_fraction}"));
+                }
+                for q in [expert, novice] {
+                    if !(q.is_finite() && 0.0 < q && q <= 1.0) {
+                        return fail(format!("tier quality {q}"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Draws one user's quality.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            QualityDistribution::Perfect => 1.0,
+            QualityDistribution::Uniform { lo, hi } => {
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            QualityDistribution::TwoTier { expert_fraction, expert, novice } => {
+                if rng.gen::<f64>() < expert_fraction {
+                    expert
+                } else {
+                    novice
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn perfect_is_always_one() {
+        let mut r = rng(1);
+        for _ in 0..10 {
+            assert_eq!(QualityDistribution::Perfect.sample(&mut r), 1.0);
+        }
+        QualityDistribution::Perfect.validate().unwrap();
+        assert_eq!(QualityDistribution::default(), QualityDistribution::Perfect);
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let d = QualityDistribution::Uniform { lo: 0.3, hi: 0.8 };
+        d.validate().unwrap();
+        let mut r = rng(2);
+        for _ in 0..200 {
+            let q = d.sample(&mut r);
+            assert!((0.3..=0.8).contains(&q));
+        }
+        // Degenerate range is exact.
+        let point = QualityDistribution::Uniform { lo: 0.5, hi: 0.5 };
+        assert_eq!(point.sample(&mut r), 0.5);
+    }
+
+    #[test]
+    fn two_tier_frequencies() {
+        let d = QualityDistribution::TwoTier {
+            expert_fraction: 0.25,
+            expert: 1.0,
+            novice: 0.4,
+        };
+        d.validate().unwrap();
+        let mut r = rng(3);
+        let n = 4000;
+        let experts =
+            (0..n).filter(|_| d.sample(&mut r) == 1.0).count();
+        let frac = experts as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "expert fraction {frac}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let bad = [
+            QualityDistribution::Uniform { lo: 0.0, hi: 0.5 },
+            QualityDistribution::Uniform { lo: 0.6, hi: 0.5 },
+            QualityDistribution::Uniform { lo: 0.5, hi: 1.5 },
+            QualityDistribution::TwoTier { expert_fraction: -0.1, expert: 1.0, novice: 0.5 },
+            QualityDistribution::TwoTier { expert_fraction: 0.5, expert: 0.0, novice: 0.5 },
+            QualityDistribution::TwoTier { expert_fraction: 0.5, expert: 1.0, novice: 2.0 },
+        ];
+        for d in bad {
+            assert!(d.validate().is_err(), "{d:?} should be invalid");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic multi-repetition execution.
+//!
+//! The paper performs "each experiment for 100 times and use\[s\] the
+//! average value". Each repetition gets its own seed derived from the
+//! scenario's master seed by a SplitMix-style mix, so repetition `i` is
+//! the same random world no matter how many repetitions run, in what
+//! order, or on how many threads.
+
+use crossbeam::thread;
+
+use crate::engine::{self, SimulationResult};
+use crate::{Scenario, SimError};
+
+/// Derives repetition `rep`'s seed from the master seed.
+///
+/// SplitMix64 finaliser over `master + rep·golden_gamma`: adjacent
+/// repetition indices map to statistically unrelated seeds.
+#[must_use]
+pub fn rep_seed(master: u64, rep: usize) -> u64 {
+    let mut z = master.wrapping_add((rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `reps` repetitions sequentially.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any repetition produces.
+pub fn run_repetitions(
+    scenario: &Scenario,
+    reps: usize,
+) -> Result<Vec<SimulationResult>, SimError> {
+    (0..reps)
+        .map(|rep| {
+            let s = scenario.clone().with_seed(rep_seed(scenario.seed, rep));
+            engine::run(&s)
+        })
+        .collect()
+}
+
+/// Runs `reps` repetitions across `threads` worker threads (capped at
+/// `reps`). Results are returned in repetition order and are identical
+/// to [`run_repetitions`] — parallelism is a pure speed-up.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any repetition produces.
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panics.
+pub fn run_repetitions_parallel(
+    scenario: &Scenario,
+    reps: usize,
+    threads: usize,
+) -> Result<Vec<SimulationResult>, SimError> {
+    let threads = threads.clamp(1, reps.max(1));
+    if threads == 1 || reps <= 1 {
+        return run_repetitions(scenario, reps);
+    }
+    let mut slots: Vec<Option<Result<SimulationResult, SimError>>> = Vec::new();
+    slots.resize_with(reps, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots_mutex = parking_lot::Mutex::new(&mut slots);
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if rep >= reps {
+                    break;
+                }
+                let s = scenario.clone().with_seed(rep_seed(scenario.seed, rep));
+                let result = engine::run(&s);
+                slots_mutex.lock()[rep] = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots.into_iter().map(|slot| slot.expect("every repetition ran")).collect()
+}
+
+/// Extracts one scalar metric from every repetition.
+#[must_use]
+pub fn collect_metric<F: Fn(&SimulationResult) -> f64>(
+    results: &[SimulationResult],
+    metric: F,
+) -> Vec<f64> {
+    results.iter().map(metric).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, MechanismKind, SelectorKind};
+
+    fn tiny() -> Scenario {
+        Scenario::paper_default()
+            .with_users(10)
+            .with_tasks(5)
+            .with_max_rounds(4)
+            .with_selector(SelectorKind::Greedy)
+            .with_mechanism(MechanismKind::OnDemand)
+            .with_seed(99)
+    }
+
+    #[test]
+    fn rep_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..100).map(|i| rep_seed(42, i)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(rep_seed(42, 7), rep_seed(42, 7));
+        assert_ne!(rep_seed(42, 7), rep_seed(43, 7));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let s = tiny();
+        let seq = run_repetitions(&s, 6).unwrap();
+        let par = run_repetitions_parallel(&s, 6, 3).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn repetitions_differ_from_each_other() {
+        let results = run_repetitions(&tiny(), 4).unwrap();
+        assert_eq!(results.len(), 4);
+        // Different seeds → different workloads (overwhelmingly likely).
+        assert_ne!(results[0].workload, results[1].workload);
+    }
+
+    #[test]
+    fn collect_metric_maps_results() {
+        let results = run_repetitions(&tiny(), 3).unwrap();
+        let coverages = collect_metric(&results, metrics::coverage);
+        assert_eq!(coverages.len(), 3);
+        assert!(coverages.iter().all(|c| (0.0..=1.0).contains(c)));
+    }
+
+    #[test]
+    fn zero_reps_is_empty() {
+        assert!(run_repetitions(&tiny(), 0).unwrap().is_empty());
+        assert!(run_repetitions_parallel(&tiny(), 0, 4).unwrap().is_empty());
+    }
+}

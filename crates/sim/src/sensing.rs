@@ -1,0 +1,221 @@
+//! Sensing semantics: what the measurements *mean*.
+//!
+//! The paper's §III motivates crowdsensing with noise-pollution
+//! mapping: the platform "aggregates the sensing data to make an
+//! estimate". This module gives every task a ground-truth value, every
+//! measurement additive Gaussian noise whose scale shrinks with the
+//! user's [sensing quality](crate::quality), and the platform the
+//! sample-mean estimator — so mechanisms can be compared on
+//! **estimation error**, not just measurement counts.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// The measurement model for one scenario.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_sim::sensing::{Estimate, SensingModel};
+/// use rand::SeedableRng;
+///
+/// let model = SensingModel::default(); // noise mapping: 40-90 dB, σ = 3
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let truth = model.sample_truth(&mut rng);
+/// let mut estimate = Estimate::default();
+/// for _ in 0..50 {
+///     estimate.add(model.sample_measurement(truth, 1.0, &mut rng));
+/// }
+/// let mean = estimate.mean().expect("50 measurements");
+/// assert!((mean - truth).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensingModel {
+    /// Ground-truth values are drawn uniformly from this range
+    /// (default 40–90, read as dB of urban noise).
+    pub truth_range: (f64, f64),
+    /// Measurement noise standard deviation for a quality-1 user
+    /// (default 3.0). A user of quality `q` measures with std `σ/q`.
+    pub noise_std: f64,
+}
+
+impl Default for SensingModel {
+    fn default() -> Self {
+        SensingModel { truth_range: (40.0, 90.0), noise_std: 3.0 }
+    }
+}
+
+impl SensingModel {
+    /// Validates the model's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidScenario`] naming `sensing`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let (lo, hi) = self.truth_range;
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(SimError::InvalidScenario {
+                field: "sensing",
+                message: format!("truth range ({lo}, {hi})"),
+            });
+        }
+        if !(self.noise_std.is_finite() && self.noise_std >= 0.0) {
+            return Err(SimError::InvalidScenario {
+                field: "sensing",
+                message: format!("noise std {}", self.noise_std),
+            });
+        }
+        Ok(())
+    }
+
+    /// Draws one task's ground truth.
+    pub fn sample_truth<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.truth_range;
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Draws one measurement of `truth` by a user of `quality`.
+    pub fn sample_measurement<R: Rng + ?Sized>(
+        &self,
+        truth: f64,
+        quality: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let std = if quality > 0.0 { self.noise_std / quality } else { self.noise_std };
+        truth + std * standard_normal(rng)
+    }
+}
+
+/// Streaming sample-mean estimate of one task's value.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Number of measurements aggregated.
+    pub count: u32,
+    /// Sum of measurements.
+    pub sum: f64,
+    /// Sum of squared measurements (for the spread).
+    pub sum_sq: f64,
+}
+
+impl Estimate {
+    /// Folds one measurement in.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// The sample-mean estimate, if any measurement arrived.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / f64::from(self.count))
+    }
+
+    /// Unbiased sample variance of the measurements (None below 2).
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        let n = f64::from(self.count);
+        Some(((self.sum_sq - self.sum * self.sum / n) / (n - 1.0)).max(0.0))
+    }
+}
+
+/// Box–Muller standard normal (sim-side copy; geo's is crate-private).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_model_is_valid() {
+        SensingModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(SensingModel { truth_range: (5.0, 1.0), ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(SensingModel { noise_std: -1.0, ..Default::default() }.validate().is_err());
+        assert!(SensingModel { noise_std: f64::NAN, ..Default::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn truth_in_range_and_degenerate_range_exact() {
+        let m = SensingModel::default();
+        let mut r = rng(1);
+        for _ in 0..100 {
+            let t = m.sample_truth(&mut r);
+            assert!((40.0..=90.0).contains(&t));
+        }
+        let point = SensingModel { truth_range: (55.0, 55.0), ..Default::default() };
+        assert_eq!(point.sample_truth(&mut r), 55.0);
+    }
+
+    #[test]
+    fn measurement_noise_scales_inversely_with_quality() {
+        let m = SensingModel::default();
+        let mut r = rng(2);
+        let spread = |quality: f64, r: &mut rand::rngs::StdRng| {
+            let n = 4000;
+            let values: Vec<f64> =
+                (0..n).map(|_| m.sample_measurement(60.0, quality, r)).collect();
+            let mean = values.iter().sum::<f64>() / n as f64;
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64).sqrt()
+        };
+        let expert = spread(1.0, &mut r);
+        let novice = spread(0.5, &mut r);
+        assert!((expert - 3.0).abs() < 0.2, "expert std {expert}");
+        assert!((novice - 6.0).abs() < 0.4, "novice std {novice}");
+    }
+
+    #[test]
+    fn zero_noise_reproduces_truth() {
+        let m = SensingModel { noise_std: 0.0, ..Default::default() };
+        let mut r = rng(3);
+        assert_eq!(m.sample_measurement(72.5, 0.3, &mut r), 72.5);
+    }
+
+    #[test]
+    fn estimate_streaming_moments() {
+        let mut e = Estimate::default();
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.variance(), None);
+        for v in [2.0, 4.0, 6.0] {
+            e.add(v);
+        }
+        assert_eq!(e.mean(), Some(4.0));
+        assert!((e.variance().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_converges_to_truth() {
+        let m = SensingModel::default();
+        let mut r = rng(4);
+        let mut e = Estimate::default();
+        for _ in 0..5000 {
+            e.add(m.sample_measurement(63.0, 1.0, &mut r));
+        }
+        assert!((e.mean().unwrap() - 63.0).abs() < 0.2);
+    }
+}

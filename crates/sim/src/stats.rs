@@ -1,0 +1,328 @@
+//! Statistics over experiment repetitions: summary moments, boxplot
+//! five-number summaries (Fig. 5(b)) and normal-approximation
+//! confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// Moments of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Unbiased (n−1) sample variance (0 for n < 2).
+    pub variance: f64,
+    /// Smallest value (0 for an empty sample).
+    pub min: f64,
+    /// Largest value (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises `values`. Non-finite values must not be present.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, variance: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let variance = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, variance, min, max }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean (0 for empty samples).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence half-width
+    /// (`1.96 × std error`).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+}
+
+/// A boxplot five-number summary (min, quartiles, max) — what Fig. 5(b)
+/// plots per user count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: f64,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the five-number summary, or `None` for an empty sample.
+    /// Quartiles use linear interpolation between order statistics
+    /// (type-7, the numpy/R default).
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Some(FiveNumber {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// The interquartile range `q3 − q1`.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Result of a two-sample Welch's t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchTest {
+    /// The t statistic (positive when sample A's mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub degrees_of_freedom: f64,
+    /// Two-sided p-value (normal approximation to the t distribution —
+    /// accurate for the ≥ 20-repetition samples the harness produces).
+    pub p_value: f64,
+}
+
+impl WelchTest {
+    /// Whether the difference is significant at level `alpha`
+    /// (two-sided).
+    #[must_use]
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's unequal-variance t-test on two samples; `None` if either
+/// sample has fewer than two points or both variances are zero with
+/// equal means being compared degenerately.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_sim::stats::welch_t_test;
+///
+/// let a = [10.0, 10.5, 9.8, 10.2, 10.1, 9.9];
+/// let b = [8.0, 8.4, 7.9, 8.1, 8.2, 8.0];
+/// let test = welch_t_test(&a, &b).unwrap();
+/// assert!(test.t > 0.0);
+/// assert!(test.is_significant(0.01));
+/// ```
+#[must_use]
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let va = sa.variance / a.len() as f64;
+    let vb = sb.variance / b.len() as f64;
+    let se2 = va + vb;
+    if se2 == 0.0 {
+        // Identical constants: no evidence of difference.
+        return Some(WelchTest { t: 0.0, degrees_of_freedom: f64::INFINITY, p_value: 1.0 });
+    }
+    let t = (sa.mean - sb.mean) / se2.sqrt();
+    let degrees_of_freedom = se2 * se2
+        / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
+    let p_value = 2.0 * normal_sf(t.abs());
+    Some(WelchTest { t, degrees_of_freedom, p_value })
+}
+
+/// Standard-normal survival function `P(Z > z)` via the Abramowitz &
+/// Stegun 7.1.26 erf approximation (|error| < 1.5e-7).
+#[must_use]
+pub fn normal_sf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * erfc_approx(x)
+}
+
+fn erfc_approx(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc_approx(-x);
+    }
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    poly * (-x * x).exp()
+}
+
+/// Type-7 quantile of an already-sorted sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_error() - s.std_dev() / 2.0).abs() < 1e-12);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_degenerate_cases() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.std_error(), 0.0);
+        let single = Summary::of(&[7.0]);
+        assert_eq!(single.mean, 7.0);
+        assert_eq!(single.variance, 0.0);
+        assert_eq!(single.min, 7.0);
+        assert_eq!(single.max, 7.0);
+    }
+
+    #[test]
+    fn five_number_of_known_sample() {
+        let f = FiveNumber::of(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.q1, 2.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.q3, 4.0);
+        assert_eq!(f.max, 5.0);
+        assert_eq!(f.iqr(), 2.0);
+    }
+
+    #[test]
+    fn five_number_empty_is_none() {
+        assert_eq!(FiveNumber::of(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 0.25), 2.5);
+    }
+
+    #[test]
+    fn normal_sf_reference_values() {
+        // Φ̄(0) = 0.5, Φ̄(1.96) ≈ 0.025, Φ̄(2.5758) ≈ 0.005.
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.024998).abs() < 1e-4);
+        assert!((normal_sf(2.5758) - 0.005).abs() < 1e-4);
+        assert!((normal_sf(-1.0) - (1.0 - normal_sf(1.0))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 9.0 + (i % 5) as f64 * 0.1).collect();
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.t > 5.0);
+        assert!(t.is_significant(0.001));
+        // Symmetric in sign.
+        let t2 = welch_t_test(&b, &a).unwrap();
+        assert!((t.t + t2.t).abs() < 1e-12);
+        assert!((t.p_value - t2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_accepts_identical_samples() {
+        let a = [3.0, 3.1, 2.9, 3.05, 2.95];
+        let t = welch_t_test(&a, &a).unwrap();
+        assert!((t.t).abs() < 1e-12);
+        assert!(t.p_value > 0.99);
+        assert!(!t.is_significant(0.05));
+    }
+
+    #[test]
+    fn welch_degenerate_cases() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+        // Two equal constants: p = 1.
+        let t = welch_t_test(&[5.0, 5.0, 5.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn welch_dof_between_min_and_sum() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02];
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.degrees_of_freedom >= 4.0 - 1e-9);
+        assert!(t.degrees_of_freedom <= (a.len() + b.len() - 2) as f64 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_rejects_empty() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn five_number_is_ordered(values in proptest::collection::vec(-1e3..1e3f64, 1..50)) {
+            let f = FiveNumber::of(&values).unwrap();
+            prop_assert!(f.min <= f.q1);
+            prop_assert!(f.q1 <= f.median);
+            prop_assert!(f.median <= f.q3);
+            prop_assert!(f.q3 <= f.max);
+        }
+
+        #[test]
+        fn summary_mean_between_extremes(values in proptest::collection::vec(-1e3..1e3f64, 1..50)) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.variance >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use paydemand_core::{TaskId, TaskSpec, UserId, UserProfile};
+use paydemand_geo::Rect;
+
+use crate::{Scenario, SimError};
+
+/// The concrete random draw of one repetition: task specs and user
+/// profiles, generated from a [`Scenario`] and an RNG.
+///
+/// # Examples
+///
+/// ```
+/// use paydemand_sim::{Scenario, Workload};
+/// use rand::SeedableRng;
+///
+/// let scenario = Scenario::paper_default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(scenario.seed);
+/// let workload = Workload::generate(&scenario, &mut rng)?;
+/// assert_eq!(workload.tasks.len(), 20);
+/// assert_eq!(workload.users.len(), 100);
+/// # Ok::<(), paydemand_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The sensing region.
+    pub area: Rect,
+    /// Task specifications, id order.
+    pub tasks: Vec<TaskSpec>,
+    /// User profiles, id order.
+    pub users: Vec<UserProfile>,
+    /// Per-user sensing quality in `(0, 1]`, id order (all 1 under the
+    /// paper's implicit perfect-quality model).
+    pub qualities: Vec<f64>,
+    /// Ground-truth value per task, id order (e.g. the true noise level
+    /// at the site).
+    pub truths: Vec<f64>,
+}
+
+impl Workload {
+    /// Draws a workload for `scenario` from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidScenario`] if the scenario fails validation,
+    /// [`SimError::Core`] if a generated entity is rejected by the
+    /// domain layer (cannot happen for validated scenarios).
+    pub fn generate<R: Rng + ?Sized>(
+        scenario: &Scenario,
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        scenario.validate()?;
+        let area = Rect::square(scenario.area_side)
+            .map_err(paydemand_core::CoreError::from)
+            .map_err(SimError::from)?;
+
+        let task_locations = scenario.task_placement.sample(area, scenario.tasks, rng);
+        let tasks: Vec<TaskSpec> = task_locations
+            .into_iter()
+            .enumerate()
+            .map(|(i, loc)| {
+                let (lo, hi) = scenario.deadline_range;
+                let deadline = rng.gen_range(lo..=hi);
+                TaskSpec::new(TaskId(i), loc, deadline, scenario.required_per_task)
+                    .map_err(SimError::from)
+            })
+            .collect::<Result<_, _>>()?;
+
+        let user_locations = scenario.user_placement.sample(area, scenario.users, rng);
+        let users: Vec<UserProfile> = user_locations
+            .into_iter()
+            .enumerate()
+            .map(|(i, loc)| {
+                let (lo, hi) = scenario.time_budget_range;
+                let budget = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+                UserProfile::new(UserId(i), loc, budget, scenario.speed, scenario.cost_per_meter)
+                    .map_err(SimError::from)
+            })
+            .collect::<Result<_, _>>()?;
+
+        let qualities: Vec<f64> =
+            (0..scenario.users).map(|_| scenario.user_quality.sample(rng)).collect();
+        let truths: Vec<f64> =
+            (0..scenario.tasks).map(|_| scenario.sensing.sample_truth(rng)).collect();
+
+        Ok(Workload { area, tasks, users, qualities, truths })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generates_paper_shapes() {
+        let s = Scenario::paper_default();
+        let w = Workload::generate(&s, &mut rng(1)).unwrap();
+        assert_eq!(w.tasks.len(), 20);
+        assert_eq!(w.users.len(), 100);
+        for (i, t) in w.tasks.iter().enumerate() {
+            assert_eq!(t.id(), TaskId(i));
+            assert!(w.area.contains(t.location()));
+            assert!((5..=15).contains(&t.deadline()));
+            assert_eq!(t.required(), 20);
+        }
+        for (i, u) in w.users.iter().enumerate() {
+            assert_eq!(u.id(), UserId(i));
+            assert!(w.area.contains(u.location()));
+            assert!((600.0..=1200.0).contains(&u.time_budget()));
+            assert_eq!(u.speed(), 2.0);
+            assert_eq!(u.cost_per_meter(), 0.002);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = Scenario::paper_default();
+        let a = Workload::generate(&s, &mut rng(7)).unwrap();
+        let b = Workload::generate(&s, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+        let c = Workload::generate(&s, &mut rng(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_time_budget_range_is_exact() {
+        let s = Scenario::paper_default().with_time_budget_range(750.0, 750.0);
+        let w = Workload::generate(&s, &mut rng(2)).unwrap();
+        assert!(w.users.iter().all(|u| u.time_budget() == 750.0));
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected() {
+        let s = Scenario { users: 0, ..Scenario::paper_default() };
+        assert!(matches!(
+            Workload::generate(&s, &mut rng(0)),
+            Err(SimError::InvalidScenario { field: "users", .. })
+        ));
+    }
+}

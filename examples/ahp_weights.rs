@@ -1,0 +1,60 @@
+//! AHP walkthrough: from the paper's Table I judgements to the demand
+//! weight vector, with consistency checking and a what-if comparison of
+//! weight-extraction methods.
+//!
+//! ```sh
+//! cargo run --release --example ahp_weights
+//! ```
+
+use paydemand::ahp::{PairwiseMatrix, WeightMethod};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Table I: deadline vs progress vs neighbouring users.
+    //   a12 = 3 (deadline slightly more important than progress)
+    //   a13 = 5 (deadline strongly more important than neighbours)
+    //   a23 = 2 (progress a bit more important than neighbours)
+    let table_i = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])?;
+    println!("pairwise comparison matrix (paper Table I):\n{table_i}");
+
+    println!("column-normalised matrix (paper Table II):");
+    for row in table_i.normalized() {
+        for v in row {
+            print!("{v:>8.3}");
+        }
+        println!();
+    }
+    println!();
+
+    let criteria = ["deadline", "progress", "neighbours"];
+    for method in
+        [WeightMethod::RowAverage, WeightMethod::GeometricMean, WeightMethod::Eigenvector]
+    {
+        let w = table_i.weights(method);
+        print!("{method:?} weights:");
+        for (name, value) in criteria.iter().zip(&w) {
+            print!("  {name}={value:.3}");
+        }
+        println!();
+    }
+    println!();
+
+    let consistency = table_i.consistency();
+    println!("lambda_max = {:.4}", consistency.lambda_max);
+    println!("consistency index CI = {:.4}", consistency.index);
+    println!(
+        "consistency ratio CR = {:.4}  ({})",
+        consistency.ratio,
+        if consistency.is_acceptable() { "acceptable, CR <= 0.1" } else { "REJECT: revise judgements" }
+    );
+    println!();
+
+    // What an *inconsistent* expert looks like: circular preferences.
+    let circular = PairwiseMatrix::from_upper_triangle(3, &[9.0, 1.0 / 9.0, 9.0])?;
+    let bad = circular.consistency();
+    println!(
+        "circular judgements (A>B>C>A): CR = {:.3} — {}",
+        bad.ratio,
+        if bad.is_acceptable() { "acceptable?!" } else { "rejected, as it should be" }
+    );
+    Ok(())
+}

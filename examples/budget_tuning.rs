@@ -1,0 +1,64 @@
+//! Budget tuning: what does Eq. 9 let you buy?
+//!
+//! The platform picks a budget `B`, a level increment `λ` and a level
+//! count `N`; Eq. 9 then fixes the base reward
+//! `r0 = B/Σφ − λ(N−1)`, which must stay positive for the schedule to
+//! exist. This example maps that feasibility frontier, then shows what
+//! happens when a mechanism ignores it: the literal steered constants
+//! of the paper (rewards 5–25 $) under a *hard-enforced* 1000 $ cap.
+//!
+//! ```sh
+//! cargo run --release --example budget_tuning
+//! ```
+
+use paydemand::core::{DemandLevels, RewardSchedule};
+use paydemand::sim::{engine, metrics, MechanismKind, Scenario, SelectorKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Eq. 9 feasibility: r0 = B/Σφ − λ(N−1) with Σφ = 400, N = 5");
+    println!("{:-<58}", "");
+    println!("{:>10} {:>8} {:>12} {:>12}", "B ($)", "λ ($)", "r0 ($)", "max r ($)");
+    for &budget in &[400.0, 700.0, 1000.0, 1500.0, 2500.0] {
+        for &lambda in &[0.25, 0.5, 1.0] {
+            match RewardSchedule::from_budget(budget, 400, lambda, DemandLevels::new(5)?) {
+                Ok(s) => println!(
+                    "{budget:>10.0} {lambda:>8.2} {:>12.3} {:>12.3}",
+                    s.base_reward(),
+                    s.max_reward()
+                ),
+                Err(e) => println!("{budget:>10.0} {lambda:>8.2} {:>25}", format!("infeasible: {e}")),
+            }
+        }
+    }
+
+    println!();
+    println!("hard budget cap vs the literal steered constants (rewards 5–25 $)");
+    println!("{:-<70}", "");
+    println!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "configuration", "total paid", "measurements", "completeness"
+    );
+    for (label, enforce) in [("uncapped (paper's setup)", false), ("hard 1000 $ cap", true)] {
+        let scenario = Scenario {
+            mechanism: MechanismKind::SteeredPaperConstants,
+            enforce_budget: enforce,
+            selector: SelectorKind::Dp { candidate_cap: Some(14) },
+            ..Scenario::paper_default()
+        }
+        .with_seed(5);
+        let r = engine::run(&scenario)?;
+        println!(
+            "{label:<26} {:>10.0} $ {:>14} {:>13.1}%",
+            r.total_paid,
+            r.total_measurements(),
+            100.0 * metrics::completeness(&r)
+        );
+    }
+
+    println!();
+    println!("The uncapped run pays ~9x the budget; with the cap enforced the");
+    println!("platform runs dry mid-campaign and the remaining tasks starve —");
+    println!("which is why Eq. 8/9 bakes the budget into the schedule instead");
+    println!("of policing it at payment time.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Failure injection: how robust is each incentive mechanism when users
+//! churn mid-campaign?
+//!
+//! The paper assumes a stable user population. Real crowdsensing loses
+//! workers: phones die, people leave town. This example teleports a
+//! fraction of users every round (the harshest churn model — their
+//! local knowledge and position reset), and watches which mechanism's
+//! completeness degrades gracefully.
+//!
+//! ```sh
+//! cargo run --release --example failure_injection
+//! ```
+
+use paydemand::sim::stats::Summary;
+use paydemand::sim::{runner, MechanismKind, Scenario, SelectorKind, UserMotion};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reps = 15;
+    let threads = std::thread::available_parallelism()?.get();
+
+    println!("failure injection — user churn via per-round teleportation, {reps} reps");
+    println!("{:-<64}", "");
+    println!("{:<22} {:>18} {:>18}", "motion model", "on-demand compl %", "fixed compl %");
+
+    for (label, motion) in [
+        ("stable (route end)", UserMotion::StayAtRouteEnd),
+        ("commuters (go home)", UserMotion::ReturnHome),
+        ("wanderers (5 min)", UserMotion::Wander { seconds: 300.0 }),
+        ("full churn (teleport)", UserMotion::Teleport),
+    ] {
+        let base = Scenario {
+            user_motion: motion,
+            users: 80,
+            selector: SelectorKind::Dp { candidate_cap: Some(14) },
+            ..Scenario::paper_default()
+        }
+        .with_seed(31);
+
+        let mut means = Vec::new();
+        for mechanism in [MechanismKind::OnDemand, MechanismKind::Fixed] {
+            let scenario = base.clone().with_mechanism(mechanism);
+            let results = runner::run_repetitions_parallel(&scenario, reps, threads)?;
+            let completeness =
+                runner::collect_metric(&results, |r| 100.0 * r.completeness());
+            means.push(Summary::of(&completeness).mean);
+        }
+        println!("{label:<22} {:>18.1} {:>18.1}", means[0], means[1]);
+    }
+
+    println!("{:-<64}", "");
+    println!("Two things to notice: (1) on-demand dominates fixed in every");
+    println!("motion regime; (2) mobility itself *helps* both mechanisms —");
+    println!("churned users land near previously-unreachable tasks — but the");
+    println!("fixed mechanism needs that luck, while on-demand manufactures");
+    println!("it by repricing. The gap is widest for a stable population.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Noise-pollution mapping — the paper's §III motivating application.
+//!
+//! A city wants fine-grained noise measurements at 24 monitoring sites
+//! without deploying fixed equipment. Sites downtown have plenty of
+//! passers-by; sites on the outskirts see almost no one. This example
+//! builds that asymmetric world (clustered users, grid-placed sites),
+//! runs the on-demand and fixed mechanisms on *identical* workloads and
+//! shows how dynamic rewards rescue the remote sites.
+//!
+//! ```sh
+//! cargo run --release --example noise_mapping
+//! ```
+
+use paydemand::geo::placement::Placement;
+use paydemand::sim::{engine, metrics, MechanismKind, Scenario, SelectorKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = Scenario {
+        tasks: 24,
+        required_per_task: 12,
+        users: 50,
+        // Measurement sites spread evenly across the city...
+        task_placement: Placement::Grid,
+        // ...but people concentrate in three hotspots and only have
+        // 0.8–1.6 km of walking per round, so remote sites need a real
+        // incentive to be worth the trip.
+        user_placement: Placement::Clustered { clusters: 3, sigma: 300.0 },
+        time_budget_range: (400.0, 800.0),
+        max_rounds: 12,
+        deadline_range: (6, 12),
+        selector: SelectorKind::Dp { candidate_cap: Some(14) },
+        ..Scenario::paper_default()
+    };
+
+    println!("noise mapping: 24 grid sites, 50 users in 3 downtown hotspots");
+    println!("==============================================================");
+    println!(
+        "{:<12} {:>10} {:>14} {:>10} {:>14} {:>12}",
+        "mechanism", "coverage", "completeness", "variance", "starved sites", "map RMSE dB"
+    );
+
+    for mechanism in [MechanismKind::OnDemand, MechanismKind::Fixed, MechanismKind::Steered] {
+        // Same seed → same city, same people; only the pricing differs.
+        let scenario = base.clone().with_mechanism(mechanism).with_seed(99);
+        let result = engine::run(&scenario)?;
+        let starved = result
+            .received
+            .iter()
+            .filter(|&&r| r < base.required_per_task / 2)
+            .count();
+        println!(
+            "{:<12} {:>9.1}% {:>13.1}% {:>10.1} {:>14} {:>12.2}",
+            mechanism.label(),
+            100.0 * result.coverage(),
+            100.0 * result.completeness(),
+            metrics::measurement_variance(&result),
+            starved,
+            metrics::estimation_rmse(&result).unwrap_or(f64::NAN),
+        );
+    }
+
+    println!();
+    println!("The on-demand mechanism detects sites with few neighbouring users");
+    println!("(Eq. 5) and raises their rewards until someone makes the trip.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # paydemand
+//!
+//! A from-scratch Rust reproduction of **"Pay On-demand: Dynamic
+//! Incentive and Task Selection for Location-dependent Mobile
+//! Crowdsensing Systems"** (Wang, Hu, Zhao, Yang, Chen, Wang —
+//! ICDCS 2018).
+//!
+//! The paper proposes, for crowdsensing platforms where tasks are tied
+//! to physical locations and workers choose their own tasks (the WST
+//! mode):
+//!
+//! 1. a **demand-based dynamic incentive mechanism** that reprices every
+//!    task every sensing round from a *demand indicator* — deadline
+//!    pressure, completion progress and nearby-user scarcity, blended
+//!    with AHP-derived weights — so unpopular, remote tasks still get
+//!    done before their deadlines;
+//! 2. **distributed task selection** algorithms for the NP-hard
+//!    profit-maximisation problem each worker faces: an optimal bitmask
+//!    dynamic program and an `O(m²)` greedy.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`geo`] — geometry, spatial indexes, placement, mobility;
+//! * [`ahp`] — the Analytic Hierarchy Process;
+//! * [`routing`] — Held-Karp subset DP, orienteering, greedy, 2-opt;
+//! * [`core`] — tasks, users, demand, incentive mechanisms, selection;
+//! * [`sim`] — the Monte-Carlo evaluation harness and figure
+//!   regeneration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use paydemand::sim::{engine, MechanismKind, Scenario, SelectorKind};
+//!
+//! // The paper's §VI setting: 3 km × 3 km, 20 tasks × 20 measurements.
+//! let scenario = Scenario::paper_default()
+//!     .with_users(100)
+//!     .with_mechanism(MechanismKind::OnDemand)
+//!     .with_selector(SelectorKind::Dp { candidate_cap: Some(14) })
+//!     .with_seed(7);
+//! let result = engine::run(&scenario)?;
+//! println!(
+//!     "coverage {:.0}%, completeness {:.0}%",
+//!     100.0 * result.coverage(),
+//!     100.0 * result.completeness()
+//! );
+//! # Ok::<(), paydemand::sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use paydemand_ahp as ahp;
+pub use paydemand_core as core;
+pub use paydemand_geo as geo;
+pub use paydemand_routing as routing;
+pub use paydemand_sim as sim;

@@ -1,0 +1,73 @@
+//! Integration smoke tests for the figure-regeneration harness: every
+//! paper figure builds at smoke scale and shows the paper's qualitative
+//! shape where the shape is robust even at tiny scale.
+
+use paydemand::sim::experiments::{self, FigureParams};
+
+fn params() -> FigureParams {
+    FigureParams::smoke()
+}
+
+#[test]
+fn every_figure_regenerates() {
+    let p = params();
+    let figures = [
+        experiments::fig5a(&p).unwrap(),
+        experiments::fig5b(&p).unwrap(),
+        experiments::fig6a(&p).unwrap(),
+        experiments::fig6b(&p).unwrap(),
+        experiments::fig7a(&p).unwrap(),
+        experiments::fig7b(&p).unwrap(),
+        experiments::fig8a(&p).unwrap(),
+        experiments::fig8b(&p).unwrap(),
+        experiments::fig9a(&p).unwrap(),
+        experiments::fig9b(&p).unwrap(),
+    ];
+    for f in &figures {
+        assert!(!f.x.is_empty(), "{} has an empty x axis", f.id);
+        assert!(!f.series.is_empty(), "{} has no series", f.id);
+        for s in &f.series {
+            assert_eq!(s.y.len(), f.x.len(), "{}:{} ragged", f.id, s.label);
+            assert!(s.y.iter().all(|v| v.is_finite()), "{}:{} non-finite", f.id, s.label);
+        }
+        // Tables and CSV render without panicking.
+        assert!(!f.to_table().is_empty());
+        assert!(!f.to_csv().is_empty());
+    }
+}
+
+#[test]
+fn fig5_dp_dominates_greedy() {
+    let f = experiments::fig5a(&params()).unwrap();
+    let dp = &f.series[0];
+    let greedy = &f.series[1];
+    assert_eq!(dp.label, "dp");
+    for i in 0..f.x.len() {
+        assert!(
+            dp.y[i] >= greedy.y[i] - 1e-9,
+            "dp {} < greedy {} at x={}",
+            dp.y[i],
+            greedy.y[i],
+            f.x[i]
+        );
+    }
+    // Fig 5(b): the minimum difference is never meaningfully negative.
+    let b = experiments::fig5b(&params()).unwrap();
+    let min_series = &b.series[0];
+    assert!(min_series.y.iter().all(|&v| v >= -1e-9));
+}
+
+#[test]
+fn fig6_on_demand_coverage_at_least_fixed() {
+    // Coverage ordering is robust even at smoke scale: on-demand should
+    // not lose to fixed.
+    let f = experiments::fig6a(&params()).unwrap();
+    let on_demand = f.series.iter().find(|s| s.label == "on-demand").unwrap();
+    let fixed = f.series.iter().find(|s| s.label == "fixed").unwrap();
+    let od_total: f64 = on_demand.y.iter().sum();
+    let fx_total: f64 = fixed.y.iter().sum();
+    assert!(
+        od_total >= fx_total - 1e-9,
+        "on-demand coverage {od_total} < fixed {fx_total}"
+    );
+}

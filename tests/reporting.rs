@@ -1,0 +1,72 @@
+//! Integration tests for the reporting surface: a full experiment run
+//! flowing into every output format (table, CSV, JSON, markdown, ASCII
+//! chart) and the preset worlds, all through the umbrella crate.
+
+use paydemand::sim::experiments::{self, FigureParams};
+use paydemand::sim::report::Report;
+use paydemand::sim::{engine, presets, Scenario, SelectorKind};
+
+#[test]
+fn figure_flows_into_every_format() {
+    let figure = experiments::fig6a(&FigureParams::smoke()).unwrap();
+
+    let table = figure.to_table();
+    assert!(table.contains("fig6a") && table.contains("on-demand"));
+
+    let csv = figure.to_csv();
+    assert!(csv.starts_with("users,on-demand,fixed,steered"));
+    assert_eq!(csv.trim().lines().count(), 1 + figure.x.len());
+
+    let json = figure.to_json();
+    assert!(json.contains("\"id\":\"fig6a\""));
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+    let md = figure.to_markdown();
+    assert!(md.contains("| users |"));
+
+    let chart = figure.to_ascii_chart(50, 12);
+    assert!(chart.contains("* on-demand"));
+
+    let report = Report {
+        title: "smoke".into(),
+        preamble: String::new(),
+        figures: vec![figure],
+    };
+    assert!(report.to_markdown().contains("# smoke"));
+}
+
+#[test]
+fn presets_run_through_public_api() {
+    for (name, preset) in presets::all() {
+        let scenario = Scenario {
+            users: preset.users.min(20),
+            max_rounds: preset.max_rounds.min(3),
+            selector: SelectorKind::Greedy,
+            ..preset
+        }
+        .with_seed(77);
+        let r = engine::run(&scenario).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.total_measurements() > 0, "{name}");
+        assert!(r.total_paid > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn reward_dynamics_shows_the_papers_story_end_to_end() {
+    // The qualitative claim of §VI in one assertion set: by the last
+    // round, the on-demand mean published price exceeds steered's
+    // (which has collapsed towards its floor).
+    let f = experiments::reward_dynamics(&FigureParams::smoke()).unwrap();
+    let series = |label: &str| {
+        f.series.iter().find(|s| s.label == label).unwrap_or_else(|| panic!("{label}"))
+    };
+    let last_active = |y: &[f64]| y.iter().rev().find(|&&v| v > 0.0).copied();
+    let od = last_active(&series("on-demand").y);
+    let st = last_active(&series("steered").y);
+    if let (Some(od), Some(st)) = (od, st) {
+        assert!(
+            od >= st,
+            "late-round on-demand price {od} should not be below steered {st}"
+        );
+    }
+}
