@@ -19,9 +19,8 @@ use crate::{weights, PairwiseMatrix};
 /// Saaty's random-index table `RI(n)` for n = 1..=15 (index 0 unused).
 /// Values from Saaty (1980); `RI = 0` for n ≤ 2 because 1×1 and 2×2
 /// reciprocal matrices are always consistent.
-pub const RANDOM_INDEX: [f64; 16] = [
-    0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49, 1.51, 1.48, 1.56, 1.57, 1.59,
-];
+pub const RANDOM_INDEX: [f64; 16] =
+    [0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49, 1.51, 1.48, 1.56, 1.57, 1.59];
 
 /// The conventional acceptance threshold for the consistency ratio.
 pub const CR_THRESHOLD: f64 = 0.1;

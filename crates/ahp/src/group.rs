@@ -51,10 +51,7 @@ pub fn aggregate_weighted(
     let first = matrices.first().ok_or(AhpError::Empty)?;
     let n = first.order();
     if weights.len() != matrices.len() {
-        return Err(AhpError::DimensionMismatch {
-            expected: matrices.len(),
-            got: weights.len(),
-        });
+        return Err(AhpError::DimensionMismatch { expected: matrices.len(), got: weights.len() });
     }
     for (e, &w) in weights.iter().enumerate() {
         if !w.is_finite() || w <= 0.0 {
@@ -72,11 +69,8 @@ pub fn aggregate_weighted(
     let mut upper = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            let log_mean: f64 = matrices
-                .iter()
-                .zip(weights)
-                .map(|(m, &w)| (w / total) * m.get(i, j).ln())
-                .sum();
+            let log_mean: f64 =
+                matrices.iter().zip(weights).map(|(m, &w)| (w / total) * m.get(i, j).ln()).sum();
             upper.push(log_mean.exp());
         }
     }
@@ -144,10 +138,7 @@ mod tests {
             aggregate_weighted(std::slice::from_ref(&a), &[]),
             Err(AhpError::DimensionMismatch { .. })
         ));
-        assert!(matches!(
-            aggregate_weighted(&[a], &[0.0]),
-            Err(AhpError::InvalidJudgment { .. })
-        ));
+        assert!(matches!(aggregate_weighted(&[a], &[0.0]), Err(AhpError::InvalidJudgment { .. })));
     }
 
     proptest! {

@@ -175,10 +175,8 @@ mod tests {
     fn synthesize_validates_shapes() {
         let h = two_criteria();
         assert!(matches!(h.synthesize(&[]), Err(AhpError::DimensionMismatch { .. })));
-        let ragged = vec![
-            PairwiseMatrix::identity(2).unwrap(),
-            PairwiseMatrix::identity(3).unwrap(),
-        ];
+        let ragged =
+            vec![PairwiseMatrix::identity(2).unwrap(), PairwiseMatrix::identity(3).unwrap()];
         assert!(matches!(h.synthesize(&ragged), Err(AhpError::LevelMismatch { .. })));
     }
 
@@ -227,10 +225,7 @@ mod tests {
     fn scores_mode_shape_errors() {
         let h = two_criteria();
         assert!(matches!(h.synthesize_scores(&[]), Err(AhpError::DimensionMismatch { .. })));
-        assert!(matches!(
-            h.synthesize_scores(&[vec![], vec![]]),
-            Err(AhpError::Empty)
-        ));
+        assert!(matches!(h.synthesize_scores(&[vec![], vec![]]), Err(AhpError::Empty)));
         assert!(matches!(
             h.synthesize_scores(&[vec![1.0, 2.0], vec![1.0]]),
             Err(AhpError::LevelMismatch { expected: 2, got: 1 })
@@ -244,11 +239,7 @@ mod tests {
         let criteria = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap();
         let h = Hierarchy::new(criteria, WeightMethod::RowAverage);
         let g = h
-            .synthesize_scores(&[
-                vec![0.5, 0.3, 0.2],
-                vec![0.5, 0.3, 0.2],
-                vec![0.5, 0.3, 0.2],
-            ])
+            .synthesize_scores(&[vec![0.5, 0.3, 0.2], vec![0.5, 0.3, 0.2], vec![0.5, 0.3, 0.2]])
             .unwrap();
         assert!(g[0] > g[1] && g[1] > g[2]);
         assert!((g.iter().sum::<f64>() - 1.0).abs() < 1e-12);

@@ -285,11 +285,7 @@ mod tests {
         // The paper's Table II, to its printed 3-decimal precision.
         let a = table_i();
         let n = a.normalized();
-        let expect = [
-            [0.652, 0.667, 0.625],
-            [0.217, 0.222, 0.250],
-            [0.131, 0.111, 0.125],
-        ];
+        let expect = [[0.652, 0.667, 0.625], [0.217, 0.222, 0.250], [0.131, 0.111, 0.125]];
         for i in 0..3 {
             for j in 0..3 {
                 // Tolerance 1e-3: Table II prints 3 decimals and rounds

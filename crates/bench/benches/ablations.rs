@@ -11,11 +11,7 @@ use paydemand_sim::{engine, Scenario, SelectorKind};
 use rand::SeedableRng;
 
 fn tiny(selector: SelectorKind) -> Scenario {
-    Scenario::paper_default()
-        .with_users(30)
-        .with_max_rounds(5)
-        .with_selector(selector)
-        .with_seed(4)
+    Scenario::paper_default().with_users(30).with_max_rounds(5).with_selector(selector).with_seed(4)
 }
 
 fn bench_engine_by_selector(c: &mut Criterion) {
@@ -52,15 +48,10 @@ fn bench_engine_by_levels(c: &mut Criterion) {
 fn bench_engine_by_radius(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_radius");
     for radius in [250.0f64, 1000.0, 2500.0] {
-        let scenario =
-            tiny(SelectorKind::Greedy).with_neighbor_radius(radius);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(radius as u64),
-            &scenario,
-            |b, s| {
-                b.iter(|| engine::run(black_box(s)).unwrap());
-            },
-        );
+        let scenario = tiny(SelectorKind::Greedy).with_neighbor_radius(radius);
+        group.bench_with_input(BenchmarkId::from_parameter(radius as u64), &scenario, |b, s| {
+            b.iter(|| engine::run(black_box(s)).unwrap());
+        });
     }
     group.finish();
 }
@@ -126,7 +117,7 @@ fn bench_trace_encoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -39,7 +39,7 @@ figure_bench!(bench_fig8b, fig8b);
 figure_bench!(bench_fig9a, fig9a);
 figure_bench!(bench_fig9b, fig9b);
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -29,7 +29,6 @@ fn round_context(m: usize, seed: u64) -> RoundContext {
     RoundContext { round: 3, tasks, max_neighbors }
 }
 
-
 fn bench_mechanism_pricing(c: &mut Criterion) {
     for m in [20usize, 200, 2000] {
         let ctx = round_context(m, m as u64);
@@ -86,7 +85,7 @@ fn bench_ahp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -47,10 +47,9 @@ fn bench_dp_budget_pruning(c: &mut Criterion) {
 }
 
 fn bench_heuristics(c: &mut Criterion) {
-    for (name, selector) in [
-        ("greedy", &GreedySelector as &dyn TaskSelector),
-        ("greedy2opt", &GreedyTwoOptSelector),
-    ] {
+    for (name, selector) in
+        [("greedy", &GreedySelector as &dyn TaskSelector), ("greedy2opt", &GreedyTwoOptSelector)]
+    {
         let mut group = c.benchmark_group(name);
         for m in [20usize, 100, 400] {
             let mut rng = rand::rngs::StdRng::seed_from_u64(m as u64);
@@ -65,7 +64,7 @@ fn bench_heuristics(c: &mut Criterion) {
     }
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

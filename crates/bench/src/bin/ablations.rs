@@ -22,8 +22,7 @@ use paydemand_sim::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let reps: usize =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(20);
+    let reps: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(20);
     let threads = std::thread::available_parallelism()?.get();
 
     let base = Scenario::paper_default()
@@ -42,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let results = runner::run_repetitions_parallel(&scenario, reps, threads)
                 .expect("ablation scenario runs");
             let row = summarize(&results);
-            println!(
-                "{label:<26} {:>10.1} {:>14.1} {:>10.1} {:>14.3}",
-                row.0, row.1, row.2, row.3
-            );
+            println!("{label:<26} {:>10.1} {:>14.1} {:>10.1} {:>14.3}", row.0, row.1, row.2, row.3);
         }
     };
 
@@ -131,20 +127,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sensing time per measurement",
         [0.0, 60.0, 180.0, 300.0, 600.0]
             .into_iter()
-            .map(|sec| {
-                (
-                    format!("{sec:.0} s"),
-                    Scenario { sensing_seconds: sec, ..base.clone() },
-                )
-            })
+            .map(|sec| (format!("{sec:.0} s"), Scenario { sensing_seconds: sec, ..base.clone() }))
             .collect(),
     );
 
     // Axis 6: hybrid dynamism dial α (library experiment).
     let mut params = paydemand_sim::experiments::FigureParams::quick().with_reps(reps);
     params.base = base.clone();
-    let alpha =
-        paydemand_sim::experiments::alpha_sweep(&params, &[0.0, 0.25, 0.5, 0.75, 1.0])?;
+    let alpha = paydemand_sim::experiments::alpha_sweep(&params, &[0.0, 0.25, 0.5, 0.75, 1.0])?;
     println!("\n{}", alpha.to_table());
 
     // Axis 7: all selectors, exact and heuristic (library experiment).
@@ -163,11 +153,8 @@ fn summarize(results: &[SimulationResult]) -> (f64, f64, f64, f64) {
     let cov = Summary::of(&runner::collect_metric(results, |r| 100.0 * r.coverage())).mean;
     let comp = Summary::of(&runner::collect_metric(results, |r| 100.0 * r.completeness())).mean;
     let var = Summary::of(&runner::collect_metric(results, metrics::measurement_variance)).mean;
-    let rpm = Summary::of(&runner::collect_metric(
-        results,
-        metrics::average_reward_per_measurement,
-    ))
-    .mean;
+    let rpm =
+        Summary::of(&runner::collect_metric(results, metrics::average_reward_per_measurement)).mean;
     (cov, comp, var, rpm)
 }
 
@@ -187,24 +174,19 @@ fn weight_sensitivity() {
         ("progress only", DemandWeights::explicit(0.0, 1.0, 0.0).unwrap()),
         ("neighbours only", DemandWeights::explicit(0.0, 0.0, 1.0).unwrap()),
     ];
-    println!(
-        "{:<18} {:>12} {:>12} {:>12}",
-        "weighting", "urgent", "stalled", "lonely"
-    );
+    println!("{:<18} {:>12} {:>12} {:>12}", "weighting", "urgent", "stalled", "lonely");
     for (label, weights) in weightings {
         let ind = DemandIndicator::new(Default::default(), weights);
         let d = |o: &TaskObservation| ind.normalized_demand(o, 5, 10);
-        println!(
-            "{label:<18} {:>12.3} {:>12.3} {:>12.3}",
-            d(&urgent),
-            d(&stalled),
-            d(&lonely)
-        );
+        println!("{label:<18} {:>12.3} {:>12.3} {:>12.3}", d(&urgent), d(&stalled), d(&lonely));
     }
 
     // Sanity anchor for the table above.
     let _ = engine::run(
-        &Scenario::paper_default().with_users(20).with_max_rounds(2).with_seed(1)
+        &Scenario::paper_default()
+            .with_users(20)
+            .with_max_rounds(2)
+            .with_seed(1)
             .with_selector(SelectorKind::Greedy),
     )
     .expect("anchor run");

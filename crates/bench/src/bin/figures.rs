@@ -75,8 +75,19 @@ const USAGE: &str = "usage: figures [--scale paper|quick|smoke] [--reps N] [--ou
 map_rmse map_hit_rate | all]";
 
 const ALL_FIGURES: [&str; 13] = [
-    "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "fig9a", "fig9b",
-    "rewards", "map_rmse", "map_hit_rate",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig9a",
+    "fig9b",
+    "rewards",
+    "map_rmse",
+    "map_hit_rate",
 ];
 
 fn main() -> ExitCode {
@@ -196,8 +207,8 @@ fn print_tables() {
     use paydemand_ahp::{PairwiseMatrix, WeightMethod};
     use paydemand_core::{DemandLevels, RewardSchedule};
 
-    let table_i = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])
-        .expect("Table I is valid");
+    let table_i =
+        PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).expect("Table I is valid");
     println!("# Table I — pairwise comparison matrix\n{table_i}");
 
     println!("# Table II — normalized comparison matrix");
@@ -216,10 +227,7 @@ fn print_tables() {
     println!("{:>12} {:>10} {:>12}", "demand", "level", "reward ($)");
     for level in 1..=levels.count() {
         let (lo, hi) = levels.interval_of(level);
-        println!(
-            "({lo:.1}, {hi:.1}] {level:>10} {:>12.2}",
-            schedule.reward_for_level(level)
-        );
+        println!("({lo:.1}, {hi:.1}] {level:>10} {:>12.2}", schedule.reward_for_level(level));
     }
     println!();
 }

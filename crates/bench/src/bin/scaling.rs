@@ -1,0 +1,44 @@
+//! Round-loop scaling benchmark: emits `BENCH_scaling.json`.
+//!
+//! ```sh
+//! cargo run --release -p paydemand-bench --bin scaling -- [OUT_PATH]
+//! ```
+//!
+//! Sweeps users ∈ {100, 1k, 10k, 50k} × tasks ∈ {100, 1k} and times the
+//! platform's per-round work (Eq. 5 neighbour counting + demand
+//! pricing) under four arms: the naive pairwise scan, a per-round grid
+//! rebuild, the incremental grid, and the incremental grid with the
+//! pricing cache. Outputs are cross-checked for bitwise identity before
+//! any timing is reported; see `paydemand_bench::scaling`.
+
+use paydemand_bench::scaling::{run_point, to_json, Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scaling.json".to_string());
+    let users_axis = [100usize, 1_000, 10_000, 50_000];
+    let tasks_axis = [100usize, 1_000];
+
+    let mut points = Vec::new();
+    for &tasks in &tasks_axis {
+        for &users in &users_axis {
+            eprintln!("scaling: {users} users x {tasks} tasks ...");
+            let point = run_point(&Config::at(users, tasks));
+            for arm in &point.arms {
+                eprintln!("  {:<16} {:>10.4} s", arm.arm.label(), arm.seconds);
+            }
+            if !point.identical {
+                eprintln!("  ERROR: arms disagree at this point!");
+            }
+            points.push(point);
+        }
+    }
+
+    let json = to_json(&points);
+    std::fs::write(&out_path, &json)?;
+    eprintln!("wrote {out_path}");
+
+    if points.iter().any(|p| !p.identical) {
+        return Err("arms produced different outputs; timings invalid".into());
+    }
+    Ok(())
+}

@@ -20,6 +20,8 @@ use paydemand_core::{PublishedTask, TaskId};
 use paydemand_geo::{Point, Rect};
 use rand::Rng;
 
+pub mod scaling;
+
 /// Draws a random selection problem of `m` tasks in the paper's area,
 /// used by the solver benchmarks.
 pub fn random_published_tasks<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Vec<PublishedTask> {

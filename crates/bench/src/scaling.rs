@@ -1,0 +1,305 @@
+//! The round-loop scaling harness: how the cost of a platform round
+//! (Eq. 5 neighbour counting + demand pricing) scales with the user and
+//! task population, under each indexing/caching arm.
+//!
+//! Every arm runs the *same* synthetic workload — identical task
+//! locations, identical per-round user movements, identical progress
+//! evolution — and the harness checks the arms produce identical
+//! neighbour counts and bit-identical rewards before reporting any
+//! timing. A speed-up that changed the answer would be reported as
+//! `identical: false` and is a bug.
+//!
+//! The binary (`src/bin/scaling.rs`) sweeps users ∈ {100, 1k, 10k, 50k}
+//! × tasks ∈ {100, 1k} and writes machine-readable `BENCH_scaling.json`;
+//! this module holds the reusable harness so the test suite can run a
+//! miniature configuration.
+
+use std::time::Instant;
+
+use paydemand_core::demand::TaskObservation;
+use paydemand_core::neighbors::naive_counts;
+use paydemand_core::{DemandCache, DemandIndicator, DemandLevels, NeighborTracker, RewardSchedule};
+use paydemand_geo::{GridIndex, Point, Rect};
+use rand::{Rng, SeedableRng};
+
+/// One scaling point: population sizes plus workload shape.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of mobile users `n`.
+    pub users: usize,
+    /// Number of sensing tasks `m`.
+    pub tasks: usize,
+    /// Simulated platform rounds.
+    pub rounds: u32,
+    /// Fraction of users that move between rounds.
+    pub move_fraction: f64,
+    /// Neighbour radius `R` (metres).
+    pub radius: f64,
+    /// Side of the square area (metres).
+    pub area_side: f64,
+    /// Master seed; the whole workload derives from it.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The harness defaults at a given population point: 8 rounds, 10%
+    /// of users moving per round, `R = 200 m` in a 3 km square.
+    #[must_use]
+    pub fn at(users: usize, tasks: usize) -> Self {
+        Config {
+            users,
+            tasks,
+            rounds: 8,
+            move_fraction: 0.1,
+            radius: 200.0,
+            area_side: 3000.0,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// How one arm computes the round loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arm {
+    /// `O(n·m)` pairwise scan, demand recomputed from scratch.
+    Naive,
+    /// User grid rebuilt every round, demand recomputed from scratch.
+    Rebuild,
+    /// Incremental [`NeighborTracker`], demand recomputed from scratch.
+    Indexed,
+    /// Incremental [`NeighborTracker`] plus the [`DemandCache`].
+    IndexedCached,
+}
+
+impl Arm {
+    /// All arms, slowest reference first.
+    pub const ALL: [Arm; 4] = [Arm::Naive, Arm::Rebuild, Arm::Indexed, Arm::IndexedCached];
+
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Arm::Naive => "naive",
+            Arm::Rebuild => "rebuild",
+            Arm::Indexed => "indexed",
+            Arm::IndexedCached => "indexed_cached",
+        }
+    }
+}
+
+/// One arm's timing and output fingerprint at one point.
+#[derive(Debug, Clone)]
+pub struct ArmResult {
+    /// Which arm ran.
+    pub arm: Arm,
+    /// Wall-clock seconds for all rounds (excludes workload generation).
+    pub seconds: f64,
+    /// Order-sensitive checksum over every round's neighbour counts.
+    pub counts_checksum: u64,
+    /// Checksum over the bits of every round's rewards.
+    pub rewards_checksum: u64,
+}
+
+/// All arms at one (users, tasks) point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The configuration that ran.
+    pub config: Config,
+    /// Per-arm results, in [`Arm::ALL`] order.
+    pub arms: Vec<ArmResult>,
+    /// Whether every arm produced identical counts and bit-identical
+    /// rewards. Timings are meaningless when this is false.
+    pub identical: bool,
+}
+
+/// The synthetic workload all arms share: fixed tasks, per-round user
+/// movements, and a deterministic progress schedule.
+struct SharedWorkload {
+    area: Rect,
+    task_locations: Vec<Point>,
+    initial_users: Vec<Point>,
+    /// `moves[r]` = the `(user, new_location)` updates before round `r+1`.
+    moves: Vec<Vec<(usize, Point)>>,
+    deadlines: Vec<u32>,
+    required: Vec<u32>,
+}
+
+fn generate_workload(cfg: &Config) -> SharedWorkload {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let area = Rect::square(cfg.area_side).expect("valid area");
+    let task_locations: Vec<Point> =
+        (0..cfg.tasks).map(|_| area.sample_uniform(&mut rng)).collect();
+    let initial_users: Vec<Point> = (0..cfg.users).map(|_| area.sample_uniform(&mut rng)).collect();
+    let movers = ((cfg.users as f64) * cfg.move_fraction).ceil() as usize;
+    let moves: Vec<Vec<(usize, Point)>> = (0..cfg.rounds)
+        .map(|_| {
+            (0..movers.min(cfg.users))
+                .map(|_| (rng.gen_range(0..cfg.users), area.sample_uniform(&mut rng)))
+                .collect()
+        })
+        .collect();
+    let deadlines: Vec<u32> =
+        (0..cfg.tasks).map(|_| rng.gen_range(5..=15u32) + cfg.rounds).collect();
+    let required: Vec<u32> = (0..cfg.tasks).map(|_| rng.gen_range(10..=30u32)).collect();
+    SharedWorkload { area, task_locations, initial_users, moves, deadlines, required }
+}
+
+fn fold(checksum: u64, value: u64) -> u64 {
+    // FNV-1a style: order-sensitive, cheap, stable.
+    (checksum ^ value).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Runs one arm over the shared workload, returning timing + checksums.
+fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
+    let indicator = DemandIndicator::paper_default();
+    let total_required: u64 = w.required.iter().map(|&r| u64::from(r)).sum();
+    // Budget scaled with the workload at the paper's ratio (B = 1000
+    // for Σφ = 400) so Eq. 9 stays feasible at every population size.
+    let schedule = RewardSchedule::from_budget(
+        2.5 * total_required.max(1) as f64,
+        total_required.max(1),
+        0.5,
+        DemandLevels::paper_default(),
+    )
+    .expect("paper-ratio schedule");
+
+    let mut users = w.initial_users.clone();
+    let mut received: Vec<u32> = vec![0; cfg.tasks];
+    let mut tracker = NeighborTracker::new(w.area, cfg.radius, w.task_locations.clone());
+    let mut cache = DemandCache::new();
+    let mut counts_checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut rewards_checksum = counts_checksum;
+
+    let started = Instant::now();
+    for round in 1..=cfg.rounds {
+        for &(user, location) in &w.moves[(round - 1) as usize] {
+            users[user] = location;
+        }
+        let counts: Vec<usize> = match arm {
+            Arm::Naive => naive_counts(&w.task_locations, &users, cfg.radius),
+            Arm::Rebuild => {
+                let index = GridIndex::build(w.area, cfg.radius, &users).expect("users in area");
+                w.task_locations.iter().map(|&t| index.count_within(t, cfg.radius)).collect()
+            }
+            Arm::Indexed | Arm::IndexedCached => {
+                tracker.counts(&users).expect("users in area").to_vec()
+            }
+        };
+        let max_neighbors = counts.iter().copied().max().unwrap_or(0);
+        for (task, &count) in counts.iter().enumerate() {
+            counts_checksum = fold(counts_checksum, count as u64);
+            let obs = TaskObservation {
+                deadline: w.deadlines[task],
+                required: w.required[task],
+                received: received[task],
+                neighbors: count,
+            };
+            let demand = if arm == Arm::IndexedCached {
+                cache.normalized_demand(&indicator, task, &obs, round, max_neighbors)
+            } else {
+                indicator.normalized_demand(&obs, round, max_neighbors)
+            };
+            let reward = schedule.reward_for_demand(demand);
+            rewards_checksum = fold(rewards_checksum, reward.to_bits());
+        }
+        // Deterministic progress: tasks near users fill up faster. Same
+        // counts across arms → same progress across arms.
+        for (task, &count) in counts.iter().enumerate() {
+            let gain = (count as u32).min(3);
+            received[task] = (received[task] + gain).min(w.required[task]);
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    ArmResult { arm, seconds, counts_checksum, rewards_checksum }
+}
+
+/// Runs every arm at one point and cross-checks their outputs.
+#[must_use]
+pub fn run_point(cfg: &Config) -> PointResult {
+    let workload = generate_workload(cfg);
+    let arms: Vec<ArmResult> = Arm::ALL.iter().map(|&arm| run_arm(cfg, &workload, arm)).collect();
+    let identical = arms.windows(2).all(|pair| {
+        pair[0].counts_checksum == pair[1].counts_checksum
+            && pair[0].rewards_checksum == pair[1].rewards_checksum
+    });
+    PointResult { config: cfg.clone(), arms, identical }
+}
+
+/// Serialises points as the `BENCH_scaling.json` document (no external
+/// JSON dependency; the format is flat enough to emit by hand).
+#[must_use]
+pub fn to_json(points: &[PointResult]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"round_loop_scaling\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"users\": {}, \"tasks\": {}, \"rounds\": {}, \"radius_m\": {}, \
+             \"move_fraction\": {}, \"identical\": {}, \"arms\": [",
+            p.config.users,
+            p.config.tasks,
+            p.config.rounds,
+            p.config.radius,
+            p.config.move_fraction,
+            p.identical,
+        ));
+        for (j, a) in p.arms.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"arm\": \"{}\", \"seconds\": {:.6}}}",
+                a.arm.label(),
+                a.seconds
+            ));
+            if j + 1 < p.arms.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config { rounds: 4, ..Config::at(300, 25) }
+    }
+
+    #[test]
+    fn all_arms_agree_on_outputs() {
+        let point = run_point(&tiny());
+        assert!(point.identical, "arms disagreed: {point:?}");
+        assert_eq!(point.arms.len(), 4);
+        assert!(point.arms.iter().all(|a| a.seconds >= 0.0));
+    }
+
+    #[test]
+    fn different_seeds_change_the_workload() {
+        let a = run_point(&tiny());
+        let b = run_point(&Config { seed: 999, ..tiny() });
+        assert_ne!(a.arms[0].counts_checksum, b.arms[0].counts_checksum);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let points = vec![run_point(&tiny())];
+        let json = to_json(&points);
+        assert!(json.contains("\"benchmark\": \"round_loop_scaling\""));
+        assert!(json.contains("\"users\": 300"));
+        assert!(json.contains("\"identical\": true"));
+        for arm in Arm::ALL {
+            assert!(json.contains(arm.label()), "{}", arm.label());
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Arm::Naive.label(), "naive");
+        assert_eq!(Arm::Rebuild.label(), "rebuild");
+        assert_eq!(Arm::Indexed.label(), "indexed");
+        assert_eq!(Arm::IndexedCached.label(), "indexed_cached");
+    }
+}

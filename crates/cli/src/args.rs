@@ -2,7 +2,9 @@
 //! CLI crate; the grammar is small enough that a table-driven parser
 //! stays readable).
 
-use paydemand_sim::{MechanismKind, Scenario, SelectorKind, TravelModel};
+use paydemand_sim::{
+    IndexingMode, MechanismKind, PricingCacheMode, Scenario, SelectorKind, TravelModel,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -31,7 +33,12 @@ OPTIONS (both commands):
     --dropout P        per-round user dropout rate     [default: 0]
     --reps N           repetitions (averaged)          [default: 10]
     --seed N           master seed                     [default: 24157]
+    --threads N        worker threads (0 = all cores)  [default: 0]
     --enforce-budget   refuse payments past the budget
+    --no-cache         disable the demand/pricing cache (identical
+                       results; exists for benchmarking and debugging)
+    --indexing MODE    incremental | rebuild | naive neighbour counting
+                       (identical results; bench arms)  [default: incremental]
 
 OPTIONS (run only):
     --mechanism NAME   on-demand | fixed | steered | steered-paper |
@@ -56,6 +63,8 @@ pub struct Options {
     pub scenario: Scenario,
     /// Repetitions to average over.
     pub reps: usize,
+    /// Worker threads (`None` = one per available core).
+    pub threads: Option<usize>,
 }
 
 /// Parses `argv` (without the program name).
@@ -73,11 +82,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
 
     let mut scenario = Scenario::paper_default().with_seed(24157);
     let mut reps = 10usize;
+    let mut threads: Option<usize> = None;
 
     while let Some(flag) = it.next() {
         match flag {
             "--help" | "-h" => return Ok(Command::Help),
             "--enforce-budget" => scenario.enforce_budget = true,
+            "--no-cache" => scenario.pricing_cache = PricingCacheMode::Disabled,
             "--preset" => {
                 let name = it.next().ok_or("--preset needs a name")?;
                 let seed = scenario.seed;
@@ -100,6 +111,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--budget" => scenario.reward_budget = parse_num(flag, value)?,
                     "--reps" => reps = parse_num(flag, value)?,
                     "--seed" => scenario.seed = parse_num(flag, value)?,
+                    "--threads" => {
+                        let n: usize = parse_num(flag, value)?;
+                        threads = if n == 0 { None } else { Some(n) };
+                    }
+                    "--indexing" => scenario.indexing = parse_indexing(value)?,
                     "--selector" => scenario.selector = parse_selector(value)?,
                     "--travel" => scenario.travel = parse_travel(value)?,
                     "--sensing-time" => scenario.sensing_seconds = parse_num(flag, value)?,
@@ -116,7 +132,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         return Err("--reps must be at least 1".into());
     }
     scenario.validate().map_err(|e| e.to_string())?;
-    let options = Options { scenario, reps };
+    let options = Options { scenario, reps, threads };
     Ok(match sub {
         "run" => Command::Run(options),
         _ => Command::Compare(options),
@@ -142,11 +158,19 @@ fn parse_selector(value: &str) -> Result<SelectorKind, String> {
     })
 }
 
+fn parse_indexing(value: &str) -> Result<IndexingMode, String> {
+    Ok(match value {
+        "incremental" => IndexingMode::Incremental,
+        "rebuild" => IndexingMode::RebuildEachRound,
+        "naive" => IndexingMode::NaiveReference,
+        other => return Err(format!("unknown indexing mode `{other}`")),
+    })
+}
+
 fn parse_travel(value: &str) -> Result<TravelModel, String> {
     if let Some(spec) = value.strip_prefix("streets:") {
         // Format: COLSxROWS:CLOSURE, e.g. streets:20x20:0.3
-        let (dims, closure) =
-            spec.split_once(':').ok_or("streets needs COLSxROWS:CLOSURE")?;
+        let (dims, closure) = spec.split_once(':').ok_or("streets needs COLSxROWS:CLOSURE")?;
         let (cols, rows) = dims.split_once('x').ok_or("streets needs COLSxROWS")?;
         return Ok(TravelModel::StreetGrid {
             cols: cols.parse().map_err(|e| format!("street cols: {e}"))?,
@@ -163,8 +187,7 @@ fn parse_travel(value: &str) -> Result<TravelModel, String> {
 
 fn parse_mechanism(value: &str) -> Result<MechanismKind, String> {
     if let Some(alpha) = value.strip_prefix("hybrid:") {
-        let alpha: f64 =
-            alpha.parse().map_err(|e| format!("hybrid alpha `{alpha}`: {e}"))?;
+        let alpha: f64 = alpha.parse().map_err(|e| format!("hybrid alpha `{alpha}`: {e}"))?;
         return Ok(MechanismKind::Hybrid { alpha });
     }
     Ok(match value {
@@ -239,16 +262,12 @@ mod tests {
         for m in ["on-demand", "fixed", "steered", "steered-paper", "proportional"] {
             assert!(parse_mechanism(m).is_ok(), "{m}");
         }
-        assert_eq!(
-            parse_mechanism("hybrid:0.5").unwrap(),
-            MechanismKind::Hybrid { alpha: 0.5 }
-        );
+        assert_eq!(parse_mechanism("hybrid:0.5").unwrap(), MechanismKind::Hybrid { alpha: 0.5 });
     }
 
     #[test]
     fn presets_parse_and_compose_with_overrides() {
-        let Command::Run(opts) =
-            parse(&argv("run --preset dense-downtown --users 33")).unwrap()
+        let Command::Run(opts) = parse(&argv("run --preset dense-downtown --users 33")).unwrap()
         else {
             panic!("expected run");
         };
@@ -261,8 +280,7 @@ mod tests {
 
     #[test]
     fn sensing_time_and_dropout_parse() {
-        let Command::Run(opts) =
-            parse(&argv("run --sensing-time 120 --dropout 0.25")).unwrap()
+        let Command::Run(opts) = parse(&argv("run --sensing-time 120 --dropout 0.25")).unwrap()
         else {
             panic!("expected run");
         };
@@ -270,6 +288,35 @@ mod tests {
         assert_eq!(opts.scenario.dropout_rate, 0.25);
         assert!(parse(&argv("run --dropout 1.5")).unwrap_err().contains("dropout"));
         assert!(parse(&argv("run --sensing-time -3")).unwrap_err().contains("sensing"));
+    }
+
+    #[test]
+    fn threads_cache_and_indexing_flags_parse() {
+        let Command::Run(opts) =
+            parse(&argv("run --threads 4 --no-cache --indexing naive")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.threads, Some(4));
+        assert_eq!(opts.scenario.pricing_cache, PricingCacheMode::Disabled);
+        assert_eq!(opts.scenario.indexing, IndexingMode::NaiveReference);
+
+        let Command::Run(defaults) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(defaults.threads, None);
+        assert_eq!(defaults.scenario.pricing_cache, PricingCacheMode::Enabled);
+        assert_eq!(defaults.scenario.indexing, IndexingMode::Incremental);
+
+        let Command::Run(zero) = parse(&argv("run --threads 0")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(zero.threads, None, "0 means all cores");
+
+        assert!(parse(&argv("run --indexing quantum"))
+            .unwrap_err()
+            .contains("unknown indexing mode"));
+        assert!(parse(&argv("compare --no-cache --threads 2")).is_ok());
     }
 
     #[test]

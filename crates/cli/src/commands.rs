@@ -14,26 +14,14 @@ struct MetricRow {
 
 const METRICS: &[MetricRow] = &[
     MetricRow { name: "coverage", unit: "%", extract: |r| 100.0 * metrics::coverage(r) },
-    MetricRow {
-        name: "completeness",
-        unit: "%",
-        extract: |r| 100.0 * metrics::completeness(r),
-    },
+    MetricRow { name: "completeness", unit: "%", extract: |r| 100.0 * metrics::completeness(r) },
     MetricRow {
         name: "on-time completion",
         unit: "%",
         extract: |r| 100.0 * metrics::on_time_completion_rate(r),
     },
-    MetricRow {
-        name: "avg measurements",
-        unit: "",
-        extract: metrics::average_measurements,
-    },
-    MetricRow {
-        name: "variance",
-        unit: "",
-        extract: metrics::measurement_variance,
-    },
+    MetricRow { name: "avg measurements", unit: "", extract: metrics::average_measurements },
+    MetricRow { name: "variance", unit: "", extract: metrics::measurement_variance },
     MetricRow {
         name: "reward / measurement",
         unit: "$",
@@ -50,7 +38,7 @@ const METRICS: &[MetricRow] = &[
 
 /// `paydemand run`: one mechanism, metrics with 95% CIs.
 pub fn run(options: &Options) -> Result<(), SimError> {
-    let threads = default_threads();
+    let threads = options.threads.unwrap_or_else(default_threads);
     println!(
         "mechanism {} | selector {} | {} users | {} tasks | {} rounds | {} reps",
         options.scenario.mechanism.label(),
@@ -78,7 +66,7 @@ pub fn run(options: &Options) -> Result<(), SimError> {
 /// `paydemand compare`: the three paper mechanisms side by side on
 /// identical workloads.
 pub fn compare(options: &Options) -> Result<(), SimError> {
-    let threads = default_threads();
+    let threads = options.threads.unwrap_or_else(default_threads);
     println!(
         "selector {} | {} users | {} tasks | {} rounds | {} reps",
         options.scenario.selector.label(),
@@ -137,15 +125,13 @@ mod tests {
 
     #[test]
     fn run_executes_small_scenario() {
-        let opts =
-            options("run --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy");
+        let opts = options("run --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy");
         run(&opts).unwrap();
     }
 
     #[test]
     fn compare_executes_small_scenario() {
-        let opts =
-            options("compare --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy");
+        let opts = options("compare --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy");
         compare(&opts).unwrap();
     }
 

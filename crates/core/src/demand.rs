@@ -144,8 +144,7 @@ impl DemandWeights {
     pub fn paper_example() -> Self {
         let matrix = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0])
             .expect("Table I is a valid reciprocal matrix");
-        DemandWeights::from_ahp(&matrix, WeightMethod::RowAverage)
-            .expect("Table I has order 3")
+        DemandWeights::from_ahp(&matrix, WeightMethod::RowAverage).expect("Table I has order 3")
     }
 
     /// Explicit weights, validated to be a distribution.
@@ -223,14 +222,44 @@ impl DemandIndicator {
         self.weights
     }
 
+    /// The three criterion scores `(X₁, X₂, X₃)` of Eq. 3–5 for one
+    /// task. Exposed separately so a cache can recompute only the
+    /// criteria whose inputs changed; combining the parts with
+    /// [`normalized_from_parts`](Self::normalized_from_parts) is
+    /// bit-identical to [`normalized_demand`](Self::normalized_demand).
+    #[must_use]
+    pub fn criterion_parts(
+        &self,
+        obs: &TaskObservation,
+        round: u32,
+        max_neighbors: usize,
+    ) -> (f64, f64, f64) {
+        (
+            self.criteria.deadline_demand(obs.deadline, round),
+            self.criteria.progress_demand(obs.received, obs.required),
+            self.criteria.neighbor_demand(obs.neighbors, max_neighbors),
+        )
+    }
+
+    /// Eq. 2's weighted blend of already-computed criterion scores.
+    #[must_use]
+    pub fn combine_parts(&self, x1: f64, x2: f64, x3: f64) -> f64 {
+        self.weights.deadline * x1 + self.weights.progress * x2 + self.weights.neighbors * x3
+    }
+
+    /// §IV-C normalisation applied to already-computed criterion scores.
+    #[must_use]
+    pub fn normalized_from_parts(&self, x1: f64, x2: f64, x3: f64) -> f64 {
+        let bound = self.criteria.lambda_max() * std::f64::consts::LN_2;
+        (self.combine_parts(x1, x2, x3) / bound).clamp(0.0, 1.0)
+    }
+
     /// Raw demand `d^k_i` of one task (Eq. 2). `round` is 1-based and
     /// `max_neighbors` is `N_max` across all tasks this round.
     #[must_use]
     pub fn raw_demand(&self, obs: &TaskObservation, round: u32, max_neighbors: usize) -> f64 {
-        let x1 = self.criteria.deadline_demand(obs.deadline, round);
-        let x2 = self.criteria.progress_demand(obs.received, obs.required);
-        let x3 = self.criteria.neighbor_demand(obs.neighbors, max_neighbors);
-        self.weights.deadline * x1 + self.weights.progress * x2 + self.weights.neighbors * x3
+        let (x1, x2, x3) = self.criterion_parts(obs, round, max_neighbors);
+        self.combine_parts(x1, x2, x3)
     }
 
     /// Normalised demand `d̄^k_i = d^k_i / (λ_max ln 2) ∈ [0, 1]`.
@@ -241,8 +270,8 @@ impl DemandIndicator {
         round: u32,
         max_neighbors: usize,
     ) -> f64 {
-        let bound = self.criteria.lambda_max() * std::f64::consts::LN_2;
-        (self.raw_demand(obs, round, max_neighbors) / bound).clamp(0.0, 1.0)
+        let (x1, x2, x3) = self.criterion_parts(obs, round, max_neighbors);
+        self.normalized_from_parts(x1, x2, x3)
     }
 
     /// Normalised demands for a whole round: computes `N_max` internally
@@ -251,10 +280,7 @@ impl DemandIndicator {
     #[must_use]
     pub fn round_demands(&self, observations: &[TaskObservation], round: u32) -> Vec<f64> {
         let max_neighbors = observations.iter().map(|o| o.neighbors).max().unwrap_or(0);
-        observations
-            .iter()
-            .map(|o| self.normalized_demand(o, round, max_neighbors))
-            .collect()
+        observations.iter().map(|o| self.normalized_demand(o, round, max_neighbors)).collect()
     }
 
     /// The normalised demand a single task would have at every round
@@ -288,6 +314,166 @@ impl DemandIndicator {
 impl Default for DemandIndicator {
     fn default() -> Self {
         DemandIndicator::paper_default()
+    }
+}
+
+/// Deadline-criterion memo size: `X₁` depends only on the rounds
+/// remaining, which in any realistic scenario is far below this.
+const DEADLINE_MEMO_CAP: usize = 4096;
+
+/// Per-criterion memoisation of the demand indicator across rounds.
+///
+/// The three criteria of Eq. 3–5 have disjoint inputs, each dirtied by
+/// a different event:
+///
+/// * `X₂` (progress) changes only when a task receives an **upload** —
+///   keyed on `(received, required)` per task;
+/// * `X₃` (scarcity) changes only when **user movement** shifts the
+///   task's neighbour count or the round's `N_max` — keyed on
+///   `(neighbors, max_neighbors)` per task;
+/// * `X₁` (deadline) is dirtied by every **round boundary**, but
+///   depends only on the rounds remaining, so it is memoised by
+///   `remaining` across all tasks.
+///
+/// A task whose key components are unchanged is *clean* and reuses the
+/// stored criterion value; recomputation happens only for dirty
+/// criteria. Because stored values are the exact `f64`s the criterion
+/// functions produced, and the parts are recombined through
+/// [`DemandIndicator::normalized_from_parts`] (the same expression the
+/// uncached path uses), cached demands are bit-identical to uncached
+/// ones — asserted in `full_recompute` mode via
+/// [`normalized_demand_checked`](Self::normalized_demand_checked).
+#[derive(Debug, Clone, Default)]
+pub struct DemandCache {
+    /// Per task id: `((received, required), X₂)`.
+    progress: Vec<Option<((u32, u32), f64)>>,
+    /// Per task id: `((neighbors, max_neighbors), X₃)`.
+    neighbors: Vec<Option<((usize, usize), f64)>>,
+    /// `X₁` memo indexed by rounds remaining (NaN = unfilled).
+    deadline_by_remaining: Vec<f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DemandCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        DemandCache::default()
+    }
+
+    /// Cached equivalent of [`DemandIndicator::normalized_demand`]:
+    /// recomputes only the criteria whose inputs changed since this
+    /// task was last priced.
+    ///
+    /// `task` is the task's dense id; the cache grows to fit. The same
+    /// cache must always be used with the same indicator (criterion
+    /// values embed its `λ`s).
+    #[must_use]
+    pub fn normalized_demand(
+        &mut self,
+        indicator: &DemandIndicator,
+        task: usize,
+        obs: &TaskObservation,
+        round: u32,
+        max_neighbors: usize,
+    ) -> f64 {
+        if self.progress.len() <= task {
+            self.progress.resize(task + 1, None);
+            self.neighbors.resize(task + 1, None);
+        }
+
+        // X₁ — dirtied every round boundary; memoised by remaining.
+        let remaining = i64::from(obs.deadline) - (i64::from(round) - 1);
+        let x1 = if (1..DEADLINE_MEMO_CAP as i64).contains(&remaining) {
+            let idx = remaining as usize;
+            if self.deadline_by_remaining.len() <= idx {
+                self.deadline_by_remaining.resize(idx + 1, f64::NAN);
+            }
+            if self.deadline_by_remaining[idx].is_nan() {
+                self.misses += 1;
+                self.deadline_by_remaining[idx] =
+                    indicator.criteria().deadline_demand(obs.deadline, round);
+            } else {
+                self.hits += 1;
+            }
+            self.deadline_by_remaining[idx]
+        } else {
+            // Past-deadline saturation (a constant) or an absurdly far
+            // deadline: compute directly.
+            indicator.criteria().deadline_demand(obs.deadline, round)
+        };
+
+        // X₂ — dirtied by uploads.
+        let progress_key = (obs.received, obs.required);
+        let x2 = match self.progress[task] {
+            Some((key, value)) if key == progress_key => {
+                self.hits += 1;
+                value
+            }
+            _ => {
+                self.misses += 1;
+                let value = indicator.criteria().progress_demand(obs.received, obs.required);
+                self.progress[task] = Some((progress_key, value));
+                value
+            }
+        };
+
+        // X₃ — dirtied by user movement (directly or through N_max).
+        let neighbor_key = (obs.neighbors, max_neighbors);
+        let x3 = match self.neighbors[task] {
+            Some((key, value)) if key == neighbor_key => {
+                self.hits += 1;
+                value
+            }
+            _ => {
+                self.misses += 1;
+                let value = indicator.criteria().neighbor_demand(obs.neighbors, max_neighbors);
+                self.neighbors[task] = Some((neighbor_key, value));
+                value
+            }
+        };
+
+        indicator.normalized_from_parts(x1, x2, x3)
+    }
+
+    /// [`normalized_demand`](Self::normalized_demand) under the
+    /// `full_recompute` debug mode: also computes the demand from
+    /// scratch and asserts the cached answer is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cache and recompute disagree — that would mean the
+    /// cache invalidation logic is wrong.
+    #[must_use]
+    pub fn normalized_demand_checked(
+        &mut self,
+        indicator: &DemandIndicator,
+        task: usize,
+        obs: &TaskObservation,
+        round: u32,
+        max_neighbors: usize,
+    ) -> f64 {
+        let cached = self.normalized_demand(indicator, task, obs, round, max_neighbors);
+        let fresh = indicator.normalized_demand(obs, round, max_neighbors);
+        assert!(
+            cached.to_bits() == fresh.to_bits(),
+            "demand cache diverged for task {task} at round {round}: \
+             cached {cached} vs recomputed {fresh}"
+        );
+        cached
+    }
+
+    /// Criterion lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Criterion lookups that had to recompute.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 
@@ -445,7 +631,92 @@ mod tests {
         assert!(du > df);
     }
 
+    #[test]
+    fn cache_matches_uncached_bitwise() {
+        let ind = DemandIndicator::paper_default();
+        let mut cache = DemandCache::new();
+        for round in 1..=12 {
+            for (task, o) in
+                [obs(10, 20, round.min(20), 3), obs(5, 8, 0, 0), obs(30, 40, 2 * round, 7)]
+                    .iter()
+                    .enumerate()
+            {
+                let cached = cache.normalized_demand(&ind, task, o, round, 9);
+                let fresh = ind.normalized_demand(o, round, 9);
+                assert_eq!(cached.to_bits(), fresh.to_bits(), "task {task} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_tasks_hit_dirty_tasks_miss() {
+        let ind = DemandIndicator::paper_default();
+        let mut cache = DemandCache::new();
+        let o = obs(10, 20, 3, 4);
+        let _ = cache.normalized_demand(&ind, 0, &o, 1, 8);
+        let cold_misses = cache.misses();
+        assert!(cold_misses >= 3, "all criteria cold-miss");
+        // Same observation next round: only X₁ changes, and it comes
+        // from the remaining-memo only when that remaining was seen.
+        let _ = cache.normalized_demand(&ind, 0, &o, 2, 8);
+        assert_eq!(cache.misses(), cold_misses + 1, "only the deadline term recomputes");
+        // An upload dirties X₂ only.
+        let uploaded = TaskObservation { received: 4, ..o };
+        let _ = cache.normalized_demand(&ind, 0, &uploaded, 2, 8);
+        assert_eq!(cache.misses(), cold_misses + 2);
+        // Movement dirties X₃ only.
+        let moved = TaskObservation { neighbors: 5, ..uploaded };
+        let _ = cache.normalized_demand(&ind, 0, &moved, 2, 8);
+        assert_eq!(cache.misses(), cold_misses + 3);
+        // Fully clean repeat: pure hits.
+        let before_hits = cache.hits();
+        let _ = cache.normalized_demand(&ind, 0, &moved, 2, 8);
+        assert_eq!(cache.misses(), cold_misses + 3);
+        assert_eq!(cache.hits(), before_hits + 3);
+    }
+
+    #[test]
+    fn checked_mode_accepts_correct_cache() {
+        let ind = DemandIndicator::paper_default();
+        let mut cache = DemandCache::new();
+        for round in 1u32..=6 {
+            let o = obs(8, 10, round - 1, round as usize % 3);
+            let d = cache.normalized_demand_checked(&ind, 0, &o, round, 5);
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn parts_recombine_to_normalized_demand() {
+        let ind = DemandIndicator::paper_default();
+        let o = obs(7, 20, 5, 2);
+        let (x1, x2, x3) = ind.criterion_parts(&o, 3, 6);
+        assert_eq!(
+            ind.normalized_from_parts(x1, x2, x3).to_bits(),
+            ind.normalized_demand(&o, 3, 6).to_bits()
+        );
+        assert_eq!(ind.combine_parts(x1, x2, x3), ind.raw_demand(&o, 3, 6));
+    }
+
     proptest! {
+        #[test]
+        fn cached_demand_always_bit_identical(
+            deadline in 1u32..30, required in 1u32..50,
+            received in 0u32..60, neighbors in 0usize..50,
+            max_extra in 0usize..50, round in 1u32..40,
+        ) {
+            let ind = DemandIndicator::paper_default();
+            let mut cache = DemandCache::new();
+            let o = obs(deadline, required, received, neighbors);
+            let max_n = neighbors + max_extra;
+            // Twice: cold then warm, both must equal the uncached value.
+            for _ in 0..2 {
+                let cached = cache.normalized_demand(&ind, 0, &o, round, max_n);
+                let fresh = ind.normalized_demand(&o, round, max_n);
+                prop_assert_eq!(cached.to_bits(), fresh.to_bits());
+            }
+        }
+
         #[test]
         fn normalized_demand_is_in_unit_interval(
             deadline in 1u32..30, required in 1u32..50,

@@ -119,16 +119,12 @@ mod tests {
 
     #[test]
     fn display_nonempty_and_sources_wired() {
-        let routing = CoreError::from(paydemand_routing::RoutingError::TooManyTasks {
-            got: 40,
-            max: 25,
-        });
+        let routing =
+            CoreError::from(paydemand_routing::RoutingError::TooManyTasks { got: 40, max: 25 });
         assert!(routing.source().is_some());
         let ahp = CoreError::from(paydemand_ahp::AhpError::Empty);
         assert!(ahp.source().is_some());
-        let geo = CoreError::from(paydemand_geo::GeoError::NonFiniteCoordinate {
-            value: f64::NAN,
-        });
+        let geo = CoreError::from(paydemand_geo::GeoError::NonFiniteCoordinate { value: f64::NAN });
         assert!(geo.source().is_some());
         let variants = [
             CoreError::InvalidParameter { name: "speed", value: -1.0 },

@@ -72,8 +72,7 @@ impl IncentiveMechanism for FixedIncentive {
         ctx.tasks
             .iter()
             .map(|t| {
-                let level =
-                    *self.assigned.entry(t.id).or_insert_with(|| rng.gen_range(1..=n));
+                let level = *self.assigned.entry(t.id).or_insert_with(|| rng.gen_range(1..=n));
                 self.schedule.reward_for_level(level)
             })
             .collect()

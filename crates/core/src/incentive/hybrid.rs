@@ -29,19 +29,12 @@ impl HybridIncentive {
     ///
     /// [`CoreError::InvalidParameter`] if `alpha` is outside `[0, 1]`
     /// or `flat_reward` is not positive and finite.
-    pub fn new(
-        inner: OnDemandIncentive,
-        alpha: f64,
-        flat_reward: f64,
-    ) -> Result<Self, CoreError> {
+    pub fn new(inner: OnDemandIncentive, alpha: f64, flat_reward: f64) -> Result<Self, CoreError> {
         if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
             return Err(CoreError::InvalidParameter { name: "alpha", value: alpha });
         }
         if !flat_reward.is_finite() || flat_reward <= 0.0 {
-            return Err(CoreError::InvalidParameter {
-                name: "flat_reward",
-                value: flat_reward,
-            });
+            return Err(CoreError::InvalidParameter { name: "flat_reward", value: flat_reward });
         }
         Ok(HybridIncentive { inner, alpha, flat: flat_reward })
     }
@@ -85,13 +78,12 @@ mod tests {
         let specs: Vec<TaskSpec> = (0..20)
             .map(|i| TaskSpec::new(TaskId(i), Point::new(i as f64, 0.0), 15, 20).unwrap())
             .collect();
-        OnDemandIncentive::paper_default(&specs)
-            .unwrap_or_else(|_| {
-                OnDemandIncentive::new(
-                    DemandIndicator::paper_default(),
-                    RewardSchedule::paper_default(),
-                )
-            })
+        OnDemandIncentive::paper_default(&specs).unwrap_or_else(|_| {
+            OnDemandIncentive::new(
+                DemandIndicator::paper_default(),
+                RewardSchedule::paper_default(),
+            )
+        })
     }
 
     fn rng() -> rand::rngs::StdRng {

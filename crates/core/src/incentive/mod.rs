@@ -26,7 +26,7 @@ mod steered;
 
 pub use fixed::FixedIncentive;
 pub use hybrid::HybridIncentive;
-pub use on_demand::OnDemandIncentive;
+pub use on_demand::{OnDemandIncentive, PricingCacheMode};
 pub use proportional::ProportionalIncentive;
 pub use steered::SteeredIncentive;
 

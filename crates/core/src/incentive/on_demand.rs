@@ -1,9 +1,30 @@
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use crate::demand::TaskObservation;
+use crate::demand::{DemandCache, TaskObservation};
 use crate::incentive::IncentiveMechanism;
 use crate::{CoreError, DemandIndicator, RewardSchedule, RoundContext, TaskSpec};
+
+/// How [`OnDemandIncentive`] uses its per-task [`DemandCache`].
+///
+/// Every mode produces bit-identical rewards; they differ only in how
+/// much work is redone each round, which the scaling benches measure and
+/// the equivalence tests lock down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PricingCacheMode {
+    /// Recompute every task's demand from scratch each round.
+    Disabled,
+    /// Reuse cached criterion values for clean tasks (the default):
+    /// only criteria whose inputs changed since the last round are
+    /// recomputed.
+    #[default]
+    Enabled,
+    /// Debug mode: consult the cache *and* recompute everything, then
+    /// assert the two agree to the bit. Slowest; catches any stale
+    /// cache entry at its first use.
+    FullRecompute,
+}
 
 /// The paper's demand-based dynamic incentive mechanism (§IV).
 ///
@@ -29,18 +50,38 @@ use crate::{CoreError, DemandIndicator, RewardSchedule, RoundContext, TaskSpec};
 /// assert_eq!(mechanism.schedule().base_reward(), 0.5); // Eq. 9
 /// # Ok::<(), paydemand_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnDemandIncentive {
     indicator: DemandIndicator,
     schedule: RewardSchedule,
+    cache_mode: PricingCacheMode,
+    #[serde(skip)]
+    cache: DemandCache,
+}
+
+/// Equality is over the pricing *configuration* (indicator, schedule,
+/// cache mode) — never the cache's runtime state, which is an
+/// implementation detail that two behaviourally identical mechanisms may
+/// legitimately disagree on.
+impl PartialEq for OnDemandIncentive {
+    fn eq(&self, other: &Self) -> bool {
+        self.indicator == other.indicator
+            && self.schedule == other.schedule
+            && self.cache_mode == other.cache_mode
+    }
 }
 
 impl OnDemandIncentive {
     /// Creates the mechanism from a demand indicator and a reward
-    /// schedule.
+    /// schedule, with the pricing cache [enabled](PricingCacheMode::Enabled).
     #[must_use]
     pub fn new(indicator: DemandIndicator, schedule: RewardSchedule) -> Self {
-        OnDemandIncentive { indicator, schedule }
+        OnDemandIncentive {
+            indicator,
+            schedule,
+            cache_mode: PricingCacheMode::default(),
+            cache: DemandCache::new(),
+        }
     }
 
     /// The paper's evaluation configuration for the given task set:
@@ -60,7 +101,27 @@ impl OnDemandIncentive {
             0.5,
             crate::DemandLevels::paper_default(),
         )?;
-        Ok(OnDemandIncentive { indicator: DemandIndicator::paper_default(), schedule })
+        Ok(OnDemandIncentive::new(DemandIndicator::paper_default(), schedule))
+    }
+
+    /// Selects how the pricing cache is used. Every mode yields
+    /// bit-identical rewards; see [`PricingCacheMode`].
+    pub fn set_cache_mode(&mut self, mode: PricingCacheMode) {
+        self.cache_mode = mode;
+        self.cache = DemandCache::new();
+    }
+
+    /// The pricing-cache mode in use.
+    #[must_use]
+    pub fn cache_mode(&self) -> PricingCacheMode {
+        self.cache_mode
+    }
+
+    /// `(hits, misses)` of the demand cache so far — diagnostics for
+    /// benches and the equivalence tests.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 
     /// The demand indicator in use.
@@ -77,27 +138,61 @@ impl OnDemandIncentive {
 
     /// The demand levels this mechanism would assign for `ctx` —
     /// exposed so reports can show level trajectories, not just prices.
+    /// Always computed fresh (reporting must not disturb cache stats).
     #[must_use]
     pub fn levels_for(&self, ctx: &RoundContext) -> Vec<u32> {
-        self.normalized_demands(ctx)
-            .into_iter()
-            .map(|d| self.schedule.levels().level_of(d))
-            .collect()
+        self.uncached_demands(ctx).into_iter().map(|d| self.schedule.levels().level_of(d)).collect()
     }
 
-    fn normalized_demands(&self, ctx: &RoundContext) -> Vec<f64> {
+    fn uncached_demands(&self, ctx: &RoundContext) -> Vec<f64> {
         ctx.tasks
             .iter()
             .map(|t| {
-                let obs = TaskObservation {
-                    deadline: t.deadline,
-                    required: t.required,
-                    received: t.received,
-                    neighbors: t.neighbors,
-                };
+                let obs = observation_of(t);
                 self.indicator.normalized_demand(&obs, ctx.round, ctx.max_neighbors)
             })
             .collect()
+    }
+
+    /// Demands for the pricing path. Cache entries are keyed by task
+    /// *id* — `ctx.tasks` holds only the incomplete tasks, so positions
+    /// shift as tasks complete but ids are stable.
+    fn normalized_demands(&mut self, ctx: &RoundContext) -> Vec<f64> {
+        if self.cache_mode == PricingCacheMode::Disabled {
+            return self.uncached_demands(ctx);
+        }
+        let OnDemandIncentive { indicator, cache, cache_mode, .. } = self;
+        ctx.tasks
+            .iter()
+            .map(|t| {
+                let obs = observation_of(t);
+                match cache_mode {
+                    PricingCacheMode::FullRecompute => cache.normalized_demand_checked(
+                        indicator,
+                        t.id.0,
+                        &obs,
+                        ctx.round,
+                        ctx.max_neighbors,
+                    ),
+                    _ => cache.normalized_demand(
+                        indicator,
+                        t.id.0,
+                        &obs,
+                        ctx.round,
+                        ctx.max_neighbors,
+                    ),
+                }
+            })
+            .collect()
+    }
+}
+
+fn observation_of(t: &crate::TaskProgress) -> TaskObservation {
+    TaskObservation {
+        deadline: t.deadline,
+        required: t.required,
+        received: t.received,
+        neighbors: t.neighbors,
     }
 }
 
@@ -128,9 +223,7 @@ mod tests {
 
     fn paper_mechanism() -> OnDemandIncentive {
         let specs: Vec<TaskSpec> = (0..20)
-            .map(|i| {
-                TaskSpec::new(TaskId(i), Point::new(i as f64, 0.0), 15, 20).unwrap()
-            })
+            .map(|i| TaskSpec::new(TaskId(i), Point::new(i as f64, 0.0), 15, 20).unwrap())
             .collect();
         OnDemandIncentive::paper_default(&specs).unwrap()
     }
@@ -164,12 +257,7 @@ mod tests {
         // Task 1: far deadline, nearly done, many users nearby.
         let c = ctx(5, vec![snapshot(0, 5, 20, 1, 0), snapshot(1, 15, 20, 18, 9)]);
         let r = m.rewards(&c, &mut rng());
-        assert!(
-            r[0] > r[1],
-            "starved task must be priced higher: {} vs {}",
-            r[0],
-            r[1]
-        );
+        assert!(r[0] > r[1], "starved task must be priced higher: {} vs {}", r[0], r[1]);
     }
 
     #[test]
@@ -218,8 +306,7 @@ mod tests {
 
     #[test]
     fn custom_schedule_is_respected() {
-        let schedule =
-            RewardSchedule::new(2.0, 1.0, DemandLevels::new(3).unwrap()).unwrap();
+        let schedule = RewardSchedule::new(2.0, 1.0, DemandLevels::new(3).unwrap()).unwrap();
         let mut m = OnDemandIncentive::new(DemandIndicator::paper_default(), schedule);
         let c = ctx(1, vec![snapshot(0, 1, 20, 0, 0)]); // maximal demand
         assert_eq!(m.rewards(&c, &mut rng()), vec![4.0]); // 2 + 1·(3−1)
@@ -232,5 +319,80 @@ mod tests {
         let a = m.rewards(&c, &mut rng());
         let b = m.rewards(&c, &mut rand::rngs::StdRng::seed_from_u64(999));
         assert_eq!(a, b, "on-demand pricing must ignore the RNG");
+    }
+
+    /// A plausible multi-round trajectory: progress accrues, users move,
+    /// tasks complete and drop out of the context.
+    fn trajectory() -> Vec<RoundContext> {
+        (1..=10)
+            .map(|round| {
+                let tasks: Vec<_> = (0..6)
+                    .filter(|i| i * 3 + round < 20) // tasks complete over time
+                    .map(|i| {
+                        snapshot(
+                            i as usize,
+                            12,
+                            20,
+                            (round - 1) * (i % 3),
+                            ((i + round) % 7) as usize,
+                        )
+                    })
+                    .collect();
+                ctx(round, tasks)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_cache_modes_price_bit_identically() {
+        let mut cached = paper_mechanism();
+        let mut uncached = paper_mechanism();
+        uncached.set_cache_mode(PricingCacheMode::Disabled);
+        let mut checked = paper_mechanism();
+        checked.set_cache_mode(PricingCacheMode::FullRecompute);
+        for c in trajectory() {
+            let a = cached.rewards(&c, &mut rng());
+            let b = uncached.rewards(&c, &mut rng());
+            let d = checked.rewards(&c, &mut rng());
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "round {}", c.round);
+            assert_eq!(bits(&a), bits(&d), "round {}", c.round);
+        }
+        let (hits, misses) = cached.cache_stats();
+        assert!(hits > 0, "steady-state rounds must hit the cache");
+        assert!(misses > 0);
+        assert_eq!(uncached.cache_stats(), (0, 0), "disabled mode must not touch the cache");
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let mut a = paper_mechanism();
+        let b = paper_mechanism();
+        assert_eq!(a, b);
+        let c = ctx(1, vec![snapshot(0, 9, 20, 7, 2)]);
+        a.rewards(&c, &mut rng()); // warms a's cache
+        assert_eq!(a, b, "cache contents must not affect equality");
+        let mut d = paper_mechanism();
+        d.set_cache_mode(PricingCacheMode::Disabled);
+        assert_ne!(a, d, "cache *mode* is configuration and must");
+    }
+
+    #[test]
+    fn set_cache_mode_resets_stats() {
+        let mut m = paper_mechanism();
+        let c = ctx(1, vec![snapshot(0, 9, 20, 7, 2)]);
+        m.rewards(&c, &mut rng());
+        assert_ne!(m.cache_stats(), (0, 0));
+        m.set_cache_mode(PricingCacheMode::Enabled);
+        assert_eq!(m.cache_stats(), (0, 0));
+        assert_eq!(m.cache_mode(), PricingCacheMode::Enabled);
+    }
+
+    #[test]
+    fn levels_for_leaves_cache_untouched() {
+        let m = paper_mechanism();
+        let c = ctx(3, vec![snapshot(0, 5, 20, 3, 1), snapshot(1, 12, 20, 15, 6)]);
+        let _ = m.levels_for(&c);
+        assert_eq!(m.cache_stats(), (0, 0));
     }
 }

@@ -119,10 +119,7 @@ mod tests {
             DemandIndicator::paper_default(),
             RewardSchedule::paper_default(),
         );
-        let c = ctx(
-            4,
-            (0..10).map(|i| snapshot(i, 5 + i as u32, 20, (i * 2) as u32, i)).collect(),
-        );
+        let c = ctx(4, (0..10).map(|i| snapshot(i, 5 + i as u32, 20, (i * 2) as u32, i)).collect());
         let rp = prop.rewards(&c, &mut rng());
         let rb = bucketed.rewards(&c, &mut rng());
         for (p, b) in rp.iter().zip(&rb) {

@@ -61,16 +61,18 @@ mod error;
 mod ids;
 pub mod incentive;
 mod levels;
+pub mod neighbors;
 mod platform;
 mod reward;
 pub mod selection;
 mod task;
 mod user;
 
-pub use demand::{DemandCriteria, DemandIndicator, DemandWeights};
+pub use demand::{DemandCache, DemandCriteria, DemandIndicator, DemandWeights};
 pub use error::CoreError;
 pub use ids::{TaskId, UserId};
 pub use levels::DemandLevels;
+pub use neighbors::{IndexingMode, NeighborTracker};
 pub use platform::{Platform, RoundContext, TaskProgress};
 pub use reward::RewardSchedule;
 pub use task::{PublishedTask, TaskSpec};

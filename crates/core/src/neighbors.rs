@@ -1,0 +1,254 @@
+//! Incremental neighbour counting for Eq. 5.
+//!
+//! The platform needs, at every round boundary, the number of users
+//! within radius `R` of every task. Rebuilding a [`GridIndex`] over all
+//! user locations each round is `O(n)` even when almost nobody moved;
+//! [`NeighborTracker`] instead keeps a *static* grid over the task
+//! locations plus a *mutable* grid over the users, and turns each user
+//! movement into two localised queries: decrement the tasks around the
+//! old position, increment the tasks around the new one.
+//!
+//! Both directions of the query go through [`GridIndex`]'s
+//! `within_radius` / `count_within`, and `Point::distance_squared` is
+//! bitwise symmetric, so the incremental counts are *exactly* the counts
+//! a full rebuild would produce — not merely approximately so. The
+//! equivalence is locked down by tests here and by the differential
+//! battery in the test suite.
+
+use paydemand_geo::{GeoError, GridIndex, Point, Rect};
+
+/// How the platform computes per-task neighbour counts each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum IndexingMode {
+    /// Maintain the user grid incrementally across rounds (default):
+    /// cost proportional to how many users moved, not to `n`.
+    #[default]
+    Incremental,
+    /// Rebuild the user grid from scratch every round — the previous
+    /// behaviour, kept as a bench arm and differential reference.
+    RebuildEachRound,
+    /// `O(n·m)` pairwise scan with no index at all. A reference
+    /// implementation for differential tests and scaling benchmarks;
+    /// never the production path.
+    NaiveReference,
+}
+
+/// Maintains per-task neighbour counts (`N_i` of Eq. 5) across rounds,
+/// updating incrementally as users move.
+#[derive(Debug, Clone)]
+pub struct NeighborTracker {
+    area: Rect,
+    radius: f64,
+    task_locations: Vec<Point>,
+    /// Static grid over task locations; `None` when some task lies
+    /// outside the area (legal — counting still works via full
+    /// recomputes, which don't need this index).
+    task_index: Option<GridIndex>,
+    /// Mutable grid over user locations, kept in sync with `prev`.
+    user_index: Option<GridIndex>,
+    /// User locations as of the last successful [`counts`](Self::counts).
+    prev: Vec<Point>,
+    counts: Vec<usize>,
+    /// Users moved since the previous round (diagnostics for benches).
+    moved_last_round: usize,
+}
+
+impl NeighborTracker {
+    /// Creates a tracker for fixed `task_locations` inside `area`.
+    #[must_use]
+    pub fn new(area: Rect, radius: f64, task_locations: Vec<Point>) -> Self {
+        let task_index = GridIndex::build(area, radius, &task_locations).ok();
+        NeighborTracker {
+            area,
+            radius,
+            task_locations,
+            task_index,
+            user_index: None,
+            prev: Vec::new(),
+            counts: Vec::new(),
+            moved_last_round: 0,
+        }
+    }
+
+    /// Per-task neighbour counts for the given user locations.
+    ///
+    /// The first call (and any call where the user population size
+    /// changed) recomputes from a fresh user grid; subsequent calls
+    /// apply per-user movement deltas through the task grid.
+    ///
+    /// # Errors
+    ///
+    /// [`GeoError::OutOfBounds`] for the first user location outside the
+    /// area (matching `GridIndex::build`'s error and order); the tracker
+    /// state is unchanged on error.
+    pub fn counts(&mut self, users: &[Point]) -> Result<&[usize], GeoError> {
+        // Validate everything up front so a bad location leaves the
+        // tracker exactly as it was.
+        for &p in users {
+            if !self.area.contains(p) {
+                return Err(GeoError::OutOfBounds { point: p });
+            }
+        }
+        let incremental_ready = self.task_index.is_some()
+            && self.user_index.as_ref().is_some_and(|idx| idx.len() == users.len());
+        if incremental_ready {
+            let task_index = self.task_index.as_ref().expect("checked above");
+            let user_index = self.user_index.as_mut().expect("checked above");
+            let mut moved = 0usize;
+            for (i, &p) in users.iter().enumerate() {
+                let old = self.prev[i];
+                if old == p {
+                    continue;
+                }
+                moved += 1;
+                for t in task_index.within_radius(old, self.radius) {
+                    self.counts[t] -= 1;
+                }
+                for t in task_index.within_radius(p, self.radius) {
+                    self.counts[t] += 1;
+                }
+                user_index.update_point(i, p).expect("location validated in-area");
+                self.prev[i] = p;
+            }
+            self.moved_last_round = moved;
+        } else {
+            let index = GridIndex::build(self.area, self.radius, users)?;
+            self.counts =
+                self.task_locations.iter().map(|&t| index.count_within(t, self.radius)).collect();
+            self.prev = users.to_vec();
+            self.moved_last_round = users.len();
+            self.user_index = Some(index);
+        }
+        Ok(&self.counts)
+    }
+
+    /// How many users moved at the last [`counts`](Self::counts) call
+    /// (`n` for a full recompute).
+    #[must_use]
+    pub fn moved_last_round(&self) -> usize {
+        self.moved_last_round
+    }
+
+    /// The neighbour radius `R`.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+/// The `O(n·m)` pairwise reference: for each task, scan every user.
+/// Used by [`IndexingMode::NaiveReference`] and differential tests.
+#[must_use]
+pub fn naive_counts(tasks: &[Point], users: &[Point], radius: f64) -> Vec<usize> {
+    let r2 = radius * radius;
+    tasks.iter().map(|&t| users.iter().filter(|u| u.distance_squared(t) < r2).count()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xBEE5)
+    }
+
+    fn sample(area: Rect, rng: &mut rand::rngs::StdRng, n: usize) -> Vec<Point> {
+        (0..n).map(|_| area.sample_uniform(rng)).collect()
+    }
+
+    #[test]
+    fn first_round_matches_naive() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut r = rng();
+        let tasks = sample(area, &mut r, 15);
+        let users = sample(area, &mut r, 120);
+        let mut tracker = NeighborTracker::new(area, 200.0, tasks.clone());
+        let counts = tracker.counts(&users).unwrap().to_vec();
+        assert_eq!(counts, naive_counts(&tasks, &users, 200.0));
+        assert_eq!(tracker.moved_last_round(), 120);
+    }
+
+    #[test]
+    fn incremental_rounds_match_naive_and_rebuild() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut r = rng();
+        let tasks = sample(area, &mut r, 12);
+        let mut users = sample(area, &mut r, 80);
+        let mut tracker = NeighborTracker::new(area, 250.0, tasks.clone());
+        tracker.counts(&users).unwrap();
+        for round in 0..30 {
+            // Move a varying slice of users each round.
+            for i in (round % 4..users.len()).step_by(4) {
+                users[i] = area.sample_uniform(&mut r);
+            }
+            let counts = tracker.counts(&users).unwrap().to_vec();
+            assert_eq!(counts, naive_counts(&tasks, &users, 250.0), "round {round}");
+            let rebuilt = GridIndex::build(area, 250.0, &users).unwrap();
+            let via_rebuild: Vec<usize> =
+                tasks.iter().map(|&t| rebuilt.count_within(t, 250.0)).collect();
+            assert_eq!(counts, via_rebuild, "round {round}");
+            assert!(tracker.moved_last_round() <= users.len());
+        }
+    }
+
+    #[test]
+    fn unmoved_users_cost_no_updates() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut r = rng();
+        let tasks = sample(area, &mut r, 5);
+        let users = sample(area, &mut r, 50);
+        let mut tracker = NeighborTracker::new(area, 300.0, tasks);
+        let first = tracker.counts(&users).unwrap().to_vec();
+        let second = tracker.counts(&users).unwrap().to_vec();
+        assert_eq!(first, second);
+        assert_eq!(tracker.moved_last_round(), 0);
+    }
+
+    #[test]
+    fn population_change_forces_rebuild() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut r = rng();
+        let tasks = sample(area, &mut r, 8);
+        let mut tracker = NeighborTracker::new(area, 200.0, tasks.clone());
+        let users_a = sample(area, &mut r, 40);
+        tracker.counts(&users_a).unwrap();
+        let users_b = sample(area, &mut r, 55);
+        let counts = tracker.counts(&users_b).unwrap().to_vec();
+        assert_eq!(counts, naive_counts(&tasks, &users_b, 200.0));
+        assert_eq!(tracker.moved_last_round(), 55);
+    }
+
+    #[test]
+    fn out_of_area_user_errors_and_preserves_state() {
+        let area = Rect::square(100.0).unwrap();
+        let tasks = vec![Point::new(50.0, 50.0)];
+        let mut tracker = NeighborTracker::new(area, 30.0, tasks);
+        let good = vec![Point::new(40.0, 50.0)];
+        assert_eq!(tracker.counts(&good).unwrap(), &[1]);
+        let bad = vec![Point::new(40.0, 50.0), Point::new(200.0, 0.0)];
+        let err = tracker.counts(&bad).unwrap_err();
+        assert!(matches!(err, GeoError::OutOfBounds { point } if point.x == 200.0));
+        // Tracker still answers from its last good state.
+        assert_eq!(tracker.counts(&good).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn tasks_outside_area_fall_back_to_rebuilds() {
+        // A task outside the area can't live in the task grid, but
+        // counting must still work (count_within accepts any centre).
+        let area = Rect::square(100.0).unwrap();
+        let tasks = vec![Point::new(150.0, 50.0)];
+        let mut tracker = NeighborTracker::new(area, 80.0, tasks.clone());
+        let mut r = rng();
+        let mut users = sample(area, &mut r, 30);
+        for _ in 0..5 {
+            for u in users.iter_mut().step_by(3) {
+                *u = area.sample_uniform(&mut r);
+            }
+            let counts = tracker.counts(&users).unwrap().to_vec();
+            assert_eq!(counts, naive_counts(&tasks, &users, 80.0));
+        }
+    }
+}

@@ -3,9 +3,10 @@ use std::collections::HashSet;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use paydemand_geo::{GridIndex, Point, Rect};
+use paydemand_geo::{GeoError, GridIndex, Point, Rect};
 
 use crate::incentive::IncentiveMechanism;
+use crate::neighbors::{naive_counts, IndexingMode, NeighborTracker};
 use crate::{CoreError, PublishedTask, TaskId, TaskSpec, UserId};
 
 /// One task's publicly observable state at a round boundary — the data
@@ -79,6 +80,12 @@ pub struct Platform<M> {
     round_receipts: Vec<Vec<u32>>,
     area: Rect,
     neighbor_radius: f64,
+    /// How neighbour counts are computed each round (Eq. 5).
+    indexing: IndexingMode,
+    /// Incremental neighbour state; lazily built on the first
+    /// [`publish_round`](Self::publish_round) under
+    /// [`IndexingMode::Incremental`].
+    tracker: Option<NeighborTracker>,
     round: u32,
     round_open: bool,
     total_paid: f64,
@@ -129,6 +136,8 @@ impl<M: IncentiveMechanism> Platform<M> {
             round_receipts: vec![Vec::new(); m],
             area,
             neighbor_radius,
+            indexing: IndexingMode::default(),
+            tracker: None,
             round: 0,
             round_open: false,
             total_paid: 0.0,
@@ -165,6 +174,22 @@ impl<M: IncentiveMechanism> Platform<M> {
         Ok(())
     }
 
+    /// Selects how per-task neighbour counts are computed (Eq. 5).
+    /// Every mode yields identical counts — the incremental default is
+    /// purely a performance choice; the others exist as differential
+    /// references and bench arms. Switching modes drops any incremental
+    /// state, so it is safe (if pointless) mid-run.
+    pub fn set_indexing_mode(&mut self, mode: IndexingMode) {
+        self.indexing = mode;
+        self.tracker = None;
+    }
+
+    /// The neighbour-indexing mode in use.
+    #[must_use]
+    pub fn indexing_mode(&self) -> IndexingMode {
+        self.indexing
+    }
+
     /// Budget remaining under the cap (`+∞` when no cap is set).
     #[must_use]
     pub fn remaining_budget(&self) -> f64 {
@@ -189,20 +214,16 @@ impl<M: IncentiveMechanism> Platform<M> {
         if self.round_open {
             return Err(CoreError::RoundNotOpen);
         }
-        // Build the index before touching any state so a bad location
-        // leaves the platform unchanged.
-        let index = GridIndex::build(self.area, self.neighbor_radius, user_locations)?;
+        // Count neighbours before touching any round state so a bad
+        // location leaves the platform unchanged (every mode validates
+        // all locations up front, reporting the first offender).
+        let neighbor_counts = self.neighbor_counts(user_locations)?;
         self.round += 1;
         self.round_open = true;
         for receipts in &mut self.round_receipts {
             receipts.push(0);
         }
 
-        let neighbor_counts: Vec<usize> = self
-            .specs
-            .iter()
-            .map(|s| index.count_within(s.location(), self.neighbor_radius))
-            .collect();
         let max_neighbors = neighbor_counts.iter().copied().max().unwrap_or(0);
 
         let tasks: Vec<TaskProgress> = self
@@ -237,13 +258,44 @@ impl<M: IncentiveMechanism> Platform<M> {
                 continue;
             }
             self.current_rewards[snapshot.id.0] = reward;
-            published.push(PublishedTask {
-                id: snapshot.id,
-                location: snapshot.location,
-                reward,
-            });
+            published.push(PublishedTask { id: snapshot.id, location: snapshot.location, reward });
         }
         Ok(published)
+    }
+
+    /// Per-task neighbour counts (`N_i`, Eq. 5) for the current user
+    /// locations, via whichever [`IndexingMode`] is configured. All
+    /// three paths agree exactly — `Point::distance_squared` is bitwise
+    /// symmetric and every mode applies the same strict `< R` test.
+    fn neighbor_counts(&mut self, user_locations: &[Point]) -> Result<Vec<usize>, CoreError> {
+        match self.indexing {
+            IndexingMode::Incremental => {
+                if self.tracker.is_none() {
+                    let task_locations = self.specs.iter().map(|s| s.location()).collect();
+                    self.tracker =
+                        Some(NeighborTracker::new(self.area, self.neighbor_radius, task_locations));
+                }
+                let tracker = self.tracker.as_mut().expect("initialised above");
+                Ok(tracker.counts(user_locations)?.to_vec())
+            }
+            IndexingMode::RebuildEachRound => {
+                let index = GridIndex::build(self.area, self.neighbor_radius, user_locations)?;
+                Ok(self
+                    .specs
+                    .iter()
+                    .map(|s| index.count_within(s.location(), self.neighbor_radius))
+                    .collect())
+            }
+            IndexingMode::NaiveReference => {
+                for &p in user_locations {
+                    if !self.area.contains(p) {
+                        return Err(GeoError::OutOfBounds { point: p }.into());
+                    }
+                }
+                let task_locations: Vec<Point> = self.specs.iter().map(|s| s.location()).collect();
+                Ok(naive_counts(&task_locations, user_locations, self.neighbor_radius))
+            }
+        }
     }
 
     /// Records one measurement of `task` by `user` during the open
@@ -315,10 +367,7 @@ impl<M: IncentiveMechanism> Platform<M> {
     ///
     /// [`CoreError::UnknownTask`] for an unknown id.
     pub fn round_receipts(&self, task: TaskId) -> Result<&[u32], CoreError> {
-        self.round_receipts
-            .get(task.0)
-            .map(Vec::as_slice)
-            .ok_or(CoreError::UnknownTask(task))
+        self.round_receipts.get(task.0).map(Vec::as_slice).ok_or(CoreError::UnknownTask(task))
     }
 
     /// The round at which `task` reached `φ_i` measurements, if it has.
@@ -389,8 +438,7 @@ mod tests {
             Platform::new(vec![], mech.clone(), area, 200.0),
             Err(CoreError::InvalidCount { name: "tasks", .. })
         ));
-        let sparse =
-            vec![TaskSpec::new(TaskId(3), Point::new(1.0, 1.0), 5, 2).unwrap()];
+        let sparse = vec![TaskSpec::new(TaskId(3), Point::new(1.0, 1.0), 5, 2).unwrap()];
         assert!(matches!(
             Platform::new(sparse, mech.clone(), area, 200.0),
             Err(CoreError::InvalidCount { name: "task_id", value: 3 })
@@ -554,8 +602,7 @@ mod tests {
             TaskSpec::new(TaskId(1), Point::new(900.0, 900.0), 9, 2).unwrap(),
         ];
         let mech = OnDemandIncentive::paper_default(&specs).unwrap();
-        let mut p =
-            Platform::new(specs, mech, Rect::square(1000.0).unwrap(), 200.0).unwrap();
+        let mut p = Platform::new(specs, mech, Rect::square(1000.0).unwrap(), 200.0).unwrap();
         p.set_publish_expired(false);
         let mut r = rng();
         assert_eq!(p.publish_round(&[], &mut r).unwrap().len(), 2);
@@ -563,6 +610,91 @@ mod tests {
         let round2 = p.publish_round(&[], &mut r).unwrap();
         assert_eq!(round2.len(), 1, "expired task must be withdrawn");
         assert_eq!(round2[0].id, TaskId(1));
+    }
+
+    #[test]
+    fn indexing_modes_publish_identical_rounds() {
+        use rand::Rng;
+        let area = Rect::square(1000.0).unwrap();
+        let mut move_rng = rng();
+        let mut users: Vec<Point> = (0..60).map(|_| area.sample_uniform(&mut move_rng)).collect();
+        let many_specs: Vec<TaskSpec> = (0..8)
+            .map(|i| {
+                TaskSpec::new(TaskId(i), Point::new(100.0 + 100.0 * i as f64, 500.0), 10, 30)
+                    .unwrap()
+            })
+            .collect();
+        let build = |mode: IndexingMode| {
+            let mech = OnDemandIncentive::paper_default(&many_specs).unwrap();
+            let mut p = Platform::new(many_specs.clone(), mech, area, 200.0).unwrap();
+            p.set_indexing_mode(mode);
+            p
+        };
+        let mut incremental = build(IndexingMode::Incremental);
+        let mut rebuild = build(IndexingMode::RebuildEachRound);
+        let mut naive = build(IndexingMode::NaiveReference);
+        for round in 0..6 {
+            // Move a third of the users.
+            for u in users.iter_mut().skip(round % 3).step_by(3) {
+                *u = area.sample_uniform(&mut move_rng);
+            }
+            let a = incremental.publish_round(&users, &mut rng()).unwrap();
+            let b = rebuild.publish_round(&users, &mut rng()).unwrap();
+            let c = naive.publish_round(&users, &mut rng()).unwrap();
+            assert_eq!(a, b, "round {round}: incremental vs rebuild");
+            assert_eq!(a, c, "round {round}: incremental vs naive");
+            // Rewards must be bit-identical, not just PartialEq-equal.
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.reward.to_bits(), y.reward.to_bits());
+            }
+            // Drive some submissions so progress (and thus pricing
+            // inputs) evolve identically across the three platforms.
+            let mut pick = rng();
+            for s in 0..10u64 {
+                let uid = UserId((round as u64 * 10 + s) as usize);
+                let tid = TaskId(pick.gen_range(0..many_specs.len()));
+                let ra = incremental.submit(uid, tid);
+                let rb = rebuild.submit(uid, tid);
+                let rc = naive.submit(uid, tid);
+                assert_eq!(ra.is_ok(), rb.is_ok());
+                assert_eq!(ra.is_ok(), rc.is_ok());
+            }
+            incremental.finish_round();
+            rebuild.finish_round();
+            naive.finish_round();
+        }
+        assert_eq!(incremental.total_paid().to_bits(), rebuild.total_paid().to_bits());
+        assert_eq!(incremental.total_paid().to_bits(), naive.total_paid().to_bits());
+    }
+
+    #[test]
+    fn all_indexing_modes_reject_out_of_area_users() {
+        for mode in [
+            IndexingMode::Incremental,
+            IndexingMode::RebuildEachRound,
+            IndexingMode::NaiveReference,
+        ] {
+            let mut p = platform();
+            p.set_indexing_mode(mode);
+            let mut r = rng();
+            // A good round first so incremental state exists.
+            p.publish_round(&[Point::new(10.0, 10.0)], &mut r).unwrap();
+            p.finish_round();
+            let err = p
+                .publish_round(&[Point::new(10.0, 10.0), Point::new(-5.0, 0.0)], &mut r)
+                .unwrap_err();
+            assert!(matches!(err, CoreError::Geo(_)), "{mode:?}");
+            assert_eq!(p.round(), 1, "{mode:?}: failed publish must not advance the round");
+            // The platform still works afterwards.
+            p.publish_round(&[Point::new(10.0, 10.0)], &mut r).unwrap();
+            assert_eq!(p.round(), 2);
+        }
+    }
+
+    #[test]
+    fn default_mode_is_incremental() {
+        let p = platform();
+        assert_eq!(p.indexing_mode(), IndexingMode::Incremental);
     }
 
     #[test]

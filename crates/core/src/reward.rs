@@ -160,8 +160,8 @@ mod tests {
     #[test]
     fn eq8_budget_bound_holds() {
         // Σφ_i · max_reward ≤ B for the derived schedule.
-        let s = RewardSchedule::from_budget(1000.0, 400, 0.5, DemandLevels::new(5).unwrap())
-            .unwrap();
+        let s =
+            RewardSchedule::from_budget(1000.0, 400, 0.5, DemandLevels::new(5).unwrap()).unwrap();
         assert!(400.0 * s.max_reward() <= 1000.0 + 1e-9);
     }
 

@@ -55,10 +55,7 @@ mod tests {
     #[test]
     fn picks_profit_maximal_subset() {
         // Near cheap task and far rich task; budget covers either alone.
-        let tasks = vec![
-            published(0, 100.0, 0.0, 1.0),
-            published(1, 0.0, 900.0, 5.0),
-        ];
+        let tasks = vec![published(0, 100.0, 0.0, 1.0), published(1, 0.0, 900.0, 5.0)];
         // 600 s × 2 m/s = 1200 m: enough for 0 -> t0 -> t1 (~1006 m).
         let p = SelectionProblem::new(Point::ORIGIN, &tasks, 600.0, 2.0, 0.002).unwrap();
         let o = DpSelector.select(&p).unwrap();

@@ -72,9 +72,9 @@ mod tests {
 
     #[test]
     fn greedy_scales_past_the_dp_cap() {
-        let tasks: Vec<_> =
-            (0..200).map(|i| published(i, (i % 20) as f64 * 50.0, (i / 20) as f64 * 50.0, 1.0))
-                .collect();
+        let tasks: Vec<_> = (0..200)
+            .map(|i| published(i, (i % 20) as f64 * 50.0, (i / 20) as f64 * 50.0, 1.0))
+            .collect();
         let p = SelectionProblem::new(Point::ORIGIN, &tasks, 2000.0, 2.0, 0.002).unwrap();
         let o = GreedySelector.select(&p).unwrap();
         assert!(o.distance() <= p.distance_budget());

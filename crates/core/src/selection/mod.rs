@@ -91,11 +91,7 @@ impl SelectionProblem {
     ///
     /// [`CoreError::InvalidParameter`] for a negative or non-finite
     /// time.
-    pub fn with_sensing_seconds(
-        mut self,
-        seconds: f64,
-        speed: f64,
-    ) -> Result<Self, CoreError> {
+    pub fn with_sensing_seconds(mut self, seconds: f64, speed: f64) -> Result<Self, CoreError> {
         if !seconds.is_finite() || seconds < 0.0 {
             return Err(CoreError::InvalidParameter { name: "sensing_seconds", value: seconds });
         }
@@ -120,9 +116,13 @@ impl SelectionProblem {
         speed: f64,
         cost_per_meter: f64,
     ) -> Result<Self, CoreError> {
-        let mut problem = SelectionProblem::new(location, tasks, time_budget, speed, cost_per_meter)?;
+        let mut problem =
+            SelectionProblem::new(location, tasks, time_budget, speed, cost_per_meter)?;
         if costs.tasks() != tasks.len() {
-            return Err(CoreError::InvalidCount { name: "cost_matrix_tasks", value: costs.tasks() });
+            return Err(CoreError::InvalidCount {
+                name: "cost_matrix_tasks",
+                value: costs.tasks(),
+            });
         }
         problem.costs = costs;
         Ok(problem)
@@ -173,10 +173,7 @@ impl SelectionProblem {
             distance: solution.distance,
             reward: solution.reward,
             profit: solution.profit,
-            end_location: solution
-                .order
-                .last()
-                .map_or(self.location, |&j| self.tasks[j].location),
+            end_location: solution.order.last().map_or(self.location, |&j| self.tasks[j].location),
         }
     }
 }
@@ -325,10 +322,8 @@ pub(crate) mod tests {
             vec![Point::ORIGIN.manhattan_distance(Point::new(10.0, 10.0))],
             |_, _| 0.0,
         );
-        let p = SelectionProblem::with_costs(
-            Point::ORIGIN, &tasks, manhattan, 100.0, 2.0, 0.002,
-        )
-        .unwrap();
+        let p = SelectionProblem::with_costs(Point::ORIGIN, &tasks, manhattan, 100.0, 2.0, 0.002)
+            .unwrap();
         let o = GreedySelector.select(&p).unwrap();
         assert_eq!(o.distance(), 20.0);
         // Mismatched matrix size is rejected.

@@ -10,9 +10,11 @@ use crate::{GeoError, Point, Rect};
 /// cells overlapping the query disc — `O(points in nearby cells)` instead
 /// of `O(n)`.
 ///
-/// The index is immutable after [`build`](GridIndex::build); rebuild it
-/// when users move (the simulator rebuilds once per sensing round, which
-/// is `O(n)`).
+/// The index is built once with [`build`](GridIndex::build) and then
+/// either rebuilt from scratch or updated in place with
+/// [`update_point`](GridIndex::update_point) as points move — an `O(1)`
+/// bucket move per update, so a round in which few users move costs
+/// proportionally little.
 ///
 /// # Examples
 ///
@@ -91,6 +93,42 @@ impl GridIndex {
         let c = (((p.x - self.area.min().x) / self.cell) as usize).min(self.cols - 1);
         let r = (((p.y - self.area.min().y) / self.cell) as usize).min(self.rows - 1);
         (c, r)
+    }
+
+    /// Moves point `i` to a new location, updating cell membership.
+    ///
+    /// Query results after an update are identical to those of an index
+    /// rebuilt from the updated point set (bucket-internal order may
+    /// differ, but [`within_radius`](Self::within_radius) sorts and
+    /// [`count_within`](Self::count_within) is order-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::OutOfBounds`] if `new` lies outside the
+    /// indexed area; the index is left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid point index.
+    pub fn update_point(&mut self, i: usize, new: Point) -> Result<(), GeoError> {
+        assert!(i < self.points.len(), "update_point: index {i} out of range");
+        if !self.area.contains(new) {
+            return Err(GeoError::OutOfBounds { point: new });
+        }
+        let old = self.points[i];
+        let (oc, or) = self.cell_of(old);
+        let (nc, nr) = self.cell_of(new);
+        self.points[i] = new;
+        if (oc, or) != (nc, nr) {
+            let bucket = &mut self.cells[or * self.cols + oc];
+            let pos = bucket
+                .iter()
+                .position(|&j| j == i)
+                .expect("point must be registered in its old cell");
+            bucket.swap_remove(pos);
+            self.cells[nr * self.cols + nc].push(i);
+        }
+        Ok(())
     }
 
     /// Indices of all points with `distance(center) < radius`
@@ -231,11 +269,61 @@ mod tests {
         for _ in 0..50 {
             let center = area.sample_uniform(&mut rng);
             let radius = rng.gen_range(1.0..400.0);
-            let brute: Vec<usize> = (0..pts.len())
-                .filter(|&i| pts[i].distance(center) < radius)
-                .collect();
+            let brute: Vec<usize> =
+                (0..pts.len()).filter(|&i| pts[i].distance(center) < radius).collect();
             assert_eq!(idx.within_radius(center, radius), brute);
             assert_eq!(idx.count_within(center, radius), brute.len());
+        }
+    }
+
+    #[test]
+    fn update_point_moves_between_cells() {
+        let area = Rect::square(100.0).unwrap();
+        let mut idx =
+            GridIndex::build(area, 10.0, &[Point::new(5.0, 5.0), Point::new(95.0, 95.0)]).unwrap();
+        assert_eq!(idx.count_within(Point::new(5.0, 5.0), 3.0), 1);
+        idx.update_point(0, Point::new(50.0, 50.0)).unwrap();
+        assert_eq!(idx.count_within(Point::new(5.0, 5.0), 3.0), 0);
+        assert_eq!(idx.count_within(Point::new(50.0, 50.0), 3.0), 1);
+        assert_eq!(idx.points()[0], Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn update_point_out_of_area_rejected_and_harmless() {
+        let area = Rect::square(100.0).unwrap();
+        let mut idx = GridIndex::build(area, 10.0, &[Point::new(5.0, 5.0)]).unwrap();
+        let err = idx.update_point(0, Point::new(150.0, 5.0)).unwrap_err();
+        assert!(matches!(err, GeoError::OutOfBounds { .. }));
+        assert_eq!(idx.points()[0], Point::new(5.0, 5.0));
+        assert_eq!(idx.count_within(Point::new(5.0, 5.0), 1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_point_bad_index_panics() {
+        let area = Rect::square(100.0).unwrap();
+        let mut idx = GridIndex::build(area, 10.0, &[]).unwrap();
+        let _ = idx.update_point(0, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn updated_index_matches_rebuilt_index() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut pts: Vec<Point> = (0..200).map(|_| area.sample_uniform(&mut rng)).collect();
+        let mut idx = GridIndex::build(area, 90.0, &pts).unwrap();
+        for step in 0..40 {
+            // Move a third of the points each step.
+            for i in (step % 3..pts.len()).step_by(3) {
+                let new = area.sample_uniform(&mut rng);
+                pts[i] = new;
+                idx.update_point(i, new).unwrap();
+            }
+            let rebuilt = GridIndex::build(area, 90.0, &pts).unwrap();
+            let center = area.sample_uniform(&mut rng);
+            let radius = rng.gen_range(10.0..400.0);
+            assert_eq!(idx.within_radius(center, radius), rebuilt.within_radius(center, radius));
+            assert_eq!(idx.count_within(center, radius), rebuilt.count_within(center, radius));
         }
     }
 

@@ -182,8 +182,9 @@ mod tests {
     #[test]
     fn nearest_matches_brute_force() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let pts: Vec<Point> =
-            (0..500).map(|_| Point::new(rng.gen_range(0.0..1e3), rng.gen_range(0.0..1e3))).collect();
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.gen_range(0.0..1e3), rng.gen_range(0.0..1e3)))
+            .collect();
         let t = KdTree::build(&pts);
         for _ in 0..200 {
             let q = Point::new(rng.gen_range(-100.0..1100.0), rng.gen_range(-100.0..1100.0));
@@ -204,8 +205,9 @@ mod tests {
     #[test]
     fn within_radius_matches_brute_force() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-        let pts: Vec<Point> =
-            (0..400).map(|_| Point::new(rng.gen_range(0.0..1e3), rng.gen_range(0.0..1e3))).collect();
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen_range(0.0..1e3), rng.gen_range(0.0..1e3)))
+            .collect();
         let t = KdTree::build(&pts);
         for _ in 0..100 {
             let q = Point::new(rng.gen_range(0.0..1e3), rng.gen_range(0.0..1e3));

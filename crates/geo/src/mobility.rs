@@ -56,13 +56,7 @@ impl MobilityModel for Static {
 pub struct Teleport;
 
 impl MobilityModel for Teleport {
-    fn advance<R: Rng + ?Sized>(
-        &mut self,
-        _: Point,
-        area: Rect,
-        _: f64,
-        rng: &mut R,
-    ) -> Point {
+    fn advance<R: Rng + ?Sized>(&mut self, _: Point, area: Rect, _: f64, rng: &mut R) -> Point {
         area.sample_uniform(rng)
     }
 }
@@ -250,7 +244,8 @@ impl MobilityModel for GaussMarkov {
         };
         let mean_v = heading * self.mean_speed;
         let noise = self.sigma * (1.0 - self.beta * self.beta).sqrt();
-        self.velocity = self.velocity * self.beta + mean_v * (1.0 - self.beta)
+        self.velocity = self.velocity * self.beta
+            + mean_v * (1.0 - self.beta)
             + Point::new(standard_normal(rng) * noise, standard_normal(rng) * noise);
         let next = current + self.velocity * elapsed.max(0.0);
         // Bounce the velocity at the walls so users do not pile up on
@@ -300,7 +295,6 @@ pub enum Mobility {
         sigma: f64,
     },
 }
-
 
 impl Mobility {
     /// Instantiates the stateful model for one user.
@@ -441,16 +435,12 @@ mod tests {
         let area = Rect::square(1e9).unwrap();
         let start = Point::new(5e8, 5e8);
         let mut r = rng(22);
-        let mut hops: Vec<f64> = (0..2000)
-            .map(|_| start.distance(m.advance(start, area, 1e6, &mut r)))
-            .collect();
+        let mut hops: Vec<f64> =
+            (0..2000).map(|_| start.distance(m.advance(start, area, 1e6, &mut r))).collect();
         hops.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = hops[hops.len() / 2];
         let p99 = hops[(hops.len() as f64 * 0.99) as usize];
-        assert!(
-            p99 / median > 10.0,
-            "Levy tail too light: median {median}, p99 {p99}"
-        );
+        assert!(p99 / median > 10.0, "Levy tail too light: median {median}, p99 {p99}");
     }
 
     #[test]
@@ -522,11 +512,9 @@ mod tests {
     fn new_models_dispatch_through_enum() {
         let area = Rect::square(200.0).unwrap();
         let p = Point::new(100.0, 100.0);
-        let mut levy =
-            Mobility::LevyFlight { speed: 2.0, alpha: 2.0, min_hop: 5.0 }.instantiate();
+        let mut levy = Mobility::LevyFlight { speed: 2.0, alpha: 2.0, min_hop: 5.0 }.instantiate();
         assert!(area.contains(levy.advance(p, area, 30.0, &mut rng(26))));
-        let mut gm =
-            Mobility::GaussMarkov { beta: 0.5, mean_speed: 1.5, sigma: 0.3 }.instantiate();
+        let mut gm = Mobility::GaussMarkov { beta: 0.5, mean_speed: 1.5, sigma: 0.3 }.instantiate();
         assert!(area.contains(gm.advance(p, area, 30.0, &mut rng(27))));
     }
 

@@ -64,10 +64,7 @@ impl RoadNetwork {
         let mut nodes = Vec::with_capacity(cols * rows);
         for r in 0..rows {
             for c in 0..cols {
-                nodes.push(Point::new(
-                    area.min().x + c as f64 * dx,
-                    area.min().y + r as f64 * dy,
-                ));
+                nodes.push(Point::new(area.min().x + c as f64 * dx, area.min().y + r as f64 * dy));
             }
         }
         let mut edges = vec![Vec::new(); nodes.len()];
@@ -229,11 +226,8 @@ impl RoadNetwork {
     #[must_use]
     pub fn travel_matrix(&self, points: &[Point]) -> DistanceMatrix {
         let snapped: Vec<NodeId> = points.iter().map(|&p| self.snap(p)).collect();
-        let offsets: Vec<f64> = points
-            .iter()
-            .zip(&snapped)
-            .map(|(&p, &n)| p.distance(self.location(n)))
-            .collect();
+        let offsets: Vec<f64> =
+            points.iter().zip(&snapped).map(|(&p, &n)| p.distance(self.location(n))).collect();
         // One Dijkstra per distinct snap node.
         let mut cache: std::collections::HashMap<usize, Vec<f64>> =
             std::collections::HashMap::new();
@@ -355,8 +349,7 @@ mod tests {
     #[test]
     fn travel_matrix_exact_on_intersections() {
         let net = RoadNetwork::grid(area(), 5, 5).unwrap();
-        let pts =
-            [Point::new(0.0, 0.0), Point::new(500.0, 0.0), Point::new(500.0, 750.0)];
+        let pts = [Point::new(0.0, 0.0), Point::new(500.0, 0.0), Point::new(500.0, 750.0)];
         let tm = net.travel_matrix(&pts);
         assert_eq!(tm.get(0, 1), 500.0);
         assert_eq!(tm.get(1, 2), 750.0);

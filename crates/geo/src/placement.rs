@@ -139,7 +139,6 @@ pub enum Placement {
     Grid,
 }
 
-
 impl Placement {
     /// Draws `n` points inside `area` using the selected strategy.
     ///
@@ -249,16 +248,13 @@ mod tests {
     #[test]
     fn placement_enum_dispatches() {
         let area = Rect::square(100.0).unwrap();
-        for placement in [
-            Placement::Uniform,
-            Placement::Clustered { clusters: 2, sigma: 10.0 },
-            Placement::Grid,
-        ] {
+        for placement in
+            [Placement::Uniform, Placement::Clustered { clusters: 2, sigma: 10.0 }, Placement::Grid]
+        {
             let pts = placement.sample(area, 17, &mut rng(2));
             assert_eq!(pts.len(), 17, "{placement:?}");
             assert!(pts.iter().all(|&p| area.contains(p)));
         }
         assert_eq!(Placement::default(), Placement::Uniform);
     }
-
 }

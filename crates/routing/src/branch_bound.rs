@@ -62,12 +62,7 @@ impl Search<'_, '_> {
         let rate = inst.cost_per_meter();
         let profit = reward - rate * distance;
         if profit > self.best.profit {
-            self.best = Solution {
-                order: self.order.clone(),
-                distance,
-                reward,
-                profit,
-            };
+            self.best = Solution { order: self.order.clone(), distance, reward, profit };
         }
         let loaded = distance + inst.service_load(&self.order);
         // Optimistic completion bound: collect every remaining task's
@@ -136,9 +131,8 @@ mod tests {
     #[test]
     fn solves_beyond_the_dp_task_cap() {
         // 30 tasks — the bitmask DP refuses this; B&B must handle it.
-        let pts: Vec<Point> = (0..30)
-            .map(|i| Point::new((i % 6) as f64 * 120.0, (i / 6) as f64 * 120.0))
-            .collect();
+        let pts: Vec<Point> =
+            (0..30).map(|i| Point::new((i % 6) as f64 * 120.0, (i / 6) as f64 * 120.0)).collect();
         let costs = CostMatrix::from_points(Point::ORIGIN, &pts);
         let rewards = vec![1.0; 30];
         let inst = Instance::new(&costs, &rewards, 800.0, 0.002).unwrap();

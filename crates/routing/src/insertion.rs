@@ -79,12 +79,7 @@ pub fn solve_insertion(instance: &Instance<'_>) -> Solution {
 
 /// Extra route length from inserting task `j` at position `pos` of
 /// `order` (0 = directly after the start).
-fn insertion_extra(
-    costs: &crate::CostMatrix,
-    order: &[usize],
-    pos: usize,
-    j: usize,
-) -> f64 {
+fn insertion_extra(costs: &crate::CostMatrix, order: &[usize], pos: usize, j: usize) -> f64 {
     let before = if pos == 0 { None } else { Some(order[pos - 1]) };
     let after = order.get(pos).copied();
     let to_j = match before {

@@ -145,10 +145,7 @@ impl<'a> Instance<'a> {
         if self.service.is_empty() {
             return 0.0;
         }
-        (0..self.costs.tasks())
-            .filter(|&j| mask & (1 << j) != 0)
-            .map(|j| self.service[j])
-            .sum()
+        (0..self.costs.tasks()).filter(|&j| mask & (1 << j) != 0).map(|j| self.service[j]).sum()
     }
 
     /// Total service load of an explicit order.
@@ -248,8 +245,8 @@ pub fn solve_greedy(instance: &Instance<'_>) -> Solution {
     let mut loaded = 0.0; // travel + service, against the budget
     loop {
         let mut best: Option<(usize, f64, f64)> = None; // (task, detour, marginal)
-        // The index *is* the task id here; an enumerate() over the flag
-        // vector would obscure that.
+                                                        // The index *is* the task id here; an enumerate() over the flag
+                                                        // vector would obscure that.
         #[allow(clippy::needless_range_loop)]
         for j in 0..m {
             if selected[j] {

@@ -109,10 +109,8 @@ mod tests {
 
     #[test]
     fn length_computed_from_costs() {
-        let c = CostMatrix::from_points(
-            Point::ORIGIN,
-            &[Point::new(5.0, 0.0), Point::new(5.0, 5.0)],
-        );
+        let c =
+            CostMatrix::from_points(Point::ORIGIN, &[Point::new(5.0, 0.0), Point::new(5.0, 5.0)]);
         let r = Route::new(vec![0, 1], &c);
         assert_eq!(r.length(), 10.0);
         assert_eq!(r.into_order(), vec![0, 1]);

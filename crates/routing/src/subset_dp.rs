@@ -193,9 +193,9 @@ impl SubsetDp {
     /// Iterates all budget-feasible non-empty masks, in no particular
     /// order. Mask 0 (stay home) is always implicitly feasible.
     pub fn feasible_masks(&self) -> impl Iterator<Item = u32> + '_ {
-        self.states.iter().filter_map(|(&mask, row)| {
-            row.iter().any(|s| s.dist.is_finite()).then_some(mask)
-        })
+        self.states
+            .iter()
+            .filter_map(|(&mask, row)| row.iter().any(|s| s.dist.is_finite()).then_some(mask))
     }
 
     /// Number of stored (feasible) masks — useful to observe how hard
@@ -292,10 +292,7 @@ mod tests {
             solve(&line_costs(), f64::NAN),
             Err(RoutingError::InvalidParameter { .. })
         ));
-        assert!(matches!(
-            solve(&line_costs(), -1.0),
-            Err(RoutingError::InvalidParameter { .. })
-        ));
+        assert!(matches!(solve(&line_costs(), -1.0), Err(RoutingError::InvalidParameter { .. })));
     }
 
     #[test]

@@ -141,10 +141,7 @@ mod tests {
             }
             out
         }
-        perms(tasks)
-            .into_iter()
-            .map(|p| costs.route_length(&p))
-            .fold(f64::INFINITY, f64::min)
+        perms(tasks).into_iter().map(|p| costs.route_length(&p)).fold(f64::INFINITY, f64::min)
     }
 
     proptest! {

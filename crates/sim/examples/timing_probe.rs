@@ -4,9 +4,7 @@ use std::time::Instant;
 
 fn main() {
     // Exact DP (no cap) timing.
-    let s = Scenario::paper_default()
-        .with_selector(SelectorKind::exact_dp())
-        .with_seed(1);
+    let s = Scenario::paper_default().with_selector(SelectorKind::exact_dp()).with_seed(1);
     let t = Instant::now();
     let r = engine::run(&s).unwrap();
     println!("exact-dp: {:?}, coverage {:.2}", t.elapsed(), r.coverage());
@@ -32,7 +30,11 @@ fn main() {
         let n = reps as f64;
         println!(
             "{:>10}: coverage {:.1}%  completeness {:.1}%  variance {:.1}  reward/meas {:.3}",
-            format!("{mech:?}"), cov / n, comp / n, var / n, rpm / n
+            format!("{mech:?}"),
+            cov / n,
+            comp / n,
+            var / n,
+            rpm / n
         );
     }
 }

@@ -23,8 +23,8 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use paydemand_core::incentive::{
-    FixedIncentive, HybridIncentive, IncentiveMechanism, OnDemandIncentive,
-    ProportionalIncentive, SteeredIncentive,
+    FixedIncentive, HybridIncentive, IncentiveMechanism, OnDemandIncentive, ProportionalIncentive,
+    SteeredIncentive,
 };
 use paydemand_core::selection::{
     BranchBoundSelector, DpSelector, GreedySelector, GreedyTwoOptSelector, InsertionSelector,
@@ -189,6 +189,22 @@ impl SimulationResult {
     pub fn completeness(&self) -> f64 {
         metrics::completeness(self)
     }
+
+    /// Whether two runs produced the same *observable* outcome —
+    /// everything except the scenario that configured them. This is how
+    /// the equivalence tests and scaling benches state "the indexing /
+    /// caching mode is performance-only": runs under different modes
+    /// have unequal scenarios but must be observationally equal.
+    #[must_use]
+    pub fn observationally_eq(&self, other: &Self) -> bool {
+        self.workload == other.workload
+            && self.rounds == other.rounds
+            && self.received == other.received
+            && self.quality_received == other.quality_received
+            && self.estimates == other.estimates
+            && self.completed_round == other.completed_round
+            && self.total_paid.to_bits() == other.total_paid.to_bits()
+    }
 }
 
 /// Runs one repetition of `scenario` to completion.
@@ -221,16 +237,13 @@ pub fn run_with_workload(
     rng: &mut StdRng,
 ) -> Result<SimulationResult, SimError> {
     let mechanism = build_mechanism(scenario)?;
-    let mut platform = Platform::new(
-        workload.tasks.clone(),
-        mechanism,
-        workload.area,
-        scenario.neighbor_radius,
-    )?;
+    let mut platform =
+        Platform::new(workload.tasks.clone(), mechanism, workload.area, scenario.neighbor_radius)?;
     if scenario.enforce_budget {
         platform.set_spend_cap(scenario.reward_budget)?;
     }
     platform.set_publish_expired(scenario.publish_expired);
+    platform.set_indexing_mode(scenario.indexing);
     let travel = TravelContext::for_scenario(scenario, workload.area, rng)?;
     let selector = build_selector(scenario.selector);
     let m = workload.tasks.len();
@@ -394,10 +407,12 @@ fn build_mechanism(scenario: &Scenario) -> Result<Box<dyn IncentiveMechanism>, S
         levels,
     )?;
     Ok(match scenario.mechanism {
-        MechanismKind::OnDemand => Box::new(OnDemandIncentive::new(
-            paydemand_core::DemandIndicator::paper_default(),
-            schedule,
-        )),
+        MechanismKind::OnDemand => {
+            let mut inner =
+                OnDemandIncentive::new(paydemand_core::DemandIndicator::paper_default(), schedule);
+            inner.set_cache_mode(scenario.pricing_cache);
+            Box::new(inner)
+        }
         MechanismKind::Fixed => Box::new(FixedIncentive::new(schedule)),
         MechanismKind::Steered => Box::new(SteeredIncentive::budget_matched()),
         MechanismKind::SteeredPaperConstants => Box::new(SteeredIncentive::paper_constants()),
@@ -406,10 +421,9 @@ fn build_mechanism(scenario: &Scenario) -> Result<Box<dyn IncentiveMechanism>, S
             schedule,
         )),
         MechanismKind::Hybrid { alpha } => {
-            let inner = OnDemandIncentive::new(
-                paydemand_core::DemandIndicator::paper_default(),
-                schedule,
-            );
+            let mut inner =
+                OnDemandIncentive::new(paydemand_core::DemandIndicator::paper_default(), schedule);
+            inner.set_cache_mode(scenario.pricing_cache);
             let flat = scenario.reward_budget / scenario.total_required() as f64;
             Box::new(HybridIncentive::new(inner, alpha, flat)?)
         }
@@ -581,8 +595,7 @@ mod tests {
         // Per user, count task selections across rounds; since each
         // contribution is a distinct (user, task) pair, the total
         // measurements equal the number of distinct pairs.
-        let total_selected: u32 =
-            r.rounds.iter().flat_map(|rr| rr.user_selected.iter()).sum();
+        let total_selected: u32 = r.rounds.iter().flat_map(|rr| rr.user_selected.iter()).sum();
         assert_eq!(u64::from(total_selected), r.total_measurements());
     }
 
@@ -665,10 +678,7 @@ mod tests {
         assert!(heavy > 0, "a 10% active fleet still measures something");
         // Validation rejects nonsense rates.
         let bad = Scenario { dropout_rate: 1.0, ..small_scenario() };
-        assert!(matches!(
-            run(&bad),
-            Err(SimError::InvalidScenario { field: "dropout_rate", .. })
-        ));
+        assert!(matches!(run(&bad), Err(SimError::InvalidScenario { field: "dropout_rate", .. })));
     }
 
     #[test]
@@ -760,14 +770,8 @@ mod tests {
 
     #[test]
     fn hybrid_alpha_validation_flows_through() {
-        let s = Scenario {
-            mechanism: MechanismKind::Hybrid { alpha: 1.5 },
-            ..small_scenario()
-        };
-        assert!(matches!(
-            run(&s),
-            Err(SimError::InvalidScenario { field: "mechanism", .. })
-        ));
+        let s = Scenario { mechanism: MechanismKind::Hybrid { alpha: 1.5 }, ..small_scenario() };
+        assert!(matches!(run(&s), Err(SimError::InvalidScenario { field: "mechanism", .. })));
     }
 
     #[test]

@@ -27,8 +27,7 @@ pub fn alpha_sweep(params: &FigureParams, alphas: &[f64]) -> Result<Figure, SimE
             .clone()
             .with_users(params.round_panel_users)
             .with_mechanism(MechanismKind::Hybrid { alpha });
-        let results =
-            runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+        let results = runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
         completeness.push(mean(&results, |r| 100.0 * metrics::completeness(r)));
         variance.push(mean(&results, metrics::measurement_variance));
         reward_per_meas.push(mean(&results, metrics::average_reward_per_measurement));
@@ -71,8 +70,7 @@ pub fn selector_quality(params: &FigureParams) -> Result<Figure, SimError> {
             .with_users(params.round_panel_users)
             .with_mechanism(MechanismKind::OnDemand)
             .with_selector(selector);
-        let results =
-            runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+        let results = runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
         completeness.push(mean(&results, |r| 100.0 * metrics::completeness(r)));
         cost.push(mean(&results, metrics::average_reward_per_measurement));
     }
@@ -112,8 +110,7 @@ mod tests {
             .clone()
             .with_users(params().round_panel_users)
             .with_mechanism(MechanismKind::OnDemand);
-        let results =
-            runner::run_repetitions_parallel(&scenario, params().reps, 1).unwrap();
+        let results = runner::run_repetitions_parallel(&scenario, params().reps, 1).unwrap();
         let od = mean(&results, |r| 100.0 * metrics::completeness(r));
         let alpha_one = f.series[0].y[1];
         assert!((od - alpha_one).abs() < 1e-9, "{od} vs {alpha_one}");

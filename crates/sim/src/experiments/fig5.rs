@@ -97,12 +97,8 @@ fn one_repetition(scenario: &crate::Scenario) -> Result<(Vec<f64>, Vec<f64>), Si
             schedule,
         )
     };
-    let mut platform = Platform::new(
-        workload.tasks.clone(),
-        mechanism,
-        workload.area,
-        scenario.neighbor_radius,
-    )?;
+    let mut platform =
+        Platform::new(workload.tasks.clone(), mechanism, workload.area, scenario.neighbor_radius)?;
     let n = workload.users.len();
     let mut locations: Vec<Point> = workload.users.iter().map(|u| u.location()).collect();
     let mut contributed: Vec<HashSet<TaskId>> = vec![HashSet::new(); n];

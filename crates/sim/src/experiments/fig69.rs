@@ -55,8 +55,7 @@ fn rounds_panel(
     let mut series = Vec::new();
     for mechanism in MechanismKind::paper_lineup() {
         let per_round = mean_per_round(params, mechanism, extract)?;
-        let y: Vec<f64> =
-            per_round[(first_round as usize - 1)..].to_vec();
+        let y: Vec<f64> = per_round[(first_round as usize - 1)..].to_vec();
         series.push(Series { label: mechanism.label().to_string(), y });
     }
     Ok(Figure {

@@ -36,13 +36,9 @@ pub fn map_rmse(params: &FigureParams) -> Result<Figure, SimError> {
 ///
 /// Propagates engine/domain errors.
 pub fn map_hit_rate(params: &FigureParams, tolerance: f64) -> Result<Figure, SimError> {
-    users_panel(
-        params,
-        "map_hit_rate",
-        "Usable-map hit rate vs users",
-        "hit rate (%)",
-        move |r| 100.0 * metrics::estimation_hit_rate(r, tolerance),
-    )
+    users_panel(params, "map_hit_rate", "Usable-map hit rate vs users", "hit rate (%)", move |r| {
+        100.0 * metrics::estimation_hit_rate(r, tolerance)
+    })
 }
 
 fn users_panel(
@@ -58,8 +54,7 @@ fn users_panel(
         let mut y = Vec::with_capacity(params.user_counts.len());
         for &users in &params.user_counts {
             let scenario = params.base.clone().with_users(users).with_mechanism(mechanism);
-            let results =
-                runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+            let results = runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
             let values: Vec<f64> = runner::collect_metric(&results, metric)
                 .into_iter()
                 .filter(|v| v.is_finite())

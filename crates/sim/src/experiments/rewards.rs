@@ -29,13 +29,9 @@ pub fn reward_dynamics(params: &FigureParams) -> Result<Figure, SimError> {
     let x: Vec<f64> = (1..=rounds).map(f64::from).collect();
     let mut series = Vec::new();
     for mechanism in MechanismKind::paper_lineup() {
-        let scenario = params
-            .base
-            .clone()
-            .with_users(params.round_panel_users)
-            .with_mechanism(mechanism);
-        let results =
-            runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
+        let scenario =
+            params.base.clone().with_users(params.round_panel_users).with_mechanism(mechanism);
+        let results = runner::run_repetitions_parallel(&scenario, params.reps, params.threads)?;
         let y: Vec<f64> = (1..=rounds)
             .map(|k| {
                 let per_rep: Vec<f64> =
@@ -61,10 +57,7 @@ pub fn reward_dynamics(params: &FigureParams) -> Result<Figure, SimError> {
 /// # Errors
 ///
 /// Propagates engine/domain errors.
-pub fn reward_spread(
-    params: &FigureParams,
-    mechanism: MechanismKind,
-) -> Result<Figure, SimError> {
+pub fn reward_spread(params: &FigureParams, mechanism: MechanismKind) -> Result<Figure, SimError> {
     let rounds = params.base.max_rounds;
     let scenario =
         params.base.clone().with_users(params.round_panel_users).with_mechanism(mechanism);
@@ -148,8 +141,7 @@ mod tests {
     fn steered_mean_reward_never_increases_while_published() {
         let f = reward_dynamics(&params()).unwrap();
         let steered = f.series.iter().find(|s| s.label == "steered").unwrap();
-        let active: Vec<f64> =
-            steered.y.iter().copied().take_while(|&v| v > 0.0).collect();
+        let active: Vec<f64> = steered.y.iter().copied().take_while(|&v| v > 0.0).collect();
         for w in active.windows(2) {
             assert!(
                 w[1] <= w[0] + 1e-9,
@@ -173,8 +165,7 @@ mod tests {
             .with_seed(33);
         let r = engine::run(&s).unwrap();
         for task in 0..6 {
-            let seen: Vec<f64> =
-                r.rounds.iter().filter_map(|rr| rr.rewards[task]).collect();
+            let seen: Vec<f64> = r.rounds.iter().filter_map(|rr| rr.rewards[task]).collect();
             for w in seen.windows(2) {
                 assert_eq!(w[0], w[1], "fixed reward moved for task {task}");
             }

@@ -42,13 +42,13 @@ pub mod engine;
 mod error;
 pub mod experiments;
 pub mod metrics;
-pub mod report;
 pub mod presets;
 pub mod quality;
+pub mod report;
 pub mod runner;
 pub mod sat;
-pub mod sensing;
 mod scenario;
+pub mod sensing;
 pub mod stats;
 pub mod sweep;
 pub mod trace;
@@ -56,5 +56,7 @@ mod workload;
 
 pub use engine::{RoundRecord, SimulationResult};
 pub use error::SimError;
+pub use paydemand_core::incentive::PricingCacheMode;
+pub use paydemand_core::IndexingMode;
 pub use scenario::{MechanismKind, Scenario, SelectorKind, TravelModel, UserMotion};
 pub use workload::Workload;

@@ -43,9 +43,8 @@ pub fn coverage_at_round(result: &SimulationResult, k: u32) -> f64 {
         return 1.0;
     }
     let k = (k as usize).min(result.rounds.len());
-    let covered = (0..m)
-        .filter(|&i| result.rounds[..k].iter().any(|rr| rr.new_measurements[i] > 0))
-        .count();
+    let covered =
+        (0..m).filter(|&i| result.rounds[..k].iter().any(|rr| rr.new_measurements[i] > 0)).count();
     covered as f64 / m as f64
 }
 
@@ -94,9 +93,7 @@ pub fn on_time_completion_rate(result: &SimulationResult) -> f64 {
         .tasks
         .iter()
         .enumerate()
-        .filter(|(i, spec)| {
-            result.completed_round[*i].is_some_and(|k| k <= spec.deadline())
-        })
+        .filter(|(i, spec)| result.completed_round[*i].is_some_and(|k| k <= spec.deadline()))
         .count();
     on_time as f64 / m as f64
 }
@@ -278,8 +275,7 @@ pub fn gini(values: &[f64]) -> f64 {
         return 0.0;
     }
     // G = (2·Σ i·x_(i) )/(n·Σx) − (n+1)/n with 1-based ranks.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
     (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64
 }
 
@@ -410,8 +406,7 @@ mod tests {
         let r = result();
         let totals = user_total_profits(&r);
         assert_eq!(totals.len(), r.workload.users.len());
-        let total_from_rounds: f64 =
-            r.rounds.iter().flat_map(|rr| rr.user_profits.iter()).sum();
+        let total_from_rounds: f64 = r.rounds.iter().flat_map(|rr| rr.user_profits.iter()).sum();
         let total: f64 = totals.iter().sum();
         assert!((total - total_from_rounds).abs() < 1e-9);
         assert!(totals.iter().all(|&p| p >= 0.0));
@@ -499,9 +494,7 @@ mod tests {
     #[test]
     fn platform_surplus_complement_of_paid() {
         let r = result();
-        assert!(
-            (platform_surplus(&r) - (r.scenario.reward_budget - r.total_paid)).abs() < 1e-12
-        );
+        assert!((platform_surplus(&r) - (r.scenario.reward_budget - r.total_paid)).abs() < 1e-12);
         assert!(platform_surplus(&r) >= 0.0, "platform overspent its budget");
     }
 

@@ -66,9 +66,8 @@ impl QualityDistribution {
     ///
     /// [`SimError::InvalidScenario`] naming `user_quality`.
     pub fn validate(&self) -> Result<(), SimError> {
-        let fail = |message: String| {
-            Err(SimError::InvalidScenario { field: "user_quality", message })
-        };
+        let fail =
+            |message: String| Err(SimError::InvalidScenario { field: "user_quality", message });
         match *self {
             QualityDistribution::Perfect => Ok(()),
             QualityDistribution::Uniform { lo, hi } => {
@@ -148,16 +147,11 @@ mod tests {
 
     #[test]
     fn two_tier_frequencies() {
-        let d = QualityDistribution::TwoTier {
-            expert_fraction: 0.25,
-            expert: 1.0,
-            novice: 0.4,
-        };
+        let d = QualityDistribution::TwoTier { expert_fraction: 0.25, expert: 1.0, novice: 0.4 };
         d.validate().unwrap();
         let mut r = rng(3);
         let n = 4000;
-        let experts =
-            (0..n).filter(|_| d.sample(&mut r) == 1.0).count();
+        let experts = (0..n).filter(|_| d.sample(&mut r) == 1.0).count();
         let frac = experts as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.03, "expert fraction {frac}");
     }

@@ -109,12 +109,8 @@ impl Figure {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"label\":{},\"y\":{}}}",
-                json_string(&s.label),
-                json_numbers(&s.y)
-            );
+            let _ =
+                write!(out, "{{\"label\":{},\"y\":{}}}", json_string(&s.label), json_numbers(&s.y));
         }
         out.push_str("]}");
         out
@@ -136,8 +132,12 @@ impl Figure {
             assert_eq!(s.y.len(), self.x.len(), "series {} length mismatch", s.label);
         }
         const GLYPHS: [char; 6] = ['*', 'o', 'x', '+', '#', '@'];
-        let ys: Vec<f64> =
-            self.series.iter().flat_map(|s| s.y.iter().copied()).filter(|v| v.is_finite()).collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.y.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
         let (lo, hi) = match (
             ys.iter().copied().fold(f64::INFINITY, f64::min),
             ys.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -177,12 +177,7 @@ impl Figure {
             };
             let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
         }
-        let _ = writeln!(
-            out,
-            "{} +{}",
-            " ".repeat(10),
-            "-".repeat(width)
-        );
+        let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(width));
         let _ = writeln!(
             out,
             "{}  {} = {:?} .. {:?}",
@@ -404,10 +399,8 @@ mod tests {
 
     #[test]
     fn ascii_chart_flat_series_do_not_divide_by_zero() {
-        let f = Figure {
-            series: vec![Series { label: "flat".into(), y: vec![5.0, 5.0] }],
-            ..figure()
-        };
+        let f =
+            Figure { series: vec![Series { label: "flat".into(), y: vec![5.0, 5.0] }], ..figure() };
         let chart = f.to_ascii_chart(20, 5);
         assert!(chart.contains('*'));
     }

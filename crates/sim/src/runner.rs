@@ -6,8 +6,6 @@
 //! the same random world no matter how many repetitions run, in what
 //! order, or on how many threads.
 
-use crossbeam::thread;
-
 use crate::engine::{self, SimulationResult};
 use crate::{Scenario, SimError};
 
@@ -56,31 +54,53 @@ pub fn run_repetitions_parallel(
     reps: usize,
     threads: usize,
 ) -> Result<Vec<SimulationResult>, SimError> {
-    let threads = threads.clamp(1, reps.max(1));
-    if threads == 1 || reps <= 1 {
-        return run_repetitions(scenario, reps);
+    let scenarios: Vec<Scenario> =
+        (0..reps).map(|rep| scenario.clone().with_seed(rep_seed(scenario.seed, rep))).collect();
+    run_scenarios_parallel(&scenarios, threads)
+}
+
+/// Runs an arbitrary batch of (already fully seeded) scenarios across
+/// `threads` worker threads, returning results in input order. Each
+/// scenario is an independent deterministic world, so the output is
+/// identical for every thread count — this is the primitive both
+/// repetition parallelism and sweep-point parallelism are built on.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any scenario produces (by input
+/// order).
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panics.
+pub fn run_scenarios_parallel(
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Result<Vec<SimulationResult>, SimError> {
+    let jobs = scenarios.len();
+    let threads = threads.clamp(1, jobs.max(1));
+    if threads == 1 || jobs <= 1 {
+        return scenarios.iter().map(engine::run).collect();
     }
     let mut slots: Vec<Option<Result<SimulationResult, SimError>>> = Vec::new();
-    slots.resize_with(reps, || None);
+    slots.resize_with(jobs, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots_mutex = parking_lot::Mutex::new(&mut slots);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if rep >= reps {
+            scope.spawn(|| loop {
+                let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if job >= jobs {
                     break;
                 }
-                let s = scenario.clone().with_seed(rep_seed(scenario.seed, rep));
-                let result = engine::run(&s);
-                slots_mutex.lock()[rep] = Some(result);
+                let result = engine::run(&scenarios[job]);
+                slots_mutex.lock().expect("slots lock poisoned")[job] = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    slots.into_iter().map(|slot| slot.expect("every repetition ran")).collect()
+    slots.into_iter().map(|slot| slot.expect("every job ran")).collect()
 }
 
 /// Extracts one scalar metric from every repetition.
@@ -144,5 +164,28 @@ mod tests {
     fn zero_reps_is_empty() {
         assert!(run_repetitions(&tiny(), 0).unwrap().is_empty());
         assert!(run_repetitions_parallel(&tiny(), 0, 4).unwrap().is_empty());
+        assert!(run_scenarios_parallel(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scenario_batches_are_order_stable_across_threads() {
+        // A heterogeneous batch (different sizes and seeds) must come
+        // back in input order, identically for every thread count.
+        let batch: Vec<Scenario> =
+            (0..6).map(|i| tiny().with_users(8 + i).with_seed(1000 + i as u64)).collect();
+        let sequential: Vec<_> =
+            batch.iter().map(crate::engine::run).collect::<Result<_, _>>().unwrap();
+        for threads in [1, 2, 4, 8] {
+            let parallel = run_scenarios_parallel(&batch, threads).unwrap();
+            assert_eq!(sequential, parallel, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn scenario_batch_errors_propagate() {
+        let mut bad = tiny();
+        bad.users = 0;
+        let batch = vec![tiny(), bad];
+        assert!(run_scenarios_parallel(&batch, 2).is_err());
     }
 }

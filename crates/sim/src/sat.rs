@@ -63,11 +63,7 @@ pub struct SatConfig {
 
 impl Default for SatConfig {
     fn default() -> Self {
-        SatConfig {
-            pricing: AuctionPricing::FirstPrice,
-            margin: 0.2,
-            assignments_per_user: 1,
-        }
+        SatConfig { pricing: AuctionPricing::FirstPrice, margin: 0.2, assignments_per_user: 1 }
     }
 }
 
@@ -233,9 +229,9 @@ pub fn run_sat(scenario: &Scenario, config: &SatConfig) -> Result<SimulationResu
             user_profits,
             user_selected,
         });
-        if scenario.stop_when_complete && received.iter().zip(&workload.tasks).all(
-            |(&r, s)| r >= s.required(),
-        ) {
+        if scenario.stop_when_complete
+            && received.iter().zip(&workload.tasks).all(|(&r, s)| r >= s.required())
+        {
             break;
         }
     }
@@ -258,11 +254,7 @@ mod tests {
     use crate::metrics;
 
     fn scenario() -> Scenario {
-        Scenario::paper_default()
-            .with_users(40)
-            .with_tasks(10)
-            .with_max_rounds(10)
-            .with_seed(123)
+        Scenario::paper_default().with_users(40).with_tasks(10).with_max_rounds(10).with_seed(123)
     }
 
     #[test]
@@ -270,9 +262,7 @@ mod tests {
         SatConfig::default().validate().unwrap();
         assert!(SatConfig { margin: -0.1, ..Default::default() }.validate().is_err());
         assert!(SatConfig { margin: f64::NAN, ..Default::default() }.validate().is_err());
-        assert!(SatConfig { assignments_per_user: 0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(SatConfig { assignments_per_user: 0, ..Default::default() }.validate().is_err());
     }
 
     #[test]
@@ -282,8 +272,7 @@ mod tests {
         for (i, spec) in r.workload.tasks.iter().enumerate() {
             assert!(r.received[i] <= spec.required());
         }
-        let total: u32 =
-            r.rounds.iter().flat_map(|rr| rr.new_measurements.iter()).sum();
+        let total: u32 = r.rounds.iter().flat_map(|rr| rr.new_measurements.iter()).sum();
         assert_eq!(u64::from(total), r.total_measurements());
         // Winners never lose money (ask ≥ cost by construction).
         for rr in &r.rounds {
@@ -320,10 +309,9 @@ mod tests {
 
     #[test]
     fn higher_margin_costs_the_platform_more() {
-        let cheap = run_sat(&scenario(), &SatConfig { margin: 0.0, ..Default::default() })
-            .unwrap();
-        let pricey = run_sat(&scenario(), &SatConfig { margin: 1.0, ..Default::default() })
-            .unwrap();
+        let cheap = run_sat(&scenario(), &SatConfig { margin: 0.0, ..Default::default() }).unwrap();
+        let pricey =
+            run_sat(&scenario(), &SatConfig { margin: 1.0, ..Default::default() }).unwrap();
         let c = metrics::average_reward_per_measurement(&cheap);
         let p = metrics::average_reward_per_measurement(&pricey);
         assert!(p > c, "margin 100% should cost more per measurement: {p} vs {c}");

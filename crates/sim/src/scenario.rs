@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use paydemand_core::incentive::PricingCacheMode;
+use paydemand_core::IndexingMode;
 use paydemand_geo::placement::Placement;
 
 use crate::SimError;
@@ -211,6 +213,14 @@ pub struct Scenario {
     pub mechanism: MechanismKind,
     /// The task-selection algorithm users run.
     pub selector: SelectorKind,
+    /// How the platform computes per-task neighbour counts (Eq. 5).
+    /// Every mode produces identical results; non-default modes exist as
+    /// differential references and bench arms.
+    pub indexing: IndexingMode,
+    /// How the on-demand mechanism's pricing cache is used. Every mode
+    /// produces bit-identical rewards; `FullRecompute` additionally
+    /// asserts the cache against a from-scratch recompute each round.
+    pub pricing_cache: PricingCacheMode,
     /// Master RNG seed; every random draw derives from it.
     pub seed: u64,
 }
@@ -247,6 +257,8 @@ impl Scenario {
             sensing_seconds: 0.0,
             mechanism: MechanismKind::OnDemand,
             selector: SelectorKind::Dp { candidate_cap: Some(14) },
+            indexing: IndexingMode::default(),
+            pricing_cache: PricingCacheMode::default(),
             seed: 0x5EED,
         }
     }
@@ -304,6 +316,20 @@ impl Scenario {
     #[must_use]
     pub fn with_time_budget_range(mut self, lo: f64, hi: f64) -> Self {
         self.time_budget_range = (lo, hi);
+        self
+    }
+
+    /// Sets the neighbour-indexing mode.
+    #[must_use]
+    pub fn with_indexing(mut self, indexing: IndexingMode) -> Self {
+        self.indexing = indexing;
+        self
+    }
+
+    /// Sets the pricing-cache mode.
+    #[must_use]
+    pub fn with_pricing_cache(mut self, mode: PricingCacheMode) -> Self {
+        self.pricing_cache = mode;
         self
     }
 
@@ -433,7 +459,11 @@ mod tests {
             .with_seed(9)
             .with_max_rounds(7)
             .with_neighbor_radius(500.0)
-            .with_time_budget_range(100.0, 200.0);
+            .with_time_budget_range(100.0, 200.0)
+            .with_indexing(IndexingMode::NaiveReference)
+            .with_pricing_cache(PricingCacheMode::Disabled);
+        assert_eq!(s.indexing, IndexingMode::NaiveReference);
+        assert_eq!(s.pricing_cache, PricingCacheMode::Disabled);
         assert_eq!(s.users, 40);
         assert_eq!(s.tasks, 10);
         assert_eq!(s.mechanism, MechanismKind::Fixed);
@@ -472,10 +502,7 @@ mod tests {
                 "selector",
             ),
             (
-                Scenario {
-                    user_motion: UserMotion::Wander { seconds: f64::NAN },
-                    ..base()
-                },
+                Scenario { user_motion: UserMotion::Wander { seconds: f64::NAN }, ..base() },
                 "user_motion",
             ),
         ];

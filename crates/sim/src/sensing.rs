@@ -151,13 +151,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        assert!(SensingModel { truth_range: (5.0, 1.0), ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(SensingModel { truth_range: (5.0, 1.0), ..Default::default() }.validate().is_err());
         assert!(SensingModel { noise_std: -1.0, ..Default::default() }.validate().is_err());
-        assert!(SensingModel { noise_std: f64::NAN, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(SensingModel { noise_std: f64::NAN, ..Default::default() }.validate().is_err());
     }
 
     #[test]
@@ -178,8 +174,7 @@ mod tests {
         let mut r = rng(2);
         let spread = |quality: f64, r: &mut rand::rngs::StdRng| {
             let n = 4000;
-            let values: Vec<f64> =
-                (0..n).map(|_| m.sample_measurement(60.0, quality, r)).collect();
+            let values: Vec<f64> = (0..n).map(|_| m.sample_measurement(60.0, quality, r)).collect();
             let mean = values.iter().sum::<f64>() / n as f64;
             (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64).sqrt()
         };

@@ -156,8 +156,8 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchTest> {
         return Some(WelchTest { t: 0.0, degrees_of_freedom: f64::INFINITY, p_value: 1.0 });
     }
     let t = (sa.mean - sb.mean) / se2.sqrt();
-    let degrees_of_freedom = se2 * se2
-        / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
+    let degrees_of_freedom =
+        se2 * se2 / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
     let p_value = 2.0 * normal_sf(t.abs());
     Some(WelchTest { t, degrees_of_freedom, p_value })
 }
@@ -177,7 +177,8 @@ fn erfc_approx(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     poly * (-x * x).exp()
 }
 

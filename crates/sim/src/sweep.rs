@@ -87,13 +87,21 @@ pub struct Sweep {
     pub mechanisms: Vec<MechanismKind>,
     /// Repetitions per point.
     pub reps: usize,
-    /// Worker threads for repetition parallelism.
+    /// Worker threads. The whole sweep — every (mechanism, point,
+    /// repetition) triple, not just repetitions within one point — is
+    /// flattened into one job batch and spread across these threads, so
+    /// sweeps with few repetitions but many points still parallelise.
     pub threads: usize,
 }
 
 impl Sweep {
     /// Runs the sweep, averaging `metric` over repetitions at each
     /// point, and returns the resulting figure.
+    ///
+    /// Every (mechanism, point, repetition) job derives its seed
+    /// deterministically from the base scenario's seed via
+    /// [`runner::rep_seed`], independent of scheduling — the figure is
+    /// identical for every thread count.
     ///
     /// # Errors
     ///
@@ -104,15 +112,29 @@ impl Sweep {
         y_label: &str,
         metric: impl Fn(&SimulationResult) -> f64 + Copy,
     ) -> Result<Figure, SimError> {
-        let mut series = Vec::with_capacity(self.mechanisms.len());
+        // Flatten the whole sweep into independent, pre-seeded jobs.
+        let mut jobs =
+            Vec::with_capacity(self.mechanisms.len() * self.axis.values.len() * self.reps);
         for &mechanism in &self.mechanisms {
-            let mut y = Vec::with_capacity(self.axis.values.len());
             for &value in &self.axis.values {
                 let scenario =
                     (self.axis.apply)(self.base.clone(), value).with_mechanism(mechanism);
-                let results =
-                    runner::run_repetitions_parallel(&scenario, self.reps, self.threads)?;
-                let values = runner::collect_metric(&results, metric);
+                for rep in 0..self.reps {
+                    jobs.push(scenario.clone().with_seed(runner::rep_seed(scenario.seed, rep)));
+                }
+            }
+        }
+        let results = runner::run_scenarios_parallel(&jobs, self.threads)?;
+
+        // Reassemble in (mechanism, point) order.
+        let mut series = Vec::with_capacity(self.mechanisms.len());
+        let mut cursor = results.chunks_exact(self.reps.max(1));
+        for &mechanism in &self.mechanisms {
+            let mut y = Vec::with_capacity(self.axis.values.len());
+            for _ in &self.axis.values {
+                let point_results: &[SimulationResult] =
+                    if self.reps == 0 { &[] } else { cursor.next().expect("job per point") };
+                let values = runner::collect_metric(point_results, metric);
                 y.push(Summary::of(&values).mean);
             }
             series.push(Series { label: mechanism.label().to_string(), y });
@@ -165,6 +187,24 @@ mod tests {
         assert_eq!(axis.label(), "users");
         assert_eq!(axis.values(), &[1.0, 2.0]);
         assert!(format!("{axis:?}").contains("users"));
+    }
+
+    #[test]
+    fn sweep_points_parallelise_with_single_rep() {
+        // One repetition per point used to serialise the whole sweep;
+        // points themselves must now spread across threads, bit-identically.
+        let make = |threads| Sweep {
+            base: base(),
+            axis: Axis::new("users", vec![8.0, 10.0, 12.0, 14.0], |s, v| s.with_users(v as usize)),
+            mechanisms: vec![MechanismKind::OnDemand, MechanismKind::Fixed],
+            reps: 1,
+            threads,
+        };
+        let reference = make(1).run("p", "coverage", |r| r.coverage()).unwrap();
+        for threads in [2, 4, 8] {
+            let f = make(threads).run("p", "coverage", |r| r.coverage()).unwrap();
+            assert_eq!(reference, f, "{threads} threads");
+        }
     }
 
     #[test]

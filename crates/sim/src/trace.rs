@@ -337,10 +337,8 @@ mod tests {
         assert_eq!(starts, ends);
 
         // One Submit per measurement; total pay matches.
-        let submits: Vec<&TraceEvent> = events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Submit { .. }))
-            .collect();
+        let submits: Vec<&TraceEvent> =
+            events.iter().filter(|e| matches!(e, TraceEvent::Submit { .. })).collect();
         assert_eq!(submits.len() as u64, result.total_measurements());
         let paid: f64 = submits
             .iter()

@@ -46,10 +46,7 @@ impl Workload {
     /// [`SimError::InvalidScenario`] if the scenario fails validation,
     /// [`SimError::Core`] if a generated entity is rejected by the
     /// domain layer (cannot happen for validated scenarios).
-    pub fn generate<R: Rng + ?Sized>(
-        scenario: &Scenario,
-        rng: &mut R,
-    ) -> Result<Self, SimError> {
+    pub fn generate<R: Rng + ?Sized>(scenario: &Scenario, rng: &mut R) -> Result<Self, SimError> {
         scenario.validate()?;
         let area = Rect::square(scenario.area_side)
             .map_err(paydemand_core::CoreError::from)

@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let criteria = ["deadline", "progress", "neighbours"];
-    for method in
-        [WeightMethod::RowAverage, WeightMethod::GeometricMean, WeightMethod::Eigenvector]
+    for method in [WeightMethod::RowAverage, WeightMethod::GeometricMean, WeightMethod::Eigenvector]
     {
         let w = table_i.weights(method);
         print!("{method:?} weights:");
@@ -44,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "consistency ratio CR = {:.4}  ({})",
         consistency.ratio,
-        if consistency.is_acceptable() { "acceptable, CR <= 0.1" } else { "REJECT: revise judgements" }
+        if consistency.is_acceptable() {
+            "acceptable, CR <= 0.1"
+        } else {
+            "REJECT: revise judgements"
+        }
     );
     println!();
 

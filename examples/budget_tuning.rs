@@ -26,7 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     s.base_reward(),
                     s.max_reward()
                 ),
-                Err(e) => println!("{budget:>10.0} {lambda:>8.2} {:>25}", format!("infeasible: {e}")),
+                Err(e) => {
+                    println!("{budget:>10.0} {lambda:>8.2} {:>25}", format!("infeasible: {e}"))
+                }
             }
         }
     }

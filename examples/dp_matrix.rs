@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if distance > budget {
             continue;
         }
-        let reward: f64 =
-            (0..6).filter(|&j| mask & (1 << j) != 0).map(|j| rewards[j]).sum();
+        let reward: f64 = (0..6).filter(|&j| mask & (1 << j) != 0).map(|j| rewards[j]).sum();
         let profit = reward - 0.02 * distance;
         if profit > best.1 {
             best = (mask, profit);

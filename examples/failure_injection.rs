@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for mechanism in [MechanismKind::OnDemand, MechanismKind::Fixed] {
             let scenario = base.clone().with_mechanism(mechanism);
             let results = runner::run_repetitions_parallel(&scenario, reps, threads)?;
-            let completeness =
-                runner::collect_metric(&results, |r| 100.0 * r.completeness());
+            let completeness = runner::collect_metric(&results, |r| 100.0 * r.completeness());
             means.push(Summary::of(&completeness).mean);
         }
         println!("{label:<22} {:>18.1} {:>18.1}", means[0], means[1]);

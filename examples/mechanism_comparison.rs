@@ -9,8 +9,7 @@ use paydemand::sim::stats::{welch_t_test, Summary};
 use paydemand::sim::{metrics, runner, MechanismKind, Scenario, SelectorKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let reps: usize =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(25);
+    let reps: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(25);
 
     let base = Scenario::paper_default()
         .with_users(100)
@@ -29,17 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scenario = base.clone().with_mechanism(mechanism);
         let threads = std::thread::available_parallelism()?.get();
         let results = runner::run_repetitions_parallel(&scenario, reps, threads)?;
-        completeness_samples.push((
-            mechanism,
-            runner::collect_metric(&results, |r| 100.0 * r.completeness()),
-        ));
+        completeness_samples
+            .push((mechanism, runner::collect_metric(&results, |r| 100.0 * r.completeness())));
         let cov = Summary::of(&runner::collect_metric(&results, |r| 100.0 * r.coverage()));
         let comp = Summary::of(&runner::collect_metric(&results, |r| 100.0 * r.completeness()));
         let var = Summary::of(&runner::collect_metric(&results, metrics::measurement_variance));
-        let rpm = Summary::of(&runner::collect_metric(
-            &results,
-            metrics::average_reward_per_measurement,
-        ));
+        let rpm =
+            Summary::of(&runner::collect_metric(&results, metrics::average_reward_per_measurement));
         println!(
             "{:<12} {:>8.1} ±{:<4.1} {:>10.1} ±{:<4.1} {:>8.1} ±{:<4.1} {:>10.3} ±{:<5.3}",
             mechanism.label(),

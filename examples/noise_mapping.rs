@@ -43,11 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Same seed → same city, same people; only the pricing differs.
         let scenario = base.clone().with_mechanism(mechanism).with_seed(99);
         let result = engine::run(&scenario)?;
-        let starved = result
-            .received
-            .iter()
-            .filter(|&&r| r < base.required_per_task / 2)
-            .count();
+        let starved = result.received.iter().filter(|&&r| r < base.required_per_task / 2).count();
         println!(
             "{:<12} {:>9.1}% {:>13.1}% {:>10.1} {:>14} {:>12.2}",
             mechanism.label(),

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics::average_measurements(&result),
         scenario.required_per_task
     );
-    println!(
-        "variance of measurements: {:5.1}",
-        metrics::measurement_variance(&result)
-    );
+    println!("variance of measurements: {:5.1}", metrics::measurement_variance(&result));
     println!(
         "avg reward / measurement: {:5.3} $",
         metrics::average_reward_per_measurement(&result)

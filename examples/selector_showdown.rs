@@ -22,11 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("selector showdown — 200 random selection problems, 14 tasks each");
     println!("{:-<72}", "");
 
-    let selectors: [(&str, &dyn TaskSelector); 3] = [
-        ("dp", &DpSelector),
-        ("greedy", &GreedySelector),
-        ("greedy+2opt", &GreedyTwoOptSelector),
-    ];
+    let selectors: [(&str, &dyn TaskSelector); 3] =
+        [("dp", &DpSelector), ("greedy", &GreedySelector), ("greedy+2opt", &GreedyTwoOptSelector)];
     let mut total_profit = [0.0f64; 3];
     let mut total_time = [std::time::Duration::ZERO; 3];
     let mut greedy_optimal = 0usize;

@@ -20,8 +20,7 @@ use paydemand::sim::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let reps: usize =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(20);
+    let reps: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(20);
     let base = Scenario::paper_default()
         .with_users(100)
         .with_selector(SelectorKind::Dp { candidate_cap: Some(14) })

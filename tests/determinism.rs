@@ -5,7 +5,7 @@
 //! same scenario ⇒ bit-identical results, across thread counts, run
 //! modes and process lifetimes (golden values).
 
-use paydemand::sim::{engine, runner, sat, MechanismKind, Scenario, SelectorKind};
+use paydemand::sim::{engine, runner, sat, sweep, MechanismKind, Scenario, SelectorKind};
 
 fn scenario() -> Scenario {
     Scenario::paper_default()
@@ -26,12 +26,38 @@ fn same_seed_bit_identical() {
 
 #[test]
 fn thread_count_does_not_change_results() {
+    // The full matrix: every thread count must yield byte-identical
+    // repetition batches (the baseline is the 1-thread sequential path).
     let s = scenario();
-    let one = runner::run_repetitions_parallel(&s, 5, 1).unwrap();
-    let four = runner::run_repetitions_parallel(&s, 5, 4).unwrap();
-    let eight = runner::run_repetitions_parallel(&s, 5, 8).unwrap();
-    assert_eq!(one, four);
-    assert_eq!(four, eight);
+    let baseline = runner::run_repetitions_parallel(&s, 5, 1).unwrap();
+    for threads in [2usize, 4, 8] {
+        let batch = runner::run_repetitions_parallel(&s, 5, threads).unwrap();
+        assert_eq!(baseline, batch, "{threads} threads diverged from sequential");
+    }
+}
+
+#[test]
+fn sweep_thread_count_does_not_change_figures() {
+    // The sweep flattens (mechanism × point × rep) into one job batch;
+    // the figure must be identical for every thread count, including
+    // the single-repetition case where only cross-point parallelism
+    // exists.
+    let run_with = |threads: usize| {
+        let sweep = sweep::Sweep {
+            base: scenario().with_max_rounds(5),
+            axis: sweep::Axis::new("users", vec![10.0, 20.0, 30.0], |s, v| {
+                s.with_users(v as usize)
+            }),
+            mechanisms: vec![MechanismKind::OnDemand, MechanismKind::Fixed],
+            reps: 1,
+            threads,
+        };
+        sweep.run("det", "coverage", |r| r.coverage()).unwrap()
+    };
+    let baseline = run_with(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(baseline, run_with(threads), "{threads}-thread sweep diverged from sequential");
+    }
 }
 
 #[test]
@@ -62,33 +88,22 @@ fn golden_run_pinned() {
     // Pin structural outcomes (integers: safe against float formatting,
     // sensitive to any behavioural change).
     let received_sum: u32 = r.received.iter().sum();
-    assert_eq!(
-        u64::from(received_sum),
-        r.total_measurements(),
-        "internal consistency"
-    );
-    // Golden values for seed 0xD5EED (30 users, 10 tasks, 8 rounds).
-    assert_eq!(r.total_measurements(), 200, "total measurements moved");
+    assert_eq!(u64::from(received_sum), r.total_measurements(), "internal consistency");
+    // Golden values for seed 0xD5EED (30 users, 10 tasks, 8 rounds),
+    // pinned against the vendored deterministic StdRng (xoshiro256**).
+    // These moved from the original pins (200 / 85 / 722.5) when the
+    // workspace switched to the offline vendored rand backend, which
+    // draws a different — but equally deterministic — stream.
+    assert_eq!(r.total_measurements(), 197, "total measurements moved");
     assert_eq!(r.coverage(), 1.0, "coverage moved");
     // The discriminating pins: exact round-1 throughput, per-task
     // completion rounds and total payments.
     let round1: u32 = r.rounds[0].new_measurements.iter().sum();
-    assert_eq!(round1, 85, "round-1 throughput moved");
+    assert_eq!(round1, 81, "round-1 throughput moved");
     assert_eq!(
         r.completed_round,
-        vec![
-            Some(4),
-            Some(4),
-            Some(4),
-            Some(1),
-            Some(4),
-            Some(4),
-            Some(1),
-            Some(4),
-            Some(2),
-            Some(3)
-        ],
+        vec![Some(3), Some(4), Some(2), None, Some(2), Some(3), Some(3), Some(2), Some(3), Some(4)],
         "completion rounds moved"
     );
-    assert!((r.total_paid - 722.5).abs() < 1e-9, "payments moved: {}", r.total_paid);
+    assert!((r.total_paid - 721.0).abs() < 1e-9, "payments moved: {}", r.total_paid);
 }

@@ -1,0 +1,162 @@
+//! Differential battery for the task-selection solvers (§V).
+//!
+//! On small instances (≤ 10 tasks) the profit-maximisation problem is
+//! solvable by exhaustive search over visit orders, so we can pin the
+//! exact optimum independently of any solver under test. Over hundreds
+//! of seeded random instances:
+//!
+//! * the bitmask DP and branch-and-bound must both attain the
+//!   brute-force optimum (they are exact algorithms — Theorem 2);
+//! * the greedy heuristic must never *exceed* it (it solves the same
+//!   feasibility problem, so beating the optimum would mean an
+//!   infeasible or mis-priced route).
+
+use paydemand::core::selection::{
+    BranchBoundSelector, DpSelector, GreedySelector, SelectionProblem, TaskSelector,
+};
+use paydemand::core::{PublishedTask, TaskId};
+use paydemand::geo::{Point, Rect};
+use rand::{Rng, SeedableRng};
+
+/// Profit tolerance: the solvers and the enumerator may sum the same
+/// distances in different orders.
+const EPS: f64 = 1e-9;
+
+/// Exhaustive search over visit orders with budget pruning.
+///
+/// Rewards are strictly positive, so a partial route that already
+/// exceeds the distance budget cannot be rescued — pruning on distance
+/// alone is sound. Returns the optimal profit (stay-home `0.0` floor,
+/// matching [`SelectionOutcome::stay_home`]).
+fn brute_force_optimal_profit(problem: &SelectionProblem) -> f64 {
+    let start = problem.location();
+    let tasks = problem.tasks();
+    let budget = problem.distance_budget();
+    let rate = problem.cost_per_meter();
+    let mut used = vec![false; tasks.len()];
+    let mut best = 0.0_f64;
+    dfs(start, tasks, budget, rate, &mut used, 0.0, 0.0, &mut best);
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    at: Point,
+    tasks: &[PublishedTask],
+    budget: f64,
+    rate: f64,
+    used: &mut [bool],
+    distance: f64,
+    reward: f64,
+    best: &mut f64,
+) {
+    for next in 0..tasks.len() {
+        if used[next] {
+            continue;
+        }
+        let leg = at.distance(tasks[next].location);
+        let total = distance + leg;
+        if total > budget {
+            continue;
+        }
+        let collected = reward + tasks[next].reward;
+        let profit = collected - rate * total;
+        if profit > *best {
+            *best = profit;
+        }
+        used[next] = true;
+        dfs(tasks[next].location, tasks, budget, rate, used, total, collected, best);
+        used[next] = false;
+    }
+}
+
+fn random_instance(seed: u64) -> SelectionProblem {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let area = Rect::square(3000.0).expect("valid area");
+    let m = rng.gen_range(1..=10usize);
+    let tasks: Vec<PublishedTask> = (0..m)
+        .map(|i| PublishedTask {
+            id: TaskId(i),
+            location: area.sample_uniform(&mut rng),
+            reward: rng.gen_range(0.5..=2.5),
+        })
+        .collect();
+    let location = area.sample_uniform(&mut rng);
+    // Modest budgets: routes of roughly 0–5 tasks, so the pruned DFS
+    // stays fast even in debug builds while still exercising non-empty
+    // optima (the area diagonal is ~4.2 km).
+    let time_budget = rng.gen_range(100.0..=2000.0);
+    let speed = rng.gen_range(1.0..=3.0);
+    let cost_per_meter = rng.gen_range(0.0..=0.004);
+    SelectionProblem::new(location, &tasks, time_budget, speed, cost_per_meter)
+        .expect("generated parameters are valid")
+}
+
+#[test]
+fn exact_solvers_match_brute_force_and_greedy_never_exceeds_it() {
+    let dp = DpSelector;
+    let bb = BranchBoundSelector;
+    let greedy = GreedySelector;
+    let mut nonzero_optima = 0usize;
+
+    for seed in 0..250u64 {
+        let problem = random_instance(seed);
+        let optimal = brute_force_optimal_profit(&problem);
+        if optimal > 0.0 {
+            nonzero_optima += 1;
+        }
+
+        let dp_profit = dp.select(&problem).expect("dp solves ≤10 tasks").profit();
+        let bb_profit = bb.select(&problem).expect("b&b solves ≤10 tasks").profit();
+        let greedy_profit = greedy.select(&problem).expect("greedy always solves").profit();
+
+        assert!(
+            (dp_profit - optimal).abs() <= EPS,
+            "seed {seed}: dp {dp_profit} != brute-force optimum {optimal}"
+        );
+        assert!(
+            (bb_profit - optimal).abs() <= EPS,
+            "seed {seed}: b&b {bb_profit} != brute-force optimum {optimal}"
+        );
+        assert!(
+            greedy_profit <= optimal + EPS,
+            "seed {seed}: greedy {greedy_profit} exceeds optimum {optimal}"
+        );
+    }
+
+    // The battery is vacuous if every instance's optimum is to stay
+    // home; the budget range above is chosen so most are not.
+    assert!(nonzero_optima >= 100, "only {nonzero_optima}/250 instances had a profitable route");
+}
+
+#[test]
+fn exact_solver_outcomes_are_feasible_and_priced_consistently() {
+    for seed in 0..50u64 {
+        let problem = random_instance(seed);
+        for selector in [&DpSelector as &dyn TaskSelector, &BranchBoundSelector] {
+            let outcome = selector.select(&problem).expect("solves ≤10 tasks");
+            assert!(
+                outcome.distance() <= problem.distance_budget() + EPS,
+                "seed {seed}: {} route over budget",
+                selector.name()
+            );
+            // Recompute the route economics from the outcome's order.
+            let by_id = |id: TaskId| {
+                problem.tasks().iter().find(|t| t.id == id).expect("selected task exists")
+            };
+            let mut at = problem.location();
+            let mut distance = 0.0;
+            let mut reward = 0.0;
+            for &id in outcome.tasks() {
+                let task = by_id(id);
+                distance += at.distance(task.location);
+                reward += task.reward;
+                at = task.location;
+            }
+            assert!((distance - outcome.distance()).abs() <= 1e-6, "seed {seed}");
+            assert!((reward - outcome.reward()).abs() <= EPS, "seed {seed}");
+            let profit = reward - problem.cost_per_meter() * distance;
+            assert!((profit - outcome.profit()).abs() <= 1e-6, "seed {seed}");
+        }
+    }
+}

@@ -138,13 +138,10 @@ fn on_demand_dominates_fixed_on_paper_workload() {
 /// demand indicator, end to end.
 #[test]
 fn ahp_table_i_weights_flow_into_core() {
-    let matrix =
-        paydemand::ahp::PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap();
-    let weights = paydemand::core::DemandWeights::from_ahp(
-        &matrix,
-        paydemand::ahp::WeightMethod::RowAverage,
-    )
-    .unwrap();
+    let matrix = paydemand::ahp::PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap();
+    let weights =
+        paydemand::core::DemandWeights::from_ahp(&matrix, paydemand::ahp::WeightMethod::RowAverage)
+            .unwrap();
     let default = paydemand::core::DemandWeights::default();
     assert!((weights.deadline - default.deadline).abs() < 1e-12);
     assert!((weights.progress - default.progress).abs() < 1e-12);

@@ -1,0 +1,121 @@
+//! Observational-equivalence battery for the scaling machinery.
+//!
+//! The incremental spatial index and the pricing cache are pure
+//! performance work: every mode combination must produce the *same*
+//! simulation, bit for bit in every float. These tests pin that promise
+//! end to end (full engine runs) and at the primitive level (grid
+//! counts vs the naive pairwise scan).
+
+use paydemand::core::neighbors::{naive_counts, NeighborTracker};
+use paydemand::geo::Rect;
+use paydemand::sim::{
+    engine, IndexingMode, MechanismKind, PricingCacheMode, Scenario, SelectorKind,
+};
+use rand::{Rng, SeedableRng};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::paper_default()
+        .with_users(24)
+        .with_tasks(8)
+        .with_max_rounds(6)
+        .with_selector(SelectorKind::Greedy)
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(seed)
+}
+
+#[test]
+fn pricing_cache_modes_are_observationally_equivalent() {
+    // FullRecompute additionally *asserts* cache == recompute inside the
+    // mechanism, so a silently stale cache fails loudly here too.
+    let mechanisms = [MechanismKind::OnDemand, MechanismKind::Hybrid { alpha: 0.5 }];
+    for seed in [1u64, 0xD5EED, 42] {
+        for mechanism in mechanisms {
+            let base = scenario(seed).with_mechanism(mechanism);
+            let disabled =
+                engine::run(&base.clone().with_pricing_cache(PricingCacheMode::Disabled)).unwrap();
+            let enabled =
+                engine::run(&base.clone().with_pricing_cache(PricingCacheMode::Enabled)).unwrap();
+            let checked =
+                engine::run(&base.clone().with_pricing_cache(PricingCacheMode::FullRecompute))
+                    .unwrap();
+            assert!(
+                disabled.observationally_eq(&enabled),
+                "seed {seed} {mechanism:?}: cache changed the simulation"
+            );
+            assert!(
+                disabled.observationally_eq(&checked),
+                "seed {seed} {mechanism:?}: full-recompute mode changed the simulation"
+            );
+        }
+    }
+}
+
+#[test]
+fn indexing_modes_are_observationally_equivalent() {
+    for seed in [2u64, 0xD5EED, 99] {
+        let base = scenario(seed);
+        let incremental =
+            engine::run(&base.clone().with_indexing(IndexingMode::Incremental)).unwrap();
+        let rebuild =
+            engine::run(&base.clone().with_indexing(IndexingMode::RebuildEachRound)).unwrap();
+        let naive = engine::run(&base.clone().with_indexing(IndexingMode::NaiveReference)).unwrap();
+        assert!(
+            naive.observationally_eq(&rebuild),
+            "seed {seed}: per-round rebuild changed the simulation"
+        );
+        assert!(
+            naive.observationally_eq(&incremental),
+            "seed {seed}: incremental index changed the simulation"
+        );
+    }
+}
+
+#[test]
+fn every_mode_combination_agrees_with_the_reference() {
+    let base = scenario(7);
+    let reference = engine::run(
+        &base
+            .clone()
+            .with_indexing(IndexingMode::NaiveReference)
+            .with_pricing_cache(PricingCacheMode::Disabled),
+    )
+    .unwrap();
+    for indexing in
+        [IndexingMode::Incremental, IndexingMode::RebuildEachRound, IndexingMode::NaiveReference]
+    {
+        for cache in
+            [PricingCacheMode::Disabled, PricingCacheMode::Enabled, PricingCacheMode::FullRecompute]
+        {
+            let run = engine::run(&base.clone().with_indexing(indexing).with_pricing_cache(cache))
+                .unwrap();
+            assert!(
+                reference.observationally_eq(&run),
+                "({indexing:?}, {cache:?}) diverged from the reference run"
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_counts_match_naive_scan_under_movement() {
+    // Exercise the incremental delta path directly: a tracker fed a
+    // churning population must agree with the O(n·m) scan every round.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0117);
+    let area = Rect::square(1000.0).expect("valid area");
+    let radius = 120.0;
+    let tasks: Vec<_> = (0..40).map(|_| area.sample_uniform(&mut rng)).collect();
+    let mut users: Vec<_> = (0..300).map(|_| area.sample_uniform(&mut rng)).collect();
+    let mut tracker = NeighborTracker::new(area, radius, tasks.clone());
+
+    for round in 0..10 {
+        let indexed = tracker.counts(&users).expect("users in area").to_vec();
+        let naive = naive_counts(&tasks, &users, radius);
+        assert_eq!(indexed, naive, "round {round}: grid counts diverged from naive scan");
+        // Move a third of the users (some onto cell boundaries via
+        // coordinate reuse, some to fresh positions).
+        for _ in 0..100 {
+            let who = rng.gen_range(0..users.len());
+            users[who] = area.sample_uniform(&mut rng);
+        }
+    }
+}

@@ -19,8 +19,7 @@ fn trace_roundtrips_through_bytes() {
     let result = engine::run(&small()).unwrap();
     let bytes = trace::from_result(&result);
     let events = trace::decode(&bytes).unwrap();
-    let submits =
-        events.iter().filter(|e| matches!(e, trace::TraceEvent::Submit { .. })).count();
+    let submits = events.iter().filter(|e| matches!(e, trace::TraceEvent::Submit { .. })).count();
     assert_eq!(submits as u64, result.total_measurements());
 }
 
@@ -130,10 +129,10 @@ fn road_network_distances_compose_with_routing() {
     let mut all = vec![start];
     all.extend_from_slice(&tasks);
     let tm = net.travel_matrix(&all);
-    let costs = CostMatrix::from_fn(
-        (0..tasks.len()).map(|j| tm.get(0, j + 1)).collect(),
-        |i, j| tm.get(i + 1, j + 1),
-    );
+    let costs =
+        CostMatrix::from_fn((0..tasks.len()).map(|j| tm.get(0, j + 1)).collect(), |i, j| {
+            tm.get(i + 1, j + 1)
+        });
     let inst = orienteering::Instance::new(&costs, &[2.0, 2.0], 2000.0, 0.002).unwrap();
     let s = orienteering::solve_exact(&inst).unwrap();
     // Straight chain along streets: 500 + 500 = 1000 m.

@@ -66,8 +66,5 @@ fn fig6_on_demand_coverage_at_least_fixed() {
     let fixed = f.series.iter().find(|s| s.label == "fixed").unwrap();
     let od_total: f64 = on_demand.y.iter().sum();
     let fx_total: f64 = fixed.y.iter().sum();
-    assert!(
-        od_total >= fx_total - 1e-9,
-        "on-demand coverage {od_total} < fixed {fx_total}"
-    );
+    assert!(od_total >= fx_total - 1e-9, "on-demand coverage {od_total} < fixed {fx_total}");
 }

@@ -1,0 +1,106 @@
+//! Economic and model invariants, pinned across seeds.
+//!
+//! * **Budget feasibility** (§IV, Eq. 8–9): the platform never pays out
+//!   more than the reward budget `B`, for every mechanism in the lineup.
+//!   The paper's schedules respect `B` by construction; the
+//!   literal-constants Steered baseline does not, and must be run with
+//!   the hard spend cap.
+//! * **AHP weights** (§IV-B, Tables I–II): the paper's pairwise
+//!   judgements yield `W ≈ (0.648, 0.230, 0.122)` with a consistency
+//!   ratio well under Saaty's 0.1 threshold.
+
+use paydemand::ahp::{consistency, PairwiseMatrix, WeightMethod};
+use paydemand::core::DemandWeights;
+use paydemand::sim::{engine, MechanismKind, Scenario, SelectorKind};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::paper_default()
+        .with_users(30)
+        .with_tasks(10)
+        .with_max_rounds(10)
+        .with_selector(SelectorKind::Greedy)
+        .with_seed(seed)
+}
+
+#[test]
+fn payments_never_exceed_the_budget() {
+    let mechanisms = [
+        MechanismKind::OnDemand,
+        MechanismKind::Fixed,
+        MechanismKind::Steered,
+        MechanismKind::Proportional,
+        MechanismKind::Hybrid { alpha: 0.5 },
+    ];
+    for seed in [3u64, 17, 0xD5EED, 2026] {
+        for mechanism in mechanisms {
+            let s = scenario(seed).with_mechanism(mechanism);
+            let result = engine::run(&s).unwrap();
+            assert!(
+                result.total_paid <= s.reward_budget + 1e-9,
+                "seed {seed} {mechanism:?}: paid {} > budget {}",
+                result.total_paid,
+                s.reward_budget
+            );
+        }
+    }
+}
+
+#[test]
+fn capped_steered_paper_constants_respect_the_budget() {
+    // The literal paper constants (Rc = 5, μ = 100) overshoot B = 1000
+    // by design; with the hard spend cap the platform must still stop
+    // at the budget.
+    for seed in [3u64, 17, 2026] {
+        let mut s = scenario(seed).with_mechanism(MechanismKind::SteeredPaperConstants);
+        s.enforce_budget = true;
+        let result = engine::run(&s).unwrap();
+        assert!(
+            result.total_paid <= s.reward_budget + 1e-9,
+            "seed {seed}: capped platform paid {} > budget {}",
+            result.total_paid,
+            s.reward_budget
+        );
+    }
+}
+
+/// Table I of the paper: pairwise judgements over (deadline, progress,
+/// neighbours) — deadline is 3× progress, 5× neighbours; progress is 2×
+/// neighbours.
+fn table_i() -> PairwiseMatrix {
+    PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).expect("Table I is valid")
+}
+
+#[test]
+fn table_i_judgements_are_consistent() {
+    let c = consistency::analyze(&table_i());
+    assert!(c.ratio < 0.1, "Table I consistency ratio {} breaches Saaty's threshold", c.ratio);
+    assert!(c.is_acceptable());
+    // λ_max barely above the order ⇒ nearly perfectly consistent.
+    assert!(c.lambda_max >= 3.0 - 1e-9 && c.lambda_max < 3.01, "λ_max = {}", c.lambda_max);
+}
+
+#[test]
+fn table_ii_weights_reproduce_from_table_i() {
+    // Table II is Table I normalised column-wise and row-averaged; the
+    // paper reports W = (0.648, 0.230, 0.122).
+    let w = table_i().weights(WeightMethod::RowAverage);
+    let expected = [0.648, 0.230, 0.122];
+    for (i, (&got, want)) in w.iter().zip(expected).enumerate() {
+        assert!((got - want).abs() < 1e-3, "w{i} = {got}, paper says {want}");
+    }
+    let sum: f64 = w.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "weights must be normalised, sum = {sum}");
+}
+
+#[test]
+fn demand_weights_accept_the_paper_judgements() {
+    // The core crate's AHP entry point must agree with the paper
+    // example, and must reject the judgement matrix only if it were
+    // inconsistent (Table I is not).
+    let from_ahp = DemandWeights::from_ahp(&table_i(), WeightMethod::RowAverage)
+        .expect("Table I passes the CR gate");
+    let example = DemandWeights::paper_example();
+    assert!((from_ahp.deadline - example.deadline).abs() < 1e-12);
+    assert!((from_ahp.progress - example.progress).abs() < 1e-12);
+    assert!((from_ahp.neighbors - example.neighbors).abs() < 1e-12);
+}

@@ -27,11 +27,7 @@ fn figure_flows_into_every_format() {
     let chart = figure.to_ascii_chart(50, 12);
     assert!(chart.contains("* on-demand"));
 
-    let report = Report {
-        title: "smoke".into(),
-        preamble: String::new(),
-        figures: vec![figure],
-    };
+    let report = Report { title: "smoke".into(), preamble: String::new(), figures: vec![figure] };
     assert!(report.to_markdown().contains("# smoke"));
 }
 
@@ -64,9 +60,6 @@ fn reward_dynamics_shows_the_papers_story_end_to_end() {
     let od = last_active(&series("on-demand").y);
     let st = last_active(&series("steered").y);
     if let (Some(od), Some(st)) = (od, st) {
-        assert!(
-            od >= st,
-            "late-round on-demand price {od} should not be below steered {st}"
-        );
+        assert!(od >= st, "late-round on-demand price {od} should not be below steered {st}");
     }
 }

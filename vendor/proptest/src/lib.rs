@@ -1,0 +1,449 @@
+//! An offline, deterministic subset of `proptest`.
+//!
+//! Implements the slice of proptest this workspace uses: the
+//! [`proptest!`] macro, range / tuple / vec / map / oneof strategies,
+//! `prop_assert*` macros and [`ProptestConfig`]. Cases are sampled from
+//! a fixed per-test seed, so failures reproduce exactly; there is no
+//! shrinking — the failing case's arguments are printed instead.
+
+// Vendored stub: keep the workspace lint gate out of third-party shims.
+#![allow(warnings, clippy::all, clippy::pedantic)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The RNG driving case generation.
+    pub type TestRng = StdRng;
+
+    /// A value generator. Unlike real proptest there is no value tree /
+    /// shrinking: a strategy just samples.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`, panicking after too many
+        /// rejections (mirrors proptest's global rejection cap).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, pred }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+        }
+    }
+
+    /// Uniform choice between boxed sub-strategies (`prop_oneof!`).
+    pub struct OneOf<V> {
+        choices: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds from the boxed samplers the macro collects.
+        #[must_use]
+        pub fn new(choices: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { choices }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.choices.len());
+            (self.choices[i])(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::RangeFull {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    impl<S: Strategy> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (*self).generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// How many elements a [`vec`] strategy draws.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec` — a vector of `element` draws with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases the test body runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the full suite fast
+            // while still exercising each property broadly.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Derives the deterministic RNG seed for a named test.
+    #[must_use]
+    pub fn seed_for(name: &str) -> u64 {
+        // FNV-1a over the test path: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// Re-export so `prop::collection::vec(...)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("prop_assert failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "prop_assert_eq failed: {} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!(
+                "prop_assert_ne failed: {} == {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds (no global rejection
+/// bookkeeping; the case simply counts as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(
+                ::std::boxed::Box::new(move |rng: &mut $crate::strategy::TestRng| {
+                    $crate::strategy::Strategy::generate(&($strat), rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::strategy::TestRng) -> _>
+            ),+
+        ])
+    };
+}
+
+/// The proptest entry macro: declares `#[test]` functions whose
+/// arguments are drawn from strategies, re-run for `config.cases`
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    (@body ($cfg:expr) $(
+        #[test]
+        fn $name:ident ( $( $arg:pat in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                #[allow(unused)]
+                use $crate::strategy::Strategy as _;
+                let config = $cfg;
+                let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = <$crate::strategy::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    let mut desc = ::std::string::String::new();
+                    $(
+                        let generated = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        desc.push_str(&format!(
+                            concat!(stringify!($arg), " = {:?}, "),
+                            &generated
+                        ));
+                        let $arg = generated;
+                    )*
+                    let result: ::std::result::Result<(), ::std::string::String> = (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(msg) = result {
+                        panic!(
+                            "proptest {} failed at case {case} (seed {seed}):\n{msg}\nargs: {desc}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_sample_in_bounds(x in 0.0..10.0f64, n in 1u32..5, k in 0usize..3) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(k < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_cases_honoured(v in collection::vec((0u32..5, 0.0..1.0f64), 0..7)) {
+            prop_assert!(v.len() < 7);
+            for (a, b) in &v {
+                prop_assert!(*a < 5);
+                prop_assert!((0.0..1.0).contains(b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_work(
+            v in prop_oneof![
+                (0u32..10).prop_map(|x| x as f64),
+                (0.0..1.0f64).prop_map(|x| x + 100.0),
+            ]
+        ) {
+            prop_assert!((0.0..10.0).contains(&v) || (100.0..101.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(
+            crate::test_runner::seed_for("a::b::c"),
+            crate::test_runner::seed_for("a::b::c")
+        );
+        assert_ne!(
+            crate::test_runner::seed_for("a::b::c"),
+            crate::test_runner::seed_for("a::b::d")
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Derive-macro stub for the offline `serde` marker traits.
+//!
+//! Parses just enough of the deriving item — its name and generic
+//! parameter names — to emit an empty `impl` of the marker trait.
+//! `#[serde(...)]` attributes are accepted and ignored.
+
+// Vendored stub: keep the workspace lint gate out of third-party shims.
+#![allow(warnings, clippy::all, clippy::pedantic)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let (impl_generics, ty_generics) = render_generics(&params, None);
+    format!("impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let (impl_generics, ty_generics) = render_generics(&params, Some("'de"));
+    format!("impl{impl_generics} ::serde::Deserialize<'de> for {name}{ty_generics} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Returns the item name and its generic parameter names (lifetimes
+/// keep their tick; type/const params are bare idents).
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Find the `struct` / `enum` / `union` keyword at top level.
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name after struct/enum keyword, got {other:?}"),
+    };
+    // Optional generics: collect `<` ... matching `>` as flat token text.
+    let mut params = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut current = String::new();
+        let mut keep = true; // stop copying after `:` or `=` within a param
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        if !current.is_empty() {
+                            params.push(current.clone());
+                        }
+                        current.clear();
+                        keep = true;
+                        continue;
+                    }
+                    ':' | '=' if depth == 1 => {
+                        keep = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if keep && depth >= 1 {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '\'' => current.push('\''),
+                    other => {
+                        current.push_str(&other.to_string());
+                    }
+                }
+            }
+        }
+        if !current.is_empty() {
+            params.push(current);
+        }
+    }
+    (name, params)
+}
+
+/// Renders `impl<...>` and `Name<...>` generic lists, optionally
+/// prepending an extra lifetime (the derive's `'de`) to the impl list.
+fn render_generics(params: &[String], extra: Option<&str>) -> (String, String) {
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics =
+        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    (impl_generics, ty_generics)
+}
