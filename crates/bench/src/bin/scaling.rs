@@ -24,7 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("scaling: {users} users x {tasks} tasks ...");
             let point = run_point(&Config::at(users, tasks));
             for arm in &point.arms {
-                eprintln!("  {:<16} {:>10.4} s", arm.arm.label(), arm.seconds);
+                eprintln!(
+                    "  {:<16} {:>10.4} s  (demand {:.4} s, pricing {:.4} s, \
+                     {} delta rounds, {} rebuilds)",
+                    arm.arm.label(),
+                    arm.seconds,
+                    arm.demand_seconds,
+                    arm.pricing_seconds,
+                    arm.delta_rounds,
+                    arm.rebuilds,
+                );
             }
             if !point.identical {
                 eprintln!("  ERROR: arms disagree at this point!");

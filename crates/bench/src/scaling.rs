@@ -20,6 +20,7 @@ use paydemand_core::demand::TaskObservation;
 use paydemand_core::neighbors::naive_counts;
 use paydemand_core::{DemandCache, DemandIndicator, DemandLevels, NeighborTracker, RewardSchedule};
 use paydemand_geo::{GridIndex, Point, Rect};
+use paydemand_obs::{Recorder, Span};
 use rand::{Rng, SeedableRng};
 
 /// One scaling point: population sizes plus workload shape.
@@ -98,6 +99,15 @@ pub struct ArmResult {
     pub counts_checksum: u64,
     /// Checksum over the bits of every round's rewards.
     pub rewards_checksum: u64,
+    /// Seconds spent counting neighbours (the demand sub-phase).
+    pub demand_seconds: f64,
+    /// Seconds spent computing demands and rewards (the pricing
+    /// sub-phase).
+    pub pricing_seconds: f64,
+    /// Incremental tracker: rounds served by the delta path.
+    pub delta_rounds: u64,
+    /// Incremental tracker: full index rebuilds.
+    pub rebuilds: u64,
 }
 
 /// All arms at one (users, tasks) point.
@@ -170,11 +180,26 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
     let mut counts_checksum = 0xcbf2_9ce4_8422_2325u64;
     let mut rewards_checksum = counts_checksum;
 
+    // Per-arm recorder: phase breakdown and tracker counters ride along
+    // with the wall-clock totals in BENCH_scaling.json.
+    let recorder = Recorder::enabled();
+    let phase_demand = recorder.histogram_with("round_phase_seconds", "phase", "demand");
+    let phase_pricing = recorder.histogram_with("round_phase_seconds", "phase", "pricing");
+    tracker.set_recorder(&recorder);
+    if arm == Arm::IndexedCached {
+        cache.set_instruments(
+            recorder.counter("demand_cache_hits_total"),
+            recorder.counter("demand_cache_misses_total"),
+            recorder.counter("demand_cache_dirty_total"),
+        );
+    }
+
     let started = Instant::now();
     for round in 1..=cfg.rounds {
         for &(user, location) in &w.moves[(round - 1) as usize] {
             users[user] = location;
         }
+        let demand_span = Span::on(&phase_demand);
         let counts: Vec<usize> = match arm {
             Arm::Naive => naive_counts(&w.task_locations, &users, cfg.radius),
             Arm::Rebuild => {
@@ -185,6 +210,8 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
                 tracker.counts(&users).expect("users in area").to_vec()
             }
         };
+        drop(demand_span);
+        let pricing_span = Span::on(&phase_pricing);
         let max_neighbors = counts.iter().copied().max().unwrap_or(0);
         for (task, &count) in counts.iter().enumerate() {
             counts_checksum = fold(counts_checksum, count as u64);
@@ -202,6 +229,7 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
             let reward = schedule.reward_for_demand(demand);
             rewards_checksum = fold(rewards_checksum, reward.to_bits());
         }
+        drop(pricing_span);
         // Deterministic progress: tasks near users fill up faster. Same
         // counts across arms → same progress across arms.
         for (task, &count) in counts.iter().enumerate() {
@@ -210,7 +238,24 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
         }
     }
     let seconds = started.elapsed().as_secs_f64();
-    ArmResult { arm, seconds, counts_checksum, rewards_checksum }
+
+    let snapshot = recorder.snapshot();
+    let phase_seconds = |phase: &str| {
+        snapshot
+            .histogram_snapshot("round_phase_seconds", Some(("phase", phase)))
+            .map_or(0.0, |h| h.sum as f64 / 1e9)
+    };
+    let counter = |name: &str| snapshot.counter_value(name, None).unwrap_or(0);
+    ArmResult {
+        arm,
+        seconds,
+        counts_checksum,
+        rewards_checksum,
+        demand_seconds: phase_seconds("demand"),
+        pricing_seconds: phase_seconds("pricing"),
+        delta_rounds: counter("neighbor_delta_rounds_total"),
+        rebuilds: counter("neighbor_rebuilds_total"),
+    }
 }
 
 /// Runs every arm at one point and cross-checks their outputs.
@@ -243,9 +288,14 @@ pub fn to_json(points: &[PointResult]) -> String {
         ));
         for (j, a) in p.arms.iter().enumerate() {
             out.push_str(&format!(
-                "{{\"arm\": \"{}\", \"seconds\": {:.6}}}",
+                "{{\"arm\": \"{}\", \"seconds\": {:.6}, \"demand_seconds\": {:.6}, \
+                 \"pricing_seconds\": {:.6}, \"delta_rounds\": {}, \"rebuilds\": {}}}",
                 a.arm.label(),
-                a.seconds
+                a.seconds,
+                a.demand_seconds,
+                a.pricing_seconds,
+                a.delta_rounds,
+                a.rebuilds,
             ));
             if j + 1 < p.arms.len() {
                 out.push_str(", ");
@@ -272,6 +322,21 @@ mod tests {
         assert!(point.identical, "arms disagreed: {point:?}");
         assert_eq!(point.arms.len(), 4);
         assert!(point.arms.iter().all(|a| a.seconds >= 0.0));
+        for a in &point.arms {
+            // The phases partition (most of) the measured loop.
+            assert!(a.demand_seconds >= 0.0 && a.pricing_seconds >= 0.0);
+            assert!(a.demand_seconds + a.pricing_seconds <= a.seconds + 1e-3, "{a:?}");
+            match a.arm {
+                Arm::Indexed | Arm::IndexedCached => {
+                    assert_eq!(a.rebuilds, 1, "one priming rebuild: {a:?}");
+                    assert_eq!(u64::from(tiny().rounds) - 1, a.delta_rounds, "{a:?}");
+                }
+                _ => {
+                    assert_eq!(a.delta_rounds, 0);
+                    assert_eq!(a.rebuilds, 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,11 @@ OPTIONS (both commands):
                        results; exists for benchmarking and debugging)
     --indexing MODE    incremental | rebuild | naive neighbour counting
                        (identical results; bench arms)  [default: incremental]
+    --metrics-out PATH write collected metrics to PATH (implies recording;
+                       round-phase latencies, cache and selector counters)
+    --metrics-format F prom | json exporter for --metrics-out [default: prom]
+    --profile          record metrics and print a latency/counter summary
+                       to stderr (identical simulation results either way)
 
 OPTIONS (run only):
     --mechanism NAME   on-demand | fixed | steered | steered-paper |
@@ -65,6 +70,30 @@ pub struct Options {
     pub reps: usize,
     /// Worker threads (`None` = one per available core).
     pub threads: Option<usize>,
+    /// Where to write collected metrics, if anywhere.
+    pub metrics_out: Option<String>,
+    /// Exporter for `metrics_out`.
+    pub metrics_format: MetricsFormat,
+    /// Print a profile summary to stderr after the run.
+    pub profile: bool,
+}
+
+impl Options {
+    /// Whether the run should record metrics at all.
+    #[must_use]
+    pub fn recording(&self) -> bool {
+        self.profile || self.metrics_out.is_some()
+    }
+}
+
+/// Exporter format for `--metrics-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition.
+    #[default]
+    Prometheus,
+    /// A flat JSON document.
+    Json,
 }
 
 /// Parses `argv` (without the program name).
@@ -83,11 +112,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut scenario = Scenario::paper_default().with_seed(24157);
     let mut reps = 10usize;
     let mut threads: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_format = MetricsFormat::default();
+    let mut profile = false;
 
     while let Some(flag) = it.next() {
         match flag {
             "--help" | "-h" => return Ok(Command::Help),
             "--enforce-budget" => scenario.enforce_budget = true,
+            "--profile" => profile = true,
             "--no-cache" => scenario.pricing_cache = PricingCacheMode::Disabled,
             "--preset" => {
                 let name = it.next().ok_or("--preset needs a name")?;
@@ -115,6 +148,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         let n: usize = parse_num(flag, value)?;
                         threads = if n == 0 { None } else { Some(n) };
                     }
+                    "--metrics-out" => metrics_out = Some(value.to_string()),
+                    "--metrics-format" => {
+                        metrics_format = match value {
+                            "prom" | "prometheus" => MetricsFormat::Prometheus,
+                            "json" => MetricsFormat::Json,
+                            other => return Err(format!("unknown metrics format `{other}`")),
+                        };
+                    }
                     "--indexing" => scenario.indexing = parse_indexing(value)?,
                     "--selector" => scenario.selector = parse_selector(value)?,
                     "--travel" => scenario.travel = parse_travel(value)?,
@@ -132,7 +173,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         return Err("--reps must be at least 1".into());
     }
     scenario.validate().map_err(|e| e.to_string())?;
-    let options = Options { scenario, reps, threads };
+    let options = Options { scenario, reps, threads, metrics_out, metrics_format, profile };
     Ok(match sub {
         "run" => Command::Run(options),
         _ => Command::Compare(options),
@@ -317,6 +358,37 @@ mod tests {
             .unwrap_err()
             .contains("unknown indexing mode"));
         assert!(parse(&argv("compare --no-cache --threads 2")).is_ok());
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let Command::Run(opts) =
+            parse(&argv("run --profile --metrics-out /tmp/m.json --metrics-format json")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(opts.profile);
+        assert_eq!(opts.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(opts.metrics_format, MetricsFormat::Json);
+        assert!(opts.recording());
+
+        let Command::Run(defaults) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!defaults.profile);
+        assert_eq!(defaults.metrics_out, None);
+        assert_eq!(defaults.metrics_format, MetricsFormat::Prometheus);
+        assert!(!defaults.recording());
+
+        let Command::Run(out_only) = parse(&argv("run --metrics-out /tmp/m.prom")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(out_only.recording(), "--metrics-out alone implies recording");
+
+        assert!(parse(&argv("compare --profile")).is_ok());
+        assert!(parse(&argv("run --metrics-format yaml"))
+            .unwrap_err()
+            .contains("unknown metrics format"));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Command implementations: run the engine, aggregate, print.
 
+use paydemand_obs::Recorder;
 use paydemand_sim::stats::Summary;
 use paydemand_sim::{metrics, runner, MechanismKind, SimError, SimulationResult};
 
-use crate::args::Options;
+use crate::args::{MetricsFormat, Options};
 
 /// One metric row of the output table.
 struct MetricRow {
@@ -48,7 +49,13 @@ pub fn run(options: &Options) -> Result<(), SimError> {
         options.scenario.max_rounds,
         options.reps,
     );
-    let results = runner::run_repetitions_parallel(&options.scenario, options.reps, threads)?;
+    let recorder = make_recorder(options);
+    let results = runner::run_repetitions_parallel_recorded(
+        &options.scenario,
+        options.reps,
+        threads,
+        &recorder,
+    )?;
     println!("{:-<52}", "");
     for row in METRICS {
         let summary = Summary::of(&runner::collect_metric(&results, row.extract));
@@ -60,7 +67,7 @@ pub fn run(options: &Options) -> Result<(), SimError> {
             row.unit
         );
     }
-    Ok(())
+    finish_metrics(options, &recorder)
 }
 
 /// `paydemand compare`: the three paper mechanisms side by side on
@@ -75,10 +82,12 @@ pub fn compare(options: &Options) -> Result<(), SimError> {
         options.scenario.max_rounds,
         options.reps,
     );
+    let recorder = make_recorder(options);
     let mut columns = Vec::new();
     for mechanism in MechanismKind::paper_lineup() {
         let scenario = options.scenario.clone().with_mechanism(mechanism);
-        let results = runner::run_repetitions_parallel(&scenario, options.reps, threads)?;
+        let results =
+            runner::run_repetitions_parallel_recorded(&scenario, options.reps, threads, &recorder)?;
         columns.push((mechanism.label(), results));
     }
     print!("{:<26}", "");
@@ -94,6 +103,36 @@ pub fn compare(options: &Options) -> Result<(), SimError> {
             print!("{:>16.3}", summary.mean);
         }
         println!();
+    }
+    finish_metrics(options, &recorder)
+}
+
+/// An enabled recorder when `--profile` or `--metrics-out` asked for
+/// one, else the inert no-op.
+fn make_recorder(options: &Options) -> Recorder {
+    if options.recording() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Writes `--metrics-out` and prints the `--profile` summary, if asked.
+fn finish_metrics(options: &Options, recorder: &Recorder) -> Result<(), SimError> {
+    if !options.recording() {
+        return Ok(());
+    }
+    let snapshot = recorder.snapshot();
+    if let Some(path) = &options.metrics_out {
+        let payload = match options.metrics_format {
+            MetricsFormat::Prometheus => snapshot.to_prometheus(),
+            MetricsFormat::Json => snapshot.to_json(),
+        };
+        std::fs::write(path, payload)
+            .map_err(|e| SimError::Io(format!("writing --metrics-out {path}: {e}")))?;
+    }
+    if options.profile {
+        eprint!("{}", snapshot.profile_table());
     }
     Ok(())
 }
@@ -133,6 +172,38 @@ mod tests {
     fn compare_executes_small_scenario() {
         let opts = options("compare --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy");
         compare(&opts).unwrap();
+    }
+
+    #[test]
+    fn run_with_profile_writes_metrics() {
+        let dir = std::env::temp_dir().join("paydemand-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("m.json");
+        let prom = dir.join("m.prom");
+        let opts = options(&format!(
+            "run --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy \
+             --profile --metrics-out {} --metrics-format json",
+            json.display()
+        ));
+        run(&opts).unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        for family in [
+            "round_phase_seconds",
+            "demand_cache_hits_total",
+            "neighbor_rebuilds_total",
+            "selector_solve_seconds",
+            "runner_jobs_total",
+        ] {
+            assert!(body.contains(family), "missing {family} in JSON metrics: {body}");
+        }
+        let opts = options(&format!(
+            "run --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy --metrics-out {}",
+            prom.display()
+        ));
+        run(&opts).unwrap();
+        let body = std::fs::read_to_string(&prom).unwrap();
+        assert!(body.contains("# TYPE round_phase_seconds summary"), "{body}");
+        assert!(body.contains("engine_runs_total 2"), "{body}");
     }
 
     #[test]

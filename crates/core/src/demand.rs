@@ -353,6 +353,13 @@ pub struct DemandCache {
     deadline_by_remaining: Vec<f64>,
     hits: u64,
     misses: u64,
+    /// Observability mirrors (no-ops unless wired to a live recorder):
+    /// `obs_hits` tracks [`hits`](Self::hits); cold lookups land in
+    /// `obs_misses` and stale-key recomputes in `obs_dirty`, so
+    /// `misses == obs_misses + obs_dirty` once wired.
+    obs_hits: paydemand_obs::Counter,
+    obs_misses: paydemand_obs::Counter,
+    obs_dirty: paydemand_obs::Counter,
 }
 
 impl DemandCache {
@@ -360,6 +367,21 @@ impl DemandCache {
     #[must_use]
     pub fn new() -> Self {
         DemandCache::default()
+    }
+
+    /// Wires the cache's lookups to observability counters: `hits` for
+    /// answered lookups, `misses` for cold entries, `dirty` for stale
+    /// entries whose key changed and had to be recomputed. Disabled
+    /// counters (the default) keep this a no-op.
+    pub fn set_instruments(
+        &mut self,
+        hits: paydemand_obs::Counter,
+        misses: paydemand_obs::Counter,
+        dirty: paydemand_obs::Counter,
+    ) {
+        self.obs_hits = hits;
+        self.obs_misses = misses;
+        self.obs_dirty = dirty;
     }
 
     /// Cached equivalent of [`DemandIndicator::normalized_demand`]:
@@ -392,10 +414,12 @@ impl DemandCache {
             }
             if self.deadline_by_remaining[idx].is_nan() {
                 self.misses += 1;
+                self.obs_misses.inc();
                 self.deadline_by_remaining[idx] =
                     indicator.criteria().deadline_demand(obs.deadline, round);
             } else {
                 self.hits += 1;
+                self.obs_hits.inc();
             }
             self.deadline_by_remaining[idx]
         } else {
@@ -409,10 +433,16 @@ impl DemandCache {
         let x2 = match self.progress[task] {
             Some((key, value)) if key == progress_key => {
                 self.hits += 1;
+                self.obs_hits.inc();
                 value
             }
-            _ => {
+            stale => {
                 self.misses += 1;
+                if stale.is_some() {
+                    self.obs_dirty.inc();
+                } else {
+                    self.obs_misses.inc();
+                }
                 let value = indicator.criteria().progress_demand(obs.received, obs.required);
                 self.progress[task] = Some((progress_key, value));
                 value
@@ -424,10 +454,16 @@ impl DemandCache {
         let x3 = match self.neighbors[task] {
             Some((key, value)) if key == neighbor_key => {
                 self.hits += 1;
+                self.obs_hits.inc();
                 value
             }
-            _ => {
+            stale => {
                 self.misses += 1;
+                if stale.is_some() {
+                    self.obs_dirty.inc();
+                } else {
+                    self.obs_misses.inc();
+                }
                 let value = indicator.criteria().neighbor_demand(obs.neighbors, max_neighbors);
                 self.neighbors[task] = Some((neighbor_key, value));
                 value

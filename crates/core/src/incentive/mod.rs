@@ -49,6 +49,14 @@ pub trait IncentiveMechanism: std::fmt::Debug {
     /// Prices every task in `ctx.tasks`, in order. Implementations must
     /// return exactly `ctx.tasks.len()` rewards.
     fn rewards(&mut self, ctx: &RoundContext, rng: &mut dyn RngCore) -> Vec<f64>;
+
+    /// Wires the mechanism's internals (caches, work counters) to an
+    /// observability recorder. The default is a no-op: most mechanisms
+    /// have nothing to report. Implementations must guarantee that a
+    /// recorder — enabled or not — never changes the rewards produced.
+    fn set_recorder(&mut self, recorder: &paydemand_obs::Recorder) {
+        let _ = recorder;
+    }
 }
 
 impl<T: IncentiveMechanism + ?Sized> IncentiveMechanism for Box<T> {
@@ -58,6 +66,10 @@ impl<T: IncentiveMechanism + ?Sized> IncentiveMechanism for Box<T> {
 
     fn rewards(&mut self, ctx: &RoundContext, rng: &mut dyn RngCore) -> Vec<f64> {
         (**self).rewards(ctx, rng)
+    }
+
+    fn set_recorder(&mut self, recorder: &paydemand_obs::Recorder) {
+        (**self).set_recorder(recorder);
     }
 }
 

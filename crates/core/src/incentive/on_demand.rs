@@ -207,6 +207,18 @@ impl IncentiveMechanism for OnDemandIncentive {
             .map(|d| self.schedule.reward_for_demand(d))
             .collect()
     }
+
+    /// Routes the demand cache's hit/miss/dirty accounting to
+    /// `demand_cache_{hits,misses,dirty}_total`. Counters only observe
+    /// lookups — they cannot perturb the cached values, so pricing is
+    /// unchanged.
+    fn set_recorder(&mut self, recorder: &paydemand_obs::Recorder) {
+        self.cache.set_instruments(
+            recorder.counter("demand_cache_hits_total"),
+            recorder.counter("demand_cache_misses_total"),
+            recorder.counter("demand_cache_dirty_total"),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -4,9 +4,13 @@
 //! within radius `R` of every task. Rebuilding a [`GridIndex`] over all
 //! user locations each round is `O(n)` even when almost nobody moved;
 //! [`NeighborTracker`] instead keeps a *static* grid over the task
-//! locations plus a *mutable* grid over the users, and turns each user
-//! movement into two localised queries: decrement the tasks around the
-//! old position, increment the tasks around the new one.
+//! locations and turns each user movement into two localised queries:
+//! decrement the tasks around the old position, increment the tasks
+//! around the new one. A grid over the *users* is built only for full
+//! recomputes (first round, population change) and discarded — the
+//! delta path never queries it, so maintaining it per move would be
+//! pure overhead (it measurably was: see the 10k-user crossover note in
+//! `EXPERIMENTS.md`).
 //!
 //! Both directions of the query go through [`GridIndex`]'s
 //! `within_radius` / `count_within`, and `Point::distance_squared` is
@@ -16,6 +20,7 @@
 //! battery in the test suite.
 
 use paydemand_geo::{GeoError, GridIndex, Point, Rect};
+use paydemand_obs::{Counter, Recorder};
 
 /// How the platform computes per-task neighbour counts each round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -45,13 +50,19 @@ pub struct NeighborTracker {
     /// outside the area (legal — counting still works via full
     /// recomputes, which don't need this index).
     task_index: Option<GridIndex>,
-    /// Mutable grid over user locations, kept in sync with `prev`.
-    user_index: Option<GridIndex>,
+    /// Whether a full recompute has seeded `prev`/`counts`.
+    primed: bool,
     /// User locations as of the last successful [`counts`](Self::counts).
     prev: Vec<Point>,
     counts: Vec<usize>,
     /// Users moved since the previous round (diagnostics for benches).
     moved_last_round: usize,
+    /// Rounds served by the delta path (no-op unless a recorder is wired).
+    obs_delta_rounds: Counter,
+    /// Moved users folded in via delta updates.
+    obs_delta_updates: Counter,
+    /// Full recomputes (first round, population changes, fallbacks).
+    obs_rebuilds: Counter,
 }
 
 impl NeighborTracker {
@@ -64,11 +75,24 @@ impl NeighborTracker {
             radius,
             task_locations,
             task_index,
-            user_index: None,
+            primed: false,
             prev: Vec::new(),
             counts: Vec::new(),
             moved_last_round: 0,
+            obs_delta_rounds: Counter::disabled(),
+            obs_delta_updates: Counter::disabled(),
+            obs_rebuilds: Counter::disabled(),
         }
+    }
+
+    /// Wires the tracker's delta-vs-rebuild accounting to a recorder:
+    /// `neighbor_delta_rounds_total`, `neighbor_delta_updates_total`
+    /// and `neighbor_rebuilds_total`. A disabled recorder keeps the
+    /// counters inert.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.obs_delta_rounds = recorder.counter("neighbor_delta_rounds_total");
+        self.obs_delta_updates = recorder.counter("neighbor_delta_updates_total");
+        self.obs_rebuilds = recorder.counter("neighbor_rebuilds_total");
     }
 
     /// Per-task neighbour counts for the given user locations.
@@ -90,11 +114,10 @@ impl NeighborTracker {
                 return Err(GeoError::OutOfBounds { point: p });
             }
         }
-        let incremental_ready = self.task_index.is_some()
-            && self.user_index.as_ref().is_some_and(|idx| idx.len() == users.len());
+        let incremental_ready =
+            self.primed && self.task_index.is_some() && self.prev.len() == users.len();
         if incremental_ready {
             let task_index = self.task_index.as_ref().expect("checked above");
-            let user_index = self.user_index.as_mut().expect("checked above");
             let mut moved = 0usize;
             for (i, &p) in users.iter().enumerate() {
                 let old = self.prev[i];
@@ -108,17 +131,21 @@ impl NeighborTracker {
                 for t in task_index.within_radius(p, self.radius) {
                     self.counts[t] += 1;
                 }
-                user_index.update_point(i, p).expect("location validated in-area");
                 self.prev[i] = p;
             }
             self.moved_last_round = moved;
+            self.obs_delta_rounds.inc();
+            self.obs_delta_updates.add(moved as u64);
         } else {
+            // The user grid exists only for this query burst; the delta
+            // path never consults it, so it is not kept up to date.
             let index = GridIndex::build(self.area, self.radius, users)?;
             self.counts =
                 self.task_locations.iter().map(|&t| index.count_within(t, self.radius)).collect();
             self.prev = users.to_vec();
             self.moved_last_round = users.len();
-            self.user_index = Some(index);
+            self.primed = true;
+            self.obs_rebuilds.inc();
         }
         Ok(&self.counts)
     }
@@ -218,6 +245,27 @@ mod tests {
         let counts = tracker.counts(&users_b).unwrap().to_vec();
         assert_eq!(counts, naive_counts(&tasks, &users_b, 200.0));
         assert_eq!(tracker.moved_last_round(), 55);
+    }
+
+    #[test]
+    fn recorder_counts_deltas_and_rebuilds() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut r = rng();
+        let tasks = sample(area, &mut r, 6);
+        let mut users = sample(area, &mut r, 40);
+        let mut tracker = NeighborTracker::new(area, 200.0, tasks);
+        let recorder = Recorder::enabled();
+        tracker.set_recorder(&recorder);
+        tracker.counts(&users).unwrap(); // full build
+        users[3] = area.sample_uniform(&mut r);
+        users[17] = area.sample_uniform(&mut r);
+        tracker.counts(&users).unwrap(); // delta round, 2 moves
+        let bigger = sample(area, &mut r, 41);
+        tracker.counts(&bigger).unwrap(); // population change → rebuild
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter_value("neighbor_rebuilds_total", None), Some(2));
+        assert_eq!(snap.counter_value("neighbor_delta_rounds_total", None), Some(1));
+        assert_eq!(snap.counter_value("neighbor_delta_updates_total", None), Some(2));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use paydemand_geo::{GeoError, GridIndex, Point, Rect};
+use paydemand_obs::{Histogram, Recorder, Span};
 
 use crate::incentive::IncentiveMechanism;
 use crate::neighbors::{naive_counts, IndexingMode, NeighborTracker};
@@ -93,6 +94,12 @@ pub struct Platform<M> {
     spend_cap: Option<f64>,
     /// Whether incomplete tasks stay published past their deadline.
     publish_expired: bool,
+    /// Observability handle; disabled (a true no-op) by default.
+    recorder: Recorder,
+    /// `round_phase_seconds{phase="demand"}` — neighbour recounting.
+    phase_demand: Histogram,
+    /// `round_phase_seconds{phase="pricing"}` — mechanism rewards.
+    phase_pricing: Histogram,
 }
 
 impl<M: IncentiveMechanism> Platform<M> {
@@ -143,7 +150,27 @@ impl<M: IncentiveMechanism> Platform<M> {
             total_paid: 0.0,
             spend_cap: None,
             publish_expired: true,
+            recorder: Recorder::disabled(),
+            phase_demand: Histogram::disabled(),
+            phase_pricing: Histogram::disabled(),
         })
+    }
+
+    /// Threads an observability recorder through the platform: the
+    /// `demand` and `pricing` sub-phases of
+    /// [`publish_round`](Self::publish_round) are timed into
+    /// `round_phase_seconds`, the neighbour tracker reports its
+    /// delta-vs-rebuild counts and the mechanism its cache statistics.
+    /// A disabled recorder (the default) records nothing and never
+    /// reads the clock, leaving behaviour bit-identical.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.recorder = recorder.clone();
+        self.phase_demand = recorder.histogram_with("round_phase_seconds", "phase", "demand");
+        self.phase_pricing = recorder.histogram_with("round_phase_seconds", "phase", "pricing");
+        if let Some(tracker) = &mut self.tracker {
+            tracker.set_recorder(recorder);
+        }
+        self.mechanism.set_recorder(recorder);
     }
 
     /// Controls whether incomplete tasks stay published after their
@@ -217,7 +244,9 @@ impl<M: IncentiveMechanism> Platform<M> {
         // Count neighbours before touching any round state so a bad
         // location leaves the platform unchanged (every mode validates
         // all locations up front, reporting the first offender).
+        let demand_span = Span::on(&self.phase_demand);
         let neighbor_counts = self.neighbor_counts(user_locations)?;
+        drop(demand_span);
         self.round += 1;
         self.round_open = true;
         for receipts in &mut self.round_receipts {
@@ -245,7 +274,9 @@ impl<M: IncentiveMechanism> Platform<M> {
             .collect();
 
         let ctx = RoundContext { round: self.round, tasks, max_neighbors };
+        let pricing_span = Span::on(&self.phase_pricing);
         let rewards = self.mechanism.rewards(&ctx, rng);
+        drop(pricing_span);
         debug_assert_eq!(rewards.len(), ctx.tasks.len(), "mechanism must price every task");
 
         self.current_rewards = vec![0.0; self.specs.len()];
@@ -272,8 +303,10 @@ impl<M: IncentiveMechanism> Platform<M> {
             IndexingMode::Incremental => {
                 if self.tracker.is_none() {
                     let task_locations = self.specs.iter().map(|s| s.location()).collect();
-                    self.tracker =
-                        Some(NeighborTracker::new(self.area, self.neighbor_radius, task_locations));
+                    let mut tracker =
+                        NeighborTracker::new(self.area, self.neighbor_radius, task_locations);
+                    tracker.set_recorder(&self.recorder);
+                    self.tracker = Some(tracker);
                 }
                 let tracker = self.tracker.as_mut().expect("initialised above");
                 Ok(tracker.counts(user_locations)?.to_vec())

@@ -1,6 +1,6 @@
 use paydemand_routing::branch_bound;
 
-use crate::selection::{SelectionOutcome, SelectionProblem, TaskSelector};
+use crate::selection::{SelectionOutcome, SelectionProblem, SolveStats, TaskSelector};
 use crate::CoreError;
 
 /// Exact selection by branch and bound (extension).
@@ -41,6 +41,21 @@ impl TaskSelector for BranchBoundSelector {
         let parts = problem.instance()?;
         let instance = parts.build(problem)?;
         Ok(problem.outcome_from(branch_bound::solve_branch_bound(&instance)))
+    }
+
+    fn select_with_stats(
+        &self,
+        problem: &SelectionProblem,
+    ) -> Result<(SelectionOutcome, SolveStats), CoreError> {
+        let parts = problem.instance()?;
+        let instance = parts.build(problem)?;
+        let (solution, bb) = branch_bound::solve_branch_bound_with_stats(&instance);
+        let stats = SolveStats {
+            states_expanded: bb.visited,
+            nodes_pruned: bb.pruned,
+            ..SolveStats::default()
+        };
+        Ok((problem.outcome_from(solution), stats))
     }
 }
 

@@ -1,6 +1,6 @@
 use paydemand_routing::orienteering;
 
-use crate::selection::{SelectionOutcome, SelectionProblem, TaskSelector};
+use crate::selection::{SelectionOutcome, SelectionProblem, SolveStats, TaskSelector};
 use crate::CoreError;
 
 /// The paper's optimal dynamic-programming task selection (§V-A).
@@ -42,6 +42,17 @@ impl TaskSelector for DpSelector {
         let instance = parts.build(problem)?;
         let solution = orienteering::solve_exact(&instance)?;
         Ok(problem.outcome_from(solution))
+    }
+
+    fn select_with_stats(
+        &self,
+        problem: &SelectionProblem,
+    ) -> Result<(SelectionOutcome, SolveStats), CoreError> {
+        let parts = problem.instance()?;
+        let instance = parts.build(problem)?;
+        let (solution, states) = orienteering::solve_exact_with_stats(&instance)?;
+        let stats = SolveStats { states_expanded: states, ..SolveStats::default() };
+        Ok((problem.outcome_from(solution), stats))
     }
 }
 

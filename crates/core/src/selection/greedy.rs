@@ -1,6 +1,6 @@
 use paydemand_routing::orienteering;
 
-use crate::selection::{SelectionOutcome, SelectionProblem, TaskSelector};
+use crate::selection::{SelectionOutcome, SelectionProblem, SolveStats, TaskSelector};
 use crate::CoreError;
 
 /// The paper's greedy task selection (§V-B, Theorem 3, `O(m²)`).
@@ -39,6 +39,17 @@ impl TaskSelector for GreedySelector {
         let instance = parts.build(problem)?;
         Ok(problem.outcome_from(orienteering::solve_greedy(&instance)))
     }
+
+    fn select_with_stats(
+        &self,
+        problem: &SelectionProblem,
+    ) -> Result<(SelectionOutcome, SolveStats), CoreError> {
+        let parts = problem.instance()?;
+        let instance = parts.build(problem)?;
+        let (solution, iterations) = orienteering::solve_greedy_with_stats(&instance);
+        let stats = SolveStats { iterations, ..SolveStats::default() };
+        Ok((problem.outcome_from(solution), stats))
+    }
 }
 
 /// Greedy selection polished by 2-opt route shortening, with the saved
@@ -59,6 +70,17 @@ impl TaskSelector for GreedyTwoOptSelector {
         let parts = problem.instance()?;
         let instance = parts.build(problem)?;
         Ok(problem.outcome_from(orienteering::solve_greedy_two_opt(&instance)))
+    }
+
+    fn select_with_stats(
+        &self,
+        problem: &SelectionProblem,
+    ) -> Result<(SelectionOutcome, SolveStats), CoreError> {
+        let parts = problem.instance()?;
+        let instance = parts.build(problem)?;
+        let (solution, iterations) = orienteering::solve_greedy_two_opt_with_stats(&instance);
+        let stats = SolveStats { iterations, ..SolveStats::default() };
+        Ok((problem.outcome_from(solution), stats))
     }
 }
 

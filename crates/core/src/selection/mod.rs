@@ -262,6 +262,22 @@ impl SelectionOutcome {
     }
 }
 
+/// Work counters from one selector solve, for the observability layer.
+/// Which fields are populated depends on the algorithm: the DP reports
+/// `states_expanded`, branch and bound reports `states_expanded`
+/// (nodes visited) and `nodes_pruned`, the greedy family reports
+/// `iterations`. The default [`TaskSelector::select_with_stats`] leaves
+/// everything zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// DP states stored / B&B search nodes visited.
+    pub states_expanded: u64,
+    /// Search nodes cut by a bound.
+    pub nodes_pruned: u64,
+    /// Heuristic selection passes.
+    pub iterations: u64,
+}
+
 /// A task-selection strategy.
 pub trait TaskSelector: std::fmt::Debug {
     /// A short, stable name for reports (e.g. `"dp"`, `"greedy"`).
@@ -274,6 +290,22 @@ pub trait TaskSelector: std::fmt::Debug {
     /// Implementations surface routing-layer failures (e.g. the DP's
     /// task-count cap) as [`CoreError::Routing`].
     fn select(&self, problem: &SelectionProblem) -> Result<SelectionOutcome, CoreError>;
+
+    /// [`select`](Self::select), also reporting how much work the solve
+    /// took. The default delegates and reports zeros; selectors with
+    /// meaningful counters override it. Implementations must return the
+    /// exact outcome [`select`](Self::select) would — stats reporting
+    /// may never change the decision.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`select`](Self::select).
+    fn select_with_stats(
+        &self,
+        problem: &SelectionProblem,
+    ) -> Result<(SelectionOutcome, SolveStats), CoreError> {
+        Ok((self.select(problem)?, SolveStats::default()))
+    }
 }
 
 impl<T: TaskSelector + ?Sized> TaskSelector for Box<T> {
@@ -283,6 +315,13 @@ impl<T: TaskSelector + ?Sized> TaskSelector for Box<T> {
 
     fn select(&self, problem: &SelectionProblem) -> Result<SelectionOutcome, CoreError> {
         (**self).select(problem)
+    }
+
+    fn select_with_stats(
+        &self,
+        problem: &SelectionProblem,
+    ) -> Result<(SelectionOutcome, SolveStats), CoreError> {
+        (**self).select_with_stats(problem)
     }
 }
 

@@ -1,0 +1,89 @@
+//! Zero-dependency instrumentation for the paydemand workspace.
+//!
+//! The workspace builds offline against vendored stubs, so the usual
+//! ecosystem crates (`tracing`, `metrics`, `prometheus`) are off the
+//! table. This crate hand-rolls the minimal observability toolkit the
+//! simulator needs:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars;
+//! * [`Histogram`] — log₂-bucketed `u64` distribution with p50/p90/p99
+//!   summaries, mergeable across threads;
+//! * [`Span`] — an RAII timer that records elapsed nanoseconds into a
+//!   histogram on drop;
+//! * [`Recorder`] — the handle everything threads through. A *disabled*
+//!   recorder (the default) is a true no-op: every instrument it hands
+//!   out holds no storage, records nothing, and never reads the clock,
+//!   so simulation results are bit-identical with metrics on or off;
+//! * [`Snapshot`] — a point-in-time copy of every registered metric,
+//!   exportable as Prometheus text exposition or a structured JSON
+//!   report, and renderable as a per-phase profile table.
+//!
+//! Instruments are cheap clones of `Arc`'d atomics, so one enabled
+//! recorder can be shared across worker threads and aggregates
+//! automatically — no per-thread registries to merge.
+//!
+//! # Units
+//!
+//! Histograms record raw `u64` values. By convention, span timers feed
+//! nanoseconds into histograms whose names end in `_seconds`; both
+//! exporters (and the profile table) divide values of such histograms
+//! by 10⁹ on output so the exposition obeys Prometheus' base-unit rule.
+//! Histograms with any other name suffix are exported unscaled.
+//!
+//! # Metric names
+//!
+//! The simulator registers the following families (label keys in
+//! braces):
+//!
+//! | Metric | Kind | Meaning |
+//! |---|---|---|
+//! | `round_phase_seconds{phase}` | histogram | Per-round latency of one engine phase: `demand` (neighbour recount), `pricing` (mechanism reward computation), `selection` (per-user solver calls), `settlement` (submission + payment), `movement` (inter-round motion). |
+//! | `engine_round_seconds` | histogram | Whole-round latency. |
+//! | `engine_rounds_total` | counter | Sensing rounds executed. |
+//! | `engine_runs_total` | counter | Complete simulation runs. |
+//! | `demand_cache_hits_total` | counter | `DemandCache` memo hits (any criterion). |
+//! | `demand_cache_misses_total` | counter | `DemandCache` cold misses (no memo entry). |
+//! | `demand_cache_dirty_total` | counter | `DemandCache` stale memo entries recomputed (key changed). |
+//! | `neighbor_delta_rounds_total` | counter | Rounds served by the incremental delta path of `NeighborTracker`. |
+//! | `neighbor_delta_updates_total` | counter | Moved users folded in via delta updates. |
+//! | `neighbor_rebuilds_total` | counter | Full spatial-index rebuilds. |
+//! | `selector_solves_total{selector}` | counter | Task-selection solves per selector. |
+//! | `selector_solve_seconds{selector}` | histogram | Per-solve latency per selector. |
+//! | `selector_states_expanded_total{selector}` | counter | DP states materialised / B&B nodes visited. |
+//! | `selector_nodes_pruned_total{selector}` | counter | B&B subtrees cut by the optimistic bound. |
+//! | `selector_iterations_total{selector}` | counter | Greedy extension steps. |
+//! | `runner_jobs_total` | counter | Scenario jobs executed by the parallel runner. |
+//! | `runner_job_seconds` | histogram | Per-job wall time in the parallel runner. |
+//! | `runner_queue_depth` | gauge | Jobs still queued (drains to 0). |
+//! | `runner_threads` | gauge | Worker threads of the last batch. |
+//!
+//! # Example
+//!
+//! ```
+//! use paydemand_obs::Recorder;
+//!
+//! let recorder = Recorder::enabled();
+//! let hits = recorder.counter("demand_cache_hits_total");
+//! hits.add(3);
+//! {
+//!     let _span = recorder.span_with("round_phase_seconds", "phase", "pricing");
+//!     // ... timed work ...
+//! }
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.counter_value("demand_cache_hits_total", None), Some(3));
+//! let text = snapshot.to_prometheus();
+//! assert!(text.contains("demand_cache_hits_total 3"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, clippy::pedantic)]
+#![allow(clippy::module_name_repetitions, clippy::must_use_candidate)]
+
+mod export;
+mod metrics;
+mod recorder;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use recorder::{MetricKey, Recorder, Snapshot, Span};

@@ -1,0 +1,471 @@
+//! The atomic instruments: counters, gauges and log₂-bucketed
+//! histograms.
+//!
+//! Every instrument is a cheap clone of an optional `Arc`'d cell. The
+//! `None` state is the *disabled* instrument: all writes are no-ops and
+//! no storage is touched, which is what lets a disabled
+//! [`Recorder`](crate::Recorder) guarantee bit-identical simulation
+//! output.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `i < BUCKETS − 1` holds values
+/// whose base-2 logarithm floors to `i`; the last bucket is the
+/// overflow bucket for everything at or above `2^(BUCKETS−1)` (≈ 9
+/// minutes when recording nanoseconds).
+pub const BUCKETS: usize = 40;
+
+/// The bucket a value lands in: `min(BUCKETS − 1, ⌊log₂ max(v, 1)⌋)`.
+///
+/// Values 0 and 1 share bucket 0; bucket `i ≥ 1` covers
+/// `[2^i, 2^(i+1))`; the final bucket absorbs the overflow tail.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < 2 {
+        0
+    } else {
+        (value.ilog2() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive `[lower, upper]` value bounds of bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (0, 1)
+    } else if i == BUCKETS - 1 {
+        (1u64 << i, u64::MAX)
+    } else {
+        (1u64 << i, (1u64 << (i + 1)) - 1)
+    }
+}
+
+/// A monotonically increasing atomic counter.
+///
+/// Cloning shares the underlying cell. The default (disabled) counter
+/// ignores all writes and reads as 0.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A disabled counter: `inc`/`add` are no-ops, `get` returns 0.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Self {
+        Counter { cell: Some(cell) }
+    }
+
+    /// Whether writes actually land somewhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// An atomic gauge: a signed value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// A disabled gauge: writes are no-ops, `get` returns 0.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicI64>) -> Self {
+        Gauge { cell: Some(cell) }
+    }
+
+    /// Whether writes actually land somewhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCells {
+    pub(crate) fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A log₂-bucketed distribution of `u64` values.
+///
+/// Recording is lock-free (one `fetch_add` per field); summaries come
+/// from [`Histogram::snapshot`]. Span timers feed nanoseconds in — see
+/// the crate docs for the `_seconds` naming convention.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    cells: Option<Arc<HistogramCells>>,
+}
+
+impl Histogram {
+    /// A disabled histogram: `record` is a no-op, the snapshot is empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Histogram { cells: None }
+    }
+
+    pub(crate) fn live(cells: Arc<HistogramCells>) -> Self {
+        Histogram { cells: Some(cells) }
+    }
+
+    /// Whether records actually land somewhere. [`Span`](crate::Span)
+    /// uses this to skip the clock entirely on the disabled path.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cells.is_some()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(cells) = &self.cells {
+            cells.record(value);
+        }
+    }
+
+    /// Records a duration as nanoseconds (saturating past `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        if self.is_enabled() {
+            self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A point-in-time copy of the distribution. Under concurrent
+    /// writers the fields are read independently and may be off by the
+    /// in-flight records; quiesce writers for exact numbers.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cells.as_ref().map_or_else(HistogramSnapshot::empty, |cells| cells.snapshot())
+    }
+}
+
+/// A frozen copy of a [`Histogram`], with summary math and merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value; `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest observed value; 0 when empty.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The snapshot of a histogram that has seen nothing.
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of observations (0 when empty).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`).
+    ///
+    /// Finds the bucket holding the rank-`⌈q·count⌉` observation and
+    /// interpolates linearly inside it, then clamps the estimate into
+    /// the observed `[min, max]` — so a single-valued histogram reports
+    /// every quantile exactly. Returns 0 when empty.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let pos = rank - seen; // 1..=n within this bucket
+                let est = lo
+                    + u64::try_from(u128::from(hi - lo) * u128::from(pos) / u128::from(n))
+                        .unwrap_or(u64::MAX);
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// The median estimate.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// The 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// The 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Combines two snapshots (e.g. from per-thread recorders).
+    ///
+    /// Bucket counts, `count` and `sum` add (saturating); `min`/`max`
+    /// take the extremes. Merging is commutative and associative, so
+    /// any fold order over a set of thread-local snapshots yields the
+    /// same aggregate.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_add(other.buckets[i])),
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        // 0 and 1 share the first bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        // Powers of two open their bucket; one-below closes the prior.
+        for i in 1..BUCKETS - 1 {
+            let lo = 1u64 << i;
+            assert_eq!(bucket_index(lo), i, "2^{i} lower bound");
+            assert_eq!(bucket_index(lo - 1), i - 1, "2^{i}-1 upper bound");
+            assert_eq!(bucket_index(2 * lo - 1), i, "2^{}−1 stays in bucket {i}", i + 1);
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_catches_the_tail() {
+        let last = BUCKETS - 1;
+        let threshold = 1u64 << last;
+        assert_eq!(bucket_index(threshold - 1), last - 1);
+        assert_eq!(bucket_index(threshold), last);
+        assert_eq!(bucket_index(u64::MAX), last);
+        assert_eq!(bucket_bounds(last), (threshold, u64::MAX));
+    }
+
+    #[test]
+    fn bounds_and_index_agree() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn disabled_instruments_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(7);
+        g.add(3);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::disabled();
+        h.record(42);
+        h.record_duration(Duration::from_secs(1));
+        assert!(h.snapshot().is_empty());
+        assert!(!c.is_enabled() && !g.is_enabled() && !h.is_enabled());
+    }
+
+    #[test]
+    fn histogram_summary_math() {
+        let h = Histogram::live(Arc::new(HistogramCells::new()));
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+        // p99 rank = ceil(0.99·5) = 5 → the top bucket, clamped to max.
+        assert_eq!(s.p99(), 1000);
+        // p50 rank = 3 → bucket of value 3.
+        assert_eq!(bucket_index(s.p50()), bucket_index(3));
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let h = Histogram::live(Arc::new(HistogramCells::new()));
+        h.record(777);
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 777);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = HistogramSnapshot::empty();
+        assert!(s.is_empty());
+        assert!(s.mean().abs() < f64::EPSILON);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        // Simulate three per-thread shards with disjoint value ranges
+        // (including the overflow bucket) and fold them in every order.
+        let shard = |values: &[u64]| {
+            let h = Histogram::live(Arc::new(HistogramCells::new()));
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = shard(&[0, 1, 5, 9]);
+        let b = shard(&[1 << 20, (1 << 21) - 1]);
+        let c = shard(&[u64::MAX, 1 << (BUCKETS - 1), 3]);
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left, c.merge(&a).merge(&b), "merge must be commutative");
+        assert_eq!(left.count, 9);
+        assert_eq!(left.min, 0);
+        assert_eq!(left.max, u64::MAX);
+        // Merging the identity changes nothing.
+        assert_eq!(left.merge(&HistogramSnapshot::empty()), left);
+    }
+
+    #[test]
+    fn shared_histogram_aggregates_across_threads() {
+        let h = Histogram::live(Arc::new(HistogramCells::new()));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

@@ -1,0 +1,389 @@
+//! The [`Recorder`] handle, RAII [`Span`] timers, and [`Snapshot`]s.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, HistogramSnapshot};
+
+/// A metric's identity: family name plus at most one `key="value"`
+/// label pair. Ordered, so registries and exports are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Family name, e.g. `round_phase_seconds`.
+    pub name: String,
+    /// Optional label, e.g. `("phase", "pricing")`.
+    pub label: Option<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, label: Option<(&str, &str)>) -> Self {
+        MetricKey { name: name.to_owned(), label: label.map(|(k, v)| (k.to_owned(), v.to_owned())) }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<HistogramCells>>>,
+}
+
+/// The instrumentation handle that threads through the simulator.
+///
+/// `Recorder::disabled()` (also [`Default`]) is a true no-op: the
+/// instruments it hands out hold no storage, record nothing and never
+/// read the clock. `Recorder::enabled()` allocates a registry; clones
+/// share it, so handing the same recorder to several worker threads
+/// aggregates their metrics automatically.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Recorder {
+    /// The no-op recorder.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { registry: None }
+    }
+
+    /// A live recorder with an empty registry.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Recorder { registry: Some(Arc::new(Registry::default())) }
+    }
+
+    /// Whether instruments handed out by this recorder actually record.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The counter named `name` (registered on first use).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_labeled(name, None)
+    }
+
+    /// The counter named `name` with one `key="value"` label.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, key: &str, value: &str) -> Counter {
+        self.counter_labeled(name, Some((key, value)))
+    }
+
+    fn counter_labeled(&self, name: &str, label: Option<(&str, &str)>) -> Counter {
+        match &self.registry {
+            None => Counter::disabled(),
+            Some(registry) => {
+                let mut map = registry.counters.lock().expect("counter registry poisoned");
+                let cell =
+                    map.entry(MetricKey::new(name, label)).or_insert_with(Arc::default).clone();
+                Counter::live(cell)
+            }
+        }
+    }
+
+    /// The gauge named `name` (registered on first use).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_labeled(name, None)
+    }
+
+    /// The gauge named `name` with one `key="value"` label.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, key: &str, value: &str) -> Gauge {
+        self.gauge_labeled(name, Some((key, value)))
+    }
+
+    fn gauge_labeled(&self, name: &str, label: Option<(&str, &str)>) -> Gauge {
+        match &self.registry {
+            None => Gauge::disabled(),
+            Some(registry) => {
+                let mut map = registry.gauges.lock().expect("gauge registry poisoned");
+                let cell =
+                    map.entry(MetricKey::new(name, label)).or_insert_with(Arc::default).clone();
+                Gauge::live(cell)
+            }
+        }
+    }
+
+    /// The histogram named `name` (registered on first use).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_labeled(name, None)
+    }
+
+    /// The histogram named `name` with one `key="value"` label.
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, key: &str, value: &str) -> Histogram {
+        self.histogram_labeled(name, Some((key, value)))
+    }
+
+    fn histogram_labeled(&self, name: &str, label: Option<(&str, &str)>) -> Histogram {
+        match &self.registry {
+            None => Histogram::disabled(),
+            Some(registry) => {
+                let mut map = registry.histograms.lock().expect("histogram registry poisoned");
+                let cells = map
+                    .entry(MetricKey::new(name, label))
+                    .or_insert_with(|| Arc::new(HistogramCells::new()))
+                    .clone();
+                Histogram::live(cells)
+            }
+        }
+    }
+
+    /// Starts an RAII timer recording into the histogram named `name`
+    /// when dropped. On a disabled recorder the span never reads the
+    /// clock.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span {
+        Span::on(&self.histogram(name))
+    }
+
+    /// Starts an RAII timer on a labeled histogram.
+    #[must_use]
+    pub fn span_with(&self, name: &str, key: &str, value: &str) -> Span {
+        Span::on(&self.histogram_with(name, key, value))
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by
+    /// [`MetricKey`]. Empty for a disabled recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registry mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(registry) = &self.registry else {
+            return Snapshot::default();
+        };
+        let counters = registry
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(key, cell)| (key.clone(), cell.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect();
+        let gauges = registry
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(key, cell)| (key.clone(), cell.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect();
+        let histograms = registry
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(key, cells)| (key.clone(), Histogram::live(cells.clone()).snapshot()))
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+}
+
+/// An RAII phase timer: started by [`Recorder::span`] (or
+/// [`Span::on`]), it records the elapsed nanoseconds into its histogram
+/// when dropped. On a disabled histogram it is fully inert — no clock
+/// reads, no records.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a timer that records into `histogram` on drop.
+    #[must_use]
+    pub fn on(histogram: &Histogram) -> Self {
+        let start = histogram.is_enabled().then(Instant::now);
+        Span { histogram: histogram.clone(), start }
+    }
+
+    /// Stops the timer without recording.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.histogram.record_duration(start.elapsed());
+        }
+    }
+}
+
+/// A frozen, ordered copy of a recorder's registry. Produced by
+/// [`Recorder::snapshot`]; consumed by the exporters in this crate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters, sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauges, sorted by key.
+    pub gauges: Vec<(MetricKey, i64)>,
+    /// Histograms, sorted by key.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name and optional `(key, value)` label.
+    #[must_use]
+    pub fn counter_value(&self, name: &str, label: Option<(&str, &str)>) -> Option<u64> {
+        let key = MetricKey::new(name, label);
+        self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name and optional `(key, value)` label.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str, label: Option<(&str, &str)>) -> Option<i64> {
+        let key = MetricKey::new(name, label);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name and optional `(key, value)` label.
+    #[must_use]
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        label: Option<(&str, &str)>,
+    ) -> Option<&HistogramSnapshot> {
+        let key = MetricKey::new(name, label);
+        self.histograms.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Merges two snapshots: counters and histogram contents add,
+    /// gauges take `other`'s value on collision (last writer wins).
+    #[must_use]
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut counters: BTreeMap<MetricKey, u64> = self.counters.iter().cloned().collect();
+        for (key, v) in &other.counters {
+            *counters.entry(key.clone()).or_insert(0) += v;
+        }
+        let mut gauges: BTreeMap<MetricKey, i64> = self.gauges.iter().cloned().collect();
+        for (key, v) in &other.gauges {
+            gauges.insert(key.clone(), *v);
+        }
+        let mut histograms: BTreeMap<MetricKey, HistogramSnapshot> =
+            self.histograms.iter().cloned().collect();
+        for (key, snap) in &other.histograms {
+            let merged = histograms.get(key).map_or_else(|| *snap, |existing| existing.merge(snap));
+            histograms.insert(key.clone(), merged);
+        }
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_hands_out_inert_instruments() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x_total");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        {
+            let _span = r.span("x_seconds");
+        }
+        assert_eq!(r.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn instruments_share_cells_by_key() {
+        let r = Recorder::enabled();
+        r.counter("jobs_total").inc();
+        r.counter("jobs_total").add(2);
+        r.counter_with("solve_total", "selector", "dp").inc();
+        r.counter_with("solve_total", "selector", "greedy").add(4);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("jobs_total", None), Some(3));
+        assert_eq!(snap.counter_value("solve_total", Some(("selector", "dp"))), Some(1));
+        assert_eq!(snap.counter_value("solve_total", Some(("selector", "greedy"))), Some(4));
+        assert_eq!(snap.counter_value("missing", None), None);
+    }
+
+    #[test]
+    fn span_records_into_its_histogram() {
+        let r = Recorder::enabled();
+        {
+            let _span = r.span_with("phase_seconds", "phase", "pricing");
+        }
+        {
+            let span = r.span_with("phase_seconds", "phase", "pricing");
+            span.cancel();
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram_snapshot("phase_seconds", Some(("phase", "pricing"))).unwrap();
+        assert_eq!(h.count, 1, "cancelled span must not record");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let r = Recorder::enabled();
+        let clone = r.clone();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let local = clone.clone();
+                scope.spawn(move || local.counter("shared_total").add(10));
+            }
+        });
+        assert_eq!(r.snapshot().counter_value("shared_total", None), Some(40));
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let r = Recorder::enabled();
+        let g = r.gauge("depth");
+        g.set(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(r.snapshot().gauge_value("depth", None), Some(7));
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let a = Recorder::enabled();
+        a.counter("c_total").add(2);
+        a.histogram("h").record(10);
+        a.gauge("g").set(1);
+        let b = Recorder::enabled();
+        b.counter("c_total").add(3);
+        b.counter("only_b_total").inc();
+        b.histogram("h").record(20);
+        b.gauge("g").set(9);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.counter_value("c_total", None), Some(5));
+        assert_eq!(merged.counter_value("only_b_total", None), Some(1));
+        assert_eq!(merged.gauge_value("g", None), Some(9));
+        let h = merged.histogram_snapshot("h", None).unwrap();
+        assert_eq!((h.count, h.sum), (2, 30));
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let r = Recorder::enabled();
+        for name in ["zebra_total", "alpha_total", "mid_total"] {
+            r.counter(name).inc();
+        }
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

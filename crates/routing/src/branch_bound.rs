@@ -36,15 +36,32 @@ use crate::orienteering::{Instance, Solution};
 /// ```
 #[must_use]
 pub fn solve_branch_bound(instance: &Instance<'_>) -> Solution {
+    solve_branch_bound_with_stats(instance).0
+}
+
+/// Search-effort counters from one branch-and-bound solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchBoundStats {
+    /// Nodes (partial routes) the depth-first search entered.
+    pub visited: u64,
+    /// Nodes cut by the optimistic completion bound.
+    pub pruned: u64,
+}
+
+/// [`solve_branch_bound`], also reporting how many search nodes were
+/// visited and how many the bound pruned.
+#[must_use]
+pub fn solve_branch_bound_with_stats(instance: &Instance<'_>) -> (Solution, BranchBoundStats) {
     let m = instance.costs().tasks();
     let mut search = Search {
         instance,
         selected: vec![false; m],
         order: Vec::with_capacity(m),
         best: Solution::stay_home(),
+        stats: BranchBoundStats::default(),
     };
     search.dfs(0.0, 0.0);
-    search.best
+    (search.best, search.stats)
 }
 
 struct Search<'a, 'b> {
@@ -52,12 +69,14 @@ struct Search<'a, 'b> {
     selected: Vec<bool>,
     order: Vec<usize>,
     best: Solution,
+    stats: BranchBoundStats,
 }
 
 impl Search<'_, '_> {
     /// `distance` is pure travel; `loaded` adds service and is what the
     /// budget constrains.
     fn dfs(&mut self, distance: f64, reward: f64) {
+        self.stats.visited += 1;
         let inst = self.instance;
         let rate = inst.cost_per_meter();
         let profit = reward - rate * distance;
@@ -73,6 +92,7 @@ impl Search<'_, '_> {
             .map(|j| inst.rewards()[j])
             .sum();
         if profit + optimistic <= self.best.profit {
+            self.stats.pruned += 1;
             return;
         }
         for j in 0..inst.costs().tasks() {

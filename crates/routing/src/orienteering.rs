@@ -209,7 +209,19 @@ impl Default for Solution {
 /// Returns [`RoutingError::TooManyTasks`] past
 /// [`MAX_TASKS`](crate::subset_dp::MAX_TASKS) tasks.
 pub fn solve_exact(instance: &Instance<'_>) -> Result<Solution, RoutingError> {
+    solve_exact_with_stats(instance).map(|(solution, _)| solution)
+}
+
+/// [`solve_exact`], also reporting the number of finite DP states the
+/// budget-pruned table stored (the solver's actual work; feeds the
+/// `selector_states_expanded_total` metric).
+///
+/// # Errors
+///
+/// Same as [`solve_exact`].
+pub fn solve_exact_with_stats(instance: &Instance<'_>) -> Result<(Solution, u64), RoutingError> {
     let dp = subset_dp::solve(instance.costs, instance.distance_budget)?;
+    let states = dp.state_count();
     let mut best = Solution::stay_home();
     for mask in dp.feasible_masks() {
         let distance = dp.shortest(mask).expect("feasible mask has a length");
@@ -227,7 +239,7 @@ pub fn solve_exact(instance: &Instance<'_>) -> Result<Solution, RoutingError> {
             best = Solution { order, distance, reward, profit };
         }
     }
-    Ok(best)
+    Ok((best, states))
 }
 
 /// The paper's greedy task selection (§V-B, Theorem 3, `O(m²)`).
@@ -238,12 +250,22 @@ pub fn solve_exact(instance: &Instance<'_>) -> Result<Solution, RoutingError> {
 /// budget; stop when "no satisfied task can be found".
 #[must_use]
 pub fn solve_greedy(instance: &Instance<'_>) -> Solution {
+    solve_greedy_with_stats(instance).0
+}
+
+/// [`solve_greedy`], also reporting the number of selection passes the
+/// outer loop made (each scans every unselected task; the count is one
+/// more than the tasks chosen, for the final pass that finds nothing).
+#[must_use]
+pub fn solve_greedy_with_stats(instance: &Instance<'_>) -> (Solution, u64) {
     let m = instance.costs.tasks();
     let mut selected = vec![false; m];
     let mut order: Vec<usize> = Vec::new();
     let mut traveled = 0.0;
     let mut loaded = 0.0; // travel + service, against the budget
+    let mut iterations: u64 = 0;
     loop {
+        iterations += 1;
         let mut best: Option<(usize, f64, f64)> = None; // (task, detour, marginal)
                                                         // The index *is* the task id here; an enumerate() over the flag
                                                         // vector would obscure that.
@@ -277,7 +299,7 @@ pub fn solve_greedy(instance: &Instance<'_>) -> Solution {
             }
         }
     }
-    Solution::from_order(order, instance)
+    (Solution::from_order(order, instance), iterations)
 }
 
 /// Greedy selection followed by 2-opt route shortening, looped until no
@@ -289,16 +311,25 @@ pub fn solve_greedy(instance: &Instance<'_>) -> Solution {
 /// DP-vs-greedy gap cheap local search recovers.
 #[must_use]
 pub fn solve_greedy_two_opt(instance: &Instance<'_>) -> Solution {
-    let mut solution = solve_greedy(instance);
+    solve_greedy_two_opt_with_stats(instance).0
+}
+
+/// [`solve_greedy_two_opt`], also reporting the total selection passes:
+/// the seeding greedy's passes plus one per 2-opt polish round.
+#[must_use]
+pub fn solve_greedy_two_opt_with_stats(instance: &Instance<'_>) -> (Solution, u64) {
+    let (mut solution, mut iterations) = solve_greedy_with_stats(instance);
     loop {
+        iterations += 1;
         let improved_order = two_opt::improve(instance.costs, solution.order.clone());
         let improved = Solution::from_order(improved_order, instance);
         let extended = extend_greedily(instance, improved);
         if extended.order.len() == solution.order.len() && extended.profit <= solution.profit {
-            return if extended.profit > solution.profit { extended } else { solution };
+            let best = if extended.profit > solution.profit { extended } else { solution };
+            return (best, iterations);
         }
         if extended.profit <= solution.profit {
-            return solution;
+            return (solution, iterations);
         }
         solution = extended;
     }

@@ -204,6 +204,17 @@ impl SubsetDp {
     pub fn feasible_mask_count(&self) -> usize {
         self.states.len()
     }
+
+    /// Total number of finite `(mask, ending-task)` states the DP
+    /// stored — the work the solver actually performed after budget
+    /// pruning. Feeds the `selector_states_expanded_total` metric.
+    #[must_use]
+    pub fn state_count(&self) -> u64 {
+        self.states
+            .values()
+            .map(|row| row.iter().filter(|s| s.dist.is_finite()).count() as u64)
+            .sum()
+    }
 }
 
 #[cfg(test)]

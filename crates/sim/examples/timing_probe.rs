@@ -1,40 +1,58 @@
 //! Quick timing probe for the figure harness (not part of the library).
+//!
+//! Runs each configuration with an enabled [`Recorder`] and prints the
+//! per-phase profile table instead of a single wall-clock number, so
+//! the probe doubles as a smoke test of the instrumentation layer.
+use paydemand_obs::Recorder;
 use paydemand_sim::{engine, metrics, MechanismKind, Scenario, SelectorKind};
-use std::time::Instant;
 
 fn main() {
-    // Exact DP (no cap) timing.
+    // Exact DP (no cap) timing, with the full phase breakdown.
     let s = Scenario::paper_default().with_selector(SelectorKind::exact_dp()).with_seed(1);
-    let t = Instant::now();
-    let r = engine::run(&s).unwrap();
-    println!("exact-dp: {:?}, coverage {:.2}", t.elapsed(), r.coverage());
+    let recorder = Recorder::enabled();
+    let r = engine::run_recorded(&s, &recorder).unwrap();
+    let snap = recorder.snapshot();
+    let round_sum =
+        snap.histogram_snapshot("engine_round_seconds", None).map_or(0.0, |h| h.sum as f64 / 1e9);
+    println!("exact-dp: {round_sum:.4} s over rounds, coverage {:.2}", r.coverage());
+    print!("{}", snap.profile_table());
 
-    // Mechanism differentiation at 100 users, dp-cap14.
+    // Mechanism differentiation at 100 users, dp-cap14. One recorder
+    // spans all reps of a mechanism, so the solve histograms aggregate.
     for mech in [MechanismKind::OnDemand, MechanismKind::Fixed, MechanismKind::Steered] {
         let mut cov = 0.0;
         let mut comp = 0.0;
         let mut var = 0.0;
         let mut rpm = 0.0;
         let reps = 20;
+        let recorder = Recorder::enabled();
         for rep in 0..reps {
             let s = Scenario::paper_default()
                 .with_mechanism(mech)
                 .with_seed(paydemand_sim::runner::rep_seed(7, rep))
                 .with_selector(SelectorKind::Dp { candidate_cap: Some(14) });
-            let r = engine::run(&s).unwrap();
+            let r = engine::run_recorded(&s, &recorder).unwrap();
             cov += 100.0 * r.coverage();
             comp += 100.0 * r.completeness();
             var += metrics::measurement_variance(&r);
             rpm += metrics::average_reward_per_measurement(&r);
         }
         let n = reps as f64;
+        let snap = recorder.snapshot();
+        let solves = snap.counter_value("selector_solves_total", Some(("selector", "dp")));
+        let solve_secs = snap
+            .histogram_snapshot("selector_solve_seconds", Some(("selector", "dp")))
+            .map_or(0.0, |h| h.sum as f64 / 1e9);
         println!(
-            "{:>10}: coverage {:.1}%  completeness {:.1}%  variance {:.1}  reward/meas {:.3}",
+            "{:>10}: coverage {:.1}%  completeness {:.1}%  variance {:.1}  reward/meas {:.3}  \
+             ({} dp solves, {:.4} s)",
             format!("{mech:?}"),
             cov / n,
             comp / n,
             var / n,
-            rpm / n
+            rpm / n,
+            solves.unwrap_or(0),
+            solve_secs,
         );
     }
 }

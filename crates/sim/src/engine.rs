@@ -16,6 +16,7 @@
 //! counts stay ≤ φ (see EXPERIMENTS.md, "Assumptions").
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -34,6 +35,7 @@ use paydemand_core::{Platform, PublishedTask, TaskId, UserId};
 use paydemand_geo::mobility::{MobilityState, RandomWaypoint};
 use paydemand_geo::network::RoadNetwork;
 use paydemand_geo::{Point, Rect};
+use paydemand_obs::{Counter, Histogram, Recorder, Span};
 use paydemand_routing::CostMatrix;
 
 use crate::{
@@ -218,10 +220,69 @@ impl SimulationResult {
 /// * [`SimError::Core`] if the domain layer rejects an operation (e.g.
 ///   the uncapped exact DP refusing too many candidate tasks).
 pub fn run(scenario: &Scenario) -> Result<SimulationResult, SimError> {
+    run_recorded(scenario, &Recorder::disabled())
+}
+
+/// [`run`], with the engine's phase timings, mechanism cache counters
+/// and selector work counters reported to `recorder`. A disabled
+/// recorder makes this exactly [`run`]: no clock reads, no storage, and
+/// a result byte-identical to the unrecorded run (the determinism test
+/// battery enforces this).
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_recorded(
+    scenario: &Scenario,
+    recorder: &Recorder,
+) -> Result<SimulationResult, SimError> {
     scenario.validate()?;
     let mut rng = StdRng::seed_from_u64(scenario.seed);
     let workload = Workload::generate(scenario, &mut rng)?;
-    run_with_workload(scenario, workload, &mut rng)
+    run_with_workload_recorded(scenario, workload, &mut rng, recorder)
+}
+
+/// The engine's instrument handles, resolved once per run so the round
+/// loop only touches cheap `Arc` clones (or inert no-ops when the
+/// recorder is disabled).
+struct EngineInstruments {
+    runs_total: Counter,
+    rounds_total: Counter,
+    round_seconds: Histogram,
+    phase_selection: Histogram,
+    phase_settlement: Histogram,
+    phase_movement: Histogram,
+    solves_total: Counter,
+    solve_seconds: Histogram,
+    states_expanded: Counter,
+    nodes_pruned: Counter,
+    iterations: Counter,
+}
+
+impl EngineInstruments {
+    fn new(recorder: &Recorder, selector: &str) -> Self {
+        EngineInstruments {
+            runs_total: recorder.counter("engine_runs_total"),
+            rounds_total: recorder.counter("engine_rounds_total"),
+            round_seconds: recorder.histogram("engine_round_seconds"),
+            phase_selection: recorder.histogram_with("round_phase_seconds", "phase", "selection"),
+            phase_settlement: recorder.histogram_with("round_phase_seconds", "phase", "settlement"),
+            phase_movement: recorder.histogram_with("round_phase_seconds", "phase", "movement"),
+            solves_total: recorder.counter_with("selector_solves_total", "selector", selector),
+            solve_seconds: recorder.histogram_with("selector_solve_seconds", "selector", selector),
+            states_expanded: recorder.counter_with(
+                "selector_states_expanded_total",
+                "selector",
+                selector,
+            ),
+            nodes_pruned: recorder.counter_with(
+                "selector_nodes_pruned_total",
+                "selector",
+                selector,
+            ),
+            iterations: recorder.counter_with("selector_iterations_total", "selector", selector),
+        }
+    }
 }
 
 /// Runs one repetition on an already-generated workload (used by the
@@ -236,6 +297,20 @@ pub fn run_with_workload(
     workload: Workload,
     rng: &mut StdRng,
 ) -> Result<SimulationResult, SimError> {
+    run_with_workload_recorded(scenario, workload, rng, &Recorder::disabled())
+}
+
+/// [`run_with_workload`] with observability; see [`run_recorded`].
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with_workload_recorded(
+    scenario: &Scenario,
+    workload: Workload,
+    rng: &mut StdRng,
+    recorder: &Recorder,
+) -> Result<SimulationResult, SimError> {
     let mechanism = build_mechanism(scenario)?;
     let mut platform =
         Platform::new(workload.tasks.clone(), mechanism, workload.area, scenario.neighbor_radius)?;
@@ -244,8 +319,12 @@ pub fn run_with_workload(
     }
     platform.set_publish_expired(scenario.publish_expired);
     platform.set_indexing_mode(scenario.indexing);
+    platform.set_recorder(recorder);
     let travel = TravelContext::for_scenario(scenario, workload.area, rng)?;
     let selector = build_selector(scenario.selector);
+    let metrics_on = recorder.is_enabled();
+    let instruments = EngineInstruments::new(recorder, selector.name());
+    instruments.runs_total.inc();
     let m = workload.tasks.len();
     let n = workload.users.len();
 
@@ -262,6 +341,11 @@ pub fn run_with_workload(
 
     let mut rounds = Vec::with_capacity(scenario.max_rounds as usize);
     for round in 1..=scenario.max_rounds {
+        let round_span = Span::on(&instruments.round_seconds);
+        // Selection and settlement interleave per user, so their phase
+        // times are accumulated across the round rather than spanned.
+        let mut selection_ns = 0u64;
+        let mut settlement_ns = 0u64;
         let published = platform.publish_round(&locations, rng)?;
         let mut rewards = vec![None; m];
         for t in &published {
@@ -292,7 +376,8 @@ pub fn run_with_workload(
             if available.is_empty() {
                 continue;
             }
-            let outcome = solve_selection(
+            let solve_start = metrics_on.then(Instant::now);
+            let (outcome, stats) = solve_selection_with_stats(
                 &selector,
                 scenario.selector,
                 &travel,
@@ -303,6 +388,16 @@ pub fn run_with_workload(
                 scenario.cost_per_meter,
                 scenario.sensing_seconds,
             )?;
+            if let Some(start) = solve_start {
+                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                instruments.solve_seconds.record(nanos);
+                selection_ns = selection_ns.saturating_add(nanos);
+                instruments.solves_total.inc();
+                instruments.states_expanded.add(stats.states_expanded);
+                instruments.nodes_pruned.add(stats.nodes_pruned);
+                instruments.iterations.add(stats.iterations);
+            }
+            let settle_start = metrics_on.then(Instant::now);
             let mut payments = 0.0;
             let mut performed = 0usize;
             for &task in outcome.tasks() {
@@ -349,12 +444,20 @@ pub fn run_with_workload(
                 locations[ui] = here;
             }
             user_selected[ui] = performed as u32;
+            if let Some(start) = settle_start {
+                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                settlement_ns = settlement_ns.saturating_add(nanos);
+            }
         }
         platform.finish_round();
 
         rounds.push(RoundRecord { round, rewards, new_measurements, user_profits, user_selected });
 
+        instruments.phase_selection.record(selection_ns);
+        instruments.phase_settlement.record(settlement_ns);
+
         // Inter-round motion.
+        let movement_span = Span::on(&instruments.phase_movement);
         match scenario.user_motion {
             UserMotion::StayAtRouteEnd => {}
             UserMotion::ReturnHome => {
@@ -373,6 +476,9 @@ pub fn run_with_workload(
                 }
             }
         }
+        drop(movement_span);
+        drop(round_span);
+        instruments.rounds_total.inc();
 
         if scenario.stop_when_complete && platform.all_complete() {
             break;
@@ -456,6 +562,34 @@ pub(crate) fn solve_selection(
     cost_per_meter: f64,
     sensing_seconds: f64,
 ) -> Result<SelectionOutcome, SimError> {
+    solve_selection_with_stats(
+        selector,
+        kind,
+        travel,
+        location,
+        available,
+        time_budget,
+        speed,
+        cost_per_meter,
+        sensing_seconds,
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// [`solve_selection`], also returning the selector's work counters.
+/// The outcome is identical — stats reporting never changes decisions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_selection_with_stats(
+    selector: &dyn TaskSelector,
+    kind: SelectorKind,
+    travel: &TravelContext,
+    location: Point,
+    available: &[PublishedTask],
+    time_budget: f64,
+    speed: f64,
+    cost_per_meter: f64,
+    sensing_seconds: f64,
+) -> Result<(SelectionOutcome, paydemand_core::selection::SolveStats), SimError> {
     let capped: Vec<PublishedTask>;
     let candidates: &[PublishedTask] = match kind {
         SelectorKind::Dp { candidate_cap: Some(cap) } if available.len() > cap => {
@@ -476,7 +610,7 @@ pub(crate) fn solve_selection(
     if sensing_seconds > 0.0 {
         problem = problem.with_sensing_seconds(sensing_seconds, speed)?;
     }
-    Ok(selector.select(&problem)?)
+    Ok(selector.select_with_stats(&problem)?)
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! the same random world no matter how many repetitions run, in what
 //! order, or on how many threads.
 
+use paydemand_obs::{Recorder, Span};
+
 use crate::engine::{self, SimulationResult};
 use crate::{Scenario, SimError};
 
@@ -54,9 +56,29 @@ pub fn run_repetitions_parallel(
     reps: usize,
     threads: usize,
 ) -> Result<Vec<SimulationResult>, SimError> {
+    run_repetitions_parallel_recorded(scenario, reps, threads, &Recorder::disabled())
+}
+
+/// [`run_repetitions_parallel`] with observability: every repetition
+/// reports into the shared `recorder` (atomics aggregate across worker
+/// threads). Results are unchanged by recording.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any repetition produces.
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panics.
+pub fn run_repetitions_parallel_recorded(
+    scenario: &Scenario,
+    reps: usize,
+    threads: usize,
+    recorder: &Recorder,
+) -> Result<Vec<SimulationResult>, SimError> {
     let scenarios: Vec<Scenario> =
         (0..reps).map(|rep| scenario.clone().with_seed(rep_seed(scenario.seed, rep))).collect();
-    run_scenarios_parallel(&scenarios, threads)
+    run_scenarios_parallel_recorded(&scenarios, threads, recorder)
 }
 
 /// Runs an arbitrary batch of (already fully seeded) scenarios across
@@ -77,10 +99,47 @@ pub fn run_scenarios_parallel(
     scenarios: &[Scenario],
     threads: usize,
 ) -> Result<Vec<SimulationResult>, SimError> {
+    run_scenarios_parallel_recorded(scenarios, threads, &Recorder::disabled())
+}
+
+/// [`run_scenarios_parallel`] with observability: every job reports
+/// into the shared `recorder`, plus the batch-level `runner_jobs_total`
+/// and `runner_threads` counts, a `runner_job_seconds` latency
+/// histogram, and a `runner_queue_depth` gauge of jobs not yet claimed.
+/// Results are unchanged by recording.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any scenario produces (by input
+/// order).
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panics.
+pub fn run_scenarios_parallel_recorded(
+    scenarios: &[Scenario],
+    threads: usize,
+    recorder: &Recorder,
+) -> Result<Vec<SimulationResult>, SimError> {
     let jobs = scenarios.len();
     let threads = threads.clamp(1, jobs.max(1));
+    let jobs_total = recorder.counter("runner_jobs_total");
+    let job_seconds = recorder.histogram("runner_job_seconds");
+    let queue_depth = recorder.gauge("runner_queue_depth");
+    recorder.gauge("runner_threads").set(threads as i64);
+    queue_depth.set(jobs as i64);
     if threads == 1 || jobs <= 1 {
-        return scenarios.iter().map(engine::run).collect();
+        return scenarios
+            .iter()
+            .map(|s| {
+                queue_depth.sub(1);
+                let span = Span::on(&job_seconds);
+                let result = engine::run_recorded(s, recorder);
+                drop(span);
+                jobs_total.inc();
+                result
+            })
+            .collect();
     }
     let mut slots: Vec<Option<Result<SimulationResult, SimError>>> = Vec::new();
     slots.resize_with(jobs, || None);
@@ -94,7 +153,11 @@ pub fn run_scenarios_parallel(
                 if job >= jobs {
                     break;
                 }
-                let result = engine::run(&scenarios[job]);
+                queue_depth.sub(1);
+                let span = Span::on(&job_seconds);
+                let result = engine::run_recorded(&scenarios[job], recorder);
+                drop(span);
+                jobs_total.inc();
                 slots_mutex.lock().expect("slots lock poisoned")[job] = Some(result);
             });
         }

@@ -20,6 +20,8 @@
 //!
 //! This umbrella crate re-exports the workspace:
 //!
+//! * [`obs`] — zero-dependency instrumentation (counters, histograms,
+//!   span timers, Prometheus/JSON exporters);
 //! * [`geo`] — geometry, spatial indexes, placement, mobility;
 //! * [`ahp`] — the Analytic Hierarchy Process;
 //! * [`routing`] — Held-Karp subset DP, orienteering, greedy, 2-opt;
@@ -53,5 +55,6 @@
 pub use paydemand_ahp as ahp;
 pub use paydemand_core as core;
 pub use paydemand_geo as geo;
+pub use paydemand_obs as obs;
 pub use paydemand_routing as routing;
 pub use paydemand_sim as sim;

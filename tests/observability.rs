@@ -1,0 +1,95 @@
+//! The instrumentation layer must never perturb the simulation.
+//!
+//! The recorder threads through `engine::run_recorded` and the
+//! parallel runner; these tests pin the two promises the obs crate
+//! makes: (1) metrics on vs off yields bit-identical results across
+//! the whole thread matrix, and (2) an enabled recorder actually
+//! captures every metric family the acceptance criteria name.
+
+use paydemand::obs::Recorder;
+use paydemand::sim::{engine, runner, MechanismKind, Scenario, SelectorKind};
+
+fn scenario() -> Scenario {
+    Scenario::paper_default()
+        .with_users(30)
+        .with_tasks(10)
+        .with_max_rounds(8)
+        .with_selector(SelectorKind::Dp { candidate_cap: Some(12) })
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(0xD5EED)
+}
+
+#[test]
+fn metrics_do_not_change_results() {
+    let off = engine::run(&scenario()).unwrap();
+    let recorder = Recorder::enabled();
+    let on = engine::run_recorded(&scenario(), &recorder).unwrap();
+    assert_eq!(off, on, "recording changed the simulation result");
+}
+
+#[test]
+fn metrics_do_not_change_results_across_threads() {
+    let s = scenario();
+    let baseline = runner::run_repetitions_parallel(&s, 5, 1).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let recorder = Recorder::enabled();
+        let batch = runner::run_repetitions_parallel_recorded(&s, 5, threads, &recorder).unwrap();
+        assert_eq!(baseline, batch, "{threads}-thread recorded batch diverged");
+    }
+}
+
+#[test]
+fn enabled_recorder_captures_every_required_family() {
+    let recorder = Recorder::enabled();
+    runner::run_repetitions_parallel_recorded(&scenario(), 3, 2, &recorder).unwrap();
+    let snap = recorder.snapshot();
+
+    // Per-phase round latencies.
+    for phase in ["demand", "pricing", "selection", "settlement", "movement"] {
+        let h = snap
+            .histogram_snapshot("round_phase_seconds", Some(("phase", phase)))
+            .unwrap_or_else(|| panic!("missing round_phase_seconds{{phase={phase}}}"));
+        assert!(h.count > 0, "phase {phase} recorded nothing");
+    }
+    let rounds = snap.histogram_snapshot("engine_round_seconds", None).unwrap();
+    assert_eq!(rounds.count, snap.counter_value("engine_rounds_total", None).unwrap());
+    assert_eq!(snap.counter_value("engine_runs_total", None), Some(3));
+
+    // DemandCache hit/miss and NeighborTracker update counters.
+    let hits = snap.counter_value("demand_cache_hits_total", None).unwrap();
+    let misses = snap.counter_value("demand_cache_misses_total", None).unwrap();
+    assert!(hits + misses > 0, "demand cache never consulted");
+    let deltas = snap.counter_value("neighbor_delta_rounds_total", None).unwrap();
+    let rebuilds = snap.counter_value("neighbor_rebuilds_total", None).unwrap();
+    assert!(deltas + rebuilds > 0, "neighbor tracker never updated");
+
+    // Per-selector solve timings.
+    let solves = snap.counter_value("selector_solves_total", Some(("selector", "dp"))).unwrap();
+    assert!(solves > 0);
+    let solve =
+        snap.histogram_snapshot("selector_solve_seconds", Some(("selector", "dp"))).unwrap();
+    assert_eq!(solve.count, solves);
+
+    // Runner-side accounting.
+    assert_eq!(snap.counter_value("runner_jobs_total", None), Some(3));
+    assert_eq!(snap.gauge_value("runner_queue_depth", None), Some(0));
+    assert_eq!(snap.gauge_value("runner_threads", None), Some(2));
+
+    // Both exporters render the snapshot.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE round_phase_seconds summary"), "{prom}");
+    assert!(prom.contains("engine_runs_total 3"), "{prom}");
+    let json = snap.to_json();
+    assert!(json.contains("\"selector_solve_seconds\""), "{json}");
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let recorder = Recorder::disabled();
+    runner::run_repetitions_parallel_recorded(&scenario(), 2, 2, &recorder).unwrap();
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter_value("engine_runs_total", None), None);
+    assert_eq!(snap.histogram_snapshot("engine_round_seconds", None), None);
+    assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+}
