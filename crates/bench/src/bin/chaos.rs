@@ -1,0 +1,95 @@
+//! Robustness-path overhead benchmark: what do fault injection and
+//! checkpointing cost?
+//!
+//! ```sh
+//! cargo run --release -p paydemand-bench --bin chaos -- [REPS]
+//! ```
+//!
+//! Three questions, each answered with wall-clock medians over REPS
+//! (default 20) runs of a mid-size scenario:
+//!
+//! 1. **Zero-fault tax** — a scenario with an attached-but-inert
+//!    `FaultPlan` must cost the same as the plain path (it is also
+//!    required to be bit-identical, which is cross-checked here).
+//! 2. **Armed-plan overhead** — a dense fault mix (dropout, stragglers,
+//!    GPS noise, outages) versus the plain path.
+//! 3. **Checkpoint codec throughput** — encode and resume cost, and
+//!    bytes per checkpoint, at a mid-run round boundary.
+
+use std::time::Instant;
+
+use paydemand_obs::Recorder;
+use paydemand_sim::{engine, Engine, FaultKind, FaultPlan, Scenario, SelectorKind};
+
+fn scenario() -> Scenario {
+    Scenario::paper_default()
+        .with_users(200)
+        .with_max_rounds(10)
+        .with_selector(SelectorKind::GreedyTwoOpt)
+        .with_seed(77)
+}
+
+fn armed_plan() -> FaultPlan {
+    FaultPlan::new(13)
+        .with(FaultKind::Dropout { rate: 0.1 })
+        .with(FaultKind::StragglerUploads { rate: 0.15, max_retries: 3, backoff_rounds: 1 })
+        .with(FaultKind::GpsNoise { sigma: 25.0 })
+        .with(FaultKind::DemandOutage { rate: 0.1 })
+}
+
+fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reps: usize = std::env::args().nth(1).map_or(Ok(20), |s| s.parse())?;
+    let plain = scenario();
+    let inert = scenario().with_faults(FaultPlan::new(99));
+    let armed = scenario().with_faults(armed_plan());
+
+    // Bitwise identity first: timing a wrong computation is worthless.
+    let a = engine::run(&plain)?;
+    let b = engine::run(&inert)?;
+    if !a.observationally_eq(&b) {
+        return Err("inert fault plan changed the run; timings invalid".into());
+    }
+
+    eprintln!("chaos overheads, median of {reps} runs, {} users", plain.users);
+    let base = median_seconds(reps, || {
+        engine::run(&plain).expect("plain run");
+    });
+    eprintln!("  plain engine        {base:>9.4} s");
+    let inert_t = median_seconds(reps, || {
+        engine::run(&inert).expect("inert run");
+    });
+    eprintln!("  inert fault plan    {inert_t:>9.4} s  ({:+.1}%)", 100.0 * (inert_t / base - 1.0));
+    let armed_t = median_seconds(reps, || {
+        engine::run(&armed).expect("armed run");
+    });
+    eprintln!("  armed fault plan    {armed_t:>9.4} s  ({:+.1}%)", 100.0 * (armed_t / base - 1.0));
+
+    // Checkpoint codec at a mid-run boundary.
+    let recorder = Recorder::disabled();
+    let mut engine = Engine::new(&armed, &recorder)?;
+    for _ in 0..5 {
+        engine.step_round()?;
+    }
+    let bytes = engine.checkpoint()?;
+    let encode = median_seconds(reps, || {
+        engine.checkpoint().expect("encode");
+    });
+    let resume = median_seconds(reps, || {
+        Engine::resume(&armed, &bytes, &recorder).expect("resume");
+    });
+    eprintln!("  checkpoint encode   {encode:>9.6} s  ({} bytes)", bytes.len());
+    eprintln!("  checkpoint resume   {resume:>9.6} s");
+    Ok(())
+}

@@ -3,7 +3,8 @@
 //! stays readable).
 
 use paydemand_sim::{
-    IndexingMode, MechanismKind, PricingCacheMode, Scenario, SelectorKind, TravelModel,
+    FaultKind, FaultPlan, IndexingMode, MechanismKind, PricingCacheMode, Scenario, SelectorKind,
+    TravelModel,
 };
 
 /// Top-level usage text.
@@ -45,9 +46,26 @@ OPTIONS (both commands):
     --profile          record metrics and print a latency/counter summary
                        to stderr (identical simulation results either way)
 
+    --faults SPEC      comma-separated fault arms, injected from their
+                       own seeded RNG stream (zero rates change nothing):
+                         dropout:RATE
+                         late:FRACTION:LATEST_ROUND
+                         drop-upload:RATE
+                         straggler:RATE:MAX_RETRIES:BACKOFF_ROUNDS
+                         gps:SIGMA_METERS
+                         budget-shock:ROUND:FACTOR
+                         outage:RATE
+                       e.g. --faults dropout:0.2,gps:25,outage:0.1
+    --fault-seed N     fault-stream seed (needs --faults)  [default: 0]
+
 OPTIONS (run only):
     --mechanism NAME   on-demand | fixed | steered | steered-paper |
                        proportional | hybrid:ALPHA     [default: on-demand]
+    --checkpoint-every N    checkpoint the engine every N rounds
+                            (single run; needs --checkpoint-file and --reps 1)
+    --checkpoint-file PATH  where checkpoints are written (atomic overwrite)
+    --resume PATH           resume a checkpointed run; the scenario flags
+                            must rebuild the checkpointed scenario exactly
 ";
 
 /// A parsed invocation.
@@ -76,6 +94,12 @@ pub struct Options {
     pub metrics_format: MetricsFormat,
     /// Print a profile summary to stderr after the run.
     pub profile: bool,
+    /// Checkpoint the (single-repetition) run every this many rounds.
+    pub checkpoint_every: Option<u32>,
+    /// Where checkpoints go.
+    pub checkpoint_file: Option<String>,
+    /// Resume from this checkpoint file instead of starting fresh.
+    pub resume_from: Option<String>,
 }
 
 impl Options {
@@ -115,6 +139,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut metrics_out: Option<String> = None;
     let mut metrics_format = MetricsFormat::default();
     let mut profile = false;
+    let mut fault_kinds: Option<Vec<FaultKind>> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut checkpoint_every: Option<u32> = None;
+    let mut checkpoint_file: Option<String> = None;
+    let mut resume_from: Option<String> = None;
 
     while let Some(flag) = it.next() {
         match flag {
@@ -161,9 +190,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--travel" => scenario.travel = parse_travel(value)?,
                     "--sensing-time" => scenario.sensing_seconds = parse_num(flag, value)?,
                     "--dropout" => scenario.dropout_rate = parse_num(flag, value)?,
+                    "--faults" => fault_kinds = Some(parse_faults(value)?),
+                    "--fault-seed" => fault_seed = Some(parse_num(flag, value)?),
                     "--mechanism" if sub == "run" => {
                         scenario.mechanism = parse_mechanism(value)?;
                     }
+                    "--checkpoint-every" if sub == "run" => {
+                        checkpoint_every = Some(parse_num(flag, value)?);
+                    }
+                    "--checkpoint-file" if sub == "run" => {
+                        checkpoint_file = Some(value.to_string());
+                    }
+                    "--resume" if sub == "run" => resume_from = Some(value.to_string()),
                     other => return Err(format!("unknown flag `{other}` for `{sub}`")),
                 }
             }
@@ -172,8 +210,34 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     if reps == 0 {
         return Err("--reps must be at least 1".into());
     }
+    match (fault_kinds, fault_seed) {
+        (Some(kinds), seed) => {
+            scenario.faults = Some(FaultPlan { seed: seed.unwrap_or(0), faults: kinds });
+        }
+        (None, Some(_)) => return Err("--fault-seed needs --faults".into()),
+        (None, None) => {}
+    }
+    if checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if checkpoint_every.is_some() && checkpoint_file.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-file".into());
+    }
+    if (checkpoint_every.is_some() || resume_from.is_some()) && reps != 1 {
+        return Err("checkpointed runs are single-repetition: add --reps 1".into());
+    }
     scenario.validate().map_err(|e| e.to_string())?;
-    let options = Options { scenario, reps, threads, metrics_out, metrics_format, profile };
+    let options = Options {
+        scenario,
+        reps,
+        threads,
+        metrics_out,
+        metrics_format,
+        profile,
+        checkpoint_every,
+        checkpoint_file,
+        resume_from,
+    };
     Ok(match sub {
         "run" => Command::Run(options),
         _ => Command::Compare(options),
@@ -224,6 +288,42 @@ fn parse_travel(value: &str) -> Result<TravelModel, String> {
         "manhattan" => TravelModel::Manhattan,
         other => return Err(format!("unknown travel model `{other}`")),
     })
+}
+
+fn parse_faults(value: &str) -> Result<Vec<FaultKind>, String> {
+    let mut kinds = Vec::new();
+    for arm in value.split(',') {
+        let mut parts = arm.split(':');
+        let name = parts.next().unwrap_or_default();
+        let mut param = |what: &str| -> Result<f64, String> {
+            let raw = parts.next().ok_or_else(|| format!("fault `{name}` needs {what}"))?;
+            raw.parse().map_err(|e| format!("fault `{name}` {what} `{raw}`: {e}"))
+        };
+        let kind = match name {
+            "dropout" => FaultKind::Dropout { rate: param("RATE")? },
+            "late" => FaultKind::LateArrival {
+                fraction: param("FRACTION")?,
+                latest_round: param("LATEST_ROUND")? as u32,
+            },
+            "drop-upload" => FaultKind::DroppedUploads { rate: param("RATE")? },
+            "straggler" => FaultKind::StragglerUploads {
+                rate: param("RATE")?,
+                max_retries: param("MAX_RETRIES")? as u32,
+                backoff_rounds: param("BACKOFF_ROUNDS")? as u32,
+            },
+            "gps" => FaultKind::GpsNoise { sigma: param("SIGMA_METERS")? },
+            "budget-shock" => {
+                FaultKind::BudgetShock { round: param("ROUND")? as u32, factor: param("FACTOR")? }
+            }
+            "outage" => FaultKind::DemandOutage { rate: param("RATE")? },
+            other => return Err(format!("unknown fault `{other}`")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("fault `{name}` has too many parameters in `{arm}`"));
+        }
+        kinds.push(kind);
+    }
+    Ok(kinds)
 }
 
 fn parse_mechanism(value: &str) -> Result<MechanismKind, String> {
@@ -406,6 +506,72 @@ mod tests {
         let argv: Vec<String> =
             "run --travel streets:1x5:0.3".split_whitespace().map(str::to_string).collect();
         assert!(parse(&argv).unwrap_err().contains("travel"));
+    }
+
+    #[test]
+    fn faults_flag_builds_a_plan() {
+        let Command::Run(opts) = parse(&argv(
+            "run --faults dropout:0.2,drop-upload:0.1,straggler:0.2:3:1,gps:25,\
+             budget-shock:6:0.5,outage:0.15,late:0.3:5 --fault-seed 7",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        let plan = opts.scenario.faults.expect("plan attached");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.faults.len(), 7);
+        assert!(plan.faults.contains(&FaultKind::Dropout { rate: 0.2 }));
+        assert!(plan.faults.contains(&FaultKind::StragglerUploads {
+            rate: 0.2,
+            max_retries: 3,
+            backoff_rounds: 1
+        }));
+        assert!(plan.faults.contains(&FaultKind::BudgetShock { round: 6, factor: 0.5 }));
+
+        // Seed defaults to 0; --fault-seed alone is a user error.
+        let Command::Run(defaulted) = parse(&argv("run --faults gps:10")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(defaulted.scenario.faults.unwrap().seed, 0);
+        assert!(parse(&argv("run --fault-seed 3")).unwrap_err().contains("--faults"));
+
+        // Bad arms are named; invalid rates surface scenario validation.
+        assert!(parse(&argv("run --faults warp:0.1")).unwrap_err().contains("unknown fault"));
+        assert!(parse(&argv("run --faults dropout")).unwrap_err().contains("needs RATE"));
+        assert!(parse(&argv("run --faults gps:10:4")).unwrap_err().contains("too many"));
+        assert!(parse(&argv("run --faults dropout:1.5")).unwrap_err().contains("faults"));
+        // Compare accepts fault plans too (all mechanisms get the same plan).
+        assert!(parse(&argv("compare --faults dropout:0.1")).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let Command::Run(opts) =
+            parse(&argv("run --reps 1 --checkpoint-every 3 --checkpoint-file /tmp/c.ck")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.checkpoint_every, Some(3));
+        assert_eq!(opts.checkpoint_file.as_deref(), Some("/tmp/c.ck"));
+        assert_eq!(opts.resume_from, None);
+
+        let Command::Run(resume) = parse(&argv("run --reps 1 --resume /tmp/c.ck")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(resume.resume_from.as_deref(), Some("/tmp/c.ck"));
+
+        assert!(parse(&argv("run --reps 1 --checkpoint-every 3"))
+            .unwrap_err()
+            .contains("--checkpoint-file"));
+        assert!(parse(&argv("run --reps 1 --checkpoint-every 0 --checkpoint-file /tmp/c"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("run --checkpoint-every 3 --checkpoint-file /tmp/c"))
+            .unwrap_err()
+            .contains("--reps 1"));
+        assert!(parse(&argv("run --resume /tmp/c.ck")).unwrap_err().contains("--reps 1"));
+        // Checkpointing is a `run` feature.
+        assert!(parse(&argv("compare --resume /tmp/c.ck")).unwrap_err().contains("unknown flag"));
     }
 
     #[test]

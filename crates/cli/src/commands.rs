@@ -2,7 +2,7 @@
 
 use paydemand_obs::Recorder;
 use paydemand_sim::stats::Summary;
-use paydemand_sim::{metrics, runner, MechanismKind, SimError, SimulationResult};
+use paydemand_sim::{metrics, runner, Engine, MechanismKind, SimError, SimulationResult};
 
 use crate::args::{MetricsFormat, Options};
 
@@ -39,6 +39,9 @@ const METRICS: &[MetricRow] = &[
 
 /// `paydemand run`: one mechanism, metrics with 95% CIs.
 pub fn run(options: &Options) -> Result<(), SimError> {
+    if options.checkpoint_every.is_some() || options.resume_from.is_some() {
+        return run_checkpointed(options);
+    }
     let threads = options.threads.unwrap_or_else(default_threads);
     println!(
         "mechanism {} | selector {} | {} users | {} tasks | {} rounds | {} reps",
@@ -68,6 +71,66 @@ pub fn run(options: &Options) -> Result<(), SimError> {
         );
     }
     finish_metrics(options, &recorder)
+}
+
+/// The single-repetition checkpointed/resumed variant of `run`: drives
+/// the resumable [`Engine`] round by round, writing a checkpoint every
+/// `--checkpoint-every` rounds, and/or starting from `--resume` bytes.
+/// The scenario runs under its own seed (no per-repetition reseeding),
+/// so a resumed run reproduces the uninterrupted one exactly.
+fn run_checkpointed(options: &Options) -> Result<(), SimError> {
+    let recorder = make_recorder(options);
+    let mut engine = match &options.resume_from {
+        Some(path) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| SimError::Io(format!("reading --resume {path}: {e}")))?;
+            let engine = Engine::resume(&options.scenario, &bytes, &recorder)?;
+            println!(
+                "resumed {} at round {} ({} rounds already done)",
+                path,
+                engine.next_round(),
+                engine.rounds_run(),
+            );
+            engine
+        }
+        None => Engine::new(&options.scenario, &recorder)?,
+    };
+    println!(
+        "mechanism {} | selector {} | {} users | {} tasks | {} rounds | checkpointed run",
+        options.scenario.mechanism.label(),
+        options.scenario.selector.label(),
+        options.scenario.users,
+        options.scenario.tasks,
+        options.scenario.max_rounds,
+    );
+    let mut rounds_this_session = 0u32;
+    while engine.step_round()? {
+        rounds_this_session += 1;
+        if let (Some(every), Some(path)) = (options.checkpoint_every, &options.checkpoint_file) {
+            if rounds_this_session.is_multiple_of(every) && !engine.is_finished() {
+                write_checkpoint(&engine, path)?;
+                println!("checkpointed after round {} -> {path}", engine.next_round() - 1);
+            }
+        }
+    }
+    let result = engine.finish()?;
+    println!("{:-<52}", "");
+    for row in METRICS {
+        println!("{:<26} {:>10.3} {}", row.name, (row.extract)(&result), row.unit);
+    }
+    finish_metrics(options, &recorder)
+}
+
+/// Writes checkpoint bytes via a sibling temp file + rename, so a crash
+/// mid-write never leaves a truncated checkpoint behind.
+fn write_checkpoint(engine: &Engine, path: &str) -> Result<(), SimError> {
+    let bytes = engine.checkpoint()?;
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &bytes)
+        .map_err(|e| SimError::Io(format!("writing --checkpoint-file {tmp}: {e}")))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| SimError::Io(format!("renaming {tmp} -> {path}: {e}")))?;
+    Ok(())
 }
 
 /// `paydemand compare`: the three paper mechanisms side by side on
@@ -204,6 +267,46 @@ mod tests {
         let body = std::fs::read_to_string(&prom).unwrap();
         assert!(body.contains("# TYPE round_phase_seconds summary"), "{body}");
         assert!(body.contains("engine_runs_total 2"), "{body}");
+    }
+
+    #[test]
+    fn run_with_faults_executes() {
+        let opts = options(
+            "run --users 12 --tasks 5 --rounds 3 --reps 2 --selector greedy \
+             --faults dropout:0.2,drop-upload:0.1,outage:0.2 --fault-seed 3",
+        );
+        run(&opts).unwrap();
+        let opts = options(
+            "compare --users 12 --tasks 5 --rounds 3 --reps 2 --selector greedy \
+             --faults gps:20",
+        );
+        compare(&opts).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_and_resume_round_trip_through_files() {
+        let dir = std::env::temp_dir().join("paydemand-cli-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("run.ck");
+        let base = "run --users 12 --tasks 5 --rounds 4 --reps 1 --selector greedy --seed 77";
+        // A checkpointed run writes the file and completes.
+        let opts =
+            options(&format!("{base} --checkpoint-every 2 --checkpoint-file {}", ck.display()));
+        run(&opts).unwrap();
+        assert!(ck.exists(), "checkpoint file was written");
+        // Resuming from it completes the same scenario without error
+        // (byte-identity of the results is pinned by tests/chaos.rs).
+        let opts = options(&format!("{base} --resume {}", ck.display()));
+        run(&opts).unwrap();
+        // A missing file is an I/O error, not a panic.
+        let opts = options(&format!("{base} --resume {}/absent.ck", dir.display()));
+        assert!(matches!(run(&opts), Err(SimError::Io(_))));
+        // A mismatched scenario is refused.
+        let opts = options(&format!(
+            "run --users 13 --tasks 5 --rounds 4 --reps 1 --selector greedy --seed 77 --resume {}",
+            ck.display()
+        ));
+        assert!(matches!(run(&opts), Err(SimError::Checkpoint { .. })));
     }
 
     #[test]

@@ -57,6 +57,29 @@ pub trait IncentiveMechanism: std::fmt::Debug {
     fn set_recorder(&mut self, recorder: &paydemand_obs::Recorder) {
         let _ = recorder;
     }
+
+    /// Serializes any mutable pricing state into an opaque blob, for
+    /// checkpointing. Stateless mechanisms (the default) return an
+    /// empty blob. Perf-only caches that are rebuilt bit-identically on
+    /// demand must NOT be included.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by
+    /// [`IncentiveMechanism::export_state`] on a freshly built
+    /// mechanism of the same kind. The default accepts only the empty
+    /// blob.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), crate::CoreError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::CoreError::InvalidParameter {
+                name: "mechanism state blob length",
+                value: state.len() as f64,
+            })
+        }
+    }
 }
 
 impl<T: IncentiveMechanism + ?Sized> IncentiveMechanism for Box<T> {
@@ -70,6 +93,14 @@ impl<T: IncentiveMechanism + ?Sized> IncentiveMechanism for Box<T> {
 
     fn set_recorder(&mut self, recorder: &paydemand_obs::Recorder) {
         (**self).set_recorder(recorder);
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        (**self).export_state()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), crate::CoreError> {
+        (**self).restore_state(state)
     }
 }
 

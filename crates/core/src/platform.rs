@@ -56,6 +56,32 @@ pub struct RoundContext {
     pub max_neighbors: usize,
 }
 
+/// The platform's mutable state at a round boundary, as captured by
+/// [`Platform::export_state`] and replayed by
+/// [`Platform::restore_state`]. All collections are indexed by task id;
+/// contributor lists are sorted so equal platforms export equal states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformState {
+    /// Measurements received so far, per task.
+    pub received: Vec<u32>,
+    /// Round at which each task completed, if it has.
+    pub completed_round: Vec<Option<u32>>,
+    /// Sorted contributing user ids, per task.
+    pub contributors: Vec<Vec<usize>>,
+    /// Rewards currently published (0 for unpublished tasks).
+    pub current_rewards: Vec<f64>,
+    /// Per-task, per-round measurement counts.
+    pub round_receipts: Vec<Vec<u32>>,
+    /// Rounds opened so far.
+    pub round: u32,
+    /// Total rewards paid.
+    pub total_paid: f64,
+    /// The active spend cap, if payments are capped.
+    pub spend_cap: Option<f64>,
+    /// The incentive mechanism's opaque state blob.
+    pub mechanism: Vec<u8>,
+}
+
 /// The crowdsensing platform: owns the task book, consults a pluggable
 /// [`IncentiveMechanism`] at every round boundary, collects submissions
 /// and accounts every payment against the reward budget.
@@ -292,6 +318,125 @@ impl<M: IncentiveMechanism> Platform<M> {
             published.push(PublishedTask { id: snapshot.id, location: snapshot.location, reward });
         }
         Ok(published)
+    }
+
+    /// Opens the next round **without** repricing: the graceful
+    /// degradation path for a demand/incentive recompute outage.
+    ///
+    /// Neighbour counting and the mechanism are skipped entirely; the
+    /// previous round's published rewards are re-posted for every task
+    /// that is still incomplete, unexpired and affordable. Tasks that
+    /// were withheld last round stay withheld (their stale reward is 0).
+    /// Consumes no randomness, so a run interleaving stale rounds stays
+    /// bit-deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RoundNotOpen`] if a round is already open or no
+    /// round has ever been priced (there is nothing to re-post).
+    pub fn publish_round_stale(&mut self) -> Result<Vec<PublishedTask>, CoreError> {
+        if self.round_open || self.round == 0 {
+            return Err(CoreError::RoundNotOpen);
+        }
+        self.round += 1;
+        self.round_open = true;
+        for receipts in &mut self.round_receipts {
+            receipts.push(0);
+        }
+        let remaining = self.remaining_budget();
+        let mut published = Vec::new();
+        for (i, s) in self.specs.iter().enumerate() {
+            let stale_reward = self.current_rewards[i];
+            let live = self.received[i] < s.required()
+                && (self.publish_expired || self.round <= s.deadline())
+                && stale_reward > 0.0
+                && stale_reward <= remaining;
+            if live {
+                published.push(PublishedTask {
+                    id: s.id(),
+                    location: s.location(),
+                    reward: stale_reward,
+                });
+            } else {
+                self.current_rewards[i] = 0.0;
+            }
+        }
+        Ok(published)
+    }
+
+    /// Serializes the platform's mutable state at a round boundary, for
+    /// checkpointing. Contributor sets are exported as sorted id lists
+    /// so the state is canonical; the neighbour tracker is a perf-only
+    /// cache (all indexing modes agree exactly) and is rebuilt on
+    /// demand after a restore rather than exported.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RoundNotOpen`] if called mid-round.
+    pub fn export_state(&self) -> Result<PlatformState, CoreError> {
+        if self.round_open {
+            return Err(CoreError::RoundNotOpen);
+        }
+        Ok(PlatformState {
+            received: self.received.clone(),
+            completed_round: self.completed_round.clone(),
+            contributors: self
+                .contributors
+                .iter()
+                .map(|set| {
+                    let mut ids: Vec<usize> = set.iter().map(|u| u.0).collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect(),
+            current_rewards: self.current_rewards.clone(),
+            round_receipts: self.round_receipts.clone(),
+            round: self.round,
+            total_paid: self.total_paid,
+            spend_cap: self.spend_cap,
+            mechanism: self.mechanism.export_state(),
+        })
+    }
+
+    /// Restores state captured by [`Platform::export_state`] onto a
+    /// freshly built platform over the same task book. The spend cap is
+    /// taken from the state verbatim (it may differ from the configured
+    /// budget after a mid-campaign budget shock).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCount`] if the state's per-task vectors do
+    /// not match the task book; any error of the mechanism's own
+    /// [`IncentiveMechanism::restore_state`].
+    pub fn restore_state(&mut self, state: PlatformState) -> Result<(), CoreError> {
+        let m = self.specs.len();
+        if state.received.len() != m
+            || state.completed_round.len() != m
+            || state.contributors.len() != m
+            || state.current_rewards.len() != m
+            || state.round_receipts.len() != m
+        {
+            return Err(CoreError::InvalidCount {
+                name: "platform state tasks",
+                value: state.received.len(),
+            });
+        }
+        self.mechanism.restore_state(&state.mechanism)?;
+        self.received = state.received;
+        self.completed_round = state.completed_round;
+        self.contributors = state
+            .contributors
+            .into_iter()
+            .map(|ids| ids.into_iter().map(UserId).collect())
+            .collect();
+        self.current_rewards = state.current_rewards;
+        self.round_receipts = state.round_receipts;
+        self.round = state.round;
+        self.round_open = false;
+        self.total_paid = state.total_paid;
+        self.spend_cap = state.spend_cap;
+        self.tracker = None;
+        Ok(())
     }
 
     /// Per-task neighbour counts (`N_i`, Eq. 5) for the current user
@@ -728,6 +873,102 @@ mod tests {
     fn default_mode_is_incremental() {
         let p = platform();
         assert_eq!(p.indexing_mode(), IndexingMode::Incremental);
+    }
+
+    #[test]
+    fn stale_publish_reposts_previous_prices() {
+        let mut p = platform();
+        let mut r = rng();
+        let first = p.publish_round(&[], &mut r).unwrap();
+        p.finish_round();
+        let stale = p.publish_round_stale().unwrap();
+        assert_eq!(p.round(), 2);
+        assert_eq!(first, stale, "stale round must re-post last round's book verbatim");
+        for (a, b) in first.iter().zip(&stale) {
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+        }
+        p.finish_round();
+    }
+
+    #[test]
+    fn stale_publish_drops_completed_and_unaffordable_tasks() {
+        let mut p = platform();
+        let mut r = rng();
+        let first = p.publish_round(&[], &mut r).unwrap();
+        // Complete task 0 so the stale round must not re-post it.
+        p.submit(UserId(0), TaskId(0)).unwrap();
+        p.submit(UserId(1), TaskId(0)).unwrap();
+        p.finish_round();
+        let stale = p.publish_round_stale().unwrap();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].id, TaskId(1));
+        assert_eq!(stale[0].reward, first[1].reward);
+        p.finish_round();
+        // Now cap the budget to zero remaining: nothing is affordable.
+        p.set_spend_cap(p.total_paid()).unwrap();
+        assert!(p.publish_round_stale().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stale_publish_requires_a_priced_round_first() {
+        let mut p = platform();
+        assert!(matches!(p.publish_round_stale(), Err(CoreError::RoundNotOpen)));
+        let mut r = rng();
+        p.publish_round(&[], &mut r).unwrap();
+        // Mid-round stale publish is protocol misuse too.
+        assert!(matches!(p.publish_round_stale(), Err(CoreError::RoundNotOpen)));
+    }
+
+    #[test]
+    fn state_roundtrip_restores_settlement_exactly() {
+        let mut p = platform();
+        let mut r = rng();
+        p.set_spend_cap(50.0).unwrap();
+        p.publish_round(&[Point::new(110.0, 110.0)], &mut r).unwrap();
+        p.submit(UserId(0), TaskId(0)).unwrap();
+        p.submit(UserId(3), TaskId(1)).unwrap();
+        p.finish_round();
+        let state = p.export_state().unwrap();
+
+        let s = specs();
+        let mech = OnDemandIncentive::paper_default(&s).unwrap();
+        let mut q = Platform::new(s, mech, Rect::square(1000.0).unwrap(), 200.0).unwrap();
+        q.restore_state(state.clone()).unwrap();
+        assert_eq!(q.round(), p.round());
+        assert_eq!(q.total_paid().to_bits(), p.total_paid().to_bits());
+        assert_eq!(q.remaining_budget(), p.remaining_budget());
+        assert_eq!(q.received(TaskId(0)).unwrap(), 1);
+        assert_eq!(q.contributor_count(TaskId(1)).unwrap(), 1);
+        assert_eq!(q.round_receipts(TaskId(0)).unwrap(), p.round_receipts(TaskId(0)).unwrap());
+        // The restored platform continues the protocol identically.
+        let mut r2 = r.clone();
+        let a = p.publish_round(&[Point::new(110.0, 110.0)], &mut r).unwrap();
+        let b = q.publish_round(&[Point::new(110.0, 110.0)], &mut r2).unwrap();
+        assert_eq!(a, b);
+        // The duplicate-contribution rule survives the roundtrip.
+        assert!(matches!(
+            q.submit(UserId(0), TaskId(0)),
+            Err(CoreError::DuplicateContribution { .. })
+        ));
+        // Exported state is canonical.
+        q.finish_round();
+        p.finish_round();
+        assert_eq!(p.export_state().unwrap(), q.export_state().unwrap());
+    }
+
+    #[test]
+    fn export_mid_round_and_mismatched_restore_rejected() {
+        let mut p = platform();
+        let mut r = rng();
+        p.publish_round(&[], &mut r).unwrap();
+        assert!(matches!(p.export_state(), Err(CoreError::RoundNotOpen)));
+        p.finish_round();
+        let mut state = p.export_state().unwrap();
+        state.received.pop();
+        assert!(matches!(
+            p.restore_state(state),
+            Err(CoreError::InvalidCount { name: "platform state tasks", .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,742 @@
+//! Deterministic, seed-driven fault injection for the paydemand
+//! simulator.
+//!
+//! Real crowdsensing deployments violate every convenience the paper
+//! assumes: users churn mid-campaign, uploads are lost or arrive late,
+//! GPS fixes wander, sponsors cut budgets, and the pricing service
+//! itself misses rounds. This crate models those failure modes as a
+//! composable [`FaultPlan`] of [`FaultKind`]s, executed by a
+//! [`FaultInjector`] that owns its **own** RNG stream:
+//!
+//! * the same `(scenario seed, fault seed)` pair replays bit-identically
+//!   at any thread count, because the injector never touches the
+//!   engine's main generator;
+//! * a plan with no faults (or all-zero rates) draws nothing at all, so
+//!   attaching it to a scenario leaves the simulation bitwise unchanged;
+//! * every injected event is counted through the [`Recorder`] as
+//!   `fault_events_total{kind=...}` so chaos runs are observable.
+//!
+//! The crate knows nothing about the engine; the engine asks the
+//! injector questions (`user_offline`, `upload_fate`, ...) at fixed
+//! points in its round loop and applies the answers.
+
+use paydemand_geo::{Point, Rect};
+use paydemand_obs::{Counter, Recorder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One failure mode that a [`FaultPlan`] can schedule.
+///
+/// All probabilities are per-opportunity (per user-round for
+/// [`FaultKind::Dropout`], per upload for the upload faults, per round
+/// for [`FaultKind::DemandOutage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Each online user independently skips a round with this
+    /// probability — transient churn on top of the scenario's own
+    /// `dropout_rate`.
+    Dropout {
+        /// Per-user-per-round probability of sitting the round out.
+        rate: f64,
+    },
+    /// A fraction of users joins the campaign late: each affected user
+    /// draws an arrival round uniformly in `2..=latest_round` and is
+    /// absent before it.
+    LateArrival {
+        /// Fraction of users that arrives late.
+        fraction: f64,
+        /// Latest possible arrival round (inclusive, ≥ 2).
+        latest_round: u32,
+    },
+    /// Each sensed measurement is lost in transit with this probability:
+    /// the user travelled and sensed, but the platform never sees the
+    /// upload and pays nothing.
+    DroppedUploads {
+        /// Per-upload probability of loss.
+        rate: f64,
+    },
+    /// Each sensed measurement is delayed with this probability and
+    /// enters a retry queue with capped exponential backoff; delivery
+    /// is attempted `backoff_rounds` later, then `2×`, `4×`, ... up to
+    /// `max_retries` redelivery attempts before it is abandoned.
+    StragglerUploads {
+        /// Per-upload probability of delay.
+        rate: f64,
+        /// Redelivery attempts after the first failed delivery.
+        max_retries: u32,
+        /// Base backoff before the first delivery attempt, in rounds.
+        backoff_rounds: u32,
+    },
+    /// Gaussian noise (std `sigma`, metres, per axis) on the positions
+    /// the platform sees when computing demand; users still travel from
+    /// their true locations.
+    GpsNoise {
+        /// Per-axis standard deviation in metres.
+        sigma: f64,
+    },
+    /// At the start of `round` the sponsor cuts the *remaining* budget
+    /// to `factor` of what is left; already-settled payments stand.
+    BudgetShock {
+        /// Round at whose start the shock lands.
+        round: u32,
+        /// Fraction of the remaining budget that survives, in `[0, 1]`.
+        factor: f64,
+    },
+    /// Each round (from round 2 on) the demand/incentive recompute is
+    /// down with this probability; the platform degrades to re-posting
+    /// the previous round's prices instead of failing the round.
+    DemandOutage {
+        /// Per-round probability of an outage.
+        rate: f64,
+    },
+}
+
+impl FaultKind {
+    /// Stable label used for metric labels, CLI specs, and duplicate
+    /// detection.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Dropout { .. } => "dropout",
+            FaultKind::LateArrival { .. } => "late",
+            FaultKind::DroppedUploads { .. } => "drop-upload",
+            FaultKind::StragglerUploads { .. } => "straggler",
+            FaultKind::GpsNoise { .. } => "gps",
+            FaultKind::BudgetShock { .. } => "budget-shock",
+            FaultKind::DemandOutage { .. } => "outage",
+        }
+    }
+
+    fn validate(&self) -> Result<(), FaultError> {
+        let fail = |message: String| Err(FaultError::InvalidFault { fault: self.label(), message });
+        let probability = |name: &str, value: f64| -> Result<(), FaultError> {
+            if !value.is_finite() || !(0.0..1.0).contains(&value) {
+                return Err(FaultError::InvalidFault {
+                    fault: self.label(),
+                    message: format!("{name} must be in [0, 1), got {value}"),
+                });
+            }
+            Ok(())
+        };
+        match *self {
+            FaultKind::Dropout { rate }
+            | FaultKind::DroppedUploads { rate }
+            | FaultKind::StragglerUploads { rate, .. }
+            | FaultKind::DemandOutage { rate } => probability("rate", rate)?,
+            FaultKind::LateArrival { fraction, latest_round } => {
+                if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                    return fail(format!("fraction must be in [0, 1], got {fraction}"));
+                }
+                if latest_round < 2 {
+                    return fail(format!("latest_round must be ≥ 2, got {latest_round}"));
+                }
+            }
+            FaultKind::GpsNoise { sigma } => {
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return fail(format!("sigma must be finite and ≥ 0, got {sigma}"));
+                }
+            }
+            FaultKind::BudgetShock { round, factor } => {
+                if round < 1 {
+                    return fail("round must be ≥ 1".to_string());
+                }
+                if !factor.is_finite() || !(0.0..=1.0).contains(&factor) {
+                    return fail(format!("factor must be in [0, 1], got {factor}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A composable, seeded schedule of faults to inject into one run.
+///
+/// The plan is data only; execution lives in [`FaultInjector`]. Plans
+/// compare by value so scenarios embedding them stay `PartialEq`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream, mixed with the scenario seed.
+    pub seed: u64,
+    /// The faults to inject, at most one per [`FaultKind::label`].
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan: attaching it to a scenario changes nothing.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Adds one fault (builder style).
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind) -> Self {
+        self.faults.push(kind);
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Checks every fault's parameters and rejects duplicate kinds.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut drop_rate = 0.0;
+        let mut straggler_rate = 0.0;
+        for fault in &self.faults {
+            fault.validate()?;
+            let label = fault.label();
+            if seen.contains(&label) {
+                return Err(FaultError::Duplicate(label));
+            }
+            seen.push(label);
+            match *fault {
+                FaultKind::DroppedUploads { rate } => drop_rate = rate,
+                FaultKind::StragglerUploads { rate, .. } => straggler_rate = rate,
+                _ => {}
+            }
+        }
+        if drop_rate + straggler_rate > 1.0 {
+            return Err(FaultError::InvalidFault {
+                fault: "straggler",
+                message: format!(
+                    "drop-upload rate {drop_rate} + straggler rate {straggler_rate} exceeds 1"
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validation failure for a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A fault's parameters are out of range.
+    InvalidFault {
+        /// [`FaultKind::label`] of the offending fault.
+        fault: &'static str,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The same fault kind appears twice in one plan.
+    Duplicate(&'static str),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidFault { fault, message } => {
+                write!(f, "invalid fault `{fault}`: {message}")
+            }
+            FaultError::Duplicate(label) => {
+                write!(f, "fault `{label}` appears more than once in the plan")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// What happened to one upload on its way to the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadFate {
+    /// The upload arrived; settle it now.
+    Delivered,
+    /// The upload was lost; the user's effort is unpaid.
+    Dropped,
+    /// The upload is stuck in transit; retry `due_in` rounds from now.
+    Delayed {
+        /// Rounds until the first delivery attempt.
+        due_in: u32,
+    },
+}
+
+/// Per-round fault verdicts handed to the engine by
+/// [`FaultInjector::begin_round`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundFaults {
+    /// The demand recompute is down this round: re-post last round's
+    /// prices instead of repricing.
+    pub stale_pricing: bool,
+    /// A budget shock lands this round: scale the remaining budget by
+    /// this factor.
+    pub budget_shock: Option<f64>,
+}
+
+/// Executes a [`FaultPlan`] against one run, drawing every random
+/// decision from its own xoshiro stream.
+///
+/// Determinism contract: the sequence of draws depends only on the
+/// plan, the mixed seed, the user count, and the *order* in which the
+/// engine asks questions — never on wall clock, thread count, or the
+/// engine's main RNG. Methods guard every draw behind a
+/// "rate > 0" check so inactive faults consume no randomness.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    round: u32,
+    dropout_rate: f64,
+    arrival_round: Vec<u32>,
+    drop_rate: f64,
+    straggler_rate: f64,
+    max_retries: u32,
+    backoff_rounds: u32,
+    gps_sigma: f64,
+    shock: Option<(u32, f64)>,
+    outage_rate: f64,
+    counts: FaultCounters,
+}
+
+#[derive(Debug)]
+struct FaultCounters {
+    dropout: Counter,
+    late: Counter,
+    dropped: Counter,
+    delayed: Counter,
+    gps: Counter,
+    shock: Counter,
+    outage: Counter,
+    retries: Counter,
+    retries_abandoned: Counter,
+    retries_delivered: Counter,
+}
+
+/// Mixes the scenario seed with the fault seed into the seed of the
+/// injector's dedicated stream (SplitMix64 finalizer over the XOR, so
+/// nearby seed pairs land far apart).
+#[must_use]
+pub fn mix_seed(scenario_seed: u64, fault_seed: u64) -> u64 {
+    let mut z = scenario_seed.rotate_left(32).wrapping_add(0x9E37_79B9_7F4A_7C15) ^ fault_seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Builds an injector for one run of `users` users.
+    ///
+    /// Late-arrival rounds are drawn up front so the only mutable
+    /// randomness that checkpoints need to capture is the
+    /// [`FaultInjector::rng_state`] words.
+    pub fn new(
+        plan: &FaultPlan,
+        scenario_seed: u64,
+        users: usize,
+        recorder: &Recorder,
+    ) -> Result<Self, FaultError> {
+        plan.validate()?;
+        let mut rng = StdRng::seed_from_u64(mix_seed(scenario_seed, plan.seed));
+        let mut injector = FaultInjector {
+            rng: StdRng::seed_from_u64(0),
+            round: 0,
+            dropout_rate: 0.0,
+            arrival_round: Vec::new(),
+            drop_rate: 0.0,
+            straggler_rate: 0.0,
+            max_retries: 0,
+            backoff_rounds: 1,
+            gps_sigma: 0.0,
+            shock: None,
+            outage_rate: 0.0,
+            counts: FaultCounters::new(recorder),
+        };
+        for fault in &plan.faults {
+            match *fault {
+                FaultKind::Dropout { rate } => injector.dropout_rate = rate,
+                FaultKind::LateArrival { fraction, latest_round } => {
+                    injector.arrival_round = (0..users)
+                        .map(|_| {
+                            if fraction > 0.0 && rng.gen::<f64>() < fraction {
+                                rng.gen_range(2..=latest_round)
+                            } else {
+                                1
+                            }
+                        })
+                        .collect();
+                }
+                FaultKind::DroppedUploads { rate } => injector.drop_rate = rate,
+                FaultKind::StragglerUploads { rate, max_retries, backoff_rounds } => {
+                    injector.straggler_rate = rate;
+                    injector.max_retries = max_retries;
+                    injector.backoff_rounds = backoff_rounds.max(1);
+                }
+                FaultKind::GpsNoise { sigma } => injector.gps_sigma = sigma,
+                FaultKind::BudgetShock { round, factor } => {
+                    injector.shock = Some((round, factor));
+                }
+                FaultKind::DemandOutage { rate } => injector.outage_rate = rate,
+            }
+        }
+        injector.rng = rng;
+        Ok(injector)
+    }
+
+    /// Evaluates round-scoped faults. Call once at the top of every
+    /// round, before publishing.
+    pub fn begin_round(&mut self, round: u32) -> RoundFaults {
+        self.round = round;
+        let stale_pricing =
+            round >= 2 && self.outage_rate > 0.0 && self.rng.gen::<f64>() < self.outage_rate;
+        if stale_pricing {
+            self.counts.outage.inc();
+        }
+        let budget_shock = match self.shock {
+            Some((shock_round, factor)) if shock_round == round => {
+                self.counts.shock.inc();
+                Some(factor)
+            }
+            _ => None,
+        };
+        RoundFaults { stale_pricing, budget_shock }
+    }
+
+    /// Whether `user` is absent this round (not yet arrived, or
+    /// transiently dropped out). The arrival check draws nothing; the
+    /// dropout check draws only when a dropout fault is armed.
+    pub fn user_offline(&mut self, user: usize) -> bool {
+        if self.arrival_round.get(user).copied().unwrap_or(1) > self.round {
+            self.counts.late.inc();
+            return true;
+        }
+        if self.dropout_rate > 0.0 && self.rng.gen::<f64>() < self.dropout_rate {
+            self.counts.dropout.inc();
+            return true;
+        }
+        false
+    }
+
+    /// Decides one upload's fate with a single uniform draw (none when
+    /// no upload fault is armed).
+    pub fn upload_fate(&mut self) -> UploadFate {
+        if self.drop_rate <= 0.0 && self.straggler_rate <= 0.0 {
+            return UploadFate::Delivered;
+        }
+        let u: f64 = self.rng.gen();
+        if u < self.drop_rate {
+            self.counts.dropped.inc();
+            UploadFate::Dropped
+        } else if u < self.drop_rate + self.straggler_rate {
+            self.counts.delayed.inc();
+            UploadFate::Delayed { due_in: self.backoff_rounds }
+        } else {
+            UploadFate::Delivered
+        }
+    }
+
+    /// Backoff before redelivery attempt number `attempts` (1-based),
+    /// or `None` once the retry budget is exhausted. Capped exponential:
+    /// `backoff_rounds × 2^(attempts-1)`, at most 64 rounds. Draws
+    /// nothing.
+    pub fn retry_backoff(&mut self, attempts: u32) -> Option<u32> {
+        if attempts > self.max_retries {
+            self.counts.retries_abandoned.inc();
+            return None;
+        }
+        self.counts.retries.inc();
+        let exponent = (attempts.saturating_sub(1)).min(6);
+        Some((self.backoff_rounds << exponent).min(64))
+    }
+
+    /// Records a queued upload that finally settled.
+    pub fn count_retry_delivered(&mut self) {
+        self.counts.retries_delivered.inc();
+    }
+
+    /// Records a queued upload abandoned because its task no longer
+    /// accepts contributions.
+    pub fn count_retry_abandoned(&mut self) {
+        self.counts.retries_abandoned.inc();
+    }
+
+    /// The position the platform observes for a user truly at `p`,
+    /// clamped to the sensing `area`. Draws two normals per call when
+    /// GPS noise is armed, nothing otherwise.
+    pub fn noised_location(&mut self, p: Point, area: Rect) -> Point {
+        if self.gps_sigma <= 0.0 {
+            return p;
+        }
+        self.counts.gps.inc();
+        let dx = self.gps_sigma * standard_normal(&mut self.rng);
+        let dy = self.gps_sigma * standard_normal(&mut self.rng);
+        area.clamp(Point::new(p.x + dx, p.y + dy))
+    }
+
+    /// Whether a GPS-noise fault is armed.
+    #[must_use]
+    pub fn has_gps_noise(&self) -> bool {
+        self.gps_sigma > 0.0
+    }
+
+    /// The injector's own RNG — for draws that must ride the fault
+    /// stream (e.g. sampling a delayed measurement's value) so the main
+    /// stream stays untouched.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Exports the fault stream's state for checkpointing.
+    #[must_use]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.to_state()
+    }
+
+    /// Restores the fault stream from a checkpointed state.
+    pub fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+}
+
+impl FaultCounters {
+    fn new(recorder: &Recorder) -> Self {
+        let event = |kind: &str| recorder.counter_with("fault_events_total", "kind", kind);
+        FaultCounters {
+            dropout: event("dropout"),
+            late: event("late"),
+            dropped: event("drop-upload"),
+            delayed: event("straggler"),
+            gps: event("gps"),
+            shock: event("budget-shock"),
+            outage: event("outage"),
+            retries: recorder.counter("upload_retries_total"),
+            retries_abandoned: recorder.counter("upload_retries_abandoned_total"),
+            retries_delivered: recorder.counter("upload_retries_delivered_total"),
+        }
+    }
+}
+
+/// Box–Muller standard normal on the fault stream (same transform the
+/// sensing model uses, so noise magnitudes are comparable).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with(FaultKind::Dropout { rate: 0.2 })
+            .with(FaultKind::LateArrival { fraction: 0.3, latest_round: 5 })
+            .with(FaultKind::DroppedUploads { rate: 0.2 })
+            .with(FaultKind::StragglerUploads { rate: 0.3, max_retries: 3, backoff_rounds: 1 })
+            .with(FaultKind::GpsNoise { sigma: 25.0 })
+            .with(FaultKind::BudgetShock { round: 4, factor: 0.5 })
+            .with(FaultKind::DemandOutage { rate: 0.25 })
+    }
+
+    #[test]
+    fn validation_accepts_the_full_plan() {
+        full_plan(1).validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        for plan in [
+            FaultPlan::new(0).with(FaultKind::Dropout { rate: 1.0 }),
+            FaultPlan::new(0).with(FaultKind::Dropout { rate: -0.1 }),
+            FaultPlan::new(0).with(FaultKind::Dropout { rate: f64::NAN }),
+            FaultPlan::new(0).with(FaultKind::LateArrival { fraction: 0.5, latest_round: 1 }),
+            FaultPlan::new(0).with(FaultKind::GpsNoise { sigma: f64::INFINITY }),
+            FaultPlan::new(0).with(FaultKind::BudgetShock { round: 0, factor: 0.5 }),
+            FaultPlan::new(0).with(FaultKind::BudgetShock { round: 3, factor: 1.5 }),
+            FaultPlan::new(0)
+                .with(FaultKind::DroppedUploads { rate: 0.6 })
+                .with(FaultKind::StragglerUploads { rate: 0.6, max_retries: 1, backoff_rounds: 1 }),
+        ] {
+            assert!(plan.validate().is_err(), "plan should fail validation: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_duplicates() {
+        let plan = FaultPlan::new(0)
+            .with(FaultKind::Dropout { rate: 0.1 })
+            .with(FaultKind::Dropout { rate: 0.2 });
+        assert_eq!(plan.validate(), Err(FaultError::Duplicate("dropout")));
+    }
+
+    #[test]
+    fn injector_replays_bit_identically() {
+        let recorder = Recorder::disabled();
+        let drive = || {
+            let mut inj = FaultInjector::new(&full_plan(42), 7, 20, &recorder).unwrap();
+            let mut log = Vec::new();
+            for round in 1..=6 {
+                let rf = inj.begin_round(round);
+                log.push(format!("{rf:?}"));
+                for user in 0..20 {
+                    log.push(format!("{}", inj.user_offline(user)));
+                }
+                for _ in 0..10 {
+                    log.push(format!("{:?}", inj.upload_fate()));
+                }
+                let p =
+                    inj.noised_location(Point::new(100.0, 100.0), Rect::square(3000.0).unwrap());
+                log.push(format!("{:.9},{:.9}", p.x, p.y));
+            }
+            log
+        };
+        assert_eq!(drive(), drive());
+    }
+
+    #[test]
+    fn different_fault_seeds_diverge() {
+        let recorder = Recorder::disabled();
+        let fates = |fault_seed| {
+            let plan = FaultPlan::new(fault_seed).with(FaultKind::DroppedUploads { rate: 0.5 });
+            let mut inj = FaultInjector::new(&plan, 7, 4, &recorder).unwrap();
+            inj.begin_round(1);
+            (0..64).map(|_| inj.upload_fate() == UploadFate::Dropped).collect::<Vec<_>>()
+        };
+        assert_ne!(fates(1), fates(2));
+    }
+
+    #[test]
+    fn zero_rate_faults_draw_nothing() {
+        let recorder = Recorder::disabled();
+        let plan = FaultPlan::new(5)
+            .with(FaultKind::Dropout { rate: 0.0 })
+            .with(FaultKind::DroppedUploads { rate: 0.0 })
+            .with(FaultKind::GpsNoise { sigma: 0.0 })
+            .with(FaultKind::DemandOutage { rate: 0.0 })
+            .with(FaultKind::LateArrival { fraction: 0.0, latest_round: 4 });
+        let mut inj = FaultInjector::new(&plan, 9, 8, &recorder).unwrap();
+        let before = inj.rng_state();
+        for round in 1..=4 {
+            let rf = inj.begin_round(round);
+            assert_eq!(rf, RoundFaults { stale_pricing: false, budget_shock: None });
+            for user in 0..8 {
+                assert!(!inj.user_offline(user));
+            }
+            for _ in 0..6 {
+                assert_eq!(inj.upload_fate(), UploadFate::Delivered);
+            }
+            let p = inj.noised_location(Point::new(1.0, 2.0), Rect::square(10.0).unwrap());
+            assert_eq!((p.x, p.y), (1.0, 2.0));
+        }
+        assert_eq!(inj.rng_state(), before, "inactive faults must not consume randomness");
+    }
+
+    #[test]
+    fn late_arrivals_keep_users_offline_until_their_round() {
+        let recorder = Recorder::disabled();
+        let plan =
+            FaultPlan::new(3).with(FaultKind::LateArrival { fraction: 1.0, latest_round: 4 });
+        let mut inj = FaultInjector::new(&plan, 11, 16, &recorder).unwrap();
+        let mut ever_offline = false;
+        for round in 1..=6 {
+            inj.begin_round(round);
+            for user in 0..16 {
+                let offline = inj.user_offline(user);
+                if round == 1 {
+                    assert!(offline, "every user arrives at round ≥ 2");
+                }
+                if round >= 4 {
+                    assert!(!offline, "everyone has arrived by latest_round");
+                }
+                ever_offline |= offline;
+            }
+        }
+        assert!(ever_offline);
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential_then_abandons() {
+        let recorder = Recorder::disabled();
+        let plan = FaultPlan::new(1).with(FaultKind::StragglerUploads {
+            rate: 0.5,
+            max_retries: 3,
+            backoff_rounds: 2,
+        });
+        let mut inj = FaultInjector::new(&plan, 0, 1, &recorder).unwrap();
+        assert_eq!(inj.retry_backoff(1), Some(2));
+        assert_eq!(inj.retry_backoff(2), Some(4));
+        assert_eq!(inj.retry_backoff(3), Some(8));
+        assert_eq!(inj.retry_backoff(4), None);
+        assert_eq!(inj.retry_backoff(100), None);
+    }
+
+    #[test]
+    fn budget_shock_fires_exactly_once() {
+        let recorder = Recorder::disabled();
+        let plan = FaultPlan::new(1).with(FaultKind::BudgetShock { round: 3, factor: 0.25 });
+        let mut inj = FaultInjector::new(&plan, 0, 1, &recorder).unwrap();
+        for round in 1..=5 {
+            let rf = inj.begin_round(round);
+            if round == 3 {
+                assert_eq!(rf.budget_shock, Some(0.25));
+            } else {
+                assert_eq!(rf.budget_shock, None);
+            }
+        }
+    }
+
+    #[test]
+    fn gps_noise_stays_inside_the_area() {
+        let recorder = Recorder::disabled();
+        let plan = FaultPlan::new(8).with(FaultKind::GpsNoise { sigma: 500.0 });
+        let mut inj = FaultInjector::new(&plan, 2, 1, &recorder).unwrap();
+        let area = Rect::square(100.0).unwrap();
+        inj.begin_round(1);
+        for _ in 0..200 {
+            let p = inj.noised_location(Point::new(50.0, 50.0), area);
+            assert!(area.contains(p), "noised location {p:?} escaped the area");
+        }
+    }
+
+    #[test]
+    fn events_are_counted_through_the_recorder() {
+        let recorder = Recorder::enabled();
+        let plan = FaultPlan::new(4)
+            .with(FaultKind::DroppedUploads { rate: 0.999 })
+            .with(FaultKind::BudgetShock { round: 1, factor: 0.0 });
+        let mut inj = FaultInjector::new(&plan, 0, 4, &recorder).unwrap();
+        inj.begin_round(1);
+        for _ in 0..50 {
+            inj.upload_fate();
+        }
+        let snap = recorder.snapshot();
+        let dropped =
+            snap.counter_value("fault_events_total", Some(("kind", "drop-upload"))).unwrap_or(0);
+        assert!(dropped > 40, "expected most of 50 uploads dropped, saw {dropped}");
+        assert_eq!(
+            snap.counter_value("fault_events_total", Some(("kind", "budget-shock"))),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rng_state_roundtrip_resumes_the_stream() {
+        let recorder = Recorder::disabled();
+        let plan = full_plan(12);
+        let mut a = FaultInjector::new(&plan, 3, 10, &recorder).unwrap();
+        let mut b = FaultInjector::new(&plan, 3, 10, &recorder).unwrap();
+        a.begin_round(1);
+        b.begin_round(1);
+        for user in 0..10 {
+            a.user_offline(user);
+            b.user_offline(user);
+        }
+        let state = a.rng_state();
+        b.restore_rng(state);
+        for _ in 0..50 {
+            assert_eq!(a.upload_fate(), b.upload_fate());
+        }
+    }
+
+    #[test]
+    fn mix_seed_separates_nearby_pairs() {
+        assert_ne!(mix_seed(0, 1), mix_seed(1, 0));
+        assert_ne!(mix_seed(5, 5), mix_seed(5, 6));
+        assert_ne!(mix_seed(5, 5), mix_seed(6, 5));
+    }
+}

@@ -101,6 +101,26 @@ impl RandomWaypoint {
     pub fn speed(&self) -> f64 {
         self.speed
     }
+
+    /// The waypoint currently being walked towards, if one is active.
+    ///
+    /// Exposed so simulation checkpoints can capture mid-walk state.
+    #[must_use]
+    pub fn waypoint(&self) -> Option<Point> {
+        self.waypoint
+    }
+
+    /// Rebuilds a model mid-walk, e.g. from a checkpoint captured with
+    /// [`RandomWaypoint::waypoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive and finite.
+    #[must_use]
+    pub fn with_waypoint(speed: f64, waypoint: Option<Point>) -> Self {
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        RandomWaypoint { speed, waypoint }
+    }
 }
 
 impl MobilityModel for RandomWaypoint {
@@ -506,6 +526,22 @@ mod tests {
     #[should_panic(expected = "beta must be in [0, 1]")]
     fn gauss_markov_rejects_bad_beta() {
         let _ = GaussMarkov::new(1.5, 2.0, 1.0);
+    }
+
+    #[test]
+    fn waypoint_state_roundtrips_mid_walk() {
+        let area = Rect::square(500.0).unwrap();
+        let mut model = RandomWaypoint::new(2.0);
+        let mut r = rng(99);
+        let pos = model.advance(Point::new(250.0, 250.0), area, 10.0, &mut r);
+        let mut restored = RandomWaypoint::with_waypoint(model.speed(), model.waypoint());
+        // Same pending waypoint ⇒ the next step is identical and
+        // consumes no randomness while the walk is still in progress.
+        let mut r2 = r.clone();
+        assert_eq!(
+            model.advance(pos, area, 5.0, &mut r),
+            restored.advance(pos, area, 5.0, &mut r2)
+        );
     }
 
     #[test]

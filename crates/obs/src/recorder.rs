@@ -237,6 +237,22 @@ impl Snapshot {
         self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
     }
 
+    /// Sums every counter in the family `name` across all of its
+    /// labels (e.g. the total of `fault_events_total` over every fault
+    /// kind). Returns `None` if no counter in the family exists.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut total = 0u64;
+        for (key, v) in &self.counters {
+            if key.name == name {
+                found = true;
+                total += v;
+            }
+        }
+        found.then_some(total)
+    }
+
     /// Looks up a gauge by name and optional `(key, value)` label.
     #[must_use]
     pub fn gauge_value(&self, name: &str, label: Option<(&str, &str)>) -> Option<i64> {
@@ -284,6 +300,18 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_total_sums_across_labels() {
+        let r = Recorder::enabled();
+        r.counter_with("fault_events_total", "kind", "dropout").add(3);
+        r.counter_with("fault_events_total", "kind", "gps").add(4);
+        r.counter("checkpoint_writes_total").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("fault_events_total"), Some(7));
+        assert_eq!(snap.counter_total("checkpoint_writes_total"), Some(1));
+        assert_eq!(snap.counter_total("absent_total"), None);
+    }
 
     #[test]
     fn disabled_recorder_hands_out_inert_instruments() {

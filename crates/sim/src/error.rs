@@ -16,6 +16,33 @@ pub enum SimError {
     Core(paydemand_core::CoreError),
     /// Writing a report failed.
     Io(String),
+    /// An internal engine invariant failed (e.g. a selected task is not
+    /// in the published book). Surfaced as an error instead of a panic
+    /// so a faulted run degrades or aborts cleanly, never taking the
+    /// process down.
+    EngineInvariant {
+        /// What went wrong.
+        message: String,
+    },
+    /// A checkpoint could not be captured, decoded or resumed (corrupt
+    /// bytes, version mismatch, or a scenario that does not match the
+    /// checkpointed run).
+    Checkpoint {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// An [`SimError::EngineInvariant`] with the given message.
+    pub(crate) fn invariant(message: impl Into<String>) -> Self {
+        SimError::EngineInvariant { message: message.into() }
+    }
+
+    /// An [`SimError::Checkpoint`] with the given message.
+    pub(crate) fn checkpoint(message: impl Into<String>) -> Self {
+        SimError::Checkpoint { message: message.into() }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -26,6 +53,10 @@ impl fmt::Display for SimError {
             }
             SimError::Core(e) => write!(f, "core: {e}"),
             SimError::Io(msg) => write!(f, "io: {msg}"),
+            SimError::EngineInvariant { message } => {
+                write!(f, "engine invariant violated: {message}")
+            }
+            SimError::Checkpoint { message } => write!(f, "checkpoint: {message}"),
         }
     }
 }
@@ -63,5 +94,15 @@ mod tests {
         assert!(io.to_string().contains("boom"));
         let inv = SimError::InvalidScenario { field: "users", message: "zero".into() };
         assert!(inv.to_string().contains("users"));
+    }
+
+    #[test]
+    fn engine_invariant_and_checkpoint_display() {
+        let inv = SimError::invariant("task 3 missing from published book");
+        assert!(inv.to_string().contains("invariant"));
+        assert!(inv.to_string().contains("task 3"));
+        assert!(inv.source().is_none());
+        let ck = SimError::checkpoint("bad magic");
+        assert!(ck.to_string().contains("checkpoint: bad magic"));
     }
 }

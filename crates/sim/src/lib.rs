@@ -9,7 +9,9 @@
 //!   constants as [`Scenario::paper_default`];
 //! * [`engine`] — the round loop of Fig. 1: publish → select → perform
 //!   → upload → demand-recalculate, with users processed in random
-//!   order against live task availability;
+//!   order against live task availability; exposed both as one-shot
+//!   `run*` functions and as a resumable [`Engine`] with round-granular
+//!   checkpoints and deterministic fault injection ([`FaultPlan`]);
 //! * [`metrics`] — coverage, overall completeness, measurement counts
 //!   and variance, reward per measurement, per-user profit;
 //! * [`stats`] — summary statistics, five-number boxplot summaries and
@@ -38,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod checkpoint;
 pub mod engine;
 mod error;
 pub mod experiments;
@@ -54,9 +57,10 @@ pub mod sweep;
 pub mod trace;
 mod workload;
 
-pub use engine::{RoundRecord, SimulationResult};
+pub use engine::{Engine, RoundRecord, SimulationResult};
 pub use error::SimError;
 pub use paydemand_core::incentive::PricingCacheMode;
 pub use paydemand_core::IndexingMode;
+pub use paydemand_faults::{FaultKind, FaultPlan};
 pub use scenario::{MechanismKind, Scenario, SelectorKind, TravelModel, UserMotion};
 pub use workload::Workload;

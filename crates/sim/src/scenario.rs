@@ -221,6 +221,11 @@ pub struct Scenario {
     /// produces bit-identical rewards; `FullRecompute` additionally
     /// asserts the cache against a from-scratch recompute each round.
     pub pricing_cache: PricingCacheMode,
+    /// Faults to inject during the run, if any. The fault machinery
+    /// draws from its own RNG stream (seeded from `seed` mixed with the
+    /// plan's fault seed), so `None` and an empty plan are bitwise
+    /// equivalent to each other and to the unfaulted engine.
+    pub faults: Option<paydemand_faults::FaultPlan>,
     /// Master RNG seed; every random draw derives from it.
     pub seed: u64,
 }
@@ -259,6 +264,7 @@ impl Scenario {
             selector: SelectorKind::Dp { candidate_cap: Some(14) },
             indexing: IndexingMode::default(),
             pricing_cache: PricingCacheMode::default(),
+            faults: None,
             seed: 0x5EED,
         }
     }
@@ -330,6 +336,13 @@ impl Scenario {
     #[must_use]
     pub fn with_pricing_cache(mut self, mode: PricingCacheMode) -> Self {
         self.pricing_cache = mode;
+        self
+    }
+
+    /// Attaches a fault plan (see [`paydemand_faults::FaultPlan`]).
+    #[must_use]
+    pub fn with_faults(mut self, plan: paydemand_faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -419,6 +432,11 @@ impl Scenario {
                 return fail("travel", format!("street closure {closure}"));
             }
         }
+        if let Some(plan) = &self.faults {
+            if let Err(e) = plan.validate() {
+                return fail("faults", e.to_string());
+            }
+        }
         Ok(())
     }
 }
@@ -504,6 +522,13 @@ mod tests {
             (
                 Scenario { user_motion: UserMotion::Wander { seconds: f64::NAN }, ..base() },
                 "user_motion",
+            ),
+            (
+                base().with_faults(
+                    paydemand_faults::FaultPlan::new(0)
+                        .with(paydemand_faults::FaultKind::Dropout { rate: 2.0 }),
+                ),
+                "faults",
             ),
         ];
         for (scenario, field) in cases {

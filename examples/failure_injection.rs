@@ -1,24 +1,59 @@
-//! Failure injection: how robust is each incentive mechanism when users
-//! churn mid-campaign?
+//! Failure injection: how robust is each incentive mechanism when the
+//! fleet misbehaves mid-campaign?
 //!
-//! The paper assumes a stable user population. Real crowdsensing loses
-//! workers: phones die, people leave town. This example teleports a
-//! fraction of users every round (the harshest churn model — their
-//! local knowledge and position reset), and watches which mechanism's
-//! completeness degrades gracefully.
+//! The paper assumes a stable user population and a lossless upload
+//! path. Real crowdsensing loses workers (phones die, people leave
+//! town) and loses data (radios drop uploads). This example stresses
+//! both axes:
+//!
+//! * **motion churn** — a fraction of users teleport every round, the
+//!   harshest mobility model (their position and local knowledge
+//!   reset);
+//! * **fault plans** — the deterministic [`FaultPlan`] injector arms
+//!   user dropout and dropped uploads on top of the stable motion
+//!   model, at increasing rates.
+//!
+//! Which mechanism's completeness degrades gracefully?
 //!
 //! ```sh
 //! cargo run --release --example failure_injection
 //! ```
 
 use paydemand::sim::stats::Summary;
-use paydemand::sim::{runner, MechanismKind, Scenario, SelectorKind, UserMotion};
+use paydemand::sim::{
+    runner, FaultKind, FaultPlan, MechanismKind, Scenario, SelectorKind, UserMotion,
+};
+
+fn base_scenario(motion: UserMotion) -> Scenario {
+    Scenario {
+        user_motion: motion,
+        users: 80,
+        selector: SelectorKind::Dp { candidate_cap: Some(14) },
+        ..Scenario::paper_default()
+    }
+    .with_seed(31)
+}
+
+fn completeness_means(
+    base: &Scenario,
+    reps: usize,
+    threads: usize,
+) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    let mut means = Vec::new();
+    for mechanism in [MechanismKind::OnDemand, MechanismKind::Fixed] {
+        let scenario = base.clone().with_mechanism(mechanism);
+        let results = runner::run_repetitions_parallel(&scenario, reps, threads)?;
+        let completeness = runner::collect_metric(&results, |r| 100.0 * r.completeness());
+        means.push(Summary::of(&completeness).mean);
+    }
+    Ok(means)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reps = 15;
     let threads = std::thread::available_parallelism()?.get();
 
-    println!("failure injection — user churn via per-round teleportation, {reps} reps");
+    println!("failure injection I — user churn via per-round motion, {reps} reps");
     println!("{:-<64}", "");
     println!("{:<22} {:>18} {:>18}", "motion model", "on-demand compl %", "fixed compl %");
 
@@ -28,29 +63,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("wanderers (5 min)", UserMotion::Wander { seconds: 300.0 }),
         ("full churn (teleport)", UserMotion::Teleport),
     ] {
-        let base = Scenario {
-            user_motion: motion,
-            users: 80,
-            selector: SelectorKind::Dp { candidate_cap: Some(14) },
-            ..Scenario::paper_default()
-        }
-        .with_seed(31);
+        let means = completeness_means(&base_scenario(motion), reps, threads)?;
+        println!("{label:<22} {:>18.1} {:>18.1}", means[0], means[1]);
+    }
 
-        let mut means = Vec::new();
-        for mechanism in [MechanismKind::OnDemand, MechanismKind::Fixed] {
-            let scenario = base.clone().with_mechanism(mechanism);
-            let results = runner::run_repetitions_parallel(&scenario, reps, threads)?;
-            let completeness = runner::collect_metric(&results, |r| 100.0 * r.completeness());
-            means.push(Summary::of(&completeness).mean);
+    println!();
+    println!("failure injection II — seeded fault plans (dropout + dropped uploads)");
+    println!("{:-<64}", "");
+    println!("{:<22} {:>18} {:>18}", "fault plan", "on-demand compl %", "fixed compl %");
+
+    for (label, dropout, drop_upload) in [
+        ("none", 0.0, 0.0),
+        ("light (10% / 5%)", 0.10, 0.05),
+        ("moderate (25% / 15%)", 0.25, 0.15),
+        ("severe (40% / 30%)", 0.40, 0.30),
+    ] {
+        let mut base = base_scenario(UserMotion::StayAtRouteEnd);
+        if dropout > 0.0 || drop_upload > 0.0 {
+            base = base.with_faults(
+                FaultPlan::new(9)
+                    .with(FaultKind::Dropout { rate: dropout })
+                    .with(FaultKind::DroppedUploads { rate: drop_upload }),
+            );
         }
+        let means = completeness_means(&base, reps, threads)?;
         println!("{label:<22} {:>18.1} {:>18.1}", means[0], means[1]);
     }
 
     println!("{:-<64}", "");
-    println!("Two things to notice: (1) on-demand dominates fixed in every");
-    println!("motion regime; (2) mobility itself *helps* both mechanisms —");
-    println!("churned users land near previously-unreachable tasks — but the");
-    println!("fixed mechanism needs that luck, while on-demand manufactures");
-    println!("it by repricing. The gap is widest for a stable population.");
+    println!("Three things to notice: (1) on-demand dominates fixed in every");
+    println!("motion regime and at every fault rate; (2) mobility *helps* both");
+    println!("mechanisms — churned users land near unreachable tasks — while");
+    println!("upload faults only hurt, because lost data earns no repricing;");
+    println!("(3) on-demand degrades the most gracefully: unmet demand pushes");
+    println!("prices back up, re-attracting users to tasks whose uploads were");
+    println!("lost. The fixed mechanism cannot compensate at all.");
     Ok(())
 }

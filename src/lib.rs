@@ -26,8 +26,11 @@
 //! * [`ahp`] — the Analytic Hierarchy Process;
 //! * [`routing`] — Held-Karp subset DP, orienteering, greedy, 2-opt;
 //! * [`core`] — tasks, users, demand, incentive mechanisms, selection;
-//! * [`sim`] — the Monte-Carlo evaluation harness and figure
-//!   regeneration.
+//! * [`faults`] — deterministic, seed-driven fault injection
+//!   (dropout, lost/straggler uploads, GPS noise, budget shocks,
+//!   demand outages);
+//! * [`sim`] — the Monte-Carlo evaluation harness, checkpoint/resume,
+//!   and figure regeneration.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@
 
 pub use paydemand_ahp as ahp;
 pub use paydemand_core as core;
+pub use paydemand_faults as faults;
 pub use paydemand_geo as geo;
 pub use paydemand_obs as obs;
 pub use paydemand_routing as routing;

@@ -195,6 +195,26 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// Exports the raw xoshiro256** state, for checkpointing.
+        ///
+        /// Feeding the returned words back through [`StdRng::from_state`]
+        /// yields a generator that continues the exact same stream.
+        pub fn to_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously exported with
+        /// [`StdRng::to_state`].
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            // xoshiro must not start from the all-zero state. A genuine
+            // export can never be all-zero, so this only guards corrupt
+            // input, mirroring `from_seed`.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+            }
+            StdRng { s }
+        }
     }
 
     impl RngCore for StdRng {
@@ -295,6 +315,24 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..37 {
+            rng.next_u64();
+        }
+        let mut resumed = StdRng::from_state(rng.to_state());
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    fn from_state_guards_all_zero() {
+        let mut rng = StdRng::from_state([0, 0, 0, 0]);
+        assert_ne!(rng.next_u64(), 0);
     }
 
     #[test]
