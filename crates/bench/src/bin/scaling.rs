@@ -11,7 +11,7 @@
 //! pricing cache. Outputs are cross-checked for bitwise identity before
 //! any timing is reported; see `paydemand_bench::scaling`.
 
-use paydemand_bench::scaling::{run_point, to_json, Config};
+use paydemand_bench::scaling::{measure_trace_overhead, run_point, to_json_full, Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scaling.json".to_string());
@@ -42,12 +42,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let json = to_json(&points);
+    eprintln!("scaling: trace overhead on the 10k-user engine arm ...");
+    let trace = measure_trace_overhead(10_000, 100, 8, 3);
+    eprintln!(
+        "  plain {:.4} s, traced {:.4} s ({:+.1}%), journal {} bytes, identical: {}",
+        trace.plain_seconds,
+        trace.traced_seconds,
+        100.0 * trace.overhead_fraction(),
+        trace.journal_bytes,
+        trace.identical,
+    );
+
+    let json = to_json_full(&points, Some(&trace));
     std::fs::write(&out_path, &json)?;
     eprintln!("wrote {out_path}");
 
     if points.iter().any(|p| !p.identical) {
         return Err("arms produced different outputs; timings invalid".into());
+    }
+    if !trace.identical {
+        return Err("trace-enabled run diverged from the plain run".into());
     }
     Ok(())
 }

@@ -1,0 +1,222 @@
+//! The bench regression gate: compares a freshly generated
+//! `BENCH_scaling.json` against the committed baseline and fails on a
+//! >25% wall-clock regression in any arm.
+//!
+//! The parser is deliberately tiny and format-specific — it reads only
+//! the flat document [`crate::scaling::to_json_full`] emits, so the
+//! workspace stays dependency-free. Microsecond-scale arms are noisy on
+//! shared CI runners, so a regression only counts when it clears both
+//! the relative threshold *and* a small absolute grace.
+
+use std::collections::BTreeMap;
+
+/// Relative wall-clock regression that fails the gate (25%).
+pub const MAX_REGRESSION: f64 = 0.25;
+/// Absolute grace: a slowdown below this many seconds never fails,
+/// whatever the ratio — sub-millisecond arms flap on scheduler noise.
+pub const ABSOLUTE_GRACE_SECONDS: f64 = 0.005;
+/// Trace-journal overhead above this fraction draws a warning (the
+/// ISSUE target is <15% on the 10k-user arm).
+pub const TRACE_OVERHEAD_TARGET: f64 = 0.15;
+
+/// One arm's wall-clock seconds, keyed by `"{users}x{tasks}:{arm}"`.
+pub type ArmSeconds = BTreeMap<String, f64>;
+
+/// Everything the gate needs from one `BENCH_scaling.json`.
+#[derive(Debug, Clone, Default)]
+pub struct BenchDoc {
+    /// Per-arm wall-clock seconds.
+    pub arms: ArmSeconds,
+    /// Any point where the arms disagreed on outputs.
+    pub any_non_identical: bool,
+    /// The `"trace"` object's `overhead_fraction`, when present.
+    pub trace_overhead: Option<f64>,
+    /// The `"trace"` object's `identical` flag, when present.
+    pub trace_identical: Option<bool>,
+}
+
+/// Extracts the raw text of `"key": value` from a JSON fragment.
+fn field<'a>(fragment: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\": ");
+    let start = fragment.find(&pattern)? + pattern.len();
+    let rest = &fragment[start..];
+    let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn num(fragment: &str, key: &str) -> Option<f64> {
+    field(fragment, key)?.parse().ok()
+}
+
+/// Parses the parts of a `BENCH_scaling.json` document the gate reads.
+///
+/// # Errors
+///
+/// A message naming the malformed line.
+pub fn parse(doc: &str) -> Result<BenchDoc, String> {
+    let mut out = BenchDoc::default();
+    for line in doc.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("\"trace\":") {
+            out.trace_overhead = num(line, "overhead_fraction");
+            out.trace_identical = field(line, "identical").map(|v| v == "true");
+            continue;
+        }
+        if !trimmed.starts_with('{') || !line.contains("\"arms\":") {
+            continue;
+        }
+        let users = num(line, "users").ok_or_else(|| format!("point without users: {line}"))?;
+        let tasks = num(line, "tasks").ok_or_else(|| format!("point without tasks: {line}"))?;
+        if field(line, "identical") == Some("false") {
+            out.any_non_identical = true;
+        }
+        // Each arm object starts with its label; split on that marker.
+        for fragment in line.split("{\"arm\": ").skip(1) {
+            let arm = fragment.split('"').nth(1).ok_or_else(|| format!("bad arm: {line}"))?;
+            let seconds =
+                num(fragment, "seconds").ok_or_else(|| format!("arm without seconds: {line}"))?;
+            out.arms.insert(format!("{users}x{tasks}:{arm}"), seconds);
+        }
+    }
+    if out.arms.is_empty() {
+        return Err("no benchmark points found".into());
+    }
+    Ok(out)
+}
+
+/// One gate verdict line, machine-checkable in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Arm key (`"{users}x{tasks}:{arm}"`).
+    pub key: String,
+    /// Baseline seconds.
+    pub baseline: f64,
+    /// Fresh seconds.
+    pub fresh: f64,
+    /// Whether this arm fails the gate.
+    pub regressed: bool,
+}
+
+/// Compares a fresh document against the baseline. Returns every arm's
+/// verdict plus the overall failure messages (empty = gate passes).
+#[must_use]
+pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc) -> (Vec<Verdict>, Vec<String>) {
+    let mut verdicts = Vec::new();
+    let mut failures = Vec::new();
+    for (key, &base_seconds) in &baseline.arms {
+        let Some(&fresh_seconds) = fresh.arms.get(key) else {
+            failures.push(format!("arm {key} disappeared from the fresh run"));
+            continue;
+        };
+        let regressed = fresh_seconds > base_seconds * (1.0 + MAX_REGRESSION)
+            && fresh_seconds - base_seconds > ABSOLUTE_GRACE_SECONDS;
+        if regressed {
+            failures.push(format!(
+                "arm {key} regressed: {base_seconds:.6}s -> {fresh_seconds:.6}s \
+                 ({:+.1}%)",
+                100.0 * (fresh_seconds / base_seconds - 1.0)
+            ));
+        }
+        verdicts.push(Verdict {
+            key: key.clone(),
+            baseline: base_seconds,
+            fresh: fresh_seconds,
+            regressed,
+        });
+    }
+    if fresh.any_non_identical {
+        failures.push("fresh run has non-identical arms; timings are invalid".into());
+    }
+    if fresh.trace_identical == Some(false) {
+        failures.push("fresh trace-enabled run diverged from the plain run".into());
+    }
+    (verdicts, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(naive: f64, cached: f64, trace: Option<(f64, bool)>) -> String {
+        let trace_line = trace.map_or(String::new(), |(overhead, identical)| {
+            format!(
+                "  \"trace\": {{\"users\": 10000, \"tasks\": 100, \"rounds\": 8, \
+                 \"plain_seconds\": 1.0, \"traced_seconds\": {:.3}, \
+                 \"overhead_fraction\": {overhead:.4}, \"journal_bytes\": 9, \
+                 \"identical\": {identical}}},\n",
+                1.0 + overhead
+            )
+        });
+        format!(
+            "{{\n  \"benchmark\": \"round_loop_scaling\",\n{trace_line}  \"points\": [\n    \
+             {{\"users\": 100, \"tasks\": 100, \"rounds\": 8, \"radius_m\": 200, \
+             \"move_fraction\": 0.1, \"identical\": true, \"arms\": [{{\"arm\": \"naive\", \
+             \"seconds\": {naive:.6}, \"demand_seconds\": 0.0, \"pricing_seconds\": 0.0, \
+             \"delta_rounds\": 0, \"rebuilds\": 0}}, {{\"arm\": \"indexed_cached\", \
+             \"seconds\": {cached:.6}, \"demand_seconds\": 0.0, \"pricing_seconds\": 0.0, \
+             \"delta_rounds\": 7, \"rebuilds\": 1}}]}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn parses_the_real_committed_baseline_format() {
+        let parsed = parse(&doc(0.1, 0.05, Some((0.08, true)))).unwrap();
+        assert_eq!(parsed.arms.len(), 2);
+        assert_eq!(parsed.arms["100x100:naive"], 0.1);
+        assert_eq!(parsed.arms["100x100:indexed_cached"], 0.05);
+        assert_eq!(parsed.trace_overhead, Some(0.08));
+        assert_eq!(parsed.trace_identical, Some(true));
+        assert!(!parsed.any_non_identical);
+        // Trace section is optional (pre-existing baselines).
+        let old = parse(&doc(0.1, 0.05, None)).unwrap();
+        assert_eq!(old.trace_overhead, None);
+    }
+
+    #[test]
+    fn passes_when_fresh_is_no_slower() {
+        let baseline = parse(&doc(0.1, 0.05, None)).unwrap();
+        let fresh = parse(&doc(0.11, 0.05, Some((0.05, true)))).unwrap();
+        let (verdicts, failures) = compare(&baseline, &fresh);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| !v.regressed));
+    }
+
+    #[test]
+    fn fails_on_a_large_regression() {
+        let baseline = parse(&doc(0.1, 0.05, None)).unwrap();
+        let fresh = parse(&doc(0.2, 0.05, None)).unwrap();
+        let (_, failures) = compare(&baseline, &fresh);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("100x100:naive"), "{failures:?}");
+    }
+
+    #[test]
+    fn small_absolute_slowdowns_never_fail() {
+        // 100% relative regression but only 2ms absolute: noise, not a
+        // regression.
+        let baseline = parse(&doc(0.002, 0.001, None)).unwrap();
+        let fresh = parse(&doc(0.004, 0.001, None)).unwrap();
+        let (_, failures) = compare(&baseline, &fresh);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_arms_and_divergence_fail() {
+        let baseline = parse(&doc(0.1, 0.05, None)).unwrap();
+        let mut fresh = parse(&doc(0.1, 0.05, None)).unwrap();
+        fresh.arms.remove("100x100:naive");
+        let (_, failures) = compare(&baseline, &fresh);
+        assert!(failures.iter().any(|f| f.contains("disappeared")), "{failures:?}");
+
+        let diverged = parse(&doc(0.1, 0.05, Some((0.05, false)))).unwrap();
+        let (_, failures) = compare(&baseline, &diverged);
+        assert!(failures.iter().any(|f| f.contains("diverged")), "{failures:?}");
+    }
+
+    #[test]
+    fn garbage_documents_are_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"benchmark\": \"x\"}").is_err());
+    }
+}

@@ -20,6 +20,7 @@ use paydemand_core::{PublishedTask, TaskId};
 use paydemand_geo::{Point, Rect};
 use rand::Rng;
 
+pub mod gate;
 pub mod scaling;
 
 /// Draws a random selection problem of `m` tasks in the paper's area,

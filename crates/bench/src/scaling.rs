@@ -270,11 +270,111 @@ pub fn run_point(cfg: &Config) -> PointResult {
     PointResult { config: cfg.clone(), arms, identical }
 }
 
+/// Decision-journal overhead at one population point: the same engine
+/// scenario run plain and with the trace sink enabled, interleaved
+/// best-of-N so both arms see the same cache state. `identical` pins
+/// the observability promise — the traced run must produce the same
+/// `SimulationResult` bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct TraceOverhead {
+    /// Users in the measured scenario.
+    pub users: usize,
+    /// Tasks in the measured scenario.
+    pub tasks: usize,
+    /// Rounds the scenario runs.
+    pub rounds: u32,
+    /// Best wall-clock seconds for the plain run.
+    pub plain_seconds: f64,
+    /// Best wall-clock seconds for the traced run.
+    pub traced_seconds: f64,
+    /// Size of the emitted journal in bytes.
+    pub journal_bytes: usize,
+    /// Whether the traced result matched the plain result exactly.
+    pub identical: bool,
+}
+
+impl TraceOverhead {
+    /// Relative slowdown of the traced run (`0.1` = 10% slower).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.plain_seconds > 0.0 {
+            self.traced_seconds / self.plain_seconds - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures trace-journal overhead on a full engine run at the given
+/// population, interleaving `iterations` plain/traced pairs and keeping
+/// the best time of each arm.
+#[must_use]
+pub fn measure_trace_overhead(
+    users: usize,
+    tasks: usize,
+    rounds: u32,
+    iterations: usize,
+) -> TraceOverhead {
+    use paydemand_sim::{engine, MechanismKind, Scenario, SelectorKind};
+
+    let mut scenario = Scenario::paper_default()
+        .with_users(users)
+        .with_tasks(tasks)
+        .with_max_rounds(rounds)
+        .with_selector(SelectorKind::Greedy)
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(0x0B5E_11E0);
+    // Keep Eq. 9 feasible at every population: budget at the paper's
+    // ratio of 2.5 × Σφ.
+    scenario.reward_budget = 2.5 * (tasks as f64) * f64::from(scenario.required_per_task);
+
+    let recorder = Recorder::disabled();
+    let mut plain_seconds = f64::INFINITY;
+    let mut traced_seconds = f64::INFINITY;
+    let mut journal_bytes = 0usize;
+    let mut identical = true;
+    for _ in 0..iterations.max(1) {
+        let started = Instant::now();
+        let plain = engine::run(&scenario).expect("plain run");
+        plain_seconds = plain_seconds.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        let (traced, journal) = engine::run_traced(&scenario, &recorder).expect("traced run");
+        traced_seconds = traced_seconds.min(started.elapsed().as_secs_f64());
+
+        journal_bytes = journal.len();
+        identical &= traced == plain;
+    }
+    TraceOverhead { users, tasks, rounds, plain_seconds, traced_seconds, journal_bytes, identical }
+}
+
 /// Serialises points as the `BENCH_scaling.json` document (no external
 /// JSON dependency; the format is flat enough to emit by hand).
 #[must_use]
 pub fn to_json(points: &[PointResult]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"round_loop_scaling\",\n  \"points\": [\n");
+    to_json_full(points, None)
+}
+
+/// [`to_json`] plus an optional top-level `"trace"` overhead object.
+#[must_use]
+pub fn to_json_full(points: &[PointResult], trace: Option<&TraceOverhead>) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"round_loop_scaling\",\n");
+    if let Some(t) = trace {
+        out.push_str(&format!(
+            "  \"trace\": {{\"users\": {}, \"tasks\": {}, \"rounds\": {}, \
+             \"plain_seconds\": {:.6}, \"traced_seconds\": {:.6}, \
+             \"overhead_fraction\": {:.4}, \"journal_bytes\": {}, \"identical\": {}}},\n",
+            t.users,
+            t.tasks,
+            t.rounds,
+            t.plain_seconds,
+            t.traced_seconds,
+            t.overhead_fraction(),
+            t.journal_bytes,
+            t.identical,
+        ));
+    }
+    out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"users\": {}, \"tasks\": {}, \"rounds\": {}, \"radius_m\": {}, \
@@ -358,6 +458,21 @@ mod tests {
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn trace_overhead_preserves_results_and_serialises() {
+        let t = measure_trace_overhead(30, 8, 4, 1);
+        assert!(t.identical, "tracing changed the simulation: {t:?}");
+        assert!(t.journal_bytes > 0);
+        assert!(t.plain_seconds > 0.0 && t.traced_seconds > 0.0);
+        let json = to_json_full(&[run_point(&tiny())], Some(&t));
+        assert!(json.contains("\"trace\": {\"users\": 30"));
+        assert!(json.contains("\"overhead_fraction\""));
+        assert!(json.contains("\"identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Without a trace section the document is unchanged in shape.
+        assert!(!to_json(&[run_point(&tiny())]).contains("\"trace\""));
     }
 
     #[test]

@@ -14,7 +14,17 @@ paydemand — demand-based dynamic incentives for mobile crowdsensing (ICDCS'18)
 USAGE:
     paydemand run     [OPTIONS]   run one configuration, print metrics
     paydemand compare [OPTIONS]   run every mechanism on identical workloads
+    paydemand trace   SUBCOMMAND  inspect/explain/verify a decision journal
     paydemand --help
+
+TRACE SUBCOMMANDS (over a journal written by `run --trace-out`):
+    trace inspect PATH            frame counts, rounds, totals, faults
+    trace explain-task PATH T     task T's demand/level/reward trajectory
+    trace explain-user PATH U     user U's selections and earnings
+    trace diff PATH_A PATH_B      first divergence between two journals
+    trace export PATH [--format jsonl]   decode every frame to stdout
+    trace verify PATH             audit internal consistency (framing,
+                                  payments vs posted prices, budget)
 
 OPTIONS (both commands):
     --preset NAME      paper | dense-downtown | sparse-rural |
@@ -61,6 +71,10 @@ OPTIONS (both commands):
 OPTIONS (run only):
     --mechanism NAME   on-demand | fixed | steered | steered-paper |
                        proportional | hybrid:ALPHA     [default: on-demand]
+    --trace-out PATH   journal repetition 0's decision trace to PATH
+                       (demand breakdowns, selections, payments, faults),
+                       replay-verified against the live result before
+                       writing; read it back with `paydemand trace`
     --checkpoint-every N    checkpoint the engine every N rounds
                             (single run; needs --checkpoint-file and --reps 1)
     --checkpoint-file PATH  where checkpoints are written (atomic overwrite)
@@ -77,6 +91,49 @@ pub enum Command {
     Run(Options),
     /// Run all paper mechanisms on the same workloads.
     Compare(Options),
+    /// Inspect, explain, diff, export, or verify a decision journal.
+    Trace(TraceCommand),
+}
+
+/// A `paydemand trace` subcommand over a journal file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCommand {
+    /// Summarise a journal: frame counts, rounds, payments, faults.
+    Inspect {
+        /// Journal file written by `run --trace-out`.
+        path: String,
+    },
+    /// Print one task's demand/level/reward trajectory.
+    ExplainTask {
+        /// Journal file.
+        path: String,
+        /// Task id to explain.
+        task: u32,
+    },
+    /// Print one user's selection decisions and earnings.
+    ExplainUser {
+        /// Journal file.
+        path: String,
+        /// User id to explain.
+        user: u32,
+    },
+    /// Report the first frame where two journals diverge.
+    Diff {
+        /// First journal.
+        a: String,
+        /// Second journal.
+        b: String,
+    },
+    /// Decode every frame to stdout as JSON Lines.
+    Export {
+        /// Journal file.
+        path: String,
+    },
+    /// Audit a journal's internal consistency.
+    Verify {
+        /// Journal file.
+        path: String,
+    },
 }
 
 /// Options shared by the subcommands.
@@ -100,6 +157,8 @@ pub struct Options {
     pub checkpoint_file: Option<String>,
     /// Resume from this checkpoint file instead of starting fresh.
     pub resume_from: Option<String>,
+    /// Write repetition 0's decision journal here (run only).
+    pub trace_out: Option<String>,
 }
 
 impl Options {
@@ -129,6 +188,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut it = argv.iter().map(String::as_str);
     let sub = match it.next() {
         None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
+        Some("trace") => return parse_trace(&mut it),
         Some(sub @ ("run" | "compare")) => sub,
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
@@ -144,6 +204,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut checkpoint_every: Option<u32> = None;
     let mut checkpoint_file: Option<String> = None;
     let mut resume_from: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     while let Some(flag) = it.next() {
         match flag {
@@ -202,6 +263,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         checkpoint_file = Some(value.to_string());
                     }
                     "--resume" if sub == "run" => resume_from = Some(value.to_string()),
+                    "--trace-out" if sub == "run" => trace_out = Some(value.to_string()),
                     other => return Err(format!("unknown flag `{other}` for `{sub}`")),
                 }
             }
@@ -226,6 +288,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     if (checkpoint_every.is_some() || resume_from.is_some()) && reps != 1 {
         return Err("checkpointed runs are single-repetition: add --reps 1".into());
     }
+    if trace_out.is_some() && (checkpoint_every.is_some() || resume_from.is_some()) {
+        return Err("--trace-out does not combine with checkpointed runs".into());
+    }
     scenario.validate().map_err(|e| e.to_string())?;
     let options = Options {
         scenario,
@@ -237,11 +302,82 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         checkpoint_every,
         checkpoint_file,
         resume_from,
+        trace_out,
     };
     Ok(match sub {
         "run" => Command::Run(options),
         _ => Command::Compare(options),
     })
+}
+
+fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, String> {
+    let action = match it.next() {
+        None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
+        Some(action) => action,
+    };
+    let mut positional: Vec<&str> = Vec::new();
+    let mut format: Option<&str> = None;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--format" => {
+                format = Some(it.next().ok_or("--format needs a value")?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `trace {action}`"));
+            }
+            value => positional.push(value),
+        }
+    }
+    if format.is_some() && action != "export" {
+        return Err(format!("--format only applies to `trace export`, not `trace {action}`"));
+    }
+    if let Some(fmt) = format {
+        if fmt != "jsonl" {
+            return Err(format!("unknown export format `{fmt}` (only `jsonl`)"));
+        }
+    }
+    let arity = |n: usize, usage: &str| -> Result<(), String> {
+        if positional.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`trace {action}` takes {usage}"))
+        }
+    };
+    let cmd = match action {
+        "inspect" => {
+            arity(1, "one journal path")?;
+            TraceCommand::Inspect { path: positional[0].to_string() }
+        }
+        "explain-task" => {
+            arity(2, "a journal path and a task id")?;
+            TraceCommand::ExplainTask {
+                path: positional[0].to_string(),
+                task: parse_num("task id", positional[1])?,
+            }
+        }
+        "explain-user" => {
+            arity(2, "a journal path and a user id")?;
+            TraceCommand::ExplainUser {
+                path: positional[0].to_string(),
+                user: parse_num("user id", positional[1])?,
+            }
+        }
+        "diff" => {
+            arity(2, "two journal paths")?;
+            TraceCommand::Diff { a: positional[0].to_string(), b: positional[1].to_string() }
+        }
+        "export" => {
+            arity(1, "one journal path")?;
+            TraceCommand::Export { path: positional[0].to_string() }
+        }
+        "verify" => {
+            arity(1, "one journal path")?;
+            TraceCommand::Verify { path: positional[0].to_string() }
+        }
+        other => return Err(format!("unknown trace subcommand `{other}`")),
+    };
+    Ok(Command::Trace(cmd))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
@@ -572,6 +708,78 @@ mod tests {
         assert!(parse(&argv("run --resume /tmp/c.ck")).unwrap_err().contains("--reps 1"));
         // Checkpointing is a `run` feature.
         assert!(parse(&argv("compare --resume /tmp/c.ck")).unwrap_err().contains("unknown flag"));
+    }
+
+    #[test]
+    fn trace_out_parses_on_run_only() {
+        let Command::Run(opts) = parse(&argv("run --trace-out /tmp/r.trace")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/r.trace"));
+
+        let Command::Run(defaults) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(defaults.trace_out, None);
+
+        assert!(parse(&argv("compare --trace-out /tmp/r.trace"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&argv("run --reps 1 --trace-out /t --resume /tmp/c.ck"))
+            .unwrap_err()
+            .contains("does not combine"));
+    }
+
+    #[test]
+    fn trace_subcommands_parse() {
+        assert_eq!(
+            parse(&argv("trace inspect /tmp/a.trace")).unwrap(),
+            Command::Trace(TraceCommand::Inspect { path: "/tmp/a.trace".into() })
+        );
+        assert_eq!(
+            parse(&argv("trace explain-task /tmp/a.trace 7")).unwrap(),
+            Command::Trace(TraceCommand::ExplainTask { path: "/tmp/a.trace".into(), task: 7 })
+        );
+        assert_eq!(
+            parse(&argv("trace explain-user /tmp/a.trace 12")).unwrap(),
+            Command::Trace(TraceCommand::ExplainUser { path: "/tmp/a.trace".into(), user: 12 })
+        );
+        assert_eq!(
+            parse(&argv("trace diff /tmp/a.trace /tmp/b.trace")).unwrap(),
+            Command::Trace(TraceCommand::Diff {
+                a: "/tmp/a.trace".into(),
+                b: "/tmp/b.trace".into()
+            })
+        );
+        assert_eq!(
+            parse(&argv("trace export /tmp/a.trace --format jsonl")).unwrap(),
+            Command::Trace(TraceCommand::Export { path: "/tmp/a.trace".into() })
+        );
+        assert_eq!(
+            parse(&argv("trace export /tmp/a.trace")).unwrap(),
+            Command::Trace(TraceCommand::Export { path: "/tmp/a.trace".into() })
+        );
+        assert_eq!(
+            parse(&argv("trace verify /tmp/a.trace")).unwrap(),
+            Command::Trace(TraceCommand::Verify { path: "/tmp/a.trace".into() })
+        );
+        assert_eq!(parse(&argv("trace")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("trace --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn trace_errors_name_the_problem() {
+        assert!(parse(&argv("trace explode /x")).unwrap_err().contains("unknown trace subcommand"));
+        assert!(parse(&argv("trace inspect")).unwrap_err().contains("one journal path"));
+        assert!(parse(&argv("trace inspect /a /b")).unwrap_err().contains("one journal path"));
+        assert!(parse(&argv("trace explain-task /a")).unwrap_err().contains("task id"));
+        assert!(parse(&argv("trace explain-task /a pony")).unwrap_err().contains("cannot parse"));
+        assert!(parse(&argv("trace diff /a")).unwrap_err().contains("two journal paths"));
+        assert!(parse(&argv("trace export /a --format xml")).unwrap_err().contains("jsonl"));
+        assert!(parse(&argv("trace inspect /a --format jsonl"))
+            .unwrap_err()
+            .contains("only applies to `trace export`"));
+        assert!(parse(&argv("trace export /a --banana")).unwrap_err().contains("unknown flag"));
     }
 
     #[test]

@@ -70,7 +70,33 @@ pub fn run(options: &Options) -> Result<(), SimError> {
             row.unit
         );
     }
+    if let Some(path) = &options.trace_out {
+        write_trace(options, &recorder, &results[0], path)?;
+    }
     finish_metrics(options, &recorder)
+}
+
+/// `--trace-out`: re-run repetition 0 with the decision journal
+/// enabled, replay-verify the journal against the live repetition-0
+/// result (bitwise — prices, payments, completions), then write it to
+/// disk. The traced re-run reproduces repetition 0 exactly because the
+/// sink never touches the RNG or the clock.
+fn write_trace(
+    options: &Options,
+    recorder: &Recorder,
+    rep0: &SimulationResult,
+    path: &str,
+) -> Result<(), SimError> {
+    let scenario = options.scenario.clone().with_seed(runner::rep_seed(options.scenario.seed, 0));
+    let (_, journal) = paydemand_sim::engine::run_traced(&scenario, recorder)?;
+    paydemand_sim::replay::verify(&journal, rep0).map_err(SimError::from)?;
+    std::fs::write(path, &journal)
+        .map_err(|e| SimError::Io(format!("writing --trace-out {path}: {e}")))?;
+    println!(
+        "trace: wrote {} bytes of replay-verified decision journal (rep 0) -> {path}",
+        journal.len()
+    );
+    Ok(())
 }
 
 /// The single-repetition checkpointed/resumed variant of `run`: drives
@@ -221,7 +247,7 @@ mod tests {
         let argv: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
         match parse(&argv).unwrap() {
             Command::Run(o) | Command::Compare(o) => o,
-            Command::Help => panic!("expected a command"),
+            Command::Help | Command::Trace(_) => panic!("expected a command"),
         }
     }
 
@@ -307,6 +333,23 @@ mod tests {
             ck.display()
         ));
         assert!(matches!(run(&opts), Err(SimError::Checkpoint { .. })));
+    }
+
+    #[test]
+    fn run_with_trace_out_writes_a_verified_journal() {
+        let dir = std::env::temp_dir().join("paydemand-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.trace");
+        let opts = options(&format!(
+            "run --users 10 --tasks 5 --rounds 3 --reps 2 --selector greedy --trace-out {}",
+            path.display()
+        ));
+        run(&opts).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(paydemand_sim::trace::is_journal(&bytes), "journal header missing");
+        let summary = paydemand_sim::replay::audit(&bytes).unwrap();
+        assert_eq!(summary.rounds, 3);
+        assert!(summary.measurements > 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod trace_cmd;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +21,13 @@ fn main() -> ExitCode {
         }
         Ok(args::Command::Run(opts)) => run_or_report(commands::run(&opts)),
         Ok(args::Command::Compare(opts)) => run_or_report(commands::compare(&opts)),
+        Ok(args::Command::Trace(cmd)) => match trace_cmd::dispatch(&cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Err(msg) => {
             eprintln!("{msg}\n\n{}", args::USAGE);
             ExitCode::FAILURE

@@ -31,8 +31,27 @@ pub use proportional::ProportionalIncentive;
 pub use steered::SteeredIncentive;
 
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 use crate::RoundContext;
+
+/// Why one task was priced the way it was: the per-criterion values,
+/// the AHP-weighted score and the mapped level behind a posted reward.
+/// Produced by [`IncentiveMechanism::explain`] for mechanisms whose
+/// pricing decomposes this way (currently the on-demand mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandBreakdown {
+    /// Deadline-pressure criterion `X₁` (Eq. 3).
+    pub deadline_criterion: f64,
+    /// Completion-progress criterion `X₂` (Eq. 4).
+    pub progress_criterion: f64,
+    /// Neighbour-scarcity criterion `X₃` (Eq. 5).
+    pub scarcity_criterion: f64,
+    /// Normalised AHP-weighted demand score `d̄ ∈ [0, 1]` (Eq. 2, §IV-C).
+    pub score: f64,
+    /// Demand level the score maps to (1-based, Table III).
+    pub level: u32,
+}
 
 /// A pricing policy: given a round snapshot, return the reward for each
 /// published task (aligned with `ctx.tasks`).
@@ -80,6 +99,17 @@ pub trait IncentiveMechanism: std::fmt::Debug {
             })
         }
     }
+
+    /// Explains the pricing of `ctx`: one [`DemandBreakdown`] per task
+    /// in `ctx.tasks`, in order, for mechanisms whose pricing
+    /// decomposes into criteria/score/level. The default — and the
+    /// right answer for the baselines, whose prices carry no demand
+    /// decomposition — is `None`. Must be read-only: no RNG, no cache
+    /// mutation, no effect on future [`IncentiveMechanism::rewards`].
+    fn explain(&self, ctx: &RoundContext) -> Option<Vec<DemandBreakdown>> {
+        let _ = ctx;
+        None
+    }
 }
 
 impl<T: IncentiveMechanism + ?Sized> IncentiveMechanism for Box<T> {
@@ -101,6 +131,10 @@ impl<T: IncentiveMechanism + ?Sized> IncentiveMechanism for Box<T> {
 
     fn restore_state(&mut self, state: &[u8]) -> Result<(), crate::CoreError> {
         (**self).restore_state(state)
+    }
+
+    fn explain(&self, ctx: &RoundContext) -> Option<Vec<DemandBreakdown>> {
+        (**self).explain(ctx)
     }
 }
 

@@ -2,7 +2,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use crate::demand::{DemandCache, TaskObservation};
-use crate::incentive::IncentiveMechanism;
+use crate::incentive::{DemandBreakdown, IncentiveMechanism};
 use crate::{CoreError, DemandIndicator, RewardSchedule, RoundContext, TaskSpec};
 
 /// How [`OnDemandIncentive`] uses its per-task [`DemandCache`].
@@ -208,6 +208,32 @@ impl IncentiveMechanism for OnDemandIncentive {
             .collect()
     }
 
+    /// Per-task criterion values, AHP score and mapped level — computed
+    /// fresh like [`OnDemandIncentive::levels_for`], so explaining a
+    /// round can never disturb the pricing cache. Combining the parts
+    /// through [`DemandIndicator::normalized_from_parts`] is
+    /// bit-identical to the pricing path's `normalized_demand`.
+    fn explain(&self, ctx: &RoundContext) -> Option<Vec<DemandBreakdown>> {
+        Some(
+            ctx.tasks
+                .iter()
+                .map(|t| {
+                    let obs = observation_of(t);
+                    let (x1, x2, x3) =
+                        self.indicator.criterion_parts(&obs, ctx.round, ctx.max_neighbors);
+                    let score = self.indicator.normalized_from_parts(x1, x2, x3);
+                    DemandBreakdown {
+                        deadline_criterion: x1,
+                        progress_criterion: x2,
+                        scarcity_criterion: x3,
+                        score,
+                        level: self.schedule.levels().level_of(score),
+                    }
+                })
+                .collect(),
+        )
+    }
+
     /// Routes the demand cache's hit/miss/dirty accounting to
     /// `demand_cache_{hits,misses,dirty}_total`. Counters only observe
     /// lookups — they cannot perturb the cached values, so pricing is
@@ -406,5 +432,44 @@ mod tests {
         let c = ctx(3, vec![snapshot(0, 5, 20, 3, 1), snapshot(1, 12, 20, 15, 6)]);
         let _ = m.levels_for(&c);
         assert_eq!(m.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn explain_agrees_with_pricing_bit_for_bit_and_skips_the_cache() {
+        let mut m = paper_mechanism();
+        for c in trajectory() {
+            let breakdowns = m.explain(&c).expect("on-demand pricing is explainable");
+            assert_eq!(breakdowns.len(), c.tasks.len());
+            let rewards = m.rewards(&c, &mut rng());
+            let levels = m.levels_for(&c);
+            for ((b, reward), level) in breakdowns.iter().zip(&rewards).zip(&levels) {
+                assert_eq!(b.level, *level, "round {}", c.round);
+                assert_eq!(
+                    m.schedule().reward_for_level(b.level).to_bits(),
+                    reward.to_bits(),
+                    "round {}",
+                    c.round
+                );
+                // The recorded score re-derives from the recorded parts.
+                let recombined = m.indicator().normalized_from_parts(
+                    b.deadline_criterion,
+                    b.progress_criterion,
+                    b.scarcity_criterion,
+                );
+                assert_eq!(recombined.to_bits(), b.score.to_bits());
+            }
+        }
+        let fresh = paper_mechanism();
+        let c = ctx(1, vec![snapshot(0, 5, 20, 3, 1)]);
+        let _ = fresh.explain(&c);
+        assert_eq!(fresh.cache_stats(), (0, 0), "explain must not touch the cache");
+    }
+
+    #[test]
+    fn baseline_mechanisms_do_not_explain() {
+        let fixed: Box<dyn IncentiveMechanism> =
+            Box::new(crate::incentive::FixedIncentive::paper_default());
+        let c = ctx(1, vec![snapshot(0, 5, 2, 0, 0)]);
+        assert!(fixed.explain(&c).is_none());
     }
 }

@@ -71,6 +71,7 @@ mod user;
 pub use demand::{DemandCache, DemandCriteria, DemandIndicator, DemandWeights};
 pub use error::CoreError;
 pub use ids::{TaskId, UserId};
+pub use incentive::DemandBreakdown;
 pub use levels::DemandLevels;
 pub use neighbors::{IndexingMode, NeighborTracker};
 pub use platform::{Platform, PlatformState, RoundContext, TaskProgress};

@@ -120,6 +120,14 @@ pub struct Platform<M> {
     spend_cap: Option<f64>,
     /// Whether incomplete tasks stay published past their deadline.
     publish_expired: bool,
+    /// Whether to retain each round's [`RoundContext`] for explanation
+    /// (trace journalling). Off by default — retention is pure memory
+    /// cost with no behavioural effect.
+    keep_context: bool,
+    /// The last freshly priced round's context, when retained. Cleared
+    /// by [`publish_round_stale`](Self::publish_round_stale): a stale
+    /// round has no recomputed context to explain.
+    last_context: Option<RoundContext>,
     /// Observability handle; disabled (a true no-op) by default.
     recorder: Recorder,
     /// `round_phase_seconds{phase="demand"}` — neighbour recounting.
@@ -176,6 +184,8 @@ impl<M: IncentiveMechanism> Platform<M> {
             total_paid: 0.0,
             spend_cap: None,
             publish_expired: true,
+            keep_context: false,
+            last_context: None,
             recorder: Recorder::disabled(),
             phase_demand: Histogram::disabled(),
             phase_pricing: Histogram::disabled(),
@@ -249,6 +259,44 @@ impl<M: IncentiveMechanism> Platform<M> {
         self.spend_cap.map_or(f64::INFINITY, |cap| (cap - self.total_paid).max(0.0))
     }
 
+    /// The active spend cap, if one has been enforced.
+    #[must_use]
+    pub fn spend_cap(&self) -> Option<f64> {
+        self.spend_cap
+    }
+
+    /// Retains each freshly priced round's [`RoundContext`] so
+    /// [`explain_last_round`](Self::explain_last_round) can decompose
+    /// the pricing after the fact. Purely additive: retention never
+    /// alters the rewards produced.
+    pub fn set_keep_context(&mut self, keep: bool) {
+        self.keep_context = keep;
+        if !keep {
+            self.last_context = None;
+        }
+    }
+
+    /// The snapshot the mechanism last priced against, when retention is
+    /// on and the last round was freshly priced (a stale republish has
+    /// no recomputed context).
+    #[must_use]
+    pub fn last_round_context(&self) -> Option<&RoundContext> {
+        self.last_context.as_ref()
+    }
+
+    /// Explains the last freshly priced round: each published-or-priced
+    /// task's progress snapshot paired with the mechanism's demand
+    /// breakdown, in `ctx.tasks` order. `None` when context retention
+    /// is off, the last round was stale, or the mechanism's pricing has
+    /// no demand decomposition (the baselines).
+    #[must_use]
+    pub fn explain_last_round(&self) -> Option<Vec<(TaskProgress, crate::DemandBreakdown)>> {
+        let ctx = self.last_context.as_ref()?;
+        let breakdowns = self.mechanism.explain(ctx)?;
+        debug_assert_eq!(breakdowns.len(), ctx.tasks.len());
+        Some(ctx.tasks.iter().copied().zip(breakdowns).collect())
+    }
+
     /// Opens the next sensing round: counts each task's neighbouring
     /// users, asks the mechanism for this round's rewards, and returns
     /// the published (incomplete) tasks.
@@ -317,6 +365,7 @@ impl<M: IncentiveMechanism> Platform<M> {
             self.current_rewards[snapshot.id.0] = reward;
             published.push(PublishedTask { id: snapshot.id, location: snapshot.location, reward });
         }
+        self.last_context = if self.keep_context { Some(ctx) } else { None };
         Ok(published)
     }
 
@@ -340,6 +389,7 @@ impl<M: IncentiveMechanism> Platform<M> {
         }
         self.round += 1;
         self.round_open = true;
+        self.last_context = None;
         for receipts in &mut self.round_receipts {
             receipts.push(0);
         }

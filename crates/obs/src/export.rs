@@ -189,6 +189,13 @@ impl Snapshot {
                 scaled(hist.p99(), scale),
             );
         }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<48} {:>9}", "counter", "value");
+            for (key, value) in &self.counters {
+                let series = format!("{}{}", key.name, label_suffix(key));
+                let _ = writeln!(out, "{series:<48} {value:>9}");
+            }
+        }
         out
     }
 }
@@ -299,5 +306,17 @@ round_phase_seconds_count{phase=\"pricing\"} 2
         assert!(table.contains("round_phase_seconds{phase=\"pricing\"}"));
         assert!(table.contains("dp_states"));
         assert!(table.starts_with("histogram"));
+    }
+
+    #[test]
+    fn profile_table_lists_every_counter_series() {
+        let table = fixture().snapshot().profile_table();
+        assert!(table.contains("counter"));
+        assert!(table.contains("demand_cache_hits_total"));
+        assert!(table.contains("selector_solves_total{selector=\"dp\"}"));
+        // A recorder with no counters renders no counter section.
+        let empty = Recorder::enabled();
+        empty.histogram("dp_states").record(1);
+        assert!(!empty.snapshot().profile_table().contains("counter"));
     }
 }

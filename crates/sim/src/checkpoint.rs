@@ -582,6 +582,7 @@ pub(crate) fn resume(
         recorder: recorder.clone(),
         metrics_on,
         instruments,
+        trace: crate::trace::TraceSink::disabled(),
     })
 }
 

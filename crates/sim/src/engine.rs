@@ -68,6 +68,7 @@ use paydemand_geo::{Point, Rect};
 use paydemand_obs::{Counter, Histogram, Recorder, Span};
 use paydemand_routing::CostMatrix;
 
+use crate::trace::{self, TraceEvent, TraceSink};
 use crate::{
     metrics, MechanismKind, Scenario, SelectorKind, SimError, TravelModel, UserMotion, Workload,
 };
@@ -286,6 +287,26 @@ pub fn run_recorded(
     engine.finish()
 }
 
+/// [`run_recorded`], with the decision journal enabled: returns the
+/// result *and* the encoded trace ([`trace::decode`] reads it back;
+/// [`crate::replay`] verifies it against the result). The traced result
+/// is bitwise identical to the untraced one — tracing only observes.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_traced(
+    scenario: &Scenario,
+    recorder: &Recorder,
+) -> Result<(SimulationResult, bytes::Bytes), SimError> {
+    let mut engine = Engine::new(scenario, recorder)?;
+    engine.enable_trace();
+    engine.run_to_completion()?;
+    let journal =
+        engine.take_trace().ok_or_else(|| SimError::invariant("trace sink vanished mid-run"))?;
+    Ok((engine.finish()?, journal))
+}
+
 /// The engine's instrument handles, resolved once per run so the round
 /// loop only touches cheap `Arc` clones (or inert no-ops when the
 /// recorder is disabled).
@@ -432,6 +453,9 @@ pub struct Engine {
     pub(crate) recorder: Recorder,
     pub(crate) metrics_on: bool,
     pub(crate) instruments: EngineInstruments,
+    /// Decision journal hook; the disabled default is a true no-op (no
+    /// allocation, no RNG, no clock), so untraced runs are untouched.
+    pub(crate) trace: TraceSink,
 }
 
 impl fmt::Debug for Engine {
@@ -527,7 +551,36 @@ impl Engine {
             recorder: recorder.clone(),
             metrics_on,
             instruments,
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Switches on the decision journal: every subsequent round emits
+    /// demand breakdowns, selection decisions, payments, budget
+    /// trajectory and fault events into an in-memory trace, collected
+    /// by [`Engine::take_trace`]. Tracing observes the round loop
+    /// without touching its RNG streams, so a traced run's results stay
+    /// bitwise identical to an untraced one.
+    pub fn enable_trace(&mut self) {
+        self.trace = TraceSink::journal();
+        self.platform.set_keep_context(true);
+    }
+
+    /// Finalises and returns the journal bytes accumulated since
+    /// [`Engine::enable_trace`], leaving tracing disabled. `None` if
+    /// tracing was never enabled. Reports `trace_frames_total` /
+    /// `trace_bytes_total` through the recorder.
+    pub fn take_trace(&mut self) -> Option<bytes::Bytes> {
+        let sink = std::mem::replace(&mut self.trace, TraceSink::disabled());
+        if !sink.is_enabled() {
+            return None;
+        }
+        self.platform.set_keep_context(false);
+        let frames = sink.frames();
+        let bytes = sink.finish()?;
+        self.recorder.counter("trace_frames_total").add(frames as u64);
+        self.recorder.counter("trace_bytes_total").add(bytes.len() as u64);
+        Some(bytes)
     }
 
     /// Whether the run is over (max rounds reached, or complete under
@@ -581,10 +634,35 @@ impl Engine {
         let mut selection_ns = 0u64;
         let mut settlement_ns = 0u64;
 
+        let tracing = self.trace.is_enabled();
+        if tracing {
+            self.trace.record(TraceEvent::RoundStart { round });
+        }
+
         let round_faults = match self.injector.as_mut() {
             Some(inj) => inj.begin_round(round),
             None => RoundFaults { stale_pricing: false, budget_shock: None },
         };
+        if tracing {
+            if round_faults.stale_pricing {
+                self.trace.record(TraceEvent::Fault {
+                    round,
+                    kind: trace::FAULT_STALE_PRICING,
+                    user: u32::MAX,
+                    task: u32::MAX,
+                    detail: 0.0,
+                });
+            }
+            if let Some(factor) = round_faults.budget_shock {
+                self.trace.record(TraceEvent::Fault {
+                    round,
+                    kind: trace::FAULT_BUDGET_SHOCK,
+                    user: u32::MAX,
+                    task: u32::MAX,
+                    detail: factor,
+                });
+            }
+        }
         if let Some(factor) = round_faults.budget_shock {
             // The shock scales what is *left*: for an uncapped run the
             // configured budget minus spend stands in for "remaining".
@@ -611,6 +689,44 @@ impl Engine {
             rewards[t.id.0] = Some(t.reward);
         }
 
+        if tracing {
+            for t in &published {
+                self.trace.record(TraceEvent::Publish { task: t.id.0 as u32, reward: t.reward });
+            }
+            if round_faults.stale_pricing {
+                // A stale round re-posts prices without recomputing
+                // demand: there are no criterion values to explain.
+                for t in &published {
+                    self.trace.record(TraceEvent::TaskDemand {
+                        task: t.id.0 as u32,
+                        deadline_criterion: 0.0,
+                        progress_criterion: 0.0,
+                        scarcity_criterion: 0.0,
+                        score: 0.0,
+                        level: 0,
+                        reward: t.reward,
+                        stale: true,
+                    });
+                }
+            } else if let Some(explained) = self.platform.explain_last_round() {
+                // One frame per *priced* task, withheld ones included
+                // (their posted reward is 0) — the journal shows both
+                // what was published and what the cap suppressed.
+                for (progress, b) in explained {
+                    self.trace.record(TraceEvent::TaskDemand {
+                        task: progress.id.0 as u32,
+                        deadline_criterion: b.deadline_criterion,
+                        progress_criterion: b.progress_criterion,
+                        scarcity_criterion: b.scarcity_criterion,
+                        score: b.score,
+                        level: b.level,
+                        reward: rewards[progress.id.0].unwrap_or(0.0),
+                        stale: false,
+                    });
+                }
+            }
+        }
+
         let mut new_measurements = vec![0u32; m];
         let mut user_profits = vec![0.0; n];
         let mut user_selected = vec![0u32; n];
@@ -631,6 +747,15 @@ impl Engine {
             }
             if let Some(inj) = self.injector.as_mut() {
                 if inj.user_offline(ui) {
+                    if tracing {
+                        self.trace.record(TraceEvent::Fault {
+                            round,
+                            kind: trace::FAULT_USER_OFFLINE,
+                            user: ui as u32,
+                            task: u32::MAX,
+                            detail: 0.0,
+                        });
+                    }
                     continue;
                 }
             }
@@ -674,6 +799,18 @@ impl Engine {
                 self.instruments.nodes_pruned.add(stats.nodes_pruned);
                 self.instruments.iterations.add(stats.iterations);
             }
+            if tracing {
+                self.trace.record(TraceEvent::Selection {
+                    user: ui as u32,
+                    solver: solver_code(self.scenario.selector),
+                    candidates: available.len() as u32,
+                    route: outcome.tasks().iter().map(|t| t.0 as u32).collect(),
+                    profit: outcome.profit(),
+                    states_expanded: stats.states_expanded,
+                    nodes_pruned: stats.nodes_pruned,
+                    iterations: stats.iterations,
+                });
+            }
             let settle_start = self.metrics_on.then(Instant::now);
             let mut payments = 0.0;
             let mut performed = 0usize;
@@ -686,6 +823,13 @@ impl Engine {
                 match fate {
                     UploadFate::Delivered => match self.platform.submit(UserId(ui), task) {
                         Ok(pay) => {
+                            if tracing {
+                                self.trace.record(TraceEvent::Submit {
+                                    user: ui as u32,
+                                    task: task.0 as u32,
+                                    reward: pay,
+                                });
+                            }
                             payments += pay;
                             self.contributed[ui].insert(task);
                             new_measurements[task.0] += 1;
@@ -706,11 +850,29 @@ impl Engine {
                     UploadFate::Dropped => {
                         // The user travelled and sensed; the platform
                         // never hears about it.
+                        if tracing {
+                            self.trace.record(TraceEvent::Fault {
+                                round,
+                                kind: trace::FAULT_UPLOAD_DROPPED,
+                                user: ui as u32,
+                                task: task.0 as u32,
+                                detail: 0.0,
+                            });
+                        }
                         self.contributed[ui].insert(task);
                         performed += 1;
                         faulted = true;
                     }
                     UploadFate::Delayed { due_in } => {
+                        if tracing {
+                            self.trace.record(TraceEvent::Fault {
+                                round,
+                                kind: trace::FAULT_UPLOAD_DELAYED,
+                                user: ui as u32,
+                                task: task.0 as u32,
+                                detail: f64::from(due_in),
+                            });
+                        }
                         self.contributed[ui].insert(task);
                         let Some(inj) = self.injector.as_mut() else {
                             return Err(SimError::invariant(
@@ -765,6 +927,20 @@ impl Engine {
             }
         }
         self.platform.finish_round();
+
+        if tracing {
+            for task in 0..m {
+                if self.platform.completed_round(TaskId(task)) == Ok(Some(round)) {
+                    self.trace.record(TraceEvent::TaskComplete { task: task as u32, round });
+                }
+            }
+            self.trace.record(TraceEvent::Budget {
+                round,
+                total_paid: self.platform.total_paid(),
+                spend_cap: self.platform.spend_cap(),
+            });
+            self.trace.record(TraceEvent::RoundEnd { round });
+        }
 
         self.rounds.push(RoundRecord {
             round,
@@ -830,6 +1006,13 @@ impl Engine {
             }
             match self.platform.submit(UserId(up.user), up.task) {
                 Ok(pay) => {
+                    if self.trace.is_enabled() {
+                        self.trace.record(TraceEvent::Submit {
+                            user: up.user as u32,
+                            task: up.task.0 as u32,
+                            reward: pay,
+                        });
+                    }
                     new_measurements[up.task.0] += 1;
                     user_profits[up.user] += pay;
                     self.quality_received[up.task.0] += self.workload.qualities[up.user];
@@ -972,6 +1155,18 @@ pub(crate) fn build_selector(kind: SelectorKind) -> Box<dyn TaskSelector> {
         SelectorKind::GreedyTwoOpt => Box::new(GreedyTwoOptSelector),
         SelectorKind::Insertion => Box::new(InsertionSelector),
         SelectorKind::BranchBound => Box::new(BranchBoundSelector),
+    }
+}
+
+/// The wire byte identifying a selector in Selection frames; see
+/// [`trace::solver_label`] for the inverse mapping.
+pub(crate) fn solver_code(kind: SelectorKind) -> u8 {
+    match kind {
+        SelectorKind::Dp { .. } => 0,
+        SelectorKind::Greedy => 1,
+        SelectorKind::GreedyTwoOpt => 2,
+        SelectorKind::Insertion => 3,
+        SelectorKind::BranchBound => 4,
     }
 }
 

@@ -47,6 +47,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod presets;
 pub mod quality;
+pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod sat;
@@ -62,5 +63,6 @@ pub use error::SimError;
 pub use paydemand_core::incentive::PricingCacheMode;
 pub use paydemand_core::IndexingMode;
 pub use paydemand_faults::{FaultKind, FaultPlan};
+pub use replay::{ReplayError, ReplaySummary};
 pub use scenario::{MechanismKind, Scenario, SelectorKind, TravelModel, UserMotion};
 pub use workload::Workload;

@@ -7,9 +7,21 @@
 //! persisted, and decodes back losslessly — the substrate for replay
 //! debugging and offline metric recomputation.
 //!
+//! Two stream flavours share the frame grammar:
+//!
+//! * the original headerless stream ([`TraceWriter::new`]) — the five
+//!   coarse v1 frames, kept byte-compatible;
+//! * the **decision journal** ([`TraceWriter::journal`]) — a 5-byte
+//!   `PDTJ` + version header followed by the same frames *plus* the
+//!   decision-level ones: per-task demand breakdowns, per-user
+//!   selection decisions, budget trajectory and fault events. This is
+//!   what [`crate::replay`] verifies and the `paydemand trace` CLI
+//!   explains.
+//!
 //! # Wire format
 //!
-//! Every frame starts with a 1-byte tag. Integers are little-endian.
+//! Every frame starts with a 1-byte tag. Integers are little-endian;
+//! floats are IEEE-754 bit patterns (bit-exact round-trips).
 //!
 //! | tag | frame | payload |
 //! |-----|-------|---------|
@@ -18,6 +30,10 @@
 //! | 3 | `Submit` | `u32` user, `u32` task, `f64` reward paid |
 //! | 4 | `RoundEnd` | `u32` round |
 //! | 5 | `TaskComplete` | `u32` task, `u32` round |
+//! | 6 | `TaskDemand` | `u32` task, `f64`×4 criteria+score, `u32` level, `f64` reward, `u8` stale |
+//! | 7 | `Selection` | `u32` user, `u8` solver, `u32` candidates, `u32` len, len×`u32` route, `f64` profit, `u64`×3 work counters |
+//! | 8 | `Budget` | `u32` round, `f64` total paid, `u8` flag, [`f64` cap] |
+//! | 9 | `Fault` | `u32` round, `u8` kind, `u32` user, `u32` task, `f64` detail |
 //!
 //! # Examples
 //!
@@ -39,8 +55,52 @@ use serde::{Deserialize, Serialize};
 
 use crate::SimulationResult;
 
+/// Journal header magic; the first byte (`'P'` = 0x50) can never be a
+/// frame tag, so headerless v1 streams are sniffed apart unambiguously.
+const JOURNAL_MAGIC: &[u8; 4] = b"PDTJ";
+/// Decision-journal format version.
+pub const JOURNAL_VERSION: u8 = 2;
+
+/// Fault-frame kind: a demand-recompute outage forced stale repricing.
+pub const FAULT_STALE_PRICING: u8 = 0;
+/// Fault-frame kind: a budget shock rescaled the remaining budget.
+pub const FAULT_BUDGET_SHOCK: u8 = 1;
+/// Fault-frame kind: the injector took a user offline this round.
+pub const FAULT_USER_OFFLINE: u8 = 2;
+/// Fault-frame kind: an upload was dropped (sensed, never delivered).
+pub const FAULT_UPLOAD_DROPPED: u8 = 3;
+/// Fault-frame kind: an upload was delayed into the retry queue.
+pub const FAULT_UPLOAD_DELAYED: u8 = 4;
+const FAULT_KIND_MAX: u8 = FAULT_UPLOAD_DELAYED;
+
+/// Human-readable label for a [`TraceEvent::Fault`] kind byte.
+#[must_use]
+pub fn fault_kind_label(kind: u8) -> &'static str {
+    match kind {
+        FAULT_STALE_PRICING => "stale-pricing",
+        FAULT_BUDGET_SHOCK => "budget-shock",
+        FAULT_USER_OFFLINE => "user-offline",
+        FAULT_UPLOAD_DROPPED => "upload-dropped",
+        FAULT_UPLOAD_DELAYED => "upload-delayed",
+        _ => "unknown",
+    }
+}
+
+/// Selector code recorded in [`TraceEvent::Selection`] frames.
+#[must_use]
+pub fn solver_label(solver: u8) -> &'static str {
+    match solver {
+        0 => "dp",
+        1 => "greedy",
+        2 => "greedy2opt",
+        3 => "insertion",
+        4 => "branch-bound",
+        _ => "unknown",
+    }
+}
+
 /// One event in a simulation's life.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum TraceEvent {
     /// A sensing round opened.
@@ -76,6 +136,68 @@ pub enum TraceEvent {
         /// Round of completion.
         round: u32,
     },
+    /// Why one task was priced the way it was this round (Eq. 2–7).
+    /// On stale-repricing rounds the criteria are not recomputed: the
+    /// frame carries zeros, `level` 0 and `stale: true`.
+    TaskDemand {
+        /// Task index.
+        task: u32,
+        /// Deadline criterion `X₁` (Eq. 3).
+        deadline_criterion: f64,
+        /// Progress criterion `X₂` (Eq. 4).
+        progress_criterion: f64,
+        /// Neighbour-scarcity criterion `X₃` (Eq. 5).
+        scarcity_criterion: f64,
+        /// Normalised AHP-weighted demand score `d̄ ∈ [0, 1]`.
+        score: f64,
+        /// Mapped demand level (1-based; 0 on stale rounds).
+        level: u32,
+        /// Reward actually posted (0 when withheld under a spend cap).
+        reward: f64,
+        /// Whether this round re-posted stale prices (demand outage).
+        stale: bool,
+    },
+    /// One user's route-selection decision this round (Eq. 11–12).
+    Selection {
+        /// User index.
+        user: u32,
+        /// Solver code; see [`solver_label`].
+        solver: u8,
+        /// Candidate tasks available to this user before solving.
+        candidates: u32,
+        /// Chosen route, in visit order (task indices).
+        route: Vec<u32>,
+        /// Predicted profit of the chosen route.
+        profit: f64,
+        /// DP/branch-bound states expanded while solving.
+        states_expanded: u64,
+        /// Branch-bound nodes pruned.
+        nodes_pruned: u64,
+        /// Greedy/insertion ranking iterations.
+        iterations: u64,
+    },
+    /// Budget trajectory at a round boundary.
+    Budget {
+        /// 1-based round number just closed.
+        round: u32,
+        /// Cumulative rewards paid by the platform.
+        total_paid: f64,
+        /// The active spend cap, if payments are capped.
+        spend_cap: Option<f64>,
+    },
+    /// A fault-injection event the engine degraded through.
+    Fault {
+        /// 1-based round number.
+        round: u32,
+        /// Kind byte; see [`fault_kind_label`].
+        kind: u8,
+        /// Affected user (`u32::MAX` when not user-specific).
+        user: u32,
+        /// Affected task (`u32::MAX` when not task-specific).
+        task: u32,
+        /// Kind-specific detail: shock factor, delay rounds, else 0.
+        detail: f64,
+    },
 }
 
 const TAG_ROUND_START: u8 = 1;
@@ -83,6 +205,10 @@ const TAG_PUBLISH: u8 = 2;
 const TAG_SUBMIT: u8 = 3;
 const TAG_ROUND_END: u8 = 4;
 const TAG_TASK_COMPLETE: u8 = 5;
+const TAG_TASK_DEMAND: u8 = 6;
+const TAG_SELECTION: u8 = 7;
+const TAG_BUDGET: u8 = 8;
+const TAG_FAULT: u8 = 9;
 
 /// Errors produced when decoding a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +218,12 @@ pub enum TraceError {
     Truncated,
     /// An unknown frame tag was encountered.
     UnknownTag(u8),
+    /// A `PDTJ` journal header with a version this build cannot read.
+    UnsupportedVersion(u8),
+    /// A boolean flag byte was neither 0 nor 1.
+    InvalidFlag(u8),
+    /// A fault frame carried an out-of-range kind byte.
+    InvalidFaultKind(u8),
 }
 
 impl std::fmt::Display for TraceError {
@@ -99,6 +231,14 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::Truncated => write!(f, "trace ended mid-frame"),
             TraceError::UnknownTag(tag) => write!(f, "unknown trace frame tag {tag}"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace journal version {v} (this build reads {JOURNAL_VERSION})"
+                )
+            }
+            TraceError::InvalidFlag(b) => write!(f, "invalid flag byte {b} (must be 0 or 1)"),
+            TraceError::InvalidFaultKind(k) => write!(f, "invalid fault kind byte {k}"),
         }
     }
 }
@@ -113,10 +253,21 @@ pub struct TraceWriter {
 }
 
 impl TraceWriter {
-    /// Creates an empty writer.
+    /// Creates an empty headerless writer (the v1 stream flavour).
     #[must_use]
     pub fn new() -> Self {
         TraceWriter { buf: BytesMut::with_capacity(4096), events: 0 }
+    }
+
+    /// Creates a decision-journal writer: the stream opens with the
+    /// `PDTJ` magic and a version byte, so decoders can refuse frames
+    /// they do not understand instead of misparsing them.
+    #[must_use]
+    pub fn journal() -> Self {
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_slice(JOURNAL_MAGIC);
+        buf.put_u8(JOURNAL_VERSION);
+        TraceWriter { buf, events: 0 }
     }
 
     /// Appends one event.
@@ -147,6 +298,69 @@ impl TraceWriter {
                 self.buf.put_u32_le(task);
                 self.buf.put_u32_le(round);
             }
+            TraceEvent::TaskDemand {
+                task,
+                deadline_criterion,
+                progress_criterion,
+                scarcity_criterion,
+                score,
+                level,
+                reward,
+                stale,
+            } => {
+                self.buf.put_u8(TAG_TASK_DEMAND);
+                self.buf.put_u32_le(task);
+                self.buf.put_f64_le(deadline_criterion);
+                self.buf.put_f64_le(progress_criterion);
+                self.buf.put_f64_le(scarcity_criterion);
+                self.buf.put_f64_le(score);
+                self.buf.put_u32_le(level);
+                self.buf.put_f64_le(reward);
+                self.buf.put_u8(u8::from(stale));
+            }
+            TraceEvent::Selection {
+                user,
+                solver,
+                candidates,
+                route,
+                profit,
+                states_expanded,
+                nodes_pruned,
+                iterations,
+            } => {
+                self.buf.put_u8(TAG_SELECTION);
+                self.buf.put_u32_le(user);
+                self.buf.put_u8(solver);
+                self.buf.put_u32_le(candidates);
+                self.buf.put_u32_le(route.len() as u32);
+                for task in route {
+                    self.buf.put_u32_le(task);
+                }
+                self.buf.put_f64_le(profit);
+                self.buf.put_u64_le(states_expanded);
+                self.buf.put_u64_le(nodes_pruned);
+                self.buf.put_u64_le(iterations);
+            }
+            TraceEvent::Budget { round, total_paid, spend_cap } => {
+                self.buf.put_u8(TAG_BUDGET);
+                self.buf.put_u32_le(round);
+                self.buf.put_f64_le(total_paid);
+                match spend_cap {
+                    Some(cap) => {
+                        self.buf.put_u8(1);
+                        self.buf.put_f64_le(cap);
+                    }
+                    None => self.buf.put_u8(0),
+                }
+            }
+            TraceEvent::Fault { round, kind, user, task, detail } => {
+                self.buf.put_u8(TAG_FAULT);
+                self.buf.put_u32_le(round);
+                self.buf.put_u8(kind);
+                self.buf.put_u32_le(user);
+                self.buf.put_u32_le(task);
+                self.buf.put_f64_le(detail);
+            }
         }
     }
 
@@ -162,6 +376,12 @@ impl TraceWriter {
         self.events == 0
     }
 
+    /// Encoded size in bytes so far (header included for journals).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Finalises the trace, returning the encoded bytes.
     #[must_use]
     pub fn finish(self) -> Bytes {
@@ -169,40 +389,131 @@ impl TraceWriter {
     }
 }
 
-/// Decodes a trace buffer back into events.
+/// Bounds-checked reader over the raw trace bytes: the same discipline
+/// as the checkpoint codec — every read checks remaining length first,
+/// flag bytes must be 0/1, and corrupt input is a [`TraceError`], never
+/// a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), TraceError> {
+        if self.buf.len() < n {
+            Err(TraceError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, TraceError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn flag(&mut self) -> Result<bool, TraceError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(TraceError::InvalidFlag(other)),
+        }
+    }
+}
+
+/// Whether `buf` opens with the decision-journal header.
+#[must_use]
+pub fn is_journal(buf: &[u8]) -> bool {
+    buf.len() >= JOURNAL_MAGIC.len() && &buf[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC
+}
+
+/// Decodes a trace buffer (headerless v1 stream or `PDTJ` journal) back
+/// into events.
 ///
 /// # Errors
 ///
 /// [`TraceError::Truncated`] for a cut-off buffer,
-/// [`TraceError::UnknownTag`] for corrupt data.
-pub fn decode(mut buf: &[u8]) -> Result<Vec<TraceEvent>, TraceError> {
+/// [`TraceError::UnknownTag`] / [`TraceError::InvalidFlag`] /
+/// [`TraceError::InvalidFaultKind`] for corrupt data, and
+/// [`TraceError::UnsupportedVersion`] for a journal from a newer build.
+pub fn decode(buf: &[u8]) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut r = Reader { buf };
+    if is_journal(buf) {
+        r.buf = &r.buf[JOURNAL_MAGIC.len()..];
+        let version = r.u8()?;
+        if version != JOURNAL_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+    }
     let mut events = Vec::new();
-    while buf.has_remaining() {
-        let tag = buf.get_u8();
+    while !r.buf.is_empty() {
+        let tag = r.u8()?;
         let event = match tag {
-            TAG_ROUND_START => {
-                ensure(&buf, 4)?;
-                TraceEvent::RoundStart { round: buf.get_u32_le() }
-            }
-            TAG_PUBLISH => {
-                ensure(&buf, 12)?;
-                TraceEvent::Publish { task: buf.get_u32_le(), reward: buf.get_f64_le() }
-            }
-            TAG_SUBMIT => {
-                ensure(&buf, 16)?;
-                TraceEvent::Submit {
-                    user: buf.get_u32_le(),
-                    task: buf.get_u32_le(),
-                    reward: buf.get_f64_le(),
+            TAG_ROUND_START => TraceEvent::RoundStart { round: r.u32()? },
+            TAG_PUBLISH => TraceEvent::Publish { task: r.u32()?, reward: r.f64()? },
+            TAG_SUBMIT => TraceEvent::Submit { user: r.u32()?, task: r.u32()?, reward: r.f64()? },
+            TAG_ROUND_END => TraceEvent::RoundEnd { round: r.u32()? },
+            TAG_TASK_COMPLETE => TraceEvent::TaskComplete { task: r.u32()?, round: r.u32()? },
+            TAG_TASK_DEMAND => TraceEvent::TaskDemand {
+                task: r.u32()?,
+                deadline_criterion: r.f64()?,
+                progress_criterion: r.f64()?,
+                scarcity_criterion: r.f64()?,
+                score: r.f64()?,
+                level: r.u32()?,
+                reward: r.f64()?,
+                stale: r.flag()?,
+            },
+            TAG_SELECTION => {
+                let user = r.u32()?;
+                let solver = r.u8()?;
+                let candidates = r.u32()?;
+                let len = r.u32()? as usize;
+                // Bound the route by the bytes actually present before
+                // allocating, so a corrupt length cannot OOM.
+                r.need(len.checked_mul(4).ok_or(TraceError::Truncated)?)?;
+                let mut route = Vec::with_capacity(len);
+                for _ in 0..len {
+                    route.push(r.u32()?);
+                }
+                TraceEvent::Selection {
+                    user,
+                    solver,
+                    candidates,
+                    route,
+                    profit: r.f64()?,
+                    states_expanded: r.u64()?,
+                    nodes_pruned: r.u64()?,
+                    iterations: r.u64()?,
                 }
             }
-            TAG_ROUND_END => {
-                ensure(&buf, 4)?;
-                TraceEvent::RoundEnd { round: buf.get_u32_le() }
+            TAG_BUDGET => {
+                let round = r.u32()?;
+                let total_paid = r.f64()?;
+                let spend_cap = if r.flag()? { Some(r.f64()?) } else { None };
+                TraceEvent::Budget { round, total_paid, spend_cap }
             }
-            TAG_TASK_COMPLETE => {
-                ensure(&buf, 8)?;
-                TraceEvent::TaskComplete { task: buf.get_u32_le(), round: buf.get_u32_le() }
+            TAG_FAULT => {
+                let round = r.u32()?;
+                let kind = r.u8()?;
+                if kind > FAULT_KIND_MAX {
+                    return Err(TraceError::InvalidFaultKind(kind));
+                }
+                TraceEvent::Fault { round, kind, user: r.u32()?, task: r.u32()?, detail: r.f64()? }
             }
             other => return Err(TraceError::UnknownTag(other)),
         };
@@ -211,11 +522,57 @@ pub fn decode(mut buf: &[u8]) -> Result<Vec<TraceEvent>, TraceError> {
     Ok(events)
 }
 
-fn ensure(buf: &&[u8], needed: usize) -> Result<(), TraceError> {
-    if buf.remaining() < needed {
-        Err(TraceError::Truncated)
-    } else {
-        Ok(())
+/// The engine's trace hook: a journal writer when enabled, a true no-op
+/// (no allocation, no clock, no RNG) when disabled — mirroring the
+/// `Recorder`'s disabled-is-free contract so trace-enabled runs stay
+/// bitwise identical to trace-disabled ones.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    writer: Option<TraceWriter>,
+}
+
+impl TraceSink {
+    /// The inert sink: records nothing, costs nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceSink { writer: None }
+    }
+
+    /// A sink backed by a fresh decision-journal writer.
+    #[must_use]
+    pub fn journal() -> Self {
+        TraceSink { writer: Some(TraceWriter::journal()) }
+    }
+
+    /// Whether events are being captured.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if let Some(w) = &mut self.writer {
+            w.record(event);
+        }
+    }
+
+    /// Frames recorded so far (0 when disabled).
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.writer.as_ref().map_or(0, TraceWriter::len)
+    }
+
+    /// Encoded bytes so far (0 when disabled).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.writer.as_ref().map_or(0, TraceWriter::byte_len)
+    }
+
+    /// Finalises the sink, returning the journal bytes if enabled.
+    #[must_use]
+    pub fn finish(self) -> Option<Bytes> {
+        self.writer.map(TraceWriter::finish)
     }
 }
 
@@ -257,6 +614,44 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn decision_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RoundStart { round: 1 },
+            TraceEvent::Fault {
+                round: 1,
+                kind: FAULT_BUDGET_SHOCK,
+                user: u32::MAX,
+                task: u32::MAX,
+                detail: 0.5,
+            },
+            TraceEvent::Publish { task: 3, reward: 2.5 },
+            TraceEvent::TaskDemand {
+                task: 3,
+                deadline_criterion: 0.25,
+                progress_criterion: 0.5,
+                scarcity_criterion: 0.125,
+                score: 0.4375,
+                level: 3,
+                reward: 2.5,
+                stale: false,
+            },
+            TraceEvent::Selection {
+                user: 17,
+                solver: 0,
+                candidates: 5,
+                route: vec![3, 1, 4],
+                profit: 1.25,
+                states_expanded: 99,
+                nodes_pruned: 7,
+                iterations: 3,
+            },
+            TraceEvent::Submit { user: 17, task: 3, reward: 2.5 },
+            TraceEvent::TaskComplete { task: 3, round: 1 },
+            TraceEvent::Budget { round: 1, total_paid: 2.5, spend_cap: Some(1000.0) },
+            TraceEvent::RoundEnd { round: 1 },
+        ]
+    }
+
     #[test]
     fn roundtrip_all_variants() {
         let events = vec![
@@ -267,13 +662,106 @@ mod tests {
             TraceEvent::RoundEnd { round: 1 },
         ];
         let mut w = TraceWriter::new();
-        for &e in &events {
-            w.record(e);
+        for e in &events {
+            w.record(e.clone());
         }
         assert_eq!(w.len(), 5);
         assert!(!w.is_empty());
         let bytes = w.finish();
         assert_eq!(decode(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn journal_roundtrips_decision_frames() {
+        let events = decision_events();
+        let mut w = TraceWriter::journal();
+        for e in &events {
+            w.record(e.clone());
+        }
+        let bytes = w.finish();
+        assert!(is_journal(&bytes));
+        assert_eq!(decode(&bytes).unwrap(), events);
+        // An empty journal is just its header and decodes to nothing.
+        let empty = TraceWriter::journal().finish();
+        assert_eq!(empty.len(), 5);
+        assert!(decode(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn journal_versions_from_the_future_are_refused() {
+        let mut bytes = TraceWriter::journal().finish().to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode(&bytes), Err(TraceError::UnsupportedVersion(99)));
+        // A magic with no version byte is truncated, not a panic.
+        assert_eq!(decode(&JOURNAL_MAGIC[..]), Err(TraceError::Truncated));
+    }
+
+    #[test]
+    fn budget_frame_encodes_both_cap_states() {
+        for cap in [None, Some(250.0)] {
+            let mut w = TraceWriter::journal();
+            w.record(TraceEvent::Budget { round: 4, total_paid: 17.5, spend_cap: cap });
+            let events = decode(&w.finish()).unwrap();
+            assert_eq!(
+                events,
+                vec![TraceEvent::Budget { round: 4, total_paid: 17.5, spend_cap: cap }]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_flag_and_fault_kind_bytes_are_errors() {
+        // Budget frame with flag byte 2.
+        let mut w = TraceWriter::journal();
+        w.record(TraceEvent::Budget { round: 1, total_paid: 0.0, spend_cap: None });
+        let mut bytes = w.finish().to_vec();
+        let flag_at = bytes.len() - 1;
+        bytes[flag_at] = 2;
+        assert_eq!(decode(&bytes), Err(TraceError::InvalidFlag(2)));
+
+        // TaskDemand stale byte 7.
+        let mut w = TraceWriter::journal();
+        w.record(TraceEvent::TaskDemand {
+            task: 0,
+            deadline_criterion: 0.0,
+            progress_criterion: 0.0,
+            scarcity_criterion: 0.0,
+            score: 0.0,
+            level: 1,
+            reward: 0.5,
+            stale: false,
+        });
+        let mut bytes = w.finish().to_vec();
+        let stale_at = bytes.len() - 1;
+        bytes[stale_at] = 7;
+        assert_eq!(decode(&bytes), Err(TraceError::InvalidFlag(7)));
+
+        // Fault frame with kind byte past the known range.
+        let mut w = TraceWriter::journal();
+        w.record(TraceEvent::Fault { round: 1, kind: 0, user: 0, task: 0, detail: 0.0 });
+        let mut bytes = w.finish().to_vec();
+        bytes[5 + 1 + 4] = FAULT_KIND_MAX + 1;
+        assert_eq!(decode(&bytes), Err(TraceError::InvalidFaultKind(FAULT_KIND_MAX + 1)));
+    }
+
+    #[test]
+    fn corrupt_selection_route_length_cannot_allocate_unbounded() {
+        let mut w = TraceWriter::journal();
+        w.record(TraceEvent::Selection {
+            user: 1,
+            solver: 1,
+            candidates: 2,
+            route: vec![5],
+            profit: 0.0,
+            states_expanded: 0,
+            nodes_pruned: 0,
+            iterations: 0,
+        });
+        let mut bytes = w.finish().to_vec();
+        // The route length u32 sits after header(5) + tag + user + solver + candidates.
+        let len_at = 5 + 1 + 4 + 1 + 4;
+        bytes[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(TraceError::Truncated));
     }
 
     #[test]
@@ -300,9 +788,54 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_of_a_journal_errors_cleanly() {
+        let mut w = TraceWriter::journal();
+        for e in &decision_events() {
+            w.record(e.clone());
+        }
+        let bytes = w.finish();
+        // Cut 0 is the legitimately empty headerless stream; cuts inside
+        // the magic read as headerless frames whose first tag is 'P'.
+        assert!(decode(&bytes[..0]).unwrap().is_empty());
+        for cut in 1..JOURNAL_MAGIC.len() {
+            assert_eq!(decode(&bytes[..cut]), Err(TraceError::UnknownTag(b'P')));
+        }
+        // Magic with no version byte is truncated; from the header on,
+        // every cut either lands exactly on a frame boundary (a clean
+        // event prefix) or mid-frame (Truncated) — never panics, never
+        // fabricates events.
+        assert_eq!(decode(&bytes[..4]), Err(TraceError::Truncated));
+        let events = decision_events();
+        for cut in 5..bytes.len() {
+            match decode(&bytes[..cut]) {
+                Ok(prefix) => assert_eq!(prefix, events[..prefix.len()], "cut at {cut}"),
+                Err(err) => assert_eq!(err, TraceError::Truncated, "cut at {cut}"),
+            }
+        }
+    }
+
+    #[test]
     fn unknown_tag_is_an_error() {
         assert_eq!(decode(&[0xFF]), Err(TraceError::UnknownTag(0xFF)));
         assert_eq!(decode(&[0x00]), Err(TraceError::UnknownTag(0)));
+    }
+
+    #[test]
+    fn sink_disabled_is_inert_and_enabled_captures() {
+        let mut off = TraceSink::disabled();
+        assert!(!off.is_enabled());
+        off.record(TraceEvent::RoundStart { round: 1 });
+        assert_eq!(off.frames(), 0);
+        assert_eq!(off.byte_len(), 0);
+        assert!(off.finish().is_none());
+
+        let mut on = TraceSink::journal();
+        assert!(on.is_enabled());
+        on.record(TraceEvent::RoundStart { round: 1 });
+        assert_eq!(on.frames(), 1);
+        assert!(on.byte_len() > 5);
+        let bytes = on.finish().unwrap();
+        assert_eq!(decode(&bytes).unwrap(), vec![TraceEvent::RoundStart { round: 1 }]);
     }
 
     #[test]
@@ -375,6 +908,54 @@ mod tests {
             (0u32..1000).prop_map(|round| TraceEvent::RoundEnd { round }),
             (0u32..1000, 0u32..1000)
                 .prop_map(|(task, round)| TraceEvent::TaskComplete { task, round }),
+            ((0u32..1000, 0.0..1.0f64, 0.0..1.0f64), (1u32..6, 0.5..2.5f64, ..)).prop_map(
+                |((task, x, score), (level, reward, stale))| TraceEvent::TaskDemand {
+                    task,
+                    deadline_criterion: x,
+                    progress_criterion: score * x,
+                    scarcity_criterion: x * 0.5,
+                    score,
+                    level,
+                    reward,
+                    stale,
+                }
+            ),
+            (
+                0u32..1000,
+                0u8..5,
+                0u32..50,
+                proptest::collection::vec(0u32..1000, 0..8),
+                -1e3..1e3f64,
+                0u64..1_000_000,
+            )
+                .prop_map(|(user, solver, candidates, route, profit, work)| {
+                    TraceEvent::Selection {
+                        user,
+                        solver,
+                        candidates,
+                        route,
+                        profit,
+                        states_expanded: work,
+                        nodes_pruned: work / 2,
+                        iterations: work / 3,
+                    }
+                }),
+            (0u32..1000, 0.0..1e4f64, .., 0.0..1e4f64).prop_map(
+                |(round, total_paid, capped, cap)| TraceEvent::Budget {
+                    round,
+                    total_paid,
+                    spend_cap: capped.then_some(cap),
+                }
+            ),
+            (0u32..1000, 0u8..=FAULT_KIND_MAX, 0u32..1000, 0u32..1000, -1e3..1e3f64).prop_map(
+                |(round, kind, user, task, detail)| TraceEvent::Fault {
+                    round,
+                    kind,
+                    user,
+                    task,
+                    detail,
+                }
+            ),
         ]
     }
 
@@ -382,11 +963,50 @@ mod tests {
         #[test]
         fn arbitrary_traces_roundtrip(events in proptest::collection::vec(arb_event(), 0..200)) {
             let mut w = TraceWriter::new();
-            for &e in &events {
-                w.record(e);
+            for e in &events {
+                w.record(e.clone());
             }
             let decoded = decode(&w.finish()).unwrap();
             prop_assert_eq!(decoded, events);
+        }
+
+        #[test]
+        fn arbitrary_journals_roundtrip(events in proptest::collection::vec(arb_event(), 0..200)) {
+            let mut w = TraceWriter::journal();
+            for e in &events {
+                w.record(e.clone());
+            }
+            let decoded = decode(&w.finish()).unwrap();
+            prop_assert_eq!(decoded, events);
+        }
+    }
+
+    // Fuzz battery: randomly mutated journal bytes must decode to Ok or
+    // a TraceError — never panic, never hang, never OOM. Pure garbage
+    // must hold the same bar.
+    proptest! {
+        #[test]
+        fn mutated_byte_streams_never_panic(
+            events in proptest::collection::vec(arb_event(), 1..40),
+            flips in proptest::collection::vec((0usize..10_000, 0u8..=255), 1..12),
+            cut in 0usize..10_000,
+        ) {
+            let mut w = TraceWriter::journal();
+            for e in &events {
+                w.record(e.clone());
+            }
+            let mut bytes = w.finish().to_vec();
+            for &(at, value) in &flips {
+                let at = at % bytes.len();
+                bytes[at] = value;
+            }
+            bytes.truncate((cut % bytes.len()).max(1));
+            let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn random_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+            let _ = decode(&bytes);
         }
     }
 }

@@ -1,0 +1,102 @@
+//! Explainability: journal a run's decision trace, replay-verify it,
+//! and walk one task's demand-level trajectory frame by frame.
+//!
+//! ```sh
+//! cargo run --release --example explain_trace
+//! ```
+//!
+//! This is the golden determinism scenario from `tests/determinism.rs`
+//! (seed `0xD5EED`), so the totals printed here are the pinned values:
+//! 197 measurements, 721 $ paid. The same trajectory is available from
+//! any run via `paydemand run --trace-out run.trace` followed by
+//! `paydemand trace explain-task run.trace TASK`.
+
+use paydemand::obs::Recorder;
+use paydemand::sim::replay;
+use paydemand::sim::trace::{self, TraceEvent};
+use paydemand::sim::{engine, MechanismKind, Scenario, SelectorKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::paper_default()
+        .with_users(30)
+        .with_tasks(10)
+        .with_max_rounds(8)
+        .with_selector(SelectorKind::Dp { candidate_cap: Some(12) })
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(0xD5EED);
+
+    // One traced run: the engine journals every pricing and selection
+    // decision alongside the result, with zero RNG/clock impact.
+    let recorder = Recorder::disabled();
+    let (result, journal) = engine::run_traced(&scenario, &recorder)?;
+
+    // The journal must recompute the run bitwise before we trust it.
+    let summary = replay::verify(&journal, &result)?;
+    println!(
+        "journal: {} bytes, {} rounds, {} measurements, {} $ paid (replay-verified)",
+        journal.len(),
+        summary.rounds,
+        summary.measurements,
+        summary.total_paid,
+    );
+
+    // Walk one task's demand trajectory: why was it priced that way?
+    let task = 3u32; // the golden run's one *unfinished* task
+    println!();
+    println!("task {task} demand trajectory (Eq. 3–7):");
+    println!(
+        "{:>5}  {:>8}  {:>8}  {:>8}  {:>7}  {:>5}  {:>6}  {:>7}",
+        "round", "deadline", "progress", "scarcity", "score", "level", "reward", "submits"
+    );
+    let events = trace::decode(&journal)?;
+    let mut round = 0u32;
+    let mut row: Option<(f64, f64, f64, f64, u32, f64)> = None;
+    let mut submits = 0u32;
+    let print_row = |round: u32,
+                     row: &mut Option<(f64, f64, f64, f64, u32, f64)>,
+                     submits: &mut u32| {
+        if let Some((x1, x2, x3, score, level, reward)) = row.take() {
+            println!(
+                "{round:>5}  {x1:>8.4}  {x2:>8.4}  {x3:>8.4}  {score:>7.4}  {level:>5}  {reward:>6.2}  {submits:>7}"
+            );
+        }
+        *submits = 0;
+    };
+    for event in &events {
+        match event {
+            TraceEvent::RoundStart { round: r } => {
+                print_row(round, &mut row, &mut submits);
+                round = *r;
+            }
+            TraceEvent::TaskDemand {
+                task: t,
+                deadline_criterion,
+                progress_criterion,
+                scarcity_criterion,
+                score,
+                level,
+                reward,
+                ..
+            } if *t == task => {
+                row = Some((
+                    *deadline_criterion,
+                    *progress_criterion,
+                    *scarcity_criterion,
+                    *score,
+                    *level,
+                    *reward,
+                ));
+            }
+            TraceEvent::Submit { task: t, .. } if *t == task => submits += 1,
+            _ => {}
+        }
+    }
+    print_row(round, &mut row, &mut submits);
+    match result.completed_round[task as usize] {
+        Some(r) => println!("task {task} completed in round {r}"),
+        None => {
+            println!("task {task} never completed — watch its level climb as the deadline nears")
+        }
+    }
+    Ok(())
+}
