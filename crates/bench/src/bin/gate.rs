@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use paydemand_bench::gate::{compare, parse, TRACE_OVERHEAD_TARGET};
+use paydemand_bench::gate::{compare, parse, TELEMETRY_OVERHEAD_TARGET, TRACE_OVERHEAD_TARGET};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -59,6 +59,14 @@ fn main() -> ExitCode {
             String::new()
         };
         println!("trace-journal overhead: {:+.1}%{note}", 100.0 * overhead);
+    }
+    if let Some(overhead) = fresh.telemetry_overhead {
+        let note = if overhead > TELEMETRY_OVERHEAD_TARGET {
+            format!(" (WARNING: above the {:.0}% target)", 100.0 * TELEMETRY_OVERHEAD_TARGET)
+        } else {
+            String::new()
+        };
+        println!("live-telemetry overhead: {:+.1}%{note}", 100.0 * overhead);
     }
     if failures.is_empty() {
         println!("gate: ok ({} arms compared)", verdicts.len());

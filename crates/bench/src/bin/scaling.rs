@@ -11,7 +11,9 @@
 //! pricing cache. Outputs are cross-checked for bitwise identity before
 //! any timing is reported; see `paydemand_bench::scaling`.
 
-use paydemand_bench::scaling::{measure_trace_overhead, run_point, to_json_full, Config};
+use paydemand_bench::scaling::{
+    measure_telemetry_overhead, measure_trace_overhead, run_point, to_json_doc, Config,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scaling.json".to_string());
@@ -53,7 +55,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.identical,
     );
 
-    let json = to_json_full(&points, Some(&trace));
+    eprintln!("scaling: telemetry overhead on the 10k-user engine arm ...");
+    let telemetry = measure_telemetry_overhead(10_000, 100, 8, 3);
+    eprintln!(
+        "  plain {:.4} s, telemetry {:.4} s ({:+.1}%), {} round samples, \
+         {} span events, identical: {}",
+        telemetry.plain_seconds,
+        telemetry.telemetry_seconds,
+        100.0 * telemetry.overhead_fraction(),
+        telemetry.round_samples,
+        telemetry.span_events,
+        telemetry.identical,
+    );
+
+    let json = to_json_doc(&points, Some(&trace), Some(&telemetry));
     std::fs::write(&out_path, &json)?;
     eprintln!("wrote {out_path}");
 
@@ -62,6 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !trace.identical {
         return Err("trace-enabled run diverged from the plain run".into());
+    }
+    if !telemetry.identical {
+        return Err("telemetry-enabled run diverged from the plain run".into());
     }
     Ok(())
 }

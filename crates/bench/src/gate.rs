@@ -16,8 +16,11 @@ pub const MAX_REGRESSION: f64 = 0.25;
 /// whatever the ratio — sub-millisecond arms flap on scheduler noise.
 pub const ABSOLUTE_GRACE_SECONDS: f64 = 0.005;
 /// Trace-journal overhead above this fraction draws a warning (the
-/// ISSUE target is <15% on the 10k-user arm).
+/// target is <15% on the 10k-user arm).
 pub const TRACE_OVERHEAD_TARGET: f64 = 0.15;
+/// Live-telemetry (time series + alerts + span trace) overhead above
+/// this fraction draws a warning on the same arm.
+pub const TELEMETRY_OVERHEAD_TARGET: f64 = 0.15;
 
 /// One arm's wall-clock seconds, keyed by `"{users}x{tasks}:{arm}"`.
 pub type ArmSeconds = BTreeMap<String, f64>;
@@ -33,6 +36,10 @@ pub struct BenchDoc {
     pub trace_overhead: Option<f64>,
     /// The `"trace"` object's `identical` flag, when present.
     pub trace_identical: Option<bool>,
+    /// The `"telemetry"` object's `overhead_fraction`, when present.
+    pub telemetry_overhead: Option<f64>,
+    /// The `"telemetry"` object's `identical` flag, when present.
+    pub telemetry_identical: Option<bool>,
 }
 
 /// Extracts the raw text of `"key": value` from a JSON fragment.
@@ -60,6 +67,11 @@ pub fn parse(doc: &str) -> Result<BenchDoc, String> {
         if trimmed.starts_with("\"trace\":") {
             out.trace_overhead = num(line, "overhead_fraction");
             out.trace_identical = field(line, "identical").map(|v| v == "true");
+            continue;
+        }
+        if trimmed.starts_with("\"telemetry\":") {
+            out.telemetry_overhead = num(line, "overhead_fraction");
+            out.telemetry_identical = field(line, "identical").map(|v| v == "true");
             continue;
         }
         if !trimmed.starts_with('{') || !line.contains("\"arms\":") {
@@ -129,6 +141,9 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc) -> (Vec<Verdict>, Vec<Stri
     }
     if fresh.trace_identical == Some(false) {
         failures.push("fresh trace-enabled run diverged from the plain run".into());
+    }
+    if fresh.telemetry_identical == Some(false) {
+        failures.push("fresh telemetry-enabled run diverged from the plain run".into());
     }
     (verdicts, failures)
 }
@@ -212,6 +227,40 @@ mod tests {
         let diverged = parse(&doc(0.1, 0.05, Some((0.05, false)))).unwrap();
         let (_, failures) = compare(&baseline, &diverged);
         assert!(failures.iter().any(|f| f.contains("diverged")), "{failures:?}");
+    }
+
+    #[test]
+    fn telemetry_section_parses_and_gates_identity() {
+        let with_telemetry = |overhead: f64, identical: bool| {
+            let base = doc(0.1, 0.05, None);
+            base.replacen(
+                "  \"points\":",
+                &format!(
+                    "  \"telemetry\": {{\"users\": 10000, \"tasks\": 100, \"rounds\": 8, \
+                     \"plain_seconds\": 1.0, \"telemetry_seconds\": {:.3}, \
+                     \"overhead_fraction\": {overhead:.4}, \"round_samples\": 8, \
+                     \"span_events\": 40, \"identical\": {identical}}},\n  \"points\":",
+                    1.0 + overhead
+                ),
+                1,
+            )
+        };
+        let parsed = parse(&with_telemetry(0.07, true)).unwrap();
+        assert_eq!(parsed.telemetry_overhead, Some(0.07));
+        assert_eq!(parsed.telemetry_identical, Some(true));
+        // Pre-existing baselines carry no telemetry section.
+        assert_eq!(parse(&doc(0.1, 0.05, None)).unwrap().telemetry_overhead, None);
+
+        let baseline = parse(&doc(0.1, 0.05, None)).unwrap();
+        let healthy = parse(&with_telemetry(0.3, true)).unwrap();
+        let (_, failures) = compare(&baseline, &healthy);
+        assert!(failures.is_empty(), "overhead above target warns, never fails: {failures:?}");
+        let diverged = parse(&with_telemetry(0.05, false)).unwrap();
+        let (_, failures) = compare(&baseline, &diverged);
+        assert!(
+            failures.iter().any(|f| f.contains("telemetry-enabled run diverged")),
+            "{failures:?}"
+        );
     }
 
     #[test]

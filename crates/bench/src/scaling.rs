@@ -348,17 +348,140 @@ pub fn measure_trace_overhead(
     TraceOverhead { users, tasks, rounds, plain_seconds, traced_seconds, journal_bytes, identical }
 }
 
+/// Live-telemetry overhead at one population point: the same engine
+/// scenario run plain and with the full telemetry stack attached
+/// (per-round time-series snapshots, default alert rules, span
+/// tracing), interleaved best-of-N. `identical` pins the observability
+/// promise — the telemetry run must produce the same
+/// `SimulationResult` bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct TelemetryOverhead {
+    /// Users in the measured scenario.
+    pub users: usize,
+    /// Tasks in the measured scenario.
+    pub tasks: usize,
+    /// Rounds the scenario runs.
+    pub rounds: u32,
+    /// Best wall-clock seconds for the plain run.
+    pub plain_seconds: f64,
+    /// Best wall-clock seconds with the telemetry stack attached.
+    pub telemetry_seconds: f64,
+    /// Round snapshots captured by the time series in one run.
+    pub round_samples: usize,
+    /// Span events captured by the trace log in one run.
+    pub span_events: usize,
+    /// Whether the telemetry result matched the plain result exactly.
+    pub identical: bool,
+}
+
+impl TelemetryOverhead {
+    /// Relative slowdown of the telemetry run (`0.1` = 10% slower).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.plain_seconds > 0.0 {
+            self.telemetry_seconds / self.plain_seconds - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures live-telemetry overhead on a full engine run at the given
+/// population, interleaving `iterations` plain/telemetry pairs and
+/// keeping the best time of each arm.
+#[must_use]
+pub fn measure_telemetry_overhead(
+    users: usize,
+    tasks: usize,
+    rounds: u32,
+    iterations: usize,
+) -> TelemetryOverhead {
+    use paydemand_obs::{Alerts, TimeSeries};
+    use paydemand_sim::{engine, MechanismKind, Scenario, SelectorKind};
+
+    let mut scenario = Scenario::paper_default()
+        .with_users(users)
+        .with_tasks(tasks)
+        .with_max_rounds(rounds)
+        .with_selector(SelectorKind::Greedy)
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(0x0B5E_11E0);
+    scenario.reward_budget = 2.5 * (tasks as f64) * f64::from(scenario.required_per_task);
+
+    let mut plain_seconds = f64::INFINITY;
+    let mut telemetry_seconds = f64::INFINITY;
+    let mut round_samples = 0usize;
+    let mut span_events = 0usize;
+    let mut identical = true;
+    for _ in 0..iterations.max(1) {
+        let started = Instant::now();
+        let plain = engine::run(&scenario).expect("plain run");
+        plain_seconds = plain_seconds.min(started.elapsed().as_secs_f64());
+
+        let recorder = Recorder::enabled();
+        recorder.attach_timeseries(&TimeSeries::with_capacity(rounds as usize + 1));
+        recorder.attach_alerts(&Alerts::with_defaults());
+        recorder.enable_trace_events(1 << 16);
+        let started = Instant::now();
+        let instrumented = engine::run_recorded(&scenario, &recorder).expect("telemetry run");
+        telemetry_seconds = telemetry_seconds.min(started.elapsed().as_secs_f64());
+
+        round_samples = recorder.timeseries().len();
+        span_events = recorder.span_log().map_or(0, |log| log.events().len());
+        identical &= instrumented == plain;
+    }
+    TelemetryOverhead {
+        users,
+        tasks,
+        rounds,
+        plain_seconds,
+        telemetry_seconds,
+        round_samples,
+        span_events,
+        identical,
+    }
+}
+
 /// Serialises points as the `BENCH_scaling.json` document (no external
 /// JSON dependency; the format is flat enough to emit by hand).
 #[must_use]
 pub fn to_json(points: &[PointResult]) -> String {
-    to_json_full(points, None)
+    to_json_doc(points, None, None)
 }
 
 /// [`to_json`] plus an optional top-level `"trace"` overhead object.
 #[must_use]
 pub fn to_json_full(points: &[PointResult], trace: Option<&TraceOverhead>) -> String {
+    to_json_doc(points, trace, None)
+}
+
+/// [`to_json`] plus optional top-level `"trace"` and `"telemetry"`
+/// overhead objects (each a single line, so the gate's line-oriented
+/// parser reads them directly).
+#[must_use]
+pub fn to_json_doc(
+    points: &[PointResult],
+    trace: Option<&TraceOverhead>,
+    telemetry: Option<&TelemetryOverhead>,
+) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"round_loop_scaling\",\n");
+    if let Some(t) = telemetry {
+        out.push_str(&format!(
+            "  \"telemetry\": {{\"users\": {}, \"tasks\": {}, \"rounds\": {}, \
+             \"plain_seconds\": {:.6}, \"telemetry_seconds\": {:.6}, \
+             \"overhead_fraction\": {:.4}, \"round_samples\": {}, \"span_events\": {}, \
+             \"identical\": {}}},\n",
+            t.users,
+            t.tasks,
+            t.rounds,
+            t.plain_seconds,
+            t.telemetry_seconds,
+            t.overhead_fraction(),
+            t.round_samples,
+            t.span_events,
+            t.identical,
+        ));
+    }
     if let Some(t) = trace {
         out.push_str(&format!(
             "  \"trace\": {{\"users\": {}, \"tasks\": {}, \"rounds\": {}, \
@@ -473,6 +596,26 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // Without a trace section the document is unchanged in shape.
         assert!(!to_json(&[run_point(&tiny())]).contains("\"trace\""));
+    }
+
+    #[test]
+    fn telemetry_overhead_preserves_results_and_serialises() {
+        let t = measure_telemetry_overhead(30, 8, 4, 1);
+        assert!(t.identical, "telemetry changed the simulation: {t:?}");
+        assert_eq!(t.round_samples, 4, "one snapshot per round");
+        assert!(t.span_events > 0, "engine spans reached the trace log");
+        assert!(t.plain_seconds > 0.0 && t.telemetry_seconds > 0.0);
+        let trace = measure_trace_overhead(30, 8, 4, 1);
+        let json = to_json_doc(&[run_point(&tiny())], Some(&trace), Some(&t));
+        assert!(json.contains("\"telemetry\": {\"users\": 30"));
+        assert!(json.contains("\"round_samples\": 4"));
+        assert!(json.contains("\"trace\": {\"users\": 30"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The telemetry section is a single line for the gate's parser.
+        let line = json.lines().find(|l| l.contains("\"telemetry\":")).unwrap();
+        assert!(line.contains("\"overhead_fraction\"") && line.contains("\"identical\""));
+        // Without the section the document is unchanged in shape.
+        assert!(!to_json(&[run_point(&tiny())]).contains("\"telemetry\""));
     }
 
     #[test]

@@ -15,6 +15,9 @@ USAGE:
     paydemand run     [OPTIONS]   run one configuration, print metrics
     paydemand compare [OPTIONS]   run every mechanism on identical workloads
     paydemand trace   SUBCOMMAND  inspect/explain/verify a decision journal
+    paydemand alerts  PATH [--rule SPEC]... [--fatal]
+                                  evaluate alert rules offline against a
+                                  time series saved by --timeseries-out
     paydemand --help
 
 TRACE SUBCOMMANDS (over a journal written by `run --trace-out`):
@@ -22,9 +25,18 @@ TRACE SUBCOMMANDS (over a journal written by `run --trace-out`):
     trace explain-task PATH T     task T's demand/level/reward trajectory
     trace explain-user PATH U     user U's selections and earnings
     trace diff PATH_A PATH_B      first divergence between two journals
-    trace export PATH [--format jsonl]   decode every frame to stdout
+    trace export PATH [--format jsonl] [--rounds A..B]
+                                  decode every frame to stdout, optionally
+                                  only rounds A through B inclusive
     trace verify PATH             audit internal consistency (framing,
                                   payments vs posted prices, budget)
+
+ALERTS (over a time series saved by run/compare --timeseries-out X.json):
+    --rule METRIC,CMP,THRESHOLD,FOR_ROUNDS[,NAME]
+                       extra rule on top of the shipped defaults, e.g.
+                       --rule engine_retry_queue_depth,>=,5,2,deep-queue
+                       (CMP is one of > >= < <=)
+    --fatal            exit non-zero if any rule fired
 
 OPTIONS (both commands):
     --preset NAME      paper | dense-downtown | sparse-rural |
@@ -55,6 +67,17 @@ OPTIONS (both commands):
     --metrics-format F prom | json exporter for --metrics-out [default: prom]
     --profile          record metrics and print a latency/counter summary
                        to stderr (identical simulation results either way)
+    --timeseries-out PATH   snapshot every metric family at each round
+                       boundary and write the per-round series to PATH
+                       (.csv extension = CSV, anything else = JSON; the
+                       JSON form feeds `paydemand alerts`)
+    --trace-events PATH     write span timings as Chrome trace_event
+                       JSON, openable in Perfetto / chrome://tracing
+    --serve-metrics ADDR    serve /metrics, /healthz, /rounds.json and
+                       /alerts.json over HTTP while the run executes
+                       (e.g. 127.0.0.1:9090; port 0 picks a free one)
+    --alerts-fatal     evaluate the default alert rules each round and
+                       exit non-zero if any fired
 
     --faults SPEC      comma-separated fault arms, injected from their
                        own seeded RNG stream (zero rates change nothing):
@@ -93,6 +116,20 @@ pub enum Command {
     Compare(Options),
     /// Inspect, explain, diff, export, or verify a decision journal.
     Trace(TraceCommand),
+    /// Evaluate alert rules offline against a saved time series.
+    Alerts(AlertsCommand),
+}
+
+/// A `paydemand alerts` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertsCommand {
+    /// Time-series JSON written by `--timeseries-out`.
+    pub path: String,
+    /// Extra rule specs (each `METRIC,CMP,THRESHOLD,FOR_ROUNDS[,NAME]`)
+    /// evaluated alongside the defaults.
+    pub rules: Vec<String>,
+    /// Exit non-zero if any rule fired.
+    pub fatal: bool,
 }
 
 /// A `paydemand trace` subcommand over a journal file.
@@ -128,6 +165,9 @@ pub enum TraceCommand {
     Export {
         /// Journal file.
         path: String,
+        /// Only frames from rounds A..=B (`--rounds A..B`), plus any
+        /// pre-round preamble when A is the first round.
+        rounds: Option<(u32, u32)>,
     },
     /// Audit a journal's internal consistency.
     Verify {
@@ -159,13 +199,38 @@ pub struct Options {
     pub resume_from: Option<String>,
     /// Write repetition 0's decision journal here (run only).
     pub trace_out: Option<String>,
+    /// Write the per-round time series here (CSV iff the path ends in
+    /// `.csv`, JSON otherwise).
+    pub timeseries_out: Option<String>,
+    /// Write Chrome trace_event JSON of span timings here.
+    pub trace_events_out: Option<String>,
+    /// Serve live metrics over HTTP at this address during the run.
+    pub serve_metrics: Option<String>,
+    /// Exit non-zero when any default alert rule fired.
+    pub alerts_fatal: bool,
 }
 
 impl Options {
     /// Whether the run should record metrics at all.
     #[must_use]
     pub fn recording(&self) -> bool {
-        self.profile || self.metrics_out.is_some()
+        self.profile
+            || self.metrics_out.is_some()
+            || self.timeseries_out.is_some()
+            || self.trace_events_out.is_some()
+            || self.serve_metrics.is_some()
+            || self.alerts_fatal
+    }
+
+    /// Whether round-boundary telemetry (time series + alert rules)
+    /// should be attached to the recorder. Plain `--metrics-out` runs
+    /// skip it so their exports carry exactly the historical families.
+    #[must_use]
+    pub fn telemetry(&self) -> bool {
+        self.profile
+            || self.timeseries_out.is_some()
+            || self.serve_metrics.is_some()
+            || self.alerts_fatal
     }
 }
 
@@ -189,6 +254,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let sub = match it.next() {
         None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
         Some("trace") => return parse_trace(&mut it),
+        Some("alerts") => return parse_alerts(&mut it),
         Some(sub @ ("run" | "compare")) => sub,
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
@@ -205,12 +271,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut checkpoint_file: Option<String> = None;
     let mut resume_from: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut timeseries_out: Option<String> = None;
+    let mut trace_events_out: Option<String> = None;
+    let mut serve_metrics: Option<String> = None;
+    let mut alerts_fatal = false;
 
     while let Some(flag) = it.next() {
         match flag {
             "--help" | "-h" => return Ok(Command::Help),
             "--enforce-budget" => scenario.enforce_budget = true,
             "--profile" => profile = true,
+            "--alerts-fatal" => alerts_fatal = true,
             "--no-cache" => scenario.pricing_cache = PricingCacheMode::Disabled,
             "--preset" => {
                 let name = it.next().ok_or("--preset needs a name")?;
@@ -239,6 +310,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         threads = if n == 0 { None } else { Some(n) };
                     }
                     "--metrics-out" => metrics_out = Some(value.to_string()),
+                    "--timeseries-out" => timeseries_out = Some(value.to_string()),
+                    "--trace-events" => trace_events_out = Some(value.to_string()),
+                    "--serve-metrics" => serve_metrics = Some(value.to_string()),
                     "--metrics-format" => {
                         metrics_format = match value {
                             "prom" | "prometheus" => MetricsFormat::Prometheus,
@@ -303,6 +377,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         checkpoint_file,
         resume_from,
         trace_out,
+        timeseries_out,
+        trace_events_out,
+        serve_metrics,
+        alerts_fatal,
     };
     Ok(match sub {
         "run" => Command::Run(options),
@@ -317,11 +395,16 @@ fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
     };
     let mut positional: Vec<&str> = Vec::new();
     let mut format: Option<&str> = None;
+    let mut rounds: Option<(u32, u32)> = None;
     while let Some(arg) = it.next() {
         match arg {
             "--help" | "-h" => return Ok(Command::Help),
             "--format" => {
                 format = Some(it.next().ok_or("--format needs a value")?);
+            }
+            "--rounds" => {
+                let spec = it.next().ok_or("--rounds needs a range like 2..5")?;
+                rounds = Some(parse_round_range(spec)?);
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `trace {action}`"));
@@ -331,6 +414,9 @@ fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
     }
     if format.is_some() && action != "export" {
         return Err(format!("--format only applies to `trace export`, not `trace {action}`"));
+    }
+    if rounds.is_some() && action != "export" {
+        return Err(format!("--rounds only applies to `trace export`, not `trace {action}`"));
     }
     if let Some(fmt) = format {
         if fmt != "jsonl" {
@@ -369,7 +455,7 @@ fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
         }
         "export" => {
             arity(1, "one journal path")?;
-            TraceCommand::Export { path: positional[0].to_string() }
+            TraceCommand::Export { path: positional[0].to_string(), rounds }
         }
         "verify" => {
             arity(1, "one journal path")?;
@@ -378,6 +464,48 @@ fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
         other => return Err(format!("unknown trace subcommand `{other}`")),
     };
     Ok(Command::Trace(cmd))
+}
+
+/// Parses `A..B` (inclusive on both ends) for `trace export --rounds`.
+fn parse_round_range(spec: &str) -> Result<(u32, u32), String> {
+    let (a, b) = spec
+        .split_once("..")
+        .ok_or_else(|| format!("--rounds: `{spec}` is not a range; expected A..B, e.g. 2..5"))?;
+    let first: u32 = parse_num("--rounds start", a)?;
+    let last: u32 = parse_num("--rounds end", b)?;
+    if first == 0 {
+        return Err("--rounds: rounds are 1-based; start at 1".into());
+    }
+    if first > last {
+        return Err(format!("--rounds: empty range {first}..{last}"));
+    }
+    Ok((first, last))
+}
+
+/// Parses the `paydemand alerts PATH [--rule SPEC]... [--fatal]` tail.
+fn parse_alerts<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, String> {
+    let mut path: Option<String> = None;
+    let mut rules: Vec<String> = Vec::new();
+    let mut fatal = false;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--fatal" => fatal = true,
+            "--rule" => {
+                let spec = it.next().ok_or("--rule needs METRIC,CMP,THRESHOLD,FOR_ROUNDS")?;
+                // Validate eagerly so a typo is reported before the run.
+                paydemand_obs::AlertRule::parse(spec)?;
+                rules.push(spec.to_string());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `alerts`"));
+            }
+            value if path.is_none() => path = Some(value.to_string()),
+            extra => return Err(format!("`alerts` takes one time-series path, got `{extra}` too")),
+        }
+    }
+    let path = path.ok_or("`alerts` needs a time-series JSON path (from --timeseries-out)")?;
+    Ok(Command::Alerts(AlertsCommand { path, rules, fatal }))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
@@ -753,11 +881,18 @@ mod tests {
         );
         assert_eq!(
             parse(&argv("trace export /tmp/a.trace --format jsonl")).unwrap(),
-            Command::Trace(TraceCommand::Export { path: "/tmp/a.trace".into() })
+            Command::Trace(TraceCommand::Export { path: "/tmp/a.trace".into(), rounds: None })
         );
         assert_eq!(
             parse(&argv("trace export /tmp/a.trace")).unwrap(),
-            Command::Trace(TraceCommand::Export { path: "/tmp/a.trace".into() })
+            Command::Trace(TraceCommand::Export { path: "/tmp/a.trace".into(), rounds: None })
+        );
+        assert_eq!(
+            parse(&argv("trace export /tmp/a.trace --rounds 2..5")).unwrap(),
+            Command::Trace(TraceCommand::Export {
+                path: "/tmp/a.trace".into(),
+                rounds: Some((2, 5))
+            })
         );
         assert_eq!(
             parse(&argv("trace verify /tmp/a.trace")).unwrap(),
@@ -780,6 +915,68 @@ mod tests {
             .unwrap_err()
             .contains("only applies to `trace export`"));
         assert!(parse(&argv("trace export /a --banana")).unwrap_err().contains("unknown flag"));
+        assert!(parse(&argv("trace export /a --rounds 5")).unwrap_err().contains("A..B"));
+        assert!(parse(&argv("trace export /a --rounds 5..2")).unwrap_err().contains("empty"));
+        assert!(parse(&argv("trace export /a --rounds 0..2")).unwrap_err().contains("1-based"));
+        assert!(parse(&argv("trace inspect /a --rounds 1..2"))
+            .unwrap_err()
+            .contains("only applies to `trace export`"));
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let Command::Run(opts) = parse(&argv(
+            "run --timeseries-out /tmp/ts.json --trace-events /tmp/t.json \
+             --serve-metrics 127.0.0.1:0 --alerts-fatal",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.timeseries_out.as_deref(), Some("/tmp/ts.json"));
+        assert_eq!(opts.trace_events_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(opts.serve_metrics.as_deref(), Some("127.0.0.1:0"));
+        assert!(opts.alerts_fatal);
+        assert!(opts.recording(), "telemetry flags imply recording");
+        assert!(opts.telemetry());
+
+        let Command::Run(defaults) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!defaults.telemetry());
+        let Command::Run(metrics_only) = parse(&argv("run --metrics-out /tmp/m.prom")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(metrics_only.recording() && !metrics_only.telemetry());
+        // Compare serves sweep-style workloads too.
+        assert!(parse(&argv("compare --serve-metrics 127.0.0.1:0")).is_ok());
+        assert!(parse(&argv("compare --timeseries-out /tmp/ts.csv")).is_ok());
+    }
+
+    #[test]
+    fn alerts_subcommand_parses() {
+        assert_eq!(
+            parse(&argv("alerts /tmp/ts.json")).unwrap(),
+            Command::Alerts(AlertsCommand {
+                path: "/tmp/ts.json".into(),
+                rules: vec![],
+                fatal: false
+            })
+        );
+        assert_eq!(
+            parse(&argv("alerts /tmp/ts.json --rule engine_retry_queue_depth,>=,5,2 --fatal"))
+                .unwrap(),
+            Command::Alerts(AlertsCommand {
+                path: "/tmp/ts.json".into(),
+                rules: vec!["engine_retry_queue_depth,>=,5,2".into()],
+                fatal: true
+            })
+        );
+        assert!(parse(&argv("alerts")).unwrap_err().contains("time-series"));
+        assert!(parse(&argv("alerts /a /b")).unwrap_err().contains("one time-series path"));
+        assert!(parse(&argv("alerts /a --rule nonsense")).unwrap_err().contains("expected"));
+        assert!(parse(&argv("alerts /a --banana")).unwrap_err().contains("unknown flag"));
+        assert_eq!(parse(&argv("alerts --help")).unwrap(), Command::Help);
     }
 
     #[test]

@@ -1,10 +1,27 @@
 //! Command implementations: run the engine, aggregate, print.
 
-use paydemand_obs::Recorder;
+use paydemand_obs::{Alerts, MetricsServer, Recorder, TimeSeries};
 use paydemand_sim::stats::Summary;
 use paydemand_sim::{metrics, runner, Engine, MechanismKind, SimError, SimulationResult};
 
 use crate::args::{MetricsFormat, Options};
+
+/// What a completed command wants the process to exit with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All clear.
+    Clean,
+    /// `--alerts-fatal` was set and this many rules fired.
+    AlertsFired(usize),
+}
+
+/// Upper bound on retained round samples, so an enormous sweep cannot
+/// hold every snapshot in memory (the ring evicts oldest and counts
+/// the drops, which the JSON export reports).
+const TIMESERIES_CAP: usize = 100_000;
+
+/// Span events kept for `--trace-events` (drops are counted too).
+const TRACE_EVENT_CAP: usize = 1 << 16;
 
 /// One metric row of the output table.
 struct MetricRow {
@@ -38,7 +55,7 @@ const METRICS: &[MetricRow] = &[
 ];
 
 /// `paydemand run`: one mechanism, metrics with 95% CIs.
-pub fn run(options: &Options) -> Result<(), SimError> {
+pub fn run(options: &Options) -> Result<RunStatus, SimError> {
     if options.checkpoint_every.is_some() || options.resume_from.is_some() {
         return run_checkpointed(options);
     }
@@ -53,6 +70,7 @@ pub fn run(options: &Options) -> Result<(), SimError> {
         options.reps,
     );
     let recorder = make_recorder(options);
+    let server = start_server(options, &recorder)?;
     let results = runner::run_repetitions_parallel_recorded(
         &options.scenario,
         options.reps,
@@ -73,7 +91,11 @@ pub fn run(options: &Options) -> Result<(), SimError> {
     if let Some(path) = &options.trace_out {
         write_trace(options, &recorder, &results[0], path)?;
     }
-    finish_metrics(options, &recorder)
+    finish_metrics(options, &recorder)?;
+    if let Some(server) = server {
+        server.stop();
+    }
+    Ok(alert_status(options, &recorder))
 }
 
 /// `--trace-out`: re-run repetition 0 with the decision journal
@@ -104,8 +126,9 @@ fn write_trace(
 /// `--checkpoint-every` rounds, and/or starting from `--resume` bytes.
 /// The scenario runs under its own seed (no per-repetition reseeding),
 /// so a resumed run reproduces the uninterrupted one exactly.
-fn run_checkpointed(options: &Options) -> Result<(), SimError> {
+fn run_checkpointed(options: &Options) -> Result<RunStatus, SimError> {
     let recorder = make_recorder(options);
+    let server = start_server(options, &recorder)?;
     let mut engine = match &options.resume_from {
         Some(path) => {
             let bytes = std::fs::read(path)
@@ -144,7 +167,11 @@ fn run_checkpointed(options: &Options) -> Result<(), SimError> {
     for row in METRICS {
         println!("{:<26} {:>10.3} {}", row.name, (row.extract)(&result), row.unit);
     }
-    finish_metrics(options, &recorder)
+    finish_metrics(options, &recorder)?;
+    if let Some(server) = server {
+        server.stop();
+    }
+    Ok(alert_status(options, &recorder))
 }
 
 /// Writes checkpoint bytes via a sibling temp file + rename, so a crash
@@ -161,7 +188,7 @@ fn write_checkpoint(engine: &Engine, path: &str) -> Result<(), SimError> {
 
 /// `paydemand compare`: the three paper mechanisms side by side on
 /// identical workloads.
-pub fn compare(options: &Options) -> Result<(), SimError> {
+pub fn compare(options: &Options) -> Result<RunStatus, SimError> {
     let threads = options.threads.unwrap_or_else(default_threads);
     println!(
         "selector {} | {} users | {} tasks | {} rounds | {} reps",
@@ -172,6 +199,7 @@ pub fn compare(options: &Options) -> Result<(), SimError> {
         options.reps,
     );
     let recorder = make_recorder(options);
+    let server = start_server(options, &recorder)?;
     let mut columns = Vec::new();
     for mechanism in MechanismKind::paper_lineup() {
         let scenario = options.scenario.clone().with_mechanism(mechanism);
@@ -193,20 +221,60 @@ pub fn compare(options: &Options) -> Result<(), SimError> {
         }
         println!();
     }
-    finish_metrics(options, &recorder)
+    finish_metrics(options, &recorder)?;
+    if let Some(server) = server {
+        server.stop();
+    }
+    Ok(alert_status(options, &recorder))
 }
 
-/// An enabled recorder when `--profile` or `--metrics-out` asked for
-/// one, else the inert no-op.
+/// An enabled recorder when any metrics flag asked for one, else the
+/// inert no-op. Telemetry flags (`--timeseries-out`, `--serve-metrics`,
+/// `--alerts-fatal`, `--profile`) additionally attach a per-round time
+/// series and the default alert rules; `--trace-events` switches the
+/// span log on.
 fn make_recorder(options: &Options) -> Recorder {
-    if options.recording() {
-        Recorder::enabled()
+    if !options.recording() {
+        return Recorder::disabled();
+    }
+    let recorder = Recorder::enabled();
+    if options.telemetry() {
+        let rounds = (options.scenario.max_rounds as usize).max(1);
+        let capacity = (options.reps.max(1).saturating_mul(rounds)).clamp(1, TIMESERIES_CAP);
+        recorder.attach_timeseries(&TimeSeries::with_capacity(capacity));
+        recorder.attach_alerts(&Alerts::with_defaults());
+    }
+    if options.trace_events_out.is_some() {
+        recorder.enable_trace_events(TRACE_EVENT_CAP);
+    }
+    recorder
+}
+
+/// Binds the `--serve-metrics` endpoint before the jobs start, so the
+/// run is observable from its first round.
+fn start_server(options: &Options, recorder: &Recorder) -> Result<Option<MetricsServer>, SimError> {
+    let Some(addr) = &options.serve_metrics else { return Ok(None) };
+    let server = MetricsServer::start(addr, recorder.clone())
+        .map_err(|e| SimError::Io(format!("--serve-metrics {addr}: {e}")))?;
+    println!(
+        "serving http://{0}/metrics (also /healthz, /rounds.json, /alerts.json)",
+        server.local_addr()
+    );
+    Ok(Some(server))
+}
+
+/// `--alerts-fatal`: turn fired alert rules into a non-zero exit.
+fn alert_status(options: &Options, recorder: &Recorder) -> RunStatus {
+    let fired = recorder.alerts().fired_total();
+    if options.alerts_fatal && fired > 0 {
+        RunStatus::AlertsFired(fired)
     } else {
-        Recorder::disabled()
+        RunStatus::Clean
     }
 }
 
-/// Writes `--metrics-out` and prints the `--profile` summary, if asked.
+/// Writes `--metrics-out` / `--timeseries-out` / `--trace-events` and
+/// prints the `--profile` summary, if asked.
 fn finish_metrics(options: &Options, recorder: &Recorder) -> Result<(), SimError> {
     if !options.recording() {
         return Ok(());
@@ -220,8 +288,27 @@ fn finish_metrics(options: &Options, recorder: &Recorder) -> Result<(), SimError
         std::fs::write(path, payload)
             .map_err(|e| SimError::Io(format!("writing --metrics-out {path}: {e}")))?;
     }
+    if let Some(path) = &options.timeseries_out {
+        let series = recorder.timeseries();
+        let payload = if path.ends_with(".csv") { series.to_csv() } else { series.to_json() };
+        std::fs::write(path, payload)
+            .map_err(|e| SimError::Io(format!("writing --timeseries-out {path}: {e}")))?;
+        println!("timeseries: wrote {} round samples -> {path}", series.len());
+    }
+    if let Some(path) = &options.trace_events_out {
+        let payload = recorder
+            .trace_events_json()
+            .ok_or_else(|| SimError::Io("--trace-events: span log was never enabled".into()))?;
+        std::fs::write(path, payload)
+            .map_err(|e| SimError::Io(format!("writing --trace-events {path}: {e}")))?;
+        println!("trace-events: wrote Perfetto-compatible span trace -> {path}");
+    }
     if options.profile {
         eprint!("{}", snapshot.profile_table());
+        let alerts = recorder.alerts();
+        if alerts.is_enabled() {
+            eprint!("{}", alerts.render_table());
+        }
     }
     Ok(())
 }
@@ -247,7 +334,7 @@ mod tests {
         let argv: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
         match parse(&argv).unwrap() {
             Command::Run(o) | Command::Compare(o) => o,
-            Command::Help | Command::Trace(_) => panic!("expected a command"),
+            Command::Help | Command::Trace(_) | Command::Alerts(_) => panic!("expected a command"),
         }
     }
 

@@ -8,6 +8,7 @@
 
 use std::process::ExitCode;
 
+mod alerts_cmd;
 mod args;
 mod commands;
 mod trace_cmd;
@@ -28,6 +29,17 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Ok(args::Command::Alerts(cmd)) => match alerts_cmd::dispatch(&cmd) {
+            Ok(fired) if fired && cmd.fatal => {
+                eprintln!("error: alert rule(s) fired (--fatal)");
+                ExitCode::FAILURE
+            }
+            Ok(_) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Err(msg) => {
             eprintln!("{msg}\n\n{}", args::USAGE);
             ExitCode::FAILURE
@@ -35,9 +47,13 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_or_report(result: Result<(), paydemand_sim::SimError>) -> ExitCode {
+fn run_or_report(result: Result<commands::RunStatus, paydemand_sim::SimError>) -> ExitCode {
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(commands::RunStatus::Clean) => ExitCode::SUCCESS,
+        Ok(commands::RunStatus::AlertsFired(n)) => {
+            eprintln!("error: {n} alert rule(s) fired (--alerts-fatal)");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

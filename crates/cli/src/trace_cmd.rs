@@ -21,7 +21,7 @@ pub fn dispatch(cmd: &TraceCommand) -> Result<(), String> {
         TraceCommand::ExplainTask { path, task } => explain_task(&decode(path)?, *task),
         TraceCommand::ExplainUser { path, user } => explain_user(&decode(path)?, *user),
         TraceCommand::Diff { a, b } => Ok(diff(&decode(a)?, &decode(b)?)),
-        TraceCommand::Export { path } => Ok(export_jsonl(&decode(path)?)),
+        TraceCommand::Export { path, rounds } => Ok(export_jsonl(&decode(path)?, *rounds)),
         TraceCommand::Verify { path } => verify(&load(path)?),
     }?;
     print!("{report}");
@@ -228,10 +228,23 @@ fn diff(a: &[TraceEvent], b: &[TraceEvent]) -> String {
     }
 }
 
-/// `trace export --format jsonl` — one JSON object per frame.
-fn export_jsonl(events: &[TraceEvent]) -> String {
+/// `trace export` — one JSON object per frame, optionally restricted
+/// to the rounds in the inclusive `A..B` window. The round is tracked
+/// from `round-start` frames; preamble frames before the first
+/// `round-start` belong to the window only when it opens at round 1.
+fn export_jsonl(events: &[TraceEvent], rounds: Option<(u32, u32)>) -> String {
     let mut out = String::new();
+    let mut round = 0u32;
     for event in events {
+        if let TraceEvent::RoundStart { round: r } = event {
+            round = *r;
+        }
+        if let Some((first, last)) = rounds {
+            let in_window = if round == 0 { first <= 1 } else { (first..=last).contains(&round) };
+            if !in_window {
+                continue;
+            }
+        }
         out.push_str(&event_jsonl(event));
         out.push('\n');
     }
@@ -437,7 +450,7 @@ mod tests {
     fn export_emits_one_json_object_per_frame() {
         let (bytes, _) = journal();
         let events = trace::decode(&bytes).unwrap();
-        let jsonl = export_jsonl(&events);
+        let jsonl = export_jsonl(&events, None);
         assert_eq!(jsonl.lines().count(), events.len());
         for line in jsonl.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
@@ -445,6 +458,25 @@ mod tests {
         }
         assert!(jsonl.contains(r#""type":"task-demand""#));
         assert!(jsonl.contains(r#""type":"selection""#));
+    }
+
+    #[test]
+    fn export_round_window_keeps_only_those_rounds() {
+        let (bytes, _) = journal();
+        let events = trace::decode(&bytes).unwrap();
+        let window = export_jsonl(&events, Some((2, 3)));
+        assert!(window.contains(r#"{"type":"round-start","round":2}"#));
+        assert!(window.contains(r#"{"type":"round-end","round":3}"#));
+        assert!(!window.contains(r#""round":1}"#), "round 1 excluded:\n{window}");
+        assert!(!window.contains(r#""round":4}"#), "round 4 excluded:\n{window}");
+        // A window opening at round 1 carries any preamble frames and,
+        // stitched to the complementary windows, reassembles the full export.
+        let head = export_jsonl(&events, Some((1, 1)));
+        let tail = export_jsonl(&events, Some((4, u32::MAX)));
+        let full = export_jsonl(&events, None);
+        assert_eq!(format!("{head}{window}{tail}"), full);
+        // An empty window exports nothing.
+        assert!(export_jsonl(&events, Some((900, 901))).is_empty());
     }
 
     #[test]

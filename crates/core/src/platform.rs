@@ -4,7 +4,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use paydemand_geo::{GeoError, GridIndex, Point, Rect};
-use paydemand_obs::{Histogram, Recorder, Span};
+use paydemand_obs::{Histogram, Recorder};
 
 use crate::incentive::IncentiveMechanism;
 use crate::neighbors::{naive_counts, IndexingMode, NeighborTracker};
@@ -318,7 +318,7 @@ impl<M: IncentiveMechanism> Platform<M> {
         // Count neighbours before touching any round state so a bad
         // location leaves the platform unchanged (every mode validates
         // all locations up front, reporting the first offender).
-        let demand_span = Span::on(&self.phase_demand);
+        let demand_span = self.recorder.scoped("demand", &self.phase_demand);
         let neighbor_counts = self.neighbor_counts(user_locations)?;
         drop(demand_span);
         self.round += 1;
@@ -348,7 +348,7 @@ impl<M: IncentiveMechanism> Platform<M> {
             .collect();
 
         let ctx = RoundContext { round: self.round, tasks, max_neighbors };
-        let pricing_span = Span::on(&self.phase_pricing);
+        let pricing_span = self.recorder.scoped("pricing", &self.phase_pricing);
         let rewards = self.mechanism.rewards(&ctx, rng);
         drop(pricing_span);
         debug_assert_eq!(rewards.len(), ctx.tasks.len(), "mechanism must price every task");

@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 /// span timers' nanoseconds into seconds; 1 leaves raw units alone).
 /// Dividing by the exactly-representable `1e9` — rather than
 /// multiplying by an inexact `1e-9` — keeps the printed decimals clean.
-fn scale_of(name: &str) -> f64 {
+pub(crate) fn scale_of(name: &str) -> f64 {
     if name.ends_with("_seconds") {
         1e9
     } else {
@@ -28,7 +28,7 @@ fn scaled(value: u64, divisor: f64) -> f64 {
 }
 
 /// `{key="value"}` for a labeled series, empty for a bare one.
-fn label_suffix(key: &MetricKey) -> String {
+pub(crate) fn label_suffix(key: &MetricKey) -> String {
     match &key.label {
         None => String::new(),
         Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
@@ -44,7 +44,7 @@ fn label_suffix_with(key: &MetricKey, extra_key: &str, extra_value: &str) -> Str
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -59,7 +59,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_labels(key: &MetricKey) -> String {
+pub(crate) fn json_labels(key: &MetricKey) -> String {
     match &key.label {
         None => "{}".to_owned(),
         Some((k, v)) => format!("{{\"{}\": \"{}\"}}", json_escape(k), json_escape(v)),
@@ -68,7 +68,7 @@ fn json_labels(key: &MetricKey) -> String {
 
 /// Formats a possibly-scaled value: integers stay integers, scaled
 /// values use Rust's shortest-roundtrip float formatting.
-fn fmt_value(value: u64, scale: f64) -> String {
+pub(crate) fn fmt_value(value: u64, scale: f64) -> String {
     if (scale - 1.0).abs() < f64::EPSILON {
         format!("{value}")
     } else {
@@ -164,24 +164,41 @@ impl Snapshot {
         out
     }
 
-    /// Renders every histogram family as an aligned per-phase table
-    /// (the body of the CLI's `--profile` stderr output). Times are in
-    /// seconds for `*_seconds` histograms, raw units otherwise.
+    /// Renders every metric family as an aligned table (the body of the
+    /// CLI's `--profile` stderr output): histograms first, then gauges,
+    /// then counters, with `alerts_total` broken out into its own
+    /// `alert` section at the end. Times are in seconds for `*_seconds`
+    /// histograms, raw units otherwise.
+    ///
+    /// The snapshot is already sorted by [`MetricKey`], so the rows are
+    /// deterministic; the name column widens to fit the longest series
+    /// (never below the historical 48 columns), keeping long labeled
+    /// names aligned instead of overflowing.
     #[must_use]
     pub fn profile_table(&self) -> String {
+        let series_of = |key: &MetricKey| format!("{}{}", key.name, label_suffix(key));
+        let width = self
+            .histograms
+            .iter()
+            .map(|(key, _)| key)
+            .chain(self.gauges.iter().map(|(key, _)| key))
+            .chain(self.counters.iter().map(|(key, _)| key))
+            .map(|key| series_of(key).len())
+            .max()
+            .unwrap_or(0)
+            .max(48);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<48} {:>9} {:>12} {:>12} {:>12} {:>12}",
+            "{:<width$} {:>9} {:>12} {:>12} {:>12} {:>12}",
             "histogram", "count", "total", "mean", "p50", "p99"
         );
         for (key, hist) in &self.histograms {
             let scale = scale_of(&key.name);
-            let series = format!("{}{}", key.name, label_suffix(key));
             let _ = writeln!(
                 out,
-                "{:<48} {:>9} {:>12.6} {:>12.9} {:>12.9} {:>12.9}",
-                series,
+                "{:<width$} {:>9} {:>12.6} {:>12.9} {:>12.9} {:>12.9}",
+                series_of(key),
                 hist.count,
                 scaled(hist.sum, scale),
                 hist.mean() / scale,
@@ -189,11 +206,24 @@ impl Snapshot {
                 scaled(hist.p99(), scale),
             );
         }
-        if !self.counters.is_empty() {
-            let _ = writeln!(out, "{:<48} {:>9}", "counter", "value");
-            for (key, value) in &self.counters {
-                let series = format!("{}{}", key.name, label_suffix(key));
-                let _ = writeln!(out, "{series:<48} {value:>9}");
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<width$} {:>9}", "gauge", "value");
+            for (key, value) in &self.gauges {
+                let _ = writeln!(out, "{:<width$} {value:>9}", series_of(key));
+            }
+        }
+        let (alerts, counters): (Vec<_>, Vec<_>) =
+            self.counters.iter().partition(|(key, _)| key.name == "alerts_total");
+        if !counters.is_empty() {
+            let _ = writeln!(out, "{:<width$} {:>9}", "counter", "value");
+            for (key, value) in counters {
+                let _ = writeln!(out, "{:<width$} {value:>9}", series_of(key));
+            }
+        }
+        if !alerts.is_empty() {
+            let _ = writeln!(out, "{:<width$} {:>9}", "alert", "fired");
+            for (key, value) in alerts {
+                let _ = writeln!(out, "{:<width$} {value:>9}", series_of(key));
             }
         }
         out
@@ -306,6 +336,33 @@ round_phase_seconds_count{phase=\"pricing\"} 2
         assert!(table.contains("round_phase_seconds{phase=\"pricing\"}"));
         assert!(table.contains("dp_states"));
         assert!(table.starts_with("histogram"));
+    }
+
+    #[test]
+    fn profile_table_lists_gauges_and_breaks_out_alerts() {
+        let r = Recorder::enabled();
+        let long = "a_rather_long_histogram_family_name_that_needs_more_than_the_default_width";
+        r.histogram(long).record(1_000);
+        r.gauge("engine_budget_spent_permille").set(721);
+        r.counter("engine_rounds_total").add(8);
+        r.counter_with("alerts_total", "rule", "budget_overrun_proximity").add(2);
+        let table = r.snapshot().profile_table();
+        // Section order: histograms, gauges, counters, alerts.
+        let histogram_at = table.find("histogram").unwrap();
+        let gauge_at = table.find("\ngauge").unwrap();
+        let counter_at = table.find("\ncounter").unwrap();
+        let alert_at = table.find("\nalert ").unwrap();
+        assert!(histogram_at < gauge_at && gauge_at < counter_at && counter_at < alert_at);
+        assert!(table.contains("engine_budget_spent_permille"));
+        assert!(table.contains("alerts_total{rule=\"budget_overrun_proximity\"}"));
+        // The alerts_total family moves out of the counter section.
+        let counter_section = &table[counter_at..alert_at];
+        assert!(!counter_section.contains("alerts_total"), "{counter_section}");
+        // Long names widen the column instead of breaking alignment:
+        // every value column ends at the same offset on scalar rows.
+        for line in table.lines().filter(|l| !l.contains("histogram") && !l.contains(long)) {
+            assert!(line.len() >= long.len() + 2, "misaligned row: {line:?}");
+        }
     }
 
     #[test]

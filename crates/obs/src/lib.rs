@@ -56,6 +56,28 @@
 //! | `runner_job_seconds` | histogram | Per-job wall time in the parallel runner. |
 //! | `runner_queue_depth` | gauge | Jobs still queued (drains to 0). |
 //! | `runner_threads` | gauge | Worker threads of the last batch. |
+//! | `engine_budget_spent_permille` | gauge | Paid reward as ‰ of the spend cap (set each round when telemetry is attached). |
+//! | `engine_retry_queue_depth` | gauge | Straggler uploads pending retry at the round boundary. |
+//! | `alerts_total{rule}` | counter | Alert-rule transitions into the firing state. |
+//!
+//! # Live telemetry
+//!
+//! Beyond point-in-time snapshots, a recorder can carry optional
+//! telemetry attachments (each a no-op until attached, preserving the
+//! bit-identical-off guarantee):
+//!
+//! * [`TimeSeries`] — a fixed-capacity ring buffer of per-round
+//!   [`Snapshot`]s, exportable as JSON or CSV and reloadable for
+//!   offline analysis;
+//! * [`SpanLog`] (via [`Recorder::enable_trace_events`]) — a
+//!   parent-aware span tree exported in Chrome `trace_event` JSON,
+//!   openable in Perfetto or `chrome://tracing`;
+//! * [`Alerts`] — threshold rules ([`AlertRule`]) evaluated at each
+//!   round boundary, with [`evaluate_series`] replaying the same rules
+//!   offline against a saved time series;
+//! * [`MetricsServer`] — an embedded zero-dependency HTTP endpoint
+//!   serving `/metrics`, `/healthz`, `/rounds.json` and `/alerts.json`
+//!   from a background thread.
 //!
 //! # Example
 //!
@@ -79,11 +101,21 @@
 #![warn(missing_docs, clippy::pedantic)]
 #![allow(clippy::module_name_repetitions, clippy::must_use_candidate)]
 
+mod alerts;
 mod export;
+pub mod json;
 mod metrics;
 mod recorder;
+mod serve;
+mod spans;
+mod timeseries;
 
+pub use alerts::{evaluate_series, AlertEvent, AlertRule, Alerts, Comparator};
+pub use json::{parse_json, JsonError, JsonValue};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
 pub use recorder::{MetricKey, Recorder, Snapshot, Span};
+pub use serve::MetricsServer;
+pub use spans::{SpanEvent, SpanLog};
+pub use timeseries::{RoundSample, TimeSeries};

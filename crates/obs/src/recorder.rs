@@ -5,7 +5,10 @@ use std::sync::atomic::{AtomicI64, AtomicU64};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::alerts::Alerts;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, HistogramSnapshot};
+use crate::spans::{SpanEventGuard, SpanLog};
+use crate::timeseries::TimeSeries;
 
 /// A metric's identity: family name plus at most one `key="value"`
 /// label pair. Ordered, so registries and exports are deterministic.
@@ -28,6 +31,12 @@ struct Registry {
     counters: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<MetricKey, Arc<HistogramCells>>>,
+    /// Live-telemetry attachments (PR 5). Each is `None` until the
+    /// owning layer opts in; clones of the recorder see the same
+    /// attachments because they share the registry.
+    span_log: Mutex<Option<Arc<SpanLog>>>,
+    timeseries: Mutex<Option<TimeSeries>>,
+    alerts: Mutex<Option<Alerts>>,
 }
 
 /// The instrumentation handle that threads through the simulator.
@@ -140,13 +149,113 @@ impl Recorder {
     /// clock.
     #[must_use]
     pub fn span(&self, name: &str) -> Span {
-        Span::on(&self.histogram(name))
+        self.scoped(name, &self.histogram(name))
     }
 
     /// Starts an RAII timer on a labeled histogram.
     #[must_use]
     pub fn span_with(&self, name: &str, key: &str, value: &str) -> Span {
-        Span::on(&self.histogram_with(name, key, value))
+        self.scoped(name, &self.histogram_with(name, key, value))
+    }
+
+    /// Starts an RAII timer on an already-resolved histogram that also
+    /// appears in the trace-event tree as `name` when
+    /// [`enable_trace_events`](Self::enable_trace_events) is on. The
+    /// trace display name is usually shorter than the histogram family
+    /// (`round`, `pricing`, …). Without a span log this is exactly
+    /// [`Span::on`].
+    #[must_use]
+    pub fn scoped(&self, name: &str, histogram: &Histogram) -> Span {
+        let event = self.span_log().map(|log| log.open(name));
+        let start = (histogram.is_enabled() || event.is_some()).then(Instant::now);
+        Span { histogram: histogram.clone(), start, event }
+    }
+
+    /// Attaches a bounded span-event log: from here on, spans created
+    /// through this recorder (any clone) also record parent-child trace
+    /// events, exportable with [`trace_events_json`](Self::trace_events_json).
+    /// A no-op on a disabled recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    pub fn enable_trace_events(&self, capacity: usize) {
+        if let Some(registry) = &self.registry {
+            *registry.span_log.lock().expect("span log slot poisoned") =
+                Some(Arc::new(SpanLog::new(capacity)));
+        }
+    }
+
+    /// The attached span-event log, if tracing is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    #[must_use]
+    pub fn span_log(&self) -> Option<Arc<SpanLog>> {
+        self.registry
+            .as_ref()
+            .and_then(|registry| registry.span_log.lock().expect("span log slot poisoned").clone())
+    }
+
+    /// The chrome `trace_event` JSON for the recorded spans, or `None`
+    /// when tracing was never enabled.
+    #[must_use]
+    pub fn trace_events_json(&self) -> Option<String> {
+        self.span_log().map(|log| log.to_trace_json())
+    }
+
+    /// Attaches a per-round time series; the engine records one sample
+    /// per round boundary into it. A no-op on a disabled recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    pub fn attach_timeseries(&self, timeseries: &TimeSeries) {
+        if let Some(registry) = &self.registry {
+            *registry.timeseries.lock().expect("time series slot poisoned") =
+                Some(timeseries.clone());
+        }
+    }
+
+    /// The attached time series, or the disabled handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    #[must_use]
+    pub fn timeseries(&self) -> TimeSeries {
+        self.registry
+            .as_ref()
+            .and_then(|registry| {
+                registry.timeseries.lock().expect("time series slot poisoned").clone()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Attaches an alert evaluator; the engine evaluates it at every
+    /// round boundary. A no-op on a disabled recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    pub fn attach_alerts(&self, alerts: &Alerts) {
+        if let Some(registry) = &self.registry {
+            *registry.alerts.lock().expect("alerts slot poisoned") = Some(alerts.clone());
+        }
+    }
+
+    /// The attached alert evaluator, or the disabled handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    #[must_use]
+    pub fn alerts(&self) -> Alerts {
+        self.registry
+            .as_ref()
+            .and_then(|registry| registry.alerts.lock().expect("alerts slot poisoned").clone())
+            .unwrap_or_default()
     }
 
     /// A point-in-time copy of every registered metric, sorted by
@@ -187,23 +296,28 @@ impl Recorder {
 
 /// An RAII phase timer: started by [`Recorder::span`] (or
 /// [`Span::on`]), it records the elapsed nanoseconds into its histogram
-/// when dropped. On a disabled histogram it is fully inert — no clock
-/// reads, no records.
+/// when dropped. Spans created through [`Recorder::scoped`] on a
+/// recorder with trace events enabled additionally record a
+/// parent-child trace event. On a disabled histogram with no trace
+/// events it is fully inert — no clock reads, no records.
 #[derive(Debug)]
 pub struct Span {
     histogram: Histogram,
     start: Option<Instant>,
+    event: Option<SpanEventGuard>,
 }
 
 impl Span {
-    /// Starts a timer that records into `histogram` on drop.
+    /// Starts a timer that records into `histogram` on drop (histogram
+    /// only — use [`Recorder::scoped`] to also feed the trace tree).
     #[must_use]
     pub fn on(histogram: &Histogram) -> Self {
         let start = histogram.is_enabled().then(Instant::now);
-        Span { histogram: histogram.clone(), start }
+        Span { histogram: histogram.clone(), start, event: None }
     }
 
-    /// Stops the timer without recording.
+    /// Stops the timer without recording into the histogram. A trace
+    /// event, if one was opened, still completes — the work happened.
     pub fn cancel(mut self) {
         self.start = None;
     }
@@ -213,6 +327,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start.take() {
             self.histogram.record_duration(start.elapsed());
+        }
+        if let Some(event) = self.event.take() {
+            event.finish();
         }
     }
 }

@@ -1,0 +1,273 @@
+//! An embedded, zero-dependency metrics endpoint.
+//!
+//! [`MetricsServer::start`] binds a std [`TcpListener`] and serves four
+//! read-only GET routes from one background thread, so a long run or
+//! sweep can be watched while it executes:
+//!
+//! | Route | Body |
+//! |---|---|
+//! | `/metrics` | the recorder's live snapshot in Prometheus text exposition |
+//! | `/healthz` | a small JSON liveness document |
+//! | `/rounds.json` | the live per-round time series ([`TimeSeries::to_json`](crate::TimeSeries::to_json)) |
+//! | `/alerts.json` | alert rules and firings ([`Alerts::to_json`](crate::Alerts::to_json)) |
+//!
+//! The server holds only a cloned [`Recorder`]; the time series and
+//! alert evaluator attached to that recorder are reachable through it,
+//! so the serving thread shares exactly the state the engine updates.
+//! One request is handled at a time (scrapes are rare and cheap) and
+//! every response closes its connection. [`MetricsServer::stop`] shuts
+//! the thread down deterministically; dropping the handle without
+//! calling it leaves the thread serving until the process exits, which
+//! is the desired behaviour for a long-lived `--serve-metrics` run.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::recorder::Recorder;
+
+/// Longest accepted request head; more is answered with 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A handle to the background serving thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free one)
+    /// and starts serving `recorder`'s state.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, e.g. when the port is taken.
+    pub fn start(addr: &str, recorder: Recorder) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("paydemand-metrics".to_owned())
+            .spawn(move || serve_loop(&listener, &recorder, &flag))?;
+        Ok(MetricsServer { local_addr, shutdown, handle: Some(handle) })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept() call; an error just means the thread
+        // already noticed the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: &TcpListener, recorder: &Recorder, shutdown: &AtomicBool) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stalled client must not wedge the (single) serving thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        handle_connection(stream, recorder);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, recorder: &Recorder) {
+    let Some(request_line) = read_request_line(&mut stream) else {
+        respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n");
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        respond(&mut stream, 405, "text/plain; charset=utf-8", "only GET is supported\n");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = recorder.snapshot().to_prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        "/healthz" => {
+            let body = format!(
+                "{{\"status\": \"ok\", \"metrics_enabled\": {}, \"rounds_observed\": {}, \
+                 \"alerts_fired\": {}}}\n",
+                recorder.is_enabled(),
+                recorder.timeseries().len(),
+                recorder.alerts().fired_total(),
+            );
+            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+        }
+        "/rounds.json" => {
+            let body = recorder.timeseries().to_json();
+            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+        }
+        "/alerts.json" => {
+            let body = recorder.alerts().to_json();
+            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+        }
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads up to the end of the request head and returns its first line.
+/// `None` on timeouts, oversized heads, or non-UTF-8 garbage.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&head).ok()?;
+    let line = text.lines().next()?.trim();
+    (!line.is_empty()).then(|| line.to_owned())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Alerts, TimeSeries};
+
+    /// A blocking single-request HTTP client good enough for loopback.
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let content_type = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or_default()
+            .to_owned();
+        (status, content_type, body.to_owned())
+    }
+
+    fn fixture_recorder() -> Recorder {
+        let recorder = Recorder::enabled();
+        recorder.counter("engine_rounds_total").add(3);
+        let ts = TimeSeries::with_capacity(8);
+        ts.record(1, recorder.snapshot());
+        recorder.attach_timeseries(&ts);
+        recorder.attach_alerts(&Alerts::with_defaults());
+        recorder
+    }
+
+    #[test]
+    fn serves_all_routes_with_valid_payloads() {
+        let server = MetricsServer::start("127.0.0.1:0", fixture_recorder()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, content_type, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(content_type.starts_with("text/plain"), "{content_type}");
+        assert!(body.contains("engine_rounds_total 3"), "{body}");
+
+        let (status, content_type, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(content_type.starts_with("application/json"));
+        let health = crate::json::parse_json(&body).unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.get("rounds_observed").unwrap().as_u64(), Some(1));
+        assert_eq!(health.get("alerts_fired").unwrap().as_u64(), Some(0));
+
+        let (status, _, body) = get(addr, "/rounds.json");
+        assert_eq!(status, 200);
+        let rounds = crate::json::parse_json(&body).unwrap();
+        let samples = rounds.get("rounds").unwrap().as_array().unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].get("round").unwrap().as_u64(), Some(1));
+
+        let (status, _, body) = get(addr, "/alerts.json");
+        assert_eq!(status, 200);
+        let alerts = crate::json::parse_json(&body).unwrap();
+        assert_eq!(alerts.get("rules").unwrap().as_array().unwrap().len(), 4);
+
+        let (status, _, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+
+    #[test]
+    fn live_updates_are_visible_between_scrapes() {
+        let recorder = Recorder::enabled();
+        let ts = TimeSeries::with_capacity(8);
+        recorder.attach_timeseries(&ts);
+        let server = MetricsServer::start("127.0.0.1:0", recorder.clone()).unwrap();
+        let addr = server.local_addr();
+        let (_, _, before) = get(addr, "/healthz");
+        assert!(before.contains("\"rounds_observed\": 0"), "{before}");
+        recorder.counter("engine_rounds_total").inc();
+        ts.record(1, recorder.snapshot());
+        let (_, _, after) = get(addr, "/healthz");
+        assert!(after.contains("\"rounds_observed\": 1"), "{after}");
+        let (_, _, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("engine_rounds_total 1"), "{metrics}");
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = MetricsServer::start("127.0.0.1:0", Recorder::enabled()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_joins_the_thread_and_frees_the_port() {
+        let server = MetricsServer::start("127.0.0.1:0", Recorder::enabled()).unwrap();
+        let addr = server.local_addr();
+        server.stop();
+        // After stop, a rebind of the same port must succeed.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port still held after stop: {rebind:?}");
+    }
+}

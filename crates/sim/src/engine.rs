@@ -65,7 +65,7 @@ use paydemand_faults::{FaultInjector, RoundFaults, UploadFate};
 use paydemand_geo::mobility::{MobilityState, RandomWaypoint};
 use paydemand_geo::network::RoadNetwork;
 use paydemand_geo::{Point, Rect};
-use paydemand_obs::{Counter, Histogram, Recorder, Span};
+use paydemand_obs::{Alerts, Counter, Gauge, Histogram, Recorder, TimeSeries};
 use paydemand_routing::CostMatrix;
 
 use crate::trace::{self, TraceEvent, TraceSink};
@@ -322,6 +322,33 @@ pub(crate) struct EngineInstruments {
     states_expanded: Counter,
     nodes_pruned: Counter,
     iterations: Counter,
+    /// Live-telemetry hook, present only when a time series or alert
+    /// evaluator is attached to the recorder — so plain metrics runs
+    /// register no extra gauge families and telemetry-off runs skip the
+    /// round-boundary snapshot entirely.
+    telemetry: Option<RoundTelemetry>,
+}
+
+/// Round-boundary telemetry resolved once per run: the attached sinks
+/// plus the gauges only meaningful when someone is watching per-round.
+pub(crate) struct RoundTelemetry {
+    timeseries: TimeSeries,
+    alerts: Alerts,
+    budget_spent_permille: Gauge,
+    retry_queue_depth: Gauge,
+}
+
+impl RoundTelemetry {
+    fn resolve(recorder: &Recorder) -> Option<Self> {
+        let timeseries = recorder.timeseries();
+        let alerts = recorder.alerts();
+        (timeseries.is_enabled() || alerts.is_enabled()).then(|| RoundTelemetry {
+            timeseries,
+            alerts,
+            budget_spent_permille: recorder.gauge("engine_budget_spent_permille"),
+            retry_queue_depth: recorder.gauge("engine_retry_queue_depth"),
+        })
+    }
 }
 
 impl EngineInstruments {
@@ -346,6 +373,7 @@ impl EngineInstruments {
                 selector,
             ),
             iterations: recorder.counter_with("selector_iterations_total", "selector", selector),
+            telemetry: RoundTelemetry::resolve(recorder),
         }
     }
 }
@@ -628,7 +656,7 @@ impl Engine {
         let round = self.next_round;
         let m = self.workload.tasks.len();
         let n = self.workload.users.len();
-        let round_span = Span::on(&self.instruments.round_seconds);
+        let round_span = self.recorder.scoped("round", &self.instruments.round_seconds);
         // Selection and settlement interleave per user, so their phase
         // times are accumulated across the round rather than spanned.
         let mut selection_ns = 0u64;
@@ -954,7 +982,7 @@ impl Engine {
         self.instruments.phase_settlement.record(settlement_ns);
 
         // Inter-round motion.
-        let movement_span = Span::on(&self.instruments.phase_movement);
+        let movement_span = self.recorder.scoped("movement", &self.instruments.phase_movement);
         match self.scenario.user_motion {
             UserMotion::StayAtRouteEnd => {}
             UserMotion::ReturnHome => {
@@ -977,6 +1005,7 @@ impl Engine {
         drop(movement_span);
         drop(round_span);
         self.instruments.rounds_total.inc();
+        self.observe_round_telemetry(round);
 
         self.next_round += 1;
         if self.next_round > self.scenario.max_rounds
@@ -985,6 +1014,23 @@ impl Engine {
             self.done = true;
         }
         Ok(true)
+    }
+
+    /// Snapshots every metric family at the round boundary into the
+    /// attached time series and runs the alert rules over it. A no-op
+    /// (no gauge writes, no snapshot, no clock) when no telemetry sink
+    /// is attached, preserving the bit-identical-off guarantee.
+    fn observe_round_telemetry(&mut self, round: u32) {
+        let Some(telemetry) = &self.instruments.telemetry else { return };
+        let cap = self.platform.spend_cap().unwrap_or(self.scenario.reward_budget);
+        #[allow(clippy::cast_possible_truncation)]
+        let permille =
+            if cap > 0.0 { (self.platform.total_paid() / cap * 1000.0).round() as i64 } else { 0 };
+        telemetry.budget_spent_permille.set(permille);
+        telemetry.retry_queue_depth.set(self.pending.len() as i64);
+        let snapshot = self.recorder.snapshot();
+        telemetry.alerts.evaluate(round, &snapshot, &self.recorder);
+        telemetry.timeseries.record(round, snapshot);
     }
 
     /// Attempts delivery of due queued uploads; called right after the

@@ -6,7 +6,7 @@
 //! the same random world no matter how many repetitions run, in what
 //! order, or on how many threads.
 
-use paydemand_obs::{Recorder, Span};
+use paydemand_obs::Recorder;
 
 use crate::engine::{self, SimulationResult};
 use crate::{Scenario, SimError};
@@ -133,7 +133,7 @@ pub fn run_scenarios_parallel_recorded(
             .iter()
             .map(|s| {
                 queue_depth.sub(1);
-                let span = Span::on(&job_seconds);
+                let span = recorder.scoped("job", &job_seconds);
                 let result = engine::run_recorded(s, recorder);
                 drop(span);
                 jobs_total.inc();
@@ -154,7 +154,7 @@ pub fn run_scenarios_parallel_recorded(
                     break;
                 }
                 queue_depth.sub(1);
-                let span = Span::on(&job_seconds);
+                let span = recorder.scoped("job", &job_seconds);
                 let result = engine::run_recorded(&scenarios[job], recorder);
                 drop(span);
                 jobs_total.inc();
