@@ -4,12 +4,15 @@
 //! cargo run --release -p paydemand-bench --bin scaling -- [OUT_PATH]
 //! ```
 //!
-//! Sweeps users ∈ {100, 1k, 10k, 50k} × tasks ∈ {100, 1k} and times the
+//! Sweeps users ∈ {100, 1k, 10k, 50k} × tasks ∈ {100, 1k}, plus two
+//! demand-wall points at 250k and 1M users × 1k tasks (fewer rounds —
+//! the naive reference arm is O(n·m) per round), and times the
 //! platform's per-round work (Eq. 5 neighbour counting + demand
-//! pricing) under four arms: the naive pairwise scan, a per-round grid
-//! rebuild, the incremental grid, and the incremental grid with the
-//! pricing cache. Outputs are cross-checked for bitwise identity before
-//! any timing is reported; see `paydemand_bench::scaling`.
+//! pricing) under six arms: the naive pairwise scan, a per-round grid
+//! rebuild, the incremental grid, the incremental grid with the
+//! pricing cache, and the cell-centric sweep serial and parallel.
+//! Outputs are cross-checked for bitwise identity before any timing is
+//! reported; see `paydemand_bench::scaling`.
 
 use paydemand_bench::scaling::{
     measure_telemetry_overhead, measure_trace_overhead, run_point, to_json_doc, Config,
@@ -20,28 +23,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let users_axis = [100usize, 1_000, 10_000, 50_000];
     let tasks_axis = [100usize, 1_000];
 
-    let mut points = Vec::new();
+    let mut configs = Vec::new();
     for &tasks in &tasks_axis {
         for &users in &users_axis {
-            eprintln!("scaling: {users} users x {tasks} tasks ...");
-            let point = run_point(&Config::at(users, tasks));
-            for arm in &point.arms {
-                eprintln!(
-                    "  {:<16} {:>10.4} s  (demand {:.4} s, pricing {:.4} s, \
-                     {} delta rounds, {} rebuilds)",
-                    arm.arm.label(),
-                    arm.seconds,
-                    arm.demand_seconds,
-                    arm.pricing_seconds,
-                    arm.delta_rounds,
-                    arm.rebuilds,
-                );
-            }
-            if !point.identical {
-                eprintln!("  ERROR: arms disagree at this point!");
-            }
-            points.push(point);
+            configs.push(Config::at(users, tasks));
         }
+    }
+    // Demand-wall points: the naive arm still runs (it is the bitwise
+    // reference), so fewer rounds keep its O(n·m) cost bounded.
+    configs.push(Config { rounds: 3, ..Config::at(250_000, 1_000) });
+    configs.push(Config { rounds: 2, ..Config::at(1_000_000, 1_000) });
+
+    let mut points = Vec::new();
+    for cfg in &configs {
+        eprintln!("scaling: {} users x {} tasks, {} rounds ...", cfg.users, cfg.tasks, cfg.rounds);
+        let point = run_point(cfg);
+        for arm in &point.arms {
+            eprintln!(
+                "  {:<16} {:>10.4} s  (demand {:.4} s = {:.1} ms/round, pricing {:.4} s, \
+                 {} delta rounds, {} rebuilds)",
+                arm.arm.label(),
+                arm.seconds,
+                arm.demand_seconds,
+                1000.0 * arm.demand_seconds / f64::from(cfg.rounds.max(1)),
+                arm.pricing_seconds,
+                arm.delta_rounds,
+                arm.rebuilds,
+            );
+        }
+        if !point.identical {
+            eprintln!("  ERROR: arms disagree at this point!");
+        }
+        points.push(point);
     }
 
     eprintln!("scaling: trace overhead on the 10k-user engine arm ...");

@@ -21,6 +21,15 @@ pub const TRACE_OVERHEAD_TARGET: f64 = 0.15;
 /// Live-telemetry (time series + alerts + span trace) overhead above
 /// this fraction draws a warning on the same arm.
 pub const TELEMETRY_OVERHEAD_TARGET: f64 = 0.15;
+/// At the 50k-user × 1k-task point the incremental tracker must beat
+/// the per-round rebuild by at least this wall-clock factor. Pins the
+/// fix for the historical near-tie (71 ms vs 89 ms) where the delta
+/// path's per-move allocations ate most of its advantage; with the
+/// allocation-free visitor the gap must stay decisive.
+pub const INDEXED_VS_REBUILD_MIN_SPEEDUP: f64 = 1.2;
+/// The fresh-run arm keys the speedup assertion reads.
+const SPEEDUP_INDEXED_KEY: &str = "50000x1000:indexed";
+const SPEEDUP_REBUILD_KEY: &str = "50000x1000:rebuild";
 
 /// One arm's wall-clock seconds, keyed by `"{users}x{tasks}:{arm}"`.
 pub type ArmSeconds = BTreeMap<String, f64>;
@@ -138,6 +147,17 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc) -> (Vec<Verdict>, Vec<Stri
     }
     if fresh.any_non_identical {
         failures.push("fresh run has non-identical arms; timings are invalid".into());
+    }
+    if let (Some(&indexed), Some(&rebuild)) =
+        (fresh.arms.get(SPEEDUP_INDEXED_KEY), fresh.arms.get(SPEEDUP_REBUILD_KEY))
+    {
+        if rebuild < indexed * INDEXED_VS_REBUILD_MIN_SPEEDUP {
+            failures.push(format!(
+                "incremental tracker no longer decisively beats per-round rebuild at 50k users: \
+                 indexed {indexed:.6}s vs rebuild {rebuild:.6}s \
+                 (need >{INDEXED_VS_REBUILD_MIN_SPEEDUP}x)"
+            ));
+        }
     }
     if fresh.trace_identical == Some(false) {
         failures.push("fresh trace-enabled run diverged from the plain run".into());
@@ -261,6 +281,33 @@ mod tests {
             failures.iter().any(|f| f.contains("telemetry-enabled run diverged")),
             "{failures:?}"
         );
+    }
+
+    #[test]
+    fn indexed_must_decisively_beat_rebuild_at_50k() {
+        let fifty_k = |indexed: f64, rebuild: f64| {
+            format!(
+                "{{\n  \"points\": [\n    {{\"users\": 50000, \"tasks\": 1000, \"rounds\": 8, \
+                 \"identical\": true, \"arms\": [{{\"arm\": \"rebuild\", \
+                 \"seconds\": {rebuild:.6}}}, {{\"arm\": \"indexed\", \
+                 \"seconds\": {indexed:.6}}}]}}\n  ]\n}}\n"
+            )
+        };
+        let baseline = parse(&fifty_k(0.070, 0.090)).unwrap();
+        // A decisive win passes: 0.090 / 0.060 = 1.5x.
+        let healthy = parse(&fifty_k(0.060, 0.090)).unwrap();
+        let (_, failures) = compare(&baseline, &healthy);
+        assert!(failures.is_empty(), "{failures:?}");
+        // A near-tie fails even with no wall-clock regression:
+        // 0.085 / 0.071 < 1.2x.
+        let near_tie = parse(&fifty_k(0.071, 0.085)).unwrap();
+        let (_, failures) = compare(&baseline, &near_tie);
+        assert!(failures.iter().any(|f| f.contains("no longer decisively beats")), "{failures:?}");
+        // The assertion only reads the 50k x 1k point: absent arms
+        // (e.g. the doc() fixtures above) never trip it.
+        let no_point = parse(&doc(0.1, 0.05, None)).unwrap();
+        let (_, failures) = compare(&no_point, &no_point);
+        assert!(failures.is_empty(), "{failures:?}");
     }
 
     #[test]

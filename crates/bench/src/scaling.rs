@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use paydemand_core::demand::TaskObservation;
 use paydemand_core::neighbors::naive_counts;
-use paydemand_core::{DemandCache, DemandIndicator, DemandLevels, NeighborTracker, RewardSchedule};
+use paydemand_core::{
+    CellSweepCounter, DemandCache, DemandIndicator, DemandLevels, NeighborTracker, RewardSchedule,
+};
 use paydemand_geo::{GridIndex, Point, Rect};
 use paydemand_obs::{Recorder, Span};
 use rand::{Rng, SeedableRng};
@@ -70,11 +72,18 @@ pub enum Arm {
     Indexed,
     /// Incremental [`NeighborTracker`] plus the [`DemandCache`].
     IndexedCached,
+    /// Cell-centric sweep ([`CellSweepCounter`]), serial, plus the
+    /// [`DemandCache`].
+    Cell,
+    /// Cell-centric sweep with all cores inside the demand phase, plus
+    /// the [`DemandCache`].
+    CellPar,
 }
 
 impl Arm {
     /// All arms, slowest reference first.
-    pub const ALL: [Arm; 4] = [Arm::Naive, Arm::Rebuild, Arm::Indexed, Arm::IndexedCached];
+    pub const ALL: [Arm; 6] =
+        [Arm::Naive, Arm::Rebuild, Arm::Indexed, Arm::IndexedCached, Arm::Cell, Arm::CellPar];
 
     /// Stable machine-readable label.
     #[must_use]
@@ -84,7 +93,15 @@ impl Arm {
             Arm::Rebuild => "rebuild",
             Arm::Indexed => "indexed",
             Arm::IndexedCached => "indexed_cached",
+            Arm::Cell => "cell",
+            Arm::CellPar => "cell_par",
         }
+    }
+
+    /// Whether this arm prices through the [`DemandCache`].
+    #[must_use]
+    fn cached(self) -> bool {
+        matches!(self, Arm::IndexedCached | Arm::Cell | Arm::CellPar)
     }
 }
 
@@ -176,6 +193,10 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
     let mut users = w.initial_users.clone();
     let mut received: Vec<u32> = vec![0; cfg.tasks];
     let mut tracker = NeighborTracker::new(w.area, cfg.radius, w.task_locations.clone());
+    let mut cell = CellSweepCounter::new(w.area, cfg.radius, w.task_locations.clone());
+    if arm == Arm::CellPar {
+        cell.set_threads(0); // one worker per core
+    }
     let mut cache = DemandCache::new();
     let mut counts_checksum = 0xcbf2_9ce4_8422_2325u64;
     let mut rewards_checksum = counts_checksum;
@@ -186,11 +207,13 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
     let phase_demand = recorder.histogram_with("round_phase_seconds", "phase", "demand");
     let phase_pricing = recorder.histogram_with("round_phase_seconds", "phase", "pricing");
     tracker.set_recorder(&recorder);
-    if arm == Arm::IndexedCached {
+    cell.set_recorder(&recorder);
+    if arm.cached() {
         cache.set_instruments(
             recorder.counter("demand_cache_hits_total"),
             recorder.counter("demand_cache_misses_total"),
             recorder.counter("demand_cache_dirty_total"),
+            recorder.counter("demand_cache_batch_invalidated_total"),
         );
     }
 
@@ -209,6 +232,7 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
             Arm::Indexed | Arm::IndexedCached => {
                 tracker.counts(&users).expect("users in area").to_vec()
             }
+            Arm::Cell | Arm::CellPar => cell.counts(&users).expect("users in area").to_vec(),
         };
         drop(demand_span);
         let pricing_span = Span::on(&phase_pricing);
@@ -221,7 +245,7 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
                 received: received[task],
                 neighbors: count,
             };
-            let demand = if arm == Arm::IndexedCached {
+            let demand = if arm.cached() {
                 cache.normalized_demand(&indicator, task, &obs, round, max_neighbors)
             } else {
                 indicator.normalized_demand(&obs, round, max_neighbors)
@@ -246,6 +270,15 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
             .map_or(0.0, |h| h.sum as f64 / 1e9)
     };
     let counter = |name: &str| snapshot.counter_value(name, None).unwrap_or(0);
+    // Cell arms report the sweep's own accounting through the same two
+    // columns: delta rounds and (full-sweep) rebuilds are the matching
+    // concepts.
+    let (delta_rounds, rebuilds) = match arm {
+        Arm::Cell | Arm::CellPar => {
+            (counter("cell_sweep_delta_rounds_total"), counter("cell_sweep_full_sweeps_total"))
+        }
+        _ => (counter("neighbor_delta_rounds_total"), counter("neighbor_rebuilds_total")),
+    };
     ArmResult {
         arm,
         seconds,
@@ -253,8 +286,8 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
         rewards_checksum,
         demand_seconds: phase_seconds("demand"),
         pricing_seconds: phase_seconds("pricing"),
-        delta_rounds: counter("neighbor_delta_rounds_total"),
-        rebuilds: counter("neighbor_rebuilds_total"),
+        delta_rounds,
+        rebuilds,
     }
 }
 
@@ -512,10 +545,12 @@ pub fn to_json_doc(
         for (j, a) in p.arms.iter().enumerate() {
             out.push_str(&format!(
                 "{{\"arm\": \"{}\", \"seconds\": {:.6}, \"demand_seconds\": {:.6}, \
-                 \"pricing_seconds\": {:.6}, \"delta_rounds\": {}, \"rebuilds\": {}}}",
+                 \"demand_ms_per_round\": {:.3}, \"pricing_seconds\": {:.6}, \
+                 \"delta_rounds\": {}, \"rebuilds\": {}}}",
                 a.arm.label(),
                 a.seconds,
                 a.demand_seconds,
+                1000.0 * a.demand_seconds / f64::from(p.config.rounds.max(1)),
                 a.pricing_seconds,
                 a.delta_rounds,
                 a.rebuilds,
@@ -543,7 +578,7 @@ mod tests {
     fn all_arms_agree_on_outputs() {
         let point = run_point(&tiny());
         assert!(point.identical, "arms disagreed: {point:?}");
-        assert_eq!(point.arms.len(), 4);
+        assert_eq!(point.arms.len(), 6);
         assert!(point.arms.iter().all(|a| a.seconds >= 0.0));
         for a in &point.arms {
             // The phases partition (most of) the measured loop.
@@ -552,6 +587,10 @@ mod tests {
             match a.arm {
                 Arm::Indexed | Arm::IndexedCached => {
                     assert_eq!(a.rebuilds, 1, "one priming rebuild: {a:?}");
+                    assert_eq!(u64::from(tiny().rounds) - 1, a.delta_rounds, "{a:?}");
+                }
+                Arm::Cell | Arm::CellPar => {
+                    assert_eq!(a.rebuilds, 1, "one priming full sweep: {a:?}");
                     assert_eq!(u64::from(tiny().rounds) - 1, a.delta_rounds, "{a:?}");
                 }
                 _ => {
@@ -624,5 +663,7 @@ mod tests {
         assert_eq!(Arm::Rebuild.label(), "rebuild");
         assert_eq!(Arm::Indexed.label(), "indexed");
         assert_eq!(Arm::IndexedCached.label(), "indexed_cached");
+        assert_eq!(Arm::Cell.label(), "cell");
+        assert_eq!(Arm::CellPar.label(), "cell_par");
     }
 }

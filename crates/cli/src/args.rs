@@ -60,8 +60,14 @@ OPTIONS (both commands):
     --enforce-budget   refuse payments past the budget
     --no-cache         disable the demand/pricing cache (identical
                        results; exists for benchmarking and debugging)
-    --indexing MODE    incremental | rebuild | naive neighbour counting
-                       (identical results; bench arms)  [default: incremental]
+    --indexing MODE    cell | incremental | rebuild | naive neighbour
+                       counting (identical results; bench arms)
+                       [default: incremental]
+    --demand-backend MODE   alias for --indexing (names the Eq. 5
+                       counting backend)
+    --demand-threads N worker threads inside the demand phase (cell
+                       backend only; 0 = all cores; results identical
+                       for every value)  [default: 1]
     --metrics-out PATH write collected metrics to PATH (implies recording;
                        round-phase latencies, cache and selector counters)
     --metrics-format F prom | json exporter for --metrics-out [default: prom]
@@ -320,7 +326,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             other => return Err(format!("unknown metrics format `{other}`")),
                         };
                     }
-                    "--indexing" => scenario.indexing = parse_indexing(value)?,
+                    "--indexing" | "--demand-backend" => {
+                        scenario.indexing = parse_indexing(value)?;
+                    }
+                    "--demand-threads" => {
+                        scenario.demand_threads = parse_num(flag, value)?;
+                    }
                     "--selector" => scenario.selector = parse_selector(value)?,
                     "--travel" => scenario.travel = parse_travel(value)?,
                     "--sensing-time" => scenario.sensing_seconds = parse_num(flag, value)?,
@@ -529,6 +540,7 @@ fn parse_selector(value: &str) -> Result<SelectorKind, String> {
 
 fn parse_indexing(value: &str) -> Result<IndexingMode, String> {
     Ok(match value {
+        "cell" | "cell-sweep" => IndexingMode::CellSweep,
         "incremental" => IndexingMode::Incremental,
         "rebuild" => IndexingMode::RebuildEachRound,
         "naive" => IndexingMode::NaiveReference,
@@ -722,6 +734,32 @@ mod tests {
             .unwrap_err()
             .contains("unknown indexing mode"));
         assert!(parse(&argv("compare --no-cache --threads 2")).is_ok());
+    }
+
+    #[test]
+    fn demand_backend_flags_parse() {
+        let Command::Run(opts) =
+            parse(&argv("run --demand-backend cell --demand-threads 4")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.scenario.indexing, IndexingMode::CellSweep);
+        assert_eq!(opts.scenario.demand_threads, 4);
+
+        let Command::Run(alias) = parse(&argv("run --indexing cell-sweep")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(alias.scenario.indexing, IndexingMode::CellSweep);
+
+        let Command::Run(defaults) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(defaults.scenario.demand_threads, 1);
+
+        assert!(parse(&argv("run --demand-backend quantum"))
+            .unwrap_err()
+            .contains("unknown indexing mode"));
+        assert!(parse(&argv("run --demand-threads lots")).unwrap_err().contains("cannot parse"));
     }
 
     #[test]

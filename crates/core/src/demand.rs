@@ -353,13 +353,20 @@ pub struct DemandCache {
     deadline_by_remaining: Vec<f64>,
     hits: u64,
     misses: u64,
+    /// The `N_max` most recently declared via
+    /// [`begin_round`](Self::begin_round); `None` until the first call.
+    last_max_neighbors: Option<usize>,
+    /// Scarcity entries dropped by batched round-boundary sweeps.
+    batch_invalidations: u64,
     /// Observability mirrors (no-ops unless wired to a live recorder):
     /// `obs_hits` tracks [`hits`](Self::hits); cold lookups land in
     /// `obs_misses` and stale-key recomputes in `obs_dirty`, so
-    /// `misses == obs_misses + obs_dirty` once wired.
+    /// `misses == obs_misses + obs_dirty` once wired. `obs_batched`
+    /// tracks [`batch_invalidations`](Self::batch_invalidations).
     obs_hits: paydemand_obs::Counter,
     obs_misses: paydemand_obs::Counter,
     obs_dirty: paydemand_obs::Counter,
+    obs_batched: paydemand_obs::Counter,
 }
 
 impl DemandCache {
@@ -371,17 +378,59 @@ impl DemandCache {
 
     /// Wires the cache's lookups to observability counters: `hits` for
     /// answered lookups, `misses` for cold entries, `dirty` for stale
-    /// entries whose key changed and had to be recomputed. Disabled
+    /// entries whose key changed and had to be recomputed, `batched`
+    /// for scarcity entries dropped by round-boundary sweeps. Disabled
     /// counters (the default) keep this a no-op.
     pub fn set_instruments(
         &mut self,
         hits: paydemand_obs::Counter,
         misses: paydemand_obs::Counter,
         dirty: paydemand_obs::Counter,
+        batched: paydemand_obs::Counter,
     ) {
         self.obs_hits = hits;
         self.obs_misses = misses;
         self.obs_dirty = dirty;
+        self.obs_batched = batched;
+    }
+
+    /// Declares the round's `N_max` before any per-task lookup, letting
+    /// the cache drop every stale scarcity entry in one batched sweep
+    /// instead of discovering staleness entry by entry inside the hot
+    /// loop. When `max_neighbors` differs from the previous round's,
+    /// one pass over the dense entry array clears each `X₃` keyed on
+    /// the old value; the round's lookups then take the cold path
+    /// directly, with no key comparison against a doomed entry.
+    ///
+    /// Calling this is optional and never changes produced demands: a
+    /// dropped entry cold-misses exactly where the unbatched path would
+    /// have dirty-missed, and the recomputed `X₃` is the same pure
+    /// function of `(neighbors, max_neighbors)` either way. Totals from
+    /// [`hits`](Self::hits)/[`misses`](Self::misses) are identical;
+    /// only the miss *attribution* (cold vs dirty) shifts.
+    pub fn begin_round(&mut self, max_neighbors: usize) {
+        if self.last_max_neighbors == Some(max_neighbors) {
+            return;
+        }
+        self.last_max_neighbors = Some(max_neighbors);
+        let mut cleared = 0u64;
+        for slot in &mut self.neighbors {
+            if matches!(slot, Some(((_, m), _)) if *m != max_neighbors) {
+                *slot = None;
+                cleared += 1;
+            }
+        }
+        if cleared > 0 {
+            self.batch_invalidations += cleared;
+            self.obs_batched.add(cleared);
+        }
+    }
+
+    /// Scarcity entries dropped by [`begin_round`](Self::begin_round)
+    /// sweeps since construction.
+    #[must_use]
+    pub fn batch_invalidations(&self) -> u64 {
+        self.batch_invalidations
     }
 
     /// Cached equivalent of [`DemandIndicator::normalized_demand`]:

@@ -162,6 +162,10 @@ impl OnDemandIncentive {
             return self.uncached_demands(ctx);
         }
         let OnDemandIncentive { indicator, cache, cache_mode, .. } = self;
+        // Batched round-boundary invalidation: clear every scarcity
+        // entry staled by an N_max shift in one sweep, so the per-task
+        // loop below never pays the stale-key branch.
+        cache.begin_round(ctx.max_neighbors);
         ctx.tasks
             .iter()
             .map(|t| {
@@ -243,6 +247,7 @@ impl IncentiveMechanism for OnDemandIncentive {
             recorder.counter("demand_cache_hits_total"),
             recorder.counter("demand_cache_misses_total"),
             recorder.counter("demand_cache_dirty_total"),
+            recorder.counter("demand_cache_batch_invalidated_total"),
         );
     }
 }

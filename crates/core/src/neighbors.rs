@@ -19,7 +19,7 @@
 //! equivalence is locked down by tests here and by the differential
 //! battery in the test suite.
 
-use paydemand_geo::{GeoError, GridIndex, Point, Rect};
+use paydemand_geo::{CellSweeper, GeoError, GridIndex, Point, Positions, Rect};
 use paydemand_obs::{Counter, Recorder};
 
 /// How the platform computes per-task neighbour counts each round.
@@ -37,6 +37,13 @@ pub enum IndexingMode {
     /// implementation for differential tests and scaling benchmarks;
     /// never the production path.
     NaiveReference,
+    /// Cell-centric sweep over a struct-of-arrays position mirror
+    /// ([`paydemand_geo::CellSweeper`]): one pass over occupied grid
+    /// cells accumulating residents into per-cell candidate tasks,
+    /// with batched dirty-cell delta updates and optional intra-round
+    /// parallelism. The large-scale production path; counts are
+    /// bit-identical to every other mode.
+    CellSweep,
 }
 
 /// Maintains per-task neighbour counts (`N_i` of Eq. 5) across rounds,
@@ -106,32 +113,34 @@ impl NeighborTracker {
     /// [`GeoError::OutOfBounds`] for the first user location outside the
     /// area (matching `GridIndex::build`'s error and order); the tracker
     /// state is unchanged on error.
-    pub fn counts(&mut self, users: &[Point]) -> Result<&[usize], GeoError> {
+    pub fn counts<P: Positions + ?Sized>(&mut self, users: &P) -> Result<&[usize], GeoError> {
+        let n = users.len();
         // Validate everything up front so a bad location leaves the
         // tracker exactly as it was.
-        for &p in users {
+        for i in 0..n {
+            let p = users.at(i);
             if !self.area.contains(p) {
                 return Err(GeoError::OutOfBounds { point: p });
             }
         }
-        let incremental_ready =
-            self.primed && self.task_index.is_some() && self.prev.len() == users.len();
+        let incremental_ready = self.primed && self.task_index.is_some() && self.prev.len() == n;
         if incremental_ready {
             let task_index = self.task_index.as_ref().expect("checked above");
+            let counts = &mut self.counts;
             let mut moved = 0usize;
-            for (i, &p) in users.iter().enumerate() {
-                let old = self.prev[i];
+            for (i, old_slot) in self.prev.iter_mut().enumerate() {
+                let p = users.at(i);
+                let old = *old_slot;
                 if old == p {
                     continue;
                 }
                 moved += 1;
-                for t in task_index.within_radius(old, self.radius) {
-                    self.counts[t] -= 1;
-                }
-                for t in task_index.within_radius(p, self.radius) {
-                    self.counts[t] += 1;
-                }
-                self.prev[i] = p;
+                // ±1 updates are order-free, so the allocation-free
+                // visitor replaces the sorted Vec `within_radius`
+                // used to return per query.
+                task_index.for_each_within(old, self.radius, |t| counts[t] -= 1);
+                task_index.for_each_within(p, self.radius, |t| counts[t] += 1);
+                *old_slot = p;
             }
             self.moved_last_round = moved;
             self.obs_delta_rounds.inc();
@@ -139,11 +148,17 @@ impl NeighborTracker {
         } else {
             // The user grid exists only for this query burst; the delta
             // path never consults it, so it is not kept up to date.
-            let index = GridIndex::build(self.area, self.radius, users)?;
+            let index = match users.as_point_slice() {
+                Some(slice) => GridIndex::build(self.area, self.radius, slice)?,
+                None => {
+                    let pts: Vec<Point> = (0..n).map(|i| users.at(i)).collect();
+                    GridIndex::build(self.area, self.radius, &pts)?
+                }
+            };
             self.counts =
                 self.task_locations.iter().map(|&t| index.count_within(t, self.radius)).collect();
-            self.prev = users.to_vec();
-            self.moved_last_round = users.len();
+            self.prev = (0..n).map(|i| users.at(i)).collect();
+            self.moved_last_round = n;
             self.primed = true;
             self.obs_rebuilds.inc();
         }
@@ -168,8 +183,102 @@ impl NeighborTracker {
 /// Used by [`IndexingMode::NaiveReference`] and differential tests.
 #[must_use]
 pub fn naive_counts(tasks: &[Point], users: &[Point], radius: f64) -> Vec<usize> {
+    naive_counts_in(tasks, users, radius)
+}
+
+/// [`naive_counts`] over any position layout (AoS slice or SoA store).
+#[must_use]
+pub fn naive_counts_in<P: Positions + ?Sized>(
+    tasks: &[Point],
+    users: &P,
+    radius: f64,
+) -> Vec<usize> {
     let r2 = radius * radius;
-    tasks.iter().map(|&t| users.iter().filter(|u| u.distance_squared(t) < r2).count()).collect()
+    tasks
+        .iter()
+        .map(|&t| (0..users.len()).filter(|&i| users.at(i).distance_squared(t) < r2).count())
+        .collect()
+}
+
+/// [`CellSweeper`] plus the observability accounting the platform
+/// expects of a counting backend: full sweeps, delta rounds and batched
+/// move updates, reported as `cell_sweep_*` counters.
+#[derive(Debug, Clone)]
+pub struct CellSweepCounter {
+    sweeper: CellSweeper,
+    /// Worker threads for the intra-round sweep (`0` = one per core).
+    /// Purely a throughput knob: counts are identical for any value.
+    threads: usize,
+    /// Rounds served by batched delta updates.
+    obs_delta_rounds: Counter,
+    /// Moved users folded in via batched dirty-cell updates.
+    obs_batched_moves: Counter,
+    /// Full sweeps (first round, population changes).
+    obs_full_sweeps: Counter,
+}
+
+impl CellSweepCounter {
+    /// Creates a cell-sweep backend for fixed `task_locations` inside
+    /// `area`, sweeping serially until
+    /// [`set_threads`](Self::set_threads) says otherwise.
+    #[must_use]
+    pub fn new(area: Rect, radius: f64, task_locations: Vec<Point>) -> Self {
+        CellSweepCounter {
+            sweeper: CellSweeper::new(area, radius, task_locations),
+            threads: 1,
+            obs_delta_rounds: Counter::disabled(),
+            obs_batched_moves: Counter::disabled(),
+            obs_full_sweeps: Counter::disabled(),
+        }
+    }
+
+    /// Sets the intra-round worker thread count (`0` = one per core).
+    /// Counts are bit-identical for every value — integer accumulation
+    /// commutes — so this only changes wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// See `CellSweeper::set_parallel_floors` (testing hook: lets small
+    /// instances drive the threaded merge paths).
+    #[doc(hidden)]
+    pub fn set_parallel_floors(&mut self, min_moves: usize, min_users: usize) {
+        self.sweeper.set_parallel_floors(min_moves, min_users);
+    }
+
+    /// Wires the sweep accounting to a recorder:
+    /// `cell_sweep_full_sweeps_total`, `cell_sweep_delta_rounds_total`
+    /// and `cell_sweep_batched_moves_total`. A disabled recorder keeps
+    /// the counters inert.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.obs_delta_rounds = recorder.counter("cell_sweep_delta_rounds_total");
+        self.obs_batched_moves = recorder.counter("cell_sweep_batched_moves_total");
+        self.obs_full_sweeps = recorder.counter("cell_sweep_full_sweeps_total");
+    }
+
+    /// Per-task neighbour counts for `users`; see
+    /// [`CellSweeper::counts`].
+    ///
+    /// # Errors
+    ///
+    /// [`GeoError::OutOfBounds`] for the first user location outside
+    /// the area; the backend state is unchanged on error.
+    pub fn counts<P: Positions + ?Sized>(&mut self, users: &P) -> Result<&[usize], GeoError> {
+        self.sweeper.counts(users, self.threads)?;
+        if self.sweeper.last_was_full_sweep() {
+            self.obs_full_sweeps.inc();
+        } else {
+            self.obs_delta_rounds.inc();
+            self.obs_batched_moves.add(self.sweeper.moved_last_round() as u64);
+        }
+        Ok(self.sweeper.counts_ref())
+    }
+
+    /// How many users moved at the last [`counts`](Self::counts) call.
+    #[must_use]
+    pub fn moved_last_round(&self) -> usize {
+        self.sweeper.moved_last_round()
+    }
 }
 
 #[cfg(test)]

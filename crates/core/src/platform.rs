@@ -3,11 +3,11 @@ use std::collections::HashSet;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use paydemand_geo::{GeoError, GridIndex, Point, Rect};
+use paydemand_geo::{GeoError, GridIndex, Point, Positions, Rect};
 use paydemand_obs::{Histogram, Recorder};
 
 use crate::incentive::IncentiveMechanism;
-use crate::neighbors::{naive_counts, IndexingMode, NeighborTracker};
+use crate::neighbors::{naive_counts_in, CellSweepCounter, IndexingMode, NeighborTracker};
 use crate::{CoreError, PublishedTask, TaskId, TaskSpec, UserId};
 
 /// One task's publicly observable state at a round boundary — the data
@@ -113,6 +113,11 @@ pub struct Platform<M> {
     /// [`publish_round`](Self::publish_round) under
     /// [`IndexingMode::Incremental`].
     tracker: Option<NeighborTracker>,
+    /// Cell-sweep state; lazily built under [`IndexingMode::CellSweep`].
+    cell_counter: Option<CellSweepCounter>,
+    /// Worker threads for the cell sweep's demand phase (`0` = one per
+    /// core). Output-invariant; see [`Platform::set_demand_threads`].
+    demand_threads: usize,
     round: u32,
     round_open: bool,
     total_paid: f64,
@@ -179,6 +184,8 @@ impl<M: IncentiveMechanism> Platform<M> {
             neighbor_radius,
             indexing: IndexingMode::default(),
             tracker: None,
+            cell_counter: None,
+            demand_threads: 1,
             round: 0,
             round_open: false,
             total_paid: 0.0,
@@ -205,6 +212,9 @@ impl<M: IncentiveMechanism> Platform<M> {
         self.phase_pricing = recorder.histogram_with("round_phase_seconds", "phase", "pricing");
         if let Some(tracker) = &mut self.tracker {
             tracker.set_recorder(recorder);
+        }
+        if let Some(counter) = &mut self.cell_counter {
+            counter.set_recorder(recorder);
         }
         self.mechanism.set_recorder(recorder);
     }
@@ -245,12 +255,32 @@ impl<M: IncentiveMechanism> Platform<M> {
     pub fn set_indexing_mode(&mut self, mode: IndexingMode) {
         self.indexing = mode;
         self.tracker = None;
+        self.cell_counter = None;
     }
 
     /// The neighbour-indexing mode in use.
     #[must_use]
     pub fn indexing_mode(&self) -> IndexingMode {
         self.indexing
+    }
+
+    /// Worker threads for the demand phase under
+    /// [`IndexingMode::CellSweep`] (`0` = one per available core).
+    /// Output-invariant: neighbour counts are integer accumulations
+    /// merged by addition, so every thread count produces bit-identical
+    /// counts (and hence bit-identical rewards). Only wall-clock time
+    /// changes.
+    pub fn set_demand_threads(&mut self, threads: usize) {
+        self.demand_threads = threads;
+        if let Some(counter) = &mut self.cell_counter {
+            counter.set_threads(threads);
+        }
+    }
+
+    /// The configured demand-phase thread count.
+    #[must_use]
+    pub fn demand_threads(&self) -> usize {
+        self.demand_threads
     }
 
     /// Budget remaining under the cap (`+∞` when no cap is set).
@@ -307,9 +337,9 @@ impl<M: IncentiveMechanism> Platform<M> {
     ///   already-open round is an error of the same kind (misuse of the
     ///   protocol) and reported as such;
     /// * [`CoreError::Geo`] if a user location lies outside the area.
-    pub fn publish_round(
+    pub fn publish_round<P: Positions + ?Sized>(
         &mut self,
-        user_locations: &[Point],
+        user_locations: &P,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<PublishedTask>, CoreError> {
         if self.round_open {
@@ -486,14 +516,18 @@ impl<M: IncentiveMechanism> Platform<M> {
         self.total_paid = state.total_paid;
         self.spend_cap = state.spend_cap;
         self.tracker = None;
+        self.cell_counter = None;
         Ok(())
     }
 
     /// Per-task neighbour counts (`N_i`, Eq. 5) for the current user
     /// locations, via whichever [`IndexingMode`] is configured. All
-    /// three paths agree exactly — `Point::distance_squared` is bitwise
+    /// modes agree exactly — `Point::distance_squared` is bitwise
     /// symmetric and every mode applies the same strict `< R` test.
-    fn neighbor_counts(&mut self, user_locations: &[Point]) -> Result<Vec<usize>, CoreError> {
+    fn neighbor_counts<P: Positions + ?Sized>(
+        &mut self,
+        user_locations: &P,
+    ) -> Result<Vec<usize>, CoreError> {
         match self.indexing {
             IndexingMode::Incremental => {
                 if self.tracker.is_none() {
@@ -506,8 +540,27 @@ impl<M: IncentiveMechanism> Platform<M> {
                 let tracker = self.tracker.as_mut().expect("initialised above");
                 Ok(tracker.counts(user_locations)?.to_vec())
             }
+            IndexingMode::CellSweep => {
+                if self.cell_counter.is_none() {
+                    let task_locations = self.specs.iter().map(|s| s.location()).collect();
+                    let mut counter =
+                        CellSweepCounter::new(self.area, self.neighbor_radius, task_locations);
+                    counter.set_threads(self.demand_threads);
+                    counter.set_recorder(&self.recorder);
+                    self.cell_counter = Some(counter);
+                }
+                let counter = self.cell_counter.as_mut().expect("initialised above");
+                Ok(counter.counts(user_locations)?.to_vec())
+            }
             IndexingMode::RebuildEachRound => {
-                let index = GridIndex::build(self.area, self.neighbor_radius, user_locations)?;
+                let index = match user_locations.as_point_slice() {
+                    Some(slice) => GridIndex::build(self.area, self.neighbor_radius, slice)?,
+                    None => {
+                        let pts: Vec<Point> =
+                            (0..user_locations.len()).map(|i| user_locations.at(i)).collect();
+                        GridIndex::build(self.area, self.neighbor_radius, &pts)?
+                    }
+                };
                 Ok(self
                     .specs
                     .iter()
@@ -515,13 +568,14 @@ impl<M: IncentiveMechanism> Platform<M> {
                     .collect())
             }
             IndexingMode::NaiveReference => {
-                for &p in user_locations {
+                for i in 0..user_locations.len() {
+                    let p = user_locations.at(i);
                     if !self.area.contains(p) {
                         return Err(GeoError::OutOfBounds { point: p }.into());
                     }
                 }
                 let task_locations: Vec<Point> = self.specs.iter().map(|s| s.location()).collect();
-                Ok(naive_counts(&task_locations, user_locations, self.neighbor_radius))
+                Ok(naive_counts_in(&task_locations, user_locations, self.neighbor_radius))
             }
         }
     }

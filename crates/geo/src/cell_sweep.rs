@@ -1,0 +1,637 @@
+//! Cell-centric neighbour counting for Eq. 5 at large scale.
+//!
+//! [`crate::GridIndex`] answers "how many users near this task?" one
+//! task at a time; the incremental tracker in `paydemand-core` answers
+//! it one *moved user* at a time. Both walk the grid point-by-point.
+//! [`CellSweeper`] inverts the loop structure: it precomputes, for
+//! every grid cell, the tasks whose radius-`R` disc can reach that cell
+//! (a CSR candidate list), then makes one pass over the occupied cells,
+//! accumulating each resident user into the cell's candidate tasks.
+//! The candidate slice is loaded once per cell instead of once per
+//! user, so the inner loop is a dense streaming scan.
+//!
+//! # Exactness
+//!
+//! Every user/task pair that the naive `O(n·m)` scan would test is
+//! tested here with the *same* predicate,
+//! `Point::distance_squared(u, t) < R²`:
+//!
+//! * cell ranges are computed with the same clamped floor arithmetic
+//!   that buckets the users, and that mapping is monotone in each
+//!   coordinate — so a user within `R` of a task (hence inside the
+//!   task's `±R` bounding box) always sits in a cell inside the task's
+//!   candidate range. No pair is missed, regardless of positions
+//!   landing exactly on cell boundaries;
+//! * candidate lists are supersets: pairs farther than `R` fail the
+//!   exact distance test just as they would in the naive scan;
+//! * `distance_squared` is bitwise symmetric (`(-d)·(-d) = d·d` in
+//!   IEEE-754), so sweeping users-into-tasks equals probing
+//!   tasks-over-users bit for bit.
+//!
+//! Counts are integers accumulated by `+1`/`-1`, and integer addition
+//! is commutative and associative — so any iteration order, any
+//! batching of moved users, and any partition of the work across
+//! threads produces identical counts. That is the entire determinism
+//! argument for [`CellSweeper::counts`]' intra-round parallelism: the
+//! partial count vectors are merged by addition, and no float ever
+//! depends on thread scheduling.
+
+use crate::soa::{PositionStore, Positions};
+use crate::{GeoError, Point, Rect};
+
+/// Moved users per thread below which the delta pass stays serial —
+/// spawning threads costs more than the batch. Purely a performance
+/// knob: counts are identical either way.
+const PAR_DELTA_MIN_MOVES: usize = 4096;
+
+/// Users per thread below which the full sweep stays serial.
+const PAR_SWEEP_MIN_USERS: usize = 8192;
+
+/// Per-task neighbour counts (`N_i` of Eq. 5) maintained by cell-wise
+/// sweeps over a struct-of-arrays position mirror.
+///
+/// The first [`counts`](Self::counts) call performs a full sweep; later
+/// calls detect moved users against the mirror, batch them by grid
+/// cell, and apply `-old`/`+new` updates through the per-cell candidate
+/// lists. Both paths optionally fan out across threads; results are
+/// bit-identical for every thread count.
+#[derive(Debug, Clone)]
+pub struct CellSweeper {
+    area: Rect,
+    radius: f64,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    tasks: Vec<Point>,
+    /// CSR offsets into `cand_tasks`, one slot per grid cell plus one.
+    cand_offsets: Vec<u32>,
+    /// Task indices whose disc can reach the cell, grouped per cell.
+    cand_tasks: Vec<u32>,
+    /// SoA mirror of the user positions as of the last `counts` call.
+    mirror: PositionStore,
+    /// Grid cell of each mirrored user (row-major index).
+    mirror_cells: Vec<u32>,
+    primed: bool,
+    counts: Vec<usize>,
+    moved_last_round: usize,
+    last_was_full: bool,
+    /// Parallel-dispatch floors (normally the `PAR_*` constants;
+    /// lowered by tests to exercise the threaded paths at small `n`).
+    par_delta_min_moves: usize,
+    par_sweep_min_users: usize,
+}
+
+impl CellSweeper {
+    /// Creates a sweeper for fixed `tasks` inside `area`, counting
+    /// users strictly closer than `radius`. Cell size equals the
+    /// radius, matching the grid the per-task index uses.
+    ///
+    /// Tasks may lie outside `area` (their candidate ranges clamp to
+    /// it); `radius` values that are not finite and positive yield
+    /// all-zero counts, like `GridIndex` queries do.
+    #[must_use]
+    pub fn new(area: Rect, radius: f64, tasks: Vec<Point>) -> Self {
+        let valid = radius.is_finite() && radius > 0.0;
+        let cell = if valid { radius } else { area.width().max(area.height()).max(1.0) };
+        let cols = (area.width() / cell).ceil().max(1.0) as usize;
+        let rows = (area.height() / cell).ceil().max(1.0) as usize;
+        let m = tasks.len();
+        let mut sweeper = CellSweeper {
+            area,
+            radius,
+            cell,
+            cols,
+            rows,
+            tasks,
+            cand_offsets: Vec::new(),
+            cand_tasks: Vec::new(),
+            mirror: PositionStore::default(),
+            mirror_cells: Vec::new(),
+            primed: false,
+            counts: vec![0; m],
+            moved_last_round: 0,
+            last_was_full: false,
+            par_delta_min_moves: PAR_DELTA_MIN_MOVES,
+            par_sweep_min_users: PAR_SWEEP_MIN_USERS,
+        };
+        sweeper.build_candidates(valid);
+        sweeper
+    }
+
+    /// The neighbour radius `R`.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// How many users moved at the last [`counts`](Self::counts) call
+    /// (`n` for a full sweep).
+    #[must_use]
+    pub fn moved_last_round(&self) -> usize {
+        self.moved_last_round
+    }
+
+    /// Whether the last [`counts`](Self::counts) call ran a full sweep
+    /// rather than a batched delta update.
+    #[must_use]
+    pub fn last_was_full_sweep(&self) -> bool {
+        self.last_was_full
+    }
+
+    /// The counts produced by the last [`counts`](Self::counts) call
+    /// (empty before the first).
+    #[must_use]
+    pub fn counts_ref(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Lowers the per-thread work floors below which sweeps stay
+    /// serial. Testing hook: lets small differential instances drive
+    /// the threaded merge paths. The floors are performance knobs only
+    /// — counts are bit-identical for every setting.
+    #[doc(hidden)]
+    pub fn set_parallel_floors(&mut self, min_moves: usize, min_users: usize) {
+        self.par_delta_min_moves = min_moves;
+        self.par_sweep_min_users = min_users;
+    }
+
+    /// Grid cell (row-major) of `p` — the same clamped floor mapping
+    /// `GridIndex` uses, monotone in each coordinate.
+    fn cell_index(&self, p: Point) -> u32 {
+        let c = (((p.x - self.area.min().x) / self.cell) as usize).min(self.cols - 1);
+        let r = (((p.y - self.area.min().y) / self.cell) as usize).min(self.rows - 1);
+        (r * self.cols + c) as u32
+    }
+
+    /// Builds the per-cell candidate task lists: task `t` is a
+    /// candidate of every cell in the clamped `±R` bounding box of its
+    /// location. By monotonicity of `cell_index`, any in-area user
+    /// strictly within `R` of `t` is bucketed into one of those cells.
+    fn build_candidates(&mut self, valid_radius: bool) {
+        let num_cells = self.cols * self.rows;
+        let mut per_cell = vec![0u32; num_cells + 1];
+        if !valid_radius {
+            self.cand_offsets = per_cell;
+            self.cand_tasks = Vec::new();
+            return;
+        }
+        let ranges: Vec<(usize, usize, usize, usize)> = self
+            .tasks
+            .iter()
+            .map(|&t| {
+                let min = self.area.clamp(Point::new(t.x - self.radius, t.y - self.radius));
+                let max = self.area.clamp(Point::new(t.x + self.radius, t.y + self.radius));
+                let c0 = (((min.x - self.area.min().x) / self.cell) as usize).min(self.cols - 1);
+                let r0 = (((min.y - self.area.min().y) / self.cell) as usize).min(self.rows - 1);
+                let c1 = (((max.x - self.area.min().x) / self.cell) as usize).min(self.cols - 1);
+                let r1 = (((max.y - self.area.min().y) / self.cell) as usize).min(self.rows - 1);
+                (c0, r0, c1, r1)
+            })
+            .collect();
+        for &(c0, r0, c1, r1) in &ranges {
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    per_cell[r * self.cols + c + 1] += 1;
+                }
+            }
+        }
+        for i in 1..per_cell.len() {
+            per_cell[i] += per_cell[i - 1];
+        }
+        let mut cand_tasks = vec![0u32; per_cell[num_cells] as usize];
+        let mut cursor = per_cell.clone();
+        for (t, &(c0, r0, c1, r1)) in ranges.iter().enumerate() {
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    let slot = &mut cursor[r * self.cols + c];
+                    cand_tasks[*slot as usize] = t as u32;
+                    *slot += 1;
+                }
+            }
+        }
+        self.cand_offsets = per_cell;
+        self.cand_tasks = cand_tasks;
+    }
+
+    fn candidates(&self, cell: usize) -> &[u32] {
+        let lo = self.cand_offsets[cell] as usize;
+        let hi = self.cand_offsets[cell + 1] as usize;
+        &self.cand_tasks[lo..hi]
+    }
+
+    /// Per-task neighbour counts for `users`, sweeping with up to
+    /// `threads` worker threads (`0` means one per available core;
+    /// either way the counts are bit-identical to a serial sweep).
+    ///
+    /// The first call (and any call after the population size changed)
+    /// runs a full cell sweep; later calls batch the moved users by
+    /// grid cell and apply localised delta updates.
+    ///
+    /// # Errors
+    ///
+    /// [`GeoError::OutOfBounds`] for the first user outside the area;
+    /// the sweeper state is unchanged on error.
+    pub fn counts<P: Positions + ?Sized>(
+        &mut self,
+        users: &P,
+        threads: usize,
+    ) -> Result<&[usize], GeoError> {
+        let n = users.len();
+        // Validate everything up front so a bad location leaves the
+        // sweeper exactly as it was.
+        for i in 0..n {
+            let p = users.at(i);
+            if !self.area.contains(p) {
+                return Err(GeoError::OutOfBounds { point: p });
+            }
+        }
+        let threads = effective_threads(threads);
+        if self.primed && self.mirror.len() == n {
+            self.delta_sweep(users, threads);
+        } else {
+            self.full_sweep(users, threads);
+        }
+        Ok(&self.counts)
+    }
+
+    /// Rebuilds the mirror and recounts every task from scratch: users
+    /// are bucketed by cell (a counting sort), then each occupied cell
+    /// streams its residents through its candidate tasks.
+    fn full_sweep<P: Positions + ?Sized>(&mut self, users: &P, threads: usize) {
+        let n = users.len();
+        self.mirror = (0..n).map(|i| users.at(i)).collect();
+        self.mirror_cells = (0..n).map(|i| self.cell_index(users.at(i))).collect();
+        self.primed = true;
+        self.moved_last_round = n;
+        self.last_was_full = true;
+
+        let num_cells = self.cols * self.rows;
+        let m = self.tasks.len();
+        self.counts.clear();
+        self.counts.resize(m, 0);
+        if n == 0 || m == 0 || self.cand_tasks.is_empty() {
+            return;
+        }
+
+        // Counting sort of the coordinates themselves:
+        // `sx/sy[starts[c]..starts[c+1]]` hold the positions resident
+        // in cell `c`, contiguously.
+        let mut starts = vec![0u32; num_cells + 1];
+        for &c in &self.mirror_cells {
+            starts[c as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut cursor = starts.clone();
+        let mut sx = vec![0.0f64; n];
+        let mut sy = vec![0.0f64; n];
+        for (i, &c) in self.mirror_cells.iter().enumerate() {
+            let slot = &mut cursor[c as usize];
+            sx[*slot as usize] = self.mirror.xs()[i];
+            sy[*slot as usize] = self.mirror.ys()[i];
+            *slot += 1;
+        }
+
+        let sweep_cells = |counts: &mut [usize], cell_lo: usize, cell_hi: usize| {
+            let r2 = self.radius * self.radius;
+            for cell in cell_lo..cell_hi {
+                let (lo, hi) = (starts[cell] as usize, starts[cell + 1] as usize);
+                if lo == hi {
+                    continue;
+                }
+                let (xs, ys) = (&sx[lo..hi], &sy[lo..hi]);
+                // Task-outer over the cell's contiguous coordinates:
+                // the inner loop is a dense branch-free scan the
+                // compiler can vectorise. The predicate is the exact
+                // `dx·dx + dy·dy < R²` of `Point::distance_squared`
+                // and the accumulation stays integer `+1`s, so counts
+                // are bit-identical to the user-outer order.
+                for &t in self.candidates(cell) {
+                    let task = self.tasks[t as usize];
+                    let mut hits = 0usize;
+                    for j in 0..xs.len() {
+                        let dx = xs[j] - task.x;
+                        let dy = ys[j] - task.y;
+                        hits += usize::from(dx * dx + dy * dy < r2);
+                    }
+                    counts[t as usize] += hits;
+                }
+            }
+        };
+
+        if threads <= 1 || n < self.par_sweep_min_users.saturating_mul(2) {
+            let mut counts = vec![0usize; m];
+            sweep_cells(&mut counts, 0, num_cells);
+            self.counts = counts;
+        } else {
+            // Partition the cell space; each worker owns a private
+            // count vector, merged by addition afterwards (integer
+            // sums are order-independent, so the result matches the
+            // serial sweep exactly).
+            let workers = threads.min(num_cells).max(1);
+            let chunk = num_cells.div_ceil(workers);
+            let partials: Vec<Vec<usize>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let sweep = &sweep_cells;
+                        scope.spawn(move || {
+                            let mut local = vec![0usize; m];
+                            let lo = w * chunk;
+                            let hi = ((w + 1) * chunk).min(num_cells);
+                            sweep(&mut local, lo, hi);
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+            });
+            for partial in partials {
+                for (total, part) in self.counts.iter_mut().zip(partial) {
+                    *total += part;
+                }
+            }
+        }
+    }
+
+    /// Applies `-old`/`+new` updates for every user whose position
+    /// changed since the mirror was taken, batched by grid cell so each
+    /// candidate slice is resolved once per dirty cell rather than once
+    /// per user.
+    fn delta_sweep<P: Positions + ?Sized>(&mut self, users: &P, threads: usize) {
+        let n = users.len();
+        // (cell, position, user) triples: departures from old cells and
+        // arrivals into new ones.
+        let mut departures: Vec<(u32, Point)> = Vec::new();
+        let mut arrivals: Vec<(u32, Point)> = Vec::new();
+        for i in 0..n {
+            let new = users.at(i);
+            let old = self.mirror.point(i);
+            if old == new {
+                continue;
+            }
+            let new_cell = self.cell_index(new);
+            departures.push((self.mirror_cells[i], old));
+            arrivals.push((new_cell, new));
+            self.mirror.set(i, new);
+            self.mirror_cells[i] = new_cell;
+        }
+        self.moved_last_round = departures.len();
+        self.last_was_full = false;
+        if departures.is_empty() {
+            return;
+        }
+        // Batch by cell: runs sharing a cell reuse one candidate-slice
+        // lookup and keep its tasks hot in cache.
+        departures.sort_unstable_by_key(|&(cell, _)| cell);
+        arrivals.sort_unstable_by_key(|&(cell, _)| cell);
+
+        let apply = |deltas: &mut [i64], moves: &[(u32, Point)], sign: i64| {
+            let r2 = self.radius * self.radius;
+            // Runs of moves sharing a cell resolve the candidate slice
+            // once and scan task-outer; the signed indicator sum is
+            // integer addition, so any grouping gives the same deltas.
+            let mut i = 0;
+            while i < moves.len() {
+                let cell = moves[i].0;
+                let mut j = i + 1;
+                while j < moves.len() && moves[j].0 == cell {
+                    j += 1;
+                }
+                for &t in self.candidates(cell as usize) {
+                    let task = self.tasks[t as usize];
+                    let mut hits = 0i64;
+                    for &(_, p) in &moves[i..j] {
+                        hits += i64::from(p.distance_squared(task) < r2);
+                    }
+                    deltas[t as usize] += sign * hits;
+                }
+                i = j;
+            }
+        };
+
+        let m = self.tasks.len();
+        let mut deltas = vec![0i64; m];
+        if threads <= 1 || departures.len() < self.par_delta_min_moves.saturating_mul(2) {
+            apply(&mut deltas, &departures, -1);
+            apply(&mut deltas, &arrivals, 1);
+        } else {
+            let workers = threads.min(departures.len()).max(1);
+            let chunk = departures.len().div_ceil(workers);
+            let partials: Vec<Vec<i64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let apply = &apply;
+                        let departures = &departures;
+                        let arrivals = &arrivals;
+                        scope.spawn(move || {
+                            let mut local = vec![0i64; m];
+                            let lo = w * chunk;
+                            let dep_hi = ((w + 1) * chunk).min(departures.len());
+                            let arr_hi = ((w + 1) * chunk).min(arrivals.len());
+                            if lo < dep_hi {
+                                apply(&mut local, &departures[lo..dep_hi], -1);
+                            }
+                            if lo < arr_hi {
+                                apply(&mut local, &arrivals[lo..arr_hi], 1);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("delta worker panicked")).collect()
+            });
+            for partial in partials {
+                for (total, part) in deltas.iter_mut().zip(partial) {
+                    *total += part;
+                }
+            }
+        }
+        for (count, delta) in self.counts.iter_mut().zip(deltas) {
+            let updated = *count as i64 + delta;
+            debug_assert!(updated >= 0, "neighbour count went negative");
+            *count = updated as usize;
+        }
+    }
+}
+
+/// Resolves a requested thread count: `0` means one per available core.
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn naive(tasks: &[Point], users: &[Point], radius: f64) -> Vec<usize> {
+        let r2 = radius * radius;
+        tasks.iter().map(|&t| users.iter().filter(|u| u.distance_squared(t) < r2).count()).collect()
+    }
+
+    fn sample(area: Rect, rng: &mut rand::rngs::StdRng, n: usize) -> Vec<Point> {
+        (0..n).map(|_| area.sample_uniform(rng)).collect()
+    }
+
+    #[test]
+    fn full_sweep_matches_naive() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xCE11);
+        for (n, m, radius) in [(0, 5, 100.0), (50, 0, 100.0), (300, 25, 150.0), (40, 7, 5000.0)] {
+            let tasks = sample(area, &mut rng, m);
+            let users = sample(area, &mut rng, n);
+            let mut sweeper = CellSweeper::new(area, radius, tasks.clone());
+            let counts = sweeper.counts(&users, 1).unwrap().to_vec();
+            assert_eq!(counts, naive(&tasks, &users, radius), "n={n} m={m} R={radius}");
+            assert!(sweeper.last_was_full_sweep());
+            assert_eq!(sweeper.moved_last_round(), n);
+        }
+    }
+
+    #[test]
+    fn delta_rounds_match_naive_under_churn() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xDE17A);
+        let tasks = sample(area, &mut rng, 30);
+        let mut users = sample(area, &mut rng, 250);
+        let mut sweeper = CellSweeper::new(area, 140.0, tasks.clone());
+        sweeper.counts(&users, 1).unwrap();
+        for round in 0..12 {
+            for _ in 0..60 {
+                let who = rng.gen_range(0..users.len());
+                users[who] = area.sample_uniform(&mut rng);
+            }
+            let counts = sweeper.counts(&users, 1).unwrap().to_vec();
+            assert_eq!(counts, naive(&tasks, &users, 140.0), "round {round}");
+            assert!(!sweeper.last_was_full_sweep(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let area = Rect::square(2000.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7EAD);
+        let tasks = sample(area, &mut rng, 40);
+        let mut users = sample(area, &mut rng, 400);
+        let mut reference = CellSweeper::new(area, 180.0, tasks.clone());
+        let mut others: Vec<_> =
+            [2usize, 4, 8].iter().map(|_| CellSweeper::new(area, 180.0, tasks.clone())).collect();
+        for _ in 0..6 {
+            let expected = reference.counts(&users, 1).unwrap().to_vec();
+            for (w, sweeper) in others.iter_mut().enumerate() {
+                let got = sweeper.counts(&users, [2, 4, 8][w]).unwrap().to_vec();
+                assert_eq!(got, expected);
+            }
+            for _ in 0..90 {
+                let who = rng.gen_range(0..users.len());
+                users[who] = area.sample_uniform(&mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_positions_are_counted_exactly() {
+        let area = Rect::square(400.0).unwrap();
+        let radius = 100.0;
+        // Tasks on cell corners and mid-edges; users exactly at
+        // distance R (excluded by the strict predicate), a hair inside,
+        // and exactly on cell boundaries.
+        let tasks = vec![Point::new(100.0, 100.0), Point::new(200.0, 300.0), Point::new(0.0, 0.0)];
+        let users = vec![
+            Point::new(200.0, 100.0),         // exactly R from task 0
+            Point::new(199.0, 100.0),         // just inside
+            Point::new(100.0, 200.0),         // exactly R, on a cell corner
+            Point::new(100.0, 100.0),         // coincident with task 0
+            Point::new(300.0, 300.0),         // exactly R from task 1
+            Point::new(0.0, 99.0),            // near task 2, on the area edge
+            Point::new(400.0, 400.0),         // far corner
+            Point::new(100.0 + 1e-12, 300.0), // off the boundary by an ulp-ish nudge
+        ];
+        let mut sweeper = CellSweeper::new(area, radius, tasks.clone());
+        let counts = sweeper.counts(&users, 1).unwrap().to_vec();
+        assert_eq!(counts, naive(&tasks, &users, radius));
+    }
+
+    #[test]
+    fn all_users_in_one_cell_and_oversized_radius() {
+        let area = Rect::square(500.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x0CE1);
+        let tasks = sample(area, &mut rng, 10);
+        // Everyone crowded into a single cell.
+        let users: Vec<Point> = (0..120)
+            .map(|_| Point::new(rng.gen_range(10.0..60.0), rng.gen_range(10.0..60.0)))
+            .collect();
+        for radius in [70.0, 10_000.0] {
+            let mut sweeper = CellSweeper::new(area, radius, tasks.clone());
+            let counts = sweeper.counts(&users, 1).unwrap().to_vec();
+            assert_eq!(counts, naive(&tasks, &users, radius), "R={radius}");
+        }
+    }
+
+    #[test]
+    fn invalid_radius_counts_nothing() {
+        let area = Rect::square(100.0).unwrap();
+        let tasks = vec![Point::new(50.0, 50.0)];
+        let users = vec![Point::new(50.0, 50.0)];
+        for radius in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let mut sweeper = CellSweeper::new(area, radius, tasks.clone());
+            assert_eq!(sweeper.counts(&users, 1).unwrap(), &[0], "R={radius}");
+        }
+    }
+
+    #[test]
+    fn tasks_outside_area_still_counted() {
+        let area = Rect::square(100.0).unwrap();
+        let tasks = vec![Point::new(150.0, 50.0)];
+        let users = vec![Point::new(99.0, 50.0), Point::new(10.0, 50.0)];
+        let mut sweeper = CellSweeper::new(area, 80.0, tasks.clone());
+        assert_eq!(sweeper.counts(&users, 1).unwrap().to_vec(), naive(&tasks, &users, 80.0));
+    }
+
+    #[test]
+    fn out_of_area_user_errors_and_preserves_state() {
+        let area = Rect::square(100.0).unwrap();
+        let tasks = vec![Point::new(50.0, 50.0)];
+        let mut sweeper = CellSweeper::new(area, 30.0, tasks);
+        let good = vec![Point::new(40.0, 50.0)];
+        assert_eq!(sweeper.counts(&good, 1).unwrap(), &[1]);
+        let bad = vec![Point::new(40.0, 50.0), Point::new(200.0, 0.0)];
+        let err = sweeper.counts(&bad, 1).unwrap_err();
+        assert!(matches!(err, GeoError::OutOfBounds { point } if point.x == 200.0));
+        assert_eq!(sweeper.counts(&good, 1).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn population_change_forces_full_sweep() {
+        let area = Rect::square(1000.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x6E0);
+        let tasks = sample(area, &mut rng, 8);
+        let mut sweeper = CellSweeper::new(area, 200.0, tasks.clone());
+        let users_a = sample(area, &mut rng, 40);
+        sweeper.counts(&users_a, 1).unwrap();
+        let users_b = sample(area, &mut rng, 55);
+        let counts = sweeper.counts(&users_b, 1).unwrap().to_vec();
+        assert_eq!(counts, naive(&tasks, &users_b, 200.0));
+        assert!(sweeper.last_was_full_sweep());
+    }
+
+    #[test]
+    fn soa_store_input_matches_slice_input() {
+        let area = Rect::square(800.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x50A);
+        let tasks = sample(area, &mut rng, 12);
+        let users = sample(area, &mut rng, 150);
+        let store = PositionStore::from_points(&users);
+        let mut a = CellSweeper::new(area, 120.0, tasks.clone());
+        let mut b = CellSweeper::new(area, 120.0, tasks);
+        assert_eq!(
+            a.counts(users.as_slice(), 1).unwrap().to_vec(),
+            b.counts(&store, 2).unwrap().to_vec()
+        );
+    }
+}

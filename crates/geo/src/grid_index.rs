@@ -152,7 +152,16 @@ impl GridIndex {
         n
     }
 
-    fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
+    /// Calls `f` with the index of every point with
+    /// `distance(center) < radius`, in grid-scan order (unsorted).
+    ///
+    /// The allocation-free primitive behind
+    /// [`within_radius`](Self::within_radius) and
+    /// [`count_within`](Self::count_within); use it directly on hot
+    /// paths where the sorted `Vec` of the former is pure overhead
+    /// (e.g. the incremental neighbour tracker's ±1 count updates,
+    /// which are order-free).
+    pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
         if radius <= 0.0 || self.points.is_empty() {
             return;
         }

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod cell_sweep;
 mod error;
 mod grid_index;
 mod kdtree;
@@ -40,7 +41,9 @@ pub mod placement;
 mod point;
 pub(crate) mod rand_util;
 mod rect;
+mod soa;
 
+pub use cell_sweep::CellSweeper;
 pub use error::GeoError;
 pub use grid_index::GridIndex;
 pub use kdtree::KdTree;
@@ -49,3 +52,4 @@ pub use mobility::MobilityModel;
 pub use placement::PlacementSampler;
 pub use point::Point;
 pub use rect::Rect;
+pub use soa::{PositionStore, Positions};

@@ -114,7 +114,10 @@ pub(crate) fn encode(engine: &Engine) -> Result<Vec<u8>, SimError> {
         buf.put_f64_le(t);
     }
 
-    for &p in &engine.locations {
+    // The SoA store serialises exactly as the old `Vec<Point>` did —
+    // x,y little-endian pairs in index order — so PDCK v1 stays
+    // byte-identical across the layout change.
+    for p in engine.locations.iter() {
         put_point(&mut buf, p);
     }
     for set in &engine.contributed {
@@ -372,7 +375,7 @@ pub(crate) fn resume(
     }
     let workload = Workload { area, tasks, users, qualities, truths };
 
-    let mut locations = Vec::new();
+    let mut locations = paydemand_geo::PositionStore::default();
     for _ in 0..n {
         locations.push(r.point()?);
     }
@@ -527,6 +530,7 @@ pub(crate) fn resume(
     )?;
     platform.set_publish_expired(scenario.publish_expired);
     platform.set_indexing_mode(scenario.indexing);
+    platform.set_demand_threads(scenario.demand_threads);
     platform.set_recorder(recorder);
     platform
         .restore_state(state)

@@ -64,7 +64,7 @@ use paydemand_core::{CoreError, Platform, PublishedTask, TaskId, UserId};
 use paydemand_faults::{FaultInjector, RoundFaults, UploadFate};
 use paydemand_geo::mobility::{MobilityState, RandomWaypoint};
 use paydemand_geo::network::RoadNetwork;
-use paydemand_geo::{Point, Rect};
+use paydemand_geo::{Point, PositionStore, Rect};
 use paydemand_obs::{Alerts, Counter, Gauge, Histogram, Recorder, TimeSeries};
 use paydemand_routing::CostMatrix;
 
@@ -467,7 +467,7 @@ pub struct Engine {
     pub(crate) travel: TravelContext,
     pub(crate) platform: Platform<Box<dyn IncentiveMechanism>>,
     pub(crate) selector: Box<dyn TaskSelector>,
-    pub(crate) locations: Vec<Point>,
+    pub(crate) locations: PositionStore,
     pub(crate) contributed: Vec<HashSet<TaskId>>,
     pub(crate) quality_received: Vec<f64>,
     pub(crate) estimates: Vec<crate::sensing::Estimate>,
@@ -532,6 +532,7 @@ impl Engine {
         }
         platform.set_publish_expired(scenario.publish_expired);
         platform.set_indexing_mode(scenario.indexing);
+        platform.set_demand_threads(scenario.demand_threads);
         platform.set_recorder(recorder);
         let travel_rng_state = rng.to_state();
         let travel = TravelContext::for_scenario(scenario, workload.area, &mut rng)?;
@@ -550,7 +551,7 @@ impl Engine {
 
         let n = workload.users.len();
         let m = workload.tasks.len();
-        let locations: Vec<Point> = workload.users.iter().map(|u| u.location()).collect();
+        let locations: PositionStore = workload.users.iter().map(|u| u.location()).collect();
         let wander: Vec<MobilityState> = match scenario.user_motion {
             UserMotion::Wander { .. } => (0..n)
                 .map(|_| MobilityState::RandomWaypoint(RandomWaypoint::new(scenario.speed)))
@@ -707,7 +708,7 @@ impl Engine {
             (Some(inj), false) if inj.has_gps_noise() => {
                 let area = self.workload.area;
                 let observed: Vec<Point> =
-                    self.locations.iter().map(|&p| inj.noised_location(p, area)).collect();
+                    self.locations.iter().map(|p| inj.noised_location(p, area)).collect();
                 self.platform.publish_round(&observed, &mut self.rng)?
             }
             _ => self.platform.publish_round(&self.locations, &mut self.rng)?,
@@ -811,7 +812,7 @@ impl Engine {
                 self.selector.as_ref(),
                 self.scenario.selector,
                 &self.travel,
-                self.locations[ui],
+                self.locations.point(ui),
                 &available,
                 time_budget,
                 self.scenario.speed,
@@ -926,12 +927,12 @@ impl Engine {
             }
             if performed == outcome.tasks().len() && !faulted {
                 user_profits[ui] += outcome.profit();
-                self.locations[ui] = outcome.end_location();
+                self.locations.set(ui, outcome.end_location());
             } else {
                 // Recompute the visited prefix's economics: travelled
                 // cost against whatever was actually paid.
                 let mut distance = 0.0;
-                let mut here = self.locations[ui];
+                let mut here = self.locations.point(ui);
                 for &task in &outcome.tasks()[..performed] {
                     let next =
                         published.iter().find(|t| t.id == task).map(|t| t.location).ok_or_else(
@@ -946,7 +947,7 @@ impl Engine {
                     here = next;
                 }
                 user_profits[ui] += payments - self.scenario.cost_per_meter * distance;
-                self.locations[ui] = here;
+                self.locations.set(ui, here);
             }
             user_selected[ui] = performed as u32;
             if let Some(start) = settle_start {
@@ -986,19 +987,21 @@ impl Engine {
         match self.scenario.user_motion {
             UserMotion::StayAtRouteEnd => {}
             UserMotion::ReturnHome => {
-                for (loc, u) in self.locations.iter_mut().zip(&self.workload.users) {
-                    *loc = u.location();
+                for (i, u) in self.workload.users.iter().enumerate() {
+                    self.locations.set(i, u.location());
                 }
             }
             UserMotion::Teleport => {
-                for loc in &mut self.locations {
-                    *loc = self.workload.area.sample_uniform(&mut self.rng);
+                for i in 0..self.locations.len() {
+                    let p = self.workload.area.sample_uniform(&mut self.rng);
+                    self.locations.set(i, p);
                 }
             }
             UserMotion::Wander { seconds } => {
                 let area = self.workload.area;
-                for (loc, state) in self.locations.iter_mut().zip(&mut self.wander) {
-                    *loc = state.advance(*loc, area, seconds, &mut self.rng);
+                for (i, state) in self.wander.iter_mut().enumerate() {
+                    let next = state.advance(self.locations.point(i), area, seconds, &mut self.rng);
+                    self.locations.set(i, next);
                 }
             }
         }

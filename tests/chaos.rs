@@ -14,7 +14,8 @@
 
 use paydemand::obs::Recorder;
 use paydemand::sim::{
-    engine, runner, Engine, FaultKind, FaultPlan, MechanismKind, Scenario, SelectorKind,
+    engine, runner, Engine, FaultKind, FaultPlan, IndexingMode, MechanismKind, Scenario,
+    SelectorKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -135,6 +136,42 @@ fn resume_at_every_round_boundary_matches_uninterrupted() {
         assert_eq!(
             resumed, uninterrupted,
             "seed {seed}: resuming at every boundary diverged from the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn cell_sweep_checkpoints_round_trip_byte_identically_at_every_boundary() {
+    // The cell-sweep backend stores positions in a struct-of-arrays
+    // layout; the PDCK wire format must not notice. Two properties at
+    // every round boundary, faults active: (1) checkpoint → resume →
+    // checkpoint reproduces the exact bytes, (2) the resumed chain
+    // finishes identical to the uninterrupted run.
+    for seed in [5u64, 42] {
+        let scenario = Scenario { faults: Some(plan_for(seed)), ..chaos_scenario() }
+            .with_seed(seed)
+            .with_indexing(IndexingMode::CellSweep)
+            .with_demand_threads(2);
+        let uninterrupted = engine::run(&scenario).unwrap();
+        let recorder = Recorder::disabled();
+        let mut engine = Engine::new(&scenario, &recorder).unwrap();
+        let mut boundaries = 0;
+        while engine.step_round().unwrap() {
+            let bytes = engine.checkpoint().unwrap();
+            let resumed = Engine::resume(&scenario, &bytes, &recorder).unwrap();
+            let reencoded = resumed.checkpoint().unwrap();
+            assert_eq!(
+                bytes, reencoded,
+                "seed {seed}: SoA checkpoint did not round-trip byte-identically"
+            );
+            engine = resumed;
+            boundaries += 1;
+        }
+        assert!(boundaries >= 5, "expected one checkpoint per round, got {boundaries}");
+        assert_eq!(
+            engine.finish().unwrap(),
+            uninterrupted,
+            "seed {seed}: cell-sweep resume chain diverged from the uninterrupted run"
         );
     }
 }

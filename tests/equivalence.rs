@@ -59,6 +59,7 @@ fn indexing_modes_are_observationally_equivalent() {
         let rebuild =
             engine::run(&base.clone().with_indexing(IndexingMode::RebuildEachRound)).unwrap();
         let naive = engine::run(&base.clone().with_indexing(IndexingMode::NaiveReference)).unwrap();
+        let cell = engine::run(&base.clone().with_indexing(IndexingMode::CellSweep)).unwrap();
         assert!(
             naive.observationally_eq(&rebuild),
             "seed {seed}: per-round rebuild changed the simulation"
@@ -66,6 +67,10 @@ fn indexing_modes_are_observationally_equivalent() {
         assert!(
             naive.observationally_eq(&incremental),
             "seed {seed}: incremental index changed the simulation"
+        );
+        assert!(
+            naive.observationally_eq(&cell),
+            "seed {seed}: cell-centric sweep changed the simulation"
         );
     }
 }
@@ -80,9 +85,12 @@ fn every_mode_combination_agrees_with_the_reference() {
             .with_pricing_cache(PricingCacheMode::Disabled),
     )
     .unwrap();
-    for indexing in
-        [IndexingMode::Incremental, IndexingMode::RebuildEachRound, IndexingMode::NaiveReference]
-    {
+    for indexing in [
+        IndexingMode::Incremental,
+        IndexingMode::RebuildEachRound,
+        IndexingMode::NaiveReference,
+        IndexingMode::CellSweep,
+    ] {
         for cache in
             [PricingCacheMode::Disabled, PricingCacheMode::Enabled, PricingCacheMode::FullRecompute]
         {

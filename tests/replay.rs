@@ -11,7 +11,9 @@
 use paydemand::obs::Recorder;
 use paydemand::sim::replay;
 use paydemand::sim::trace::{self, TraceEvent};
-use paydemand::sim::{engine, runner, FaultKind, FaultPlan, MechanismKind, Scenario, SelectorKind};
+use paydemand::sim::{
+    engine, runner, FaultKind, FaultPlan, IndexingMode, MechanismKind, Scenario, SelectorKind,
+};
 
 /// The golden configuration from `tests/determinism.rs`: seed 0xD5EED,
 /// 30 users, 10 tasks, 8 rounds, capped DP, on-demand pricing.
@@ -153,6 +155,35 @@ fn a_hundred_seeded_scenarios_replay_verify_faults_on_and_off() {
             assert_eq!(summary.measurements, result.total_measurements());
         }
     }
+}
+
+#[test]
+fn cell_sweep_traced_large_run_replay_verifies() {
+    // The demand-wall backend under the decision journal: a large
+    // traced run in CellSweep mode (all cores inside the demand phase)
+    // must replay-verify bitwise and match the incremental backend's
+    // result exactly. 100k users in release; tier-1 debug builds run a
+    // scaled-down population through the identical code paths.
+    let users = if cfg!(debug_assertions) { 2_000 } else { 100_000 };
+    let base = Scenario::paper_default()
+        .with_users(users)
+        .with_tasks(20)
+        .with_max_rounds(3)
+        .with_selector(SelectorKind::Greedy)
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(0x100_000);
+    let recorder = Recorder::disabled();
+    let cell = base.clone().with_indexing(IndexingMode::CellSweep).with_demand_threads(0);
+    let (result, journal) = engine::run_traced(&cell, &recorder).unwrap();
+    let summary = replay::verify(&journal, &result)
+        .unwrap_or_else(|e| panic!("{users}-user cell-sweep run failed replay: {e}"));
+    assert_eq!(summary.rounds as usize, result.rounds.len());
+    assert_eq!(summary.measurements, result.total_measurements());
+    let incremental = engine::run(&base.with_indexing(IndexingMode::Incremental)).unwrap();
+    assert!(
+        result.observationally_eq(&incremental),
+        "{users}-user cell-sweep run diverged from the incremental backend"
+    );
 }
 
 #[test]
