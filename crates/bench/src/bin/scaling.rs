@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     // Demand-wall points: the naive arm still runs (it is the bitwise
-    // reference), so fewer rounds keep its O(n·m) cost bounded.
+    // reference), so fewer rounds keep its O(n·m) cost bounded. The
+    // 100k point doubles as the allocation gate's zero-alloc threshold.
+    configs.push(Config { rounds: 5, ..Config::at(100_000, 1_000) });
     configs.push(Config { rounds: 3, ..Config::at(250_000, 1_000) });
     configs.push(Config { rounds: 2, ..Config::at(1_000_000, 1_000) });
 
@@ -49,6 +51,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 arm.pricing_seconds,
                 arm.delta_rounds,
                 arm.rebuilds,
+            );
+            eprintln!(
+                "  {:<16} {:>12.0} alloc B/round, {:>8.1} allocs/round \
+                 (demand {:.1}), peak live {} B",
+                "",
+                arm.alloc_bytes_per_round,
+                arm.allocs_per_round,
+                arm.demand_allocs_per_round,
+                arm.peak_live_bytes,
             );
         }
         if !point.identical {

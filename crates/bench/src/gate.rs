@@ -30,6 +30,18 @@ pub const INDEXED_VS_REBUILD_MIN_SPEEDUP: f64 = 1.2;
 /// The fresh-run arm keys the speedup assertion reads.
 const SPEEDUP_INDEXED_KEY: &str = "50000x1000:indexed";
 const SPEEDUP_REBUILD_KEY: &str = "50000x1000:rebuild";
+/// Relative allocation-metric growth that fails the gate (25%),
+/// applied to bytes/round, allocs/round, and peak live bytes.
+pub const MAX_ALLOC_REGRESSION: f64 = 0.25;
+/// Absolute grace for byte-valued allocation metrics: growth below
+/// 64 KiB never fails, whatever the ratio.
+pub const ALLOC_BYTES_GRACE: f64 = 65_536.0;
+/// Absolute grace for allocation counts: growth below 64 allocations
+/// per round never fails.
+pub const ALLOC_COUNT_GRACE: f64 = 64.0;
+/// User population at or above which the cell arm's steady-state
+/// demand phase must allocate exactly zero times per round.
+pub const ZERO_ALLOC_MIN_USERS: f64 = 100_000.0;
 
 /// One arm's wall-clock seconds, keyed by `"{users}x{tasks}:{arm}"`.
 pub type ArmSeconds = BTreeMap<String, f64>;
@@ -39,6 +51,15 @@ pub type ArmSeconds = BTreeMap<String, f64>;
 pub struct BenchDoc {
     /// Per-arm wall-clock seconds.
     pub arms: ArmSeconds,
+    /// Per-arm heap bytes allocated per round (absent in baselines
+    /// written before allocation profiling existed).
+    pub alloc_bytes_per_round: BTreeMap<String, f64>,
+    /// Per-arm heap allocations per round.
+    pub allocs_per_round: BTreeMap<String, f64>,
+    /// Per-arm peak additional live bytes.
+    pub peak_live_bytes: BTreeMap<String, f64>,
+    /// Per-arm steady-state demand-phase allocations per round.
+    pub demand_allocs_per_round: BTreeMap<String, f64>,
     /// Any point where the arms disagreed on outputs.
     pub any_non_identical: bool,
     /// The `"trace"` object's `overhead_fraction`, when present.
@@ -96,7 +117,22 @@ pub fn parse(doc: &str) -> Result<BenchDoc, String> {
             let arm = fragment.split('"').nth(1).ok_or_else(|| format!("bad arm: {line}"))?;
             let seconds =
                 num(fragment, "seconds").ok_or_else(|| format!("arm without seconds: {line}"))?;
-            out.arms.insert(format!("{users}x{tasks}:{arm}"), seconds);
+            let key = format!("{users}x{tasks}:{arm}");
+            // Allocation metrics are optional: baselines committed
+            // before allocation profiling simply skip these rules.
+            if let Some(v) = num(fragment, "alloc_bytes_per_round") {
+                out.alloc_bytes_per_round.insert(key.clone(), v);
+            }
+            if let Some(v) = num(fragment, "allocs_per_round") {
+                out.allocs_per_round.insert(key.clone(), v);
+            }
+            if let Some(v) = num(fragment, "peak_live_bytes") {
+                out.peak_live_bytes.insert(key.clone(), v);
+            }
+            if let Some(v) = num(fragment, "demand_allocs_per_round") {
+                out.demand_allocs_per_round.insert(key.clone(), v);
+            }
+            out.arms.insert(key, seconds);
         }
     }
     if out.arms.is_empty() {
@@ -156,6 +192,60 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc) -> (Vec<Verdict>, Vec<Stri
                 "incremental tracker no longer decisively beats per-round rebuild at 50k users: \
                  indexed {indexed:.6}s vs rebuild {rebuild:.6}s \
                  (need >{INDEXED_VS_REBUILD_MIN_SPEEDUP}x)"
+            ));
+        }
+    }
+    // Allocation regression: each metric present in both documents
+    // must not grow by more than MAX_ALLOC_REGRESSION past its
+    // absolute grace. Baselines without the metrics skip silently.
+    let alloc_rule = |name: &str,
+                      base_map: &BTreeMap<String, f64>,
+                      fresh_map: &BTreeMap<String, f64>,
+                      grace: f64,
+                      failures: &mut Vec<String>| {
+        for (key, &base) in base_map {
+            let Some(&now) = fresh_map.get(key) else { continue };
+            if now > base * (1.0 + MAX_ALLOC_REGRESSION) && now - base > grace {
+                failures.push(format!(
+                    "arm {key} {name} regressed: {base:.0} -> {now:.0} ({:+.1}%)",
+                    100.0 * (now / base - 1.0)
+                ));
+            }
+        }
+    };
+    alloc_rule(
+        "alloc_bytes_per_round",
+        &baseline.alloc_bytes_per_round,
+        &fresh.alloc_bytes_per_round,
+        ALLOC_BYTES_GRACE,
+        &mut failures,
+    );
+    alloc_rule(
+        "allocs_per_round",
+        &baseline.allocs_per_round,
+        &fresh.allocs_per_round,
+        ALLOC_COUNT_GRACE,
+        &mut failures,
+    );
+    alloc_rule(
+        "peak_live_bytes",
+        &baseline.peak_live_bytes,
+        &fresh.peak_live_bytes,
+        ALLOC_BYTES_GRACE,
+        &mut failures,
+    );
+    // Zero-allocation pin: at scale, the cell arm's steady-state
+    // demand phase must not allocate at all.
+    for (key, &allocs) in &fresh.demand_allocs_per_round {
+        let Some((point, arm)) = key.split_once(':') else { continue };
+        if arm != "cell" {
+            continue;
+        }
+        let users: f64 = point.split('x').next().and_then(|u| u.parse().ok()).unwrap_or(0.0);
+        if users >= ZERO_ALLOC_MIN_USERS && allocs > 0.0 {
+            failures.push(format!(
+                "arm {key}: steady-state demand phase allocated {allocs:.1} times per round \
+                 (must be exactly 0 at >= {ZERO_ALLOC_MIN_USERS:.0} users)"
             ));
         }
     }
@@ -314,5 +404,66 @@ mod tests {
     fn garbage_documents_are_rejected() {
         assert!(parse("").is_err());
         assert!(parse("{\"benchmark\": \"x\"}").is_err());
+    }
+
+    fn alloc_doc(users: u64, arm: &str, bytes: f64, allocs: f64, peak: f64, demand: f64) -> String {
+        format!(
+            "{{\n  \"points\": [\n    {{\"users\": {users}, \"tasks\": 100, \"rounds\": 8, \
+             \"identical\": true, \"arms\": [{{\"arm\": \"{arm}\", \"seconds\": 0.01, \
+             \"alloc_bytes_per_round\": {bytes:.1}, \"allocs_per_round\": {allocs:.1}, \
+             \"peak_live_bytes\": {peak:.0}, \"demand_allocs_per_round\": {demand:.1}}}]}}\n  \
+             ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn alloc_metrics_parse_and_old_baselines_skip_the_rules() {
+        let parsed = parse(&alloc_doc(10_000, "cell", 4096.0, 12.0, 1_000_000.0, 0.0)).unwrap();
+        assert_eq!(parsed.alloc_bytes_per_round["10000x100:cell"], 4096.0);
+        assert_eq!(parsed.allocs_per_round["10000x100:cell"], 12.0);
+        assert_eq!(parsed.peak_live_bytes["10000x100:cell"], 1_000_000.0);
+        assert_eq!(parsed.demand_allocs_per_round["10000x100:cell"], 0.0);
+        // A pre-alloc-profiling baseline has empty maps and the alloc
+        // rules never fire against it.
+        let old = parse(&doc(0.1, 0.05, None)).unwrap();
+        assert!(old.alloc_bytes_per_round.is_empty());
+        let fresh = parse(&alloc_doc(100, "naive", 1e9, 1e6, 1e9, 50.0)).unwrap();
+        let (_, failures) = compare(&old, &fresh);
+        assert!(failures.iter().all(|f| !f.contains("alloc")), "{failures:?}");
+    }
+
+    #[test]
+    fn alloc_regressions_fail_past_relative_and_absolute_thresholds() {
+        let baseline = parse(&alloc_doc(10_000, "cell", 1e6, 1000.0, 1e7, 0.0)).unwrap();
+        // +30% bytes, well past the 64 KiB grace: fails.
+        let bloated = parse(&alloc_doc(10_000, "cell", 1.3e6, 1000.0, 1e7, 0.0)).unwrap();
+        let (_, failures) = compare(&baseline, &bloated);
+        assert!(failures.iter().any(|f| f.contains("alloc_bytes_per_round")), "{failures:?}");
+        // +30% but only ~300 bytes absolute: inside the grace, passes.
+        let tiny_base = parse(&alloc_doc(10_000, "cell", 1000.0, 10.0, 2000.0, 0.0)).unwrap();
+        let tiny_fresh = parse(&alloc_doc(10_000, "cell", 1300.0, 13.0, 2600.0, 0.0)).unwrap();
+        let (_, failures) = compare(&tiny_base, &tiny_fresh);
+        assert!(failures.is_empty(), "{failures:?}");
+        // Peak and count regressions fail through their own rules.
+        let peaky = parse(&alloc_doc(10_000, "cell", 1e6, 2000.0, 2e7, 0.0)).unwrap();
+        let (_, failures) = compare(&baseline, &peaky);
+        assert!(failures.iter().any(|f| f.contains("allocs_per_round")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("peak_live_bytes")), "{failures:?}");
+    }
+
+    #[test]
+    fn cell_arm_must_be_zero_alloc_at_scale() {
+        let baseline = parse(&alloc_doc(100_000, "cell", 1e6, 1000.0, 1e7, 0.0)).unwrap();
+        let leaky = parse(&alloc_doc(100_000, "cell", 1e6, 1000.0, 1e7, 2.0)).unwrap();
+        let (_, failures) = compare(&baseline, &leaky);
+        assert!(failures.iter().any(|f| f.contains("must be exactly 0")), "{failures:?}");
+        // Below the scale floor the pin does not apply.
+        let small = parse(&alloc_doc(10_000, "cell", 1e6, 1000.0, 1e7, 2.0)).unwrap();
+        let (_, failures) = compare(&baseline, &small);
+        assert!(failures.iter().all(|f| !f.contains("must be exactly 0")), "{failures:?}");
+        // Other arms may allocate freely at any scale.
+        let naive = parse(&alloc_doc(1_000_000, "naive", 1e9, 1e6, 1e9, 500.0)).unwrap();
+        let (_, failures) = compare(&baseline, &naive);
+        assert!(failures.iter().all(|f| !f.contains("must be exactly 0")), "{failures:?}");
     }
 }

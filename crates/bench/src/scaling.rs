@@ -22,6 +22,7 @@ use paydemand_core::{
     CellSweepCounter, DemandCache, DemandIndicator, DemandLevels, NeighborTracker, RewardSchedule,
 };
 use paydemand_geo::{GridIndex, Point, Rect};
+use paydemand_obs::alloc::{self, AllocPhase};
 use paydemand_obs::{Recorder, Span};
 use rand::{Rng, SeedableRng};
 
@@ -125,6 +126,20 @@ pub struct ArmResult {
     pub delta_rounds: u64,
     /// Incremental tracker: full index rebuilds.
     pub rebuilds: u64,
+    /// Heap bytes allocated per round, averaged over the whole run
+    /// (all phases, this arm's profiled window).
+    pub alloc_bytes_per_round: f64,
+    /// Heap allocations per round, averaged over the whole run.
+    pub allocs_per_round: f64,
+    /// Peak additional live bytes during the run (sum of per-phase
+    /// high-water marks above the pre-run live level).
+    pub peak_live_bytes: u64,
+    /// Demand-phase allocations per round in steady state — rounds
+    /// after the warmup (the priming full pass plus the first delta
+    /// round, which grows reusable scratch to its steady capacity);
+    /// `0` when fewer than 3 rounds ran. The cell arm pins this at
+    /// exactly zero.
+    pub demand_allocs_per_round: f64,
 }
 
 /// All arms at one (users, tasks) point.
@@ -177,6 +192,7 @@ fn fold(checksum: u64, value: u64) -> u64 {
 }
 
 /// Runs one arm over the shared workload, returning timing + checksums.
+#[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
 fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
     let indicator = DemandIndicator::paper_default();
     let total_required: u64 = w.required.iter().map(|&r| u64::from(r)).sum();
@@ -202,8 +218,17 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
     let mut rewards_checksum = counts_checksum;
 
     // Per-arm recorder: phase breakdown and tracker counters ride along
-    // with the wall-clock totals in BENCH_scaling.json.
+    // with the wall-clock totals in BENCH_scaling.json. The allocator
+    // stats are process-global, so the profiled window is held
+    // exclusively — arms (and concurrent tests) serialize here. The
+    // guard is declared before the recorder so the recorder's drop
+    // (which releases the tracking refcount) runs first.
+    let _profile_window = alloc::exclusive_profile();
     let recorder = Recorder::enabled();
+    recorder.enable_alloc_profile();
+    alloc::reset_peaks();
+    let alloc_start = alloc::snapshot_phases();
+    let mut demand_allocs_primed = 0u64;
     let phase_demand = recorder.histogram_with("round_phase_seconds", "phase", "demand");
     let phase_pricing = recorder.histogram_with("round_phase_seconds", "phase", "pricing");
     tracker.set_recorder(&recorder);
@@ -218,23 +243,41 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
     }
 
     let started = Instant::now();
+    // Reused across rounds (clear + copy) so the counting arms' own
+    // output handling allocates nothing once the capacity is warm —
+    // required for the cell arm's zero-allocation steady state.
+    let mut counts: Vec<usize> = Vec::new();
     for round in 1..=cfg.rounds {
         for &(user, location) in &w.moves[(round - 1) as usize] {
             users[user] = location;
         }
+        let demand_tag = recorder.alloc_phase(AllocPhase::Demand);
         let demand_span = Span::on(&phase_demand);
-        let counts: Vec<usize> = match arm {
-            Arm::Naive => naive_counts(&w.task_locations, &users, cfg.radius),
+        match arm {
+            Arm::Naive => counts = naive_counts(&w.task_locations, &users, cfg.radius),
             Arm::Rebuild => {
                 let index = GridIndex::build(w.area, cfg.radius, &users).expect("users in area");
-                w.task_locations.iter().map(|&t| index.count_within(t, cfg.radius)).collect()
+                counts.clear();
+                counts.extend(w.task_locations.iter().map(|&t| index.count_within(t, cfg.radius)));
             }
             Arm::Indexed | Arm::IndexedCached => {
-                tracker.counts(&users).expect("users in area").to_vec()
+                counts.clear();
+                counts.extend_from_slice(tracker.counts(&users).expect("users in area"));
             }
-            Arm::Cell | Arm::CellPar => cell.counts(&users).expect("users in area").to_vec(),
-        };
+            Arm::Cell | Arm::CellPar => {
+                counts.clear();
+                counts.extend_from_slice(cell.counts(&users).expect("users in area"));
+            }
+        }
         drop(demand_span);
+        drop(demand_tag);
+        if round <= 2 {
+            // Warmup ends after round 2: round 1 is the priming full
+            // sweep, round 2 the first delta round, which grows the
+            // reusable scratch buffers to their steady capacity.
+            demand_allocs_primed = alloc::phase_totals(AllocPhase::Demand).allocs;
+        }
+        let pricing_tag = recorder.alloc_phase(AllocPhase::Pricing);
         let pricing_span = Span::on(&phase_pricing);
         let max_neighbors = counts.iter().copied().max().unwrap_or(0);
         for (task, &count) in counts.iter().enumerate() {
@@ -254,6 +297,7 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
             rewards_checksum = fold(rewards_checksum, reward.to_bits());
         }
         drop(pricing_span);
+        drop(pricing_tag);
         // Deterministic progress: tasks near users fill up faster. Same
         // counts across arms → same progress across arms.
         for (task, &count) in counts.iter().enumerate() {
@@ -262,6 +306,26 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
         }
     }
     let seconds = started.elapsed().as_secs_f64();
+
+    let alloc_end = alloc::snapshot_phases();
+    let demand_allocs_end = alloc_end[AllocPhase::Demand as usize].allocs;
+    let mut bytes_allocated = 0u64;
+    let mut allocs = 0u64;
+    let mut peak_live_bytes = 0u64;
+    for (end, start) in alloc_end.iter().zip(&alloc_start) {
+        bytes_allocated += end.bytes_allocated.saturating_sub(start.bytes_allocated);
+        allocs += end.allocs.saturating_sub(start.allocs);
+        // Peaks were rebaselined to live at the window start, so the
+        // per-phase rise above the pre-run live level is exact.
+        peak_live_bytes += end.peak_live_bytes.saturating_sub(start.live_bytes).max(0) as u64;
+    }
+    let rounds = f64::from(cfg.rounds.max(1));
+    let steady_rounds = f64::from(cfg.rounds.saturating_sub(2));
+    let demand_allocs_per_round = if steady_rounds > 0.0 {
+        demand_allocs_end.saturating_sub(demand_allocs_primed) as f64 / steady_rounds
+    } else {
+        0.0
+    };
 
     let snapshot = recorder.snapshot();
     let phase_seconds = |phase: &str| {
@@ -288,6 +352,10 @@ fn run_arm(cfg: &Config, w: &SharedWorkload, arm: Arm) -> ArmResult {
         pricing_seconds: phase_seconds("pricing"),
         delta_rounds,
         rebuilds,
+        alloc_bytes_per_round: bytes_allocated as f64 / rounds,
+        allocs_per_round: allocs as f64 / rounds,
+        peak_live_bytes,
+        demand_allocs_per_round,
     }
 }
 
@@ -546,7 +614,9 @@ pub fn to_json_doc(
             out.push_str(&format!(
                 "{{\"arm\": \"{}\", \"seconds\": {:.6}, \"demand_seconds\": {:.6}, \
                  \"demand_ms_per_round\": {:.3}, \"pricing_seconds\": {:.6}, \
-                 \"delta_rounds\": {}, \"rebuilds\": {}}}",
+                 \"delta_rounds\": {}, \"rebuilds\": {}, \
+                 \"alloc_bytes_per_round\": {:.1}, \"allocs_per_round\": {:.1}, \
+                 \"peak_live_bytes\": {}, \"demand_allocs_per_round\": {:.1}}}",
                 a.arm.label(),
                 a.seconds,
                 a.demand_seconds,
@@ -554,6 +624,10 @@ pub fn to_json_doc(
                 a.pricing_seconds,
                 a.delta_rounds,
                 a.rebuilds,
+                a.alloc_bytes_per_round,
+                a.allocs_per_round,
+                a.peak_live_bytes,
+                a.demand_allocs_per_round,
             ));
             if j + 1 < p.arms.len() {
                 out.push_str(", ");
@@ -598,6 +672,36 @@ mod tests {
                     assert_eq!(a.rebuilds, 0);
                 }
             }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // zero is exact: an integer count divided by rounds
+    fn arms_report_alloc_metrics() {
+        let point = run_point(&tiny());
+        for a in &point.arms {
+            assert!(a.alloc_bytes_per_round >= 0.0, "{a:?}");
+            assert!(a.allocs_per_round > 0.0, "every arm allocates at least once: {a:?}");
+            assert!(a.demand_allocs_per_round >= 0.0, "{a:?}");
+        }
+        // The naive arm allocates its output vector from scratch each
+        // round; the cell arm's steady-state demand phase must not
+        // allocate at all once its scratch capacity is warm.
+        let naive = point.arms.iter().find(|a| a.arm == Arm::Naive).unwrap();
+        assert!(naive.demand_allocs_per_round >= 1.0, "{naive:?}");
+        let cell = point.arms.iter().find(|a| a.arm == Arm::Cell).unwrap();
+        assert!(
+            cell.demand_allocs_per_round == 0.0,
+            "cell arm demand phase allocated in steady state: {cell:?}"
+        );
+        let json = to_json(&[point]);
+        for field in [
+            "alloc_bytes_per_round",
+            "allocs_per_round",
+            "peak_live_bytes",
+            "demand_allocs_per_round",
+        ] {
+            assert!(json.contains(field), "{field} missing from JSON");
         }
     }
 

@@ -73,6 +73,9 @@ OPTIONS (both commands):
     --metrics-format F prom | json exporter for --metrics-out [default: prom]
     --profile          record metrics and print a latency/counter summary
                        to stderr (identical simulation results either way)
+    --alloc-profile    attribute heap allocations to engine phases and
+                       export per-phase byte/count/peak families
+                       (identical simulation results either way)
     --timeseries-out PATH   snapshot every metric family at each round
                        boundary and write the per-round series to PATH
                        (.csv extension = CSV, anything else = JSON; the
@@ -197,6 +200,9 @@ pub struct Options {
     pub metrics_format: MetricsFormat,
     /// Print a profile summary to stderr after the run.
     pub profile: bool,
+    /// Attribute heap allocations to engine phases via the tracking
+    /// allocator and export the per-phase memory families.
+    pub alloc_profile: bool,
     /// Checkpoint the (single-repetition) run every this many rounds.
     pub checkpoint_every: Option<u32>,
     /// Where checkpoints go.
@@ -221,6 +227,7 @@ impl Options {
     #[must_use]
     pub fn recording(&self) -> bool {
         self.profile
+            || self.alloc_profile
             || self.metrics_out.is_some()
             || self.timeseries_out.is_some()
             || self.trace_events_out.is_some()
@@ -271,6 +278,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut metrics_out: Option<String> = None;
     let mut metrics_format = MetricsFormat::default();
     let mut profile = false;
+    let mut alloc_profile = false;
     let mut fault_kinds: Option<Vec<FaultKind>> = None;
     let mut fault_seed: Option<u64> = None;
     let mut checkpoint_every: Option<u32> = None;
@@ -287,6 +295,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--help" | "-h" => return Ok(Command::Help),
             "--enforce-budget" => scenario.enforce_budget = true,
             "--profile" => profile = true,
+            "--alloc-profile" => alloc_profile = true,
             "--alerts-fatal" => alerts_fatal = true,
             "--no-cache" => scenario.pricing_cache = PricingCacheMode::Disabled,
             "--preset" => {
@@ -384,6 +393,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         metrics_out,
         metrics_format,
         profile,
+        alloc_profile,
         checkpoint_every,
         checkpoint_file,
         resume_from,
@@ -791,6 +801,21 @@ mod tests {
         assert!(parse(&argv("run --metrics-format yaml"))
             .unwrap_err()
             .contains("unknown metrics format"));
+    }
+
+    #[test]
+    fn alloc_profile_flag_parses_and_implies_recording() {
+        let Command::Run(opts) = parse(&argv("run --alloc-profile")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(opts.alloc_profile);
+        assert!(opts.recording(), "--alloc-profile alone implies recording");
+
+        let Command::Run(defaults) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!defaults.alloc_profile);
+        assert!(parse(&argv("compare --alloc-profile")).is_ok());
     }
 
     #[test]

@@ -238,6 +238,9 @@ fn make_recorder(options: &Options) -> Recorder {
         return Recorder::disabled();
     }
     let recorder = Recorder::enabled();
+    if options.alloc_profile {
+        recorder.enable_alloc_profile();
+    }
     if options.telemetry() {
         let rounds = (options.scenario.max_rounds as usize).max(1);
         let capacity = (options.reps.max(1).saturating_mul(rounds)).clamp(1, TIMESERIES_CAP);

@@ -394,6 +394,15 @@ impl DemandCache {
         self.obs_batched = batched;
     }
 
+    /// Approximate heap footprint of the memo arrays in bytes
+    /// (allocated capacity, not just live length).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.progress.capacity() * std::mem::size_of::<Option<((u32, u32), f64)>>()
+            + self.neighbors.capacity() * std::mem::size_of::<Option<((usize, usize), f64)>>()
+            + self.deadline_by_remaining.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Declares the round's `N_max` before any per-task lookup, letting
     /// the cache drop every stale scarcity entry in one batched sweep
     /// instead of discovering staleness entry by entry inside the hot

@@ -100,6 +100,14 @@ pub trait IncentiveMechanism: std::fmt::Debug {
         }
     }
 
+    /// Approximate heap footprint of the mechanism's internal caches
+    /// in bytes, for memory observability. The default — right for
+    /// cacheless baselines — is 0. Must be read-only and must never
+    /// influence pricing.
+    fn cache_bytes(&self) -> usize {
+        0
+    }
+
     /// Explains the pricing of `ctx`: one [`DemandBreakdown`] per task
     /// in `ctx.tasks`, in order, for mechanisms whose pricing
     /// decomposes into criteria/score/level. The default — and the
@@ -131,6 +139,10 @@ impl<T: IncentiveMechanism + ?Sized> IncentiveMechanism for Box<T> {
 
     fn restore_state(&mut self, state: &[u8]) -> Result<(), crate::CoreError> {
         (**self).restore_state(state)
+    }
+
+    fn cache_bytes(&self) -> usize {
+        (**self).cache_bytes()
     }
 
     fn explain(&self, ctx: &RoundContext) -> Option<Vec<DemandBreakdown>> {

@@ -250,6 +250,10 @@ impl IncentiveMechanism for OnDemandIncentive {
             recorder.counter("demand_cache_batch_invalidated_total"),
         );
     }
+
+    fn cache_bytes(&self) -> usize {
+        self.cache.approx_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -177,6 +177,17 @@ impl NeighborTracker {
     pub fn radius(&self) -> f64 {
         self.radius
     }
+
+    /// Approximate heap footprint in bytes: the task list, the mirror
+    /// of the last user positions, the count vector, and the static
+    /// task grid (allocated capacity, not just live length).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.task_locations.capacity() * std::mem::size_of::<Point>()
+            + self.prev.capacity() * std::mem::size_of::<Point>()
+            + self.counts.capacity() * std::mem::size_of::<usize>()
+            + self.task_index.as_ref().map_or(0, GridIndex::approx_bytes)
+    }
 }
 
 /// The `O(n·m)` pairwise reference: for each task, scan every user.
@@ -278,6 +289,13 @@ impl CellSweepCounter {
     #[must_use]
     pub fn moved_last_round(&self) -> usize {
         self.sweeper.moved_last_round()
+    }
+
+    /// Approximate heap footprint in bytes; see
+    /// [`CellSweeper::approx_bytes`].
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.sweeper.approx_bytes()
     }
 }
 

@@ -283,6 +283,18 @@ impl<M: IncentiveMechanism> Platform<M> {
         self.demand_threads
     }
 
+    /// Approximate heap footprint of the platform's perf-only state,
+    /// as `(mechanism cache bytes, neighbour index bytes)` — the
+    /// demand memo arrays and whichever counting backend is live.
+    /// Read-only; feeds the `memory_demand_cache_bytes` and
+    /// `memory_neighbor_index_bytes` gauges.
+    #[must_use]
+    pub fn memory_bytes(&self) -> (usize, usize) {
+        let index = self.tracker.as_ref().map_or(0, NeighborTracker::approx_bytes)
+            + self.cell_counter.as_ref().map_or(0, CellSweepCounter::approx_bytes);
+        (self.mechanism.cache_bytes(), index)
+    }
+
     /// Budget remaining under the cap (`+∞` when no cap is set).
     #[must_use]
     pub fn remaining_budget(&self) -> f64 {

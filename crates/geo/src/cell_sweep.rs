@@ -75,6 +75,12 @@ pub struct CellSweeper {
     counts: Vec<usize>,
     moved_last_round: usize,
     last_was_full: bool,
+    /// Delta-sweep scratch, kept across rounds: once capacities have
+    /// warmed to the round-over-round churn, the serial delta path
+    /// performs zero heap allocations per call.
+    scratch_departures: Vec<(u32, Point)>,
+    scratch_arrivals: Vec<(u32, Point)>,
+    scratch_deltas: Vec<i64>,
     /// Parallel-dispatch floors (normally the `PAR_*` constants;
     /// lowered by tests to exercise the threaded paths at small `n`).
     par_delta_min_moves: usize,
@@ -111,6 +117,9 @@ impl CellSweeper {
             counts: vec![0; m],
             moved_last_round: 0,
             last_was_full: false,
+            scratch_departures: Vec::new(),
+            scratch_arrivals: Vec::new(),
+            scratch_deltas: Vec::new(),
             par_delta_min_moves: PAR_DELTA_MIN_MOVES,
             par_sweep_min_users: PAR_SWEEP_MIN_USERS,
         };
@@ -143,6 +152,23 @@ impl CellSweeper {
     #[must_use]
     pub fn counts_ref(&self) -> &[usize] {
         &self.counts
+    }
+
+    /// Approximate heap footprint in bytes: the task copy, the CSR
+    /// candidate lists, the SoA position mirror, the per-user cell
+    /// tags, and the count vector. Uses allocated capacity so reserved
+    /// space is visible.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.tasks.capacity() * std::mem::size_of::<Point>()
+            + self.cand_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.cand_tasks.capacity() * std::mem::size_of::<u32>()
+            + self.mirror.approx_bytes()
+            + self.mirror_cells.capacity() * std::mem::size_of::<u32>()
+            + self.counts.capacity() * std::mem::size_of::<usize>()
+            + (self.scratch_departures.capacity() + self.scratch_arrivals.capacity())
+                * std::mem::size_of::<(u32, Point)>()
+            + self.scratch_deltas.capacity() * std::mem::size_of::<i64>()
     }
 
     /// Lowers the per-thread work floors below which sweeps stay
@@ -360,10 +386,15 @@ impl CellSweeper {
     /// per user.
     fn delta_sweep<P: Positions + ?Sized>(&mut self, users: &P, threads: usize) {
         let n = users.len();
-        // (cell, position, user) triples: departures from old cells and
-        // arrivals into new ones.
-        let mut departures: Vec<(u32, Point)> = Vec::new();
-        let mut arrivals: Vec<(u32, Point)> = Vec::new();
+        // (cell, position) pairs: departures from old cells and
+        // arrivals into new ones. The buffers are struct-held scratch
+        // (taken here, returned before every exit) so the steady-state
+        // serial path reuses their warmed capacity instead of
+        // allocating fresh vectors each round.
+        let mut departures = std::mem::take(&mut self.scratch_departures);
+        let mut arrivals = std::mem::take(&mut self.scratch_arrivals);
+        departures.clear();
+        arrivals.clear();
         for i in 0..n {
             let new = users.at(i);
             let old = self.mirror.point(i);
@@ -379,12 +410,19 @@ impl CellSweeper {
         self.moved_last_round = departures.len();
         self.last_was_full = false;
         if departures.is_empty() {
+            self.scratch_departures = departures;
+            self.scratch_arrivals = arrivals;
             return;
         }
         // Batch by cell: runs sharing a cell reuse one candidate-slice
         // lookup and keep its tasks hot in cache.
         departures.sort_unstable_by_key(|&(cell, _)| cell);
         arrivals.sort_unstable_by_key(|&(cell, _)| cell);
+
+        let m = self.tasks.len();
+        let mut deltas = std::mem::take(&mut self.scratch_deltas);
+        deltas.clear();
+        deltas.resize(m, 0);
 
         let apply = |deltas: &mut [i64], moves: &[(u32, Point)], sign: i64| {
             let r2 = self.radius * self.radius;
@@ -410,8 +448,6 @@ impl CellSweeper {
             }
         };
 
-        let m = self.tasks.len();
-        let mut deltas = vec![0i64; m];
         if threads <= 1 || departures.len() < self.par_delta_min_moves.saturating_mul(2) {
             apply(&mut deltas, &departures, -1);
             apply(&mut deltas, &arrivals, 1);
@@ -447,11 +483,14 @@ impl CellSweeper {
                 }
             }
         }
-        for (count, delta) in self.counts.iter_mut().zip(deltas) {
+        for (count, &delta) in self.counts.iter_mut().zip(&deltas) {
             let updated = *count as i64 + delta;
             debug_assert!(updated >= 0, "neighbour count went negative");
             *count = updated as usize;
         }
+        self.scratch_departures = departures;
+        self.scratch_arrivals = arrivals;
+        self.scratch_deltas = deltas;
     }
 }
 

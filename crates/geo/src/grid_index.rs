@@ -89,6 +89,19 @@ impl GridIndex {
         self.area
     }
 
+    /// Approximate heap footprint in bytes: the bucket table, every
+    /// bucket's allocated capacity, and the point copy.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.cells.capacity() * std::mem::size_of::<Vec<usize>>()
+            + self
+                .cells
+                .iter()
+                .map(|bucket| bucket.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+            + self.points.capacity() * std::mem::size_of::<Point>()
+    }
+
     fn cell_of(&self, p: Point) -> (usize, usize) {
         let c = (((p.x - self.area.min().x) / self.cell) as usize).min(self.cols - 1);
         let r = (((p.y - self.area.min().y) / self.cell) as usize).min(self.rows - 1);

@@ -117,6 +117,13 @@ impl PositionStore {
         self.xs.is_empty()
     }
 
+    /// Approximate heap footprint in bytes (allocated capacity, not
+    /// just live length, so reserved-but-unused space is visible).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        (self.xs.capacity() + self.ys.capacity()) * std::mem::size_of::<f64>()
+    }
+
     /// The `i`-th position.
     ///
     /// # Panics

@@ -16,7 +16,9 @@
 //!
 //! * `name` / `name{key="value"}` — a counter's cumulative value or a
 //!   gauge's current value;
-//! * `…:delta` — a counter's increase over the round;
+//! * `…:delta` — a counter's increase over the round, or a gauge's
+//!   change since the previous round (absent until the gauge has a
+//!   prior reading);
 //! * `…:count` / `…:delta_count` — a histogram's cumulative /
 //!   per-round observation count;
 //! * `…:p99` — the p99 of a histogram's *per-round* observations
@@ -115,6 +117,12 @@ impl AlertRule {
     /// | `demand_cache_hit_rate_collapse` | `demand_cache_hit_rate < 0.05` for 3 rounds |
     /// | `straggler_queue_growth` | `engine_retry_queue_depth >= 1` for 2 rounds |
     /// | `solve_latency_p99_regression` | per-round `selector_solve_seconds:p99 > 0.05` (50 ms) for 2 rounds |
+    /// | `memory_leak_suspected` | live heap strictly grows (`memory_live_bytes:delta > 0`) for 5 consecutive rounds |
+    /// | `peak_rss_high` | `process_peak_rss_bytes >= 2 GiB` for 1 round |
+    ///
+    /// The two memory rules reference families that only exist when
+    /// alloc profiling is on; on unprofiled runs the keys stay absent
+    /// and the rules never accumulate a streak.
     #[must_use]
     pub fn defaults() -> Vec<AlertRule> {
         let rule = |name: &str, metric: &str, comparator, threshold, for_rounds| AlertRule {
@@ -147,6 +155,8 @@ impl AlertRule {
                 0.05,
                 2,
             ),
+            rule("memory_leak_suspected", "memory_live_bytes:delta", Comparator::Gt, 0.0, 5),
+            rule("peak_rss_high", "process_peak_rss_bytes", Comparator::Ge, 2_147_483_648.0, 1),
         ]
     }
 
@@ -460,7 +470,17 @@ pub fn flatten(prev: Option<&Snapshot>, cur: &Snapshot) -> BTreeMap<String, f64>
     }
     #[allow(clippy::cast_precision_loss)]
     for (key, value) in &cur.gauges {
-        view.insert(format!("{}{}", key.name, label_suffix(key)), *value as f64);
+        let series = format!("{}{}", key.name, label_suffix(key));
+        // A gauge delta only exists once the gauge has a previous
+        // reading; the key stays absent in the first round (streak
+        // reset, not a spurious zero). Memory-leak rules watch
+        // `memory_live_bytes:delta` so cumulative baselines cancel.
+        if let Some(before) =
+            prev.and_then(|p| p.gauges.iter().find(|(k, _)| k == key).map(|(_, v)| *v))
+        {
+            view.insert(format!("{series}:delta"), (*value - before) as f64);
+        }
+        view.insert(series, *value as f64);
     }
     let mut family_deltas: BTreeMap<&str, HistogramSnapshot> = BTreeMap::new();
     for (key, hist) in &cur.histograms {
@@ -692,6 +712,68 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // gauge deltas are exact integer differences in f64
+    fn gauge_deltas_appear_once_a_prior_reading_exists() {
+        let first = snap(|r| {
+            r.gauge("memory_live_bytes").set(1_000);
+        });
+        let second = snap(|r| {
+            r.gauge("memory_live_bytes").set(1_400);
+        });
+        let cold = flatten(None, &first);
+        assert_eq!(cold["memory_live_bytes"], 1_000.0);
+        assert!(!cold.contains_key("memory_live_bytes:delta"), "no prior reading");
+        let warm = flatten(Some(&first), &second);
+        assert_eq!(warm["memory_live_bytes:delta"], 400.0);
+        // A gauge absent from the previous snapshot has no delta either.
+        let fresh = snap(|r| {
+            r.gauge("process_rss_bytes").set(7);
+        });
+        let mixed = flatten(Some(&first), &fresh);
+        assert!(!mixed.contains_key("process_rss_bytes:delta"));
+    }
+
+    #[test]
+    fn memory_leak_rule_fires_after_five_growing_rounds() {
+        let alerts = Alerts::with_defaults();
+        let recorder = Recorder::enabled();
+        let live = |bytes: i64| {
+            snap(|r| {
+                r.gauge("memory_live_bytes").set(bytes);
+            })
+        };
+        // Round 1 establishes the baseline (no delta yet); rounds 2-6
+        // each grow strictly, completing the 5-round streak at round 6.
+        for (round, bytes) in (1..=6u32).zip([100, 200, 300, 400, 500, 600i64]) {
+            alerts.evaluate(round, &live(bytes), &recorder);
+        }
+        let events = alerts.events();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].rule, "memory_leak_suspected");
+        assert_eq!(events[0].round, 6);
+        // A flat round resets the streak: five more growth rounds are
+        // needed before it can re-fire.
+        alerts.evaluate(7, &live(600), &recorder);
+        for (round, bytes) in (8..=11u32).zip([700, 800, 900, 1_000i64]) {
+            alerts.evaluate(round, &live(bytes), &recorder);
+        }
+        assert_eq!(alerts.fired_total(), 1, "only 4 growth rounds since the reset");
+    }
+
+    #[test]
+    fn peak_rss_rule_fires_immediately_at_threshold() {
+        let alerts = Alerts::with_defaults();
+        let recorder = Recorder::enabled();
+        let hot = snap(|r| {
+            r.gauge("process_peak_rss_bytes").set(3 * 1024 * 1024 * 1024);
+        });
+        alerts.evaluate(1, &hot, &recorder);
+        let events = alerts.events();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].rule, "peak_rss_high");
+    }
+
+    #[test]
     fn disabled_handle_is_inert_and_exports_empty() {
         let alerts = Alerts::disabled();
         assert!(!alerts.is_enabled());
@@ -711,7 +793,7 @@ mod tests {
         alerts.evaluate(1, &hot, &recorder);
         alerts.evaluate(2, &hot, &recorder);
         let doc = crate::json::parse_json(&alerts.to_json()).unwrap();
-        assert_eq!(doc.get("rules").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(doc.get("rules").unwrap().as_array().unwrap().len(), 6);
         let fired = doc.get("fired").unwrap().as_array().unwrap();
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].get("rule").unwrap().as_str(), Some("budget_overrun_proximity"));

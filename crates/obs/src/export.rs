@@ -206,14 +206,35 @@ impl Snapshot {
                 scaled(hist.p99(), scale),
             );
         }
-        if !self.gauges.is_empty() {
+        // Memory families (the allocator sampler's output) get their
+        // own section so per-phase byte accounting reads as one block
+        // instead of scattering across the gauge and counter sections.
+        let is_memory = |key: &MetricKey| {
+            key.name.starts_with("alloc_")
+                || key.name.starts_with("memory_")
+                || key.name.starts_with("process_")
+        };
+        let (memory_gauges, gauges): (Vec<_>, Vec<_>) =
+            self.gauges.iter().partition(|(key, _)| is_memory(key));
+        if !gauges.is_empty() {
             let _ = writeln!(out, "{:<width$} {:>9}", "gauge", "value");
-            for (key, value) in &self.gauges {
+            for (key, value) in gauges {
                 let _ = writeln!(out, "{:<width$} {value:>9}", series_of(key));
             }
         }
         let (alerts, counters): (Vec<_>, Vec<_>) =
             self.counters.iter().partition(|(key, _)| key.name == "alerts_total");
+        let (memory_counters, counters): (Vec<_>, Vec<_>) =
+            counters.into_iter().partition(|(key, _)| is_memory(key));
+        if !memory_gauges.is_empty() || !memory_counters.is_empty() {
+            let _ = writeln!(out, "{:<width$} {:>12}", "memory", "value");
+            for (key, value) in memory_gauges {
+                let _ = writeln!(out, "{:<width$} {value:>12}", series_of(key));
+            }
+            for (key, value) in memory_counters {
+                let _ = writeln!(out, "{:<width$} {value:>12}", series_of(key));
+            }
+        }
         if !counters.is_empty() {
             let _ = writeln!(out, "{:<width$} {:>9}", "counter", "value");
             for (key, value) in counters {

@@ -60,6 +60,25 @@
 //! | `engine_retry_queue_depth` | gauge | Straggler uploads pending retry at the round boundary. |
 //! | `alerts_total{rule}` | counter | Alert-rule transitions into the firing state. |
 //!
+//! With alloc profiling on ([`Recorder::enable_alloc_profile`]), the
+//! memory families join them (sampled per round by
+//! [`Recorder::sample_alloc`]; see the [`alloc`] module):
+//!
+//! | Metric | Kind | Meaning |
+//! |---|---|---|
+//! | `alloc_allocs_total{phase}` | counter | Heap allocations attributed to the phase. |
+//! | `alloc_frees_total{phase}` | counter | Heap deallocations attributed to the phase. |
+//! | `alloc_bytes_total{phase}` | counter | Bytes allocated. |
+//! | `alloc_freed_bytes_total{phase}` | counter | Bytes freed. |
+//! | `alloc_live_bytes{phase}` | gauge | Bytes currently live (may go negative for a phase freeing another's blocks). |
+//! | `alloc_peak_live_bytes{phase}` | gauge | High-water mark of live bytes. |
+//! | `alloc_size_bytes{phase}` | histogram | Log₂ size-class distribution of allocation sizes. |
+//! | `memory_live_bytes` | gauge | Live bytes summed over every phase. |
+//! | `process_rss_bytes` | gauge | `VmRSS` from `/proc/self/status` (Linux only). |
+//! | `process_peak_rss_bytes` | gauge | `VmHWM` from `/proc/self/status` (Linux only). |
+//! | `memory_demand_cache_bytes` | gauge | Approximate heap footprint of the demand cache. |
+//! | `memory_neighbor_index_bytes` | gauge | Approximate heap footprint of the neighbour index / cell sweeper. |
+//!
 //! # Live telemetry
 //!
 //! Beyond point-in-time snapshots, a recorder can carry optional
@@ -97,11 +116,15 @@
 //! assert!(text.contains("demand_cache_hits_total 3"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `alloc` module implements `GlobalAlloc`
+// (an unsafe trait) and locally allows it; everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs, clippy::pedantic)]
 #![allow(clippy::module_name_repetitions, clippy::must_use_candidate)]
 
 mod alerts;
+pub mod alloc;
 mod export;
 pub mod json;
 mod metrics;
@@ -111,11 +134,12 @@ mod spans;
 mod timeseries;
 
 pub use alerts::{evaluate_series, AlertEvent, AlertRule, Alerts, Comparator};
+pub use alloc::{AllocPhase, PhaseGuard, PhaseTotals, TrackingAllocator};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
 pub use recorder::{MetricKey, Recorder, Snapshot, Span};
 pub use serve::MetricsServer;
-pub use spans::{SpanEvent, SpanLog};
+pub use spans::{CounterSample, SpanEvent, SpanLog};
 pub use timeseries::{RoundSample, TimeSeries};

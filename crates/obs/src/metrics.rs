@@ -162,9 +162,13 @@ impl HistogramCells {
     }
 
     fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.record_n(value, 1);
+    }
+
+    fn record_n(&self, value: u64, n: u64) {
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
@@ -212,6 +216,18 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         if let Some(cells) = &self.cells {
             cells.record(value);
+        }
+    }
+
+    /// Records `n` observations of the same `value` in one shot (used
+    /// by the allocator sampler to fold a size-class count in without
+    /// `n` individual records). A no-op when `n == 0`.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(cells) = &self.cells {
+            cells.record_n(value, n);
         }
     }
 

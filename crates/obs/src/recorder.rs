@@ -1,12 +1,13 @@
 //! The [`Recorder`] handle, RAII [`Span`] timers, and [`Snapshot`]s.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::alerts::Alerts;
-use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, HistogramSnapshot};
+use crate::alloc::{self, AllocPhase, PhaseGuard, PhaseTotals, ALLOC_PHASES};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, HistogramSnapshot, BUCKETS};
 use crate::spans::{SpanEventGuard, SpanLog};
 use crate::timeseries::TimeSeries;
 
@@ -37,6 +38,26 @@ struct Registry {
     span_log: Mutex<Option<Arc<SpanLog>>>,
     timeseries: Mutex<Option<TimeSeries>>,
     alerts: Mutex<Option<Alerts>>,
+    /// Whether this registry profiles the global allocator. While true,
+    /// spans and explicit [`Recorder::alloc_phase`] calls tag the
+    /// current thread and [`Recorder::sample_alloc`] folds stat deltas
+    /// into the registry.
+    alloc_profile: AtomicBool,
+    /// Cumulative per-phase allocator totals as of the last
+    /// [`Recorder::sample_alloc`] (seeded at enable time so only
+    /// allocations made under this registry's profile are counted).
+    /// Delta computation runs under this mutex, so several engines
+    /// sampling the same shared registry stay exact: the folded
+    /// counters always equal cumulative-now minus the enable baseline.
+    alloc_sync: Mutex<[PhaseTotals; ALLOC_PHASES]>,
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        if self.alloc_profile.load(Ordering::SeqCst) {
+            alloc::disable_tracking();
+        }
+    }
 }
 
 /// The instrumentation handle that threads through the simulator.
@@ -168,7 +189,118 @@ impl Recorder {
     pub fn scoped(&self, name: &str, histogram: &Histogram) -> Span {
         let event = self.span_log().map(|log| log.open(name));
         let start = (histogram.is_enabled() || event.is_some()).then(Instant::now);
-        Span { histogram: histogram.clone(), start, event }
+        // With alloc profiling on, a span whose name is a phase name
+        // also tags the thread so allocations inside it are attributed.
+        let tag = if self.alloc_profile_enabled() {
+            AllocPhase::from_span_name(name).map(PhaseGuard::enter)
+        } else {
+            None
+        };
+        Span { histogram: histogram.clone(), start, event, _tag: tag }
+    }
+
+    /// Turns on allocator profiling for this registry: spans named
+    /// after phases (and explicit [`alloc_phase`](Self::alloc_phase)
+    /// guards) tag the current thread, and
+    /// [`sample_alloc`](Self::sample_alloc) folds per-phase allocator
+    /// stats into the registry as `alloc_*`/`memory_*`/`process_*`
+    /// families. Global tracking is refcounted and released when the
+    /// registry drops. A no-op on a disabled recorder — and, like every
+    /// instrument here, profiling never changes simulation output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler mutex was poisoned.
+    pub fn enable_alloc_profile(&self) {
+        let Some(registry) = &self.registry else { return };
+        if !registry.alloc_profile.swap(true, Ordering::SeqCst) {
+            alloc::enable_tracking();
+            // Baseline at enable time: the first sample reports only
+            // allocations made after profiling began.
+            *registry.alloc_sync.lock().expect("alloc sync poisoned") = alloc::snapshot_phases();
+        }
+    }
+
+    /// Whether allocator profiling is on for this registry.
+    #[must_use]
+    pub fn alloc_profile_enabled(&self) -> bool {
+        self.registry
+            .as_ref()
+            .is_some_and(|registry| registry.alloc_profile.load(Ordering::Relaxed))
+    }
+
+    /// Tags the current thread with `phase` until the guard drops —
+    /// for phases that accumulate timings manually instead of through
+    /// spans (selection, settlement, the retry queue). `None` (and no
+    /// thread-local write at all) unless profiling is on.
+    #[must_use]
+    pub fn alloc_phase(&self, phase: AllocPhase) -> Option<PhaseGuard> {
+        self.alloc_profile_enabled().then(|| PhaseGuard::enter(phase))
+    }
+
+    /// Samples the global allocator stats into the registry: per-phase
+    /// deltas since the last sample feed the `alloc_*` counter and
+    /// histogram families, cumulative live/peak values set the gauges,
+    /// and `/proc/self/status` (where present) sets the process RSS
+    /// gauges. Called by the engine at every round boundary; a no-op
+    /// unless [`enable_alloc_profile`](Self::enable_alloc_profile) ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler mutex was poisoned.
+    pub fn sample_alloc(&self) {
+        let Some(registry) = &self.registry else { return };
+        if !registry.alloc_profile.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut last = registry.alloc_sync.lock().expect("alloc sync poisoned");
+        let now = alloc::snapshot_phases();
+        let mut total_live = 0i64;
+        for phase in AllocPhase::ALL {
+            let i = phase as usize;
+            let (cur, prev) = (&now[i], &last[i]);
+            let label = phase.label();
+            self.counter_with("alloc_allocs_total", "phase", label)
+                .add(cur.allocs.saturating_sub(prev.allocs));
+            self.counter_with("alloc_frees_total", "phase", label)
+                .add(cur.frees.saturating_sub(prev.frees));
+            self.counter_with("alloc_bytes_total", "phase", label)
+                .add(cur.bytes_allocated.saturating_sub(prev.bytes_allocated));
+            self.counter_with("alloc_freed_bytes_total", "phase", label)
+                .add(cur.bytes_freed.saturating_sub(prev.bytes_freed));
+            self.gauge_with("alloc_live_bytes", "phase", label).set(cur.live_bytes);
+            self.gauge_with("alloc_peak_live_bytes", "phase", label).set(cur.peak_live_bytes);
+            let sizes = self.histogram_with("alloc_size_bytes", "phase", label);
+            for class in 0..BUCKETS {
+                let n = cur.size_classes[class].saturating_sub(prev.size_classes[class]);
+                // Recording the class' lower bound n times lands every
+                // observation in exactly that log₂ bucket; exact byte
+                // totals live in `alloc_bytes_total`.
+                sizes.record_n(crate::bucket_bounds(class).0.max(1), n);
+            }
+            total_live += cur.live_bytes;
+        }
+        self.gauge("memory_live_bytes").set(total_live);
+        let rss = alloc::process_rss();
+        if let Some((rss, peak)) = rss {
+            self.gauge("process_rss_bytes").set(i64::try_from(rss).unwrap_or(i64::MAX));
+            self.gauge("process_peak_rss_bytes").set(i64::try_from(peak).unwrap_or(i64::MAX));
+        }
+        // With trace events on, the memory series double as Perfetto
+        // counter tracks alongside the span tree.
+        if let Some(log) = self.span_log() {
+            for phase in AllocPhase::ALL {
+                log.record_counter(
+                    &format!("alloc_live_bytes:{}", phase.label()),
+                    now[phase as usize].live_bytes,
+                );
+            }
+            log.record_counter("memory_live_bytes", total_live);
+            if let Some((bytes, _)) = rss {
+                log.record_counter("process_rss_bytes", i64::try_from(bytes).unwrap_or(i64::MAX));
+            }
+        }
+        *last = now;
     }
 
     /// Attaches a bounded span-event log: from here on, spans created
@@ -305,6 +437,11 @@ pub struct Span {
     histogram: Histogram,
     start: Option<Instant>,
     event: Option<SpanEventGuard>,
+    /// Alloc-phase tag held for the span's lifetime (profiled
+    /// recorders only). Dropped after the explicit `Drop` body runs,
+    /// so the histogram record and trace finish are still attributed
+    /// to this span's phase.
+    _tag: Option<PhaseGuard>,
 }
 
 impl Span {
@@ -313,7 +450,7 @@ impl Span {
     #[must_use]
     pub fn on(histogram: &Histogram) -> Self {
         let start = histogram.is_enabled().then(Instant::now);
-        Span { histogram: histogram.clone(), start, event: None }
+        Span { histogram: histogram.clone(), start, event: None, _tag: None }
     }
 
     /// Stops the timer without recording into the histogram. A trace

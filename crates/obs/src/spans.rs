@@ -44,6 +44,19 @@ pub struct SpanEvent {
     pub duration_ns: u64,
 }
 
+/// One sampled counter value: a point on a Perfetto counter track
+/// (rendered as a `"ph": "C"` event by [`SpanLog::to_trace_json`]).
+/// The allocator sampler records one per memory series per round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Track name, e.g. `alloc_live_bytes:demand`.
+    pub name: String,
+    /// Sample offset from the log's origin, in nanoseconds.
+    pub ts_ns: u64,
+    /// Sampled value (bytes for the memory tracks; may be negative).
+    pub value: i64,
+}
+
 /// A bounded, thread-safe log of completed spans.
 ///
 /// Shared behind an `Arc` by every instrumented thread; events past
@@ -56,6 +69,9 @@ pub struct SpanLog {
     next_id: AtomicU64,
     dropped: AtomicU64,
     events: Mutex<Vec<SpanEvent>>,
+    /// Counter-track samples, bounded by `capacity` independently of
+    /// the span events (memory tracks must not evict spans).
+    counters: Mutex<Vec<CounterSample>>,
     threads: Mutex<HashMap<ThreadId, u64>>,
 }
 
@@ -69,8 +85,35 @@ impl SpanLog {
             next_id: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
+            counters: Mutex::new(Vec::new()),
             threads: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Records one point on the counter track `name` at the current
+    /// offset. Samples past `capacity` are counted as dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter mutex was poisoned.
+    pub fn record_counter(&self, name: &str, value: i64) {
+        let ts_ns = saturating_ns(self.origin.elapsed());
+        let mut counters = self.counters.lock().expect("counter track poisoned");
+        if counters.len() < self.capacity {
+            counters.push(CounterSample { name: name.to_owned(), ts_ns, value });
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A copy of the counter-track samples, in record order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter mutex was poisoned.
+    #[must_use]
+    pub fn counter_samples(&self) -> Vec<CounterSample> {
+        self.counters.lock().expect("counter track poisoned").clone()
     }
 
     /// Opens a span event named `name` on the current thread. The
@@ -123,11 +166,14 @@ impl SpanLog {
     #[must_use]
     pub fn to_trace_json(&self) -> String {
         let events = self.events();
+        let counters = self.counter_samples();
         let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
-        for (i, event) in events.iter().enumerate() {
-            if i > 0 {
+        let mut emitted = 0usize;
+        for event in &events {
+            if emitted > 0 {
                 out.push(',');
             }
+            emitted += 1;
             let parent = event.parent.map_or_else(|| "null".to_owned(), |p| p.to_string());
             let _ = write!(
                 out,
@@ -142,7 +188,22 @@ impl SpanLog {
                 parent,
             );
         }
-        if !events.is_empty() {
+        for sample in &counters {
+            if emitted > 0 {
+                out.push(',');
+            }
+            emitted += 1;
+            let _ = write!(
+                out,
+                "\n  {{\"name\": \"{}\", \"cat\": \"paydemand\", \"ph\": \"C\", \
+                 \"ts\": {}, \"pid\": 1, \"tid\": 0, \
+                 \"args\": {{\"value\": {}}}}}",
+                crate::export::json_escape(&sample.name),
+                fmt_us(sample.ts_ns),
+                sample.value,
+            );
+        }
+        if emitted > 0 {
             out.push('\n');
         }
         out.push_str("]}\n");
@@ -288,6 +349,29 @@ mod tests {
             assert!(event.get("tid").unwrap().as_u64().is_some());
             assert!(event.get("name").unwrap().as_str().is_some());
         }
+    }
+
+    #[test]
+    fn counter_tracks_render_as_c_events() {
+        let log = Arc::new(SpanLog::new(16));
+        log.open("round").finish();
+        log.record_counter("memory_live_bytes", 4096);
+        log.record_counter("alloc_live_bytes:demand", -128);
+        let doc = crate::json::parse_json(&log.to_trace_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        let c: Vec<_> =
+            events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("C")).collect();
+        assert_eq!(c.len(), 2, "both counter samples must render");
+        assert_eq!(c[0].get("name").unwrap().as_str(), Some("memory_live_bytes"));
+        assert_eq!(c[0].get("args").unwrap().get("value").unwrap().as_f64(), Some(4096.0));
+        assert_eq!(c[1].get("args").unwrap().get("value").unwrap().as_f64(), Some(-128.0));
+        // Samples respect the capacity bound alongside span events.
+        let tiny = Arc::new(SpanLog::new(1));
+        tiny.record_counter("a", 1);
+        tiny.record_counter("b", 2);
+        assert_eq!(tiny.counter_samples().len(), 1);
+        assert_eq!(tiny.dropped(), 1);
     }
 
     #[test]

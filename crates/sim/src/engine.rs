@@ -65,7 +65,7 @@ use paydemand_faults::{FaultInjector, RoundFaults, UploadFate};
 use paydemand_geo::mobility::{MobilityState, RandomWaypoint};
 use paydemand_geo::network::RoadNetwork;
 use paydemand_geo::{Point, PositionStore, Rect};
-use paydemand_obs::{Alerts, Counter, Gauge, Histogram, Recorder, TimeSeries};
+use paydemand_obs::{Alerts, AllocPhase, Counter, Gauge, Histogram, Recorder, TimeSeries};
 use paydemand_routing::CostMatrix;
 
 use crate::trace::{self, TraceEvent, TraceSink};
@@ -719,6 +719,7 @@ impl Engine {
         }
 
         if tracing {
+            let _trace_tag = self.recorder.alloc_phase(AllocPhase::Trace);
             for t in &published {
                 self.trace.record(TraceEvent::Publish { task: t.id.0 as u32, reward: t.reward });
             }
@@ -808,6 +809,7 @@ impl Engine {
                 continue;
             }
             let solve_start = self.metrics_on.then(Instant::now);
+            let selection_tag = self.recorder.alloc_phase(AllocPhase::Selection);
             let (outcome, stats) = solve_selection_with_stats(
                 self.selector.as_ref(),
                 self.scenario.selector,
@@ -828,7 +830,9 @@ impl Engine {
                 self.instruments.nodes_pruned.add(stats.nodes_pruned);
                 self.instruments.iterations.add(stats.iterations);
             }
+            drop(selection_tag);
             if tracing {
+                let _trace_tag = self.recorder.alloc_phase(AllocPhase::Trace);
                 self.trace.record(TraceEvent::Selection {
                     user: ui as u32,
                     solver: solver_code(self.scenario.selector),
@@ -841,6 +845,7 @@ impl Engine {
                 });
             }
             let settle_start = self.metrics_on.then(Instant::now);
+            let settlement_tag = self.recorder.alloc_phase(AllocPhase::Settlement);
             let mut payments = 0.0;
             let mut performed = 0usize;
             let mut faulted = false;
@@ -913,13 +918,16 @@ impl Engine {
                             self.workload.qualities[ui],
                             inj.rng(),
                         );
-                        self.pending.push(PendingUpload {
-                            user: ui,
-                            task,
-                            value,
-                            attempts: 0,
-                            due_round: round.saturating_add(due_in),
-                        });
+                        {
+                            let _queue_tag = self.recorder.alloc_phase(AllocPhase::RetryQueue);
+                            self.pending.push(PendingUpload {
+                                user: ui,
+                                task,
+                                value,
+                                attempts: 0,
+                                due_round: round.saturating_add(due_in),
+                            });
+                        }
                         performed += 1;
                         faulted = true;
                     }
@@ -950,6 +958,7 @@ impl Engine {
                 self.locations.set(ui, here);
             }
             user_selected[ui] = performed as u32;
+            drop(settlement_tag);
             if let Some(start) = settle_start {
                 let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 settlement_ns = settlement_ns.saturating_add(nanos);
@@ -958,6 +967,7 @@ impl Engine {
         self.platform.finish_round();
 
         if tracing {
+            let _trace_tag = self.recorder.alloc_phase(AllocPhase::Trace);
             for task in 0..m {
                 if self.platform.completed_round(TaskId(task)) == Ok(Some(round)) {
                     self.trace.record(TraceEvent::TaskComplete { task: task as u32, round });
@@ -1008,6 +1018,7 @@ impl Engine {
         drop(movement_span);
         drop(round_span);
         self.instruments.rounds_total.inc();
+        self.sample_round_memory();
         self.observe_round_telemetry(round);
 
         self.next_round += 1;
@@ -1017,6 +1028,23 @@ impl Engine {
             self.done = true;
         }
         Ok(true)
+    }
+
+    /// Publishes the round's memory families when alloc profiling is
+    /// on: structural byte accounting from the platform, then the
+    /// allocator's per-phase deltas via [`Recorder::sample_alloc`].
+    /// Runs before the telemetry snapshot so the time series (and the
+    /// alert rules) see this round's memory state. A no-op — no gauge
+    /// writes, no allocator reads — when profiling is off.
+    fn sample_round_memory(&mut self) {
+        if !self.recorder.alloc_profile_enabled() {
+            return;
+        }
+        let (cache_bytes, index_bytes) = self.platform.memory_bytes();
+        let clamp = |b: usize| i64::try_from(b).unwrap_or(i64::MAX);
+        self.recorder.gauge("memory_demand_cache_bytes").set(clamp(cache_bytes));
+        self.recorder.gauge("memory_neighbor_index_bytes").set(clamp(index_bytes));
+        self.recorder.sample_alloc();
     }
 
     /// Snapshots every metric family at the round boundary into the
@@ -1047,9 +1075,13 @@ impl Engine {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let queued = std::mem::take(&mut self.pending);
-        for mut up in queued {
+        // Queue churn (requeues, the swap vector) is retry-queue
+        // memory; the tag covers exactly the queue operations so the
+        // platform's own allocations keep their settlement accounting.
+        let mut queued = std::mem::take(&mut self.pending);
+        for mut up in queued.drain(..) {
             if up.due_round > round {
+                let _queue_tag = self.recorder.alloc_phase(AllocPhase::RetryQueue);
                 self.pending.push(up);
                 continue;
             }
@@ -1085,12 +1117,16 @@ impl Engine {
                         self.injector.as_mut().and_then(|inj| inj.retry_backoff(up.attempts));
                     if let Some(delay) = backoff {
                         up.due_round = round.saturating_add(delay);
+                        let _queue_tag = self.recorder.alloc_phase(AllocPhase::RetryQueue);
                         self.pending.push(up);
                     }
                 }
                 Err(e) => return Err(e.into()),
             }
         }
+        // Release the drained swap vector under the queue's tag.
+        let _queue_tag = self.recorder.alloc_phase(AllocPhase::RetryQueue);
+        drop(queued);
         Ok(())
     }
 
@@ -1102,6 +1138,7 @@ impl Engine {
     ///
     /// [`SimError::Checkpoint`] if the state cannot be captured.
     pub fn checkpoint(&self) -> Result<Vec<u8>, SimError> {
+        let _tag = self.recorder.alloc_phase(AllocPhase::Checkpoint);
         let bytes = crate::checkpoint::encode(self)?;
         self.recorder.counter("checkpoint_writes_total").inc();
         self.recorder.counter("checkpoint_bytes_total").add(bytes.len() as u64);
@@ -1132,7 +1169,14 @@ impl Engine {
     /// # Errors
     ///
     /// [`SimError::EngineInvariant`] if final bookkeeping is violated.
-    pub fn finish(self) -> Result<SimulationResult, SimError> {
+    pub fn finish(mut self) -> Result<SimulationResult, SimError> {
+        {
+            // Release the retry queue's backing buffer under its own
+            // tag, closing the queue's live-byte accounting at zero
+            // (pushes, churn and this final free all carry the tag).
+            let _queue_tag = self.recorder.alloc_phase(AllocPhase::RetryQueue);
+            self.pending = Vec::new();
+        }
         let m = self.workload.tasks.len();
         let mut received = Vec::with_capacity(m);
         let mut completed_round = Vec::with_capacity(m);

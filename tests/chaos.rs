@@ -211,6 +211,33 @@ fn zero_fault_plans_reproduce_the_golden_values() {
 }
 
 #[test]
+fn retry_queue_memory_drains_to_zero_live_bytes() {
+    // Straggler-heavy run: the pending-upload queue grows, churns and
+    // requeues for several rounds. Every queue allocation carries the
+    // retry-queue tag — pushes, the per-round swap vector, and the
+    // final release at `finish` — so the phase's byte accounting must
+    // close at exactly zero once the run completes.
+    use paydemand::obs::alloc::{self, AllocPhase};
+    let _window = alloc::exclusive_profile();
+    let recorder = Recorder::enabled();
+    recorder.enable_alloc_profile();
+    let before = alloc::phase_totals(AllocPhase::RetryQueue);
+    let plan = FaultPlan::new(9)
+        .with(FaultKind::StragglerUploads { rate: 0.6, max_retries: 3, backoff_rounds: 1 })
+        .with(FaultKind::BudgetShock { round: 5, factor: 0.4 });
+    let result = engine::run_recorded(&golden_scenario().with_faults(plan), &recorder).unwrap();
+    assert!(result.total_measurements() > 0);
+    let after = alloc::phase_totals(AllocPhase::RetryQueue);
+    assert!(after.allocs > before.allocs, "the straggler run never touched the retry queue");
+    assert_eq!(
+        after.bytes_allocated - before.bytes_allocated,
+        after.bytes_freed - before.bytes_freed,
+        "retry-queue bytes did not drain to zero after the run"
+    );
+    assert_eq!(after.live_bytes, before.live_bytes, "retry-queue live bytes leaked");
+}
+
+#[test]
 fn checkpointing_the_golden_run_preserves_the_golden_values() {
     let scenario = golden_scenario().with_faults(FaultPlan::new(1));
     let recorder = Recorder::disabled();

@@ -1,0 +1,196 @@
+//! Memory observability: the tracking allocator must be invisible.
+//!
+//! Three promises, pinned: (1) allocation profiling on vs off yields
+//! bit-identical simulation results across the whole thread matrix,
+//! against the golden seed-0xD5EED values; (2) a profiled run exports
+//! every per-phase memory family, and two engines racing on one shared
+//! recorder lose no allocator updates; (3) the CellSweep demand
+//! backend's steady-state delta rounds allocate nothing at 100k users.
+//!
+//! Every test that enables profiling holds the exclusive window so the
+//! exact-accounting assertions never see another test's enable cycle.
+
+use paydemand::geo::{CellSweeper, Point, PositionStore, Rect};
+use paydemand::obs::alloc::{self, AllocPhase, PhaseGuard};
+use paydemand::obs::Recorder;
+use paydemand::sim::{engine, runner, MechanismKind, Scenario, SelectorKind};
+
+/// The golden scenario from tests/determinism.rs.
+fn scenario() -> Scenario {
+    Scenario::paper_default()
+        .with_users(30)
+        .with_tasks(10)
+        .with_max_rounds(8)
+        .with_selector(SelectorKind::Dp { candidate_cap: Some(12) })
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(0xD5EED)
+}
+
+/// A fresh recorder with allocator profiling switched on.
+fn profiled_recorder() -> Recorder {
+    let recorder = Recorder::enabled();
+    recorder.enable_alloc_profile();
+    recorder
+}
+
+#[test]
+fn alloc_profiling_does_not_change_the_golden_run() {
+    let _window = alloc::exclusive_profile();
+    let off = engine::run(&scenario()).unwrap();
+    let on = engine::run_recorded(&scenario(), &profiled_recorder()).unwrap();
+    assert_eq!(off, on, "allocation profiling changed the simulation result");
+    assert_eq!(on.total_measurements(), 197, "total measurements moved");
+    assert_eq!(on.rounds[0].new_measurements.iter().sum::<u32>(), 81, "round-1 moved");
+    assert!((on.total_paid - 721.0).abs() < 1e-9, "payments moved: {}", on.total_paid);
+}
+
+#[test]
+fn alloc_profiling_does_not_change_results_across_threads() {
+    let _window = alloc::exclusive_profile();
+    let s = scenario();
+    let baseline = runner::run_repetitions_parallel(&s, 5, 1).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let batch = runner::run_repetitions_parallel_recorded(&s, 5, threads, &profiled_recorder())
+            .unwrap();
+        assert_eq!(baseline, batch, "{threads}-thread alloc-profiled batch diverged");
+    }
+}
+
+#[test]
+fn profiled_run_exports_every_memory_family() {
+    let _window = alloc::exclusive_profile();
+    let recorder = profiled_recorder();
+    engine::run_recorded(&scenario(), &recorder).unwrap();
+    let snap = recorder.snapshot();
+
+    // Every engine phase has the full family set, internally coherent.
+    for phase in ["demand", "pricing", "selection", "settlement", "movement"] {
+        let allocs = snap
+            .counter_value("alloc_allocs_total", Some(("phase", phase)))
+            .unwrap_or_else(|| panic!("missing alloc_allocs_total{{phase={phase}}}"));
+        let sizes = snap.histogram_snapshot("alloc_size_bytes", Some(("phase", phase))).unwrap();
+        assert_eq!(sizes.count, allocs, "phase {phase}: size classes disagree with allocs");
+        assert!(
+            snap.gauge_value("alloc_peak_live_bytes", Some(("phase", phase))).is_some(),
+            "phase {phase} has no peak gauge"
+        );
+    }
+    // The heavy phases demonstrably attribute work.
+    for phase in ["demand", "selection"] {
+        let allocs = snap.counter_value("alloc_allocs_total", Some(("phase", phase))).unwrap();
+        let bytes = snap.counter_value("alloc_bytes_total", Some(("phase", phase))).unwrap();
+        assert!(allocs > 0, "phase {phase} attributed no allocations");
+        assert!(bytes > 0, "phase {phase} attributed no bytes");
+    }
+    assert!(snap.gauge_value("memory_live_bytes", None).is_some());
+    assert!(snap.gauge_value("memory_demand_cache_bytes", None).is_some());
+    assert!(snap.gauge_value("memory_neighbor_index_bytes", None).is_some());
+    if alloc::process_rss().is_some() {
+        let rss = snap.gauge_value("process_rss_bytes", None).unwrap();
+        let peak = snap.gauge_value("process_peak_rss_bytes", None).unwrap();
+        assert!(rss > 0 && peak >= rss, "rss {rss} / peak {peak}");
+    }
+
+    // Both exporters and the profile table carry the families.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("alloc_bytes_total{phase=\"demand\"}"), "{prom}");
+    assert!(prom.contains("memory_live_bytes"), "{prom}");
+    let json = snap.to_json();
+    assert!(json.contains("\"memory_live_bytes\""), "{json}");
+    assert!(
+        snap.profile_table().contains("alloc_allocs_total"),
+        "no memory section in the profile table"
+    );
+}
+
+#[test]
+fn shared_recorder_loses_no_allocator_updates() {
+    // Two engines race on one profiled recorder; every tagged phase's
+    // alloc_* counters must equal the global per-phase delta over the
+    // window — exactly, no lost updates.
+    let _window = alloc::exclusive_profile();
+    let recorder = profiled_recorder();
+    let before = alloc::snapshot_phases();
+    let a = scenario();
+    let b = scenario().with_users(24).with_seed(0xB0B);
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(|| engine::run_recorded(&a, &recorder).unwrap());
+        let hb = scope.spawn(|| engine::run_recorded(&b, &recorder).unwrap());
+        let _ = (ha.join().unwrap(), hb.join().unwrap());
+    });
+    recorder.sample_alloc();
+    let after = alloc::snapshot_phases();
+    let snap = recorder.snapshot();
+    for phase in AllocPhase::ALL {
+        if phase == AllocPhase::Untagged {
+            continue; // polluted by every other thread in the process
+        }
+        let (cur, prev) = (&after[phase as usize], &before[phase as usize]);
+        let label = Some(("phase", phase.label()));
+        let allocs = snap.counter_value("alloc_allocs_total", label).unwrap_or(0);
+        let bytes = snap.counter_value("alloc_bytes_total", label).unwrap_or(0);
+        assert_eq!(allocs, cur.allocs - prev.allocs, "phase {} lost allocs", phase.label());
+        assert_eq!(
+            bytes,
+            cur.bytes_allocated - prev.bytes_allocated,
+            "phase {} lost bytes",
+            phase.label()
+        );
+    }
+}
+
+#[test]
+#[allow(clippy::cast_precision_loss)]
+fn cell_sweep_delta_rounds_allocate_nothing_at_scale() {
+    // The allocation-regression gate pins this via the scaling bench;
+    // here the claim is tested directly at the acceptance scale: after
+    // the priming sweep and one warm-up delta round, a 100k-user
+    // CellSweeper serves delta rounds without touching the allocator.
+    let _window = alloc::exclusive_profile();
+    let recorder = profiled_recorder(); // keeps global tracking alive
+    let n = 100_000usize;
+    let moves_per_round = 32usize;
+    let area = Rect::square(10_000.0).unwrap();
+    let tasks: Vec<Point> = (0..64)
+        .map(|i| {
+            Point::new(
+                f64::from(i % 8).mul_add(1200.0, 300.0),
+                f64::from(i / 8).mul_add(1200.0, 300.0),
+            )
+        })
+        .collect();
+    let mut sweeper = CellSweeper::new(area, 500.0, tasks);
+    let mut users = PositionStore::from_points(
+        &(0..n)
+            .map(|i| Point::new((i % 1000) as f64 * 10.0 + 0.5, (i / 1000) as f64 * 100.0 + 0.5))
+            .collect::<Vec<_>>(),
+    );
+    let shuffle = |users: &mut PositionStore, round: usize| {
+        for k in 0..moves_per_round {
+            let i = (round * 97 + k * 311) % n;
+            users.set(i, Point::new(((i + 7 * k) % 9999) as f64 + 0.25, (i % 9973) as f64 + 0.25));
+        }
+    };
+    // Priming full sweep, then one warm-up delta round sized like the
+    // steady-state rounds so the scratch buffers reach capacity.
+    sweeper.counts(&users, 1).unwrap();
+    shuffle(&mut users, 0);
+    sweeper.counts(&users, 1).unwrap();
+    assert!(!sweeper.last_was_full_sweep(), "warm-up round was not a delta sweep");
+
+    // Steady state: every subsequent delta round is allocation-free.
+    for round in 1..9usize {
+        shuffle(&mut users, round);
+        let _tag = PhaseGuard::enter(AllocPhase::Demand);
+        let before = alloc::phase_totals(AllocPhase::Demand);
+        sweeper.counts(&users, 1).unwrap();
+        let after = alloc::phase_totals(AllocPhase::Demand);
+        assert_eq!(
+            after.allocs - before.allocs,
+            0,
+            "round {round}: steady-state delta sweep allocated"
+        );
+        assert!(!sweeper.last_was_full_sweep(), "round {round} fell back to a full sweep");
+    }
+    drop(recorder);
+}
