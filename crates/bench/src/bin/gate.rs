@@ -1,8 +1,11 @@
 //! Bench regression gate: fails when a fresh `BENCH_scaling.json`
-//! regresses >25% against the committed baseline in any arm.
+//! regresses >25% against the committed baseline in any arm, or (in
+//! `--serve` mode) when a `BENCH_serve.json` written by the `loadgen`
+//! binary violates the daemon's robustness invariants.
 //!
 //! ```sh
 //! cargo run --release -p paydemand-bench --bin gate -- BASELINE FRESH
+//! cargo run --release -p paydemand-bench --bin gate -- --serve BENCH_serve.json
 //! ```
 //!
 //! Prints one verdict line per arm, reports the trace-journal overhead
@@ -12,11 +15,20 @@
 use std::process::ExitCode;
 
 use paydemand_bench::gate::{compare, parse, TELEMETRY_OVERHEAD_TARGET, TRACE_OVERHEAD_TARGET};
+use paydemand_bench::serve_gate::{check_serve, parse_serve};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let (Some(baseline_path), Some(fresh_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: gate BASELINE.json FRESH.json");
+    let first = args.next();
+    if first.as_deref() == Some("--serve") {
+        let Some(path) = args.next() else {
+            eprintln!("usage: gate --serve BENCH_serve.json");
+            return ExitCode::FAILURE;
+        };
+        return serve_gate(&path, args.any(|a| a == "--quick"));
+    }
+    let (Some(baseline_path), Some(fresh_path)) = (first, args.next()) else {
+        eprintln!("usage: gate BASELINE.json FRESH.json | gate --serve BENCH_serve.json [--quick]");
         return ExitCode::FAILURE;
     };
     let read = |path: &str| match std::fs::read_to_string(path) {
@@ -70,6 +82,48 @@ fn main() -> ExitCode {
     }
     if failures.is_empty() {
         println!("gate: ok ({} arms compared)", verdicts.len());
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("gate: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Validates a `BENCH_serve.json`. `--quick` waives the throughput
+/// floor (CI smoke runs shrink the plan below it by design) but keeps
+/// every other invariant.
+fn serve_gate(path: &str, quick: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse_serve(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serve: {} events at {:.0}/s, shed {}, attacks {} (hangs {}), restarts {}, \
+         recovery {}",
+        doc.events_accepted,
+        doc.events_per_sec,
+        doc.requests_shed,
+        doc.adversarial_requests,
+        doc.adversarial_hangs,
+        doc.worker_restarts,
+        doc.recovery_ms.map_or("none".to_owned(), |ms| format!("{ms:.1} ms")),
+    );
+    let failures: Vec<String> =
+        check_serve(&doc).into_iter().filter(|f| !(quick && f.contains("below the"))).collect();
+    if failures.is_empty() {
+        println!("gate: serve ok");
         ExitCode::SUCCESS
     } else {
         for failure in &failures {

@@ -1,0 +1,173 @@
+//! Daemon load test: start `paydemand serve`'s engine in-process, run
+//! the seeded honest + adversarial client plan against it, kill it the
+//! unceremonious way, time the `--resume` recovery, and write
+//! `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run --release -p paydemand-bench --bin loadgen -- \
+//!     [--seed N] [--out BENCH_serve.json] [--quick]
+//! ```
+//!
+//! The emitted document is validated by `gate --serve` (ingest
+//! throughput floor, zero adversarial hangs, zero worker panics,
+//! bounded recovery); `--quick` shrinks the plan for CI smoke runs
+//! while keeping every adversarial arm.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use paydemand_bench::serve_gate::{check_serve, parse_serve};
+use paydemand_obs::Recorder;
+use paydemand_serve::{run_load, Daemon, DaemonConfig, LoadPlan};
+use paydemand_sim::Scenario;
+
+/// Ingest queue sized to hold the whole gate plan, so throughput is
+/// measured against the WAL, not against queue backpressure.
+const QUEUE_CAPACITY: usize = 65_536;
+
+struct Args {
+    seed: u64,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 0xD5EED, out: PathBuf::from("BENCH_serve.json"), quick: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|e| format!("--seed `{v}`: {e}"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a path")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// A workload the plan cannot finish mid-run: plenty of rounds, users
+/// and tasks for the generated events to reference, and a budget deep
+/// enough that Eq. 9's base reward stays positive at 30 tasks.
+fn scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::paper_default()
+        .with_users(200)
+        .with_tasks(30)
+        .with_max_rounds(10_000)
+        .with_seed(seed);
+    s.reward_budget = 10_000.0;
+    s
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            eprintln!("usage: loadgen [--seed N] [--out PATH] [--quick]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let state_dir = std::env::temp_dir().join(format!("paydemand-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let mut config = DaemonConfig::new(scenario(args.seed), state_dir.clone());
+    config.queue_capacity = QUEUE_CAPACITY;
+    config.workers = 8;
+    // No checkpoint lands between the ticks below and the crash, so
+    // the --resume leg genuinely re-executes rounds from the WAL
+    // instead of waking up next to a fresh checkpoint.
+    config.checkpoint_every = 1_000;
+    let daemon = Daemon::start(config.clone(), &Recorder::enabled())
+        .map_err(|e| format!("starting daemon: {e}"))?;
+    let addr = daemon.local_addr();
+    eprintln!("loadgen: daemon on http://{addr}, state in {}", state_dir.display());
+
+    let mut plan = LoadPlan::gate_default(args.seed);
+    if args.quick {
+        plan.honest_clients = 2;
+        plan.requests_per_client = 10;
+        plan.batch_size = 100;
+        plan.adversarial_clients = 1;
+    }
+    let mut report = run_load(addr, &plan).map_err(|e| format!("load run: {e}"))?;
+    eprintln!(
+        "loadgen: {} events accepted at {:.0}/s, {} shed, {} attacks ({} hangs)",
+        report.events_accepted,
+        report.events_per_sec,
+        report.requests_shed,
+        report.adversarial_requests,
+        report.adversarial_hangs
+    );
+
+    // Fold a few rounds so the crash happens with real engine progress
+    // behind it, then leave a tail of acked-but-unapplied events in the
+    // WAL, then the kill-9 leg: no drain, no final checkpoint.
+    for _ in 0..3 {
+        daemon.tick().map_err(|e| format!("tick: {e}"))?;
+    }
+    let tail = LoadPlan {
+        seed: args.seed ^ 1,
+        honest_clients: 1,
+        adversarial_clients: 0,
+        requests_per_client: 2,
+        batch_size: 100,
+        attacks_per_client: 0,
+        request_timeout: plan.request_timeout,
+    };
+    let _ = run_load(addr, &tail).map_err(|e| format!("tail load: {e}"))?;
+    daemon.crash();
+
+    let recovery_started = Instant::now();
+    let mut resume_config = config;
+    resume_config.resume = true;
+    let resumed = Daemon::start(resume_config, &Recorder::enabled())
+        .map_err(|e| format!("--resume after kill-9: {e}"))?;
+    let recovery = recovery_started.elapsed();
+    report.recovery_ms = Some(recovery.as_secs_f64() * 1000.0);
+    eprintln!(
+        "loadgen: recovered in {:.1} ms ({} events replayed from the WAL)",
+        recovery.as_secs_f64() * 1000.0,
+        resumed.replayed_events()
+    );
+    resumed.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let json = report.to_json();
+    std::fs::write(&args.out, &json).map_err(|e| format!("writing {}: {e}", args.out.display()))?;
+    eprintln!("loadgen: wrote {}", args.out.display());
+
+    // Self-check against the gate's invariants so a bad run fails here,
+    // not one CI step later. --quick runs shrink below the throughput
+    // floor by design; they only validate the schema.
+    let doc = parse_serve(&json).map_err(|e| format!("self-emitted document invalid: {e}"))?;
+    let failures = check_serve(&doc);
+    let failures: Vec<&String> = if args.quick {
+        failures.iter().filter(|f| !f.contains("below the")).collect()
+    } else {
+        failures.iter().collect()
+    };
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        for failure in &failures {
+            eprintln!("loadgen: {failure}");
+        }
+        Err("robustness invariants violated".into())
+    }
+}

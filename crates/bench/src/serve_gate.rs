@@ -1,0 +1,216 @@
+//! Validation of `BENCH_serve.json`, the daemon load-test report the
+//! `loadgen` binary emits.
+//!
+//! Unlike the scaling gate (baseline-relative wall-clock comparison),
+//! the serve gate checks *absolute* robustness invariants: the daemon
+//! must sustain the ingest-throughput floor, answer every adversarial
+//! client within its deadlines, never lose a worker thread, and come
+//! back from the kill‑9 leg. Latency percentiles are reported but not
+//! gated — they vary too much across shared runners to pin.
+
+use paydemand_obs::{parse_json, JsonValue};
+
+/// Accepted events per second the daemon must sustain under the
+/// adversarial gate plan.
+pub const EVENTS_PER_SEC_FLOOR: f64 = 10_000.0;
+/// Upper bound on the `--resume` recovery leg, milliseconds. Generous:
+/// recovery replays the WAL and rewrites the checkpoint, both linear
+/// in the pending-event count.
+pub const RECOVERY_MS_CEILING: f64 = 30_000.0;
+
+/// The fields of one `BENCH_serve.json` the gate reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeDoc {
+    /// Plan seed, for reproduction.
+    pub seed: u64,
+    /// Honest requests sent / answered 202 / shed / failed.
+    pub requests_total: u64,
+    /// Honest requests answered 202.
+    pub requests_accepted: u64,
+    /// Honest requests shed with 429/503 backpressure.
+    pub requests_shed: u64,
+    /// Honest requests failing any other way.
+    pub requests_failed: u64,
+    /// Attacks performed.
+    pub adversarial_requests: u64,
+    /// Attacks that hung past their deadline.
+    pub adversarial_hangs: u64,
+    /// Events accepted into the WAL.
+    pub events_accepted: u64,
+    /// Accepted events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Latency percentiles, microseconds (reported, not gated).
+    pub latency_us: (u64, u64, u64),
+    /// Worker threads the supervisor replaced (must be 0).
+    pub worker_restarts: u64,
+    /// Daemon state label after the run.
+    pub daemon_state: String,
+    /// Kill‑9 `--resume` recovery time, milliseconds.
+    pub recovery_ms: Option<f64>,
+}
+
+/// Parses a `BENCH_serve.json` document.
+///
+/// # Errors
+///
+/// A message naming the missing or malformed field.
+pub fn parse_serve(doc: &str) -> Result<ServeDoc, String> {
+    let root = parse_json(doc).map_err(|e| format!("not JSON: {e}"))?;
+    if root.get("bench").and_then(JsonValue::as_str) != Some("serve") {
+        return Err("not a serve bench document (\"bench\" != \"serve\")".into());
+    }
+    let num = |name: &str| -> Result<f64, String> {
+        root.get(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("missing numeric field {name:?}"))
+    };
+    let count = |name: &str| -> Result<u64, String> { Ok(num(name)? as u64) };
+    let latency = root.get("latency_us").ok_or("missing \"latency_us\" object")?;
+    let pct = |name: &str| -> Result<u64, String> {
+        latency
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("latency_us lacks {name:?}"))
+    };
+    Ok(ServeDoc {
+        seed: count("seed")?,
+        requests_total: count("requests_total")?,
+        requests_accepted: count("requests_accepted")?,
+        requests_shed: count("requests_shed")?,
+        requests_failed: count("requests_failed")?,
+        adversarial_requests: count("adversarial_requests")?,
+        adversarial_hangs: count("adversarial_hangs")?,
+        events_accepted: count("events_accepted")?,
+        events_per_sec: num("events_per_sec")?,
+        latency_us: (pct("p50")?, pct("p99")?, pct("p999")?),
+        worker_restarts: count("worker_restarts")?,
+        daemon_state: root
+            .get("daemon_state")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"daemon_state\"")?
+            .to_owned(),
+        // `null` (no recovery leg) parses as absent.
+        recovery_ms: root.get("recovery_ms").and_then(JsonValue::as_f64),
+    })
+}
+
+/// Checks the robustness invariants. Empty = gate passes.
+#[must_use]
+pub fn check_serve(doc: &ServeDoc) -> Vec<String> {
+    let mut failures = Vec::new();
+    if doc.requests_total == 0 || doc.events_accepted == 0 {
+        failures.push("no honest traffic recorded; the run is vacuous".into());
+    }
+    if doc.requests_accepted + doc.requests_shed + doc.requests_failed != doc.requests_total {
+        failures.push(format!(
+            "request accounting does not add up: {} + {} + {} != {}",
+            doc.requests_accepted, doc.requests_shed, doc.requests_failed, doc.requests_total
+        ));
+    }
+    if doc.requests_failed > 0 {
+        failures.push(format!(
+            "{} honest request(s) failed outside the backpressure path",
+            doc.requests_failed
+        ));
+    }
+    if doc.events_per_sec < EVENTS_PER_SEC_FLOOR {
+        failures.push(format!(
+            "ingest throughput {:.0} events/s is below the {EVENTS_PER_SEC_FLOOR:.0} floor",
+            doc.events_per_sec
+        ));
+    }
+    if doc.adversarial_requests == 0 {
+        failures.push("no adversarial traffic ran; the hardening is untested".into());
+    }
+    if doc.adversarial_hangs > 0 {
+        failures.push(format!(
+            "{} adversarial request(s) hung past their deadline",
+            doc.adversarial_hangs
+        ));
+    }
+    if doc.worker_restarts > 0 {
+        failures.push(format!(
+            "{} worker(s) panicked under load (restarted by the supervisor)",
+            doc.worker_restarts
+        ));
+    }
+    if !matches!(doc.daemon_state.as_str(), "serving" | "finished") {
+        failures.push(format!("daemon ended in state {:?}", doc.daemon_state));
+    }
+    match doc.recovery_ms {
+        None => failures.push("no kill-9 recovery leg was measured".into()),
+        Some(ms) if ms > RECOVERY_MS_CEILING => {
+            failures.push(format!(
+                "--resume recovery took {ms:.0} ms (ceiling {RECOVERY_MS_CEILING:.0} ms)"
+            ));
+        }
+        Some(_) => {}
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_json(events_per_sec: f64, hangs: u64, restarts: u64, recovery: &str) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"seed\": 7,\n  \"requests_total\": 200,\n  \
+             \"requests_accepted\": 198,\n  \"requests_shed\": 2,\n  \"requests_failed\": 0,\n  \
+             \"adversarial_requests\": 18,\n  \"adversarial_hangs\": {hangs},\n  \
+             \"events_accepted\": 39600,\n  \"wall_seconds\": 1.5,\n  \
+             \"events_per_sec\": {events_per_sec:.1},\n  \"shed_rate\": 0.01,\n  \
+             \"latency_us\": {{\"p50\": 300, \"p99\": 2000, \"p999\": 9000}},\n  \
+             \"worker_restarts\": {restarts},\n  \"daemon_state\": \"serving\",\n  \
+             \"recovery_ms\": {recovery}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn healthy_documents_pass() {
+        let doc = parse_serve(&doc_json(26_400.0, 0, 0, "120.5")).unwrap();
+        assert_eq!(doc.requests_total, 200);
+        assert_eq!(doc.latency_us, (300, 2000, 9000));
+        assert_eq!(doc.recovery_ms, Some(120.5));
+        assert!(check_serve(&doc).is_empty(), "{:?}", check_serve(&doc));
+    }
+
+    #[test]
+    fn each_invariant_fails_on_its_own() {
+        let slow = parse_serve(&doc_json(9_000.0, 0, 0, "100")).unwrap();
+        assert!(check_serve(&slow).iter().any(|f| f.contains("below the 10000")), "{slow:?}");
+
+        let hung = parse_serve(&doc_json(26_400.0, 2, 0, "100")).unwrap();
+        assert!(check_serve(&hung).iter().any(|f| f.contains("hung past")), "{hung:?}");
+
+        let panicked = parse_serve(&doc_json(26_400.0, 0, 1, "100")).unwrap();
+        assert!(check_serve(&panicked).iter().any(|f| f.contains("panicked")), "{panicked:?}");
+
+        let unrecovered = parse_serve(&doc_json(26_400.0, 0, 0, "null")).unwrap();
+        assert_eq!(unrecovered.recovery_ms, None, "null recovery parses as absent");
+        assert!(check_serve(&unrecovered).iter().any(|f| f.contains("recovery leg")));
+
+        let glacial = parse_serve(&doc_json(26_400.0, 0, 0, "45000")).unwrap();
+        assert!(check_serve(&glacial).iter().any(|f| f.contains("ceiling")));
+
+        let mut failed = parse_serve(&doc_json(26_400.0, 0, 0, "100")).unwrap();
+        failed.requests_failed = 3;
+        failed.requests_shed = 0;
+        let failures = check_serve(&failed);
+        assert!(failures.iter().any(|f| f.contains("does not add up")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("failed outside")), "{failures:?}");
+
+        let mut dead = parse_serve(&doc_json(26_400.0, 0, 0, "100")).unwrap();
+        dead.daemon_state = "failed".to_owned();
+        assert!(check_serve(&dead).iter().any(|f| f.contains("state \"failed\"")));
+    }
+
+    #[test]
+    fn wrong_or_broken_documents_are_rejected() {
+        assert!(parse_serve("not json").is_err());
+        assert!(parse_serve("{\"bench\": \"scaling\"}").unwrap_err().contains("serve"));
+        let missing = doc_json(26_400.0, 0, 0, "100").replace("\"events_per_sec\": 26400.0,", "");
+        assert!(parse_serve(&missing).unwrap_err().contains("events_per_sec"));
+    }
+}

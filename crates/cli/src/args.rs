@@ -14,6 +14,10 @@ paydemand — demand-based dynamic incentives for mobile crowdsensing (ICDCS'18)
 USAGE:
     paydemand run     [OPTIONS]   run one configuration, print metrics
     paydemand compare [OPTIONS]   run every mechanism on identical workloads
+    paydemand serve   --state-dir DIR [OPTIONS]
+                                  run the crash-safe ingest daemon:
+                                  POST /events, GET /prices /demand
+                                  /status /metrics (see docs/SERVING.md)
     paydemand trace   SUBCOMMAND  inspect/explain/verify a decision journal
     paydemand alerts  PATH [--rule SPEC]... [--fatal]
                                   evaluate alert rules offline against a
@@ -100,6 +104,36 @@ OPTIONS (both commands):
                        e.g. --faults dropout:0.2,gps:25,outage:0.1
     --fault-seed N     fault-stream seed (needs --faults)  [default: 0]
 
+OPTIONS (serve only; the scenario flags --preset --users --tasks
+--rounds --area --radius --budget --seed --selector --travel
+--mechanism --enforce-budget apply as in `run`):
+    --state-dir DIR    directory for checkpoint.ck + events.wal
+                       (required; an occupied directory is refused
+                       unless --resume is passed)
+    --resume           continue from the state directory after a crash
+                       or kill -9: reload the checkpoint, replay the
+                       WAL, continue bit-identically
+    --addr ADDR        bind address [default: 127.0.0.1:9300]
+                       (port 0 picks a free one, printed on startup)
+    --tick-ms N        advance one round every N milliseconds;
+                       0 = rounds advance only via POST /tick
+                       [default: 1000]
+    --queue-cap N      ingest queue capacity in events; past it,
+                       requests are shed with 429 + Retry-After
+                       [default: 4096]
+    --http-workers N   connection worker threads (panic-isolated,
+                       restarted by the supervisor)   [default: 4]
+    --checkpoint-every-ticks N
+                       checkpoint + compact the WAL every N ticks
+                       [default: 1]
+    --max-body-bytes N largest accepted request body  [default: 262144]
+    --no-fsync         skip the per-append WAL fsync (throughput
+                       experiments only; weakens kill -9 durability)
+    --timeseries-out PATH   write the per-round series on shutdown
+                       (same format as run's; feeds `paydemand alerts`)
+    --debug-panic-route     expose POST /debug/panic, which kills the
+                       handling worker (supervisor testing only)
+
 OPTIONS (run only):
     --mechanism NAME   on-demand | fixed | steered | steered-paper |
                        proportional | hybrid:ALPHA     [default: on-demand]
@@ -123,10 +157,41 @@ pub enum Command {
     Run(Options),
     /// Run all paper mechanisms on the same workloads.
     Compare(Options),
+    /// Run the long-lived ingest daemon.
+    Serve(Box<ServeCommand>),
     /// Inspect, explain, diff, export, or verify a decision journal.
     Trace(TraceCommand),
     /// Evaluate alert rules offline against a saved time series.
     Alerts(AlertsCommand),
+}
+
+/// A `paydemand serve` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCommand {
+    /// The scenario the daemon's engine runs.
+    pub scenario: Scenario,
+    /// Bind address; port 0 picks a free one.
+    pub addr: String,
+    /// Directory holding `checkpoint.ck` and `events.wal`.
+    pub state_dir: String,
+    /// Continue from the state directory's checkpoint + WAL.
+    pub resume: bool,
+    /// Milliseconds between automatic ticks; 0 = manual `POST /tick`.
+    pub tick_ms: u64,
+    /// Ingest queue capacity in events.
+    pub queue_cap: usize,
+    /// Connection worker threads.
+    pub http_workers: usize,
+    /// Checkpoint (and WAL-compaction) cadence in ticks.
+    pub checkpoint_every_ticks: u32,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+    /// Skip the per-append WAL fsync (throughput experiments only).
+    pub no_fsync: bool,
+    /// Write the per-round time series here on shutdown.
+    pub timeseries_out: Option<String>,
+    /// Expose `POST /debug/panic` for supervisor testing.
+    pub debug_panic_route: bool,
 }
 
 /// A `paydemand alerts` invocation.
@@ -266,6 +331,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut it = argv.iter().map(String::as_str);
     let sub = match it.next() {
         None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
+        Some("serve") => return parse_serve(&mut it),
         Some("trace") => return parse_trace(&mut it),
         Some("alerts") => return parse_alerts(&mut it),
         Some(sub @ ("run" | "compare")) => sub,
@@ -407,6 +473,95 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "run" => Command::Run(options),
         _ => Command::Compare(options),
     })
+}
+
+/// Parses the `paydemand serve` tail: daemon knobs plus the shared
+/// scenario flags (a subset of `run`'s; one scenario, no repetitions).
+fn parse_serve<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, String> {
+    let mut scenario = Scenario::paper_default().with_seed(24157);
+    let mut addr = "127.0.0.1:9300".to_string();
+    let mut state_dir: Option<String> = None;
+    let mut resume = false;
+    let mut tick_ms = 1000u64;
+    let mut queue_cap = 4096usize;
+    let mut http_workers = 4usize;
+    let mut checkpoint_every_ticks = 1u32;
+    let mut max_body_bytes = 256 * 1024usize;
+    let mut no_fsync = false;
+    let mut timeseries_out: Option<String> = None;
+    let mut debug_panic_route = false;
+
+    while let Some(flag) = it.next() {
+        match flag {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--resume" => resume = true,
+            "--no-fsync" => no_fsync = true,
+            "--debug-panic-route" => debug_panic_route = true,
+            "--enforce-budget" => scenario.enforce_budget = true,
+            "--preset" => {
+                let name = it.next().ok_or("--preset needs a name")?;
+                let seed = scenario.seed;
+                scenario = paydemand_sim::presets::by_name(name)
+                    .ok_or_else(|| {
+                        let names: Vec<&str> =
+                            paydemand_sim::presets::all().iter().map(|(n, _)| *n).collect();
+                        format!("unknown preset `{name}`; available: {names:?}")
+                    })?
+                    .with_seed(seed);
+            }
+            _ => {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--users" => scenario.users = parse_num(flag, value)?,
+                    "--tasks" => scenario.tasks = parse_num(flag, value)?,
+                    "--rounds" => scenario.max_rounds = parse_num(flag, value)?,
+                    "--area" => scenario.area_side = parse_num(flag, value)?,
+                    "--radius" => scenario.neighbor_radius = parse_num(flag, value)?,
+                    "--budget" => scenario.reward_budget = parse_num(flag, value)?,
+                    "--seed" => scenario.seed = parse_num(flag, value)?,
+                    "--selector" => scenario.selector = parse_selector(value)?,
+                    "--travel" => scenario.travel = parse_travel(value)?,
+                    "--mechanism" => scenario.mechanism = parse_mechanism(value)?,
+                    "--addr" => addr = value.to_string(),
+                    "--state-dir" => state_dir = Some(value.to_string()),
+                    "--tick-ms" => tick_ms = parse_num(flag, value)?,
+                    "--queue-cap" => queue_cap = parse_num(flag, value)?,
+                    "--http-workers" => http_workers = parse_num(flag, value)?,
+                    "--checkpoint-every-ticks" => {
+                        checkpoint_every_ticks = parse_num(flag, value)?;
+                    }
+                    "--max-body-bytes" => max_body_bytes = parse_num(flag, value)?,
+                    "--timeseries-out" => timeseries_out = Some(value.to_string()),
+                    other => return Err(format!("unknown flag `{other}` for `serve`")),
+                }
+            }
+        }
+    }
+    let state_dir = state_dir.ok_or("serve needs --state-dir DIR (checkpoint + WAL home)")?;
+    if queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    if http_workers == 0 {
+        return Err("--http-workers must be at least 1".into());
+    }
+    if checkpoint_every_ticks == 0 {
+        return Err("--checkpoint-every-ticks must be at least 1".into());
+    }
+    scenario.validate().map_err(|e| e.to_string())?;
+    Ok(Command::Serve(Box::new(ServeCommand {
+        scenario,
+        addr,
+        state_dir,
+        resume,
+        tick_ms,
+        queue_cap,
+        http_workers,
+        checkpoint_every_ticks,
+        max_body_bytes,
+        no_fsync,
+        timeseries_out,
+        debug_panic_route,
+    })))
 }
 
 fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, String> {
@@ -1040,6 +1195,74 @@ mod tests {
         assert!(parse(&argv("alerts /a --rule nonsense")).unwrap_err().contains("expected"));
         assert!(parse(&argv("alerts /a --banana")).unwrap_err().contains("unknown flag"));
         assert_eq!(parse(&argv("alerts --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn serve_defaults_and_full_flag_set_parse() {
+        let Command::Serve(cmd) = parse(&argv("serve --state-dir /tmp/pd-state")).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(cmd.state_dir, "/tmp/pd-state");
+        assert_eq!(cmd.addr, "127.0.0.1:9300");
+        assert_eq!(cmd.tick_ms, 1000);
+        assert_eq!(cmd.queue_cap, 4096);
+        assert_eq!(cmd.http_workers, 4);
+        assert_eq!(cmd.checkpoint_every_ticks, 1);
+        assert_eq!(cmd.max_body_bytes, 256 * 1024);
+        assert!(!cmd.resume && !cmd.no_fsync && !cmd.debug_panic_route);
+        assert_eq!(cmd.timeseries_out, None);
+        assert_eq!(cmd.scenario.seed, 24157);
+
+        let Command::Serve(full) = parse(&argv(
+            "serve --state-dir /d --resume --addr 0.0.0.0:0 --tick-ms 0 \
+             --queue-cap 64 --http-workers 2 --checkpoint-every-ticks 3 \
+             --max-body-bytes 1024 --no-fsync --timeseries-out /tmp/ts.json \
+             --debug-panic-route --users 30 --tasks 10 --rounds 8 --seed 7 \
+             --selector greedy --mechanism fixed --enforce-budget",
+        ))
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert!(full.resume && full.no_fsync && full.debug_panic_route);
+        assert_eq!(full.addr, "0.0.0.0:0");
+        assert_eq!(full.tick_ms, 0, "0 means manual POST /tick");
+        assert_eq!(full.queue_cap, 64);
+        assert_eq!(full.http_workers, 2);
+        assert_eq!(full.checkpoint_every_ticks, 3);
+        assert_eq!(full.max_body_bytes, 1024);
+        assert_eq!(full.timeseries_out.as_deref(), Some("/tmp/ts.json"));
+        assert_eq!(full.scenario.users, 30);
+        assert_eq!(full.scenario.seed, 7);
+        assert_eq!(full.scenario.selector, SelectorKind::Greedy);
+        assert_eq!(full.scenario.mechanism, MechanismKind::Fixed);
+        assert!(full.scenario.enforce_budget);
+    }
+
+    #[test]
+    fn serve_errors_name_the_problem() {
+        assert!(parse(&argv("serve")).unwrap_err().contains("--state-dir"));
+        assert!(parse(&argv("serve --state-dir /d --queue-cap 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("serve --state-dir /d --http-workers 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("serve --state-dir /d --checkpoint-every-ticks 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("serve --state-dir /d --reps 3"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&argv("serve --state-dir /d --users 0")).unwrap_err().contains("users"));
+        assert_eq!(parse(&argv("serve --help")).unwrap(), Command::Help);
+        // Presets compose like in `run`.
+        let Command::Serve(preset) =
+            parse(&argv("serve --state-dir /d --preset dense-downtown --users 33")).unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(preset.scenario.area_side, 1500.0);
+        assert_eq!(preset.scenario.users, 33);
     }
 
     #[test]

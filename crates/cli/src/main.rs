@@ -11,6 +11,7 @@ use std::process::ExitCode;
 mod alerts_cmd;
 mod args;
 mod commands;
+mod serve_cmd;
 mod trace_cmd;
 
 fn main() -> ExitCode {
@@ -22,6 +23,13 @@ fn main() -> ExitCode {
         }
         Ok(args::Command::Run(opts)) => run_or_report(commands::run(&opts)),
         Ok(args::Command::Compare(opts)) => run_or_report(commands::compare(&opts)),
+        Ok(args::Command::Serve(cmd)) => match serve_cmd::dispatch(&cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(args::Command::Trace(cmd)) => match trace_cmd::dispatch(&cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {

@@ -1,0 +1,146 @@
+//! Implementation of the `paydemand serve` subcommand: run the
+//! crash-safe ingest daemon until SIGTERM/SIGINT or `POST /shutdown`,
+//! then print the final accounting.
+//!
+//! The daemon itself lives in the `paydemand-serve` crate; this module
+//! only maps parsed flags onto a [`DaemonConfig`], attaches the
+//! telemetry the flags ask for, and renders the [`ShutdownReport`].
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use paydemand_obs::{Alerts, Recorder, TimeSeries};
+use paydemand_serve::{Daemon, DaemonConfig, ShutdownReport};
+
+use crate::args::ServeCommand;
+
+/// Retained round samples for `--timeseries-out` (a daemon can run
+/// indefinitely; the ring keeps the most recent rounds).
+const TIMESERIES_CAP: usize = 4096;
+
+/// Runs the daemon to completion. Blocks until shutdown.
+pub fn dispatch(cmd: &ServeCommand) -> Result<(), String> {
+    let recorder = Recorder::enabled();
+    if cmd.timeseries_out.is_some() {
+        let rounds = (cmd.scenario.max_rounds as usize).clamp(1, TIMESERIES_CAP);
+        recorder.attach_timeseries(&TimeSeries::with_capacity(rounds));
+        recorder.attach_alerts(&Alerts::with_defaults());
+    }
+    let daemon = Daemon::start(build_config(cmd), &recorder).map_err(|e| e.to_string())?;
+    println!("serve: listening on http://{}", daemon.local_addr());
+    if cmd.resume {
+        println!(
+            "serve: resumed from {} (replayed {} journaled events)",
+            cmd.state_dir,
+            daemon.replayed_events()
+        );
+    }
+    match cmd.tick_ms {
+        0 => println!("serve: manual rounds — advance with POST /tick"),
+        ms => println!("serve: one round every {ms} ms"),
+    }
+    let report = daemon.run().map_err(|e| e.to_string())?;
+    if let Some(path) = &cmd.timeseries_out {
+        let series = recorder.timeseries();
+        let payload = if path.ends_with(".csv") { series.to_csv() } else { series.to_json() };
+        std::fs::write(path, payload)
+            .map_err(|e| format!("writing --timeseries-out {path}: {e}"))?;
+        println!("timeseries: wrote {} round samples -> {path}", series.len());
+    }
+    print!("{}", render(&report));
+    Ok(())
+}
+
+/// Maps the parsed flags onto the daemon's configuration.
+fn build_config(cmd: &ServeCommand) -> DaemonConfig {
+    let mut config = DaemonConfig::new(cmd.scenario.clone(), PathBuf::from(&cmd.state_dir));
+    config.addr.clone_from(&cmd.addr);
+    config.resume = cmd.resume;
+    config.tick_interval = match cmd.tick_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    config.queue_capacity = cmd.queue_cap;
+    config.workers = cmd.http_workers;
+    config.checkpoint_every = cmd.checkpoint_every_ticks;
+    config.limits.max_body_bytes = cmd.max_body_bytes;
+    config.fsync = !cmd.no_fsync;
+    config.debug_panic_route = cmd.debug_panic_route;
+    config
+}
+
+/// Renders the final accounting, one `key value` row per line.
+fn render(report: &ShutdownReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "serve: shut down cleanly");
+    let _ = writeln!(out, "  rounds_run       {}", report.rounds_run);
+    let _ = writeln!(out, "  finished         {}", report.finished);
+    let _ = writeln!(out, "  total_paid       {}", report.total_paid);
+    let _ = writeln!(out, "  ingested_events  {}", report.ingested_events);
+    let _ = writeln!(out, "  replayed_events  {}", report.replayed_events);
+    let _ = writeln!(out, "  shed_events      {}", report.shed_events);
+    let _ = writeln!(out, "  worker_restarts  {}", report.worker_restarts);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn serve_cmd(tail: &str) -> ServeCommand {
+        let argv: Vec<String> =
+            format!("serve {tail}").split_whitespace().map(str::to_string).collect();
+        match parse(&argv).unwrap() {
+            crate::args::Command::Serve(cmd) => *cmd,
+            other => panic!("expected serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_mirrors_the_flags() {
+        let cmd = serve_cmd(
+            "--state-dir /tmp/pd --resume --addr 127.0.0.1:0 --tick-ms 0 \
+             --queue-cap 16 --http-workers 2 --checkpoint-every-ticks 5 \
+             --max-body-bytes 2048 --no-fsync --debug-panic-route",
+        );
+        let config = build_config(&cmd);
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.state_dir, PathBuf::from("/tmp/pd"));
+        assert!(config.resume);
+        assert_eq!(config.tick_interval, None, "0 means manual ticks");
+        assert_eq!(config.queue_capacity, 16);
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.checkpoint_every, 5);
+        assert_eq!(config.limits.max_body_bytes, 2048);
+        assert!(!config.fsync);
+        assert!(config.debug_panic_route);
+
+        let timed = build_config(&serve_cmd("--state-dir /d --tick-ms 250"));
+        assert_eq!(timed.tick_interval, Some(Duration::from_millis(250)));
+        assert!(timed.fsync, "fsync is on unless --no-fsync");
+    }
+
+    #[test]
+    fn report_renders_every_field() {
+        let report = ShutdownReport {
+            rounds_run: 8,
+            finished: true,
+            total_paid: 721.0,
+            ingested_events: 12,
+            replayed_events: 3,
+            shed_events: 1,
+            worker_restarts: 0,
+        };
+        let text = render(&report);
+        for needle in [
+            "rounds_run       8",
+            "finished         true",
+            "total_paid       721",
+            "shed_events      1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

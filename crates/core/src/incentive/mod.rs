@@ -59,8 +59,9 @@ pub struct DemandBreakdown {
 /// Mechanisms may be stateful (the fixed baseline remembers its random
 /// levels; mechanisms could track spend) and may use randomness through
 /// the supplied RNG — never through a global one, so experiments stay
-/// reproducible.
-pub trait IncentiveMechanism: std::fmt::Debug {
+/// reproducible. The `Send` bound lets an engine holding a boxed
+/// mechanism be parked behind a mutex and served from worker threads.
+pub trait IncentiveMechanism: std::fmt::Debug + Send {
     /// A short, stable, human-readable mechanism name (used in reports
     /// and figure legends, e.g. `"on-demand"`).
     fn name(&self) -> &'static str;

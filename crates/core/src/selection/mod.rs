@@ -278,8 +278,9 @@ pub struct SolveStats {
     pub iterations: u64,
 }
 
-/// A task-selection strategy.
-pub trait TaskSelector: std::fmt::Debug {
+/// A task-selection strategy. `Send` so an engine holding a boxed
+/// selector can move between (or be shared across) threads.
+pub trait TaskSelector: std::fmt::Debug + Send {
     /// A short, stable name for reports (e.g. `"dp"`, `"greedy"`).
     fn name(&self) -> &'static str;
 

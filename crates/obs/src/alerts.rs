@@ -119,10 +119,13 @@ impl AlertRule {
     /// | `solve_latency_p99_regression` | per-round `selector_solve_seconds:p99 > 0.05` (50 ms) for 2 rounds |
     /// | `memory_leak_suspected` | live heap strictly grows (`memory_live_bytes:delta > 0`) for 5 consecutive rounds |
     /// | `peak_rss_high` | `process_peak_rss_bytes >= 2 GiB` for 1 round |
+    /// | `ingest_queue_saturation` | the daemon's ingest queue is ≥ 90% full (`ingest_queue_saturation_permille >= 900`) for 3 rounds |
+    /// | `ingest_shedding` | the daemon shed events (`shed_total:delta > 0`) for 2 rounds |
     ///
     /// The two memory rules reference families that only exist when
-    /// alloc profiling is on; on unprofiled runs the keys stay absent
-    /// and the rules never accumulate a streak.
+    /// alloc profiling is on, and the two ingest rules families only
+    /// the `paydemand serve` daemon emits; where the keys stay absent
+    /// the rules never accumulate a streak.
     #[must_use]
     pub fn defaults() -> Vec<AlertRule> {
         let rule = |name: &str, metric: &str, comparator, threshold, for_rounds| AlertRule {
@@ -157,6 +160,14 @@ impl AlertRule {
             ),
             rule("memory_leak_suspected", "memory_live_bytes:delta", Comparator::Gt, 0.0, 5),
             rule("peak_rss_high", "process_peak_rss_bytes", Comparator::Ge, 2_147_483_648.0, 1),
+            rule(
+                "ingest_queue_saturation",
+                "ingest_queue_saturation_permille",
+                Comparator::Ge,
+                900.0,
+                3,
+            ),
+            rule("ingest_shedding", "shed_total:delta", Comparator::Gt, 0.0, 2),
         ]
     }
 
@@ -774,6 +785,53 @@ mod tests {
     }
 
     #[test]
+    fn ingest_queue_saturation_rule_fires_after_three_hot_rounds() {
+        let alerts = Alerts::with_defaults();
+        let recorder = Recorder::enabled();
+        let saturation = |permille: i64| {
+            snap(|r| {
+                r.gauge("ingest_queue_saturation_permille").set(permille);
+            })
+        };
+        alerts.evaluate(1, &saturation(950), &recorder);
+        alerts.evaluate(2, &saturation(900), &recorder);
+        assert_eq!(alerts.fired_total(), 0, "two hot rounds are not enough");
+        alerts.evaluate(3, &saturation(980), &recorder);
+        let events = alerts.events();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].rule, "ingest_queue_saturation");
+        assert_eq!(events[0].round, 3);
+        // Dipping below 90% clears the streak.
+        alerts.evaluate(4, &saturation(500), &recorder);
+        alerts.evaluate(5, &saturation(950), &recorder);
+        alerts.evaluate(6, &saturation(950), &recorder);
+        assert_eq!(alerts.fired_total(), 1, "streak was reset by the cool round");
+    }
+
+    #[test]
+    fn ingest_shedding_rule_watches_the_per_round_delta() {
+        let alerts = Alerts::with_defaults();
+        let recorder = Recorder::enabled();
+        let shed = |total: u64| {
+            snap(|r| {
+                r.counter("shed_total").add(total);
+            })
+        };
+        // Cumulative 5 → 5 → 9: sheds in rounds 1 and 3, none in 2 —
+        // the flat round must reset the streak even though the
+        // cumulative counter stays positive.
+        alerts.evaluate(1, &shed(5), &recorder);
+        alerts.evaluate(2, &shed(5), &recorder);
+        alerts.evaluate(3, &shed(9), &recorder);
+        assert_eq!(alerts.fired_total(), 0, "never two shedding rounds in a row");
+        alerts.evaluate(4, &shed(12), &recorder);
+        let events = alerts.events();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].rule, "ingest_shedding");
+        assert_eq!(events[0].round, 4);
+    }
+
+    #[test]
     fn disabled_handle_is_inert_and_exports_empty() {
         let alerts = Alerts::disabled();
         assert!(!alerts.is_enabled());
@@ -793,7 +851,7 @@ mod tests {
         alerts.evaluate(1, &hot, &recorder);
         alerts.evaluate(2, &hot, &recorder);
         let doc = crate::json::parse_json(&alerts.to_json()).unwrap();
-        assert_eq!(doc.get("rules").unwrap().as_array().unwrap().len(), 6);
+        assert_eq!(doc.get("rules").unwrap().as_array().unwrap().len(), 8);
         let fired = doc.get("fired").unwrap().as_array().unwrap();
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].get("rule").unwrap().as_str(), Some("budget_overrun_proximity"));

@@ -79,6 +79,22 @@
 //! | `memory_demand_cache_bytes` | gauge | Approximate heap footprint of the demand cache. |
 //! | `memory_neighbor_index_bytes` | gauge | Approximate heap footprint of the neighbour index / cell sweeper. |
 //!
+//! The `paydemand serve` daemon (the `paydemand-serve` crate) emits
+//! its ingest families through the same recorder, so they land in the
+//! time series and replay through `paydemand alerts` offline:
+//!
+//! | Metric | Kind | Meaning |
+//! |---|---|---|
+//! | `ingest_events_total` | counter | External events accepted (202) into the WAL. |
+//! | `ingest_rejected_total{reason}` | counter | Rejected ingest requests: `queue_full`, `bad_json`, `schema`, `validation`, `finished`, `draining`, `overloaded`. |
+//! | `queue_depth` | gauge | Events waiting in the bounded ingest queue. |
+//! | `ingest_queue_saturation_permille` | gauge | Queue depth as ‰ of capacity (the saturation alert watches this). |
+//! | `shed_total` | counter | Events refused with 429 because the queue was full. |
+//! | `worker_restarts_total` | counter | Connection workers respawned by the supervisor after a panic. |
+//! | `http_requests_total` | counter | Well-formed HTTP requests served. |
+//! | `external_uploads_total` | counter | External uploads settled by the engine. |
+//! | `external_uploads_rejected_total{reason}` | counter | External uploads dropped at settlement: `task_complete`, `duplicate`, `budget`. |
+//!
 //! # Live telemetry
 //!
 //! Beyond point-in-time snapshots, a recorder can carry optional

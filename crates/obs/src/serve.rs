@@ -25,12 +25,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::recorder::Recorder;
 
-/// Longest accepted request head; more is answered with 400.
+/// Longest accepted request head; more is answered with 431.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Longest accepted request line; more is answered with 414.
+const MAX_REQUEST_LINE_BYTES: usize = 2 * 1024;
+/// Wall-clock budget for receiving the complete head. This is a
+/// *total* deadline: the read timeout is re-armed with the remaining
+/// budget before every read, so a client trickling one byte per second
+/// cannot hold the serving thread by resetting a per-read timer.
+const HEAD_DEADLINE: Duration = Duration::from_secs(2);
 
 /// A handle to the background serving thread.
 #[derive(Debug)]
@@ -82,17 +89,28 @@ fn serve_loop(listener: &TcpListener, recorder: &Recorder, shutdown: &AtomicBool
             return;
         }
         let Ok(stream) = stream else { continue };
-        // A stalled client must not wedge the (single) serving thread.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        // A stalled client must not wedge the (single) serving thread;
+        // read_head re-arms the read timeout against a total deadline.
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
         handle_connection(stream, recorder);
     }
 }
 
 fn handle_connection(mut stream: TcpStream, recorder: &Recorder) {
-    let Some(request_line) = read_request_line(&mut stream) else {
-        respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n");
-        return;
+    let request_line = match read_request_line(&mut stream) {
+        Ok(line) => line,
+        Err(error) => {
+            let (status, message) = match error {
+                HeadError::Timeout => (408, "request head not received in time\n"),
+                HeadError::TooLarge => (431, "request head too large\n"),
+                HeadError::LineTooLong => (414, "request line too long\n"),
+                HeadError::Malformed => (400, "bad request\n"),
+                // The peer is gone (or never spoke); nobody to answer.
+                HeadError::Closed => return,
+            };
+            respond(&mut stream, status, "text/plain; charset=utf-8", message);
+            return;
+        }
     };
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
@@ -127,24 +145,77 @@ fn handle_connection(mut stream: TcpStream, recorder: &Recorder) {
     }
 }
 
+/// Why a request head could not be read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadError {
+    /// The total head deadline expired (silent or trickling client).
+    Timeout,
+    /// The head outgrew [`MAX_REQUEST_BYTES`] without terminating.
+    TooLarge,
+    /// The request line outgrew [`MAX_REQUEST_LINE_BYTES`].
+    LineTooLong,
+    /// Not UTF-8, or no request line at all.
+    Malformed,
+    /// The client hung up before completing the head.
+    Closed,
+}
+
 /// Reads up to the end of the request head and returns its first line.
-/// `None` on timeouts, oversized heads, or non-UTF-8 garbage.
-fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+///
+/// Hostile-input hardening, each with its own failure: the *total*
+/// time across all reads is bounded by [`HEAD_DEADLINE`] (the read
+/// timeout is re-armed with the remaining budget each iteration, so a
+/// slow-loris trickle gains nothing), the head is bounded by
+/// [`MAX_REQUEST_BYTES`] — an over-long head is an error, never served
+/// truncated — and the request line by [`MAX_REQUEST_LINE_BYTES`].
+fn read_request_line(stream: &mut TcpStream) -> Result<String, HeadError> {
+    let start = Instant::now();
     let mut head = Vec::new();
     let mut chunk = [0u8; 1024];
-    loop {
-        let n = stream.read(&mut chunk).ok()?;
-        if n == 0 {
-            break;
-        }
+    let complete = loop {
+        let remaining = HEAD_DEADLINE
+            .checked_sub(start.elapsed())
+            .filter(|d| !d.is_zero())
+            .ok_or(HeadError::Timeout)?;
+        stream.set_read_timeout(Some(remaining)).map_err(|_| HeadError::Closed)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break false,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(HeadError::Timeout);
+            }
+            Err(_) => return Err(HeadError::Closed),
+        };
         head.extend_from_slice(&chunk[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
-            break;
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break true;
         }
+        if head.len() >= MAX_REQUEST_BYTES {
+            return Err(HeadError::TooLarge);
+        }
+        // Enforced before the head terminator arrives, so an unbounded
+        // first line cannot ride in under the head cap.
+        if !head.contains(&b'\n') && head.len() > MAX_REQUEST_LINE_BYTES {
+            return Err(HeadError::LineTooLong);
+        }
+    };
+    if !complete && head.is_empty() {
+        return Err(HeadError::Closed);
     }
-    let text = std::str::from_utf8(&head).ok()?;
-    let line = text.lines().next()?.trim();
-    (!line.is_empty()).then(|| line.to_owned())
+    let text = std::str::from_utf8(&head).map_err(|_| HeadError::Malformed)?;
+    let line = text.lines().next().ok_or(HeadError::Malformed)?.trim();
+    if line.len() > MAX_REQUEST_LINE_BYTES {
+        return Err(HeadError::LineTooLong);
+    }
+    if line.is_empty() {
+        return Err(HeadError::Malformed);
+    }
+    Ok(line.to_owned())
 }
 
 fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
@@ -153,6 +224,9 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
         _ => "Error",
     };
     let head = format!(
@@ -224,7 +298,7 @@ mod tests {
         let (status, _, body) = get(addr, "/alerts.json");
         assert_eq!(status, 200);
         let alerts = crate::json::parse_json(&body).unwrap();
-        assert_eq!(alerts.get("rules").unwrap().as_array().unwrap().len(), 6);
+        assert_eq!(alerts.get("rules").unwrap().as_array().unwrap().len(), 8);
 
         let (status, _, _) = get(addr, "/nope");
         assert_eq!(status, 404);
@@ -258,6 +332,84 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.stop();
+    }
+
+    #[test]
+    fn silent_client_cannot_wedge_the_serve_loop() {
+        let server = MetricsServer::start("127.0.0.1:0", fixture_recorder()).unwrap();
+        let addr = server.local_addr();
+        // Connects, says nothing, holds the socket open well past the
+        // head deadline. The serving thread must cut it off and keep
+        // serving other clients.
+        let silent = TcpStream::connect(addr).unwrap();
+        let started = Instant::now();
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(
+            started.elapsed() < HEAD_DEADLINE + Duration::from_secs(3),
+            "silent client wedged the loop for {:?}",
+            started.elapsed()
+        );
+        drop(silent);
+        server.stop();
+    }
+
+    #[test]
+    fn slow_trickle_is_bounded_by_the_total_deadline() {
+        let server = MetricsServer::start("127.0.0.1:0", fixture_recorder()).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let started = Instant::now();
+        // Each write is far inside a naive per-read window; the sum
+        // crosses the total deadline, which must win.
+        loop {
+            if stream.write_all(b"G").is_err() || started.elapsed() > 2 * HEAD_DEADLINE {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(
+            started.elapsed() < 2 * HEAD_DEADLINE + Duration::from_secs(2),
+            "trickling client held the connection {:?}",
+            started.elapsed()
+        );
+        // Whatever the trickler got (408 or a hang-up), the loop lives.
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_not_served_truncated() {
+        let server = MetricsServer::start("127.0.0.1:0", fixture_recorder()).unwrap();
+        let addr = server.local_addr();
+
+        // Header flood past the head cap: 431, and crucially not a 200
+        // for the (valid-looking) truncated prefix.
+        let mut flood = b"GET /metrics HTTP/1.1\r\n".to_vec();
+        while flood.len() <= MAX_REQUEST_BYTES {
+            flood.extend_from_slice(b"X-Flood: ffffffffffffffffffffffffffffffff\r\n");
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&flood).unwrap();
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+
+        // Request line alone past its cap: 414.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE_BYTES));
+        let _ = stream.write_all(long.as_bytes());
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 414"), "{response}");
+
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
         server.stop();
     }
 

@@ -1,0 +1,1003 @@
+//! The platform daemon: ingest, tick, serve, survive.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             ┌────────────┐   bounded    ┌──────────────┐
+//!  clients ──▶│  acceptor   │─────────────▶│ worker pool  │──▶ engine (Mutex)
+//!             │ (503 when  │  conn queue  │ (supervised, │──▶ ingest (Mutex):
+//!             │  backlogged)│              │  panic-safe) │      WAL + pending
+//!             └────────────┘              └──────────────┘
+//!                                 ticker ──▶ tick(): barrier → apply → step
+//!                                            → checkpoint → compact
+//! ```
+//!
+//! * `POST /events` validates, *logs to the WAL (fsync), then* acks
+//!   202 — an acknowledged event survives kill‑9. A full pending
+//!   queue is explicit backpressure: 429 with `Retry-After`, counted
+//!   in `shed_total`, never unbounded growth.
+//! * each tick drains the pending queue, writes a tick barrier to the
+//!   WAL, feeds the batch to [`Engine::step_round`] and lands an
+//!   atomic checkpoint (tmp + rename), then compacts the WAL down to
+//!   the events that arrived meanwhile.
+//! * `--resume` rebuilds the engine from the last checkpoint and
+//!   replays the WAL: consumed barriers are skipped, un-checkpointed
+//!   barriers re-execute their rounds deterministically, trailing
+//!   events return to the pending queue. The result is bit-identical
+//!   to the run that never crashed.
+//! * workers are panic-isolated under a [`Supervisor`]; an engine-side
+//!   panic or error during a tick flips the daemon into a `failed`
+//!   read-only state rather than corrupting durable state.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use paydemand_geo::{Point, Rect};
+use paydemand_obs::{Counter, Gauge, Recorder};
+use paydemand_sim::{Engine, ExternalEvent, Scenario};
+
+use crate::events::decode_batch;
+use crate::http::{self, error_body, HttpLimits, Request};
+use crate::queue::{Bounded, PushError};
+use crate::supervisor::{Supervisor, WorkerFn};
+use crate::wal::{Wal, WalRecord};
+use crate::ServeError;
+
+const JSON: &str = "application/json; charset=utf-8";
+const CHECKPOINT_FILE: &str = "checkpoint.ck";
+const WAL_FILE: &str = "events.wal";
+
+/// Everything configurable about a daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The scenario the engine runs.
+    pub scenario: Scenario,
+    /// Bind address, e.g. `127.0.0.1:9300` (port 0 picks a free one).
+    pub addr: String,
+    /// Directory holding `checkpoint.ck` and `events.wal`.
+    pub state_dir: PathBuf,
+    /// Continue a previous run from the state directory. Without this,
+    /// an already-populated state directory is refused (never silently
+    /// overwritten).
+    pub resume: bool,
+    /// Automatic tick cadence; `None` means ticks only via `POST /tick`.
+    pub tick_interval: Option<Duration>,
+    /// Ingest queue capacity (events); beyond it, 429 + `Retry-After`.
+    pub queue_capacity: usize,
+    /// Accepted-connection queue capacity; beyond it, immediate 503.
+    pub connection_backlog: usize,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Per-connection parse limits and deadlines.
+    pub limits: HttpLimits,
+    /// Checkpoint (and compact the WAL) every this many ticks.
+    pub checkpoint_every: u32,
+    /// fsync the WAL on every append. On for anything that must
+    /// survive kill‑9; off only for throughput experiments.
+    pub fsync: bool,
+    /// Expose `POST /debug/panic` (kills the handling worker) so the
+    /// supervisor can be exercised end-to-end. Off by default.
+    pub debug_panic_route: bool,
+}
+
+impl DaemonConfig {
+    /// Defaults: loopback ephemeral port, 4 workers, 4096-event queue,
+    /// manual ticks, fsync on.
+    #[must_use]
+    pub fn new(scenario: Scenario, state_dir: PathBuf) -> Self {
+        DaemonConfig {
+            scenario,
+            addr: "127.0.0.1:0".to_owned(),
+            state_dir,
+            resume: false,
+            tick_interval: None,
+            queue_capacity: 4096,
+            connection_backlog: 256,
+            workers: 4,
+            limits: HttpLimits::default(),
+            checkpoint_every: 1,
+            fsync: true,
+            debug_panic_route: false,
+        }
+    }
+}
+
+/// What one tick did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// Whether a round actually ran (false once the run is finished).
+    pub stepped: bool,
+    /// Events applied to the engine this tick.
+    pub applied: usize,
+    /// The engine's next round after the tick.
+    pub next_round: u32,
+    /// Whether the run is now finished.
+    pub finished: bool,
+}
+
+/// The daemon's final accounting, returned by a graceful shutdown.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Rounds executed over the daemon's lifetime (including replay).
+    pub rounds_run: usize,
+    /// Whether the simulation reached its end.
+    pub finished: bool,
+    /// Total platform spend.
+    pub total_paid: f64,
+    /// Events accepted (202'd) over the lifetime.
+    pub ingested_events: u64,
+    /// Events replayed from the WAL at startup.
+    pub replayed_events: u64,
+    /// Events refused with 429 because the queue was full.
+    pub shed_events: u64,
+    /// Worker threads the supervisor had to replace.
+    pub worker_restarts: u64,
+}
+
+/// Workload dimensions POST validation checks against (static for the
+/// life of a run, so no engine lock is needed on the hot path).
+#[derive(Debug, Clone, Copy)]
+struct Dims {
+    users: u32,
+    tasks: u32,
+    area: Rect,
+}
+
+struct Ingest {
+    wal: Wal,
+    pending: VecDeque<ExternalEvent>,
+}
+
+struct Metrics {
+    ingest_events: Counter,
+    rejected_queue_full: Counter,
+    rejected_bad_json: Counter,
+    rejected_schema: Counter,
+    rejected_validation: Counter,
+    rejected_finished: Counter,
+    rejected_draining: Counter,
+    rejected_overload: Counter,
+    shed: Counter,
+    queue_depth: Gauge,
+    queue_saturation: Gauge,
+    worker_restarts: Counter,
+    http_requests: Counter,
+}
+
+impl Metrics {
+    fn resolve(recorder: &Recorder) -> Self {
+        let rejected = |reason| recorder.counter_with("ingest_rejected_total", "reason", reason);
+        Metrics {
+            ingest_events: recorder.counter("ingest_events_total"),
+            rejected_queue_full: rejected("queue_full"),
+            rejected_bad_json: rejected("bad_json"),
+            rejected_schema: rejected("schema"),
+            rejected_validation: rejected("validation"),
+            rejected_finished: rejected("finished"),
+            rejected_draining: rejected("draining"),
+            rejected_overload: rejected("overloaded"),
+            shed: recorder.counter("shed_total"),
+            queue_depth: recorder.gauge("queue_depth"),
+            queue_saturation: recorder.gauge("ingest_queue_saturation_permille"),
+            worker_restarts: recorder.counter("worker_restarts_total"),
+            http_requests: recorder.counter("http_requests_total"),
+        }
+    }
+}
+
+struct Shared {
+    config: DaemonConfig,
+    recorder: Recorder,
+    engine: Mutex<Engine>,
+    ingest: Mutex<Ingest>,
+    connections: Bounded<TcpStream>,
+    /// Threads exit when this flips (set by shutdown/crash).
+    shutdown: Arc<AtomicBool>,
+    /// New events are refused (503) while draining.
+    draining: AtomicBool,
+    /// A tick panicked or errored: durable state is still good, the
+    /// in-memory engine is not; the daemon serves reads only.
+    failed: AtomicBool,
+    /// Mirror of `engine.is_finished()` so POST /events can 409
+    /// without the engine lock.
+    finished: AtomicBool,
+    /// Graceful shutdown asked for via POST /shutdown.
+    stop_requested: AtomicBool,
+    /// Serialises ticks (manual + timed can race otherwise).
+    tick_lock: Mutex<()>,
+    /// Mirror of `engine.next_round()` for barrier stamping.
+    next_round: AtomicU32,
+    ticks: AtomicU64,
+    replayed: u64,
+    dims: Dims,
+    metrics: Metrics,
+    started: Instant,
+}
+
+impl Shared {
+    fn lock_engine(&self) -> MutexGuard<'_, Engine> {
+        // Poison can only come from a panicked tick, which also set
+        // `failed`; readers still serve the (structurally valid)
+        // engine state, and ticks refuse while failed.
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_ingest(&self) -> MutexGuard<'_, Ingest> {
+        self.ingest.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn set_queue_gauges(&self, depth: usize) {
+        self.metrics.queue_depth.set(depth as i64);
+        let cap = self.config.queue_capacity.max(1);
+        self.metrics.queue_saturation.set((depth.saturating_mul(1000) / cap) as i64);
+    }
+
+    fn state_label(&self) -> &'static str {
+        if self.failed.load(Ordering::SeqCst) {
+            "failed"
+        } else if self.draining.load(Ordering::SeqCst) {
+            "draining"
+        } else if self.finished.load(Ordering::SeqCst) {
+            "complete"
+        } else {
+            "serving"
+        }
+    }
+}
+
+/// A running daemon; see the module docs for the architecture.
+#[derive(Debug)]
+pub struct Daemon {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    supervisor: Option<Supervisor>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("state", &self.state_label())
+            .field("next_round", &self.next_round.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Builds (or resumes) the engine, binds the listener and starts
+    /// the acceptor, worker pool and (optionally) the ticker.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (occupied non-`--resume` state directory,
+    /// zero workers), engine/scenario errors, corrupt state files, or
+    /// bind failures.
+    pub fn start(config: DaemonConfig, recorder: &Recorder) -> Result<Daemon, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::Config("at least one worker thread is required".into()));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::Config("queue capacity must be positive".into()));
+        }
+        if config.checkpoint_every == 0 {
+            return Err(ServeError::Config("checkpoint interval must be positive".into()));
+        }
+        std::fs::create_dir_all(&config.state_dir)?;
+        let (engine, wal, pending, replayed) = recover(&config, recorder)?;
+        let dims = Dims {
+            users: engine.num_users() as u32,
+            tasks: engine.num_tasks() as u32,
+            area: engine.area(),
+        };
+        let finished = engine.is_finished();
+        let next_round = engine.next_round();
+
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+        let local_addr = listener.local_addr()?;
+
+        let metrics = Metrics::resolve(recorder);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            connections: Bounded::new(config.connection_backlog),
+            engine: Mutex::new(engine),
+            ingest: Mutex::new(Ingest { wal, pending }),
+            recorder: recorder.clone(),
+            shutdown: Arc::clone(&shutdown),
+            draining: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            finished: AtomicBool::new(finished),
+            stop_requested: AtomicBool::new(false),
+            tick_lock: Mutex::new(()),
+            next_round: AtomicU32::new(next_round),
+            ticks: AtomicU64::new(0),
+            replayed,
+            dims,
+            metrics,
+            started: Instant::now(),
+            config,
+        });
+        shared.set_queue_gauges(shared.lock_ingest().pending.len());
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("paydemand-accept".to_owned())
+                .spawn(move || acceptor_loop(&listener, &shared))?
+        };
+        let worker: WorkerFn = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |_slot| worker_loop(&shared))
+        };
+        let supervisor = Supervisor::start(
+            "paydemand-serve",
+            shared.config.workers,
+            Arc::clone(&shutdown),
+            shared.metrics.worker_restarts.clone(),
+            worker,
+        )?;
+        let ticker = shared.config.tick_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("paydemand-tick".to_owned())
+                .spawn(move || ticker_loop(&shared, interval))
+                .expect("spawn ticker thread")
+        });
+        Ok(Daemon {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            supervisor: Some(supervisor),
+            ticker,
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether the simulation has finished (the daemon keeps serving).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.shared.finished.load(Ordering::SeqCst)
+    }
+
+    /// Events replayed from the WAL when this daemon started.
+    #[must_use]
+    pub fn replayed_events(&self) -> u64 {
+        self.shared.replayed
+    }
+
+    /// Whether a graceful shutdown has been requested over HTTP.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.stop_requested.load(Ordering::SeqCst)
+    }
+
+    /// Runs one tick by hand (the `POST /tick` / `--tick-ms 0` mode).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Fatal`] if the engine failed (now or earlier);
+    /// I/O errors from the durability path.
+    pub fn tick(&self) -> Result<TickOutcome, ServeError> {
+        run_tick(&self.shared)
+    }
+
+    /// Serves until SIGTERM/SIGINT or `POST /shutdown`, then shuts
+    /// down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// As [`Daemon::shutdown`].
+    pub fn run(self) -> Result<ShutdownReport, ServeError> {
+        crate::signals::install_termination_handler();
+        while !crate::signals::termination_requested()
+            && !self.shared.stop_requested.load(Ordering::SeqCst)
+        {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown()
+    }
+
+    /// Graceful shutdown: drain the queue into a final tick, stop all
+    /// threads, land a final checkpoint and compact the WAL.
+    ///
+    /// # Errors
+    ///
+    /// Durability-path I/O errors; the daemon still stops.
+    pub fn shutdown(mut self) -> Result<ShutdownReport, ServeError> {
+        let shared = Arc::clone(&self.shared);
+        shared.draining.store(true, Ordering::SeqCst);
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        // Apply everything acknowledged but not yet ticked, unless the
+        // engine already failed or finished.
+        let drain_result = if !shared.failed.load(Ordering::SeqCst)
+            && !shared.finished.load(Ordering::SeqCst)
+            && !shared.lock_ingest().pending.is_empty()
+        {
+            run_tick(&shared).map(|_| ())
+        } else {
+            Ok(())
+        };
+        self.stop_threads();
+
+        let final_result =
+            if shared.failed.load(Ordering::SeqCst) { Ok(()) } else { final_checkpoint(&shared) };
+        let report = {
+            let engine = shared.lock_engine();
+            ShutdownReport {
+                rounds_run: engine.rounds_run(),
+                finished: engine.is_finished(),
+                total_paid: engine.total_paid(),
+                ingested_events: shared.metrics.ingest_events.get(),
+                replayed_events: shared.replayed,
+                shed_events: shared.metrics.shed.get(),
+                worker_restarts: shared.metrics.worker_restarts.get(),
+            }
+        };
+        drain_result?;
+        final_result?;
+        Ok(report)
+    }
+
+    /// Stops the daemon the unceremonious way: no drain, no final
+    /// checkpoint, no compaction — the state directory is left exactly
+    /// as the last completed tick wrote it, which is what a kill‑9
+    /// leaves behind. The recovery tests use this to prove `--resume`
+    /// continues bit-identically.
+    pub fn crash(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.connections.close();
+        // Unblock the acceptor's blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(s) = self.supervisor.take() {
+            s.join();
+        }
+    }
+}
+
+/// Builds the engine from scratch or from the state directory,
+/// replaying the WAL; returns the opened WAL and the still-pending
+/// events. Always leaves a fresh checkpoint + compacted WAL behind so
+/// the directory is clean however the last process died.
+fn recover(
+    config: &DaemonConfig,
+    recorder: &Recorder,
+) -> Result<(Engine, Wal, VecDeque<ExternalEvent>, u64), ServeError> {
+    let ck_path = config.state_dir.join(CHECKPOINT_FILE);
+    let wal_path = config.state_dir.join(WAL_FILE);
+    if !config.resume && (ck_path.exists() || wal_path.exists()) {
+        return Err(ServeError::Config(format!(
+            "state directory {} already holds a run; pass --resume to continue it \
+             or point --state-dir at a fresh directory",
+            config.state_dir.display()
+        )));
+    }
+
+    let mut engine = if config.resume && ck_path.exists() {
+        let bytes = std::fs::read(&ck_path)?;
+        Engine::resume(&config.scenario, &bytes, recorder)?
+    } else {
+        Engine::new(&config.scenario, recorder)?
+    };
+
+    let (mut wal, records, torn) = Wal::open(&wal_path, config.fsync)?;
+    if torn > 0 {
+        recorder.counter("wal_torn_bytes_total").add(torn as u64);
+    }
+    let mut fifo: VecDeque<ExternalEvent> = VecDeque::new();
+    let mut replayed = 0u64;
+    for record in records {
+        match record {
+            WalRecord::Event(event) => fifo.push_back(event),
+            WalRecord::Barrier { round, events } => {
+                let next = engine.next_round();
+                if round < next {
+                    // This round is inside the checkpoint already; its
+                    // batch is consumed without replay.
+                    for _ in 0..events {
+                        fifo.pop_front().ok_or_else(|| {
+                            ServeError::Config(format!(
+                                "WAL barrier for round {round} names more events than logged"
+                            ))
+                        })?;
+                    }
+                } else if round == next && !engine.is_finished() {
+                    for _ in 0..events {
+                        let event = fifo.pop_front().ok_or_else(|| {
+                            ServeError::Config(format!(
+                                "WAL barrier for round {round} names more events than logged"
+                            ))
+                        })?;
+                        // Rejections here replay the original tick's
+                        // behaviour exactly (validation is a pure
+                        // function of engine state), so skipping is
+                        // deterministic.
+                        let _ = engine.enqueue_event(event);
+                    }
+                    engine.step_round()?;
+                    replayed += u64::from(events);
+                } else {
+                    return Err(ServeError::Config(format!(
+                        "WAL barrier for round {round} does not follow checkpointed round {next}; \
+                         state directory is corrupt or mixes runs"
+                    )));
+                }
+            }
+        }
+    }
+    if replayed > 0 {
+        recorder.counter("resume_replayed_events_total").add(replayed);
+    }
+
+    // Normalise: the durable pair now reflects exactly (engine state,
+    // pending events) so the next crash recovers from here.
+    let ck = engine.checkpoint()?;
+    write_atomic(&ck_path, &ck, config.fsync)?;
+    let pending_vec: Vec<ExternalEvent> = fifo.iter().copied().collect();
+    wal.compact(&pending_vec)?;
+    Ok((engine, wal, fifo, replayed))
+}
+
+/// Writes `bytes` to `path` atomically (tmp + rename).
+fn write_atomic(path: &Path, bytes: &[u8], fsync: bool) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, bytes)?;
+        if fsync {
+            f.sync_all()?;
+        }
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        match shared.connections.push(stream) {
+            Ok(()) => {}
+            Err(PushError::Full(mut s) | PushError::Closed(mut s)) => {
+                // Explicit shed at the edge: the client learns to back
+                // off instead of waiting in an invisible kernel queue.
+                shared.metrics.rejected_overload.inc();
+                let _ = s.set_write_timeout(Some(shared.config.limits.write_timeout));
+                http::respond_with(
+                    &mut s,
+                    503,
+                    JSON,
+                    &error_body("server overloaded"),
+                    &[("Retry-After", "1".to_owned())],
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let Some(stream) = shared.connections.pop_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_write_timeout(Some(shared.config.limits.write_timeout));
+    let request = match http::read_request(&mut stream, &shared.config.limits) {
+        Ok(request) => request,
+        Err(e) => {
+            if let Some((status, message)) = e.status() {
+                http::respond(&mut stream, status, JSON, &error_body(message));
+            }
+            return;
+        }
+    };
+    shared.metrics.http_requests.inc();
+    route(&mut stream, &request, shared);
+}
+
+fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/events") => post_events(stream, &request.body, shared),
+        ("POST", "/tick") => post_tick(stream, shared),
+        ("POST", "/shutdown") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.stop_requested.store(true, Ordering::SeqCst);
+            http::respond(stream, 200, JSON, "{\"status\": \"draining\"}\n");
+        }
+        ("POST", "/debug/panic") if shared.config.debug_panic_route => {
+            // Deliberately kills this worker; the supervisor must
+            // replace it. Gated behind config, off by default.
+            panic!("debug panic route");
+        }
+        ("GET", "/prices") => {
+            let body = prices_json(shared);
+            http::respond(stream, 200, JSON, &body);
+        }
+        ("GET", "/demand") => match demand_json(shared) {
+            Ok(body) => http::respond(stream, 200, JSON, &body),
+            Err(e) => http::respond(stream, 500, JSON, &error_body(&e.to_string())),
+        },
+        ("GET", "/status") => {
+            let body = status_json(shared);
+            http::respond(stream, 200, JSON, &body);
+        }
+        ("GET", "/metrics") => {
+            let body = shared.recorder.snapshot().to_prometheus();
+            http::respond(stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\": \"{}\", \"next_round\": {}, \"queue_depth\": {}}}\n",
+                shared.state_label(),
+                shared.next_round.load(Ordering::SeqCst),
+                shared.lock_ingest().pending.len(),
+            );
+            http::respond(stream, 200, JSON, &body);
+        }
+        ("GET" | "POST", _) => http::respond(stream, 404, JSON, &error_body("no such route")),
+        _ => http::respond(stream, 405, JSON, &error_body("method not supported")),
+    }
+}
+
+fn post_events(stream: &mut TcpStream, body: &[u8], shared: &Arc<Shared>) {
+    if shared.draining.load(Ordering::SeqCst) || shared.failed.load(Ordering::SeqCst) {
+        shared.metrics.rejected_draining.inc();
+        http::respond_with(
+            stream,
+            503,
+            JSON,
+            &error_body("daemon is draining"),
+            &[("Retry-After", "1".to_owned())],
+        );
+        return;
+    }
+    if shared.finished.load(Ordering::SeqCst) {
+        shared.metrics.rejected_finished.inc();
+        http::respond(stream, 409, JSON, &error_body("run is complete; events no longer apply"));
+        return;
+    }
+    let batch = match decode_batch(body) {
+        Ok(batch) => batch,
+        Err(e) => {
+            match e.status() {
+                400 => shared.metrics.rejected_bad_json.inc(),
+                _ => shared.metrics.rejected_schema.inc(),
+            }
+            http::respond(stream, e.status(), JSON, &error_body(e.message()));
+            return;
+        }
+    };
+    // Batches apply atomically: one bad event rejects the whole batch,
+    // so a client never has to guess which half was accepted.
+    for (i, event) in batch.iter().enumerate() {
+        if let Err(message) = validate(event, &shared.dims) {
+            shared.metrics.rejected_validation.inc();
+            http::respond(stream, 422, JSON, &error_body(&format!("events[{i}]: {message}")));
+            return;
+        }
+    }
+
+    let depth = {
+        let mut ingest = shared.lock_ingest();
+        if ingest.pending.len() + batch.len() > shared.config.queue_capacity {
+            let depth = ingest.pending.len();
+            drop(ingest);
+            shared.metrics.shed.add(batch.len() as u64);
+            shared.metrics.rejected_queue_full.inc();
+            shared.set_queue_gauges(depth);
+            http::respond_with(
+                stream,
+                429,
+                JSON,
+                &error_body("ingest queue is full"),
+                &[("Retry-After", "1".to_owned())],
+            );
+            return;
+        }
+        // Durability before acknowledgement: the WAL append (+fsync)
+        // happens inside the lock, before the 202 below.
+        if let Err(e) = ingest.wal.append_events(&batch) {
+            drop(ingest);
+            http::respond(stream, 500, JSON, &error_body(&format!("event log write failed: {e}")));
+            return;
+        }
+        ingest.pending.extend(batch.iter().copied());
+        ingest.pending.len()
+    };
+    shared.metrics.ingest_events.add(batch.len() as u64);
+    shared.set_queue_gauges(depth);
+    http::respond(
+        stream,
+        202,
+        JSON,
+        &format!("{{\"accepted\": {}, \"queue_depth\": {depth}}}\n", batch.len()),
+    );
+}
+
+fn post_tick(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    match run_tick(shared) {
+        Ok(outcome) => {
+            let body = format!(
+                "{{\"stepped\": {}, \"applied\": {}, \"next_round\": {}, \"finished\": {}}}\n",
+                outcome.stepped, outcome.applied, outcome.next_round, outcome.finished
+            );
+            http::respond(stream, 200, JSON, &body);
+        }
+        Err(e) => http::respond(stream, 500, JSON, &error_body(&e.to_string())),
+    }
+}
+
+fn validate(event: &ExternalEvent, dims: &Dims) -> Result<(), String> {
+    match *event {
+        ExternalEvent::Move { user, x, y } => {
+            if user >= dims.users {
+                return Err(format!("unknown user {user} (workload has {})", dims.users));
+            }
+            if !x.is_finite() || !y.is_finite() {
+                return Err(format!("non-finite coordinate ({x}, {y})"));
+            }
+            if !dims.area.contains(Point::new(x, y)) {
+                return Err(format!("position ({x}, {y}) lies outside the sensing area"));
+            }
+        }
+        ExternalEvent::Upload { user, task, value } => {
+            if user >= dims.users {
+                return Err(format!("unknown user {user} (workload has {})", dims.users));
+            }
+            if task >= dims.tasks {
+                return Err(format!("unknown task {task} (workload has {})", dims.tasks));
+            }
+            if !value.is_finite() {
+                return Err(format!("non-finite measurement value {value}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The tick: barrier → apply → step → checkpoint → compact. See the
+/// module docs for why each write lands in this order.
+fn run_tick(shared: &Arc<Shared>) -> Result<TickOutcome, ServeError> {
+    let _serial = shared.tick_lock.lock().unwrap_or_else(PoisonError::into_inner);
+    if shared.failed.load(Ordering::SeqCst) {
+        return Err(ServeError::Fatal("engine failed; daemon is read-only".into()));
+    }
+    if shared.finished.load(Ordering::SeqCst) {
+        return Ok(TickOutcome {
+            stepped: false,
+            applied: 0,
+            next_round: shared.next_round.load(Ordering::SeqCst),
+            finished: true,
+        });
+    }
+    let round = shared.next_round.load(Ordering::SeqCst);
+
+    // Make the batch composition durable before the round runs: a
+    // crash after this point replays exactly this batch into exactly
+    // this round.
+    let batch: Vec<ExternalEvent> = {
+        let mut ingest = shared.lock_ingest();
+        let batch: Vec<ExternalEvent> = ingest.pending.drain(..).collect();
+        ingest.wal.append_barrier(round, batch.len() as u32).map_err(|e| {
+            shared.failed.store(true, Ordering::SeqCst);
+            ServeError::Io(format!("event log barrier write failed: {e}"))
+        })?;
+        batch
+    };
+    // The queue gauges intentionally keep their pre-drain values until
+    // after step_round: the engine snapshots the recorder at the round
+    // boundary, and the saturation alert must see the depth the round
+    // *started* from, not the post-drain zero.
+    let applied = batch.len();
+
+    let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut engine = shared.lock_engine();
+        for event in batch {
+            // Pre-validated at ingest; rejections (e.g. the run just
+            // finished) drop deterministically, matching replay.
+            let _ = engine.enqueue_event(event);
+        }
+        engine.step_round()?;
+        let checkpoint = if (shared.ticks.load(Ordering::SeqCst) + 1)
+            .is_multiple_of(u64::from(shared.config.checkpoint_every))
+            || engine.is_finished()
+        {
+            Some(engine.checkpoint()?)
+        } else {
+            None
+        };
+        Ok::<_, paydemand_sim::SimError>((engine.next_round(), engine.is_finished(), checkpoint))
+    }));
+    let (next_round, finished, checkpoint) = match stepped {
+        Err(_) => {
+            shared.failed.store(true, Ordering::SeqCst);
+            return Err(ServeError::Fatal(
+                "engine tick panicked; daemon degraded to read-only".into(),
+            ));
+        }
+        Ok(Err(e)) => {
+            shared.failed.store(true, Ordering::SeqCst);
+            return Err(ServeError::Sim(e));
+        }
+        Ok(Ok(state)) => state,
+    };
+
+    if let Some(bytes) = checkpoint {
+        let ck_path = shared.config.state_dir.join(CHECKPOINT_FILE);
+        write_atomic(&ck_path, &bytes, shared.config.fsync).map_err(|e| {
+            shared.failed.store(true, Ordering::SeqCst);
+            ServeError::Io(format!("checkpoint write failed: {e}"))
+        })?;
+        // With the checkpoint durable, everything the WAL recorded up
+        // to the barrier is redundant: compact down to what arrived
+        // during the step.
+        let mut ingest = shared.lock_ingest();
+        let pending: Vec<ExternalEvent> = ingest.pending.iter().copied().collect();
+        ingest.wal.compact(&pending).map_err(|e| {
+            shared.failed.store(true, Ordering::SeqCst);
+            ServeError::Io(format!("event log compaction failed: {e}"))
+        })?;
+    }
+
+    shared.set_queue_gauges(shared.lock_ingest().pending.len());
+    shared.next_round.store(next_round, Ordering::SeqCst);
+    shared.finished.store(finished, Ordering::SeqCst);
+    shared.ticks.fetch_add(1, Ordering::SeqCst);
+    Ok(TickOutcome { stepped: true, applied, next_round, finished })
+}
+
+fn ticker_loop(shared: &Arc<Shared>, interval: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) && !shared.draining.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        if shared.shutdown.load(Ordering::SeqCst)
+            || shared.draining.load(Ordering::SeqCst)
+            || shared.failed.load(Ordering::SeqCst)
+        {
+            return;
+        }
+        if shared.finished.load(Ordering::SeqCst) {
+            continue;
+        }
+        // Errors flip `failed`; the loop then exits and the daemon
+        // serves reads until someone shuts it down.
+        if run_tick(shared).is_err() {
+            return;
+        }
+    }
+}
+
+/// Final checkpoint + compaction for a graceful exit.
+fn final_checkpoint(shared: &Arc<Shared>) -> Result<(), ServeError> {
+    let bytes = {
+        let engine = shared.lock_engine();
+        engine.checkpoint()?
+    };
+    write_atomic(&shared.config.state_dir.join(CHECKPOINT_FILE), &bytes, shared.config.fsync)?;
+    let mut ingest = shared.lock_ingest();
+    let leftover: Vec<ExternalEvent> = ingest.pending.iter().copied().collect();
+    if !leftover.is_empty() && shared.finished.load(Ordering::SeqCst) {
+        // The run completed with events still queued: they can never
+        // apply, so they are dropped — visibly.
+        shared.metrics.rejected_finished.add(leftover.len() as u64);
+        ingest.wal.compact(&[])?;
+    } else {
+        ingest.wal.compact(&leftover)?;
+    }
+    Ok(())
+}
+
+fn prices_json(shared: &Arc<Shared>) -> String {
+    let engine = shared.lock_engine();
+    let mut out = String::with_capacity(256);
+    match engine.last_round() {
+        Some(record) => {
+            out.push_str(&format!("{{\"round\": {}, \"rewards\": [", record.round));
+            let mut first = true;
+            for (task, reward) in record.rewards.iter().enumerate() {
+                if let Some(r) = reward {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    out.push_str(&format!("{{\"task\": {task}, \"reward\": {r}}}"));
+                }
+            }
+            out.push_str(&format!("], \"total_paid\": {}}}\n", engine.total_paid()));
+        }
+        None => out.push_str("{\"round\": 0, \"rewards\": [], \"total_paid\": 0}\n"),
+    }
+    out
+}
+
+fn demand_json(shared: &Arc<Shared>) -> Result<String, ServeError> {
+    let engine = shared.lock_engine();
+    let statuses = engine.task_statuses()?;
+    drop(engine);
+    let mut out = String::with_capacity(64 + statuses.len() * 64);
+    out.push_str("{\"tasks\": [");
+    for (i, s) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"task\": {}, \"received\": {}, \"required\": {}, \"completed_round\": {}, \
+             \"reward\": {}}}",
+            s.task,
+            s.received,
+            s.required,
+            s.completed_round.map_or("null".to_owned(), |r| r.to_string()),
+            s.reward.map_or("null".to_owned(), |r| r.to_string()),
+        ));
+    }
+    out.push_str("]}\n");
+    Ok(out)
+}
+
+fn status_json(shared: &Arc<Shared>) -> String {
+    let (rounds_run, next_round, finished, total_paid, spend_cap, pending_retries) = {
+        let engine = shared.lock_engine();
+        (
+            engine.rounds_run(),
+            engine.next_round(),
+            engine.is_finished(),
+            engine.total_paid(),
+            engine.spend_cap(),
+            engine.pending_retries(),
+        )
+    };
+    let queue_depth = shared.lock_ingest().pending.len();
+    let area = shared.dims.area;
+    format!(
+        "{{\"state\": \"{}\", \"next_round\": {next_round}, \"rounds_run\": {rounds_run}, \
+         \"finished\": {finished}, \"users\": {}, \"tasks\": {}, \
+         \"area\": {{\"min_x\": {}, \"min_y\": {}, \"max_x\": {}, \"max_y\": {}}}, \
+         \"total_paid\": {total_paid}, \"spend_cap\": {}, \
+         \"queue_depth\": {queue_depth}, \"queue_capacity\": {}, \
+         \"ingested_events_total\": {}, \"shed_total\": {}, \"worker_restarts_total\": {}, \
+         \"replayed_events\": {}, \"ticks_total\": {}, \"pending_retries\": {pending_retries}, \
+         \"uptime_seconds\": {:.3}}}\n",
+        shared.state_label(),
+        shared.dims.users,
+        shared.dims.tasks,
+        area.min().x,
+        area.min().y,
+        area.max().x,
+        area.max().y,
+        spend_cap.map_or("null".to_owned(), |c| c.to_string()),
+        shared.config.queue_capacity,
+        shared.metrics.ingest_events.get(),
+        shared.metrics.shed.get(),
+        shared.metrics.worker_restarts.get(),
+        shared.replayed,
+        shared.ticks.load(Ordering::SeqCst),
+        shared.started.elapsed().as_secs_f64(),
+    )
+}

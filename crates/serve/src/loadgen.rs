@@ -1,0 +1,506 @@
+//! Seeded load generation against a running daemon, honest and hostile.
+//!
+//! [`run_load`] replays a client plan derived deterministically from a
+//! seed: honest clients batch-POST valid movement/upload events (their
+//! latencies become the p50/p99/p999 figures), while adversarial
+//! clients rotate through a fixed repertoire of attacks — slow-loris
+//! trickle, mid-request disconnects, garbage bytes, oversized bodies,
+//! invalid JSON and pipelined junk. The daemon must shed, reject or
+//! time these out without a single worker panic; the bench gate
+//! asserts `worker_restarts_total == 0` afterwards.
+//!
+//! The honest workload is self-configuring: the generator reads
+//! `GET /status` for the workload's user/task counts and sensing area,
+//! so the same plan runs against any scenario.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::http;
+use crate::ServeError;
+
+/// One adversarial move (honest clients are driven separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    /// Writes a few head bytes, then stalls past the head deadline.
+    SlowLoris,
+    /// Announces a body, sends half of it, disconnects.
+    Disconnect,
+    /// Raw garbage bytes where a request line should be.
+    Garbage,
+    /// Declares a Content-Length over the body cap.
+    Oversized,
+    /// Well-formed HTTP, body that is not JSON.
+    BadJson,
+    /// Two requests back-to-back in one write (server truncates the
+    /// pipelined excess; the first must still be answered).
+    Pipelined,
+}
+
+const ADVERSARIAL_ARMS: [Arm; 6] =
+    [Arm::SlowLoris, Arm::Disconnect, Arm::Garbage, Arm::Oversized, Arm::BadJson, Arm::Pipelined];
+
+/// The seeded client plan [`run_load`] executes.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Seed every client's event stream and attack schedule derive from.
+    pub seed: u64,
+    /// Honest clients POSTing valid event batches concurrently.
+    pub honest_clients: usize,
+    /// Adversarial clients cycling through the attack repertoire.
+    pub adversarial_clients: usize,
+    /// Requests each honest client sends.
+    pub requests_per_client: usize,
+    /// Events per honest batch.
+    pub batch_size: usize,
+    /// Attacks each adversarial client performs.
+    pub attacks_per_client: usize,
+    /// Client-side timeout per request.
+    pub request_timeout: Duration,
+}
+
+impl LoadPlan {
+    /// The gate's default plan: 4 honest clients × 50 batches of 200
+    /// events (40 000 events) alongside 3 adversarial clients running
+    /// 6 attacks each.
+    #[must_use]
+    pub fn gate_default(seed: u64) -> Self {
+        LoadPlan {
+            seed,
+            honest_clients: 4,
+            adversarial_clients: 3,
+            requests_per_client: 50,
+            batch_size: 200,
+            attacks_per_client: 6,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a load run measured; serialise with [`LoadReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The plan's seed, for reproduction.
+    pub seed: u64,
+    /// Honest requests sent.
+    pub requests_total: u64,
+    /// Honest requests answered 202.
+    pub requests_accepted: u64,
+    /// Honest requests shed with 429.
+    pub requests_shed: u64,
+    /// Honest requests failing any other way (4xx/5xx/transport).
+    pub requests_failed: u64,
+    /// Attacks performed.
+    pub adversarial_requests: u64,
+    /// Attacks that hung past their deadline (must be 0).
+    pub adversarial_hangs: u64,
+    /// Events accepted by the daemon (sum over 202 batches).
+    pub events_accepted: u64,
+    /// Wall-clock for the honest phase, seconds.
+    pub wall_seconds: f64,
+    /// Accepted events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Shed rate over honest requests (0..=1).
+    pub shed_rate: f64,
+    /// Honest request latency percentiles, microseconds.
+    pub latency_us_p50: u64,
+    /// 99th percentile, microseconds.
+    pub latency_us_p99: u64,
+    /// 99.9th percentile, microseconds.
+    pub latency_us_p999: u64,
+    /// `worker_restarts_total` read from the daemon afterwards.
+    pub worker_restarts: u64,
+    /// Daemon state label after the run (must be a live state).
+    pub daemon_state: String,
+    /// `--resume` recovery time, milliseconds, when the harness
+    /// measured one (the kill‑9 leg fills this in).
+    pub recovery_ms: Option<f64>,
+}
+
+impl LoadReport {
+    /// Renders the `BENCH_serve.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"seed\": {},\n  \"requests_total\": {},\n  \
+             \"requests_accepted\": {},\n  \"requests_shed\": {},\n  \"requests_failed\": {},\n  \
+             \"adversarial_requests\": {},\n  \"adversarial_hangs\": {},\n  \
+             \"events_accepted\": {},\n  \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.1},\n  \
+             \"shed_rate\": {:.6},\n  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}},\n  \
+             \"worker_restarts\": {},\n  \"daemon_state\": \"{}\",\n  \"recovery_ms\": {}\n}}\n",
+            self.seed,
+            self.requests_total,
+            self.requests_accepted,
+            self.requests_shed,
+            self.requests_failed,
+            self.adversarial_requests,
+            self.adversarial_hangs,
+            self.events_accepted,
+            self.wall_seconds,
+            self.events_per_sec,
+            self.shed_rate,
+            self.latency_us_p50,
+            self.latency_us_p99,
+            self.latency_us_p999,
+            self.worker_restarts,
+            self.daemon_state,
+            self.recovery_ms.map_or("null".to_owned(), |ms| format!("{ms:.1}")),
+        )
+    }
+}
+
+/// The daemon-side facts the generator needs, scraped from `/status`.
+#[derive(Debug, Clone, Copy)]
+struct Workload {
+    users: u32,
+    tasks: u32,
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+}
+
+struct Tally {
+    requests: AtomicU64,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    events: AtomicU64,
+    attacks: AtomicU64,
+    hangs: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+/// Runs `plan` against the daemon at `addr` and reports what happened.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the daemon is unreachable or `/status` is
+/// unparseable — individual request failures are *counted*, not
+/// errors.
+pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ServeError> {
+    let workload = fetch_workload(addr, plan.request_timeout)?;
+    let tally = Arc::new(Tally {
+        requests: AtomicU64::new(0),
+        accepted: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        events: AtomicU64::new(0),
+        attacks: AtomicU64::new(0),
+        hangs: AtomicU64::new(0),
+        latencies_us: Mutex::new(Vec::new()),
+    });
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..plan.honest_clients {
+        let tally = Arc::clone(&tally);
+        let plan = plan.clone();
+        handles.push(std::thread::spawn(move || {
+            honest_client(addr, &plan, client, workload, &tally);
+        }));
+    }
+    for client in 0..plan.adversarial_clients {
+        let tally = Arc::clone(&tally);
+        let plan = plan.clone();
+        handles.push(std::thread::spawn(move || {
+            adversarial_client(addr, &plan, client, &tally);
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut latencies = tally.latencies_us.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+
+    let (worker_restarts, daemon_state) = fetch_health(addr, plan.request_timeout);
+    let requests_total = tally.requests.load(Ordering::SeqCst);
+    let requests_shed = tally.shed.load(Ordering::SeqCst);
+    let events_accepted = tally.events.load(Ordering::SeqCst);
+    Ok(LoadReport {
+        seed: plan.seed,
+        requests_total,
+        requests_accepted: tally.accepted.load(Ordering::SeqCst),
+        requests_shed,
+        requests_failed: tally.failed.load(Ordering::SeqCst),
+        adversarial_requests: tally.attacks.load(Ordering::SeqCst),
+        adversarial_hangs: tally.hangs.load(Ordering::SeqCst),
+        events_accepted,
+        wall_seconds,
+        events_per_sec: events_accepted as f64 / wall_seconds,
+        shed_rate: if requests_total == 0 {
+            0.0
+        } else {
+            requests_shed as f64 / requests_total as f64
+        },
+        latency_us_p50: pct(0.50),
+        latency_us_p99: pct(0.99),
+        latency_us_p999: pct(0.999),
+        worker_restarts,
+        daemon_state,
+        recovery_ms: None,
+    })
+}
+
+fn client_rng(seed: u64, client: usize, adversarial: bool) -> rand::rngs::StdRng {
+    // Distinct streams per client; the golden-ratio stride decorrelates
+    // neighbouring seeds.
+    let stream = (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rand::rngs::StdRng::seed_from_u64(seed ^ stream ^ u64::from(adversarial) << 63)
+}
+
+fn honest_client(
+    addr: SocketAddr,
+    plan: &LoadPlan,
+    client: usize,
+    workload: Workload,
+    tally: &Tally,
+) {
+    let mut rng = client_rng(plan.seed, client, false);
+    let mut local_latencies = Vec::with_capacity(plan.requests_per_client);
+    for _ in 0..plan.requests_per_client {
+        let body = event_batch(&mut rng, plan.batch_size, workload);
+        tally.requests.fetch_add(1, Ordering::SeqCst);
+        let begin = Instant::now();
+        match http::request(addr, "POST", "/events", body.as_bytes(), plan.request_timeout) {
+            Ok(response) if response.status == 202 => {
+                local_latencies.push(begin.elapsed().as_micros() as u64);
+                tally.accepted.fetch_add(1, Ordering::SeqCst);
+                tally.events.fetch_add(plan.batch_size as u64, Ordering::SeqCst);
+            }
+            Ok(response) if response.status == 429 || response.status == 503 => {
+                tally.shed.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(_) | Err(_) => {
+                tally.failed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+    tally
+        .latencies_us
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .extend_from_slice(&local_latencies);
+}
+
+fn event_batch(rng: &mut rand::rngs::StdRng, batch_size: usize, w: Workload) -> String {
+    let mut body = String::with_capacity(32 + batch_size * 64);
+    body.push_str("{\"events\": [");
+    for i in 0..batch_size {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        if rng.gen_bool(0.7) {
+            let user = rng.gen_range(0..w.users);
+            let x = rng.gen_range(w.min_x..=w.max_x);
+            let y = rng.gen_range(w.min_y..=w.max_y);
+            body.push_str(&format!(
+                "{{\"type\": \"move\", \"user\": {user}, \"x\": {x}, \"y\": {y}}}"
+            ));
+        } else {
+            let user = rng.gen_range(0..w.users);
+            let task = rng.gen_range(0..w.tasks);
+            let value = rng.gen_range(0.0..100.0);
+            body.push_str(&format!(
+                "{{\"type\": \"upload\", \"user\": {user}, \"task\": {task}, \"value\": {value}}}"
+            ));
+        }
+    }
+    body.push_str("]}");
+    body
+}
+
+fn adversarial_client(addr: SocketAddr, plan: &LoadPlan, client: usize, tally: &Tally) {
+    let mut rng = client_rng(plan.seed, client, true);
+    for attack in 0..plan.attacks_per_client {
+        // Every arm in every client's schedule, order shuffled by seed.
+        let arm = ADVERSARIAL_ARMS
+            [(attack + rng.next_u32() as usize % ADVERSARIAL_ARMS.len()) % ADVERSARIAL_ARMS.len()];
+        tally.attacks.fetch_add(1, Ordering::SeqCst);
+        let begin = Instant::now();
+        run_attack(addr, arm, &mut rng, plan.request_timeout);
+        // An attack that outlives its own socket timeout by a wide
+        // margin means the server is holding the line open — the
+        // hang the deadlines exist to prevent.
+        if begin.elapsed() > plan.request_timeout + Duration::from_secs(5) {
+            tally.hangs.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn run_attack(addr: SocketAddr, arm: Arm, rng: &mut rand::rngs::StdRng, timeout: Duration) {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut sink = Vec::new();
+    match arm {
+        Arm::SlowLoris => {
+            // Trickle a byte at a time; the server's total-head
+            // deadline must cut this off, not wait per-read.
+            for chunk in ["POST ", "/even", "ts HT"] {
+                if stream.write_all(chunk.as_bytes()).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            let _ = stream.read_to_end(&mut sink);
+        }
+        Arm::Disconnect => {
+            let _ =
+                stream.write_all(b"POST /events HTTP/1.1\r\ncontent-length: 1000\r\n\r\n{\"events");
+            // Drop mid-body.
+        }
+        Arm::Garbage => {
+            let mut junk = vec![0u8; 512];
+            rng.fill_bytes(&mut junk);
+            let _ = stream.write_all(&junk);
+            let _ = stream.write_all(b"\r\n\r\n");
+            let _ = stream.read_to_end(&mut sink);
+        }
+        Arm::Oversized => {
+            let _ = stream.write_all(b"POST /events HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n");
+            let _ = stream.write_all(&vec![b'x'; 4096]);
+            let _ = stream.read_to_end(&mut sink);
+        }
+        Arm::BadJson => {
+            let body = b"{\"events\": [{\"type\": ";
+            let head = format!("POST /events HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len());
+            let _ = stream.write_all(head.as_bytes());
+            let _ = stream.write_all(body);
+            let _ = stream.read_to_end(&mut sink);
+        }
+        Arm::Pipelined => {
+            let _ = stream.write_all(
+                b"GET /healthz HTTP/1.1\r\ncontent-length: 0\r\n\r\nGET /garbage-pipelined \
+                  HTTP/1.1\r\n\r\ntrailing nonsense",
+            );
+            let _ = stream.read_to_end(&mut sink);
+        }
+    }
+}
+
+fn fetch_workload(addr: SocketAddr, timeout: Duration) -> Result<Workload, ServeError> {
+    let response = http::request(addr, "GET", "/status", b"", timeout)
+        .map_err(|e| ServeError::Io(format!("GET /status: {e}")))?;
+    if response.status != 200 {
+        return Err(ServeError::Io(format!("GET /status returned {}", response.status)));
+    }
+    let field = |name: &str| -> Result<f64, ServeError> {
+        json_number(&response.body, name)
+            .ok_or_else(|| ServeError::Io(format!("GET /status body lacks numeric field {name:?}")))
+    };
+    Ok(Workload {
+        users: field("users")? as u32,
+        tasks: field("tasks")? as u32,
+        min_x: field("min_x")?,
+        min_y: field("min_y")?,
+        max_x: field("max_x")?,
+        max_y: field("max_y")?,
+    })
+}
+
+fn fetch_health(addr: SocketAddr, timeout: Duration) -> (u64, String) {
+    match http::request(addr, "GET", "/status", b"", timeout) {
+        Ok(response) if response.status == 200 => {
+            let restarts =
+                json_number(&response.body, "worker_restarts_total").unwrap_or(-1.0) as u64;
+            let state =
+                json_string(&response.body, "state").unwrap_or_else(|| "unknown".to_owned());
+            (restarts, state)
+        }
+        _ => (u64::MAX, "unreachable".to_owned()),
+    }
+}
+
+/// Pulls `"name": <number>` out of a flat JSON object — enough for the
+/// daemon's own status document, no general parser needed here.
+fn json_number(body: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_string(body: &str, name: &str) -> Option<String> {
+    let needle = format!("\"{name}\": \"");
+    let at = body.find(&needle)? + needle.len();
+    let end = body[at..].find('"')?;
+    Some(body[at..at + end].to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_json_shape() {
+        let report = LoadReport {
+            seed: 7,
+            requests_total: 10,
+            requests_accepted: 9,
+            requests_shed: 1,
+            requests_failed: 0,
+            adversarial_requests: 6,
+            adversarial_hangs: 0,
+            events_accepted: 1800,
+            wall_seconds: 0.5,
+            events_per_sec: 3600.0,
+            shed_rate: 0.1,
+            latency_us_p50: 120,
+            latency_us_p99: 900,
+            latency_us_p999: 1500,
+            worker_restarts: 0,
+            daemon_state: "serving".to_owned(),
+            recovery_ms: Some(12.5),
+        };
+        let json = report.to_json();
+        let parsed = paydemand_obs::parse_json(&json).expect("self-emitted JSON parses");
+        assert_eq!(parsed.get("bench").and_then(|v| v.as_str()), Some("serve"));
+        assert_eq!(parsed.get("events_accepted").and_then(|v| v.as_f64()), Some(1800.0));
+        let lat = parsed.get("latency_us").expect("latency object");
+        assert_eq!(lat.get("p999").and_then(|v| v.as_f64()), Some(1500.0));
+    }
+
+    #[test]
+    fn json_scrapers_read_status_fields() {
+        let body = "{\"state\": \"serving\", \"users\": 40, \"area\": {\"min_x\": 0, \
+                    \"max_x\": 3000}, \"worker_restarts_total\": 2}";
+        assert_eq!(json_number(body, "users"), Some(40.0));
+        assert_eq!(json_number(body, "max_x"), Some(3000.0));
+        assert_eq!(json_number(body, "worker_restarts_total"), Some(2.0));
+        assert_eq!(json_string(body, "state").as_deref(), Some("serving"));
+    }
+
+    #[test]
+    fn client_streams_are_distinct_and_reproducible() {
+        let mut a1 = client_rng(42, 0, false);
+        let mut a2 = client_rng(42, 0, false);
+        let mut b = client_rng(42, 1, false);
+        let mut adv = client_rng(42, 0, true);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(client_rng(42, 0, false).next_u64(), b.next_u64());
+        assert_ne!(client_rng(42, 0, false).next_u64(), adv.next_u64());
+    }
+}

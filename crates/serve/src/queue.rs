@@ -1,0 +1,169 @@
+//! A bounded MPSC queue on `Mutex` + `Condvar`.
+//!
+//! `std::sync::mpsc` channels are unbounded (or rendezvous), and the
+//! daemon's whole backpressure story depends on *bounded* buffers: a
+//! full queue must be observable at the edge (so the acceptor can shed
+//! with 503, and the ingest path with 429) instead of growing without
+//! limit under overload. This queue never blocks producers — `push` is
+//! try-semantics — and consumers wait with a timeout so shutdown flags
+//! are re-checked at a bounded cadence.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A bounded multi-producer queue; consumers share one condvar.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed (shutdown); the item is handed back.
+    Closed(T),
+}
+
+impl<T> Bounded<T> {
+    /// An empty queue holding at most `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, or refuses immediately when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError`] carrying the rejected item back.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item, waiting up to `timeout`. `None` on timeout
+    /// or when the queue is closed *and* drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let (next, result) = self
+                .ready
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+            if result.timed_out() {
+                return state.items.pop_front();
+            }
+        }
+    }
+
+    /// Drains everything queued right now.
+    #[must_use]
+    pub fn drain(&self) -> Vec<T> {
+        self.lock().items.drain(..).collect()
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Closes the queue: pushes fail, consumers drain then get `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A worker that panicked while holding this lock poisons it;
+        // the queue's state (a VecDeque and a flag) is valid at every
+        // instruction boundary, so recovery is safe and keeps the
+        // daemon serving.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_is_enforced_and_items_come_back() {
+        let q = Bounded::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.drain(), vec![2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_wakes_consumers() {
+        let q = Arc::new(Bounded::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(Duration::from_secs(10)))
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+        assert_eq!(q.push(9), Err(PushError::Closed(9)));
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_nothing_arrives() {
+        let q: Bounded<u8> = Bounded::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(20)), None);
+    }
+}

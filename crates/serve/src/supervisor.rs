@@ -1,0 +1,204 @@
+//! Panic-isolated worker threads under a restarting supervisor.
+//!
+//! Connection workers run arbitrary request handling; a bug that
+//! panics one must cost the daemon a single in-flight connection, not
+//! the process. Each worker is its own thread (a panic unwinds and
+//! kills only that thread), and the supervisor polls the pool,
+//! respawning dead slots with capped exponential backoff — rapid
+//! crash-looping decays to a slow trickle instead of a hot spin, and a
+//! worker that stayed up long enough resets its slot's penalty. Every
+//! respawn increments `worker_restarts_total`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use paydemand_obs::Counter;
+
+/// Initial respawn delay after a worker death.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+/// Ceiling on the respawn delay.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+/// A worker alive this long earns its slot a clean slate.
+const HEALTHY_AFTER: Duration = Duration::from_secs(10);
+/// Supervisor poll cadence.
+const POLL: Duration = Duration::from_millis(20);
+
+/// The work a slot runs: called with the slot index, expected to loop
+/// until the shared shutdown flag flips. Panics are the supervisor's
+/// business; returning normally during shutdown is the clean exit.
+pub type WorkerFn = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// A handle to the supervising thread; join it via [`Supervisor::join`].
+#[derive(Debug)]
+pub struct Supervisor {
+    handle: Option<JoinHandle<()>>,
+}
+
+struct Slot {
+    handle: Option<JoinHandle<()>>,
+    /// Consecutive deaths without a healthy run.
+    strikes: u32,
+    /// When the current incarnation started.
+    born: Instant,
+    /// Earliest instant the next respawn may happen.
+    respawn_at: Instant,
+}
+
+impl Supervisor {
+    /// Spawns `count` workers running `work` and the supervising thread
+    /// that keeps them alive until `shutdown` flips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn failures for the supervisor itself;
+    /// worker spawn failures inside the loop are retried with backoff.
+    pub fn start(
+        name: &str,
+        count: usize,
+        shutdown: Arc<AtomicBool>,
+        restarts: Counter,
+        work: WorkerFn,
+    ) -> std::io::Result<Supervisor> {
+        let label = name.to_owned();
+        let handle = std::thread::Builder::new()
+            .name(format!("{name}-supervisor"))
+            .spawn(move || supervise(&label, count, &shutdown, &restarts, &work))?;
+        Ok(Supervisor { handle: Some(handle) })
+    }
+
+    /// Waits for the supervisor (and thereby every worker) to exit;
+    /// call after flipping the shutdown flag.
+    pub fn join(mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn supervise(
+    name: &str,
+    count: usize,
+    shutdown: &Arc<AtomicBool>,
+    restarts: &Counter,
+    work: &WorkerFn,
+) {
+    let now = Instant::now();
+    let mut slots: Vec<Slot> = (0..count)
+        .map(|i| Slot {
+            handle: spawn_worker(name, i, work),
+            strikes: 0,
+            born: now,
+            respawn_at: now,
+        })
+        .collect();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let died = match &slot.handle {
+                Some(h) => h.is_finished(),
+                None => true,
+            };
+            if !died {
+                continue;
+            }
+            if let Some(h) = slot.handle.take() {
+                // A panicking worker delivers Err here; either way the
+                // slot is empty now and the death is accounted below.
+                let _ = h.join();
+                if slot.born.elapsed() >= HEALTHY_AFTER {
+                    slot.strikes = 0;
+                }
+                slot.strikes = slot.strikes.saturating_add(1);
+                let backoff = BACKOFF_BASE
+                    .saturating_mul(1u32 << slot.strikes.min(7).saturating_sub(1))
+                    .min(BACKOFF_CAP);
+                slot.respawn_at = Instant::now() + backoff;
+            }
+            if Instant::now() >= slot.respawn_at && !shutdown.load(Ordering::SeqCst) {
+                slot.handle = spawn_worker(name, i, work);
+                if slot.handle.is_some() {
+                    slot.born = Instant::now();
+                    restarts.inc();
+                }
+            }
+        }
+        std::thread::sleep(POLL);
+    }
+
+    for slot in &mut slots {
+        if let Some(h) = slot.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_worker(name: &str, index: usize, work: &WorkerFn) -> Option<JoinHandle<()>> {
+    let work = Arc::clone(work);
+    std::thread::Builder::new()
+        .name(format!("{name}-worker-{index}"))
+        .spawn(move || work(index))
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paydemand_obs::Recorder;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn panicking_workers_are_respawned_with_backoff() {
+        let recorder = Recorder::enabled();
+        let restarts = recorder.counter("worker_restarts_total");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let spawned = Arc::new(AtomicU32::new(0));
+        let work: WorkerFn = {
+            let shutdown = Arc::clone(&shutdown);
+            let spawned = Arc::clone(&spawned);
+            Arc::new(move |_slot| {
+                let generation = spawned.fetch_add(1, Ordering::SeqCst);
+                if generation < 3 {
+                    panic!("worker down");
+                }
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let sup =
+            Supervisor::start("test", 1, Arc::clone(&shutdown), restarts.clone(), work).unwrap();
+        // Three panicking generations must be replaced; the fourth
+        // lives until shutdown.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while spawned.load(Ordering::SeqCst) < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(spawned.load(Ordering::SeqCst) >= 4, "workers were not respawned");
+        shutdown.store(true, Ordering::SeqCst);
+        sup.join();
+        assert!(restarts.get() >= 3, "restarts counted: {}", restarts.get());
+    }
+
+    #[test]
+    fn healthy_workers_exit_cleanly_on_shutdown() {
+        let recorder = Recorder::enabled();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let work: WorkerFn = {
+            let shutdown = Arc::clone(&shutdown);
+            Arc::new(move |_| {
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let restarts = recorder.counter("worker_restarts_total");
+        let sup =
+            Supervisor::start("calm", 3, Arc::clone(&shutdown), restarts.clone(), work).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        shutdown.store(true, Ordering::SeqCst);
+        sup.join();
+        assert_eq!(restarts.get(), 0);
+    }
+}

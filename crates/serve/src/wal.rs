@@ -1,0 +1,376 @@
+//! The daemon's event write-ahead log.
+//!
+//! Durability protocol (see docs/SERVING.md for the state machine):
+//!
+//! 1. `POST /events` appends each accepted event to the log — and
+//!    fsyncs — *before* the 202 is written, so an acknowledged event
+//!    survives any crash;
+//! 2. each tick appends a *barrier* `(round, n)` — and fsyncs —
+//!    before feeding the oldest `n` logged events into the engine and
+//!    stepping the round, so the exact batch composition of every
+//!    round is on disk before the round runs;
+//! 3. after the post-round checkpoint lands atomically, the log is
+//!    compacted (rewritten via tmp + rename) down to the events that
+//!    arrived since, so it never grows beyond one round of traffic.
+//!
+//! Replay after a crash is then mechanical: barriers at rounds the
+//! checkpoint already covers consume their events; the first barrier
+//! at the checkpoint's `next_round` re-executes deterministically;
+//! trailing events (logged, acked, never ticked) go back into the
+//! pending queue. A torn tail — the record a kill‑9 interrupted
+//! mid-append — fails its length or checksum test and is discarded,
+//! never mis-parsed.
+//!
+//! Record framing: `[tag u8][len u32 LE][payload][fnv1a-64-lo u32 LE]`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use paydemand_sim::ExternalEvent;
+
+const TAG_EVENT: u8 = 1;
+const TAG_BARRIER: u8 = 2;
+/// Largest payload a well-formed record can carry; anything bigger in
+/// a length field is torn-tail garbage.
+const MAX_PAYLOAD: u32 = 64;
+
+/// One decoded log record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalRecord {
+    /// An ingested, acknowledged event awaiting (or consumed by) a tick.
+    Event(ExternalEvent),
+    /// A tick boundary: the next `events` logged events (in FIFO
+    /// order) were fed into round `round`.
+    Barrier {
+        /// The 1-based round the batch was applied to.
+        round: u32,
+        /// How many events the batch contained.
+        events: u32,
+    },
+}
+
+/// An append-only event log with atomic compaction.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    fsync: bool,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` for appending and
+    /// returns the records already on disk, discarding a torn tail.
+    /// `fsync: false` trades durability for speed in tests and load
+    /// runs that measure the protocol, not the disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn open(path: &Path, fsync: bool) -> std::io::Result<(Wal, Vec<WalRecord>, usize)> {
+        let (records, torn_bytes) =
+            if path.exists() { read_records(path)? } else { (Vec::new(), 0) };
+        if torn_bytes > 0 {
+            // Truncate the torn tail so new appends continue from the
+            // last well-formed record instead of burying garbage.
+            let good_len = encoded_len(&records);
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(good_len as u64)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok((Wal { file, path: path.to_path_buf(), fsync }, records, torn_bytes))
+    }
+
+    /// Appends `events` and makes them durable in one fsync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync errors; on error the caller must treat
+    /// the batch as unacknowledged.
+    pub fn append_events(&mut self, events: &[ExternalEvent]) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(events.len() * 32);
+        for event in events {
+            encode_record(&mut buf, &WalRecord::Event(*event));
+        }
+        self.file.write_all(&buf)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a tick barrier and makes it durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync errors.
+    pub fn append_barrier(&mut self, round: u32, events: u32) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(16);
+        encode_record(&mut buf, &WalRecord::Barrier { round, events });
+        self.file.write_all(&buf)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Atomically rewrites the log to contain exactly `pending` (the
+    /// events not yet covered by the last checkpoint), via tmp+rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors; the old log stays valid if any
+    /// step fails before the rename.
+    pub fn compact(&mut self, pending: &[ExternalEvent]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("log.tmp");
+        let mut buf = Vec::with_capacity(pending.len() * 32);
+        for event in pending {
+            encode_record(&mut buf, &WalRecord::Event(*event));
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            if self.fsync {
+                f.sync_all()?;
+            }
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// The log's on-disk path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads every well-formed record in `path`, returning them plus the
+/// number of torn trailing bytes discarded (0 for a clean log).
+///
+/// # Errors
+///
+/// Propagates read errors; corruption is *not* an error — parsing
+/// simply stops at the first bad record.
+pub fn read_records(path: &Path) -> std::io::Result<(Vec<WalRecord>, usize)> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        match decode_record(&bytes[at..]) {
+            Some((record, used)) => {
+                records.push(record);
+                at += used;
+            }
+            None => break,
+        }
+    }
+    Ok((records, bytes.len() - at))
+}
+
+fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
+    let mut payload = Vec::with_capacity(24);
+    let tag = match record {
+        WalRecord::Event(ExternalEvent::Move { user, x, y }) => {
+            payload.push(0u8);
+            payload.extend_from_slice(&user.to_le_bytes());
+            payload.extend_from_slice(&x.to_bits().to_le_bytes());
+            payload.extend_from_slice(&y.to_bits().to_le_bytes());
+            TAG_EVENT
+        }
+        WalRecord::Event(ExternalEvent::Upload { user, task, value }) => {
+            payload.push(1u8);
+            payload.extend_from_slice(&user.to_le_bytes());
+            payload.extend_from_slice(&task.to_le_bytes());
+            payload.extend_from_slice(&value.to_bits().to_le_bytes());
+            TAG_EVENT
+        }
+        WalRecord::Barrier { round, events } => {
+            payload.extend_from_slice(&round.to_le_bytes());
+            payload.extend_from_slice(&events.to_le_bytes());
+            TAG_BARRIER
+        }
+    };
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+}
+
+fn decode_record(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+    if bytes.len() < 5 {
+        return None;
+    }
+    let tag = bytes[0];
+    let len = u32::from_le_bytes(bytes[1..5].try_into().ok()?);
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let len = len as usize;
+    let total = 5 + len + 4;
+    if bytes.len() < total {
+        return None;
+    }
+    let payload = &bytes[5..5 + len];
+    let stored = u32::from_le_bytes(bytes[5 + len..total].try_into().ok()?);
+    if checksum(payload) != stored {
+        return None;
+    }
+    let record = match tag {
+        TAG_EVENT => decode_event(payload)?,
+        TAG_BARRIER if len == 8 => WalRecord::Barrier {
+            round: u32::from_le_bytes(payload[0..4].try_into().ok()?),
+            events: u32::from_le_bytes(payload[4..8].try_into().ok()?),
+        },
+        _ => return None,
+    };
+    Some((record, total))
+}
+
+fn decode_event(payload: &[u8]) -> Option<WalRecord> {
+    match payload.first()? {
+        0 if payload.len() == 21 => Some(WalRecord::Event(ExternalEvent::Move {
+            user: u32::from_le_bytes(payload[1..5].try_into().ok()?),
+            x: f64::from_bits(u64::from_le_bytes(payload[5..13].try_into().ok()?)),
+            y: f64::from_bits(u64::from_le_bytes(payload[13..21].try_into().ok()?)),
+        })),
+        1 if payload.len() == 17 => Some(WalRecord::Event(ExternalEvent::Upload {
+            user: u32::from_le_bytes(payload[1..5].try_into().ok()?),
+            task: u32::from_le_bytes(payload[5..9].try_into().ok()?),
+            value: f64::from_bits(u64::from_le_bytes(payload[9..17].try_into().ok()?)),
+        })),
+        _ => None,
+    }
+}
+
+fn encoded_len(records: &[WalRecord]) -> usize {
+    let mut buf = Vec::new();
+    for r in records {
+        encode_record(&mut buf, r);
+    }
+    buf.len()
+}
+
+/// FNV-1a 64 truncated to its low 32 bits.
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("paydemand-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let path = tmp_path("roundtrip");
+        let events = [
+            ExternalEvent::Move { user: 7, x: 12.25, y: -3.5 },
+            ExternalEvent::Upload { user: 2, task: 9, value: 0.125 },
+        ];
+        {
+            let (mut wal, existing, torn) = Wal::open(&path, true).unwrap();
+            assert!(existing.is_empty());
+            assert_eq!(torn, 0);
+            wal.append_events(&events).unwrap();
+            wal.append_barrier(4, 2).unwrap();
+        }
+        let (records, torn) = read_records(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Event(events[0]),
+                WalRecord::Event(events[1]),
+                WalRecord::Barrier { round: 4, events: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_truncated() {
+        let path = tmp_path("torn");
+        {
+            let (mut wal, _, _) = Wal::open(&path, true).unwrap();
+            wal.append_events(&[ExternalEvent::Upload { user: 1, task: 1, value: 1.0 }]).unwrap();
+        }
+        // Simulate a kill-9 mid-append: half a record of garbage.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[TAG_EVENT, 21, 0, 0, 0, 1, 2, 3]).unwrap();
+        }
+        let (records, torn) = read_records(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(torn > 0);
+        // Re-opening truncates the tail and appends continue cleanly.
+        {
+            let (mut wal, existing, torn) = Wal::open(&path, true).unwrap();
+            assert_eq!(existing.len(), 1);
+            assert!(torn > 0);
+            wal.append_barrier(1, 1).unwrap();
+        }
+        let (records, torn) = read_records(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], WalRecord::Barrier { round: 1, events: 1 });
+    }
+
+    #[test]
+    fn corrupt_length_and_checksum_stop_parsing() {
+        let path = tmp_path("corrupt");
+        {
+            let (mut wal, _, _) = Wal::open(&path, true).unwrap();
+            wal.append_barrier(1, 0).unwrap();
+            wal.append_barrier(2, 0).unwrap();
+        }
+        // Flip a payload byte of the second record: its checksum fails
+        // and parsing stops there, keeping the first record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let record_len = bytes.len() / 2;
+        bytes[record_len + 6] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, torn) = read_records(&path).unwrap();
+        assert_eq!(records, vec![WalRecord::Barrier { round: 1, events: 0 }]);
+        assert_eq!(torn, record_len);
+        // An insane length field is equally fatal for the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(record_len);
+        bytes.extend_from_slice(&[TAG_EVENT, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, _) = read_records(&path).unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn compaction_rewrites_to_pending_only() {
+        let path = tmp_path("compact");
+        let keep = ExternalEvent::Move { user: 3, x: 1.0, y: 2.0 };
+        {
+            let (mut wal, _, _) = Wal::open(&path, true).unwrap();
+            wal.append_events(&[ExternalEvent::Upload { user: 0, task: 0, value: 0.5 }]).unwrap();
+            wal.append_barrier(1, 1).unwrap();
+            wal.compact(&[keep]).unwrap();
+            // Appends after compaction land in the new file.
+            wal.append_barrier(2, 1).unwrap();
+        }
+        let (records, torn) = read_records(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(
+            records,
+            vec![WalRecord::Event(keep), WalRecord::Barrier { round: 2, events: 1 }]
+        );
+    }
+}

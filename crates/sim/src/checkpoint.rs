@@ -583,6 +583,7 @@ pub(crate) fn resume(
         done,
         injector,
         pending,
+        inbox: Vec::new(),
         recorder: recorder.clone(),
         metrics_on,
         instruments,

@@ -176,6 +176,60 @@ impl TravelContext {
     }
 }
 
+/// An externally-ingested platform event, queued with
+/// [`Engine::enqueue_event`] and applied at the next round boundary.
+///
+/// Events model the online-arrival setting the daemon serves: clients
+/// report movement and out-of-band uploads between rounds, and the
+/// engine folds them in deterministically — moves take effect *before*
+/// the round's demand count and price publication, uploads settle at
+/// the freshly published prices, exactly where the retry queue's
+/// deliveries do. Applying an empty inbox consumes no RNG and touches
+/// no state, so a run that never receives events is bit-identical to
+/// one driven by [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExternalEvent {
+    /// User `user` reports a new position. Takes effect before the
+    /// next round's demand count, so published prices see it.
+    Move {
+        /// The moving user's id.
+        user: u32,
+        /// New easting in metres (must lie inside the sensing area).
+        x: f64,
+        /// New northing in metres (must lie inside the sensing area).
+        y: f64,
+    },
+    /// User `user` delivers a measurement for `task` out of band. It
+    /// settles at the reward current on the round it lands in; the
+    /// platform's usual rejections (task complete, duplicate, budget
+    /// exhausted) silently drop it, mirroring the retry queue.
+    Upload {
+        /// The contributing user's id.
+        user: u32,
+        /// The measured task's id.
+        task: u32,
+        /// The sensed value folded into the task's estimate.
+        value: f64,
+    },
+}
+
+/// A point-in-time view of one task's progress, as served by the
+/// daemon's `GET /demand`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskStatus {
+    /// The task id.
+    pub task: u32,
+    /// Measurements received so far (≤ `required`).
+    pub received: u32,
+    /// Measurements the task demands (the paper's φ).
+    pub required: u32,
+    /// Round the task completed in, if it has.
+    pub completed_round: Option<u32>,
+    /// Reward posted in the most recent round; `None` if the task was
+    /// not published then (complete or withheld) or no round has run.
+    pub reward: Option<f64>,
+}
+
 /// Everything recorded about one sensing round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -478,6 +532,13 @@ pub struct Engine {
     pub(crate) done: bool,
     pub(crate) injector: Option<FaultInjector>,
     pub(crate) pending: Vec<PendingUpload>,
+    /// Externally-ingested events awaiting the next round boundary.
+    /// Deliberately *not* checkpointed: [`Engine::checkpoint`] refuses
+    /// while the inbox is non-empty, so durability of undelivered
+    /// events stays the caller's job (the daemon keeps them in its
+    /// write-ahead log until the round that consumed them is
+    /// checkpointed).
+    pub(crate) inbox: Vec<ExternalEvent>,
     pub(crate) recorder: Recorder,
     pub(crate) metrics_on: bool,
     pub(crate) instruments: EngineInstruments,
@@ -577,6 +638,7 @@ impl Engine {
             done: false,
             injector,
             pending: Vec::new(),
+            inbox: Vec::new(),
             recorder: recorder.clone(),
             metrics_on,
             instruments,
@@ -631,6 +693,131 @@ impl Engine {
         self.rounds.len()
     }
 
+    /// The scenario this engine runs.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The sensing area tasks and users live in.
+    #[must_use]
+    pub fn area(&self) -> Rect {
+        self.workload.area
+    }
+
+    /// Number of users in the generated workload.
+    #[must_use]
+    pub fn num_users(&self) -> usize {
+        self.workload.users.len()
+    }
+
+    /// Number of tasks in the generated workload.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.workload.tasks.len()
+    }
+
+    /// The most recently completed round's record, if any round ran.
+    #[must_use]
+    pub fn last_round(&self) -> Option<&RoundRecord> {
+        self.rounds.last()
+    }
+
+    /// Total rewards the platform has paid so far.
+    #[must_use]
+    pub fn total_paid(&self) -> f64 {
+        self.platform.total_paid()
+    }
+
+    /// The platform's spend cap, if budget enforcement is on.
+    #[must_use]
+    pub fn spend_cap(&self) -> Option<f64> {
+        self.platform.spend_cap()
+    }
+
+    /// Straggler uploads waiting in the fault-retry queue.
+    #[must_use]
+    pub fn pending_retries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Externally-ingested events queued for the next round boundary.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Every task's current progress (received/required counts,
+    /// completion round, last posted reward).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EngineInvariant`] if the platform has lost track of
+    /// a workload task (cannot happen short of an internal bug).
+    pub fn task_statuses(&self) -> Result<Vec<TaskStatus>, SimError> {
+        let m = self.workload.tasks.len();
+        let last = self.rounds.last();
+        let mut statuses = Vec::with_capacity(m);
+        for i in 0..m {
+            let gone = |_| SimError::invariant(format!("task {i} vanished from platform"));
+            statuses.push(TaskStatus {
+                task: i as u32,
+                received: self.platform.received(TaskId(i)).map_err(gone)?,
+                required: self.workload.tasks[i].required(),
+                completed_round: self.platform.completed_round(TaskId(i)).map_err(gone)?,
+                reward: last.and_then(|r| r.rewards[i]),
+            });
+        }
+        Ok(statuses)
+    }
+
+    /// Queues an externally-ingested event for the next round boundary;
+    /// see [`ExternalEvent`] for when each kind takes effect. Validation
+    /// happens here — at ingest, not mid-round — so a daemon can reject
+    /// a bad request with a typed error while the round loop itself
+    /// never sees malformed input.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Event`] for an unknown user or task id, a non-finite
+    /// or out-of-area coordinate, a non-finite measurement value, or a
+    /// run that has already finished.
+    pub fn enqueue_event(&mut self, event: ExternalEvent) -> Result<(), SimError> {
+        if self.is_finished() {
+            return Err(SimError::event("run is finished; no further round will apply events"));
+        }
+        let n = self.workload.users.len();
+        let m = self.workload.tasks.len();
+        match event {
+            ExternalEvent::Move { user, x, y } => {
+                if user as usize >= n {
+                    return Err(SimError::event(format!("unknown user {user} (workload has {n})")));
+                }
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(SimError::event(format!("non-finite coordinate ({x}, {y})")));
+                }
+                if !self.workload.area.contains(Point::new(x, y)) {
+                    return Err(SimError::event(format!(
+                        "position ({x}, {y}) lies outside the sensing area"
+                    )));
+                }
+            }
+            ExternalEvent::Upload { user, task, value } => {
+                if user as usize >= n {
+                    return Err(SimError::event(format!("unknown user {user} (workload has {n})")));
+                }
+                if task as usize >= m {
+                    return Err(SimError::event(format!("unknown task {task} (workload has {m})")));
+                }
+                if !value.is_finite() {
+                    return Err(SimError::event(format!("non-finite measurement value {value}")));
+                }
+            }
+        }
+        self.inbox.push(event);
+        Ok(())
+    }
+
     /// Runs every remaining round.
     ///
     /// # Errors
@@ -667,6 +854,29 @@ impl Engine {
         if tracing {
             self.trace.record(TraceEvent::RoundStart { round });
         }
+
+        // Externally-ingested events land at this round boundary:
+        // moves take effect now, before demand is counted, so the
+        // published prices see them; uploads wait for those prices and
+        // settle below, right where the retry queue's deliveries do.
+        // An empty inbox leaves this a no-op (no RNG, no state).
+        let external_uploads: Vec<(usize, TaskId, f64)> = if self.inbox.is_empty() {
+            Vec::new()
+        } else {
+            let inbox = std::mem::take(&mut self.inbox);
+            let mut uploads = Vec::with_capacity(inbox.len());
+            for event in inbox {
+                match event {
+                    ExternalEvent::Move { user, x, y } => {
+                        self.locations.set(user as usize, Point::new(x, y));
+                    }
+                    ExternalEvent::Upload { user, task, value } => {
+                        uploads.push((user as usize, TaskId(task as usize), value));
+                    }
+                }
+            }
+            uploads
+        };
 
         let round_faults = match self.injector.as_mut() {
             Some(inj) => inj.begin_round(round),
@@ -761,6 +971,7 @@ impl Engine {
         let mut user_profits = vec![0.0; n];
         let mut user_selected = vec![0u32; n];
 
+        self.apply_external_uploads(external_uploads, &mut new_measurements, &mut user_profits)?;
         self.process_retries(round, &mut new_measurements, &mut user_profits)?;
 
         let mut order: Vec<usize> = (0..n).collect();
@@ -1064,6 +1275,56 @@ impl Engine {
         telemetry.timeseries.record(round, snapshot);
     }
 
+    /// Settles externally-ingested uploads at the prices just
+    /// published. Platform rejections — the task filled meanwhile, the
+    /// user already counts, the budget ran dry — drop the event
+    /// deterministically (counted, never an error), mirroring the
+    /// retry queue's abandonment semantics; anything else is a real
+    /// failure and propagates.
+    fn apply_external_uploads(
+        &mut self,
+        uploads: Vec<(usize, TaskId, f64)>,
+        new_measurements: &mut [u32],
+        user_profits: &mut [f64],
+    ) -> Result<(), SimError> {
+        for (user, task, value) in uploads {
+            match self.platform.submit(UserId(user), task) {
+                Ok(pay) => {
+                    if self.trace.is_enabled() {
+                        self.trace.record(TraceEvent::Submit {
+                            user: user as u32,
+                            task: task.0 as u32,
+                            reward: pay,
+                        });
+                    }
+                    self.contributed[user].insert(task);
+                    new_measurements[task.0] += 1;
+                    user_profits[user] += pay;
+                    self.quality_received[task.0] += self.workload.qualities[user];
+                    self.estimates[task.0].add(value);
+                    self.recorder.counter("external_uploads_total").inc();
+                }
+                Err(CoreError::TaskComplete(_)) => {
+                    self.recorder
+                        .counter_with("external_uploads_rejected_total", "reason", "task_complete")
+                        .inc();
+                }
+                Err(CoreError::DuplicateContribution { .. }) => {
+                    self.recorder
+                        .counter_with("external_uploads_rejected_total", "reason", "duplicate")
+                        .inc();
+                }
+                Err(CoreError::BudgetExhausted { .. }) => {
+                    self.recorder
+                        .counter_with("external_uploads_rejected_total", "reason", "budget")
+                        .inc();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
     /// Attempts delivery of due queued uploads; called right after the
     /// round's publish so retried measurements settle at current prices.
     fn process_retries(
@@ -1136,8 +1397,18 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`SimError::Checkpoint`] if the state cannot be captured.
+    /// [`SimError::Checkpoint`] if the state cannot be captured, or if
+    /// externally-ingested events are still queued — the inbox is not
+    /// part of the checkpoint, so capturing now would silently drop
+    /// them; step the round (or keep them durable elsewhere, as the
+    /// daemon's write-ahead log does) first.
     pub fn checkpoint(&self) -> Result<Vec<u8>, SimError> {
+        if !self.inbox.is_empty() {
+            return Err(SimError::checkpoint(format!(
+                "{} external events queued; step the round before checkpointing",
+                self.inbox.len()
+            )));
+        }
         let _tag = self.recorder.alloc_phase(AllocPhase::Checkpoint);
         let bytes = crate::checkpoint::encode(self)?;
         self.recorder.counter("checkpoint_writes_total").inc();
@@ -1421,6 +1692,97 @@ mod tests {
         // Paid amount is positive iff measurements happened.
         if r.total_measurements() > 0 {
             assert!(r.total_paid > 0.0);
+        }
+    }
+
+    #[test]
+    fn external_events_validate_at_enqueue() {
+        let s = small_scenario();
+        let mut e = Engine::new(&s, &Recorder::disabled()).unwrap();
+        let n = e.num_users() as u32;
+        let m = e.num_tasks() as u32;
+        let bad = [
+            ExternalEvent::Move { user: n, x: 1.0, y: 1.0 },
+            ExternalEvent::Move { user: 0, x: f64::NAN, y: 1.0 },
+            ExternalEvent::Move { user: 0, x: -1.0e9, y: 1.0 },
+            ExternalEvent::Upload { user: n, task: 0, value: 1.0 },
+            ExternalEvent::Upload { user: 0, task: m, value: 1.0 },
+            ExternalEvent::Upload { user: 0, task: 0, value: f64::INFINITY },
+        ];
+        for event in bad {
+            assert!(
+                matches!(e.enqueue_event(event), Err(SimError::Event { .. })),
+                "{event:?} should have been rejected"
+            );
+        }
+        assert_eq!(e.pending_events(), 0);
+
+        let a = e.area();
+        let (cx, cy) = ((a.min().x + a.max().x) / 2.0, (a.min().y + a.max().y) / 2.0);
+        e.enqueue_event(ExternalEvent::Move { user: 0, x: cx, y: cy }).unwrap();
+        assert_eq!(e.pending_events(), 1);
+        // The inbox is not checkpointable state: capture must refuse
+        // rather than silently drop queued events.
+        assert!(matches!(e.checkpoint(), Err(SimError::Checkpoint { .. })));
+        assert!(e.step_round().unwrap());
+        assert_eq!(e.pending_events(), 0);
+        e.checkpoint().unwrap();
+
+        e.run_to_completion().unwrap();
+        assert!(matches!(
+            e.enqueue_event(ExternalEvent::Move { user: 0, x: cx, y: cy }),
+            Err(SimError::Event { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_external_upload_drops_without_error() {
+        let s = small_scenario();
+        let mut e = Engine::new(&s, &Recorder::disabled()).unwrap();
+        e.enqueue_event(ExternalEvent::Upload { user: 0, task: 0, value: 1.0 }).unwrap();
+        e.enqueue_event(ExternalEvent::Upload { user: 0, task: 0, value: 1.0 }).unwrap();
+        assert!(e.step_round().unwrap());
+        // The first upload lands (task 0 is incomplete in round 1); the
+        // duplicate is dropped silently, mirroring the retry queue.
+        assert!(e.rounds[0].new_measurements[0] >= 1);
+        assert!(e.rounds[0].user_profits[0] > 0.0);
+    }
+
+    #[test]
+    fn external_events_replay_bit_identical_across_checkpoints() {
+        let s = small_scenario();
+        let drive = |checkpoint_at: Option<u32>| -> SimulationResult {
+            let mut e = Engine::new(&s, &Recorder::disabled()).unwrap();
+            let a = e.area();
+            let (cx, cy) = ((a.min().x + a.max().x) / 2.0, (a.min().y + a.max().y) / 2.0);
+            let n = e.num_users() as u32;
+            let m = e.num_tasks() as u32;
+            let mut round = 1u32;
+            while !e.is_finished() {
+                e.enqueue_event(ExternalEvent::Move { user: round % n, x: cx, y: cy }).unwrap();
+                e.enqueue_event(ExternalEvent::Upload {
+                    user: round % n,
+                    task: round % m,
+                    value: 0.5,
+                })
+                .unwrap();
+                e.step_round().unwrap();
+                if checkpoint_at == Some(round) {
+                    let bytes = e.checkpoint().unwrap();
+                    e = Engine::resume(&s, &bytes, &Recorder::disabled()).unwrap();
+                }
+                round += 1;
+            }
+            e.finish().unwrap()
+        };
+        let straight = drive(None);
+        assert!(straight.total_measurements() > 0);
+        for ck in [1, 3, 5] {
+            let resumed = drive(Some(ck));
+            assert!(
+                straight.observationally_eq(&resumed),
+                "checkpoint/resume at round {ck} diverged under external events"
+            );
         }
     }
 

@@ -31,6 +31,13 @@ pub enum SimError {
         /// What went wrong.
         message: String,
     },
+    /// An externally-ingested event was rejected before reaching the
+    /// round loop: unknown user or task, an out-of-area coordinate, a
+    /// non-finite value, or a run that has already finished.
+    Event {
+        /// What was wrong with the event.
+        message: String,
+    },
 }
 
 impl SimError {
@@ -42,6 +49,11 @@ impl SimError {
     /// An [`SimError::Checkpoint`] with the given message.
     pub(crate) fn checkpoint(message: impl Into<String>) -> Self {
         SimError::Checkpoint { message: message.into() }
+    }
+
+    /// An [`SimError::Event`] with the given message.
+    pub(crate) fn event(message: impl Into<String>) -> Self {
+        SimError::Event { message: message.into() }
     }
 }
 
@@ -57,6 +69,7 @@ impl fmt::Display for SimError {
                 write!(f, "engine invariant violated: {message}")
             }
             SimError::Checkpoint { message } => write!(f, "checkpoint: {message}"),
+            SimError::Event { message } => write!(f, "event rejected: {message}"),
         }
     }
 }
@@ -104,5 +117,7 @@ mod tests {
         assert!(inv.source().is_none());
         let ck = SimError::checkpoint("bad magic");
         assert!(ck.to_string().contains("checkpoint: bad magic"));
+        let ev = SimError::event("unknown user 99");
+        assert!(ev.to_string().contains("event rejected: unknown user 99"));
     }
 }
