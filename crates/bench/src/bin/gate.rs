@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 use paydemand_bench::gate::{compare, parse, TELEMETRY_OVERHEAD_TARGET, TRACE_OVERHEAD_TARGET};
-use paydemand_bench::serve_gate::{check_serve, parse_serve};
+use paydemand_bench::serve_gate::{check_serve, parse_serve, warn_serve};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -120,6 +120,15 @@ fn serve_gate(path: &str, quick: bool) -> ExitCode {
         doc.worker_restarts,
         doc.recovery_ms.map_or("none".to_owned(), |ms| format!("{ms:.1} ms")),
     );
+    if let Some(stages) = doc.server_stage_us {
+        println!(
+            "serve: stage p99 (µs): parse {}, fsync {}, ack {}",
+            stages.parse.1, stages.fsync.1, stages.ack.1
+        );
+    }
+    for warning in warn_serve(&doc) {
+        println!("gate: WARNING: {warning}");
+    }
     let failures: Vec<String> =
         check_serve(&doc).into_iter().filter(|f| !(quick && f.contains("below the"))).collect();
     if failures.is_empty() {

@@ -17,9 +17,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use paydemand_bench::serve_gate::{check_serve, parse_serve};
+use paydemand_bench::serve_gate::{check_serve, parse_serve, warn_serve};
 use paydemand_obs::Recorder;
-use paydemand_serve::{run_load, Daemon, DaemonConfig, LoadPlan};
+use paydemand_serve::{run_load, Daemon, DaemonConfig, LoadPlan, ServerStages};
 use paydemand_sim::Scenario;
 
 /// Ingest queue sized to hold the whole gate plan, so throughput is
@@ -93,8 +93,9 @@ fn run(args: &Args) -> Result<(), String> {
     // the --resume leg genuinely re-executes rounds from the WAL
     // instead of waking up next to a fresh checkpoint.
     config.checkpoint_every = 1_000;
-    let daemon = Daemon::start(config.clone(), &Recorder::enabled())
-        .map_err(|e| format!("starting daemon: {e}"))?;
+    let recorder = Recorder::enabled();
+    let daemon =
+        Daemon::start(config.clone(), &recorder).map_err(|e| format!("starting daemon: {e}"))?;
     let addr = daemon.local_addr();
     eprintln!("loadgen: daemon on http://{addr}, state in {}", state_dir.display());
 
@@ -106,6 +107,9 @@ fn run(args: &Args) -> Result<(), String> {
         plan.adversarial_clients = 1;
     }
     let mut report = run_load(addr, &plan).map_err(|e| format!("load run: {e}"))?;
+    // The daemon runs in-process, so its stage histograms are a
+    // recorder read away: the server-side view of the same requests.
+    report.server_stages = Some(ServerStages::from_recorder(&recorder));
     eprintln!(
         "loadgen: {} events accepted at {:.0}/s, {} shed, {} attacks ({} hangs)",
         report.events_accepted,
@@ -114,6 +118,18 @@ fn run(args: &Args) -> Result<(), String> {
         report.adversarial_requests,
         report.adversarial_hangs
     );
+    if let Some(stages) = report.server_stages {
+        eprintln!(
+            "loadgen: server stages (µs): parse p50 {} / p99 {}, fsync p50 {} / p99 {}, \
+             ack p50 {} / p99 {}",
+            stages.parse_us_p50,
+            stages.parse_us_p99,
+            stages.fsync_us_p50,
+            stages.fsync_us_p99,
+            stages.ack_us_p50,
+            stages.ack_us_p99,
+        );
+    }
 
     // Fold a few rounds so the crash happens with real engine progress
     // behind it, then leave a tail of acked-but-unapplied events in the
@@ -156,6 +172,9 @@ fn run(args: &Args) -> Result<(), String> {
     // not one CI step later. --quick runs shrink below the throughput
     // floor by design; they only validate the schema.
     let doc = parse_serve(&json).map_err(|e| format!("self-emitted document invalid: {e}"))?;
+    for warning in warn_serve(&doc) {
+        eprintln!("loadgen: WARNING: {warning}");
+    }
     let failures = check_serve(&doc);
     let failures: Vec<&String> = if args.quick {
         failures.iter().filter(|f| !f.contains("below the")).collect()

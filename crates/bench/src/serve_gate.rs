@@ -13,6 +13,10 @@ use paydemand_obs::{parse_json, JsonValue};
 /// Accepted events per second the daemon must sustain under the
 /// adversarial gate plan.
 pub const EVENTS_PER_SEC_FLOOR: f64 = 10_000.0;
+/// When the server-side fsync-stage p99 exceeds this fraction of the
+/// ack p99, the WAL sync dominates the ack budget and the gate warns
+/// (warning only — fsync cost is hardware, not a code regression).
+pub const FSYNC_DOMINANCE_FRACTION: f64 = 0.9;
 /// Upper bound on the `--resume` recovery leg, milliseconds. Generous:
 /// recovery replays the WAL and rewrites the checkpoint, both linear
 /// in the pending-event count.
@@ -47,6 +51,21 @@ pub struct ServeDoc {
     pub daemon_state: String,
     /// Kill‑9 `--resume` recovery time, milliseconds.
     pub recovery_ms: Option<f64>,
+    /// Server-side stage latencies, microseconds, when the document
+    /// carries them: (parse p50, parse p99, fsync p50, fsync p99,
+    /// ack p50, ack p99).
+    pub server_stage_us: Option<ServerStageUs>,
+}
+
+/// The `server_stage_us` block of a serve document (all microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStageUs {
+    /// JSON decode stage p50/p99.
+    pub parse: (u64, u64),
+    /// WAL append + fsync stage p50/p99.
+    pub fsync: (u64, u64),
+    /// Whole-accept (entry → ack) p50/p99.
+    pub ack: (u64, u64),
 }
 
 /// Parses a `BENCH_serve.json` document.
@@ -92,7 +111,42 @@ pub fn parse_serve(doc: &str) -> Result<ServeDoc, String> {
             .to_owned(),
         // `null` (no recovery leg) parses as absent.
         recovery_ms: root.get("recovery_ms").and_then(JsonValue::as_f64),
+        // Optional: only in-process harnesses can read the server's
+        // recorder; older documents lack the block entirely.
+        server_stage_us: root.get("server_stage_us").and_then(parse_stages),
     })
+}
+
+fn parse_stages(block: &JsonValue) -> Option<ServerStageUs> {
+    let pair = |name: &str| -> Option<(u64, u64)> {
+        let stage = block.get(name)?;
+        Some((
+            stage.get("p50").and_then(JsonValue::as_f64)? as u64,
+            stage.get("p99").and_then(JsonValue::as_f64)? as u64,
+        ))
+    };
+    Some(ServerStageUs { parse: pair("parse")?, fsync: pair("fsync")?, ack: pair("ack")? })
+}
+
+/// Non-fatal observations worth printing alongside the verdict: today,
+/// fsync dominance — the fsync-stage p99 consuming more than
+/// [`FSYNC_DOMINANCE_FRACTION`] of the ack p99 means the ack SLO is
+/// effectively at the mercy of the disk.
+#[must_use]
+pub fn warn_serve(doc: &ServeDoc) -> Vec<String> {
+    let mut warnings = Vec::new();
+    if let Some(stages) = doc.server_stage_us {
+        let (_, fsync_p99) = stages.fsync;
+        let (_, ack_p99) = stages.ack;
+        if ack_p99 > 0 && fsync_p99 as f64 > FSYNC_DOMINANCE_FRACTION * ack_p99 as f64 {
+            warnings.push(format!(
+                "fsync stage p99 ({fsync_p99} µs) is over {:.0}% of the ack p99 ({ack_p99} µs); \
+                 the WAL sync dominates the ack budget",
+                100.0 * FSYNC_DOMINANCE_FRACTION
+            ));
+        }
+    }
+    warnings
 }
 
 /// Checks the robustness invariants. Empty = gate passes.
@@ -163,7 +217,10 @@ mod tests {
              \"events_per_sec\": {events_per_sec:.1},\n  \"shed_rate\": 0.01,\n  \
              \"latency_us\": {{\"p50\": 300, \"p99\": 2000, \"p999\": 9000}},\n  \
              \"worker_restarts\": {restarts},\n  \"daemon_state\": \"serving\",\n  \
-             \"recovery_ms\": {recovery}\n}}\n"
+             \"recovery_ms\": {recovery},\n  \
+             \"server_stage_us\": {{\"parse\": {{\"p50\": 12, \"p99\": 45}}, \
+             \"fsync\": {{\"p50\": 90, \"p99\": 350}}, \
+             \"ack\": {{\"p50\": 150, \"p99\": 800}}}}\n}}\n"
         )
     }
 
@@ -173,7 +230,33 @@ mod tests {
         assert_eq!(doc.requests_total, 200);
         assert_eq!(doc.latency_us, (300, 2000, 9000));
         assert_eq!(doc.recovery_ms, Some(120.5));
+        let stages = doc.server_stage_us.expect("server stage block parsed");
+        assert_eq!(stages.fsync, (90, 350));
+        assert_eq!(stages.ack, (150, 800));
         assert!(check_serve(&doc).is_empty(), "{:?}", check_serve(&doc));
+        assert!(warn_serve(&doc).is_empty(), "{:?}", warn_serve(&doc));
+    }
+
+    #[test]
+    fn fsync_dominance_warns_but_does_not_fail() {
+        let mut doc = parse_serve(&doc_json(26_400.0, 0, 0, "100")).unwrap();
+        let stages = doc.server_stage_us.as_mut().unwrap();
+        stages.fsync = (600, 780); // 780 > 0.9 × 800
+        let warnings = warn_serve(&doc);
+        assert!(warnings.iter().any(|w| w.contains("dominates the ack budget")), "{warnings:?}");
+        assert!(check_serve(&doc).is_empty(), "warnings must not fail the gate");
+
+        // Documents without the block (older harnesses) warn about
+        // nothing and still parse.
+        let legacy = doc_json(26_400.0, 0, 0, "100").replace(
+            ",\n  \"server_stage_us\": {\"parse\": {\"p50\": 12, \"p99\": 45}, \
+                 \"fsync\": {\"p50\": 90, \"p99\": 350}, \
+                 \"ack\": {\"p50\": 150, \"p99\": 800}}",
+            "",
+        );
+        let legacy_doc = parse_serve(&legacy).unwrap();
+        assert_eq!(legacy_doc.server_stage_us, None);
+        assert!(warn_serve(&legacy_doc).is_empty());
     }
 
     #[test]

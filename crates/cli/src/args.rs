@@ -2,6 +2,7 @@
 //! CLI crate; the grammar is small enough that a table-driven parser
 //! stays readable).
 
+use paydemand_obs::LogLevel;
 use paydemand_sim::{
     FaultKind, FaultPlan, IndexingMode, MechanismKind, PricingCacheMode, Scenario, SelectorKind,
     TravelModel,
@@ -19,6 +20,9 @@ USAGE:
                                   POST /events, GET /prices /demand
                                   /status /metrics (see docs/SERVING.md)
     paydemand trace   SUBCOMMAND  inspect/explain/verify a decision journal
+    paydemand lineage SUBCOMMAND  inspect/audit a daemon state directory's
+                                  event lineage index (event id → WAL
+                                  offset → round → disposition → price)
     paydemand alerts  PATH [--rule SPEC]... [--fatal]
                                   evaluate alert rules offline against a
                                   time series saved by --timeseries-out
@@ -34,6 +38,23 @@ TRACE SUBCOMMANDS (over a journal written by `run --trace-out`):
                                   only rounds A through B inclusive
     trace verify PATH             audit internal consistency (framing,
                                   payments vs posted prices, budget)
+
+LINEAGE SUBCOMMANDS (over a stopped/crashed daemon's --state-dir;
+verify re-runs the engine, so pass the same scenario flags the daemon
+ran with — --preset --users --tasks --rounds --area --radius --budget
+--seed --selector --travel --mechanism --enforce-budget):
+    lineage show --state-dir DIR        frame counts, per-round spend,
+                                        disposition breakdown
+    lineage trace-event ID --state-dir DIR
+                                        one event's full lineage: request,
+                                        WAL offset, round, disposition,
+                                        pay, round pricing
+    lineage verify --state-dir DIR [scenario flags]
+                                        replay the WAL against the
+                                        checkpoint with the daemon's
+                                        recovery semantics and prove
+                                        every acked event's frame is
+                                        present and bit-identical
 
 ALERTS (over a time series saved by run/compare --timeseries-out X.json):
     --rule METRIC,CMP,THRESHOLD,FOR_ROUNDS[,NAME]
@@ -131,6 +152,11 @@ OPTIONS (serve only; the scenario flags --preset --users --tasks
                        experiments only; weakens kill -9 durability)
     --timeseries-out PATH   write the per-round series on shutdown
                        (same format as run's; feeds `paydemand alerts`)
+    --log-level LEVEL  debug | info | warn | error — minimum severity
+                       kept in the flight recorder and served at
+                       GET /logs.json              [default: info]
+    --log-json PATH    tee every log entry to PATH as JSON lines
+                       (appending; sink errors are counted, not fatal)
     --debug-panic-route     expose POST /debug/panic, which kills the
                        handling worker (supervisor testing only)
 
@@ -161,6 +187,8 @@ pub enum Command {
     Serve(Box<ServeCommand>),
     /// Inspect, explain, diff, export, or verify a decision journal.
     Trace(TraceCommand),
+    /// Inspect or audit a daemon state directory's lineage index.
+    Lineage(Box<LineageCommand>),
     /// Evaluate alert rules offline against a saved time series.
     Alerts(AlertsCommand),
 }
@@ -190,8 +218,38 @@ pub struct ServeCommand {
     pub no_fsync: bool,
     /// Write the per-round time series here on shutdown.
     pub timeseries_out: Option<String>,
+    /// Minimum severity kept by the daemon's flight recorder.
+    pub log_level: LogLevel,
+    /// Tee log entries to this path as JSON lines.
+    pub log_json: Option<String>,
     /// Expose `POST /debug/panic` for supervisor testing.
     pub debug_panic_route: bool,
+}
+
+/// A `paydemand lineage` invocation over a daemon state directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageCommand {
+    /// The scenario the daemon ran (`verify` re-runs the engine;
+    /// `show` and `trace-event` only read the index and ignore it).
+    pub scenario: Scenario,
+    /// The daemon's `--state-dir` (checkpoint + WAL + lineage index).
+    pub state_dir: String,
+    /// Which lineage subcommand to run.
+    pub action: LineageAction,
+}
+
+/// The `paydemand lineage` subcommand family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineageAction {
+    /// Summarise the index: frames, rounds, dispositions, spend.
+    Show,
+    /// Print one event's full lineage join.
+    TraceEvent {
+        /// The ingest-assigned event id to trace.
+        id: u64,
+    },
+    /// Replay the WAL against the checkpoint and audit every frame.
+    Verify,
 }
 
 /// A `paydemand alerts` invocation.
@@ -333,6 +391,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
         Some("serve") => return parse_serve(&mut it),
         Some("trace") => return parse_trace(&mut it),
+        Some("lineage") => return parse_lineage(&mut it),
         Some("alerts") => return parse_alerts(&mut it),
         Some(sub @ ("run" | "compare")) => sub,
         Some(other) => return Err(format!("unknown command `{other}`")),
@@ -489,6 +548,8 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
     let mut max_body_bytes = 256 * 1024usize;
     let mut no_fsync = false;
     let mut timeseries_out: Option<String> = None;
+    let mut log_level = LogLevel::Info;
+    let mut log_json: Option<String> = None;
     let mut debug_panic_route = false;
 
     while let Some(flag) = it.next() {
@@ -532,6 +593,8 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
                     }
                     "--max-body-bytes" => max_body_bytes = parse_num(flag, value)?,
                     "--timeseries-out" => timeseries_out = Some(value.to_string()),
+                    "--log-level" => log_level = LogLevel::parse(value)?,
+                    "--log-json" => log_json = Some(value.to_string()),
                     other => return Err(format!("unknown flag `{other}` for `serve`")),
                 }
             }
@@ -560,8 +623,86 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
         max_body_bytes,
         no_fsync,
         timeseries_out,
+        log_level,
+        log_json,
         debug_panic_route,
     })))
+}
+
+/// Parses the `paydemand lineage` tail: a subcommand, `--state-dir`,
+/// and (for `verify`, which re-runs the engine) the serve scenario
+/// flags.
+fn parse_lineage<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, String> {
+    let action = match it.next() {
+        None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
+        Some(action) => action,
+    };
+    let mut scenario = Scenario::paper_default().with_seed(24157);
+    let mut state_dir: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--enforce-budget" => scenario.enforce_budget = true,
+            "--preset" => {
+                let name = it.next().ok_or("--preset needs a name")?;
+                let seed = scenario.seed;
+                scenario = paydemand_sim::presets::by_name(name)
+                    .ok_or_else(|| {
+                        let names: Vec<&str> =
+                            paydemand_sim::presets::all().iter().map(|(n, _)| *n).collect();
+                        format!("unknown preset `{name}`; available: {names:?}")
+                    })?
+                    .with_seed(seed);
+            }
+            flag if flag.starts_with("--") => {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--state-dir" => state_dir = Some(value.to_string()),
+                    "--users" => scenario.users = parse_num(flag, value)?,
+                    "--tasks" => scenario.tasks = parse_num(flag, value)?,
+                    "--rounds" => scenario.max_rounds = parse_num(flag, value)?,
+                    "--area" => scenario.area_side = parse_num(flag, value)?,
+                    "--radius" => scenario.neighbor_radius = parse_num(flag, value)?,
+                    "--budget" => scenario.reward_budget = parse_num(flag, value)?,
+                    "--seed" => scenario.seed = parse_num(flag, value)?,
+                    "--selector" => scenario.selector = parse_selector(value)?,
+                    "--travel" => scenario.travel = parse_travel(value)?,
+                    "--mechanism" => scenario.mechanism = parse_mechanism(value)?,
+                    other => {
+                        return Err(format!("unknown flag `{other}` for `lineage {action}`"));
+                    }
+                }
+            }
+            value => positional.push(value),
+        }
+    }
+    let state_dir =
+        state_dir.ok_or("lineage needs --state-dir DIR (the daemon's state directory)")?;
+    scenario.validate().map_err(|e| e.to_string())?;
+    let arity = |n: usize, usage: &str| -> Result<(), String> {
+        if positional.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`lineage {action}` takes {usage}"))
+        }
+    };
+    let action = match action {
+        "show" => {
+            arity(0, "no positional arguments")?;
+            LineageAction::Show
+        }
+        "trace-event" => {
+            arity(1, "one event id")?;
+            LineageAction::TraceEvent { id: parse_num("event id", positional[0])? }
+        }
+        "verify" => {
+            arity(0, "no positional arguments")?;
+            LineageAction::Verify
+        }
+        other => return Err(format!("unknown lineage subcommand `{other}`")),
+    };
+    Ok(Command::Lineage(Box::new(LineageCommand { scenario, state_dir, action })))
 }
 
 fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, String> {
@@ -1263,6 +1404,84 @@ mod tests {
         };
         assert_eq!(preset.scenario.area_side, 1500.0);
         assert_eq!(preset.scenario.users, 33);
+    }
+
+    #[test]
+    fn serve_log_flags_parse() {
+        let Command::Serve(cmd) = parse(&argv("serve --state-dir /d")).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(cmd.log_level, LogLevel::Info, "info is the default");
+        assert_eq!(cmd.log_json, None);
+
+        let Command::Serve(cmd) =
+            parse(&argv("serve --state-dir /d --log-level debug --log-json /tmp/d.jsonl")).unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(cmd.log_level, LogLevel::Debug);
+        assert_eq!(cmd.log_json.as_deref(), Some("/tmp/d.jsonl"));
+
+        assert!(parse(&argv("serve --state-dir /d --log-level loud"))
+            .unwrap_err()
+            .contains("unknown log level"));
+    }
+
+    #[test]
+    fn lineage_subcommands_parse() {
+        let Command::Lineage(cmd) = parse(&argv("lineage show --state-dir /tmp/pd")).unwrap()
+        else {
+            panic!("expected lineage");
+        };
+        assert_eq!(cmd.state_dir, "/tmp/pd");
+        assert_eq!(cmd.action, LineageAction::Show);
+
+        let Command::Lineage(cmd) =
+            parse(&argv("lineage trace-event 42 --state-dir /tmp/pd")).unwrap()
+        else {
+            panic!("expected lineage");
+        };
+        assert_eq!(cmd.action, LineageAction::TraceEvent { id: 42 });
+
+        let Command::Lineage(cmd) = parse(&argv(
+            "lineage verify --state-dir /tmp/pd --users 30 --tasks 10 --seed 7 \
+             --selector greedy --mechanism fixed --enforce-budget",
+        ))
+        .unwrap() else {
+            panic!("expected lineage");
+        };
+        assert_eq!(cmd.action, LineageAction::Verify);
+        assert_eq!(cmd.scenario.users, 30);
+        assert_eq!(cmd.scenario.seed, 7);
+        assert_eq!(cmd.scenario.selector, SelectorKind::Greedy);
+        assert_eq!(cmd.scenario.mechanism, MechanismKind::Fixed);
+        assert!(cmd.scenario.enforce_budget);
+
+        assert_eq!(parse(&argv("lineage")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("lineage --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn lineage_errors_name_the_problem() {
+        assert!(parse(&argv("lineage explode --state-dir /d"))
+            .unwrap_err()
+            .contains("unknown lineage subcommand"));
+        assert!(parse(&argv("lineage show")).unwrap_err().contains("--state-dir"));
+        assert!(parse(&argv("lineage trace-event --state-dir /d"))
+            .unwrap_err()
+            .contains("one event id"));
+        assert!(parse(&argv("lineage trace-event pony --state-dir /d"))
+            .unwrap_err()
+            .contains("cannot parse"));
+        assert!(parse(&argv("lineage show 7 --state-dir /d"))
+            .unwrap_err()
+            .contains("no positional"));
+        assert!(parse(&argv("lineage verify --state-dir /d --reps 3"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&argv("lineage verify --state-dir /d --users 0"))
+            .unwrap_err()
+            .contains("users"));
     }
 
     #[test]

@@ -337,7 +337,11 @@ mod tests {
         let argv: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
         match parse(&argv).unwrap() {
             Command::Run(o) | Command::Compare(o) => o,
-            Command::Help | Command::Serve(_) | Command::Trace(_) | Command::Alerts(_) => {
+            Command::Help
+            | Command::Serve(_)
+            | Command::Trace(_)
+            | Command::Lineage(_)
+            | Command::Alerts(_) => {
                 panic!("expected a command")
             }
         }

@@ -1,0 +1,282 @@
+//! Implementation of the `paydemand lineage` subcommand family.
+//!
+//! Every subcommand reads a stopped (or crashed) daemon's state
+//! directory. `show` and `trace-event` only decode the lineage index
+//! (plus the WAL, to classify acked-but-never-applied events);
+//! `verify` re-runs the engine with the daemon's exact recovery
+//! semantics via [`paydemand_serve::lineage::verify`]. Rendering is
+//! pure — each subcommand builds a `String` so the formatting is
+//! unit-testable without capturing stdout.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use paydemand_serve::daemon::{LINEAGE_FILE, WAL_FILE};
+use paydemand_serve::lineage::{self, AppliedFrame, LineageFrame, RoundFrame};
+use paydemand_serve::wal::{self, WalRecord};
+
+use crate::args::{LineageAction, LineageCommand};
+
+/// Runs one lineage subcommand, printing its report to stdout.
+///
+/// # Errors
+///
+/// Unreadable/corrupt state files, an unknown event id, or (for
+/// `verify`) an audit that found missing or mismatched frames.
+pub fn dispatch(cmd: &LineageCommand) -> Result<(), String> {
+    let state_dir = Path::new(&cmd.state_dir);
+    let report = match &cmd.action {
+        LineageAction::Show => show(state_dir)?,
+        LineageAction::TraceEvent { id } => trace_event(state_dir, *id)?,
+        LineageAction::Verify => return verify(cmd, state_dir),
+    };
+    print!("{report}");
+    Ok(())
+}
+
+/// Decodes the index, tolerating (but reporting) a torn tail.
+fn load_frames(state_dir: &Path) -> Result<(Vec<LineageFrame>, usize), String> {
+    let path = state_dir.join(LINEAGE_FILE);
+    let (frames, torn, _) =
+        lineage::read_frames(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((frames, torn))
+}
+
+/// `lineage show` — frame counts, rounds, dispositions, spend.
+fn show(state_dir: &Path) -> Result<String, String> {
+    let (frames, torn) = load_frames(state_dir)?;
+    let mut dispositions: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut rounds: Vec<&RoundFrame> = Vec::new();
+    let mut applied = 0usize;
+    let mut paid_total = 0.0f64;
+    for frame in &frames {
+        match frame {
+            LineageFrame::Applied(f) => {
+                applied += 1;
+                paid_total += f.pay;
+                *dispositions.entry(f.disposition.label()).or_insert(0) += 1;
+            }
+            LineageFrame::Round(f) => rounds.push(f),
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "lineage index v{} (PDLI)", lineage::LINEAGE_VERSION);
+    let _ = writeln!(out, "frames:          {}", frames.len());
+    let _ = writeln!(out, "applied events:  {applied}");
+    let _ = writeln!(out, "rounds:          {}", rounds.len());
+    let _ = writeln!(out, "event pay total: {paid_total}");
+    if torn > 0 {
+        let _ = writeln!(out, "torn tail:       {torn} bytes (ignored)");
+    }
+    if !dispositions.is_empty() {
+        let _ = writeln!(out, "dispositions:");
+        for (label, n) in &dispositions {
+            let _ = writeln!(out, "  {label:<14} {n}");
+        }
+    }
+    if !rounds.is_empty() {
+        let _ =
+            writeln!(out, "{:>5}  {:>7}  {:>12}  {:>5}", "round", "applied", "total_paid", "tasks");
+        for r in rounds {
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>7}  {:>12}  {:>5}",
+                r.round,
+                r.applied,
+                r.total_paid,
+                r.tasks.len()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `lineage trace-event ID` — one event's full join, replayed offline
+/// from the same files the daemon's `GET /events/{id}` serves from.
+fn trace_event(state_dir: &Path, id: u64) -> Result<String, String> {
+    let (frames, _) = load_frames(state_dir)?;
+    let mut found: Option<&AppliedFrame> = None;
+    let mut rounds: BTreeMap<u32, &RoundFrame> = BTreeMap::new();
+    for frame in &frames {
+        match frame {
+            LineageFrame::Applied(f) if f.event_id == id => found = Some(f),
+            LineageFrame::Round(f) => {
+                rounds.insert(f.round, f);
+            }
+            LineageFrame::Applied(_) => {}
+        }
+    }
+    let mut out = String::new();
+    if let Some(f) = found {
+        let _ = writeln!(out, "event:       {}", f.event_id);
+        let _ = writeln!(out, "status:      applied");
+        let _ = writeln!(out, "request:     {}", f.request_id);
+        let _ = writeln!(out, "wal_offset:  {}", f.wal_offset);
+        let _ = writeln!(out, "round:       {}", f.round);
+        let _ = writeln!(out, "disposition: {}", f.disposition.label());
+        let _ = writeln!(out, "pay:         {}", f.pay);
+        if let Some(r) = rounds.get(&f.round) {
+            let _ = writeln!(
+                out,
+                "round {} applied {} events, total paid {}",
+                r.round, r.applied, r.total_paid
+            );
+            if !r.tasks.is_empty() {
+                let _ = writeln!(out, "{:>5}  {:>5}  {:>10}", "task", "level", "reward");
+                for t in &r.tasks {
+                    let _ = writeln!(out, "{:>5}  {:>5}  {:>10}", t.task, t.level, t.reward);
+                }
+            }
+        }
+        return Ok(out);
+    }
+    // Not in the index: either acked-but-never-applied (still pending
+    // in the WAL when the daemon stopped) or unknown.
+    let wal_path = state_dir.join(WAL_FILE);
+    if wal_path.exists() {
+        let (records, _) =
+            wal::read_records(&wal_path).map_err(|e| format!("{}: {e}", wal_path.display()))?;
+        for (offset, record) in records {
+            if let WalRecord::Event(seq) = record {
+                if seq.id == id {
+                    let _ = writeln!(out, "event:       {}", seq.id);
+                    let _ = writeln!(out, "status:      never applied");
+                    let _ = writeln!(out, "request:     {}", seq.request);
+                    let _ = writeln!(out, "wal_offset:  {offset}");
+                    let _ = writeln!(
+                        out,
+                        "acked and durable in the WAL, but no round consumed it before \
+                         the daemon stopped; a --resume tick will apply it"
+                    );
+                    return Ok(out);
+                }
+            }
+        }
+    }
+    Err(format!("event {id} is in neither the lineage index nor the WAL"))
+}
+
+/// `lineage verify` — the offline audit; non-zero exit on a dirty join.
+fn verify(cmd: &LineageCommand, state_dir: &Path) -> Result<(), String> {
+    let report = lineage::verify(&cmd.scenario, state_dir).map_err(|e| e.to_string())?;
+    println!("settled frames:      {}", report.settled);
+    println!("checked events:      {}", report.checked);
+    println!("regenerated frames:  {}", report.regenerated);
+    println!("matched bit-for-bit: {}", report.matched);
+    println!("never applied:       {}", report.never_applied.len());
+    if report.torn_lineage_bytes > 0 {
+        println!("torn lineage bytes:  {}", report.torn_lineage_bytes);
+    }
+    if report.torn_wal_bytes > 0 {
+        println!("torn WAL bytes:      {}", report.torn_wal_bytes);
+    }
+    if report.is_clean() {
+        println!("lineage: ok");
+        Ok(())
+    } else {
+        Err(format!(
+            "lineage audit failed: {} consumed events missing frames {:?}, \
+             {} frames mismatched {:?}",
+            report.missing.len(),
+            report.missing,
+            report.mismatched.len(),
+            report.mismatched,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paydemand_serve::lineage::{Disposition, LineageIndex, TaskPrice};
+    use paydemand_serve::wal::{SequencedEvent, Wal};
+    use paydemand_sim::ExternalEvent;
+    use std::path::PathBuf;
+
+    fn state_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("paydemand-lineage-cmd-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed_index(dir: &Path) {
+        let (mut idx, _, _) = LineageIndex::open(&dir.join(LINEAGE_FILE), true).unwrap();
+        idx.append(&[
+            LineageFrame::Applied(AppliedFrame {
+                event_id: 1,
+                request_id: 1,
+                wal_offset: 0,
+                round: 1,
+                disposition: Disposition::Moved,
+                pay: 0.0,
+            }),
+            LineageFrame::Applied(AppliedFrame {
+                event_id: 2,
+                request_id: 1,
+                wal_offset: 46,
+                round: 1,
+                disposition: Disposition::Paid,
+                pay: 2.5,
+            }),
+            LineageFrame::Round(RoundFrame {
+                round: 1,
+                applied: 2,
+                total_paid: 2.5,
+                tasks: vec![TaskPrice { task: 0, level: 2, reward: 1.25 }],
+            }),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn show_summarises_the_index() {
+        let dir = state_dir("show");
+        seed_index(&dir);
+        let out = show(&dir).unwrap();
+        for needle in
+            ["applied events:  2", "rounds:          1", "paid", "moved", "event pay total: 2.5"]
+        {
+            assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn trace_event_renders_the_full_join() {
+        let dir = state_dir("trace");
+        seed_index(&dir);
+        let out = trace_event(&dir, 2).unwrap();
+        for needle in [
+            "status:      applied",
+            "request:     1",
+            "wal_offset:  46",
+            "round:       1",
+            "disposition: paid",
+            "pay:         2.5",
+            "total paid 2.5",
+        ] {
+            assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn trace_event_reports_pending_wal_events_as_never_applied() {
+        let dir = state_dir("pending");
+        seed_index(&dir);
+        let (mut wal, _, _) = Wal::open(&dir.join(WAL_FILE), true).unwrap();
+        wal.append_events(&[SequencedEvent {
+            id: 9,
+            request: 4,
+            event: ExternalEvent::Move { user: 0, x: 1.0, y: 2.0 },
+        }])
+        .unwrap();
+        let out = trace_event(&dir, 9).unwrap();
+        assert!(out.contains("status:      never applied"), "{out}");
+        assert!(out.contains("request:     4"), "{out}");
+
+        let err = trace_event(&dir, 777).unwrap_err();
+        assert!(err.contains("neither"), "{err}");
+    }
+}

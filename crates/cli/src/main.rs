@@ -11,6 +11,7 @@ use std::process::ExitCode;
 mod alerts_cmd;
 mod args;
 mod commands;
+mod lineage_cmd;
 mod serve_cmd;
 mod trace_cmd;
 
@@ -31,6 +32,13 @@ fn main() -> ExitCode {
             }
         },
         Ok(args::Command::Trace(cmd)) => match trace_cmd::dispatch(&cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(args::Command::Lineage(cmd)) => match lineage_cmd::dispatch(&cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");

@@ -7,10 +7,10 @@
 //! telemetry the flags ask for, and renders the [`ShutdownReport`].
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use paydemand_obs::{Alerts, Recorder, TimeSeries};
+use paydemand_obs::{Alerts, Logger, Recorder, TimeSeries, DEFAULT_LOG_CAPACITY};
 use paydemand_serve::{Daemon, DaemonConfig, ShutdownReport};
 
 use crate::args::ServeCommand;
@@ -27,6 +27,11 @@ pub fn dispatch(cmd: &ServeCommand) -> Result<(), String> {
         recorder.attach_timeseries(&TimeSeries::with_capacity(rounds));
         recorder.attach_alerts(&Alerts::with_defaults());
     }
+    let log = Logger::enabled(DEFAULT_LOG_CAPACITY, cmd.log_level, &recorder);
+    if let Some(path) = &cmd.log_json {
+        log.set_file_sink(Path::new(path)).map_err(|e| format!("--log-json {path}: {e}"))?;
+    }
+    recorder.attach_logger(&log);
     let daemon = Daemon::start(build_config(cmd), &recorder).map_err(|e| e.to_string())?;
     println!("serve: listening on http://{}", daemon.local_addr());
     if cmd.resume {

@@ -25,7 +25,11 @@
 //!   (bucket-delta estimate), in seconds for `*_seconds` histograms;
 //!   also aggregated across labels under the bare family name;
 //! * `demand_cache_hit_rate` — per-round `Δhits / (Δhits + Δmisses +
-//!   Δdirty)`, present only in rounds with cache activity.
+//!   Δdirty)`, present only in rounds with cache activity;
+//! * `ingest_ack_slo_burn_rate` — per-round
+//!   `(Δingest_ack_slo_breaches_total / Δingest_ack_total) / 0.01`
+//!   (the 1% error budget of the 99% ack-latency SLO), present only in
+//!   rounds that acked at least one ingest batch.
 //!
 //! A key absent in a given round (e.g. the hit rate in a round with no
 //! demand work) resets the rule's streak rather than firing it.
@@ -121,11 +125,17 @@ impl AlertRule {
     /// | `peak_rss_high` | `process_peak_rss_bytes >= 2 GiB` for 1 round |
     /// | `ingest_queue_saturation` | the daemon's ingest queue is ≥ 90% full (`ingest_queue_saturation_permille >= 900`) for 3 rounds |
     /// | `ingest_shedding` | the daemon shed events (`shed_total:delta > 0`) for 2 rounds |
+    /// | `ingest_ack_slo_fast_burn` | the ack-latency SLO burns its error budget ≥ 14× the sustainable rate (`ingest_ack_slo_burn_rate >= 14`) for 2 rounds |
+    /// | `ingest_ack_slo_slow_burn` | the budget burns at or above the sustainable rate (`ingest_ack_slo_burn_rate >= 1`) for 6 rounds |
     ///
     /// The two memory rules reference families that only exist when
-    /// alloc profiling is on, and the two ingest rules families only
+    /// alloc profiling is on, and the ingest/SLO rules families only
     /// the `paydemand serve` daemon emits; where the keys stay absent
-    /// the rules never accumulate a streak.
+    /// the rules never accumulate a streak. The burn-rate pair follows
+    /// the SRE multiwindow pattern: with a 99% availability objective
+    /// (1% error budget), `burn_rate = (Δbreaches/Δacks) / 0.01` — the
+    /// fast rule catches sudden outages, the slow rule sustained
+    /// degradation.
     #[must_use]
     pub fn defaults() -> Vec<AlertRule> {
         let rule = |name: &str, metric: &str, comparator, threshold, for_rounds| AlertRule {
@@ -168,6 +178,8 @@ impl AlertRule {
                 3,
             ),
             rule("ingest_shedding", "shed_total:delta", Comparator::Gt, 0.0, 2),
+            rule("ingest_ack_slo_fast_burn", "ingest_ack_slo_burn_rate", Comparator::Ge, 14.0, 2),
+            rule("ingest_ack_slo_slow_burn", "ingest_ack_slo_burn_rate", Comparator::Ge, 1.0, 6),
         ]
     }
 
@@ -522,6 +534,18 @@ pub fn flatten(prev: Option<&Snapshot>, cur: &Snapshot) -> BTreeMap<String, f64>
     if attempts > 0 {
         view.insert("demand_cache_hit_rate".to_owned(), as_f64(hits) / as_f64(attempts));
     }
+    // Ack-latency SLO burn rate: fraction of the round's acks that
+    // breached the latency objective, normalised by the 1% error
+    // budget. 1.0 = burning exactly the sustainable rate; 100.0 =
+    // every ack breached.
+    let acks = cache_delta("ingest_ack_total");
+    if acks > 0 {
+        let breaches = cache_delta("ingest_ack_slo_breaches_total");
+        view.insert(
+            "ingest_ack_slo_burn_rate".to_owned(),
+            (as_f64(breaches) / as_f64(acks)) / 0.01,
+        );
+    }
     view
 }
 
@@ -832,6 +856,54 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // breach/ack ratios over small integers are exact in f64
+    fn slo_burn_rate_is_derived_and_drives_both_burn_rules() {
+        // 2 breaches out of 100 acks = 2% of acks over a 1% budget:
+        // burn rate 2.0.
+        let first = snap(|r| {
+            r.counter("ingest_ack_total").add(100);
+            r.counter("ingest_ack_slo_breaches_total").add(2);
+        });
+        let view = flatten(None, &first);
+        assert_eq!(view["ingest_ack_slo_burn_rate"], 2.0);
+        // A round with no acks exposes no burn rate at all.
+        let idle = flatten(Some(&first), &first);
+        assert!(!idle.contains_key("ingest_ack_slo_burn_rate"));
+
+        let alerts = Alerts::with_defaults();
+        let recorder = Recorder::enabled();
+        let burn = |acks: u64, breaches: u64| {
+            snap(|r| {
+                r.counter("ingest_ack_total").add(acks);
+                r.counter("ingest_ack_slo_breaches_total").add(breaches);
+            })
+        };
+        // Rounds 1-2: 20% of acks breach → burn rate 20 ≥ 14, the fast
+        // rule fires at round 2. The slow rule (≥ 1 for 6) keeps
+        // accumulating through round 6.
+        alerts.evaluate(1, &burn(100, 20), &recorder);
+        alerts.evaluate(2, &burn(200, 40), &recorder);
+        let events = alerts.events();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].rule, "ingest_ack_slo_fast_burn");
+        // Rounds 3-6 keep the cumulative series monotonic: +100 acks
+        // and +6 breaches per round (burn rate 6 — below the fast
+        // threshold, above the slow one).
+        for round in 3..=6u64 {
+            alerts.evaluate(
+                u32::try_from(round).unwrap(),
+                &burn(round * 100, 40 + (round - 2) * 6),
+                &recorder,
+            );
+        }
+        let rules_fired: Vec<String> = alerts.events().iter().map(|e| e.rule.clone()).collect();
+        assert!(
+            rules_fired.contains(&"ingest_ack_slo_slow_burn".to_owned()),
+            "slow burn after 6 burning rounds: {rules_fired:?}"
+        );
+    }
+
+    #[test]
     fn disabled_handle_is_inert_and_exports_empty() {
         let alerts = Alerts::disabled();
         assert!(!alerts.is_enabled());
@@ -851,7 +923,7 @@ mod tests {
         alerts.evaluate(1, &hot, &recorder);
         alerts.evaluate(2, &hot, &recorder);
         let doc = crate::json::parse_json(&alerts.to_json()).unwrap();
-        assert_eq!(doc.get("rules").unwrap().as_array().unwrap().len(), 8);
+        assert_eq!(doc.get("rules").unwrap().as_array().unwrap().len(), 10);
         let fired = doc.get("fired").unwrap().as_array().unwrap();
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].get("rule").unwrap().as_str(), Some("budget_overrun_proximity"));

@@ -95,6 +95,25 @@
 //! | `external_uploads_total` | counter | External uploads settled by the engine. |
 //! | `external_uploads_rejected_total{reason}` | counter | External uploads dropped at settlement: `task_complete`, `duplicate`, `budget`. |
 //!
+//! The lineage + logging + SLO layer (PR 9) adds:
+//!
+//! | Metric | Kind | Meaning |
+//! |---|---|---|
+//! | `ingest_stage_seconds{stage}` | histogram | Server-side `POST /events` stage latency: `parse`, `validate`, `enqueue`, `fsync`, `ack` (ack = whole handler). |
+//! | `ingest_ack_total` | counter | Acked (202) ingest requests — the SLO denominator. |
+//! | `ingest_ack_slo_breaches_total` | counter | Acks slower than the 50 ms latency objective — the SLO numerator. |
+//! | `ingest_ack_slo_burn_rate` | derived | Per-round error-budget burn rate `(Δbreaches/Δacks) / 0.01` (alert-view only; see the SLO burn rules). |
+//! | `lineage_applied_total` | counter | Events joined to their applied round in the lineage index. |
+//! | `lineage_frames_total` | counter | Frames appended to `lineage.idx`. |
+//! | `lineage_bytes_total` | counter | Bytes appended to `lineage.idx`. |
+//! | `lineage_truncated_frames_total` | counter | Lineage frames discarded on recovery (torn tail or ahead of the checkpoint). |
+//! | `wal_bytes` | gauge | Current size of the event WAL file. |
+//! | `last_checkpoint_tick` | gauge | Tick number of the most recent durable checkpoint. |
+//! | `events_since_checkpoint` | gauge | Events ingested since that checkpoint (replay debt). |
+//! | `log_entries_total{level}` | counter | Log entries admitted per level (`debug`, `info`, `warn`, `error`). |
+//! | `log_rate_limited_total` | counter | Log entries dropped by the per-second rate limiter. |
+//! | `log_sink_errors_total` | counter | Failed writes to the `--log-json` JSONL sink. |
+//!
 //! # Live telemetry
 //!
 //! Beyond point-in-time snapshots, a recorder can carry optional
@@ -112,7 +131,11 @@
 //!   offline against a saved time series;
 //! * [`MetricsServer`] — an embedded zero-dependency HTTP endpoint
 //!   serving `/metrics`, `/healthz`, `/rounds.json` and `/alerts.json`
-//!   from a background thread.
+//!   from a background thread;
+//! * [`Logger`] — a leveled JSON flight recorder (ring buffer,
+//!   rate-limited, panic-safe, optional JSONL file sink) attachable
+//!   with [`Recorder::attach_logger`] so deep layers can emit without
+//!   threading an extra handle.
 //!
 //! # Example
 //!
@@ -143,6 +166,7 @@ mod alerts;
 pub mod alloc;
 mod export;
 pub mod json;
+pub mod log;
 mod metrics;
 mod recorder;
 mod serve;
@@ -152,6 +176,7 @@ mod timeseries;
 pub use alerts::{evaluate_series, AlertEvent, AlertRule, Alerts, Comparator};
 pub use alloc::{AllocPhase, PhaseGuard, PhaseTotals, TrackingAllocator};
 pub use json::{parse_json, JsonError, JsonValue};
+pub use log::{LogEntry, LogLevel, Logger, DEFAULT_LOG_CAPACITY};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };

@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use crate::alerts::Alerts;
 use crate::alloc::{self, AllocPhase, PhaseGuard, PhaseTotals, ALLOC_PHASES};
+use crate::log::Logger;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, HistogramSnapshot, BUCKETS};
 use crate::spans::{SpanEventGuard, SpanLog};
 use crate::timeseries::TimeSeries;
@@ -38,6 +39,7 @@ struct Registry {
     span_log: Mutex<Option<Arc<SpanLog>>>,
     timeseries: Mutex<Option<TimeSeries>>,
     alerts: Mutex<Option<Alerts>>,
+    logger: Mutex<Option<Logger>>,
     /// Whether this registry profiles the global allocator. While true,
     /// spans and explicit [`Recorder::alloc_phase`] calls tag the
     /// current thread and [`Recorder::sample_alloc`] folds stat deltas
@@ -387,6 +389,33 @@ impl Recorder {
         self.registry
             .as_ref()
             .and_then(|registry| registry.alerts.lock().expect("alerts slot poisoned").clone())
+            .unwrap_or_default()
+    }
+
+    /// Attaches a structured logger; layers holding only a recorder
+    /// (the engine, the WAL) fetch it back with
+    /// [`logger`](Self::logger) to emit without threading an extra
+    /// handle. A no-op on a disabled recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    pub fn attach_logger(&self, logger: &Logger) {
+        if let Some(registry) = &self.registry {
+            *registry.logger.lock().expect("logger slot poisoned") = Some(logger.clone());
+        }
+    }
+
+    /// The attached logger, or the disabled handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment mutex was poisoned.
+    #[must_use]
+    pub fn logger(&self) -> Logger {
+        self.registry
+            .as_ref()
+            .and_then(|registry| registry.logger.lock().expect("logger slot poisoned").clone())
             .unwrap_or_default()
     }
 

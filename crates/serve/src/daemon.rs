@@ -7,29 +7,48 @@
 //!  clients ──▶│  acceptor   │─────────────▶│ worker pool  │──▶ engine (Mutex)
 //!             │ (503 when  │  conn queue  │ (supervised, │──▶ ingest (Mutex):
 //!             │  backlogged)│              │  panic-safe) │      WAL + pending
-//!             └────────────┘              └──────────────┘
+//!             └────────────┘              └──────────────┘        + lineage
 //!                                 ticker ──▶ tick(): barrier → apply → step
-//!                                            → checkpoint → compact
+//!                                            → lineage → checkpoint → compact
 //! ```
 //!
-//! * `POST /events` validates, *logs to the WAL (fsync), then* acks
-//!   202 — an acknowledged event survives kill‑9. A full pending
-//!   queue is explicit backpressure: 429 with `Retry-After`, counted
-//!   in `shed_total`, never unbounded growth.
+//! * `POST /events` assigns each batch a **request id** and each event
+//!   a **monotonic event id**, validates, *logs to the WAL (fsync),
+//!   then* acks 202 — an acknowledged event survives kill‑9 and stays
+//!   resolvable by id ever after. A full pending queue is explicit
+//!   backpressure: 429 with `Retry-After`, counted in `shed_total`,
+//!   never unbounded growth.
 //! * each tick drains the pending queue, writes a tick barrier to the
-//!   WAL, feeds the batch to [`Engine::step_round`] and lands an
-//!   atomic checkpoint (tmp + rename), then compacts the WAL down to
-//!   the events that arrived meanwhile.
-//! * `--resume` rebuilds the engine from the last checkpoint and
-//!   replays the WAL: consumed barriers are skipped, un-checkpointed
-//!   barriers re-execute their rounds deterministically, trailing
-//!   events return to the pending queue. The result is bit-identical
-//!   to the run that never crashed.
+//!   WAL, feeds the batch to [`Engine::step_round`] with the decision
+//!   journal enabled, appends the round's **lineage frames** (event id
+//!   → WAL offset → round → disposition, joined with the journal's
+//!   per-task pricing) to the [`lineage`](crate::lineage) index, and
+//!   only then lands an atomic checkpoint (tmp + rename) and compacts
+//!   the WAL down to the events that arrived meanwhile — so every
+//!   checkpointed round has durable lineage.
+//! * `--resume` rebuilds the engine from the last checkpoint, truncates
+//!   lineage frames for rounds past it (the crash window), and replays
+//!   the WAL: consumed barriers are skipped, un-checkpointed barriers
+//!   re-execute their rounds deterministically *with the same lineage
+//!   joiner*, trailing events return to the pending queue. The result —
+//!   engine, WAL and lineage index alike — is bit-identical to the run
+//!   that never crashed.
 //! * workers are panic-isolated under a [`Supervisor`]; an engine-side
 //!   panic or error during a tick flips the daemon into a `failed`
 //!   read-only state rather than corrupting durable state.
+//!
+//! # Observability
+//!
+//! The serve path is instrumented end to end: per-stage ingest latency
+//! histograms (`ingest_stage_seconds{stage=parse|validate|enqueue|
+//! fsync|ack}`), an ack-latency SLO ([`ACK_SLO_TARGET`]) whose breach
+//! ratio drives the `ingest_ack_slo_*_burn` alert rules, durable-state
+//! gauges (`wal_bytes`, `last_checkpoint_tick`,
+//! `events_since_checkpoint`) surfaced on `GET /status`, structured
+//! JSON logs on `GET /logs.json`, and per-event lineage on
+//! `GET /events/{id}`.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -38,19 +57,31 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use paydemand_geo::{Point, Rect};
-use paydemand_obs::{Counter, Gauge, Recorder};
-use paydemand_sim::{Engine, ExternalEvent, Scenario};
+use paydemand_obs::{Counter, Gauge, Histogram, LogLevel, Logger, Recorder};
+use paydemand_sim::trace;
+use paydemand_sim::{Engine, EventOutcome, ExternalEvent, Scenario};
 
 use crate::events::decode_batch;
 use crate::http::{self, error_body, HttpLimits, Request};
+use crate::lineage::{self, AppliedFrame, LineageFrame, LineageIndex, RoundFrame};
 use crate::queue::{Bounded, PushError};
 use crate::supervisor::{Supervisor, WorkerFn};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{SequencedEvent, Wal, WalRecord};
 use crate::ServeError;
 
 const JSON: &str = "application/json; charset=utf-8";
-const CHECKPOINT_FILE: &str = "checkpoint.ck";
-const WAL_FILE: &str = "events.wal";
+/// File name of the engine checkpoint inside the state directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.ck";
+/// File name of the write-ahead log inside the state directory.
+pub const WAL_FILE: &str = "events.wal";
+/// File name of the event lineage index inside the state directory.
+pub const LINEAGE_FILE: &str = "lineage.idx";
+
+/// The server-side ack-latency objective for `POST /events`: an accept
+/// slower than this counts into `ingest_ack_slo_breaches_total`, and
+/// the default alert rules page when the breach ratio burns the 1%
+/// error budget too fast.
+pub const ACK_SLO_TARGET: Duration = Duration::from_millis(50);
 
 /// Everything configurable about a daemon instance.
 #[derive(Debug, Clone)]
@@ -59,7 +90,8 @@ pub struct DaemonConfig {
     pub scenario: Scenario,
     /// Bind address, e.g. `127.0.0.1:9300` (port 0 picks a free one).
     pub addr: String,
-    /// Directory holding `checkpoint.ck` and `events.wal`.
+    /// Directory holding `checkpoint.ck`, `events.wal` and
+    /// `lineage.idx`.
     pub state_dir: PathBuf,
     /// Continue a previous run from the state directory. Without this,
     /// an already-populated state directory is refused (never silently
@@ -80,6 +112,11 @@ pub struct DaemonConfig {
     /// fsync the WAL on every append. On for anything that must
     /// survive kill‑9; off only for throughput experiments.
     pub fsync: bool,
+    /// Record per-event lineage (the `lineage.idx` join of event id →
+    /// WAL offset → round → disposition → round pricing). On by
+    /// default; `GET /events/{id}` resolves only still-pending events
+    /// when off.
+    pub lineage: bool,
     /// Expose `POST /debug/panic` (kills the handling worker) so the
     /// supervisor can be exercised end-to-end. Off by default.
     pub debug_panic_route: bool,
@@ -87,7 +124,7 @@ pub struct DaemonConfig {
 
 impl DaemonConfig {
     /// Defaults: loopback ephemeral port, 4 workers, 4096-event queue,
-    /// manual ticks, fsync on.
+    /// manual ticks, fsync on, lineage on.
     #[must_use]
     pub fn new(scenario: Scenario, state_dir: PathBuf) -> Self {
         DaemonConfig {
@@ -102,6 +139,7 @@ impl DaemonConfig {
             limits: HttpLimits::default(),
             checkpoint_every: 1,
             fsync: true,
+            lineage: true,
             debug_panic_route: false,
         }
     }
@@ -148,9 +186,26 @@ struct Dims {
     area: Rect,
 }
 
+/// The durable lineage index plus its in-memory mirror, which answers
+/// `GET /events/{id}` without touching disk.
+struct LineageState {
+    index: LineageIndex,
+    /// event id → its fate, for every applied event.
+    applied: BTreeMap<u64, AppliedFrame>,
+    /// round → its pricing/budget summary.
+    rounds: BTreeMap<u32, RoundFrame>,
+}
+
 struct Ingest {
     wal: Wal,
-    pending: VecDeque<ExternalEvent>,
+    /// Acked, not-yet-ticked events with their current WAL offsets
+    /// (refreshed on compaction).
+    pending: VecDeque<(u64, SequencedEvent)>,
+    /// The next event id to assign (monotonic across restarts).
+    next_event_id: u64,
+    /// The next `POST /events` request id to assign.
+    next_request_id: u64,
+    lineage: Option<LineageState>,
 }
 
 struct Metrics {
@@ -167,11 +222,25 @@ struct Metrics {
     queue_saturation: Gauge,
     worker_restarts: Counter,
     http_requests: Counter,
+    stage_parse: Histogram,
+    stage_validate: Histogram,
+    stage_enqueue: Histogram,
+    stage_fsync: Histogram,
+    stage_ack: Histogram,
+    ack_total: Counter,
+    ack_slo_breaches: Counter,
+    wal_bytes: Gauge,
+    last_checkpoint_tick: Gauge,
+    events_since_checkpoint: Gauge,
+    lineage_applied: Counter,
+    lineage_frames: Counter,
+    lineage_bytes: Counter,
 }
 
 impl Metrics {
     fn resolve(recorder: &Recorder) -> Self {
         let rejected = |reason| recorder.counter_with("ingest_rejected_total", "reason", reason);
+        let stage = |stage| recorder.histogram_with("ingest_stage_seconds", "stage", stage);
         Metrics {
             ingest_events: recorder.counter("ingest_events_total"),
             rejected_queue_full: rejected("queue_full"),
@@ -186,6 +255,19 @@ impl Metrics {
             queue_saturation: recorder.gauge("ingest_queue_saturation_permille"),
             worker_restarts: recorder.counter("worker_restarts_total"),
             http_requests: recorder.counter("http_requests_total"),
+            stage_parse: stage("parse"),
+            stage_validate: stage("validate"),
+            stage_enqueue: stage("enqueue"),
+            stage_fsync: stage("fsync"),
+            stage_ack: stage("ack"),
+            ack_total: recorder.counter("ingest_ack_total"),
+            ack_slo_breaches: recorder.counter("ingest_ack_slo_breaches_total"),
+            wal_bytes: recorder.gauge("wal_bytes"),
+            last_checkpoint_tick: recorder.gauge("last_checkpoint_tick"),
+            events_since_checkpoint: recorder.gauge("events_since_checkpoint"),
+            lineage_applied: recorder.counter("lineage_applied_total"),
+            lineage_frames: recorder.counter("lineage_frames_total"),
+            lineage_bytes: recorder.counter("lineage_bytes_total"),
         }
     }
 }
@@ -193,6 +275,9 @@ impl Metrics {
 struct Shared {
     config: DaemonConfig,
     recorder: Recorder,
+    /// The recorder-attached structured logger (a true no-op when none
+    /// was attached).
+    log: Logger,
     engine: Mutex<Engine>,
     ingest: Mutex<Ingest>,
     connections: Bounded<TcpStream>,
@@ -213,6 +298,11 @@ struct Shared {
     /// Mirror of `engine.next_round()` for barrier stamping.
     next_round: AtomicU32,
     ticks: AtomicU64,
+    /// The tick number of the last landed checkpoint (0 = the recovery
+    /// checkpoint at startup).
+    last_checkpoint_tick: AtomicU64,
+    /// Events applied to the engine since that checkpoint.
+    events_since_checkpoint: AtomicU64,
     replayed: u64,
     dims: Dims,
     metrics: Metrics,
@@ -247,6 +337,12 @@ impl Shared {
         } else {
             "serving"
         }
+    }
+
+    /// Flips the daemon into the failed read-only state, loudly.
+    fn fail(&self, what: &str, detail: &str) {
+        self.failed.store(true, Ordering::SeqCst);
+        self.log.error("daemon", what, &[("detail", detail)]);
     }
 }
 
@@ -289,7 +385,7 @@ impl Daemon {
             return Err(ServeError::Config("checkpoint interval must be positive".into()));
         }
         std::fs::create_dir_all(&config.state_dir)?;
-        let (engine, wal, pending, replayed) = recover(&config, recorder)?;
+        let (engine, ingest, replayed) = recover(&config, recorder)?;
         let dims = Dims {
             users: engine.num_users() as u32,
             tasks: engine.num_tasks() as u32,
@@ -303,12 +399,15 @@ impl Daemon {
         let local_addr = listener.local_addr()?;
 
         let metrics = Metrics::resolve(recorder);
+        metrics.wal_bytes.set(ingest.wal.bytes() as i64);
+        let log = recorder.logger();
         let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
             connections: Bounded::new(config.connection_backlog),
             engine: Mutex::new(engine),
-            ingest: Mutex::new(Ingest { wal, pending }),
+            ingest: Mutex::new(ingest),
             recorder: recorder.clone(),
+            log,
             shutdown: Arc::clone(&shutdown),
             draining: AtomicBool::new(false),
             failed: AtomicBool::new(false),
@@ -317,6 +416,8 @@ impl Daemon {
             tick_lock: Mutex::new(()),
             next_round: AtomicU32::new(next_round),
             ticks: AtomicU64::new(0),
+            last_checkpoint_tick: AtomicU64::new(0),
+            events_since_checkpoint: AtomicU64::new(0),
             replayed,
             dims,
             metrics,
@@ -324,6 +425,18 @@ impl Daemon {
             config,
         });
         shared.set_queue_gauges(shared.lock_ingest().pending.len());
+        if shared.log.enabled_for(LogLevel::Info) {
+            shared.log.info(
+                "daemon",
+                "daemon started",
+                &[
+                    ("addr", &local_addr.to_string()),
+                    ("resume", if shared.config.resume { "true" } else { "false" }),
+                    ("replayed_events", &replayed.to_string()),
+                    ("next_round", &next_round.to_string()),
+                ],
+            );
+        }
 
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -340,6 +453,7 @@ impl Daemon {
             shared.config.workers,
             Arc::clone(&shutdown),
             shared.metrics.worker_restarts.clone(),
+            shared.log.clone(),
             worker,
         )?;
         let ticker = shared.config.tick_interval.map(|interval| {
@@ -446,6 +560,17 @@ impl Daemon {
                 worker_restarts: shared.metrics.worker_restarts.get(),
             }
         };
+        if shared.log.enabled_for(LogLevel::Info) {
+            shared.log.info(
+                "daemon",
+                "shutdown complete",
+                &[
+                    ("rounds_run", &report.rounds_run.to_string()),
+                    ("ingested_events", &report.ingested_events.to_string()),
+                    ("total_paid", &format!("{:.1}", report.total_paid)),
+                ],
+            );
+        }
         drain_result?;
         final_result?;
         Ok(report)
@@ -479,16 +604,18 @@ impl Daemon {
 }
 
 /// Builds the engine from scratch or from the state directory,
-/// replaying the WAL; returns the opened WAL and the still-pending
-/// events. Always leaves a fresh checkpoint + compacted WAL behind so
-/// the directory is clean however the last process died.
+/// replaying the WAL (and regenerating crash-window lineage); returns
+/// the engine and the fully-recovered ingest state. Always leaves a
+/// fresh checkpoint + compacted WAL behind so the directory is clean
+/// however the last process died.
 fn recover(
     config: &DaemonConfig,
     recorder: &Recorder,
-) -> Result<(Engine, Wal, VecDeque<ExternalEvent>, u64), ServeError> {
+) -> Result<(Engine, Ingest, u64), ServeError> {
     let ck_path = config.state_dir.join(CHECKPOINT_FILE);
     let wal_path = config.state_dir.join(WAL_FILE);
-    if !config.resume && (ck_path.exists() || wal_path.exists()) {
+    let idx_path = config.state_dir.join(LINEAGE_FILE);
+    if !config.resume && (ck_path.exists() || wal_path.exists() || idx_path.exists()) {
         return Err(ServeError::Config(format!(
             "state directory {} already holds a run; pass --resume to continue it \
              or point --state-dir at a fresh directory",
@@ -506,38 +633,98 @@ fn recover(
     let (mut wal, records, torn) = Wal::open(&wal_path, config.fsync)?;
     if torn > 0 {
         recorder.counter("wal_torn_bytes_total").add(torn as u64);
+        recorder.logger().warn("wal", "torn WAL tail truncated", &[("bytes", &torn.to_string())]);
     }
-    let mut fifo: VecDeque<ExternalEvent> = VecDeque::new();
+
+    // Open the lineage index and drop frames for rounds the checkpoint
+    // does not cover — the crash window between a lineage append and
+    // its checkpoint. The replay below regenerates them bit-identically
+    // (same engine state, same batch, same joiner).
+    let mut lineage_state = if config.lineage {
+        let (mut index, frames, torn_lineage) = LineageIndex::open(&idx_path, config.fsync)?;
+        if torn_lineage > 0 {
+            recorder.counter("lineage_torn_bytes_total").add(torn_lineage as u64);
+        }
+        let next = engine.next_round();
+        let settled: Vec<LineageFrame> =
+            frames.iter().filter(|f| f.round() < next).cloned().collect();
+        let truncated = frames.len() - settled.len();
+        if truncated > 0 {
+            index.rewrite(&settled)?;
+            recorder.counter("lineage_truncated_frames_total").add(truncated as u64);
+        }
+        let mut state = LineageState { index, applied: BTreeMap::new(), rounds: BTreeMap::new() };
+        absorb_frames(&mut state, settled);
+        Some(state)
+    } else {
+        None
+    };
+
+    // Id watermarks: past everything the WAL holds *and* everything the
+    // lineage remembers (applied events get compacted out of the WAL).
+    let mut max_event_id = 0u64;
+    let mut max_request_id = 0u64;
+    if let Some(state) = &lineage_state {
+        for f in state.applied.values() {
+            max_event_id = max_event_id.max(f.event_id);
+            max_request_id = max_request_id.max(f.request_id);
+        }
+    }
+
+    let mut fifo: VecDeque<(u64, SequencedEvent)> = VecDeque::new();
     let mut replayed = 0u64;
-    for record in records {
+    for (offset, record) in records {
         match record {
-            WalRecord::Event(event) => fifo.push_back(event),
+            WalRecord::Event(seq) => {
+                max_event_id = max_event_id.max(seq.id);
+                max_request_id = max_request_id.max(seq.request);
+                fifo.push_back((offset, seq));
+            }
             WalRecord::Barrier { round, events } => {
+                let take = events as usize;
+                if fifo.len() < take {
+                    return Err(ServeError::Config(format!(
+                        "WAL barrier for round {round} names more events than logged"
+                    )));
+                }
                 let next = engine.next_round();
                 if round < next {
                     // This round is inside the checkpoint already; its
                     // batch is consumed without replay.
-                    for _ in 0..events {
-                        fifo.pop_front().ok_or_else(|| {
-                            ServeError::Config(format!(
-                                "WAL barrier for round {round} names more events than logged"
-                            ))
-                        })?;
-                    }
+                    fifo.drain(..take);
                 } else if round == next && !engine.is_finished() {
-                    for _ in 0..events {
-                        let event = fifo.pop_front().ok_or_else(|| {
-                            ServeError::Config(format!(
-                                "WAL barrier for round {round} names more events than logged"
-                            ))
-                        })?;
+                    let batch: Vec<(u64, SequencedEvent)> = fifo.drain(..take).collect();
+                    if lineage_state.is_some() {
+                        engine.enable_trace();
+                    }
+                    let mut dropped = vec![false; batch.len()];
+                    for (i, (_, seq)) in batch.iter().enumerate() {
                         // Rejections here replay the original tick's
                         // behaviour exactly (validation is a pure
                         // function of engine state), so skipping is
                         // deterministic.
-                        let _ = engine.enqueue_event(event);
+                        if engine.enqueue_event(seq.event).is_err() {
+                            dropped[i] = true;
+                        }
                     }
                     engine.step_round()?;
+                    if let Some(state) = lineage_state.as_mut() {
+                        let journal_bytes = engine.take_trace().unwrap_or_default();
+                        let journal = trace::decode(&journal_bytes).map_err(|e| {
+                            ServeError::Config(format!("decision journal during replay: {e}"))
+                        })?;
+                        let dispositions =
+                            lineage::join_outcomes(&dropped, engine.last_event_outcomes());
+                        let frames = lineage::frames_for_round(
+                            round,
+                            &batch,
+                            &dispositions,
+                            engine.total_paid(),
+                            &journal,
+                        );
+                        state.index.append(&frames)?;
+                        absorb_frames(state, frames);
+                    }
                     replayed += u64::from(events);
                 } else {
                     return Err(ServeError::Config(format!(
@@ -552,13 +739,37 @@ fn recover(
         recorder.counter("resume_replayed_events_total").add(replayed);
     }
 
-    // Normalise: the durable pair now reflects exactly (engine state,
-    // pending events) so the next crash recovers from here.
+    // Normalise: the durable state now reflects exactly (engine,
+    // pending events, their lineage) so the next crash recovers from
+    // here. Compaction moves the pending events, so refresh their
+    // recorded offsets from compact's return.
     let ck = engine.checkpoint()?;
     write_atomic(&ck_path, &ck, config.fsync)?;
-    let pending_vec: Vec<ExternalEvent> = fifo.iter().copied().collect();
-    wal.compact(&pending_vec)?;
-    Ok((engine, wal, fifo, replayed))
+    let events: Vec<SequencedEvent> = fifo.iter().map(|&(_, seq)| seq).collect();
+    let offsets = wal.compact(&events)?;
+    let pending: VecDeque<(u64, SequencedEvent)> = offsets.into_iter().zip(events).collect();
+    let ingest = Ingest {
+        wal,
+        pending,
+        next_event_id: max_event_id + 1,
+        next_request_id: max_request_id + 1,
+        lineage: lineage_state,
+    };
+    Ok((engine, ingest, replayed))
+}
+
+/// Folds freshly-appended lineage frames into the in-memory mirror.
+fn absorb_frames(state: &mut LineageState, frames: Vec<LineageFrame>) {
+    for frame in frames {
+        match frame {
+            LineageFrame::Applied(f) => {
+                state.applied.insert(f.event_id, f);
+            }
+            LineageFrame::Round(r) => {
+                state.rounds.insert(r.round, r);
+            }
+        }
+    }
 }
 
 /// Writes `bytes` to `path` atomically (tmp + rename).
@@ -630,6 +841,7 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) {
         ("POST", "/shutdown") => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.stop_requested.store(true, Ordering::SeqCst);
+            shared.log.info("daemon", "shutdown requested over http", &[]);
             http::respond(stream, 200, JSON, "{\"status\": \"draining\"}\n");
         }
         ("POST", "/debug/panic") if shared.config.debug_panic_route => {
@@ -653,6 +865,20 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) {
             let body = shared.recorder.snapshot().to_prometheus();
             http::respond(stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body);
         }
+        ("GET", "/logs.json") => {
+            http::respond(stream, 200, JSON, &shared.log.to_json());
+        }
+        ("GET", path) if path.starts_with("/events/") => {
+            match path["/events/".len()..].parse::<u64>() {
+                Ok(id) => match event_json(shared, id) {
+                    Some(body) => http::respond(stream, 200, JSON, &body),
+                    None => http::respond(stream, 404, JSON, &error_body("no such event id")),
+                },
+                Err(_) => {
+                    http::respond(stream, 422, JSON, &error_body("event id must be an integer"));
+                }
+            }
+        }
         ("GET", "/healthz") => {
             let body = format!(
                 "{{\"status\": \"{}\", \"next_round\": {}, \"queue_depth\": {}}}\n",
@@ -668,6 +894,7 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) {
 }
 
 fn post_events(stream: &mut TcpStream, body: &[u8], shared: &Arc<Shared>) {
+    let accepted = Instant::now();
     if shared.draining.load(Ordering::SeqCst) || shared.failed.load(Ordering::SeqCst) {
         shared.metrics.rejected_draining.inc();
         http::respond_with(
@@ -684,6 +911,7 @@ fn post_events(stream: &mut TcpStream, body: &[u8], shared: &Arc<Shared>) {
         http::respond(stream, 409, JSON, &error_body("run is complete; events no longer apply"));
         return;
     }
+    let parse_started = Instant::now();
     let batch = match decode_batch(body) {
         Ok(batch) => batch,
         Err(e) => {
@@ -691,21 +919,28 @@ fn post_events(stream: &mut TcpStream, body: &[u8], shared: &Arc<Shared>) {
                 400 => shared.metrics.rejected_bad_json.inc(),
                 _ => shared.metrics.rejected_schema.inc(),
             }
+            shared.log.debug("ingest", "batch rejected", &[("reason", e.message())]);
             http::respond(stream, e.status(), JSON, &error_body(e.message()));
             return;
         }
     };
+    shared.metrics.stage_parse.record_duration(parse_started.elapsed());
     // Batches apply atomically: one bad event rejects the whole batch,
     // so a client never has to guess which half was accepted.
+    let validate_started = Instant::now();
     for (i, event) in batch.iter().enumerate() {
         if let Err(message) = validate(event, &shared.dims) {
             shared.metrics.rejected_validation.inc();
+            shared.log.debug("ingest", "batch failed validation", &[("reason", &message)]);
             http::respond(stream, 422, JSON, &error_body(&format!("events[{i}]: {message}")));
             return;
         }
     }
+    shared.metrics.stage_validate.record_duration(validate_started.elapsed());
 
-    let depth = {
+    let enqueue_started = Instant::now();
+    let fsync_spent;
+    let (depth, first_id, request_id) = {
         let mut ingest = shared.lock_ingest();
         if ingest.pending.len() + batch.len() > shared.config.queue_capacity {
             let depth = ingest.pending.len();
@@ -713,6 +948,13 @@ fn post_events(stream: &mut TcpStream, body: &[u8], shared: &Arc<Shared>) {
             shared.metrics.shed.add(batch.len() as u64);
             shared.metrics.rejected_queue_full.inc();
             shared.set_queue_gauges(depth);
+            if shared.log.enabled_for(LogLevel::Warn) {
+                shared.log.warn(
+                    "ingest",
+                    "queue full; batch shed",
+                    &[("depth", &depth.to_string()), ("batch", &batch.len().to_string())],
+                );
+            }
             http::respond_with(
                 stream,
                 429,
@@ -722,24 +964,92 @@ fn post_events(stream: &mut TcpStream, body: &[u8], shared: &Arc<Shared>) {
             );
             return;
         }
+        // Lineage identity is assigned here, under the ingest lock, so
+        // ids are gapless and monotonic in WAL order.
+        let request_id = ingest.next_request_id;
+        ingest.next_request_id += 1;
+        let first_id = ingest.next_event_id;
+        ingest.next_event_id += batch.len() as u64;
+        let sequenced: Vec<SequencedEvent> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &event)| SequencedEvent {
+                id: first_id + i as u64,
+                request: request_id,
+                event,
+            })
+            .collect();
         // Durability before acknowledgement: the WAL append (+fsync)
         // happens inside the lock, before the 202 below.
-        if let Err(e) = ingest.wal.append_events(&batch) {
-            drop(ingest);
-            http::respond(stream, 500, JSON, &error_body(&format!("event log write failed: {e}")));
-            return;
+        let fsync_started = Instant::now();
+        let offsets = match ingest.wal.append_events(&sequenced) {
+            Ok(offsets) => offsets,
+            Err(e) => {
+                drop(ingest);
+                shared.log.error("ingest", "event log write failed", &[("error", &e.to_string())]);
+                http::respond(
+                    stream,
+                    500,
+                    JSON,
+                    &error_body(&format!("event log write failed: {e}")),
+                );
+                return;
+            }
+        };
+        fsync_spent = fsync_started.elapsed();
+        shared.metrics.wal_bytes.set(ingest.wal.bytes() as i64);
+        for (offset, seq) in offsets.into_iter().zip(sequenced) {
+            ingest.pending.push_back((offset, seq));
         }
-        ingest.pending.extend(batch.iter().copied());
-        ingest.pending.len()
+        (ingest.pending.len(), first_id, request_id)
     };
+    shared.metrics.stage_fsync.record_duration(fsync_spent);
+    shared
+        .metrics
+        .stage_enqueue
+        .record_duration(enqueue_started.elapsed().saturating_sub(fsync_spent));
     shared.metrics.ingest_events.add(batch.len() as u64);
     shared.set_queue_gauges(depth);
     http::respond(
         stream,
         202,
         JSON,
-        &format!("{{\"accepted\": {}, \"queue_depth\": {depth}}}\n", batch.len()),
+        &format!(
+            "{{\"accepted\": {}, \"queue_depth\": {depth}, \"request_id\": {request_id}, \
+             \"first_event_id\": {first_id}}}\n",
+            batch.len()
+        ),
     );
+    // The SLO clock stops when the ack hits the socket.
+    let ack = accepted.elapsed();
+    shared.metrics.stage_ack.record_duration(ack);
+    shared.metrics.ack_total.inc();
+    if ack > ACK_SLO_TARGET {
+        shared.metrics.ack_slo_breaches.inc();
+        if shared.log.enabled_for(LogLevel::Warn) {
+            shared.log.warn(
+                "ingest",
+                "ack latency breached slo",
+                &[
+                    ("ack_ms", &format!("{:.1}", ack.as_secs_f64() * 1e3)),
+                    ("target_ms", &format!("{:.1}", ACK_SLO_TARGET.as_secs_f64() * 1e3)),
+                    ("request_id", &request_id.to_string()),
+                ],
+            );
+        }
+    }
+    if shared.log.enabled_for(LogLevel::Debug) {
+        shared.log.debug(
+            "ingest",
+            "batch accepted",
+            &[
+                ("request_id", &request_id.to_string()),
+                ("first_event_id", &first_id.to_string()),
+                ("events", &batch.len().to_string()),
+                ("queue_depth", &depth.to_string()),
+            ],
+        );
+    }
 }
 
 fn post_tick(stream: &mut TcpStream, shared: &Arc<Shared>) {
@@ -783,8 +1093,8 @@ fn validate(event: &ExternalEvent, dims: &Dims) -> Result<(), String> {
     Ok(())
 }
 
-/// The tick: barrier → apply → step → checkpoint → compact. See the
-/// module docs for why each write lands in this order.
+/// The tick: barrier → apply → step → lineage → checkpoint → compact.
+/// See the module docs for why each write lands in this order.
 fn run_tick(shared: &Arc<Shared>) -> Result<TickOutcome, ServeError> {
     let _serial = shared.tick_lock.lock().unwrap_or_else(PoisonError::into_inner);
     if shared.failed.load(Ordering::SeqCst) {
@@ -803,13 +1113,14 @@ fn run_tick(shared: &Arc<Shared>) -> Result<TickOutcome, ServeError> {
     // Make the batch composition durable before the round runs: a
     // crash after this point replays exactly this batch into exactly
     // this round.
-    let batch: Vec<ExternalEvent> = {
+    let batch: Vec<(u64, SequencedEvent)> = {
         let mut ingest = shared.lock_ingest();
-        let batch: Vec<ExternalEvent> = ingest.pending.drain(..).collect();
+        let batch: Vec<(u64, SequencedEvent)> = ingest.pending.drain(..).collect();
         ingest.wal.append_barrier(round, batch.len() as u32).map_err(|e| {
-            shared.failed.store(true, Ordering::SeqCst);
+            shared.fail("event log barrier write failed", &e.to_string());
             ServeError::Io(format!("event log barrier write failed: {e}"))
         })?;
+        shared.metrics.wal_bytes.set(ingest.wal.bytes() as i64);
         batch
     };
     // The queue gauges intentionally keep their pre-drain values until
@@ -817,15 +1128,24 @@ fn run_tick(shared: &Arc<Shared>) -> Result<TickOutcome, ServeError> {
     // boundary, and the saturation alert must see the depth the round
     // *started* from, not the post-drain zero.
     let applied = batch.len();
+    let lineage_on = shared.config.lineage;
 
     let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut engine = shared.lock_engine();
-        for event in batch {
+        if lineage_on {
+            engine.enable_trace();
+        }
+        let mut dropped = vec![false; batch.len()];
+        for (i, (_, seq)) in batch.iter().enumerate() {
             // Pre-validated at ingest; rejections (e.g. the run just
             // finished) drop deterministically, matching replay.
-            let _ = engine.enqueue_event(event);
+            if engine.enqueue_event(seq.event).is_err() {
+                dropped[i] = true;
+            }
         }
         engine.step_round()?;
+        let journal = if lineage_on { engine.take_trace() } else { None };
+        let outcomes: Vec<EventOutcome> = engine.last_event_outcomes().to_vec();
         let checkpoint = if (shared.ticks.load(Ordering::SeqCst) + 1)
             .is_multiple_of(u64::from(shared.config.checkpoint_every))
             || engine.is_finished()
@@ -834,43 +1154,107 @@ fn run_tick(shared: &Arc<Shared>) -> Result<TickOutcome, ServeError> {
         } else {
             None
         };
-        Ok::<_, paydemand_sim::SimError>((engine.next_round(), engine.is_finished(), checkpoint))
+        Ok::<_, paydemand_sim::SimError>((
+            engine.next_round(),
+            engine.is_finished(),
+            checkpoint,
+            journal,
+            outcomes,
+            dropped,
+            engine.total_paid(),
+        ))
     }));
-    let (next_round, finished, checkpoint) = match stepped {
+    let (next_round, finished, checkpoint, journal, outcomes, dropped, total_paid) = match stepped {
         Err(_) => {
-            shared.failed.store(true, Ordering::SeqCst);
+            shared.fail("engine tick panicked", "daemon degraded to read-only");
             return Err(ServeError::Fatal(
                 "engine tick panicked; daemon degraded to read-only".into(),
             ));
         }
         Ok(Err(e)) => {
-            shared.failed.store(true, Ordering::SeqCst);
+            shared.fail("engine tick failed", &e.to_string());
             return Err(ServeError::Sim(e));
         }
         Ok(Ok(state)) => state,
     };
 
+    // The lineage join lands — and fsyncs — *before* the checkpoint,
+    // so a round the checkpoint covers always has durable lineage; a
+    // crash between the two truncates and regenerates this round's
+    // frames on recovery.
+    if lineage_on {
+        let journal = trace::decode(journal.as_deref().unwrap_or(&[])).map_err(|e| {
+            shared.fail("decision journal decode failed", &e.to_string());
+            ServeError::Fatal(format!("decision journal decode failed: {e}"))
+        })?;
+        let dispositions = lineage::join_outcomes(&dropped, &outcomes);
+        let frames = lineage::frames_for_round(round, &batch, &dispositions, total_paid, &journal);
+        let mut ingest = shared.lock_ingest();
+        if let Some(state) = ingest.lineage.as_mut() {
+            let bytes = state.index.append(&frames).map_err(|e| {
+                shared.fail("lineage index write failed", &e.to_string());
+                ServeError::Io(format!("lineage index write failed: {e}"))
+            })?;
+            shared.metrics.lineage_bytes.add(bytes);
+            shared.metrics.lineage_frames.add(frames.len() as u64);
+            shared.metrics.lineage_applied.add(applied as u64);
+            absorb_frames(state, frames);
+        }
+    }
+
+    let this_tick = shared.ticks.load(Ordering::SeqCst) + 1;
     if let Some(bytes) = checkpoint {
         let ck_path = shared.config.state_dir.join(CHECKPOINT_FILE);
         write_atomic(&ck_path, &bytes, shared.config.fsync).map_err(|e| {
-            shared.failed.store(true, Ordering::SeqCst);
+            shared.fail("checkpoint write failed", &e.to_string());
             ServeError::Io(format!("checkpoint write failed: {e}"))
         })?;
         // With the checkpoint durable, everything the WAL recorded up
         // to the barrier is redundant: compact down to what arrived
-        // during the step.
+        // during the step, refreshing the survivors' recorded offsets.
         let mut ingest = shared.lock_ingest();
-        let pending: Vec<ExternalEvent> = ingest.pending.iter().copied().collect();
-        ingest.wal.compact(&pending).map_err(|e| {
-            shared.failed.store(true, Ordering::SeqCst);
+        let events: Vec<SequencedEvent> = ingest.pending.iter().map(|&(_, seq)| seq).collect();
+        let offsets = ingest.wal.compact(&events).map_err(|e| {
+            shared.fail("event log compaction failed", &e.to_string());
             ServeError::Io(format!("event log compaction failed: {e}"))
         })?;
+        for ((slot, _), offset) in ingest.pending.iter_mut().zip(offsets) {
+            *slot = offset;
+        }
+        shared.metrics.wal_bytes.set(ingest.wal.bytes() as i64);
+        drop(ingest);
+        shared.last_checkpoint_tick.store(this_tick, Ordering::SeqCst);
+        shared.metrics.last_checkpoint_tick.set(this_tick as i64);
+        shared.events_since_checkpoint.store(0, Ordering::SeqCst);
+        shared.metrics.events_since_checkpoint.set(0);
+        if shared.log.enabled_for(LogLevel::Debug) {
+            shared.log.debug(
+                "daemon",
+                "checkpoint landed",
+                &[("tick", &this_tick.to_string()), ("next_round", &next_round.to_string())],
+            );
+        }
+    } else {
+        let since = shared.events_since_checkpoint.fetch_add(applied as u64, Ordering::SeqCst)
+            + applied as u64;
+        shared.metrics.events_since_checkpoint.set(since as i64);
     }
 
     shared.set_queue_gauges(shared.lock_ingest().pending.len());
     shared.next_round.store(next_round, Ordering::SeqCst);
     shared.finished.store(finished, Ordering::SeqCst);
     shared.ticks.fetch_add(1, Ordering::SeqCst);
+    if shared.log.enabled_for(LogLevel::Debug) {
+        shared.log.debug(
+            "daemon",
+            "tick applied",
+            &[
+                ("round", &round.to_string()),
+                ("applied", &applied.to_string()),
+                ("finished", if finished { "true" } else { "false" }),
+            ],
+        );
+    }
     Ok(TickOutcome { stepped: true, applied, next_round, finished })
 }
 
@@ -902,15 +1286,20 @@ fn final_checkpoint(shared: &Arc<Shared>) -> Result<(), ServeError> {
     };
     write_atomic(&shared.config.state_dir.join(CHECKPOINT_FILE), &bytes, shared.config.fsync)?;
     let mut ingest = shared.lock_ingest();
-    let leftover: Vec<ExternalEvent> = ingest.pending.iter().copied().collect();
+    let leftover: Vec<SequencedEvent> = ingest.pending.iter().map(|&(_, seq)| seq).collect();
     if !leftover.is_empty() && shared.finished.load(Ordering::SeqCst) {
         // The run completed with events still queued: they can never
-        // apply, so they are dropped — visibly.
+        // apply, so they are dropped — visibly. `paydemand lineage
+        // verify` reports their ids as never-applied, not missing.
         shared.metrics.rejected_finished.add(leftover.len() as u64);
         ingest.wal.compact(&[])?;
     } else {
-        ingest.wal.compact(&leftover)?;
+        let offsets = ingest.wal.compact(&leftover)?;
+        for ((slot, _), offset) in ingest.pending.iter_mut().zip(offsets) {
+            *slot = offset;
+        }
     }
+    shared.metrics.wal_bytes.set(ingest.wal.bytes() as i64);
     Ok(())
 }
 
@@ -961,6 +1350,52 @@ fn demand_json(shared: &Arc<Shared>) -> Result<String, ServeError> {
     Ok(out)
 }
 
+/// Renders an event payload as a JSON object.
+fn event_payload_json(event: &ExternalEvent) -> String {
+    match *event {
+        ExternalEvent::Move { user, x, y } => {
+            format!("{{\"type\": \"move\", \"user\": {user}, \"x\": {x}, \"y\": {y}}}")
+        }
+        ExternalEvent::Upload { user, task, value } => {
+            format!(
+                "{{\"type\": \"upload\", \"user\": {user}, \"task\": {task}, \"value\": {value}}}"
+            )
+        }
+    }
+}
+
+/// The `GET /events/{id}` body: the full lineage chain for an applied
+/// event, the queue position for a pending one, `None` (404) for an id
+/// the daemon has never acked.
+fn event_json(shared: &Arc<Shared>, id: u64) -> Option<String> {
+    let ingest = shared.lock_ingest();
+    for (offset, seq) in &ingest.pending {
+        if seq.id == id {
+            return Some(format!(
+                "{{\"event_id\": {id}, \"status\": \"pending\", \"request_id\": {}, \
+                 \"wal_offset\": {offset}, \"event\": {}}}\n",
+                seq.request,
+                event_payload_json(&seq.event),
+            ));
+        }
+    }
+    let state = ingest.lineage.as_ref()?;
+    let frame = state.applied.get(&id)?;
+    let round = state.rounds.get(&frame.round);
+    let total_paid = round.map_or("null".to_owned(), |r| format!("{}", r.total_paid));
+    let round_applied = round.map_or("null".to_owned(), |r| r.applied.to_string());
+    Some(format!(
+        "{{\"event_id\": {id}, \"status\": \"applied\", \"request_id\": {}, \
+         \"wal_offset\": {}, \"round\": {}, \"disposition\": \"{}\", \"pay\": {}, \
+         \"round_applied\": {round_applied}, \"round_total_paid\": {total_paid}}}\n",
+        frame.request_id,
+        frame.wal_offset,
+        frame.round,
+        frame.disposition.label(),
+        frame.pay,
+    ))
+}
+
 fn status_json(shared: &Arc<Shared>) -> String {
     let (rounds_run, next_round, finished, total_paid, spend_cap, pending_retries) = {
         let engine = shared.lock_engine();
@@ -973,7 +1408,10 @@ fn status_json(shared: &Arc<Shared>) -> String {
             engine.pending_retries(),
         )
     };
-    let queue_depth = shared.lock_ingest().pending.len();
+    let (queue_depth, wal_bytes) = {
+        let ingest = shared.lock_ingest();
+        (ingest.pending.len(), ingest.wal.bytes())
+    };
     let area = shared.dims.area;
     format!(
         "{{\"state\": \"{}\", \"next_round\": {next_round}, \"rounds_run\": {rounds_run}, \
@@ -983,7 +1421,8 @@ fn status_json(shared: &Arc<Shared>) -> String {
          \"queue_depth\": {queue_depth}, \"queue_capacity\": {}, \
          \"ingested_events_total\": {}, \"shed_total\": {}, \"worker_restarts_total\": {}, \
          \"replayed_events\": {}, \"ticks_total\": {}, \"pending_retries\": {pending_retries}, \
-         \"uptime_seconds\": {:.3}}}\n",
+         \"wal_bytes\": {wal_bytes}, \"last_checkpoint_tick\": {}, \
+         \"events_since_checkpoint\": {}, \"uptime_seconds\": {:.3}}}\n",
         shared.state_label(),
         shared.dims.users,
         shared.dims.tasks,
@@ -998,6 +1437,8 @@ fn status_json(shared: &Arc<Shared>) -> String {
         shared.metrics.worker_restarts.get(),
         shared.replayed,
         shared.ticks.load(Ordering::SeqCst),
+        shared.last_checkpoint_tick.load(Ordering::SeqCst),
+        shared.events_since_checkpoint.load(Ordering::SeqCst),
         shared.started.elapsed().as_secs_f64(),
     )
 }

@@ -13,15 +13,20 @@
 //! * [`events`] — the `POST /events` wire format and its two-tier
 //!   decode errors (transport → 400, schema → 422).
 //! * [`wal`] — a checksummed write-ahead log with tick barriers, torn-
-//!   tail truncation and checkpoint-coupled compaction.
+//!   tail truncation and checkpoint-coupled compaction; every event
+//!   carries its ingest-assigned event/request ids.
+//! * [`lineage`] — the crash-safe event lineage index: event id → WAL
+//!   offset → round → disposition → round pricing, joined against the
+//!   engine's decision journal, plus the offline `verify` replay that
+//!   re-derives every frame bit-identically.
 //! * [`queue`] — the bounded connection queue behind explicit
 //!   backpressure (shed with 503/429, never unbounded growth).
 //! * [`supervisor`] — panic-isolated worker threads, respawned with
 //!   capped exponential backoff.
 //! * [`signals`] — SIGTERM/SIGINT → graceful drain, no libc crate.
 //! * [`daemon`] — the assembly: routes, the tick protocol
-//!   (barrier → apply → step → checkpoint → compact) and kill‑9
-//!   recovery that continues bit-identically under `--resume`.
+//!   (barrier → apply → step → lineage → checkpoint → compact) and
+//!   kill‑9 recovery that continues bit-identically under `--resume`.
 //! * [`loadgen`] — a seeded load generator with honest and adversarial
 //!   clients, for `BENCH_serve.json`.
 //!
@@ -33,15 +38,17 @@
 pub mod daemon;
 pub mod events;
 pub mod http;
+pub mod lineage;
 pub mod loadgen;
 pub mod queue;
 pub mod signals;
 pub mod supervisor;
 pub mod wal;
 
-pub use daemon::{Daemon, DaemonConfig, ShutdownReport, TickOutcome};
+pub use daemon::{Daemon, DaemonConfig, ShutdownReport, TickOutcome, ACK_SLO_TARGET};
 pub use http::HttpLimits;
-pub use loadgen::{run_load, LoadPlan, LoadReport};
+pub use lineage::VerifyReport;
+pub use loadgen::{run_load, LoadPlan, LoadReport, ServerStages};
 
 use paydemand_sim::SimError;
 

@@ -1,0 +1,824 @@
+//! The event lineage index: *what happened to every acked event*.
+//!
+//! The WAL answers "which events were acknowledged"; the checkpoint
+//! answers "what state did they produce". The lineage index is the
+//! join between them: for every event a tick fed into the engine it
+//! records one [`AppliedFrame`] — event id → WAL offset → round →
+//! disposition (paid / duplicate / budget-exhausted / …) — and for
+//! every executed round one [`RoundFrame`] carrying the round's
+//! per-task demand level and posted price (decoded from the engine's
+//! PDTJ decision journal) plus the budget trajectory. Together they
+//! let `GET /events/{id}` and `paydemand lineage trace-event` answer
+//! "where did my event go and what did it cost" without replaying
+//! anything.
+//!
+//! # On-disk format
+//!
+//! A 5-byte header — magic `PDLI`, version byte — followed by
+//! checksummed frames in the WAL's framing:
+//! `[tag u8][len u32 LE][payload][fnv1a-64-lo u32 LE]`.
+//!
+//! | tag | frame | payload |
+//! |-----|-------|---------|
+//! | 1 | `Applied` | `u64` event id, `u64` request id, `u64` WAL offset, `u32` round, `u8` disposition, `f64` pay |
+//! | 2 | `Round` | `u32` round, `u32` applied, `f64` total paid, `u32` n, n×(`u32` task, `u32` level, `f64` reward) |
+//!
+//! A torn tail (kill‑9 mid-append) fails its checksum and is truncated
+//! on open, exactly like the WAL. Crash safety leans on the tick
+//! ordering: lineage frames are appended *and fsynced before* the
+//! checkpoint lands, so every checkpointed round has durable lineage;
+//! frames for rounds the checkpoint does *not* cover are truncated at
+//! recovery and regenerated bit-identically by the deterministic
+//! replay (the regeneration uses the same [`frames_for_round`] joiner
+//! the live tick used).
+//!
+//! [`verify`] is the offline auditor: it replays the WAL against the
+//! checkpoint exactly like daemon recovery and proves that every
+//! consumed event has a matching frame, that regenerated frames agree
+//! bit-for-bit with what is on disk, and that acked-but-never-ticked
+//! events (including the decodable prefix of a torn batch) are
+//! reported as *never applied* rather than silently missing.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use paydemand_obs::Recorder;
+use paydemand_sim::trace::{self, TraceEvent};
+use paydemand_sim::{Engine, EventOutcome, Scenario};
+
+use crate::wal::{self, SequencedEvent, WalRecord};
+use crate::ServeError;
+
+/// Index header magic.
+const LINEAGE_MAGIC: &[u8; 4] = b"PDLI";
+/// Index format version this build reads and writes.
+pub const LINEAGE_VERSION: u8 = 1;
+const HEADER_LEN: usize = 5;
+
+const TAG_APPLIED: u8 = 1;
+const TAG_ROUND: u8 = 2;
+/// Round frames carry one entry per task; bound the length field well
+/// above any real workload but far below an OOM.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// What the engine did with one applied event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// A `Move` repositioned its user.
+    Moved,
+    /// An `Upload` settled and was paid.
+    Paid,
+    /// Dropped: the task had already completed.
+    TaskComplete,
+    /// Dropped: the user already counted for the task.
+    Duplicate,
+    /// Dropped: the spend cap was exhausted.
+    Budget,
+    /// Never reached the engine: the run finished before its round.
+    Dropped,
+}
+
+impl Disposition {
+    /// The stable wire label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Moved => "moved",
+            Disposition::Paid => "paid",
+            Disposition::TaskComplete => "task_complete",
+            Disposition::Duplicate => "duplicate",
+            Disposition::Budget => "budget",
+            Disposition::Dropped => "dropped",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Disposition::Moved => 0,
+            Disposition::Paid => 1,
+            Disposition::TaskComplete => 2,
+            Disposition::Duplicate => 3,
+            Disposition::Budget => 4,
+            Disposition::Dropped => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Disposition> {
+        Some(match code {
+            0 => Disposition::Moved,
+            1 => Disposition::Paid,
+            2 => Disposition::TaskComplete,
+            3 => Disposition::Duplicate,
+            4 => Disposition::Budget,
+            5 => Disposition::Dropped,
+            _ => return None,
+        })
+    }
+
+    /// Maps an engine outcome to its lineage disposition and pay.
+    #[must_use]
+    pub fn from_outcome(outcome: &EventOutcome) -> (Disposition, f64) {
+        match outcome {
+            EventOutcome::Moved => (Disposition::Moved, 0.0),
+            EventOutcome::Paid(pay) => (Disposition::Paid, *pay),
+            EventOutcome::RejectedTaskComplete => (Disposition::TaskComplete, 0.0),
+            EventOutcome::RejectedDuplicate => (Disposition::Duplicate, 0.0),
+            EventOutcome::RejectedBudget => (Disposition::Budget, 0.0),
+        }
+    }
+}
+
+/// One event's fate: the event id → WAL offset → round → outcome join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppliedFrame {
+    /// The monotonic event id assigned at ingest.
+    pub event_id: u64,
+    /// The `POST /events` request that carried the event.
+    pub request_id: u64,
+    /// Byte offset of the event's WAL record when its round ran.
+    pub wal_offset: u64,
+    /// The 1-based round the event was applied to.
+    pub round: u32,
+    /// What the engine did with it.
+    pub disposition: Disposition,
+    /// Reward paid (0 unless `disposition` is `Paid`).
+    pub pay: f64,
+}
+
+/// One task's posted price in a round (from the PDTJ `TaskDemand`
+/// frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskPrice {
+    /// Task index.
+    pub task: u32,
+    /// Mapped demand level (0 on stale-repricing rounds).
+    pub level: u32,
+    /// Reward posted per measurement.
+    pub reward: f64,
+}
+
+/// One executed round's lineage summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundFrame {
+    /// The 1-based round.
+    pub round: u32,
+    /// Events the tick fed into this round.
+    pub applied: u32,
+    /// Cumulative platform spend after the round.
+    pub total_paid: f64,
+    /// Per-task demand level and posted price, in journal order.
+    pub tasks: Vec<TaskPrice>,
+}
+
+/// One decoded lineage frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineageFrame {
+    /// An event's fate.
+    Applied(AppliedFrame),
+    /// A round's summary.
+    Round(RoundFrame),
+}
+
+impl LineageFrame {
+    /// The round this frame belongs to.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        match self {
+            LineageFrame::Applied(f) => f.round,
+            LineageFrame::Round(f) => f.round,
+        }
+    }
+}
+
+/// The append-only, checksummed lineage index file.
+#[derive(Debug)]
+pub struct LineageIndex {
+    file: File,
+    path: PathBuf,
+    fsync: bool,
+    len: u64,
+}
+
+impl LineageIndex {
+    /// Opens (creating if absent) the index at `path`, returning the
+    /// frames already on disk and the number of torn trailing bytes
+    /// discarded (the file is truncated past them).
+    ///
+    /// # Errors
+    ///
+    /// File-system errors, or a header from a different format/version
+    /// (never silently misread).
+    pub fn open(
+        path: &Path,
+        fsync: bool,
+    ) -> Result<(LineageIndex, Vec<LineageFrame>, usize), ServeError> {
+        let (frames, torn, good_len) = if path.exists() {
+            let (frames, torn, file_len) = read_frames(path)?;
+            let good = file_len - torn as u64;
+            if torn > 0 {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(good)?;
+            }
+            (frames, torn, good)
+        } else {
+            let mut f = File::create(path)?;
+            f.write_all(LINEAGE_MAGIC)?;
+            f.write_all(&[LINEAGE_VERSION])?;
+            if fsync {
+                f.sync_all()?;
+            }
+            (Vec::new(), 0, HEADER_LEN as u64)
+        };
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((LineageIndex { file, path: path.to_path_buf(), fsync, len: good_len }, frames, torn))
+    }
+
+    /// Appends `frames` and makes them durable in one fsync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync errors.
+    pub fn append(&mut self, frames: &[LineageFrame]) -> std::io::Result<u64> {
+        let mut buf = Vec::with_capacity(frames.len() * 64);
+        for frame in frames {
+            encode_frame(&mut buf, frame);
+        }
+        self.file.write_all(&buf)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        self.len += buf.len() as u64;
+        Ok(buf.len() as u64)
+    }
+
+    /// Atomically rewrites the index to hold exactly `frames`
+    /// (tmp + rename) — recovery uses this to drop frames for rounds
+    /// the checkpoint does not cover before regenerating them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors; the old index stays valid if any
+    /// step fails before the rename.
+    pub fn rewrite(&mut self, frames: &[LineageFrame]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("idx.tmp");
+        let mut buf = Vec::with_capacity(HEADER_LEN + frames.len() * 64);
+        buf.extend_from_slice(LINEAGE_MAGIC);
+        buf.push(LINEAGE_VERSION);
+        for frame in frames {
+            encode_frame(&mut buf, frame);
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            if self.fsync {
+                f.sync_all()?;
+            }
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.len = buf.len() as u64;
+        Ok(())
+    }
+
+    /// Current index size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The index's on-disk path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads every well-formed frame in `path`, returning the frames, the
+/// torn trailing byte count and the file length.
+///
+/// # Errors
+///
+/// I/O errors, or a bad header (wrong magic or unsupported version).
+pub fn read_frames(path: &Path) -> Result<(Vec<LineageFrame>, usize, u64), ServeError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_LEN || &bytes[..4] != LINEAGE_MAGIC {
+        return Err(ServeError::Config(format!(
+            "{} is not a lineage index (bad magic)",
+            path.display()
+        )));
+    }
+    if bytes[4] != LINEAGE_VERSION {
+        return Err(ServeError::Config(format!(
+            "lineage index version {} unsupported (this build reads {LINEAGE_VERSION})",
+            bytes[4]
+        )));
+    }
+    let mut frames = Vec::new();
+    let mut at = HEADER_LEN;
+    while at < bytes.len() {
+        match decode_frame(&bytes[at..]) {
+            Some((frame, used)) => {
+                frames.push(frame);
+                at += used;
+            }
+            None => break,
+        }
+    }
+    Ok((frames, bytes.len() - at, bytes.len() as u64))
+}
+
+fn encode_frame(out: &mut Vec<u8>, frame: &LineageFrame) {
+    let mut payload = Vec::with_capacity(64);
+    let tag = match frame {
+        LineageFrame::Applied(f) => {
+            payload.extend_from_slice(&f.event_id.to_le_bytes());
+            payload.extend_from_slice(&f.request_id.to_le_bytes());
+            payload.extend_from_slice(&f.wal_offset.to_le_bytes());
+            payload.extend_from_slice(&f.round.to_le_bytes());
+            payload.push(f.disposition.code());
+            payload.extend_from_slice(&f.pay.to_bits().to_le_bytes());
+            TAG_APPLIED
+        }
+        LineageFrame::Round(f) => {
+            payload.extend_from_slice(&f.round.to_le_bytes());
+            payload.extend_from_slice(&f.applied.to_le_bytes());
+            payload.extend_from_slice(&f.total_paid.to_bits().to_le_bytes());
+            payload.extend_from_slice(&(f.tasks.len() as u32).to_le_bytes());
+            for t in &f.tasks {
+                payload.extend_from_slice(&t.task.to_le_bytes());
+                payload.extend_from_slice(&t.level.to_le_bytes());
+                payload.extend_from_slice(&t.reward.to_bits().to_le_bytes());
+            }
+            TAG_ROUND
+        }
+    };
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+}
+
+fn decode_frame(bytes: &[u8]) -> Option<(LineageFrame, usize)> {
+    if bytes.len() < 5 {
+        return None;
+    }
+    let tag = bytes[0];
+    let len = u32::from_le_bytes(bytes[1..5].try_into().ok()?);
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let len = len as usize;
+    let total = 5 + len + 4;
+    if bytes.len() < total {
+        return None;
+    }
+    let payload = &bytes[5..5 + len];
+    let stored = u32::from_le_bytes(bytes[5 + len..total].try_into().ok()?);
+    if checksum(payload) != stored {
+        return None;
+    }
+    let frame = match tag {
+        TAG_APPLIED if len == 37 => LineageFrame::Applied(AppliedFrame {
+            event_id: u64::from_le_bytes(payload[0..8].try_into().ok()?),
+            request_id: u64::from_le_bytes(payload[8..16].try_into().ok()?),
+            wal_offset: u64::from_le_bytes(payload[16..24].try_into().ok()?),
+            round: u32::from_le_bytes(payload[24..28].try_into().ok()?),
+            disposition: Disposition::from_code(payload[28])?,
+            pay: f64::from_bits(u64::from_le_bytes(payload[29..37].try_into().ok()?)),
+        }),
+        TAG_ROUND if len >= 20 => {
+            let n = u32::from_le_bytes(payload[16..20].try_into().ok()?) as usize;
+            if len != 20 + n * 16 {
+                return None;
+            }
+            let mut tasks = Vec::with_capacity(n);
+            for i in 0..n {
+                let at = 20 + i * 16;
+                tasks.push(TaskPrice {
+                    task: u32::from_le_bytes(payload[at..at + 4].try_into().ok()?),
+                    level: u32::from_le_bytes(payload[at + 4..at + 8].try_into().ok()?),
+                    reward: f64::from_bits(u64::from_le_bytes(
+                        payload[at + 8..at + 16].try_into().ok()?,
+                    )),
+                });
+            }
+            LineageFrame::Round(RoundFrame {
+                round: u32::from_le_bytes(payload[0..4].try_into().ok()?),
+                applied: u32::from_le_bytes(payload[4..8].try_into().ok()?),
+                total_paid: f64::from_bits(u64::from_le_bytes(payload[8..16].try_into().ok()?)),
+                tasks,
+            })
+        }
+        _ => return None,
+    };
+    Some((frame, total))
+}
+
+/// FNV-1a 64 truncated to its low 32 bits (the WAL's checksum).
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash as u32
+}
+
+/// Aligns the engine's per-inbox-event outcomes back onto the full
+/// tick batch: `dropped[i]` marks events whose `enqueue_event` was
+/// refused (the run finished), which never reached the inbox and so
+/// have no outcome. Tolerant by construction — if the outcome stream
+/// runs short the remainder reads as dropped — so live ticks, crash
+/// recovery and offline verification all resolve identically.
+#[must_use]
+pub fn join_outcomes(dropped: &[bool], outcomes: &[EventOutcome]) -> Vec<(Disposition, f64)> {
+    let mut next = outcomes.iter();
+    dropped
+        .iter()
+        .map(|&was_dropped| {
+            if was_dropped {
+                (Disposition::Dropped, 0.0)
+            } else {
+                next.next().map_or((Disposition::Dropped, 0.0), Disposition::from_outcome)
+            }
+        })
+        .collect()
+}
+
+/// Builds the lineage frames for one executed round: one `Applied`
+/// frame per batch event (in batch order) and one `Round` frame
+/// joining the PDTJ decision journal's per-task pricing and budget
+/// trajectory. This is the *only* producer of lineage frames — the
+/// live tick, crash recovery and [`verify`] all call it, which is what
+/// makes regeneration bit-identical.
+#[must_use]
+pub fn frames_for_round(
+    round: u32,
+    batch: &[(u64, SequencedEvent)],
+    dispositions: &[(Disposition, f64)],
+    fallback_total_paid: f64,
+    journal: &[TraceEvent],
+) -> Vec<LineageFrame> {
+    let mut frames = Vec::with_capacity(batch.len() + 1);
+    for (i, (offset, seq)) in batch.iter().enumerate() {
+        let (disposition, pay) =
+            dispositions.get(i).copied().unwrap_or((Disposition::Dropped, 0.0));
+        frames.push(LineageFrame::Applied(AppliedFrame {
+            event_id: seq.id,
+            request_id: seq.request,
+            wal_offset: *offset,
+            round,
+            disposition,
+            pay,
+        }));
+    }
+    let mut total_paid = fallback_total_paid;
+    let mut tasks = Vec::new();
+    for event in journal {
+        match event {
+            TraceEvent::Budget { round: r, total_paid: paid, .. } if *r == round => {
+                total_paid = *paid;
+            }
+            TraceEvent::TaskDemand { task, level, reward, .. } => {
+                tasks.push(TaskPrice { task: *task, level: *level, reward: *reward });
+            }
+            _ => {}
+        }
+    }
+    frames.push(LineageFrame::Round(RoundFrame {
+        round,
+        applied: batch.len() as u32,
+        total_paid,
+        tasks,
+    }));
+    frames
+}
+
+/// What [`verify`] proved about a state directory.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Applied frames on disk for rounds the checkpoint covers.
+    pub settled: usize,
+    /// Events the WAL shows consumed that were checked against a
+    /// settled frame.
+    pub checked: usize,
+    /// Frames regenerated by replaying un-checkpointed rounds.
+    pub regenerated: usize,
+    /// Regenerated frames that matched an on-disk frame bit-for-bit.
+    pub matched: usize,
+    /// Acked events no round ever consumed (pending at crash/shutdown):
+    /// never applied, correctly absent from the index.
+    pub never_applied: Vec<u64>,
+    /// Consumed events with no Applied frame — a durability bug.
+    pub missing: Vec<u64>,
+    /// Event ids whose regenerated frame disagrees with the on-disk
+    /// frame — a determinism bug.
+    pub mismatched: Vec<u64>,
+    /// Torn bytes truncated from the lineage index tail.
+    pub torn_lineage_bytes: usize,
+    /// Torn bytes discarded from the WAL tail.
+    pub torn_wal_bytes: usize,
+}
+
+impl VerifyReport {
+    /// Whether the join is sound (never-applied events are expected,
+    /// not a failure).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.missing.is_empty() && self.mismatched.is_empty()
+    }
+}
+
+/// Offline lineage audit: replays the WAL against the checkpoint with
+/// the daemon's exact recovery semantics and cross-checks every frame
+/// in the lineage index. Runs against a cold state directory (daemon
+/// stopped or crashed).
+///
+/// # Errors
+///
+/// Missing/corrupt state files or a scenario the engine refuses; a
+/// *failed audit* is not an error — it is a [`VerifyReport`] with
+/// `missing`/`mismatched` entries.
+pub fn verify(scenario: &Scenario, state_dir: &Path) -> Result<VerifyReport, ServeError> {
+    let ck_path = state_dir.join(crate::daemon::CHECKPOINT_FILE);
+    let wal_path = state_dir.join(crate::daemon::WAL_FILE);
+    let idx_path = state_dir.join(crate::daemon::LINEAGE_FILE);
+    let recorder = Recorder::disabled();
+    let mut engine = if ck_path.exists() {
+        let bytes = std::fs::read(&ck_path)?;
+        Engine::resume(scenario, &bytes, &recorder)?
+    } else {
+        Engine::new(scenario, &recorder)?
+    };
+    let mut report = VerifyReport::default();
+
+    let (frames, torn_lineage, _) =
+        if idx_path.exists() { read_frames(&idx_path)? } else { (Vec::new(), 0, 0) };
+    report.torn_lineage_bytes = torn_lineage;
+    let next_at_checkpoint = engine.next_round();
+    // Frames for rounds past the checkpoint are the crash window the
+    // daemon would truncate and regenerate; keep them aside to compare
+    // against our own regeneration.
+    let mut settled: BTreeMap<u64, AppliedFrame> = BTreeMap::new();
+    let mut unsettled: BTreeMap<u64, AppliedFrame> = BTreeMap::new();
+    for frame in frames {
+        if let LineageFrame::Applied(f) = frame {
+            if f.round < next_at_checkpoint {
+                settled.insert(f.event_id, f);
+            } else {
+                unsettled.insert(f.event_id, f);
+            }
+        }
+    }
+    report.settled = settled.len();
+
+    let (records, torn_wal) =
+        if wal_path.exists() { wal::read_records(&wal_path)? } else { (Vec::new(), 0) };
+    report.torn_wal_bytes = torn_wal;
+
+    let mut fifo: std::collections::VecDeque<(u64, SequencedEvent)> =
+        std::collections::VecDeque::new();
+    for (offset, record) in records {
+        match record {
+            WalRecord::Event(seq) => fifo.push_back((offset, seq)),
+            WalRecord::Barrier { round, events } => {
+                let take = events as usize;
+                if fifo.len() < take {
+                    return Err(ServeError::Config(format!(
+                        "WAL barrier for round {round} names more events than logged"
+                    )));
+                }
+                let batch: Vec<(u64, SequencedEvent)> = fifo.drain(..take).collect();
+                let next = engine.next_round();
+                if round < next {
+                    // Checkpointed round: its lineage must already be
+                    // durable (frames land before the checkpoint).
+                    for (_, seq) in &batch {
+                        report.checked += 1;
+                        match settled.get(&seq.id) {
+                            Some(f) if f.round == round => {}
+                            _ => report.missing.push(seq.id),
+                        }
+                    }
+                } else if round == next && !engine.is_finished() {
+                    // Re-execute with the daemon's exact semantics and
+                    // regenerate the frames the crashed tick wrote (or
+                    // would have written).
+                    engine.enable_trace();
+                    let mut dropped = vec![false; batch.len()];
+                    for (i, (_, seq)) in batch.iter().enumerate() {
+                        if engine.enqueue_event(seq.event).is_err() {
+                            dropped[i] = true;
+                        }
+                    }
+                    engine.step_round()?;
+                    let journal_bytes = engine.take_trace().unwrap_or_default();
+                    let journal = trace::decode(&journal_bytes)
+                        .map_err(|e| ServeError::Config(format!("decision journal: {e}")))?;
+                    let dispositions = join_outcomes(&dropped, engine.last_event_outcomes());
+                    let regenerated = frames_for_round(
+                        round,
+                        &batch,
+                        &dispositions,
+                        engine.total_paid(),
+                        &journal,
+                    );
+                    for frame in &regenerated {
+                        if let LineageFrame::Applied(f) = frame {
+                            report.regenerated += 1;
+                            match unsettled.get(&f.event_id) {
+                                Some(on_disk) if on_disk == f => report.matched += 1,
+                                Some(_) => report.mismatched.push(f.event_id),
+                                // Crash before the lineage append: the
+                                // frame never landed, recovery writes it.
+                                None => {}
+                            }
+                        }
+                    }
+                } else {
+                    return Err(ServeError::Config(format!(
+                        "WAL barrier for round {round} does not follow checkpointed round {next}"
+                    )));
+                }
+            }
+        }
+    }
+    // Whatever is left was acked but never consumed by a barrier —
+    // including the decodable prefix of a torn final batch. These are
+    // *never applied*, and must not have Applied frames.
+    for (_, seq) in fifo {
+        if settled.contains_key(&seq.id) {
+            report.mismatched.push(seq.id);
+        } else {
+            report.never_applied.push(seq.id);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paydemand_sim::ExternalEvent;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("paydemand-lineage-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn applied(event_id: u64, round: u32) -> LineageFrame {
+        LineageFrame::Applied(AppliedFrame {
+            event_id,
+            request_id: event_id / 2,
+            wal_offset: event_id * 46,
+            round,
+            disposition: Disposition::Paid,
+            pay: 1.5,
+        })
+    }
+
+    fn round_frame(round: u32) -> LineageFrame {
+        LineageFrame::Round(RoundFrame {
+            round,
+            applied: 2,
+            total_paid: 7.25,
+            tasks: vec![
+                TaskPrice { task: 0, level: 3, reward: 2.0 },
+                TaskPrice { task: 1, level: 1, reward: 0.5 },
+            ],
+        })
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_index() {
+        let path = tmp_dir("roundtrip").join("lineage.idx");
+        let frames = vec![applied(1, 1), applied(2, 1), round_frame(1)];
+        {
+            let (mut idx, existing, torn) = LineageIndex::open(&path, true).unwrap();
+            assert!(existing.is_empty());
+            assert_eq!(torn, 0);
+            idx.append(&frames).unwrap();
+            assert_eq!(idx.bytes(), std::fs::metadata(&path).unwrap().len());
+        }
+        let (read, torn) = {
+            let (idx, read, torn) = LineageIndex::open(&path, true).unwrap();
+            assert_eq!(idx.bytes(), std::fs::metadata(&path).unwrap().len());
+            (read, torn)
+        };
+        assert_eq!(torn, 0);
+        assert_eq!(read, frames);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let path = tmp_dir("torn").join("lineage.idx");
+        {
+            let (mut idx, _, _) = LineageIndex::open(&path, true).unwrap();
+            idx.append(&[applied(1, 1)]).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[TAG_APPLIED, 37, 0, 0, 0, 9, 9]).unwrap();
+        }
+        {
+            let (mut idx, frames, torn) = LineageIndex::open(&path, true).unwrap();
+            assert_eq!(frames, vec![applied(1, 1)]);
+            assert!(torn > 0);
+            idx.append(&[round_frame(1)]).unwrap();
+        }
+        let (frames, torn, _) = read_frames(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(frames, vec![applied(1, 1), round_frame(1)]);
+    }
+
+    #[test]
+    fn rewrite_drops_unsettled_rounds() {
+        let path = tmp_dir("rewrite").join("lineage.idx");
+        let (mut idx, _, _) = LineageIndex::open(&path, true).unwrap();
+        idx.append(&[applied(1, 1), round_frame(1), applied(2, 2), round_frame(2)]).unwrap();
+        let (frames, _, _) = read_frames(&path).unwrap();
+        let keep: Vec<LineageFrame> = frames.into_iter().filter(|f| f.round() < 2).collect();
+        idx.rewrite(&keep).unwrap();
+        let (frames, torn, _) = read_frames(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(frames, vec![applied(1, 1), round_frame(1)]);
+        assert_eq!(idx.bytes(), std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_refused() {
+        let dir = tmp_dir("magic");
+        let bad_magic = dir.join("not-lineage.idx");
+        std::fs::write(&bad_magic, b"NOPE!").unwrap();
+        assert!(read_frames(&bad_magic).is_err());
+        let bad_version = dir.join("future.idx");
+        std::fs::write(&bad_version, [b'P', b'D', b'L', b'I', 99]).unwrap();
+        assert!(read_frames(&bad_version).is_err());
+    }
+
+    #[test]
+    fn join_outcomes_aligns_dropped_events() {
+        let outcomes = [EventOutcome::Moved, EventOutcome::Paid(2.5)];
+        let joined = join_outcomes(&[false, true, false], &outcomes);
+        assert_eq!(
+            joined,
+            vec![(Disposition::Moved, 0.0), (Disposition::Dropped, 0.0), (Disposition::Paid, 2.5),]
+        );
+        // A short outcome stream degrades to dropped, never panics.
+        let joined = join_outcomes(&[false, false], &outcomes[..1]);
+        assert_eq!(joined[1], (Disposition::Dropped, 0.0));
+    }
+
+    #[test]
+    fn frames_for_round_joins_journal_pricing() {
+        let batch = vec![(
+            0u64,
+            SequencedEvent {
+                id: 5,
+                request: 2,
+                event: ExternalEvent::Upload { user: 1, task: 0, value: 0.5 },
+            },
+        )];
+        let journal = vec![
+            TraceEvent::TaskDemand {
+                task: 0,
+                deadline_criterion: 0.1,
+                progress_criterion: 0.2,
+                scarcity_criterion: 0.3,
+                score: 0.2,
+                level: 2,
+                reward: 1.25,
+                stale: false,
+            },
+            TraceEvent::Budget { round: 7, total_paid: 99.5, spend_cap: None },
+        ];
+        let frames = frames_for_round(7, &batch, &[(Disposition::Paid, 1.25)], 0.0, &journal);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            frames[0],
+            LineageFrame::Applied(AppliedFrame {
+                event_id: 5,
+                request_id: 2,
+                wal_offset: 0,
+                round: 7,
+                disposition: Disposition::Paid,
+                pay: 1.25,
+            })
+        );
+        assert_eq!(
+            frames[1],
+            LineageFrame::Round(RoundFrame {
+                round: 7,
+                applied: 1,
+                total_paid: 99.5,
+                tasks: vec![TaskPrice { task: 0, level: 2, reward: 1.25 }],
+            })
+        );
+    }
+}

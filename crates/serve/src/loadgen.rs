@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use paydemand_obs::Recorder;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::http;
@@ -120,6 +121,53 @@ pub struct LoadReport {
     /// `--resume` recovery time, milliseconds, when the harness
     /// measured one (the kill‑9 leg fills this in).
     pub recovery_ms: Option<f64>,
+    /// Server-side per-stage ingest latencies, when the harness runs
+    /// the daemon in-process and can read its recorder.
+    pub server_stages: Option<ServerStages>,
+}
+
+/// Server-side `ingest_stage_seconds` percentiles (microseconds),
+/// scraped from the daemon's recorder after the honest phase. The
+/// client-side percentiles above include socket round-trips; these
+/// isolate where the server itself spends the ack budget — in
+/// particular, whether the fsync dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStages {
+    /// JSON decode stage p50, microseconds.
+    pub parse_us_p50: u64,
+    /// JSON decode stage p99, microseconds.
+    pub parse_us_p99: u64,
+    /// WAL append + fsync stage p50, microseconds.
+    pub fsync_us_p50: u64,
+    /// WAL append + fsync stage p99, microseconds.
+    pub fsync_us_p99: u64,
+    /// Whole-accept (entry → ack) p50, microseconds.
+    pub ack_us_p50: u64,
+    /// Whole-accept (entry → ack) p99, microseconds.
+    pub ack_us_p99: u64,
+}
+
+impl ServerStages {
+    /// Reads the daemon's `ingest_stage_seconds` histograms out of the
+    /// recorder it was started with (nanosecond observations → µs).
+    #[must_use]
+    pub fn from_recorder(recorder: &Recorder) -> Self {
+        let stage = |name: &str| {
+            let snap = recorder.histogram_with("ingest_stage_seconds", "stage", name).snapshot();
+            (snap.p50() / 1_000, snap.p99() / 1_000)
+        };
+        let (parse_us_p50, parse_us_p99) = stage("parse");
+        let (fsync_us_p50, fsync_us_p99) = stage("fsync");
+        let (ack_us_p50, ack_us_p99) = stage("ack");
+        ServerStages {
+            parse_us_p50,
+            parse_us_p99,
+            fsync_us_p50,
+            fsync_us_p99,
+            ack_us_p50,
+            ack_us_p99,
+        }
+    }
 }
 
 impl LoadReport {
@@ -132,7 +180,8 @@ impl LoadReport {
              \"adversarial_requests\": {},\n  \"adversarial_hangs\": {},\n  \
              \"events_accepted\": {},\n  \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.1},\n  \
              \"shed_rate\": {:.6},\n  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}},\n  \
-             \"worker_restarts\": {},\n  \"daemon_state\": \"{}\",\n  \"recovery_ms\": {}\n}}\n",
+             \"worker_restarts\": {},\n  \"daemon_state\": \"{}\",\n  \"recovery_ms\": {},\n  \
+             \"server_stage_us\": {}\n}}\n",
             self.seed,
             self.requests_total,
             self.requests_accepted,
@@ -150,6 +199,13 @@ impl LoadReport {
             self.worker_restarts,
             self.daemon_state,
             self.recovery_ms.map_or("null".to_owned(), |ms| format!("{ms:.1}")),
+            self.server_stages.map_or("null".to_owned(), |s| format!(
+                "{{\"parse\": {{\"p50\": {}, \"p99\": {}}}, \
+                 \"fsync\": {{\"p50\": {}, \"p99\": {}}}, \
+                 \"ack\": {{\"p50\": {}, \"p99\": {}}}}}",
+                s.parse_us_p50, s.parse_us_p99, s.fsync_us_p50, s.fsync_us_p99, s.ack_us_p50,
+                s.ack_us_p99,
+            )),
         )
     }
 }
@@ -253,6 +309,7 @@ pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ServeEr
         worker_restarts,
         daemon_state,
         recovery_ms: None,
+        server_stages: None,
     })
 }
 
@@ -474,6 +531,14 @@ mod tests {
             worker_restarts: 0,
             daemon_state: "serving".to_owned(),
             recovery_ms: Some(12.5),
+            server_stages: Some(ServerStages {
+                parse_us_p50: 10,
+                parse_us_p99: 40,
+                fsync_us_p50: 80,
+                fsync_us_p99: 400,
+                ack_us_p50: 110,
+                ack_us_p99: 700,
+            }),
         };
         let json = report.to_json();
         let parsed = paydemand_obs::parse_json(&json).expect("self-emitted JSON parses");
@@ -481,6 +546,9 @@ mod tests {
         assert_eq!(parsed.get("events_accepted").and_then(|v| v.as_f64()), Some(1800.0));
         let lat = parsed.get("latency_us").expect("latency object");
         assert_eq!(lat.get("p999").and_then(|v| v.as_f64()), Some(1500.0));
+        let stages = parsed.get("server_stage_us").expect("server stage object");
+        let fsync = stages.get("fsync").expect("fsync stage");
+        assert_eq!(fsync.get("p99").and_then(|v| v.as_f64()), Some(400.0));
     }
 
     #[test]

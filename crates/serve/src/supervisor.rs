@@ -7,14 +7,15 @@
 //! respawning dead slots with capped exponential backoff — rapid
 //! crash-looping decays to a slow trickle instead of a hot spin, and a
 //! worker that stayed up long enough resets its slot's penalty. Every
-//! respawn increments `worker_restarts_total`.
+//! respawn increments `worker_restarts_total` and lands a structured
+//! error entry in the daemon's flight recorder.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use paydemand_obs::Counter;
+use paydemand_obs::{Counter, Logger};
 
 /// Initial respawn delay after a worker death.
 const BACKOFF_BASE: Duration = Duration::from_millis(50);
@@ -59,12 +60,13 @@ impl Supervisor {
         count: usize,
         shutdown: Arc<AtomicBool>,
         restarts: Counter,
+        log: Logger,
         work: WorkerFn,
     ) -> std::io::Result<Supervisor> {
         let label = name.to_owned();
         let handle = std::thread::Builder::new()
             .name(format!("{name}-supervisor"))
-            .spawn(move || supervise(&label, count, &shutdown, &restarts, &work))?;
+            .spawn(move || supervise(&label, count, &shutdown, &restarts, &log, &work))?;
         Ok(Supervisor { handle: Some(handle) })
     }
 
@@ -82,6 +84,7 @@ fn supervise(
     count: usize,
     shutdown: &Arc<AtomicBool>,
     restarts: &Counter,
+    log: &Logger,
     work: &WorkerFn,
 ) {
     let now = Instant::now();
@@ -106,7 +109,7 @@ fn supervise(
             if let Some(h) = slot.handle.take() {
                 // A panicking worker delivers Err here; either way the
                 // slot is empty now and the death is accounted below.
-                let _ = h.join();
+                let panicked = h.join().is_err();
                 if slot.born.elapsed() >= HEALTHY_AFTER {
                     slot.strikes = 0;
                 }
@@ -115,6 +118,16 @@ fn supervise(
                     .saturating_mul(1u32 << slot.strikes.min(7).saturating_sub(1))
                     .min(BACKOFF_CAP);
                 slot.respawn_at = Instant::now() + backoff;
+                log.error(
+                    "supervisor",
+                    if panicked { "worker panicked" } else { "worker exited early" },
+                    &[
+                        ("pool", name),
+                        ("slot", &i.to_string()),
+                        ("strikes", &slot.strikes.to_string()),
+                        ("backoff_ms", &backoff.as_millis().to_string()),
+                    ],
+                );
             }
             if Instant::now() >= slot.respawn_at && !shutdown.load(Ordering::SeqCst) {
                 slot.handle = spawn_worker(name, i, work);
@@ -167,8 +180,15 @@ mod tests {
                 }
             })
         };
-        let sup =
-            Supervisor::start("test", 1, Arc::clone(&shutdown), restarts.clone(), work).unwrap();
+        let sup = Supervisor::start(
+            "test",
+            1,
+            Arc::clone(&shutdown),
+            restarts.clone(),
+            recorder.logger(),
+            work,
+        )
+        .unwrap();
         // Three panicking generations must be replaced; the fourth
         // lives until shutdown.
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -194,8 +214,15 @@ mod tests {
             })
         };
         let restarts = recorder.counter("worker_restarts_total");
-        let sup =
-            Supervisor::start("calm", 3, Arc::clone(&shutdown), restarts.clone(), work).unwrap();
+        let sup = Supervisor::start(
+            "calm",
+            3,
+            Arc::clone(&shutdown),
+            restarts.clone(),
+            recorder.logger(),
+            work,
+        )
+        .unwrap();
         std::thread::sleep(Duration::from_millis(100));
         shutdown.store(true, Ordering::SeqCst);
         sup.join();

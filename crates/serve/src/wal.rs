@@ -22,6 +22,14 @@
 //! never mis-parsed.
 //!
 //! Record framing: `[tag u8][len u32 LE][payload][fnv1a-64-lo u32 LE]`.
+//!
+//! Since PR 9 every event record carries its lineage identity — the
+//! monotonic event id and the ingest request id assigned at `POST
+//! /events` — as sub-tags 2 (move) and 3 (upload); the id-less
+//! sub-tags 0/1 still decode (with both ids zero) so pre-lineage logs
+//! replay. [`Wal::append_events`] returns each record's byte offset,
+//! the `wal_offset` the lineage index stores, and the log tracks its
+//! own length so `wal_bytes` is a free gauge read.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Write as _};
@@ -35,11 +43,25 @@ const TAG_BARRIER: u8 = 2;
 /// a length field is torn-tail garbage.
 const MAX_PAYLOAD: u32 = 64;
 
+/// An externally-ingested event plus the lineage identity the daemon
+/// assigned at ingest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequencedEvent {
+    /// Monotonic event id, unique across the daemon's lifetime
+    /// (including restarts — recovery resumes past the highest id on
+    /// disk).
+    pub id: u64,
+    /// Id of the `POST /events` request that carried the event.
+    pub request: u64,
+    /// The event itself.
+    pub event: ExternalEvent,
+}
+
 /// One decoded log record.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WalRecord {
     /// An ingested, acknowledged event awaiting (or consumed by) a tick.
-    Event(ExternalEvent),
+    Event(SequencedEvent),
     /// A tick boundary: the next `events` logged events (in FIFO
     /// order) were fed into round `round`.
     Barrier {
@@ -50,53 +72,72 @@ pub enum WalRecord {
     },
 }
 
+/// What [`Wal::open`] recovers: the handle, the decodable records
+/// already on disk with their byte offsets, and the size of the torn
+/// tail (if any) that was discarded.
+pub type OpenedWal = (Wal, Vec<(u64, WalRecord)>, usize);
+
 /// An append-only event log with atomic compaction.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
     fsync: bool,
+    /// Current file length; appends advance it, compaction resets it.
+    len: u64,
 }
 
 impl Wal {
     /// Opens (creating if absent) the log at `path` for appending and
-    /// returns the records already on disk, discarding a torn tail.
-    /// `fsync: false` trades durability for speed in tests and load
-    /// runs that measure the protocol, not the disk.
+    /// returns the records already on disk with their byte offsets,
+    /// discarding a torn tail. `fsync: false` trades durability for
+    /// speed in tests and load runs that measure the protocol, not the
+    /// disk.
     ///
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn open(path: &Path, fsync: bool) -> std::io::Result<(Wal, Vec<WalRecord>, usize)> {
-        let (records, torn_bytes) =
-            if path.exists() { read_records(path)? } else { (Vec::new(), 0) };
+    pub fn open(path: &Path, fsync: bool) -> std::io::Result<OpenedWal> {
+        let (records, torn_bytes, file_len) = if path.exists() {
+            let (records, torn) = read_records(path)?;
+            (records, torn, std::fs::metadata(path)?.len())
+        } else {
+            (Vec::new(), 0, 0)
+        };
+        let good_len = file_len.saturating_sub(torn_bytes as u64);
         if torn_bytes > 0 {
             // Truncate the torn tail so new appends continue from the
-            // last well-formed record instead of burying garbage.
-            let good_len = encoded_len(&records);
+            // last well-formed record instead of burying garbage. The
+            // good length comes from the decoder's actual consumption,
+            // so logs holding old-format records truncate correctly.
             let file = OpenOptions::new().write(true).open(path)?;
-            file.set_len(good_len as u64)?;
+            file.set_len(good_len)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok((Wal { file, path: path.to_path_buf(), fsync }, records, torn_bytes))
+        Ok((Wal { file, path: path.to_path_buf(), fsync, len: good_len }, records, torn_bytes))
     }
 
-    /// Appends `events` and makes them durable in one fsync.
+    /// Appends `events` and makes them durable in one fsync, returning
+    /// the byte offset each record starts at — the `wal_offset` the
+    /// lineage index records.
     ///
     /// # Errors
     ///
     /// Propagates write/fsync errors; on error the caller must treat
     /// the batch as unacknowledged.
-    pub fn append_events(&mut self, events: &[ExternalEvent]) -> std::io::Result<()> {
-        let mut buf = Vec::with_capacity(events.len() * 32);
+    pub fn append_events(&mut self, events: &[SequencedEvent]) -> std::io::Result<Vec<u64>> {
+        let mut buf = Vec::with_capacity(events.len() * 48);
+        let mut offsets = Vec::with_capacity(events.len());
         for event in events {
+            offsets.push(self.len + buf.len() as u64);
             encode_record(&mut buf, &WalRecord::Event(*event));
         }
         self.file.write_all(&buf)?;
         if self.fsync {
             self.file.sync_data()?;
         }
-        Ok(())
+        self.len += buf.len() as u64;
+        Ok(offsets)
     }
 
     /// Appends a tick barrier and makes it durable.
@@ -111,20 +152,24 @@ impl Wal {
         if self.fsync {
             self.file.sync_data()?;
         }
+        self.len += buf.len() as u64;
         Ok(())
     }
 
     /// Atomically rewrites the log to contain exactly `pending` (the
     /// events not yet covered by the last checkpoint), via tmp+rename.
+    /// Returns the surviving events' new byte offsets, in order.
     ///
     /// # Errors
     ///
     /// Propagates file-system errors; the old log stays valid if any
     /// step fails before the rename.
-    pub fn compact(&mut self, pending: &[ExternalEvent]) -> std::io::Result<()> {
+    pub fn compact(&mut self, pending: &[SequencedEvent]) -> std::io::Result<Vec<u64>> {
         let tmp = self.path.with_extension("log.tmp");
-        let mut buf = Vec::with_capacity(pending.len() * 32);
+        let mut buf = Vec::with_capacity(pending.len() * 48);
+        let mut offsets = Vec::with_capacity(pending.len());
         for event in pending {
+            offsets.push(buf.len() as u64);
             encode_record(&mut buf, &WalRecord::Event(*event));
         }
         {
@@ -136,7 +181,8 @@ impl Wal {
         }
         std::fs::rename(&tmp, &self.path)?;
         self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
-        Ok(())
+        self.len = buf.len() as u64;
+        Ok(offsets)
     }
 
     /// The log's on-disk path.
@@ -144,16 +190,23 @@ impl Wal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Current size of the log in bytes (the `wal_bytes` gauge).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.len
+    }
 }
 
-/// Reads every well-formed record in `path`, returning them plus the
-/// number of torn trailing bytes discarded (0 for a clean log).
+/// Reads every well-formed record in `path` with its byte offset,
+/// returning them plus the number of torn trailing bytes discarded
+/// (0 for a clean log).
 ///
 /// # Errors
 ///
 /// Propagates read errors; corruption is *not* an error — parsing
 /// simply stops at the first bad record.
-pub fn read_records(path: &Path) -> std::io::Result<(Vec<WalRecord>, usize)> {
+pub fn read_records(path: &Path) -> std::io::Result<(Vec<(u64, WalRecord)>, usize)> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let mut records = Vec::new();
@@ -161,7 +214,7 @@ pub fn read_records(path: &Path) -> std::io::Result<(Vec<WalRecord>, usize)> {
     while at < bytes.len() {
         match decode_record(&bytes[at..]) {
             Some((record, used)) => {
-                records.push(record);
+                records.push((at as u64, record));
                 at += used;
             }
             None => break,
@@ -171,20 +224,27 @@ pub fn read_records(path: &Path) -> std::io::Result<(Vec<WalRecord>, usize)> {
 }
 
 fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
-    let mut payload = Vec::with_capacity(24);
+    let mut payload = Vec::with_capacity(40);
     let tag = match record {
-        WalRecord::Event(ExternalEvent::Move { user, x, y }) => {
-            payload.push(0u8);
-            payload.extend_from_slice(&user.to_le_bytes());
-            payload.extend_from_slice(&x.to_bits().to_le_bytes());
-            payload.extend_from_slice(&y.to_bits().to_le_bytes());
-            TAG_EVENT
-        }
-        WalRecord::Event(ExternalEvent::Upload { user, task, value }) => {
-            payload.push(1u8);
-            payload.extend_from_slice(&user.to_le_bytes());
-            payload.extend_from_slice(&task.to_le_bytes());
-            payload.extend_from_slice(&value.to_bits().to_le_bytes());
+        WalRecord::Event(seq) => {
+            match seq.event {
+                ExternalEvent::Move { user, x, y } => {
+                    payload.push(2u8);
+                    payload.extend_from_slice(&seq.id.to_le_bytes());
+                    payload.extend_from_slice(&seq.request.to_le_bytes());
+                    payload.extend_from_slice(&user.to_le_bytes());
+                    payload.extend_from_slice(&x.to_bits().to_le_bytes());
+                    payload.extend_from_slice(&y.to_bits().to_le_bytes());
+                }
+                ExternalEvent::Upload { user, task, value } => {
+                    payload.push(3u8);
+                    payload.extend_from_slice(&seq.id.to_le_bytes());
+                    payload.extend_from_slice(&seq.request.to_le_bytes());
+                    payload.extend_from_slice(&user.to_le_bytes());
+                    payload.extend_from_slice(&task.to_le_bytes());
+                    payload.extend_from_slice(&value.to_bits().to_le_bytes());
+                }
+            }
             TAG_EVENT
         }
         WalRecord::Barrier { round, events } => {
@@ -230,27 +290,47 @@ fn decode_record(bytes: &[u8]) -> Option<(WalRecord, usize)> {
 }
 
 fn decode_event(payload: &[u8]) -> Option<WalRecord> {
+    let seq = |id, request, event| Some(WalRecord::Event(SequencedEvent { id, request, event }));
     match payload.first()? {
-        0 if payload.len() == 21 => Some(WalRecord::Event(ExternalEvent::Move {
-            user: u32::from_le_bytes(payload[1..5].try_into().ok()?),
-            x: f64::from_bits(u64::from_le_bytes(payload[5..13].try_into().ok()?)),
-            y: f64::from_bits(u64::from_le_bytes(payload[13..21].try_into().ok()?)),
-        })),
-        1 if payload.len() == 17 => Some(WalRecord::Event(ExternalEvent::Upload {
-            user: u32::from_le_bytes(payload[1..5].try_into().ok()?),
-            task: u32::from_le_bytes(payload[5..9].try_into().ok()?),
-            value: f64::from_bits(u64::from_le_bytes(payload[9..17].try_into().ok()?)),
-        })),
+        // Pre-lineage sub-tags: no ids on disk, report them as zero.
+        0 if payload.len() == 21 => seq(
+            0,
+            0,
+            ExternalEvent::Move {
+                user: u32::from_le_bytes(payload[1..5].try_into().ok()?),
+                x: f64::from_bits(u64::from_le_bytes(payload[5..13].try_into().ok()?)),
+                y: f64::from_bits(u64::from_le_bytes(payload[13..21].try_into().ok()?)),
+            },
+        ),
+        1 if payload.len() == 17 => seq(
+            0,
+            0,
+            ExternalEvent::Upload {
+                user: u32::from_le_bytes(payload[1..5].try_into().ok()?),
+                task: u32::from_le_bytes(payload[5..9].try_into().ok()?),
+                value: f64::from_bits(u64::from_le_bytes(payload[9..17].try_into().ok()?)),
+            },
+        ),
+        2 if payload.len() == 37 => seq(
+            u64::from_le_bytes(payload[1..9].try_into().ok()?),
+            u64::from_le_bytes(payload[9..17].try_into().ok()?),
+            ExternalEvent::Move {
+                user: u32::from_le_bytes(payload[17..21].try_into().ok()?),
+                x: f64::from_bits(u64::from_le_bytes(payload[21..29].try_into().ok()?)),
+                y: f64::from_bits(u64::from_le_bytes(payload[29..37].try_into().ok()?)),
+            },
+        ),
+        3 if payload.len() == 33 => seq(
+            u64::from_le_bytes(payload[1..9].try_into().ok()?),
+            u64::from_le_bytes(payload[9..17].try_into().ok()?),
+            ExternalEvent::Upload {
+                user: u32::from_le_bytes(payload[17..21].try_into().ok()?),
+                task: u32::from_le_bytes(payload[21..25].try_into().ok()?),
+                value: f64::from_bits(u64::from_le_bytes(payload[25..33].try_into().ok()?)),
+            },
+        ),
         _ => None,
     }
-}
-
-fn encoded_len(records: &[WalRecord]) -> usize {
-    let mut buf = Vec::new();
-    for r in records {
-        encode_record(&mut buf, r);
-    }
-    buf.len()
 }
 
 /// FNV-1a 64 truncated to its low 32 bits.
@@ -274,29 +354,61 @@ mod tests {
         dir.join("wal.log")
     }
 
+    fn seq(id: u64, request: u64, event: ExternalEvent) -> SequencedEvent {
+        SequencedEvent { id, request, event }
+    }
+
     #[test]
-    fn records_round_trip_through_the_file() {
+    fn records_round_trip_with_ids_and_offsets() {
         let path = tmp_path("roundtrip");
         let events = [
-            ExternalEvent::Move { user: 7, x: 12.25, y: -3.5 },
-            ExternalEvent::Upload { user: 2, task: 9, value: 0.125 },
+            seq(10, 1, ExternalEvent::Move { user: 7, x: 12.25, y: -3.5 }),
+            seq(11, 1, ExternalEvent::Upload { user: 2, task: 9, value: 0.125 }),
         ];
+        let offsets;
         {
             let (mut wal, existing, torn) = Wal::open(&path, true).unwrap();
             assert!(existing.is_empty());
             assert_eq!(torn, 0);
-            wal.append_events(&events).unwrap();
+            offsets = wal.append_events(&events).unwrap();
             wal.append_barrier(4, 2).unwrap();
+            assert_eq!(wal.bytes(), std::fs::metadata(&path).unwrap().len());
         }
         let (records, torn) = read_records(&path).unwrap();
         assert_eq!(torn, 0);
         assert_eq!(
             records,
             vec![
-                WalRecord::Event(events[0]),
-                WalRecord::Event(events[1]),
-                WalRecord::Barrier { round: 4, events: 2 },
+                (offsets[0], WalRecord::Event(events[0])),
+                (offsets[1], WalRecord::Event(events[1])),
+                (offsets[1] + 5 + 33 + 4, WalRecord::Barrier { round: 4, events: 2 }),
             ]
+        );
+        assert_eq!(offsets[0], 0);
+        assert_eq!(offsets[1], 5 + 37 + 4, "move records are 46 bytes framed");
+    }
+
+    #[test]
+    fn legacy_idless_records_still_decode() {
+        let path = tmp_path("legacy");
+        // A pre-lineage upload record (sub-tag 1): hand-framed.
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&5u32.to_le_bytes());
+        payload.extend_from_slice(&9u32.to_le_bytes());
+        payload.extend_from_slice(&2.5f64.to_bits().to_le_bytes());
+        let mut bytes = vec![TAG_EVENT];
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, torn) = read_records(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(
+            records,
+            vec![(
+                0,
+                WalRecord::Event(seq(0, 0, ExternalEvent::Upload { user: 5, task: 9, value: 2.5 }))
+            )]
         );
     }
 
@@ -305,12 +417,13 @@ mod tests {
         let path = tmp_path("torn");
         {
             let (mut wal, _, _) = Wal::open(&path, true).unwrap();
-            wal.append_events(&[ExternalEvent::Upload { user: 1, task: 1, value: 1.0 }]).unwrap();
+            wal.append_events(&[seq(1, 1, ExternalEvent::Upload { user: 1, task: 1, value: 1.0 })])
+                .unwrap();
         }
         // Simulate a kill-9 mid-append: half a record of garbage.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[TAG_EVENT, 21, 0, 0, 0, 1, 2, 3]).unwrap();
+            f.write_all(&[TAG_EVENT, 33, 0, 0, 0, 1, 2, 3]).unwrap();
         }
         let (records, torn) = read_records(&path).unwrap();
         assert_eq!(records.len(), 1);
@@ -320,12 +433,13 @@ mod tests {
             let (mut wal, existing, torn) = Wal::open(&path, true).unwrap();
             assert_eq!(existing.len(), 1);
             assert!(torn > 0);
+            assert_eq!(wal.bytes(), std::fs::metadata(&path).unwrap().len());
             wal.append_barrier(1, 1).unwrap();
         }
         let (records, torn) = read_records(&path).unwrap();
         assert_eq!(torn, 0);
         assert_eq!(records.len(), 2);
-        assert_eq!(records[1], WalRecord::Barrier { round: 1, events: 1 });
+        assert_eq!(records[1].1, WalRecord::Barrier { round: 1, events: 1 });
     }
 
     #[test]
@@ -343,7 +457,7 @@ mod tests {
         bytes[record_len + 6] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
         let (records, torn) = read_records(&path).unwrap();
-        assert_eq!(records, vec![WalRecord::Barrier { round: 1, events: 0 }]);
+        assert_eq!(records, vec![(0, WalRecord::Barrier { round: 1, events: 0 })]);
         assert_eq!(torn, record_len);
         // An insane length field is equally fatal for the tail.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -357,20 +471,26 @@ mod tests {
     #[test]
     fn compaction_rewrites_to_pending_only() {
         let path = tmp_path("compact");
-        let keep = ExternalEvent::Move { user: 3, x: 1.0, y: 2.0 };
+        let keep = seq(8, 3, ExternalEvent::Move { user: 3, x: 1.0, y: 2.0 });
         {
             let (mut wal, _, _) = Wal::open(&path, true).unwrap();
-            wal.append_events(&[ExternalEvent::Upload { user: 0, task: 0, value: 0.5 }]).unwrap();
+            wal.append_events(&[seq(7, 2, ExternalEvent::Upload { user: 0, task: 0, value: 0.5 })])
+                .unwrap();
             wal.append_barrier(1, 1).unwrap();
-            wal.compact(&[keep]).unwrap();
+            let offsets = wal.compact(&[keep]).unwrap();
+            assert_eq!(offsets, vec![0]);
             // Appends after compaction land in the new file.
             wal.append_barrier(2, 1).unwrap();
+            assert_eq!(wal.bytes(), std::fs::metadata(&path).unwrap().len());
         }
         let (records, torn) = read_records(&path).unwrap();
         assert_eq!(torn, 0);
         assert_eq!(
             records,
-            vec![WalRecord::Event(keep), WalRecord::Barrier { round: 2, events: 1 }]
+            vec![
+                (0, WalRecord::Event(keep)),
+                (5 + 37 + 4, WalRecord::Barrier { round: 2, events: 1 })
+            ]
         );
     }
 }

@@ -584,6 +584,7 @@ pub(crate) fn resume(
         injector,
         pending,
         inbox: Vec::new(),
+        last_outcomes: Vec::new(),
         recorder: recorder.clone(),
         metrics_on,
         instruments,

@@ -213,6 +213,51 @@ pub enum ExternalEvent {
     },
 }
 
+/// What one externally-ingested event did when its round boundary
+/// consumed it, reported by [`Engine::last_event_outcomes`] in ingest
+/// order. Outcomes restate decisions the round made anyway (the same
+/// platform verdicts that feed `external_uploads_total` and its
+/// rejection counters), so recording them never perturbs the
+/// simulation — they exist so a serving layer can join event ids to
+/// applied rounds and payments in a lineage index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventOutcome {
+    /// A `Move` repositioned its user before demand was counted.
+    Moved,
+    /// An `Upload` settled; the user was paid this reward.
+    Paid(f64),
+    /// An `Upload` was dropped: the task had already completed.
+    RejectedTaskComplete,
+    /// An `Upload` was dropped: the user already counts for the task.
+    RejectedDuplicate,
+    /// An `Upload` was dropped: the spend cap was exhausted.
+    RejectedBudget,
+}
+
+impl EventOutcome {
+    /// The stable wire label (`moved`, `paid`, `task_complete`,
+    /// `duplicate`, `budget`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventOutcome::Moved => "moved",
+            EventOutcome::Paid(_) => "paid",
+            EventOutcome::RejectedTaskComplete => "task_complete",
+            EventOutcome::RejectedDuplicate => "duplicate",
+            EventOutcome::RejectedBudget => "budget",
+        }
+    }
+
+    /// The reward paid, 0 for everything but [`EventOutcome::Paid`].
+    #[must_use]
+    pub fn pay(&self) -> f64 {
+        match self {
+            EventOutcome::Paid(pay) => *pay,
+            _ => 0.0,
+        }
+    }
+}
+
 /// A point-in-time view of one task's progress, as served by the
 /// daemon's `GET /demand`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -539,6 +584,13 @@ pub struct Engine {
     /// write-ahead log until the round that consumed them is
     /// checkpointed).
     pub(crate) inbox: Vec<ExternalEvent>,
+    /// Per-event outcomes of the most recent round's inbox, in ingest
+    /// order — the lineage join point. Observational only (filled from
+    /// decisions the round made anyway, never consulted), so recording
+    /// them cannot perturb simulation output. Not checkpointed: the
+    /// daemon persists them into its lineage index right after the
+    /// round that produced them.
+    pub(crate) last_outcomes: Vec<EventOutcome>,
     pub(crate) recorder: Recorder,
     pub(crate) metrics_on: bool,
     pub(crate) instruments: EngineInstruments,
@@ -639,6 +691,7 @@ impl Engine {
             injector,
             pending: Vec::new(),
             inbox: Vec::new(),
+            last_outcomes: Vec::new(),
             recorder: recorder.clone(),
             metrics_on,
             instruments,
@@ -745,6 +798,16 @@ impl Engine {
     #[must_use]
     pub fn pending_events(&self) -> usize {
         self.inbox.len()
+    }
+
+    /// Outcomes of the external events the most recent
+    /// [`step_round`](Engine::step_round) consumed, in ingest order
+    /// (empty when that round's inbox was empty). The serving layer
+    /// reads this right after stepping to join event ids to rounds,
+    /// payments and rejections in its lineage index.
+    #[must_use]
+    pub fn last_event_outcomes(&self) -> &[EventOutcome] {
+        &self.last_outcomes
     }
 
     /// Every task's current progress (received/required counts,
@@ -859,24 +922,30 @@ impl Engine {
         // moves take effect now, before demand is counted, so the
         // published prices see them; uploads wait for those prices and
         // settle below, right where the retry queue's deliveries do.
-        // An empty inbox leaves this a no-op (no RNG, no state).
-        let external_uploads: Vec<(usize, TaskId, f64)> = if self.inbox.is_empty() {
-            Vec::new()
-        } else {
-            let inbox = std::mem::take(&mut self.inbox);
-            let mut uploads = Vec::with_capacity(inbox.len());
-            for event in inbox {
-                match event {
-                    ExternalEvent::Move { user, x, y } => {
-                        self.locations.set(user as usize, Point::new(x, y));
-                    }
-                    ExternalEvent::Upload { user, task, value } => {
-                        uploads.push((user as usize, TaskId(task as usize), value));
+        // An empty inbox leaves this a no-op (no RNG, no state). Each
+        // event's slot in `outcomes` is filled as it resolves — moves
+        // here, uploads at settlement — keeping ingest order.
+        self.last_outcomes.clear();
+        let (external_uploads, mut outcomes): (Vec<(usize, usize, TaskId, f64)>, Vec<_>) =
+            if self.inbox.is_empty() {
+                (Vec::new(), Vec::new())
+            } else {
+                let inbox = std::mem::take(&mut self.inbox);
+                let mut outcomes = vec![None; inbox.len()];
+                let mut uploads = Vec::with_capacity(inbox.len());
+                for (idx, event) in inbox.into_iter().enumerate() {
+                    match event {
+                        ExternalEvent::Move { user, x, y } => {
+                            self.locations.set(user as usize, Point::new(x, y));
+                            outcomes[idx] = Some(EventOutcome::Moved);
+                        }
+                        ExternalEvent::Upload { user, task, value } => {
+                            uploads.push((idx, user as usize, TaskId(task as usize), value));
+                        }
                     }
                 }
-            }
-            uploads
-        };
+                (uploads, outcomes)
+            };
 
         let round_faults = match self.injector.as_mut() {
             Some(inj) => inj.begin_round(round),
@@ -971,7 +1040,16 @@ impl Engine {
         let mut user_profits = vec![0.0; n];
         let mut user_selected = vec![0u32; n];
 
-        self.apply_external_uploads(external_uploads, &mut new_measurements, &mut user_profits)?;
+        self.apply_external_uploads(
+            external_uploads,
+            &mut outcomes,
+            &mut new_measurements,
+            &mut user_profits,
+        )?;
+        self.last_outcomes = outcomes
+            .into_iter()
+            .map(|o| o.ok_or_else(|| SimError::invariant("inbox event resolved no outcome")))
+            .collect::<Result<_, _>>()?;
         self.process_retries(round, &mut new_measurements, &mut user_profits)?;
 
         let mut order: Vec<usize> = (0..n).collect();
@@ -1283,12 +1361,13 @@ impl Engine {
     /// failure and propagates.
     fn apply_external_uploads(
         &mut self,
-        uploads: Vec<(usize, TaskId, f64)>,
+        uploads: Vec<(usize, usize, TaskId, f64)>,
+        outcomes: &mut [Option<EventOutcome>],
         new_measurements: &mut [u32],
         user_profits: &mut [f64],
     ) -> Result<(), SimError> {
-        for (user, task, value) in uploads {
-            match self.platform.submit(UserId(user), task) {
+        for (idx, user, task, value) in uploads {
+            outcomes[idx] = Some(match self.platform.submit(UserId(user), task) {
                 Ok(pay) => {
                     if self.trace.is_enabled() {
                         self.trace.record(TraceEvent::Submit {
@@ -1303,24 +1382,28 @@ impl Engine {
                     self.quality_received[task.0] += self.workload.qualities[user];
                     self.estimates[task.0].add(value);
                     self.recorder.counter("external_uploads_total").inc();
+                    EventOutcome::Paid(pay)
                 }
                 Err(CoreError::TaskComplete(_)) => {
                     self.recorder
                         .counter_with("external_uploads_rejected_total", "reason", "task_complete")
                         .inc();
+                    EventOutcome::RejectedTaskComplete
                 }
                 Err(CoreError::DuplicateContribution { .. }) => {
                     self.recorder
                         .counter_with("external_uploads_rejected_total", "reason", "duplicate")
                         .inc();
+                    EventOutcome::RejectedDuplicate
                 }
                 Err(CoreError::BudgetExhausted { .. }) => {
                     self.recorder
                         .counter_with("external_uploads_rejected_total", "reason", "budget")
                         .inc();
+                    EventOutcome::RejectedBudget
                 }
                 Err(e) => return Err(e.into()),
-            }
+            });
         }
         Ok(())
     }
@@ -1432,6 +1515,17 @@ impl Engine {
     ) -> Result<Engine, SimError> {
         let engine = crate::checkpoint::resume(scenario, bytes, recorder)?;
         recorder.counter("checkpoint_resumes_total").inc();
+        let logger = recorder.logger();
+        if logger.is_enabled() {
+            logger.info(
+                "engine",
+                "resumed from checkpoint",
+                &[
+                    ("next_round", engine.next_round.to_string().as_str()),
+                    ("rounds_run", engine.rounds.len().to_string().as_str()),
+                ],
+            );
+        }
         Ok(engine)
     }
 
@@ -1441,6 +1535,17 @@ impl Engine {
     ///
     /// [`SimError::EngineInvariant`] if final bookkeeping is violated.
     pub fn finish(mut self) -> Result<SimulationResult, SimError> {
+        let logger = self.recorder.logger();
+        if logger.is_enabled() {
+            logger.info(
+                "engine",
+                "run finished",
+                &[
+                    ("rounds_run", self.rounds.len().to_string().as_str()),
+                    ("total_paid", format!("{:.1}", self.platform.total_paid()).as_str()),
+                ],
+            );
+        }
         {
             // Release the retry queue's backing buffer under its own
             // tag, closing the queue's live-byte accounting at zero
