@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use paydemand_bench::serve_gate::{check_serve, parse_serve, warn_serve};
-use paydemand_obs::Recorder;
-use paydemand_serve::{run_load, Daemon, DaemonConfig, LoadPlan, ServerStages};
+use paydemand_obs::{Profiler, ProfilerConfig, Recorder};
+use paydemand_serve::{run_load, Daemon, DaemonConfig, LoadPlan, LoadProfile, ServerStages};
 use paydemand_sim::Scenario;
 
 /// Ingest queue sized to hold the whole gate plan, so throughput is
@@ -106,7 +106,14 @@ fn run(args: &Args) -> Result<(), String> {
         plan.batch_size = 100;
         plan.adversarial_clients = 1;
     }
-    let mut report = run_load(addr, &plan).map_err(|e| format!("load run: {e}"))?;
+    // Profile the honest leg at 99 Hz: the daemon runs in-process, so
+    // the sampler sees its ingest workers' frames directly.
+    let profiler = Profiler::start(ProfilerConfig::default());
+    let load_result = run_load(addr, &plan);
+    let profile = profiler.stop();
+    recorder.record_profile(&profile);
+    let mut report = load_result.map_err(|e| format!("load run: {e}"))?;
+    report.profile = Some(LoadProfile::from_profile(&profile));
     // The daemon runs in-process, so its stage histograms are a
     // recorder read away: the server-side view of the same requests.
     report.server_stages = Some(ServerStages::from_recorder(&recorder));
@@ -118,6 +125,16 @@ fn run(args: &Args) -> Result<(), String> {
         report.adversarial_requests,
         report.adversarial_hangs
     );
+    if let Some(profile) = &report.profile {
+        eprintln!(
+            "loadgen: profiled honest leg at {} Hz: {} samples, {} dropped, sampler \
+             overhead {:.4}s",
+            profile.hz, profile.samples, profile.dropped, profile.overhead_seconds,
+        );
+        for (stack, samples) in &profile.top_stacks {
+            eprintln!("loadgen:   {samples:>6}  {stack}");
+        }
+    }
     if let Some(stages) = report.server_stages {
         eprintln!(
             "loadgen: server stages (µs): parse p50 {} / p99 {}, fsync p50 {} / p99 {}, \

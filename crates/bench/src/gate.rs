@@ -21,6 +21,9 @@ pub const TRACE_OVERHEAD_TARGET: f64 = 0.15;
 /// Live-telemetry (time series + alerts + span trace) overhead above
 /// this fraction draws a warning on the same arm.
 pub const TELEMETRY_OVERHEAD_TARGET: f64 = 0.15;
+/// Sampling-profiler overhead above this fraction draws a warning on
+/// the same arm (the 99 Hz sampler is meant to be always-on cheap).
+pub const PROFILING_OVERHEAD_TARGET: f64 = 0.05;
 /// At the 50k-user × 1k-task point the incremental tracker must beat
 /// the per-round rebuild by at least this wall-clock factor. Pins the
 /// fix for the historical near-tie (71 ms vs 89 ms) where the delta
@@ -60,6 +63,11 @@ pub struct BenchDoc {
     pub peak_live_bytes: BTreeMap<String, f64>,
     /// Per-arm steady-state demand-phase allocations per round.
     pub demand_allocs_per_round: BTreeMap<String, f64>,
+    /// Per-arm demand-phase wall-clock seconds (for phase attribution
+    /// when an arm regresses).
+    pub demand_seconds: BTreeMap<String, f64>,
+    /// Per-arm pricing-phase wall-clock seconds.
+    pub pricing_seconds: BTreeMap<String, f64>,
     /// Any point where the arms disagreed on outputs.
     pub any_non_identical: bool,
     /// The `"trace"` object's `overhead_fraction`, when present.
@@ -70,6 +78,10 @@ pub struct BenchDoc {
     pub telemetry_overhead: Option<f64>,
     /// The `"telemetry"` object's `identical` flag, when present.
     pub telemetry_identical: Option<bool>,
+    /// The `"profiling"` object's `overhead_fraction`, when present.
+    pub profiling_overhead: Option<f64>,
+    /// The `"profiling"` object's `identical` flag, when present.
+    pub profiling_identical: Option<bool>,
 }
 
 /// Extracts the raw text of `"key": value` from a JSON fragment.
@@ -104,6 +116,11 @@ pub fn parse(doc: &str) -> Result<BenchDoc, String> {
             out.telemetry_identical = field(line, "identical").map(|v| v == "true");
             continue;
         }
+        if trimmed.starts_with("\"profiling\":") {
+            out.profiling_overhead = num(line, "overhead_fraction");
+            out.profiling_identical = field(line, "identical").map(|v| v == "true");
+            continue;
+        }
         if !trimmed.starts_with('{') || !line.contains("\"arms\":") {
             continue;
         }
@@ -131,6 +148,12 @@ pub fn parse(doc: &str) -> Result<BenchDoc, String> {
             }
             if let Some(v) = num(fragment, "demand_allocs_per_round") {
                 out.demand_allocs_per_round.insert(key.clone(), v);
+            }
+            if let Some(v) = num(fragment, "demand_seconds") {
+                out.demand_seconds.insert(key.clone(), v);
+            }
+            if let Some(v) = num(fragment, "pricing_seconds") {
+                out.pricing_seconds.insert(key.clone(), v);
             }
             out.arms.insert(key, seconds);
         }
@@ -255,7 +278,37 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc) -> (Vec<Verdict>, Vec<Stri
     if fresh.telemetry_identical == Some(false) {
         failures.push("fresh telemetry-enabled run diverged from the plain run".into());
     }
+    if fresh.profiling_identical == Some(false) {
+        failures.push("fresh profiled run diverged from the plain run".into());
+    }
     (verdicts, failures)
+}
+
+/// Phase-attribution lines for one regressed arm: how each per-phase
+/// metric moved between the baseline and the fresh run, so a wall-clock
+/// failure points at the phase (and allocator behaviour) that moved.
+/// Metrics absent from either document are skipped.
+#[must_use]
+pub fn phase_deltas(baseline: &BenchDoc, fresh: &BenchDoc, key: &str) -> Vec<String> {
+    type Phases<'a> = (&'a str, &'a BTreeMap<String, f64>, &'a BTreeMap<String, f64>);
+    let metrics: [Phases; 3] = [
+        ("demand_seconds", &baseline.demand_seconds, &fresh.demand_seconds),
+        ("pricing_seconds", &baseline.pricing_seconds, &fresh.pricing_seconds),
+        ("alloc_bytes_per_round", &baseline.alloc_bytes_per_round, &fresh.alloc_bytes_per_round),
+    ];
+    let mut lines = Vec::new();
+    for (name, base_map, fresh_map) in metrics {
+        let (Some(&base), Some(&now)) = (base_map.get(key), fresh_map.get(key)) else { continue };
+        let change = if base > 0.0 {
+            format!("{:+.1}%", 100.0 * (now / base - 1.0))
+        } else if now > 0.0 {
+            "new".to_owned()
+        } else {
+            "unchanged".to_owned()
+        };
+        lines.push(format!("{name}: {base:.6} -> {now:.6} ({change})"));
+    }
+    lines
 }
 
 #[cfg(test)]
@@ -371,6 +424,63 @@ mod tests {
             failures.iter().any(|f| f.contains("telemetry-enabled run diverged")),
             "{failures:?}"
         );
+    }
+
+    #[test]
+    fn profiling_section_parses_and_gates_identity() {
+        let with_profiling = |overhead: f64, identical: bool| {
+            let base = doc(0.1, 0.05, None);
+            base.replacen(
+                "  \"points\":",
+                &format!(
+                    "  \"profiling\": {{\"users\": 10000, \"tasks\": 100, \"rounds\": 8, \
+                     \"hz\": 99, \"plain_seconds\": 1.0, \"profiled_seconds\": {:.3}, \
+                     \"overhead_fraction\": {overhead:.4}, \"samples\": 250, \
+                     \"identical\": {identical}}},\n  \"points\":",
+                    1.0 + overhead
+                ),
+                1,
+            )
+        };
+        let parsed = parse(&with_profiling(0.02, true)).unwrap();
+        assert_eq!(parsed.profiling_overhead, Some(0.02));
+        assert_eq!(parsed.profiling_identical, Some(true));
+        // Pre-existing baselines carry no profiling section.
+        assert_eq!(parse(&doc(0.1, 0.05, None)).unwrap().profiling_overhead, None);
+
+        let baseline = parse(&doc(0.1, 0.05, None)).unwrap();
+        let heavy = parse(&with_profiling(0.2, true)).unwrap();
+        let (_, failures) = compare(&baseline, &heavy);
+        assert!(failures.is_empty(), "overhead above target warns, never fails: {failures:?}");
+        let diverged = parse(&with_profiling(0.01, false)).unwrap();
+        let (_, failures) = compare(&baseline, &diverged);
+        assert!(failures.iter().any(|f| f.contains("profiled run diverged")), "{failures:?}");
+    }
+
+    #[test]
+    fn phase_deltas_attribute_a_regression() {
+        let phased = |demand: f64, pricing: f64| {
+            format!(
+                "{{\n  \"points\": [\n    {{\"users\": 10000, \"tasks\": 100, \"rounds\": 8, \
+                 \"identical\": true, \"arms\": [{{\"arm\": \"cell\", \"seconds\": 0.1, \
+                 \"demand_seconds\": {demand:.6}, \"pricing_seconds\": {pricing:.6}, \
+                 \"alloc_bytes_per_round\": 4096.0}}]}}\n  ]\n}}\n"
+            )
+        };
+        let baseline = parse(&phased(0.010, 0.020)).unwrap();
+        assert_eq!(baseline.demand_seconds["10000x100:cell"], 0.010);
+        assert_eq!(baseline.pricing_seconds["10000x100:cell"], 0.020);
+        let fresh = parse(&phased(0.030, 0.020)).unwrap();
+        let lines = phase_deltas(&baseline, &fresh, "10000x100:cell");
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("demand_seconds") && lines[0].contains("+200.0%"), "{lines:?}");
+        assert!(lines[1].contains("pricing_seconds") && lines[1].contains("+0.0%"), "{lines:?}");
+        assert!(lines[2].contains("alloc_bytes_per_round"), "{lines:?}");
+        // Keys absent from either document produce nothing.
+        assert!(phase_deltas(&baseline, &fresh, "999x999:naive").is_empty());
+        // Old baselines without phase columns skip those metrics.
+        let legacy = parse(&doc(0.1, 0.05, None)).unwrap();
+        assert!(legacy.demand_seconds["100x100:naive"] == 0.0);
     }
 
     #[test]

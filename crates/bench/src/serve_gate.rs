@@ -55,6 +55,25 @@ pub struct ServeDoc {
     /// carries them: (parse p50, parse p99, fsync p50, fsync p99,
     /// ack p50, ack p99).
     pub server_stage_us: Option<ServerStageUs>,
+    /// The honest-leg sampling profile (99 Hz capture summary). The
+    /// gate requires its presence and a sane shape.
+    pub profile: Option<ServeProfile>,
+}
+
+/// The `profile` block of a serve document: the honest-leg capture's
+/// self-accounting plus its hottest folded stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeProfile {
+    /// Sampling rate of the capture.
+    pub hz: u64,
+    /// Stack samples collected.
+    pub samples: u64,
+    /// Sampler ticks missed.
+    pub dropped: u64,
+    /// Sampler self-time, seconds.
+    pub overhead_seconds: f64,
+    /// Hottest folded stacks with sample counts, hottest first.
+    pub top_stacks: Vec<(String, u64)>,
 }
 
 /// The `server_stage_us` block of a serve document (all microseconds).
@@ -114,6 +133,27 @@ pub fn parse_serve(doc: &str) -> Result<ServeDoc, String> {
         // Optional: only in-process harnesses can read the server's
         // recorder; older documents lack the block entirely.
         server_stage_us: root.get("server_stage_us").and_then(parse_stages),
+        profile: root.get("profile").and_then(parse_profile),
+    })
+}
+
+fn parse_profile(block: &JsonValue) -> Option<ServeProfile> {
+    let count = |name: &str| -> Option<u64> {
+        block.get(name).and_then(JsonValue::as_f64).map(|v| v as u64)
+    };
+    let mut top_stacks = Vec::new();
+    for entry in block.get("top_stacks")?.as_array()? {
+        top_stacks.push((
+            entry.get("stack").and_then(JsonValue::as_str)?.to_owned(),
+            entry.get("samples").and_then(JsonValue::as_f64)? as u64,
+        ));
+    }
+    Some(ServeProfile {
+        hz: count("hz")?,
+        samples: count("samples")?,
+        dropped: count("dropped")?,
+        overhead_seconds: block.get("overhead_seconds").and_then(JsonValue::as_f64)?,
+        top_stacks,
     })
 }
 
@@ -201,6 +241,29 @@ pub fn check_serve(doc: &ServeDoc) -> Vec<String> {
         }
         Some(_) => {}
     }
+    match &doc.profile {
+        None => {
+            failures.push("no honest-leg profile recorded (\"profile\" section missing)".into())
+        }
+        Some(profile) => {
+            if profile.hz == 0 {
+                failures.push("profile section claims a 0 Hz sampling rate".into());
+            }
+            if profile.samples > 0 && profile.top_stacks.is_empty() {
+                failures.push(format!(
+                    "profile collected {} samples but names no stacks",
+                    profile.samples
+                ));
+            }
+            let top_sum: u64 = profile.top_stacks.iter().map(|(_, samples)| samples).sum();
+            if top_sum > profile.samples {
+                failures.push(format!(
+                    "profile top stacks account for {top_sum} samples, more than the {} collected",
+                    profile.samples
+                ));
+            }
+        }
+    }
     failures
 }
 
@@ -218,6 +281,10 @@ mod tests {
              \"latency_us\": {{\"p50\": 300, \"p99\": 2000, \"p999\": 9000}},\n  \
              \"worker_restarts\": {restarts},\n  \"daemon_state\": \"serving\",\n  \
              \"recovery_ms\": {recovery},\n  \
+             \"profile\": {{\"hz\": 99, \"samples\": 160, \"dropped\": 0, \
+             \"overhead_seconds\": 0.000420, \"top_stacks\": [\
+             {{\"stack\": \"ingest;fsync\", \"samples\": 110}}, \
+             {{\"stack\": \"ingest;parse\", \"samples\": 30}}]}},\n  \
              \"server_stage_us\": {{\"parse\": {{\"p50\": 12, \"p99\": 45}}, \
              \"fsync\": {{\"p50\": 90, \"p99\": 350}}, \
              \"ack\": {{\"p50\": 150, \"p99\": 800}}}}\n}}\n"
@@ -233,8 +300,65 @@ mod tests {
         let stages = doc.server_stage_us.expect("server stage block parsed");
         assert_eq!(stages.fsync, (90, 350));
         assert_eq!(stages.ack, (150, 800));
+        let profile = doc.profile.as_ref().expect("profile block parsed");
+        assert_eq!(profile.hz, 99);
+        assert_eq!(profile.samples, 160);
+        assert_eq!(profile.top_stacks[0], ("ingest;fsync".to_owned(), 110));
         assert!(check_serve(&doc).is_empty(), "{:?}", check_serve(&doc));
         assert!(warn_serve(&doc).is_empty(), "{:?}", warn_serve(&doc));
+    }
+
+    #[test]
+    fn profile_section_is_required_and_shape_checked() {
+        let mut doc = parse_serve(&doc_json(26_400.0, 0, 0, "100")).unwrap();
+
+        // Absent section fails the gate.
+        doc.profile = None;
+        assert!(
+            check_serve(&doc).iter().any(|f| f.contains("profile\" section missing")),
+            "{:?}",
+            check_serve(&doc)
+        );
+
+        // Samples with no stacks is a shape failure.
+        doc.profile = Some(ServeProfile {
+            hz: 99,
+            samples: 50,
+            dropped: 0,
+            overhead_seconds: 0.0001,
+            top_stacks: Vec::new(),
+        });
+        assert!(check_serve(&doc).iter().any(|f| f.contains("names no stacks")));
+
+        // A 0 Hz rate is a shape failure.
+        doc.profile = Some(ServeProfile {
+            hz: 0,
+            samples: 0,
+            dropped: 0,
+            overhead_seconds: 0.0,
+            top_stacks: Vec::new(),
+        });
+        assert!(check_serve(&doc).iter().any(|f| f.contains("0 Hz")));
+
+        // Top stacks cannot exceed the collected total.
+        doc.profile = Some(ServeProfile {
+            hz: 99,
+            samples: 10,
+            dropped: 0,
+            overhead_seconds: 0.0,
+            top_stacks: vec![("ingest".to_owned(), 99)],
+        });
+        assert!(check_serve(&doc).iter().any(|f| f.contains("more than the 10 collected")));
+
+        // An empty quick-mode capture (0 samples) is a valid shape.
+        doc.profile = Some(ServeProfile {
+            hz: 99,
+            samples: 0,
+            dropped: 0,
+            overhead_seconds: 0.0,
+            top_stacks: Vec::new(),
+        });
+        assert!(check_serve(&doc).is_empty(), "{:?}", check_serve(&doc));
     }
 
     #[test]

@@ -26,7 +26,20 @@ USAGE:
     paydemand alerts  PATH [--rule SPEC]... [--fatal]
                                   evaluate alert rules offline against a
                                   time series saved by --timeseries-out
+    paydemand profile SUBCOMMAND  record, report, and diff sampling-
+                                  profiler captures (see docs/PROFILING.md)
     paydemand --help
+
+PROFILE SUBCOMMANDS (captures are the folded-stack text written by
+`profile record`, `run --profile-cpu --profile-out`, or GET /profile):
+    profile record OUT [--hz N] [--users N --tasks N --rounds N --seed N
+                        --selector NAME --mechanism NAME --budget D]
+                                  run one simulation under the sampler
+                                  and write the capture to OUT
+    profile report PATH [--top N] print the hottest stacks of a capture
+    profile diff BEFORE AFTER [--top N]
+                                  differential profile: per-stack seconds
+                                  delta, worst regression first
 
 TRACE SUBCOMMANDS (over a journal written by `run --trace-out`):
     trace inspect PATH            frame counts, rounds, totals, faults
@@ -101,6 +114,11 @@ OPTIONS (both commands):
     --alloc-profile    attribute heap allocations to engine phases and
                        export per-phase byte/count/peak families
                        (identical simulation results either way)
+    --profile-cpu [HZ] sample the run's span stacks at HZ (default 99)
+                       and print the hottest stacks to stderr
+                       (identical simulation results either way)
+    --profile-out PATH write the --profile-cpu capture to PATH instead
+                       (read it back with `paydemand profile`)
     --timeseries-out PATH   snapshot every metric family at each round
                        boundary and write the per-round series to PATH
                        (.csv extension = CSV, anything else = JSON; the
@@ -191,6 +209,39 @@ pub enum Command {
     Lineage(Box<LineageCommand>),
     /// Evaluate alert rules offline against a saved time series.
     Alerts(AlertsCommand),
+    /// Record, report, or diff sampling-profiler captures.
+    Profile(ProfileCommand),
+}
+
+/// The `paydemand profile` subcommand family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileCommand {
+    /// Run one simulation under the sampling profiler and write the
+    /// capture.
+    Record {
+        /// The scenario to run while sampling.
+        scenario: Box<Scenario>,
+        /// Sampling rate in Hz.
+        hz: u32,
+        /// Where the capture is written.
+        out: String,
+    },
+    /// Print the hottest stacks of a saved capture.
+    Report {
+        /// Capture file.
+        path: String,
+        /// Stacks to show.
+        top: usize,
+    },
+    /// Differential profile between two captures.
+    Diff {
+        /// Baseline capture.
+        before: String,
+        /// Capture to compare against the baseline.
+        after: String,
+        /// Entries to show.
+        top: usize,
+    },
 }
 
 /// A `paydemand serve` invocation.
@@ -343,6 +394,10 @@ pub struct Options {
     pub serve_metrics: Option<String>,
     /// Exit non-zero when any default alert rule fired.
     pub alerts_fatal: bool,
+    /// Sample the run's span stacks at this rate (`--profile-cpu`).
+    pub profile_cpu: Option<u32>,
+    /// Where the `--profile-cpu` capture goes; stderr report if unset.
+    pub profile_out: Option<String>,
 }
 
 impl Options {
@@ -351,6 +406,7 @@ impl Options {
     pub fn recording(&self) -> bool {
         self.profile
             || self.alloc_profile
+            || self.profile_cpu.is_some()
             || self.metrics_out.is_some()
             || self.timeseries_out.is_some()
             || self.trace_events_out.is_some()
@@ -386,13 +442,14 @@ pub enum MetricsFormat {
 ///
 /// A human-readable message naming the offending flag.
 pub fn parse(argv: &[String]) -> Result<Command, String> {
-    let mut it = argv.iter().map(String::as_str);
+    let mut it = argv.iter().map(String::as_str).peekable();
     let sub = match it.next() {
         None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
         Some("serve") => return parse_serve(&mut it),
         Some("trace") => return parse_trace(&mut it),
         Some("lineage") => return parse_lineage(&mut it),
         Some("alerts") => return parse_alerts(&mut it),
+        Some("profile") => return parse_profile(&mut it),
         Some(sub @ ("run" | "compare")) => sub,
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
@@ -414,6 +471,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut trace_events_out: Option<String> = None;
     let mut serve_metrics: Option<String> = None;
     let mut alerts_fatal = false;
+    let mut profile_cpu: Option<u32> = None;
+    let mut profile_out: Option<String> = None;
 
     while let Some(flag) = it.next() {
         match flag {
@@ -422,6 +481,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--profile" => profile = true,
             "--alloc-profile" => alloc_profile = true,
             "--alerts-fatal" => alerts_fatal = true,
+            // The Hz operand is optional: `--profile-cpu 250` sets the
+            // rate, `--profile-cpu --seed 7` falls back to the default.
+            "--profile-cpu" => {
+                profile_cpu = Some(match it.peek().and_then(|v| v.parse::<u32>().ok()) {
+                    Some(hz) => {
+                        it.next();
+                        if hz == 0 {
+                            return Err("--profile-cpu: rate must be at least 1 Hz".into());
+                        }
+                        hz
+                    }
+                    None => DEFAULT_PROFILE_HZ,
+                });
+            }
             "--no-cache" => scenario.pricing_cache = PricingCacheMode::Disabled,
             "--preset" => {
                 let name = it.next().ok_or("--preset needs a name")?;
@@ -450,6 +523,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         threads = if n == 0 { None } else { Some(n) };
                     }
                     "--metrics-out" => metrics_out = Some(value.to_string()),
+                    "--profile-out" => profile_out = Some(value.to_string()),
                     "--timeseries-out" => timeseries_out = Some(value.to_string()),
                     "--trace-events" => trace_events_out = Some(value.to_string()),
                     "--serve-metrics" => serve_metrics = Some(value.to_string()),
@@ -510,6 +584,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     if trace_out.is_some() && (checkpoint_every.is_some() || resume_from.is_some()) {
         return Err("--trace-out does not combine with checkpointed runs".into());
     }
+    if profile_out.is_some() && profile_cpu.is_none() {
+        return Err("--profile-out needs --profile-cpu".into());
+    }
     scenario.validate().map_err(|e| e.to_string())?;
     let options = Options {
         scenario,
@@ -527,6 +604,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         trace_events_out,
         serve_metrics,
         alerts_fatal,
+        profile_cpu,
+        profile_out,
     };
     Ok(match sub {
         "run" => Command::Run(options),
@@ -781,6 +860,94 @@ fn parse_trace<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, S
         other => return Err(format!("unknown trace subcommand `{other}`")),
     };
     Ok(Command::Trace(cmd))
+}
+
+/// Default sampling rate for `--profile-cpu` and `profile record`.
+const DEFAULT_PROFILE_HZ: u32 = 99;
+
+/// Parses the `paydemand profile` tail: a subcommand, its positional
+/// capture paths, and (for `record`) the sampling rate plus a subset of
+/// the scenario flags.
+fn parse_profile<'a, I: Iterator<Item = &'a str>>(it: &mut I) -> Result<Command, String> {
+    let action = match it.next() {
+        None | Some("--help" | "-h" | "help") => return Ok(Command::Help),
+        Some(action) => action,
+    };
+    let mut scenario = Scenario::paper_default().with_seed(24157);
+    let mut hz = DEFAULT_PROFILE_HZ;
+    let mut top = 20usize;
+    let mut positional: Vec<&str> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Ok(Command::Help),
+            flag if flag.starts_with("--") => {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--hz" if action == "record" => {
+                        hz = parse_num(flag, value)?;
+                        if hz == 0 {
+                            return Err("--hz must be at least 1".into());
+                        }
+                    }
+                    "--top" if action != "record" => {
+                        top = parse_num(flag, value)?;
+                        if top == 0 {
+                            return Err("--top must be at least 1".into());
+                        }
+                    }
+                    "--users" if action == "record" => scenario.users = parse_num(flag, value)?,
+                    "--tasks" if action == "record" => scenario.tasks = parse_num(flag, value)?,
+                    "--rounds" if action == "record" => {
+                        scenario.max_rounds = parse_num(flag, value)?;
+                    }
+                    "--seed" if action == "record" => scenario.seed = parse_num(flag, value)?,
+                    "--budget" if action == "record" => {
+                        scenario.reward_budget = parse_num(flag, value)?;
+                    }
+                    "--selector" if action == "record" => {
+                        scenario.selector = parse_selector(value)?;
+                    }
+                    "--mechanism" if action == "record" => {
+                        scenario.mechanism = parse_mechanism(value)?;
+                    }
+                    other => return Err(format!("unknown flag `{other}` for `profile {action}`")),
+                }
+            }
+            value => positional.push(value),
+        }
+    }
+    let arity = |n: usize, usage: &str| -> Result<(), String> {
+        if positional.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`profile {action}` takes {usage}"))
+        }
+    };
+    let cmd = match action {
+        "record" => {
+            arity(1, "one output path")?;
+            scenario.validate().map_err(|e| e.to_string())?;
+            ProfileCommand::Record {
+                scenario: Box::new(scenario),
+                hz,
+                out: positional[0].to_string(),
+            }
+        }
+        "report" => {
+            arity(1, "one capture path")?;
+            ProfileCommand::Report { path: positional[0].to_string(), top }
+        }
+        "diff" => {
+            arity(2, "two capture paths (BEFORE AFTER)")?;
+            ProfileCommand::Diff {
+                before: positional[0].to_string(),
+                after: positional[1].to_string(),
+                top,
+            }
+        }
+        other => return Err(format!("unknown profile subcommand `{other}`")),
+    };
+    Ok(Command::Profile(cmd))
 }
 
 /// Parses `A..B` (inclusive on both ends) for `trace export --rounds`.
@@ -1112,6 +1279,89 @@ mod tests {
         };
         assert!(!defaults.alloc_profile);
         assert!(parse(&argv("compare --alloc-profile")).is_ok());
+    }
+
+    #[test]
+    fn profile_cpu_flag_parses_with_and_without_a_rate() {
+        let Command::Run(opts) = parse(&argv("run --profile-cpu 250 --seed 7")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.profile_cpu, Some(250));
+        assert_eq!(opts.scenario.seed, 7, "the rate operand must not eat --seed");
+        assert!(opts.recording(), "--profile-cpu alone implies recording");
+
+        // No operand: the next flag survives and the rate defaults.
+        let Command::Run(opts) = parse(&argv("run --profile-cpu --seed 7")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.profile_cpu, Some(99));
+        assert_eq!(opts.scenario.seed, 7);
+
+        // Trailing position works too.
+        let Command::Run(opts) = parse(&argv("run --profile-cpu")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.profile_cpu, Some(99));
+
+        let Command::Run(opts) =
+            parse(&argv("run --profile-cpu 99 --profile-out /tmp/run.prof")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.profile_out.as_deref(), Some("/tmp/run.prof"));
+
+        let Command::Run(defaults) = parse(&argv("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(defaults.profile_cpu, None);
+        assert!(parse(&argv("run --profile-cpu 0")).unwrap_err().contains("at least 1"));
+        assert!(parse(&argv("run --profile-out /tmp/p")).unwrap_err().contains("--profile-cpu"));
+        assert!(parse(&argv("compare --profile-cpu 50")).is_ok());
+    }
+
+    #[test]
+    fn profile_subcommands_parse() {
+        let Command::Profile(ProfileCommand::Record { scenario, hz, out }) =
+            parse(&argv("profile record /tmp/a.prof --hz 500 --users 40 --rounds 6 --seed 3"))
+                .unwrap()
+        else {
+            panic!("expected profile record");
+        };
+        assert_eq!(out, "/tmp/a.prof");
+        assert_eq!(hz, 500);
+        assert_eq!(scenario.users, 40);
+        assert_eq!(scenario.max_rounds, 6);
+        assert_eq!(scenario.seed, 3);
+
+        let Command::Profile(ProfileCommand::Record { hz, .. }) =
+            parse(&argv("profile record /tmp/a.prof")).unwrap()
+        else {
+            panic!("expected profile record");
+        };
+        assert_eq!(hz, 99, "default rate");
+
+        assert_eq!(
+            parse(&argv("profile report /tmp/a.prof --top 3")).unwrap(),
+            Command::Profile(ProfileCommand::Report { path: "/tmp/a.prof".into(), top: 3 })
+        );
+        assert_eq!(
+            parse(&argv("profile diff /tmp/a.prof /tmp/b.prof")).unwrap(),
+            Command::Profile(ProfileCommand::Diff {
+                before: "/tmp/a.prof".into(),
+                after: "/tmp/b.prof".into(),
+                top: 20,
+            })
+        );
+        assert_eq!(parse(&argv("profile --help")).unwrap(), Command::Help);
+        assert!(parse(&argv("profile record")).unwrap_err().contains("one output path"));
+        assert!(parse(&argv("profile diff /tmp/a.prof")).unwrap_err().contains("two capture"));
+        assert!(parse(&argv("profile record /tmp/a.prof --hz 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("profile report /tmp/a.prof --hz 9"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&argv("profile flamethrow")).unwrap_err().contains("unknown profile"));
     }
 
     #[test]

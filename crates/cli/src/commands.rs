@@ -1,6 +1,6 @@
 //! Command implementations: run the engine, aggregate, print.
 
-use paydemand_obs::{Alerts, MetricsServer, Recorder, TimeSeries};
+use paydemand_obs::{Alerts, MetricsServer, Profiler, ProfilerConfig, Recorder, TimeSeries};
 use paydemand_sim::stats::Summary;
 use paydemand_sim::{metrics, runner, Engine, MechanismKind, SimError, SimulationResult};
 
@@ -71,12 +71,14 @@ pub fn run(options: &Options) -> Result<RunStatus, SimError> {
     );
     let recorder = make_recorder(options);
     let server = start_server(options, &recorder)?;
+    let profiler = start_profiler(options);
     let results = runner::run_repetitions_parallel_recorded(
         &options.scenario,
         options.reps,
         threads,
         &recorder,
     )?;
+    finish_profiler(options, &recorder, profiler)?;
     println!("{:-<52}", "");
     for row in METRICS {
         let summary = Summary::of(&runner::collect_metric(&results, row.extract));
@@ -152,6 +154,7 @@ fn run_checkpointed(options: &Options) -> Result<RunStatus, SimError> {
         options.scenario.tasks,
         options.scenario.max_rounds,
     );
+    let profiler = start_profiler(options);
     let mut rounds_this_session = 0u32;
     while engine.step_round()? {
         rounds_this_session += 1;
@@ -163,6 +166,7 @@ fn run_checkpointed(options: &Options) -> Result<RunStatus, SimError> {
         }
     }
     let result = engine.finish()?;
+    finish_profiler(options, &recorder, profiler)?;
     println!("{:-<52}", "");
     for row in METRICS {
         println!("{:<26} {:>10.3} {}", row.name, (row.extract)(&result), row.unit);
@@ -200,6 +204,7 @@ pub fn compare(options: &Options) -> Result<RunStatus, SimError> {
     );
     let recorder = make_recorder(options);
     let server = start_server(options, &recorder)?;
+    let profiler = start_profiler(options);
     let mut columns = Vec::new();
     for mechanism in MechanismKind::paper_lineup() {
         let scenario = options.scenario.clone().with_mechanism(mechanism);
@@ -207,6 +212,7 @@ pub fn compare(options: &Options) -> Result<RunStatus, SimError> {
             runner::run_repetitions_parallel_recorded(&scenario, options.reps, threads, &recorder)?;
         columns.push((mechanism.label(), results));
     }
+    finish_profiler(options, &recorder, profiler)?;
     print!("{:<26}", "");
     for (label, _) in &columns {
         print!("{label:>16}");
@@ -251,6 +257,38 @@ fn make_recorder(options: &Options) -> Recorder {
         recorder.enable_trace_events(TRACE_EVENT_CAP);
     }
     recorder
+}
+
+/// Starts the `--profile-cpu` sampler, if asked. The profiler only
+/// reads span stacks; simulation results are identical either way.
+fn start_profiler(options: &Options) -> Option<Profiler> {
+    options.profile_cpu.map(|hz| Profiler::start(ProfilerConfig::at_hz(hz)))
+}
+
+/// Stops the `--profile-cpu` sampler, folds its counters into the
+/// recorder, and writes `--profile-out` (or prints the hottest stacks
+/// to stderr when no path was given).
+fn finish_profiler(
+    options: &Options,
+    recorder: &Recorder,
+    profiler: Option<Profiler>,
+) -> Result<(), SimError> {
+    let Some(profiler) = profiler else { return Ok(()) };
+    let profile = profiler.stop();
+    recorder.record_profile(&profile);
+    if let Some(path) = &options.profile_out {
+        std::fs::write(path, profile.to_capture())
+            .map_err(|e| SimError::Io(format!("writing --profile-out {path}: {e}")))?;
+        eprintln!(
+            "profile-cpu: {} samples across {} stacks at {} Hz -> {path}",
+            profile.samples_total,
+            profile.stacks.len(),
+            profile.hz,
+        );
+    } else {
+        eprint!("{}", profile.render_report(10));
+    }
+    Ok(())
 }
 
 /// Binds the `--serve-metrics` endpoint before the jobs start, so the
@@ -341,7 +379,8 @@ mod tests {
             | Command::Serve(_)
             | Command::Trace(_)
             | Command::Lineage(_)
-            | Command::Alerts(_) => {
+            | Command::Alerts(_)
+            | Command::Profile(_) => {
                 panic!("expected a command")
             }
         }

@@ -12,6 +12,7 @@ mod alerts_cmd;
 mod args;
 mod commands;
 mod lineage_cmd;
+mod profile_cmd;
 mod serve_cmd;
 mod trace_cmd;
 
@@ -39,6 +40,13 @@ fn main() -> ExitCode {
             }
         },
         Ok(args::Command::Lineage(cmd)) => match lineage_cmd::dispatch(&cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(args::Command::Profile(cmd)) => match profile_cmd::dispatch(&cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");

@@ -1,0 +1,58 @@
+//! `paydemand profile`: record, report, and diff sampling-profiler
+//! captures (see `docs/PROFILING.md`).
+//!
+//! `record` runs one simulation under the statistical sampler and
+//! writes the capture; `report` prints a saved capture's hottest
+//! stacks; `diff` normalises two captures to seconds-per-stack and
+//! ranks the deltas worst-regression-first — point it at a before/after
+//! pair to see exactly which phase slowed down.
+
+use paydemand_obs::{prof, Profile, Profiler, ProfilerConfig};
+
+use crate::args::ProfileCommand;
+
+/// Runs one `paydemand profile` subcommand.
+pub fn dispatch(cmd: &ProfileCommand) -> Result<(), String> {
+    match cmd {
+        ProfileCommand::Record { scenario, hz, out } => record(scenario, *hz, out),
+        ProfileCommand::Report { path, top } => {
+            let profile = read_capture(path)?;
+            print!("{}", profile.render_report(*top));
+            Ok(())
+        }
+        ProfileCommand::Diff { before, after, top } => {
+            let before_profile = read_capture(before)?;
+            let after_profile = read_capture(after)?;
+            print!("{}", prof::diff(&before_profile, &after_profile).render(*top));
+            Ok(())
+        }
+    }
+}
+
+fn record(scenario: &paydemand_sim::Scenario, hz: u32, out: &str) -> Result<(), String> {
+    eprintln!(
+        "profile: sampling at {hz} Hz over {} users x {} tasks x {} rounds ...",
+        scenario.users, scenario.tasks, scenario.max_rounds
+    );
+    let profiler = Profiler::start(ProfilerConfig::at_hz(hz));
+    let result = paydemand_sim::engine::run(scenario).map_err(|e| e.to_string())?;
+    let profile = profiler.stop();
+    std::fs::write(out, profile.to_capture()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "profile: {} samples ({} dropped) across {} stacks in {:.3}s, total paid ${:.2} -> {out}",
+        profile.samples_total,
+        profile.dropped_samples,
+        profile.stacks.len(),
+        profile.duration_seconds,
+        result.total_paid,
+    );
+    if profile.is_empty() {
+        eprintln!("profile: run finished between samples; raise --hz or the scenario size");
+    }
+    Ok(())
+}
+
+fn read_capture(path: &str) -> Result<Profile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Profile::from_capture(&text).map_err(|e| format!("{path}: {e}"))
+}

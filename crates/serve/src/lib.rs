@@ -48,7 +48,7 @@ pub mod wal;
 pub use daemon::{Daemon, DaemonConfig, ShutdownReport, TickOutcome, ACK_SLO_TARGET};
 pub use http::HttpLimits;
 pub use lineage::VerifyReport;
-pub use loadgen::{run_load, LoadPlan, LoadReport, ServerStages};
+pub use loadgen::{run_load, LoadPlan, LoadProfile, LoadReport, ServerStages};
 
 use paydemand_sim::SimError;
 

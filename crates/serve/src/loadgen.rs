@@ -124,6 +124,46 @@ pub struct LoadReport {
     /// Server-side per-stage ingest latencies, when the harness runs
     /// the daemon in-process and can read its recorder.
     pub server_stages: Option<ServerStages>,
+    /// A sampling profile recorded during the honest leg (99 Hz by
+    /// default): the hottest stacks plus the sampler's self-reported
+    /// overhead. `None` when the harness did not profile.
+    pub profile: Option<LoadProfile>,
+}
+
+/// Summary of the profile captured while the honest load ran: the
+/// top-5 hottest folded stacks and the sampler's own accounting, as
+/// emitted into `BENCH_serve.json` and validated by `gate --serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProfile {
+    /// Sampling rate the capture ran at.
+    pub hz: u32,
+    /// Stack samples collected during the leg.
+    pub samples: u64,
+    /// Sampler ticks missed (behind schedule or table contended).
+    pub dropped: u64,
+    /// Wall time the sampler spent inside sampling work.
+    pub overhead_seconds: f64,
+    /// The hottest folded stacks with their sample counts, hottest
+    /// first, at most five.
+    pub top_stacks: Vec<(String, u64)>,
+}
+
+impl LoadProfile {
+    /// Summarises a finished capture.
+    #[must_use]
+    pub fn from_profile(profile: &paydemand_obs::Profile) -> LoadProfile {
+        LoadProfile {
+            hz: profile.hz,
+            samples: profile.samples_total,
+            dropped: profile.dropped_samples,
+            overhead_seconds: profile.overhead_seconds,
+            top_stacks: profile
+                .top_stacks(5)
+                .into_iter()
+                .map(|stack| (stack.folded_name(), stack.samples))
+                .collect(),
+        }
+    }
 }
 
 /// Server-side `ingest_stage_seconds` percentiles (microseconds),
@@ -181,7 +221,7 @@ impl LoadReport {
              \"events_accepted\": {},\n  \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.1},\n  \
              \"shed_rate\": {:.6},\n  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}},\n  \
              \"worker_restarts\": {},\n  \"daemon_state\": \"{}\",\n  \"recovery_ms\": {},\n  \
-             \"server_stage_us\": {}\n}}\n",
+             \"profile\": {},\n  \"server_stage_us\": {}\n}}\n",
             self.seed,
             self.requests_total,
             self.requests_accepted,
@@ -199,6 +239,24 @@ impl LoadReport {
             self.worker_restarts,
             self.daemon_state,
             self.recovery_ms.map_or("null".to_owned(), |ms| format!("{ms:.1}")),
+            self.profile.as_ref().map_or("null".to_owned(), |p| {
+                let stacks: Vec<String> = p
+                    .top_stacks
+                    .iter()
+                    .map(|(stack, samples)| {
+                        format!("{{\"stack\": \"{stack}\", \"samples\": {samples}}}")
+                    })
+                    .collect();
+                format!(
+                    "{{\"hz\": {}, \"samples\": {}, \"dropped\": {}, \
+                     \"overhead_seconds\": {:.6}, \"top_stacks\": [{}]}}",
+                    p.hz,
+                    p.samples,
+                    p.dropped,
+                    p.overhead_seconds,
+                    stacks.join(", "),
+                )
+            }),
             self.server_stages.map_or("null".to_owned(), |s| format!(
                 "{{\"parse\": {{\"p50\": {}, \"p99\": {}}}, \
                  \"fsync\": {{\"p50\": {}, \"p99\": {}}}, \
@@ -310,6 +368,7 @@ pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ServeEr
         daemon_state,
         recovery_ms: None,
         server_stages: None,
+        profile: None,
     })
 }
 
@@ -539,6 +598,13 @@ mod tests {
                 ack_us_p50: 110,
                 ack_us_p99: 700,
             }),
+            profile: Some(LoadProfile {
+                hz: 99,
+                samples: 180,
+                dropped: 0,
+                overhead_seconds: 0.000412,
+                top_stacks: vec![("ingest;fsync".to_owned(), 120), ("ingest;parse".to_owned(), 40)],
+            }),
         };
         let json = report.to_json();
         let parsed = paydemand_obs::parse_json(&json).expect("self-emitted JSON parses");
@@ -549,6 +615,12 @@ mod tests {
         let stages = parsed.get("server_stage_us").expect("server stage object");
         let fsync = stages.get("fsync").expect("fsync stage");
         assert_eq!(fsync.get("p99").and_then(|v| v.as_f64()), Some(400.0));
+        let profile = parsed.get("profile").expect("profile object");
+        assert_eq!(profile.get("hz").and_then(|v| v.as_u64()), Some(99));
+        let top = profile.get("top_stacks").and_then(|v| v.as_array()).expect("top stacks");
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].get("stack").and_then(|v| v.as_str()), Some("ingest;fsync"));
+        assert_eq!(top[0].get("samples").and_then(|v| v.as_u64()), Some(120));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! The sampling profiler must never perturb the simulation.
+//!
+//! Mirrors `tests/observability.rs` for the continuous-profiling
+//! layer: sampling on vs off yields bit-identical results across the
+//! whole thread matrix, a panic mid-span leaves the thread's frame
+//! stack usable, and two engines racing on one shared recorder lose no
+//! samples to the sampler.
+
+use paydemand::obs::{prof, Profiler, ProfilerConfig, Recorder};
+use paydemand::sim::{engine, runner, MechanismKind, Scenario, SelectorKind};
+
+fn scenario() -> Scenario {
+    Scenario::paper_default()
+        .with_users(30)
+        .with_tasks(10)
+        .with_max_rounds(8)
+        .with_selector(SelectorKind::Dp { candidate_cap: Some(12) })
+        .with_mechanism(MechanismKind::OnDemand)
+        .with_seed(0xD5EED)
+}
+
+#[test]
+fn profiling_does_not_change_results() {
+    let off = engine::run(&scenario()).unwrap();
+    let profiler = Profiler::start(ProfilerConfig::default());
+    let on = engine::run(&scenario()).unwrap();
+    let profile = profiler.stop();
+    assert_eq!(off, on, "sampling changed the simulation result");
+    // The capture is internally consistent whether or not the short
+    // run was actually hit by a sample.
+    let summed: u64 = profile.stacks.iter().map(|s| s.samples).sum();
+    assert_eq!(summed, profile.samples_total, "stack samples must sum to the total");
+}
+
+#[test]
+fn profiling_does_not_change_results_across_threads() {
+    let s = scenario();
+    let baseline = runner::run_repetitions_parallel(&s, 5, 1).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let recorder = Recorder::enabled();
+        let profiler = Profiler::start(ProfilerConfig::default());
+        let batch = runner::run_repetitions_parallel_recorded(&s, 5, threads, &recorder).unwrap();
+        let profile = profiler.stop();
+        assert_eq!(baseline, batch, "{threads}-thread profiled batch diverged");
+        recorder.record_profile(&profile);
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counter_value("profile_samples_total", None),
+            Some(profile.samples_total),
+            "recorded sample counter diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn a_panic_mid_span_leaves_the_frame_stack_usable() {
+    // A worker that panics inside nested recorder spans must unwind its
+    // frames; the same thread keeps producing well-formed stacks after.
+    let profiler = Profiler::start(ProfilerConfig { hz: 250, track_allocs: false });
+    let recorder = Recorder::enabled();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _outer = prof::frame("outer");
+        let hist = recorder.histogram("round_phase_seconds");
+        let _span = recorder.scoped("demand", &hist);
+        assert!(prof::current_depth() >= 2);
+        panic!("boom mid-span");
+    }));
+    assert!(caught.is_err());
+    assert_eq!(prof::current_depth(), 0, "panic left frames on the stack");
+    // The thread still profiles correctly: results stay identical and
+    // fresh frames nest from a clean base.
+    let before = engine::run(&scenario()).unwrap();
+    let after = engine::run(&scenario()).unwrap();
+    drop(profiler.stop());
+    assert_eq!(before, after);
+    assert_eq!(prof::current_depth(), 0);
+}
+
+#[test]
+fn shared_recorder_race_loses_no_samples() {
+    let a = scenario();
+    let b = scenario().with_users(24).with_seed(0xB0B);
+
+    let shared = Recorder::enabled();
+    let profiler = Profiler::start(ProfilerConfig::default());
+    let (shared_a, shared_b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| engine::run_recorded(&a, &shared).unwrap());
+        let hb = scope.spawn(|| engine::run_recorded(&b, &shared).unwrap());
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    let profile = profiler.stop();
+
+    // The race changed nothing observable.
+    assert_eq!(shared_a, engine::run(&a).unwrap(), "sampling+sharing changed engine A");
+    assert_eq!(shared_b, engine::run(&b).unwrap(), "sampling+sharing changed engine B");
+
+    // Sample conservation: every tick either landed in a stack or was
+    // counted as dropped — nothing vanished between the two threads.
+    let summed: u64 = profile.stacks.iter().map(|s| s.samples).sum();
+    assert_eq!(summed, profile.samples_total, "stack samples must sum to the total");
+    shared.record_profile(&profile);
+    let snap = shared.snapshot();
+    assert_eq!(snap.counter_value("profile_samples_total", None), Some(profile.samples_total));
+    assert_eq!(
+        snap.counter_value("profile_dropped_samples_total", None),
+        Some(profile.dropped_samples)
+    );
+}
+
+#[test]
+fn capture_roundtrip_and_diff_survive_an_engine_profile() {
+    // A capture of a real run parses back bit-identically and diffs
+    // cleanly against itself (all deltas zero).
+    let profiler = Profiler::start(ProfilerConfig { hz: 500, track_allocs: true });
+    engine::run(&scenario().with_max_rounds(40)).unwrap();
+    let profile = profiler.stop();
+
+    let text = profile.to_capture();
+    let reparsed = paydemand::obs::Profile::from_capture(&text).unwrap();
+    assert_eq!(reparsed.to_capture(), text, "capture did not round-trip");
+
+    let diff = prof::diff(&profile, &reparsed);
+    assert!(
+        diff.entries.iter().all(|e| e.delta_seconds.abs() < 1e-12),
+        "self-diff must be all zeros"
+    );
+}
